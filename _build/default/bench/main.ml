@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation section on the full-scale synthetic datasets and prints
+   them as reports (series, tables, notes) — the artifact recorded in
+   EXPERIMENTS.md.
+
+   [--perf] instead runs Bechamel micro/meso benchmarks: one Test.make
+   per paper table/figure (the full experiment pipeline on the reduced
+   context, so each run is sub-second) plus the numerical kernels the
+   estimators are built on.
+
+   Other flags: [--fast] (reduced datasets for the report mode),
+   [--only fig13,tab2], [--list]. *)
+
+module Registry = Tmest_experiments.Registry
+module Report = Tmest_experiments.Report
+module Ctx = Tmest_experiments.Ctx
+
+let run_reports ~fast ~only () =
+  let t_start = Unix.gettimeofday () in
+  Printf.printf
+    "Traffic matrix estimation on a large IP backbone — experiment \
+     harness\n";
+  Printf.printf "mode: %s datasets\n\n%!"
+    (if fast then "reduced (--fast)" else "paper-scale");
+  let ctx = Ctx.create ~fast () in
+  let selected =
+    match only with
+    | None -> Registry.all
+    | Some ids ->
+        List.map
+          (fun id ->
+            try Registry.find id
+            with Not_found ->
+              Printf.eprintf "unknown experiment id %S; known: %s\n" id
+                (String.concat " " (Registry.ids ()));
+              exit 2)
+          ids
+  in
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Registry.run ctx in
+      Report.print report;
+      Printf.printf "  (%s completed in %.1fs)\n\n%!" e.Registry.id
+        (Unix.gettimeofday () -. t0))
+    selected;
+  Printf.printf "all experiments done in %.1fs\n%!"
+    (Unix.gettimeofday () -. t_start)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel performance suite                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_tests () =
+  let open Bechamel in
+  let module Mat = Tmest_linalg.Mat in
+  let module Vec = Tmest_linalg.Vec in
+  let module Csr = Tmest_linalg.Csr in
+  let rng = Tmest_stats.Rng.create 11 in
+  let mat n m = Mat.init n m (fun _ _ -> Tmest_stats.Rng.float rng) in
+  let a200 = mat 200 200 in
+  let b200 = mat 200 200 in
+  let v200 = Array.init 200 (fun _ -> Tmest_stats.Rng.float rng) in
+  let spd = Mat.add (Mat.gram (mat 120 120)) (Mat.identity 120) in
+  let rhs = Array.init 120 (fun _ -> Tmest_stats.Rng.float rng) in
+  let eu = Tmest_traffic.Dataset.europe () in
+  let r_eu = eu.Tmest_traffic.Dataset.routing in
+  let demand =
+    Tmest_traffic.Dataset.demand_at eu 229
+  in
+  [
+    Test.make ~name:"mat200.matmul" (Staged.stage (fun () ->
+        Mat.matmul a200 b200));
+    Test.make ~name:"mat200.matvec" (Staged.stage (fun () ->
+        Mat.matvec a200 v200));
+    Test.make ~name:"chol120.factor+solve" (Staged.stage (fun () ->
+        Tmest_linalg.Chol.solve_system spd rhs));
+    Test.make ~name:"lu120.factor+solve" (Staged.stage (fun () ->
+        Tmest_linalg.Lu.solve_system spd rhs));
+    Test.make ~name:"csr.europe.link_loads" (Staged.stage (fun () ->
+        Tmest_net.Routing.link_loads r_eu demand));
+    Test.make ~name:"lambert.w0" (Staged.stage (fun () ->
+        Tmest_stats.Lambert.w0 12.3));
+  ]
+
+let experiment_tests () =
+  let open Bechamel in
+  (* One Test.make per paper table/figure: the full pipeline on the
+     reduced context so a single run stays sub-second. *)
+  let ctx = Ctx.create ~fast:true () in
+  List.map
+    (fun e ->
+      Test.make ~name:("exp." ^ e.Registry.id)
+        (Staged.stage (fun () -> ignore (e.Registry.run ctx))))
+    Registry.all
+
+let run_perf () =
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"tmest" ~fmt:"%s.%s"
+      (kernel_tests () @ experiment_tests ())
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-32s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (ns :: _) ->
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "%-32s %14s\n" name pretty
+      | _ -> Printf.printf "%-32s %14s\n" name "n/a")
+    rows
+
+let () =
+  let fast = ref false in
+  let perf = ref false in
+  let only = ref None in
+  let list = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        fast := true;
+        parse rest
+    | "--perf" :: rest ->
+        perf := true;
+        parse rest
+    | "--list" :: rest ->
+        list := true;
+        parse rest
+    | "--only" :: ids :: rest ->
+        only := Some (String.split_on_char ',' ids);
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: main.exe [--fast] [--perf] [--list] [--only id,id,...]\n\
+           unknown argument: %s\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list then
+    List.iter
+      (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
+      Registry.all
+  else if !perf then run_perf ()
+  else run_reports ~fast:!fast ~only:!only ()

@@ -1,0 +1,1 @@
+bin/probe.ml: List Printf Tmest_experiments Unix

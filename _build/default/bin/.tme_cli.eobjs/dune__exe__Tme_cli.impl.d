@@ -1,0 +1,1 @@
+bin/tme_cli.ml: Arg Array Cmd Cmdliner Filename List Logs Printf Stdlib String Term Tmest_core Tmest_experiments Tmest_io Tmest_linalg Tmest_net Tmest_snmp Tmest_stats Tmest_traffic

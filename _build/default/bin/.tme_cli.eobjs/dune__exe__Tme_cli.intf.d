@@ -1,0 +1,1 @@
+bin/tme_cli.mli:

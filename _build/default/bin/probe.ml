@@ -1,0 +1,11 @@
+(* Scratch timing probe used during development; kept as a fast sanity
+   runner: executes the reduced-context experiment suite end to end. *)
+let () =
+  let ctx = Tmest_experiments.Ctx.create ~fast:true () in
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      ignore (e.Tmest_experiments.Registry.run ctx);
+      Printf.printf "%-6s ok (%.2fs)\n%!" e.Tmest_experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
+    Tmest_experiments.Registry.all

@@ -1,0 +1,341 @@
+(* tme: command-line driver for the traffic-matrix estimation library.
+
+   Subcommands:
+     tme info                       - describe the synthetic datasets
+     tme estimate -n europe -m ...  - run one estimator, print accuracy
+     tme experiment fig13           - run one experiment report
+     tme csv fig13 -o out.csv       - dump an experiment's data as CSV
+     tme snmp-demo                  - run the SNMP collection pipeline *)
+
+open Cmdliner
+module Dataset = Tmest_traffic.Dataset
+module Spec = Tmest_traffic.Spec
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Core = Tmest_core
+
+let dataset_of_name = function
+  | "europe" -> Dataset.europe ()
+  | "america" -> Dataset.america ()
+  | s ->
+      Printf.eprintf "unknown network %S (expected europe or america)\n" s;
+      exit 2
+
+let network_arg =
+  let doc = "Synthetic network to use: europe (12 PoPs) or america (25 PoPs)." in
+  Arg.(value & opt string "europe" & info [ "n"; "network" ] ~docv:"NET" ~doc)
+
+(* -------------------------------------------------------------- info *)
+
+let info_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let d = dataset_of_name name in
+        let spec = d.Dataset.spec in
+        Printf.printf
+          "%-8s %2d PoPs  %3d links (%d interior)  %3d OD pairs  %d \
+           samples  busy %d..%d\n"
+          name (Dataset.num_nodes d) (Dataset.num_links d)
+          (Tmest_net.Topology.num_interior_links d.Dataset.topo)
+          (Dataset.num_pairs d) (Dataset.num_samples d)
+          spec.Spec.busy_start
+          (spec.Spec.busy_start + spec.Spec.busy_len - 1);
+        let mean = Dataset.busy_mean_demand d in
+        Printf.printf
+          "         peak total %.1f Gbps, largest busy-hour demand %.0f \
+           Mbps, top-20%% share %.0f%%\n"
+          (spec.Spec.peak_total_bps /. 1e9)
+          (Vec.max mean /. 1e6)
+          (100. *. Tmest_stats.Desc.top_share ~fraction:0.2 mean))
+      [ "europe"; "america" ];
+    0
+  in
+  let doc = "Describe the synthetic evaluation datasets." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ const ())
+
+(* ---------------------------------------------------------- estimate *)
+
+let estimate_cmd =
+  let method_arg =
+    let doc =
+      Printf.sprintf "Estimation method: %s."
+        (String.concat ", " (Core.Estimator.all_names ()))
+    in
+    Arg.(value & opt string "entropy" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let sigma2_arg =
+    let doc = "Regularization parameter for entropy/bayes." in
+    Arg.(value & opt float 1000. & info [ "sigma2" ] ~doc)
+  in
+  let window_arg =
+    let doc = "Window length for time-series methods." in
+    Arg.(value & opt int 10 & info [ "w"; "window" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Print the TOP largest demands with their estimates." in
+    Arg.(value & opt int 10 & info [ "top" ] ~doc)
+  in
+  let run network method_name sigma2 window top =
+    let d = dataset_of_name network in
+    let spec = d.Dataset.spec in
+    let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+    let truth = Dataset.demand_at d k in
+    let loads = Dataset.link_loads_at d k in
+    let ks = Array.of_list (Dataset.busy_samples d) in
+    let w = Stdlib.min (Stdlib.max window 2) (Array.length ks) in
+    let ks = Array.sub ks (Array.length ks - w) w in
+    let load_samples =
+      Mat.init w (Dataset.num_links d) (fun i j ->
+          (Dataset.link_loads_at d ks.(i)).(j))
+    in
+    let m =
+      match Core.Estimator.of_name method_name with
+      | Core.Estimator.Entropy { prior; _ } ->
+          Core.Estimator.Entropy { sigma2; prior }
+      | Core.Estimator.Bayes { prior; _ } ->
+          Core.Estimator.Bayes { sigma2; prior }
+      | Core.Estimator.Fanout _ -> Core.Estimator.Fanout { window = w }
+      | other -> other
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    let estimate =
+      Core.Estimator.run m d.Dataset.routing ~loads ~load_samples
+    in
+    let reference =
+      if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
+      else truth
+    in
+    Printf.printf "method   : %s on %s\n" (Core.Estimator.name m) network;
+    Printf.printf "MRE      : %.4f (90%% traffic coverage)\n"
+      (Core.Metrics.mre ~truth:reference ~estimate ());
+    Printf.printf "rank rho : %.4f\n"
+      (Core.Metrics.rank_correlation reference estimate);
+    Printf.printf "residual : %.6f (relative ||Rs - t||)\n"
+      (Core.Problem.residual_norm d.Dataset.routing ~loads estimate);
+    let n = Dataset.num_nodes d in
+    let name i =
+      d.Dataset.topo.Tmest_net.Topology.nodes.(i).Tmest_net.Topology.name
+    in
+    let order = Array.init (Array.length reference) (fun i -> i) in
+    Array.sort (fun a b -> compare reference.(b) reference.(a)) order;
+    Printf.printf "%-28s %12s %12s %8s\n" "demand" "actual Mbps" "est Mbps"
+      "err";
+    for rank = 0 to Stdlib.min top (Array.length order) - 1 do
+      let p = order.(rank) in
+      let src, dst = Tmest_net.Odpairs.pair ~nodes:n p in
+      Printf.printf "%-28s %12.1f %12.1f %7.1f%%\n"
+        (Printf.sprintf "%s -> %s" (name src) (name dst))
+        (reference.(p) /. 1e6) (estimate.(p) /. 1e6)
+        (100. *. (estimate.(p) -. reference.(p)) /. reference.(p))
+    done;
+    0
+  in
+  let doc = "Estimate the traffic matrix from link loads and report accuracy." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(
+      const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg)
+
+(* -------------------------------------------------------- experiment *)
+
+let exp_id_arg =
+  let doc = "Experiment id (fig1..fig16, tab1, tab2); see `tme list'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+
+let fast_arg =
+  let doc = "Use reduced datasets (fast, for smoke runs)." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let experiment_cmd =
+  let run id fast =
+    match Tmest_experiments.Registry.find id with
+    | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; try `tme list'\n" id;
+        2
+    | e ->
+        let ctx = Tmest_experiments.Ctx.create ~fast () in
+        Tmest_experiments.Report.print (e.Tmest_experiments.Registry.run ctx);
+        0
+  in
+  let doc = "Run one paper experiment and print its report." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ exp_id_arg $ fast_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-6s %s\n" e.Tmest_experiments.Registry.id
+          e.Tmest_experiments.Registry.title)
+      Tmest_experiments.Registry.all;
+    0
+  in
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let csv_cmd =
+  let out_arg =
+    let doc = "Output file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run id fast out =
+    match Tmest_experiments.Registry.find id with
+    | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; try `tme list'\n" id;
+        2
+    | e ->
+        let ctx = Tmest_experiments.Ctx.create ~fast () in
+        let report = e.Tmest_experiments.Registry.run ctx in
+        let csv = Tmest_experiments.Report.to_csv report in
+        (match out with
+        | None -> print_string csv
+        | Some path ->
+            let oc = open_out path in
+            output_string oc csv;
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
+        0
+  in
+  let doc = "Dump an experiment's series and tables as CSV." in
+  Cmd.v (Cmd.info "csv" ~doc)
+    Term.(const run $ exp_id_arg $ fast_arg $ out_arg)
+
+(* ------------------------------------------------------------ export *)
+
+let export_cmd =
+  let dir_arg =
+    let doc = "Directory to write <net>.topo and <net>.tm into." in
+    Arg.(value & opt string "." & info [ "d"; "dir" ] ~doc)
+  in
+  let run network dir =
+    let d = dataset_of_name network in
+    let nodes = Dataset.num_nodes d in
+    let topo_path = Filename.concat dir (network ^ ".topo") in
+    let tm_path = Filename.concat dir (network ^ ".tm") in
+    Tmest_io.Topology_io.write topo_path d.Dataset.topo;
+    Tmest_io.Tm_io.write_series tm_path ~nodes
+      d.Dataset.truth.Tmest_traffic.Demand_gen.demands;
+    Printf.printf "wrote %s (%d PoPs) and %s (%d samples x %d pairs)\n"
+      topo_path nodes tm_path (Dataset.num_samples d) (Dataset.num_pairs d);
+    0
+  in
+  let doc = "Export a synthetic dataset as .topo / .tm text files." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ network_arg $ dir_arg)
+
+(* ----------------------------------------------------- estimate-files *)
+
+let estimate_files_cmd =
+  let topo_arg =
+    let doc = "Topology file (.topo format)." in
+    Arg.(required & opt (some string) None & info [ "topo" ] ~doc)
+  in
+  let tm_arg =
+    let doc =
+      "Traffic-matrix series file (.tm); link loads are derived from \
+       the requested sample and used as the estimator's only input."
+    in
+    Arg.(required & opt (some string) None & info [ "tm" ] ~doc)
+  in
+  let sample_arg =
+    let doc = "Sample index within the series." in
+    Arg.(value & opt int 0 & info [ "sample" ] ~doc)
+  in
+  let sigma2_arg =
+    let doc = "Regularization parameter." in
+    Arg.(value & opt float 1000. & info [ "sigma2" ] ~doc)
+  in
+  let run topo_path tm_path sample sigma2 =
+    match
+      let topo = Tmest_io.Topology_io.read topo_path in
+      let nodes = Tmest_net.Topology.num_nodes topo in
+      let series = Tmest_io.Tm_io.read_series tm_path ~nodes in
+      (topo, series)
+    with
+    | exception Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        2
+    | topo, series ->
+        if sample < 0 || sample >= Mat.rows series then begin
+          Printf.eprintf "sample %d out of range (series has %d)\n" sample
+            (Mat.rows series);
+          2
+        end
+        else begin
+          let routing = Tmest_net.Routing.shortest_path topo in
+          let truth = Mat.row series sample in
+          let loads = Tmest_net.Routing.link_loads routing truth in
+          let prior = Core.Gravity.simple routing ~loads in
+          let est =
+            (Core.Entropy.estimate routing ~loads ~prior ~sigma2)
+              .Core.Entropy.estimate
+          in
+          Printf.printf
+            "network %s: %d nodes, %d pairs; sample %d\n"
+            topo.Tmest_net.Topology.net_name
+            (Tmest_net.Topology.num_nodes topo)
+            (Array.length truth) sample;
+          Printf.printf "gravity prior MRE : %.4f\n"
+            (Core.Metrics.mre ~truth ~estimate:prior ());
+          Printf.printf "entropy MRE       : %.4f (sigma2 = %g)\n"
+            (Core.Metrics.mre ~truth ~estimate:est ())
+            sigma2;
+          0
+        end
+  in
+  let doc =
+    "Run the entropy estimator on user-supplied .topo / .tm files \
+     (shortest-path routing; loads derived from the chosen sample)."
+  in
+  Cmd.v (Cmd.info "estimate-files" ~doc)
+    Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg)
+
+(* --------------------------------------------------------- snmp demo *)
+
+let snmp_cmd =
+  let loss_arg =
+    let doc = "Per-poll UDP loss probability." in
+    Arg.(value & opt float 0.01 & info [ "loss" ] ~doc)
+  in
+  let run network loss =
+    let d = dataset_of_name network in
+    let pairs = Dataset.num_pairs d in
+    let samples = Dataset.num_samples d in
+    let config =
+      { Tmest_snmp.Collect.default_config with
+        Tmest_snmp.Collect.loss_prob = loss; seed = 7 }
+    in
+    let truth k = Dataset.demand_at d k in
+    let r = Tmest_snmp.Collect.run config ~true_rates:truth ~samples ~pairs in
+    Printf.printf "polled %d LSPs x %d intervals: %d polls sent, %d lost\n"
+      pairs samples r.Tmest_snmp.Collect.polls_sent
+      r.Tmest_snmp.Collect.polls_lost;
+    Printf.printf "mean per-sample rate error: %.4f%%\n"
+      (100. *. Tmest_snmp.Collect.mean_absolute_rate_error r ~true_rates:truth);
+    0
+  in
+  let doc = "Simulate the SNMP collection pipeline over a dataset." in
+  Cmd.v (Cmd.info "snmp-demo" ~doc) Term.(const run $ network_arg $ loss_arg)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let doc =
+    "Traffic matrix estimation on a large IP backbone (IMC 2004 \
+     reproduction)"
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "tme" ~version:"1.0.0" ~doc)
+          [
+            info_cmd;
+            estimate_cmd;
+            experiment_cmd;
+            list_cmd;
+            csv_cmd;
+            snmp_cmd;
+            export_cmd;
+            estimate_files_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/anomaly_detection.ml: Array List Printf Tmest_core Tmest_linalg Tmest_net Tmest_traffic

@@ -1,0 +1,1 @@
+examples/anomaly_detection.mli:

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array List Option Printf Tmest_core Tmest_linalg Tmest_net Tmest_traffic

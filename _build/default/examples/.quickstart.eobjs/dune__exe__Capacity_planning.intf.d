@@ -1,0 +1,1 @@
+examples/capacity_planning.mli:

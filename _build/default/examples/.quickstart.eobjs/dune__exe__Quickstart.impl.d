@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Tmest_core Tmest_net Tmest_traffic

@@ -1,0 +1,1 @@
+examples/route_change_survey.mli:

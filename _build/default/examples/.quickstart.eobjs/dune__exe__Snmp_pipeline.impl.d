@@ -1,0 +1,1 @@
+examples/snmp_pipeline.ml: Printf Stdlib Tmest_core Tmest_linalg Tmest_snmp Tmest_traffic

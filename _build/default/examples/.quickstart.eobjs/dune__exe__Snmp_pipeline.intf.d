@@ -1,0 +1,1 @@
+examples/snmp_pipeline.mli:

@@ -1,0 +1,124 @@
+(* What-if failure analysis with an estimated traffic matrix.
+
+   The paper motivates TM estimation with traffic-engineering tasks
+   like failure analysis: "if this link dies, which links overload?"
+   Answering needs the demands, not just today's link loads.  This
+   example estimates the TM from link loads, fails the most-loaded core
+   link, re-routes every affected LSP with CSPF, and compares the
+   post-failure utilizations predicted from the *estimated* TM against
+   the ones computed from the *true* TM.
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+module Vec = Tmest_linalg.Vec
+module Dataset = Tmest_traffic.Dataset
+module Topology = Tmest_net.Topology
+module Routing = Tmest_net.Routing
+module Cspf = Tmest_net.Cspf
+module Dijkstra = Tmest_net.Dijkstra
+module Odpairs = Tmest_net.Odpairs
+module Gravity = Tmest_core.Gravity
+module Entropy = Tmest_core.Entropy
+module Metrics = Tmest_core.Metrics
+
+(* Link loads after failing [failed] and re-routing every demand on its
+   IGP shortest path that avoids the failed link. *)
+let post_failure_loads topo ~failed ~demands =
+  let n = Topology.num_nodes topo in
+  let usable l = l.Topology.link_id <> failed in
+  let loads = Array.make (Topology.num_links topo) 0. in
+  for src = 0 to n - 1 do
+    let _, parent = Dijkstra.tree ~usable topo ~src in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        let p = Odpairs.index ~nodes:n ~src ~dst in
+        match Dijkstra.path_of_tree topo parent ~src ~dst with
+        | None -> () (* partitioned: demand is lost *)
+        | Some path ->
+            List.iter
+              (fun l -> loads.(l) <- loads.(l) +. demands.(p))
+              path
+      end
+    done
+  done;
+  loads
+
+let () =
+  let dataset = Dataset.europe () in
+  let topo = dataset.Dataset.topo in
+  let routing = dataset.Dataset.routing in
+  let k = 229 in
+  let truth = Dataset.demand_at dataset k in
+  let loads = Dataset.link_loads_at dataset k in
+
+  (* Estimate the TM from the observable link loads. *)
+  let prior = Gravity.simple routing ~loads in
+  let estimate =
+    (Entropy.estimate routing ~loads ~prior ~sigma2:1000.).Entropy.estimate
+  in
+  Printf.printf "estimated TM: MRE %.3f\n\n"
+    (Metrics.mre ~truth ~estimate ());
+
+  (* Fail the busiest interior link. *)
+  let busiest =
+    List.fold_left
+      (fun best l ->
+        let id = l.Topology.link_id in
+        match best with
+        | Some b when loads.(b) >= loads.(id) -> best
+        | _ -> Some id)
+      None
+      (Topology.interior_links topo)
+  in
+  let failed = Option.get busiest in
+  let fl = topo.Topology.links.(failed) in
+  Printf.printf "failing busiest core link: %s -> %s (%.1f Gbps load, %.1f \
+                 Gbps capacity)\n\n"
+    topo.Topology.nodes.(fl.Topology.src).Topology.name
+    topo.Topology.nodes.(fl.Topology.dst).Topology.name
+    (loads.(failed) /. 1e9)
+    (fl.Topology.capacity /. 1e9);
+
+  let predicted = post_failure_loads topo ~failed ~demands:estimate in
+  let actual = post_failure_loads topo ~failed ~demands:truth in
+
+  (* Compare predicted vs actual post-failure utilization on the links
+     that matter (top 10 by actual load). *)
+  let ids =
+    List.map (fun l -> l.Topology.link_id) (Topology.interior_links topo)
+  in
+  let ids = List.filter (fun id -> id <> failed) ids in
+  let ids = List.sort (fun a b -> compare actual.(b) actual.(a)) ids in
+  Printf.printf "%-26s %12s %12s %8s\n" "post-failure link" "actual util"
+    "predicted" "error";
+  List.iteri
+    (fun rank id ->
+      if rank < 10 then begin
+        let l = topo.Topology.links.(id) in
+        let util x = 100. *. x /. l.Topology.capacity in
+        Printf.printf "%-26s %11.1f%% %11.1f%% %7.1f%%\n"
+          (topo.Topology.nodes.(l.Topology.src).Topology.name
+          ^ " -> "
+          ^ topo.Topology.nodes.(l.Topology.dst).Topology.name)
+          (util actual.(id))
+          (util predicted.(id))
+          (util predicted.(id) -. util actual.(id))
+      end)
+    ids;
+
+  (* The planning question: does the estimate flag the same overloads? *)
+  let overloaded demands_loads =
+    List.filter
+      (fun id ->
+        let l = topo.Topology.links.(id) in
+        demands_loads.(id) > 0.8 *. l.Topology.capacity)
+      ids
+  in
+  let pred_over = overloaded predicted and act_over = overloaded actual in
+  let agree =
+    List.length (List.filter (fun id -> List.mem id act_over) pred_over)
+  in
+  Printf.printf
+    "\nlinks above 80%% after failure: actual %d, predicted %d (%d in \
+     agreement)\n"
+    (List.length act_over) (List.length pred_over) agree

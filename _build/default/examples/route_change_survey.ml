@@ -1,0 +1,103 @@
+(* A route-change measurement campaign (Nucci et al., INFOCOM 2004).
+
+   When per-LSP counters are not available and one link-load snapshot
+   cannot identify the demands, an operator can *change the routing* —
+   tweak an IGP weight, watch the loads shift — and stack the snapshots:
+   every configuration constrains the same traffic matrix through a
+   different routing matrix.  This example walks the campaign on the
+   European network: take a baseline snapshot, take two more after
+   simulated weight changes, and watch the pure least-squares estimate
+   (no prior at all) sharpen with each added configuration.
+
+   Run with:  dune exec examples/route_change_survey.exe *)
+
+module Vec = Tmest_linalg.Vec
+module Dataset = Tmest_traffic.Dataset
+module Topology = Tmest_net.Topology
+module Routing = Tmest_net.Routing
+module Dijkstra = Tmest_net.Dijkstra
+module Odpairs = Tmest_net.Odpairs
+module Routechange = Tmest_core.Routechange
+module Metrics = Tmest_core.Metrics
+module Wcb = Tmest_core.Wcb
+
+(* Shortest-path routing with one link administratively removed (the
+   cleanest stand-in for "raise its weight sky-high"). *)
+let routing_without topo link_id =
+  let n = Topology.num_nodes topo in
+  let usable l = l.Topology.link_id <> link_id in
+  let paths = Array.make (Odpairs.count n) [] in
+  for src = 0 to n - 1 do
+    let _, parent = Dijkstra.tree ~usable topo ~src in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        match Dijkstra.path_of_tree topo parent ~src ~dst with
+        | Some p -> paths.(Odpairs.index ~nodes:n ~src ~dst) <- p
+        | None -> failwith "network partitioned by the weight change"
+      end
+    done
+  done;
+  Routing.of_paths topo paths
+
+let () =
+  let dataset = Dataset.europe () in
+  let topo = dataset.Dataset.topo in
+  (* The demands the campaign tries to recover: the busy-period mean
+     (demands must stay roughly constant across the snapshots). *)
+  let truth = Dataset.busy_mean_demand dataset in
+
+  let base = Routing.shortest_path topo in
+  let base_loads = Routing.link_loads base truth in
+
+  (* Pick the two busiest core links as weight-change victims. *)
+  let busiest =
+    Topology.interior_links topo
+    |> List.sort (fun a b ->
+           compare
+             base_loads.(b.Topology.link_id)
+             base_loads.(a.Topology.link_id))
+    |> List.filteri (fun i _ -> i < 2)
+  in
+  let name l =
+    topo.Topology.nodes.(l.Topology.src).Topology.name
+    ^ " -> "
+    ^ topo.Topology.nodes.(l.Topology.dst).Topology.name
+  in
+  let configs =
+    (base, base_loads)
+    :: List.map
+         (fun l ->
+           let r = routing_without topo l.Topology.link_id in
+           (r, Routing.link_loads r truth))
+         busiest
+  in
+  List.iteri
+    (fun i (label, _) -> Printf.printf "configuration %d: %s\n" i label)
+    (("baseline IGP weights", ())
+    :: List.map (fun l -> ("weight change on " ^ name l, ())) busiest);
+  print_newline ();
+
+  Printf.printf "%-16s %8s %12s\n" "snapshots used" "MRE" "rank gained";
+  List.iteri
+    (fun i _ ->
+      let used = List.filteri (fun j _ -> j <= i) configs in
+      let r = Routechange.estimate used in
+      Printf.printf "%-16d %8.4f %12d\n" (i + 1)
+        (Metrics.mre ~truth ~estimate:r.Routechange.estimate ())
+        r.Routechange.stacked_rank_gain)
+    configs;
+
+  (* The same effect seen through the worst-case bounds: uncertainty
+     shrinks as configurations pin the demands. *)
+  let width routing loads =
+    let b = Wcb.bounds routing ~loads in
+    let w = Wcb.width b in
+    Vec.sum w /. Vec.sum truth
+  in
+  let r0, t0 = List.hd configs in
+  Printf.printf
+    "\nrelative worst-case uncertainty under the baseline alone: %.2f\n"
+    (width r0 t0);
+  Printf.printf
+    "(the stacked system has no equally simple bound; the MRE column \
+     above is the point-estimate view of the same information gain)\n"

@@ -1,0 +1,69 @@
+(* The full measurement pipeline: from router counters to a traffic
+   matrix (Section 5.1).
+
+   Global Crossing's key observation is that an MPLS mesh makes the
+   traffic matrix *measurable*: every OD pair is an LSP, every LSP has a
+   byte counter, and polling those counters every 5 minutes yields the
+   complete TM directly — no estimation needed.  This example replays
+   that pipeline (jittered pollers, UDP loss, interval-corrected rates)
+   and contrasts the directly measured TM with what pure link-load
+   estimation achieves on the same interval.
+
+   Run with:  dune exec examples/snmp_pipeline.exe *)
+
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Dataset = Tmest_traffic.Dataset
+module Collect = Tmest_snmp.Collect
+module Gravity = Tmest_core.Gravity
+module Entropy = Tmest_core.Entropy
+module Metrics = Tmest_core.Metrics
+
+let () =
+  let dataset = Dataset.europe () in
+  let pairs = Dataset.num_pairs dataset in
+  let samples = Dataset.num_samples dataset in
+
+  (* 1. Replay the distributed polling of per-LSP counters. *)
+  let config =
+    {
+      Collect.default_config with
+      Collect.jitter_s = 15.;
+      loss_prob = 0.02;
+      pollers = 3;
+      seed = 20041025;
+    }
+  in
+  let truth k = Dataset.demand_at dataset k in
+  let collected = Collect.run config ~true_rates:truth ~samples ~pairs in
+  Printf.printf
+    "polled %d LSPs over %d intervals (%d pollers, 15 s jitter, 2%% loss)\n"
+    pairs samples config.Collect.pollers;
+  Printf.printf "polls sent %d, lost %d\n" collected.Collect.polls_sent
+    collected.Collect.polls_lost;
+  Printf.printf "measured TM error vs ground truth: %.3f%% per sample\n\n"
+    (100. *. Collect.mean_absolute_rate_error collected ~true_rates:truth);
+
+  (* 2. The measured TM at one busy interval... *)
+  let k = 229 in
+  let measured = Mat.row collected.Collect.rates k in
+  let actual = truth k in
+  Printf.printf "busy interval %d: measured TM MRE %.4f\n" k
+    (Metrics.mre ~truth:actual ~estimate:measured ());
+
+  (* 3. ...versus estimating the same interval from link loads only
+     (what an operator without the LSP mesh would have to do). *)
+  let routing = dataset.Dataset.routing in
+  let loads = Dataset.link_loads_at dataset k in
+  let prior = Gravity.simple routing ~loads in
+  let estimated =
+    (Entropy.estimate routing ~loads ~prior ~sigma2:1000.).Entropy.estimate
+  in
+  Printf.printf "estimation from link loads only: MRE %.4f\n"
+    (Metrics.mre ~truth:actual ~estimate:estimated ());
+  Printf.printf
+    "\ndirect measurement is ~%.0fx more accurate — the paper's case for \
+     measuring TMs in MPLS networks,\nwhile estimation remains the fallback \
+     where only link counters exist.\n"
+    (Metrics.mre ~truth:actual ~estimate:estimated ()
+    /. Stdlib.max 1e-6 (Metrics.mre ~truth:actual ~estimate:measured ()))

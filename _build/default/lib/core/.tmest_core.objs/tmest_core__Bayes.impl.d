@@ -1,0 +1,1 @@
+lib/core/bayes.ml: Array Logs Problem Tmest_linalg Tmest_net Tmest_opt

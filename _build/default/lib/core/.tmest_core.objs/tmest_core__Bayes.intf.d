@@ -1,0 +1,1 @@
+lib/core/bayes.mli: Tmest_linalg Tmest_net

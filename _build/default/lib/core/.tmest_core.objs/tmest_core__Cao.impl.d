@@ -1,0 +1,1 @@
+lib/core/cao.ml: Array List Problem Stdlib Tmest_linalg Tmest_net Tmest_opt Tmest_stats

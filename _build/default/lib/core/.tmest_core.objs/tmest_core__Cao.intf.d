@@ -1,0 +1,1 @@
+lib/core/cao.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/combined.ml: Array Entropy List Metrics Option Stdlib Tmest_linalg Tmest_net

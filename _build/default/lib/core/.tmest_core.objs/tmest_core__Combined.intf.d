@@ -1,0 +1,1 @@
+lib/core/combined.mli: Tmest_linalg Tmest_net

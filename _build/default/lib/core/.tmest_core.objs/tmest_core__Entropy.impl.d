@@ -1,0 +1,1 @@
+lib/core/entropy.ml: Array List Logs Problem Stdlib Tmest_linalg Tmest_net Tmest_opt

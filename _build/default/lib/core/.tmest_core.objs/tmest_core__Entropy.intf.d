@@ -1,0 +1,1 @@
+lib/core/entropy.mli: Tmest_linalg Tmest_net

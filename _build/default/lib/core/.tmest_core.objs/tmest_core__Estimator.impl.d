@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Bayes Cao Entropy Fanout Gravity Kruithof Printf Problem Stdlib Tmest_linalg Tmest_net Vardi Wcb

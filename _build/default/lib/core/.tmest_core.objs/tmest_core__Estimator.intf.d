@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/fanout.ml: Array Gravity Problem Stdlib Tmest_linalg Tmest_net Tmest_opt

@@ -1,0 +1,1 @@
+lib/core/fanout.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/gravity.ml: Array Tmest_linalg Tmest_net

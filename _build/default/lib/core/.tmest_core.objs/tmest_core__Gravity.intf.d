@@ -1,0 +1,1 @@
+lib/core/gravity.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/iterative.ml: Array Bayes List Metrics Tmest_linalg Tmest_net

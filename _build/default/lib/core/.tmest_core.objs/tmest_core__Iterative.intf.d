@@ -1,0 +1,1 @@
+lib/core/iterative.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/kruithof.ml: Array Gravity Problem Tmest_linalg Tmest_net Tmest_opt

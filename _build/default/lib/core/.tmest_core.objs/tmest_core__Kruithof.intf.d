@@ -1,0 +1,1 @@
+lib/core/kruithof.mli: Tmest_linalg Tmest_net

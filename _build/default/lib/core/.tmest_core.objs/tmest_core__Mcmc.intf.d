@@ -1,0 +1,1 @@
+lib/core/mcmc.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Stdlib Tmest_linalg Tmest_stats

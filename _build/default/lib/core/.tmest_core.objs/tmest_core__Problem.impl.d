@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Logs Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Logs Tmest_linalg Tmest_net

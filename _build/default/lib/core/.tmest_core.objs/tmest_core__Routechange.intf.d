@@ -1,0 +1,1 @@
+lib/core/routechange.mli: Tmest_linalg Tmest_net

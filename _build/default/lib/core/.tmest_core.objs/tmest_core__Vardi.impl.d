@@ -1,0 +1,1 @@
+lib/core/vardi.ml: Array List Logs Problem Tmest_linalg Tmest_net Tmest_opt Tmest_stats

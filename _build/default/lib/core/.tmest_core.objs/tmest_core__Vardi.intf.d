@@ -1,0 +1,1 @@
+lib/core/vardi.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/core/wcb.mli: Tmest_linalg Tmest_net

@@ -1,0 +1,46 @@
+module Vec = Tmest_linalg.Vec
+module Csr = Tmest_linalg.Csr
+module Fista = Tmest_opt.Fista
+module Routing = Tmest_net.Routing
+
+type result = {
+  estimate : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+let estimate ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2 =
+  Problem.check_dims routing ~loads;
+  if sigma2 <= 0. then invalid_arg "Bayes.estimate: sigma2 must be positive";
+  let p = Routing.num_pairs routing in
+  if Array.length prior <> p then
+    invalid_arg "Bayes.estimate: prior dimension mismatch";
+  let r = routing.Routing.matrix in
+  let scale = Problem.total_traffic routing ~loads in
+  let scale = if scale > 0. then scale else 1. in
+  let t_n = Vec.scale (1. /. scale) loads in
+  let prior_n = Vec.scale (1. /. scale) prior in
+  let w = 1. /. sigma2 in
+  (* grad = 2 Rᵀ(R s − t) + 2 w (s − prior). *)
+  let gradient s =
+    let res = Vec.sub (Csr.matvec r s) t_n in
+    let g = Csr.tmatvec r res in
+    Vec.mapi (fun i gi -> 2. *. (gi +. (w *. (s.(i) -. prior_n.(i))))) g
+  in
+  let lip_r =
+    Fista.lipschitz_of_op ~dim:p (fun v -> Csr.tmatvec r (Csr.matvec r v))
+  in
+  let lipschitz = (2. *. lip_r) +. (2. *. w) in
+  let res =
+    Fista.solve ~x0:(Vec.copy prior_n) ~max_iter ~tol ~dim:p ~gradient
+      ~lipschitz ()
+  in
+  if not res.Fista.converged then
+    Logs.warn ~src:Problem.log_src (fun m ->
+        m "Bayes.estimate: no convergence after %d iterations (sigma2 = %g)"
+          res.Fista.iterations sigma2);
+  {
+    estimate = Vec.scale scale res.Fista.x;
+    iterations = res.Fista.iterations;
+    converged = res.Fista.converged;
+  }

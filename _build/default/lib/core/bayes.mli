@@ -1,0 +1,31 @@
+(** Bayesian / Tikhonov-regularized estimation (Section 4.2.3, eq. 7).
+
+    With a Gaussian prior [s ~ N(prior, σ² I)] and unit-variance load
+    noise, the MAP estimate solves
+
+    {v  min ‖R s − t‖² + σ⁻² ‖s − prior‖²   subject to   s >= 0  v}
+
+    The regularization parameter [σ²] trades prior belief against the
+    link measurements: small [σ²] pins the estimate to the prior, large
+    [σ²] uses the prior only to pick among load-consistent solutions.
+    The problem is solved in total-traffic-normalized units, so [σ²] is
+    dimensionless and comparable across networks (the x-axis of the
+    paper's Figures 13/15). *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(** [estimate ?max_iter ?tol routing ~loads ~prior ~sigma2] solves the
+    regularized problem with an accelerated projected-gradient method.
+    @raise Invalid_argument on dimension mismatch or [sigma2 <= 0]. *)
+val estimate :
+  ?max_iter:int ->
+  ?tol:float ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  sigma2:float ->
+  result

@@ -1,0 +1,105 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Fista = Tmest_opt.Fista
+module Desc = Tmest_stats.Desc
+module Routing = Tmest_net.Routing
+
+type result = {
+  estimate : Vec.t;
+  objective : float;
+  iterations : int;
+}
+
+let estimate ?(max_iter = 400) ?(unit_bps = 1e6) routing ~load_samples ~phi
+    ~c ~sigma_inv2 =
+  if phi <= 0. then invalid_arg "Cao.estimate: phi must be positive";
+  if c < 1. then invalid_arg "Cao.estimate: need c >= 1";
+  if sigma_inv2 < 0. then invalid_arg "Cao.estimate: negative sigma_inv2";
+  let l = Routing.num_links routing and p = Routing.num_pairs routing in
+  if Mat.cols load_samples <> l then
+    invalid_arg "Cao.estimate: load samples do not match the routing matrix";
+  let k = Mat.rows load_samples in
+  if k < 2 then invalid_arg "Cao.estimate: need at least two load samples";
+  let samples =
+    Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
+  in
+  let t_hat, sigma_hat = Desc.sample_mean_cov samples in
+  let g = Problem.gram routing in
+  let g2 = Mat.init p p (fun i j ->
+      let x = Mat.unsafe_get g i j in
+      x *. x)
+  in
+  let rt_t = Csr.tmatvec routing.Routing.matrix t_hat in
+  let rt = Csr.transpose routing.Routing.matrix in
+  let v = Vec.zeros p in
+  for pair = 0 to p - 1 do
+    let links = Csr.row_nonzeros rt pair in
+    let acc = ref 0. in
+    List.iter
+      (fun (i, ri) ->
+        List.iter
+          (fun (j, rj) -> acc := !acc +. (ri *. rj *. Mat.get sigma_hat i j))
+          links)
+      links;
+    v.(pair) <- !acc
+  done;
+  let w = sigma_inv2 in
+  let u_of lambda = Vec.map (fun x -> phi *. (Stdlib.max x 0. ** c)) lambda in
+  let objective lambda =
+    let u = u_of lambda in
+    let first = Vec.dot lambda (Mat.matvec g lambda)
+                -. (2. *. Vec.dot rt_t lambda) in
+    let second = Vec.dot u (Mat.matvec g2 u) -. (2. *. Vec.dot v u) in
+    first +. (w *. second)
+  in
+  let gradient lambda =
+    let u = u_of lambda in
+    let d_first = Vec.scale 2. (Vec.sub (Mat.matvec g lambda) rt_t) in
+    let d_second_du = Vec.scale 2. (Vec.sub (Mat.matvec g2 u) v) in
+    let du_dlambda =
+      Vec.map (fun x -> phi *. c *. (Stdlib.max x 0. ** (c -. 1.))) lambda
+    in
+    Vec.mapi
+      (fun i d -> d +. (w *. d_second_du.(i) *. du_dlambda.(i)))
+      d_first
+  in
+  (* Start from the first-moment-only solution. *)
+  let lip = 2. *. Fista.lipschitz_of_gram g in
+  let init =
+    Fista.solve ~max_iter:2000 ~tol:1e-10 ~dim:p
+      ~gradient:(fun x -> Vec.scale 2. (Vec.sub (Mat.matvec g x) rt_t))
+      ~lipschitz:lip ()
+  in
+  let lambda = ref init.Fista.x in
+  let f = ref (objective !lambda) in
+  let step = ref (1. /. lip) in
+  let iterations = ref 0 in
+  let stalled = ref false in
+  while (not !stalled) && !iterations < max_iter do
+    incr iterations;
+    let grad = gradient !lambda in
+    (* Backtracking projected gradient: halve the step until descent. *)
+    let rec try_step eta attempts =
+      if attempts = 0 then None
+      else begin
+        let cand = Vec.clamp_nonneg (Vec.axpy (-.eta) grad !lambda) in
+        let fc = objective cand in
+        if fc < !f -. 1e-12 then Some (cand, fc, eta)
+        else try_step (eta /. 2.) (attempts - 1)
+      end
+    in
+    match try_step (!step *. 2.) 40 with
+    | None -> stalled := true
+    | Some (cand, fc, eta) ->
+        let progress = !f -. fc in
+        lambda := cand;
+        f := fc;
+        step := eta;
+        if progress < 1e-12 *. (1. +. abs_float fc) then stalled := true
+  done;
+  {
+    estimate = Vec.scale unit_bps !lambda;
+    objective = !f;
+    iterations = !iterations;
+  }

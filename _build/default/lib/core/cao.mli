@@ -1,0 +1,38 @@
+(** Cao et al.'s generalized-linear-model estimator — the method the
+    paper lists as future work ("we have not implemented and evaluated
+    the approach by Cao et al.; clearly, a more complete evaluation
+    should include also this method").  Implemented here as an
+    extension.
+
+    The model generalizes Vardi's Poisson assumption to
+    [s_p ~ N(λ_p, φ λ_p^c)] with independent OD flows, giving
+
+    {v E t = R λ,   Cov t = R diag(φ λ^c) Rᵀ v}
+
+    Moment matching minimizes
+
+    {v min ‖R λ − t̂‖² + σ⁻² ‖R diag(φ λ^c) Rᵀ − Σ̂‖_F²,  λ >= 0 v}
+
+    which is non-convex for [c ≠ 1]; we solve it by projected gradient
+    with backtracking line search from the first-moment NNLS solution
+    (a pseudo-likelihood analogue of Cao et al.'s pseudo-EM). *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;  (** estimated mean rates, bits/s *)
+  objective : float;  (** final (normalized-unit) objective value *)
+  iterations : int;
+}
+
+(** [estimate ?max_iter ?unit_bps routing ~load_samples ~phi ~c
+    ~sigma_inv2] runs the estimator.  [phi] and [c] are the scaling-law
+    parameters in the chosen counting unit ([unit_bps], default 1 Mbps);
+    [c = 1, phi = 1] recovers Vardi's objective. *)
+val estimate :
+  ?max_iter:int ->
+  ?unit_bps:float ->
+  Tmest_net.Routing.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  phi:float ->
+  c:float ->
+  sigma_inv2:float ->
+  result

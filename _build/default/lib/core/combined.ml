@@ -1,0 +1,78 @@
+module Vec = Tmest_linalg.Vec
+module Routing = Tmest_net.Routing
+
+type step = {
+  measured : int;
+  mre : float;
+}
+
+let fixed_of_set truth set = List.map (fun p -> (p, truth.(p))) set
+
+let mre_with ?x0 routing ~loads ~prior ~truth ~sigma2 ~threshold set =
+  let res =
+    (* The sweep re-solves thousands of times; warm starts plus a looser
+       inner tolerance keep it tractable (MRE differences of interest
+       are >= 1e-3). *)
+    Entropy.estimate_fixed ?x0 ~max_iter:1500 ~tol:1e-8 routing ~loads
+      ~prior ~sigma2 ~fixed:(fixed_of_set truth set)
+  in
+  ( Metrics.mre_with_threshold ~threshold ~truth ~estimate:res.Entropy.estimate,
+    res.Entropy.estimate )
+
+let run_policy ?(coverage = 0.9) routing ~loads ~prior ~truth ~sigma2 ~steps
+    ~choose =
+  let p = Routing.num_pairs routing in
+  if Array.length truth <> p then
+    invalid_arg "Combined: truth dimension mismatch";
+  let steps = Stdlib.min steps p in
+  let threshold, _ = Metrics.threshold_for_coverage ~coverage truth in
+  let warm = ref None in
+  let eval set =
+    mre_with ?x0:!warm routing ~loads ~prior ~truth ~sigma2 ~threshold set
+  in
+  let rec loop set acc remaining_steps =
+    if remaining_steps = 0 then List.rev acc
+    else begin
+      match choose ~eval:(fun s -> fst (eval s)) ~set with
+      | None -> List.rev acc
+      | Some pair ->
+          let set = pair :: set in
+          let mre, solution = eval set in
+          warm := Some solution;
+          loop set ({ measured = pair; mre } :: acc) (remaining_steps - 1)
+    end
+  in
+  loop [] [] steps
+
+let greedy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
+  let p = Routing.num_pairs routing in
+  let choose ~eval ~set =
+    (* Exhaustive search: try measuring every remaining demand and keep
+       the one with the lowest resulting MRE (paper Fig. 16). *)
+    let best = ref None in
+    for pair = 0 to p - 1 do
+      if not (List.mem pair set) then begin
+        let mre : float = eval (pair :: set) in
+        match !best with
+        | Some (_, m) when m <= mre -> ()
+        | _ -> best := Some (pair, mre)
+      end
+    done;
+    Option.map fst !best
+  in
+  run_policy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps ~choose
+
+let largest_first ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
+  let p = Routing.num_pairs routing in
+  let order = Array.init p (fun i -> i) in
+  Array.sort (fun a b -> compare truth.(b) truth.(a)) order;
+  let next = ref 0 in
+  let choose ~eval:_ ~set:_ =
+    if !next >= p then None
+    else begin
+      let pair = order.(!next) in
+      incr next;
+      Some pair
+    end
+  in
+  run_policy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps ~choose

@@ -1,0 +1,39 @@
+(** Combining tomography with direct measurements (Section 5.3.6).
+
+    Directly measuring a handful of demands (e.g. with per-LSP counters
+    on selected tunnels) and pinning them in the entropy estimator
+    collapses the estimation error.  [greedy] reproduces the paper's
+    exhaustive-search experiment: at every step, measure the demand whose
+    measurement most reduces the MRE.  [largest_first] is the practical
+    policy the paper discusses (measure the biggest demands). *)
+
+type step = {
+  measured : int;  (** the pair measured at this step *)
+  mre : float;  (** MRE of the entropy estimate after the step *)
+}
+
+(** [greedy routing ~loads ~prior ~truth ~sigma2 ~steps] returns the MRE
+    trajectory: element [i] is the state after [i+1] measurements.  The
+    MRE is computed at the paper's 90 % coverage threshold (fixed from
+    the ground truth once, before any measurement). *)
+val greedy :
+  ?coverage:float ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  truth:Tmest_linalg.Vec.t ->
+  sigma2:float ->
+  steps:int ->
+  step list
+
+(** [largest_first routing ~loads ~prior ~truth ~sigma2 ~steps] measures
+    the demands in decreasing true-size order instead. *)
+val largest_first :
+  ?coverage:float ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  truth:Tmest_linalg.Vec.t ->
+  sigma2:float ->
+  steps:int ->
+  step list

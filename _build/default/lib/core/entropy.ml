@@ -1,0 +1,83 @@
+module Vec = Tmest_linalg.Vec
+module Csr = Tmest_linalg.Csr
+module Fista = Tmest_opt.Fista
+module Proxgrad = Tmest_opt.Proxgrad
+module Routing = Tmest_net.Routing
+
+type result = {
+  estimate : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2
+    ~mask =
+  Problem.check_dims routing ~loads;
+  if sigma2 <= 0. then invalid_arg "Entropy.estimate: sigma2 must be positive";
+  let p = Routing.num_pairs routing in
+  if Array.length prior <> p then
+    invalid_arg "Entropy.estimate: prior dimension mismatch";
+  let r = routing.Routing.matrix in
+  let scale = Problem.total_traffic routing ~loads in
+  let scale = if scale > 0. then scale else 1. in
+  let t_n = Vec.scale (1. /. scale) loads in
+  let prior_n =
+    Vec.mapi (fun i x -> if mask.(i) then 0. else x /. scale) prior
+  in
+  let w = 1. /. sigma2 in
+  let gradient s = Vec.scale 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r s) t_n)) in
+  let lipschitz =
+    2.
+    *. Fista.lipschitz_of_op ~dim:p (fun v -> Csr.tmatvec r (Csr.matvec r v))
+  in
+  let prox = Proxgrad.kl_prox ~weight:w ~prior:prior_n in
+  let start =
+    match x0 with
+    | None -> Vec.copy prior_n
+    | Some v ->
+        (* Warm start, rescaled to the solver's normalized units and
+           forced onto the prior's support. *)
+        Vec.mapi
+          (fun i x -> if prior_n.(i) <= 0. then 0. else Stdlib.max 0. (x /. scale))
+          v
+  in
+  let res =
+    Proxgrad.solve ~x0:start ~max_iter ~tol ~dim:p ~gradient
+      ~prox ~lipschitz ()
+  in
+  if not res.Proxgrad.converged then
+    Logs.warn ~src:Problem.log_src (fun m ->
+        m "Entropy.estimate: no convergence after %d iterations (sigma2 = %g)"
+          res.Proxgrad.iterations sigma2);
+  {
+    estimate = Vec.scale scale res.Proxgrad.x;
+    iterations = res.Proxgrad.iterations;
+    converged = res.Proxgrad.converged;
+  }
+
+let estimate ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 =
+  let mask = Array.make (Routing.num_pairs routing) false in
+  solve ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 ~mask
+
+let estimate_fixed ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 ~fixed =
+  let p = Routing.num_pairs routing in
+  let mask = Array.make p false in
+  let s_fixed = Vec.zeros p in
+  List.iter
+    (fun (pair, value) ->
+      if pair < 0 || pair >= p then
+        invalid_arg "Entropy.estimate_fixed: pair index out of range";
+      if value < 0. then
+        invalid_arg "Entropy.estimate_fixed: negative measured demand";
+      mask.(pair) <- true;
+      s_fixed.(pair) <- value)
+    fixed;
+  (* Move the measured demands' contribution to the right-hand side. *)
+  let loads' = Vec.sub loads (Routing.link_loads routing s_fixed) in
+  let res = solve ?x0 ?max_iter ?tol routing ~loads:loads' ~prior ~sigma2 ~mask in
+  let estimate =
+    Vec.mapi
+      (fun i v -> if mask.(i) then s_fixed.(i) else v)
+      res.estimate
+  in
+  { res with estimate }

@@ -1,0 +1,82 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Routing = Tmest_net.Routing
+
+type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
+
+type t =
+  | Gravity
+  | Kruithof of { prior : prior_kind }
+  | Entropy of { sigma2 : float; prior : prior_kind }
+  | Bayes of { sigma2 : float; prior : prior_kind }
+  | Wcb_midpoint
+  | Fanout of { window : int }
+  | Vardi of { sigma_inv2 : float; window : int }
+  | Cao of { phi : float; c : float; sigma_inv2 : float; window : int }
+
+let name = function
+  | Gravity -> "gravity"
+  | Kruithof _ -> "kruithof"
+  | Entropy _ -> "entropy"
+  | Bayes _ -> "bayes"
+  | Wcb_midpoint -> "wcb"
+  | Fanout _ -> "fanout"
+  | Vardi _ -> "vardi"
+  | Cao _ -> "cao"
+
+let of_name = function
+  | "gravity" -> Gravity
+  | "kruithof" -> Kruithof { prior = Prior_gravity }
+  | "entropy" -> Entropy { sigma2 = 1000.; prior = Prior_gravity }
+  | "bayes" -> Bayes { sigma2 = 1000.; prior = Prior_gravity }
+  | "wcb" -> Wcb_midpoint
+  | "fanout" -> Fanout { window = 10 }
+  | "vardi" -> Vardi { sigma_inv2 = 0.01; window = 50 }
+  | "cao" -> Cao { phi = 1.; c = 1.5; sigma_inv2 = 0.01; window = 50 }
+  | s -> invalid_arg (Printf.sprintf "Estimator.of_name: unknown method %S" s)
+
+let all_names () =
+  [ "gravity"; "kruithof"; "entropy"; "bayes"; "wcb"; "fanout"; "vardi"; "cao" ]
+
+let uses_time_series = function
+  | Gravity | Kruithof _ | Entropy _ | Bayes _ | Wcb_midpoint -> false
+  | Fanout _ | Vardi _ | Cao _ -> true
+
+let build_prior kind routing ~loads =
+  match kind with
+  | Prior_gravity -> Gravity.simple routing ~loads
+  | Prior_wcb -> Wcb.midpoint (Wcb.bounds routing ~loads)
+  | Prior_uniform ->
+      let p = Routing.num_pairs routing in
+      let total = Problem.total_traffic routing ~loads in
+      Vec.create p (total /. float_of_int p)
+
+let last_window samples window =
+  let k = Mat.rows samples in
+  let window = Stdlib.max 2 (Stdlib.min window k) in
+  Mat.submatrix samples ~row:(k - window) ~col:0 ~rows:window
+    ~cols:(Mat.cols samples)
+
+let run t routing ~loads ~load_samples =
+  match t with
+  | Gravity -> Gravity.simple routing ~loads
+  | Kruithof { prior } ->
+      let prior = build_prior prior routing ~loads in
+      Kruithof.adjust routing ~loads ~prior
+  | Entropy { sigma2; prior } ->
+      let prior = build_prior prior routing ~loads in
+      (Entropy.estimate routing ~loads ~prior ~sigma2).Entropy.estimate
+  | Bayes { sigma2; prior } ->
+      let prior = build_prior prior routing ~loads in
+      (Bayes.estimate routing ~loads ~prior ~sigma2).Bayes.estimate
+  | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds routing ~loads)
+  | Fanout { window } ->
+      let samples = last_window load_samples window in
+      (Fanout.estimate routing ~load_samples:samples).Fanout.estimate
+  | Vardi { sigma_inv2; window } ->
+      let samples = last_window load_samples window in
+      (Vardi.estimate routing ~load_samples:samples ~sigma_inv2).Vardi.estimate
+  | Cao { phi; c; sigma_inv2; window } ->
+      let samples = last_window load_samples window in
+      (Cao.estimate routing ~load_samples:samples ~phi ~c ~sigma_inv2)
+        .Cao.estimate

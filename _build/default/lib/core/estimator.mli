@@ -1,0 +1,49 @@
+(** A uniform face over all estimation methods, for drivers (CLI,
+    benchmarks) that select a method by name. *)
+
+type prior_kind =
+  | Prior_gravity  (** simple gravity model (the paper's default prior) *)
+  | Prior_wcb  (** worst-case-bound midpoints *)
+  | Prior_uniform  (** total traffic spread evenly over all pairs *)
+
+type t =
+  | Gravity
+  | Kruithof of { prior : prior_kind }
+  | Entropy of { sigma2 : float; prior : prior_kind }
+  | Bayes of { sigma2 : float; prior : prior_kind }
+  | Wcb_midpoint
+  | Fanout of { window : int }
+  | Vardi of { sigma_inv2 : float; window : int }
+  | Cao of { phi : float; c : float; sigma_inv2 : float; window : int }
+
+(** [name t] is a short identifier (e.g. ["entropy"]). *)
+val name : t -> string
+
+(** [of_name s] parses a method with default parameters.
+    @raise Invalid_argument on unknown names. *)
+val of_name : string -> t
+
+(** [all_names ()] lists the known method identifiers. *)
+val all_names : unit -> string list
+
+(** [uses_time_series t] is true for methods that consume a window of
+    load measurements rather than one snapshot. *)
+val uses_time_series : t -> bool
+
+(** [build_prior kind routing ~loads] materializes a prior vector. *)
+val build_prior :
+  prior_kind ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t
+
+(** [run t routing ~loads ~load_samples] executes the method.
+    Snapshot methods use [loads]; time-series methods take the last
+    [window] rows of [load_samples] (and fall back to fewer if the
+    series is shorter).  Returns the demand estimate in bits/s. *)
+val run :
+  t ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t

@@ -1,0 +1,128 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Fista = Tmest_opt.Fista
+module Projections = Tmest_opt.Projections
+module Routing = Tmest_net.Routing
+module Topology = Tmest_net.Topology
+module Odpairs = Tmest_net.Odpairs
+
+type result = {
+  fanouts : Vec.t;
+  estimate : Vec.t;
+}
+
+(* The constrained least-squares problem
+
+     min Σ_k ‖R S[k] α − t[k]‖²  s.t.  α in per-source simplices
+
+   is solved by accelerated projected gradient with an exact Euclidean
+   projection onto the product of probability simplices.  A KKT solve
+   would be simpler on paper but the Hessian's blocks are scaled by
+   squared node totals, whose spread (heavy-tailed PoP sizes) makes the
+   KKT system numerically hopeless; projection-based iterations only
+   ever evaluate well-scaled matrix-vector products. *)
+let estimate routing ~load_samples =
+  let l = Routing.num_links routing in
+  let p = Routing.num_pairs routing in
+  let n = Topology.num_nodes routing.Routing.topo in
+  let k = Mat.rows load_samples in
+  if k = 0 then invalid_arg "Fanout.estimate: empty load window";
+  if Mat.cols load_samples <> l then
+    invalid_arg "Fanout.estimate: load samples do not match routing matrix";
+  (* Normalize loads by the average total network traffic. *)
+  let scale = ref 0. in
+  for step = 0 to k - 1 do
+    for node = 0 to n - 1 do
+      scale :=
+        !scale +. Mat.get load_samples step (Routing.ingress_row routing node)
+    done
+  done;
+  let scale = Stdlib.max (!scale /. float_of_int k) 1. in
+  let te = Mat.zeros k n in
+  for step = 0 to k - 1 do
+    for node = 0 to n - 1 do
+      Mat.set te step node
+        (Mat.get load_samples step (Routing.ingress_row routing node) /. scale)
+    done
+  done;
+  let src_of = Array.init p (fun pair -> Odpairs.source ~nodes:n pair) in
+  (* H_pq = G_pq * W(src p, src q) with W = Σ_k te[k] te[k]ᵀ. *)
+  let w = Mat.zeros n n in
+  for step = 0 to k - 1 do
+    for a = 0 to n - 1 do
+      let ta = Mat.get te step a in
+      if ta <> 0. then
+        for b = 0 to n - 1 do
+          Mat.set w a b (Mat.get w a b +. (ta *. Mat.get te step b))
+        done
+    done
+  done;
+  let g = Problem.gram routing in
+  let h =
+    Mat.init p p (fun i j ->
+        Mat.unsafe_get g i j *. Mat.get w src_of.(i) src_of.(j))
+  in
+  (* lin_p = Σ_k te_src(p)[k] (Rᵀ t[k])_p, so grad = 2(Hα − lin). *)
+  let lin = Vec.zeros p in
+  for step = 0 to k - 1 do
+    let t_k = Vec.scale (1. /. scale) (Mat.row load_samples step) in
+    let rt = Csr.tmatvec routing.Routing.matrix t_k in
+    for pair = 0 to p - 1 do
+      lin.(pair) <-
+        lin.(pair) +. (Mat.get te step src_of.(pair) *. rt.(pair))
+    done
+  done;
+  let gradient a = Vec.scale 2. (Vec.sub (Mat.matvec h a) lin) in
+  let lipschitz = 2. *. Fista.lipschitz_of_gram h in
+  (* FISTA with the per-source simplex projection, started from uniform
+     fanouts. *)
+  let project v = Projections.block_simplex ~block:src_of v in
+  let x = ref (project (Vec.create p (1. /. float_of_int (n - 1)))) in
+  let y = ref (Vec.copy !x) in
+  let momentum = ref 1. in
+  let step_size = 1. /. lipschitz in
+  let max_iter = 4000 and tol = 1e-10 in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let grad = gradient !y in
+    let x_next = project (Vec.axpy (-.step_size) grad !y) in
+    let delta = Vec.sub x_next !x in
+    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
+    let momentum_next =
+      if restart then 1.
+      else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
+    in
+    let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
+    y := Vec.axpy beta delta x_next;
+    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
+      converged := true;
+    x := x_next;
+    momentum := momentum_next
+  done;
+  let fanouts = !x in
+  (* Demand estimate against the window-average totals (in bits/s). *)
+  let te_mean = Vec.zeros n in
+  for step = 0 to k - 1 do
+    for node = 0 to n - 1 do
+      te_mean.(node) <- te_mean.(node) +. Mat.get te step node
+    done
+  done;
+  let te_mean = Vec.scale (scale /. float_of_int k) te_mean in
+  let estimate =
+    Vec.mapi (fun pair a -> a *. te_mean.(src_of.(pair))) fanouts
+  in
+  { fanouts; estimate }
+
+let demands_of_fanouts routing ~fanouts ~loads =
+  Problem.check_dims routing ~loads;
+  let n = Topology.num_nodes routing.Routing.topo in
+  let p = Routing.num_pairs routing in
+  if Array.length fanouts <> p then
+    invalid_arg "Fanout.demands_of_fanouts: dimension mismatch";
+  let te, _ = Gravity.node_totals routing ~loads in
+  Vec.mapi
+    (fun pair a -> a *. te.(Odpairs.source ~nodes:n pair))
+    fanouts

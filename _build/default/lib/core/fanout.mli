@@ -1,0 +1,40 @@
+(** Constant-fanout estimation from a load time series
+    (Section 4.2.4 — the paper's novel method).
+
+    Assuming the fanouts [α(n,m) = s(n,m) / te(n)] are constant over the
+    measurement window (all load fluctuation comes from the per-node
+    totals), the fanout vector solves
+
+    {v min Σ_k ‖R S[k] α − t[k]‖²
+       s.t. Σ_m α(n,m) = 1 for every n,  α >= 0 v}
+
+    where [S[k]] scales each OD pair by its source's total ingress
+    traffic at time [k] (read off the ingress access-link loads).  The
+    window makes the system overdetermined for [K >= 3] even though [R]
+    itself is rank deficient. *)
+
+type result = {
+  fanouts : Tmest_linalg.Vec.t;  (** per OD pair, rows sum to 1 *)
+  estimate : Tmest_linalg.Vec.t;
+      (** demand estimate: fanouts applied to the window-average node
+          totals — comparable to the window-average true demands *)
+}
+
+(** [estimate routing ~load_samples] solves the constrained problem
+    over a [K x L] window of load samples by accelerated projected
+    gradient with an exact per-source probability-simplex projection
+    (a KKT solve is numerically hopeless here: the Hessian blocks are
+    scaled by squared, heavy-tailed node totals).
+    @raise Invalid_argument if the window is empty or dimensions differ. *)
+val estimate :
+  Tmest_net.Routing.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  result
+
+(** [demands_of_fanouts routing ~fanouts ~loads] expands fanouts into a
+    demand vector using the node totals of one load snapshot. *)
+val demands_of_fanouts :
+  Tmest_net.Routing.t ->
+  fanouts:Tmest_linalg.Vec.t ->
+  loads:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t

@@ -1,0 +1,52 @@
+module Vec = Tmest_linalg.Vec
+module Routing = Tmest_net.Routing
+module Topology = Tmest_net.Topology
+module Odpairs = Tmest_net.Odpairs
+
+let node_totals routing ~loads =
+  if Array.length loads <> Routing.num_links routing then
+    invalid_arg "Gravity.node_totals: load vector dimension mismatch";
+  let n = Topology.num_nodes routing.Routing.topo in
+  let te = Vec.init n (fun i -> loads.(Routing.ingress_row routing i)) in
+  let tx = Vec.init n (fun i -> loads.(Routing.egress_row routing i)) in
+  (te, tx)
+
+let simple routing ~loads =
+  let te, tx = node_totals routing ~loads in
+  let n = Array.length te in
+  let s = Vec.zeros (Odpairs.count n) in
+  Odpairs.iter ~nodes:n (fun p src dst -> s.(p) <- te.(src) *. tx.(dst));
+  (* C is chosen so the estimated total equals the measured total
+     network traffic (the OD enumeration has no diagonal, so the naive
+     1/Σtx normalization would undershoot). *)
+  let measured_total = Vec.sum te in
+  let estimated_total = Vec.sum s in
+  if estimated_total > 0. then Vec.scale (measured_total /. estimated_total) s
+  else s
+
+let generalized routing ~loads =
+  let te, tx = node_totals routing ~loads in
+  let n = Array.length te in
+  let nodes = routing.Routing.topo.Topology.nodes in
+  let is_peer i = nodes.(i).Topology.kind = Topology.Peering in
+  let s = Vec.zeros (Odpairs.count n) in
+  Odpairs.iter ~nodes:n (fun p src dst ->
+      if not (is_peer src && is_peer dst) then
+        s.(p) <- te.(src) *. tx.(dst));
+  (* Normalize so the estimated total matches the measured total. *)
+  let measured_total = Vec.sum te in
+  let estimated_total = Vec.sum s in
+  if estimated_total > 0. then
+    Vec.scale (measured_total /. estimated_total) s
+  else s
+
+let fanouts routing ~loads =
+  let _, tx = node_totals routing ~loads in
+  let n = Array.length tx in
+  let tx_total = Vec.sum tx in
+  let alpha = Vec.zeros (Odpairs.count n) in
+  Odpairs.iter ~nodes:n (fun p src dst ->
+      (* Per-source normalization: destinations exclude the source. *)
+      let denom = tx_total -. tx.(src) in
+      if denom > 0. then alpha.(p) <- tx.(dst) /. denom);
+  alpha

@@ -1,0 +1,31 @@
+(** Gravity models (paper Section 4.1).
+
+    The simple gravity model predicts
+    [s(n,m) = te(n) * tx(m) / Σ tx], i.e. every PoP spreads its traffic
+    over destinations in proportion to the fraction of total traffic
+    each destination sinks.  The generalized variant zeroes peer-to-peer
+    entries before normalizing. *)
+
+(** [node_totals routing ~loads] extracts [(te, tx)] — total traffic
+    entering / exiting each node — from the access-link rows of the load
+    vector. *)
+val node_totals :
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t * Tmest_linalg.Vec.t
+
+(** [simple routing ~loads] is the simple gravity estimate (a demand
+    vector over OD pairs).  Its total equals the measured total ingress
+    traffic. *)
+val simple : Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [generalized routing ~loads] forces demands between peering PoPs
+    (nodes with kind [Peering]) to zero and renormalizes so the total is
+    preserved. *)
+val generalized :
+  Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [fanouts routing ~loads] is the gravity fanout vector
+    [alpha(n,m) = tx(m) / Σ tx] arranged per OD pair. *)
+val fanouts :
+  Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t

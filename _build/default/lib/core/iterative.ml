@@ -1,0 +1,37 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Routing = Tmest_net.Routing
+
+type trace = {
+  estimates : Vec.t array;
+  deltas : float array;
+}
+
+let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?(max_iter = 4000)
+    routing ~load_series ~prior =
+  let k = Mat.rows load_series in
+  if k = 0 then invalid_arg "Iterative.refine: empty load series";
+  if rounds <= 0 then invalid_arg "Iterative.refine: rounds must be positive";
+  let estimates = ref [] and deltas = ref [] in
+  let current = ref (Vec.copy prior) in
+  let finished = ref false in
+  let round = ref 0 in
+  while (not !finished) && !round < rounds do
+    let loads = Mat.row load_series (!round mod k) in
+    let result =
+      Bayes.estimate ~max_iter routing ~loads ~prior:!current ~sigma2
+    in
+    let next = result.Bayes.estimate in
+    let delta = Metrics.relative_l1 ~truth:!current ~estimate:next in
+    estimates := next :: !estimates;
+    deltas := delta :: !deltas;
+    current := next;
+    incr round;
+    if delta < tol then finished := true
+  done;
+  {
+    estimates = Array.of_list (List.rev !estimates);
+    deltas = Array.of_list (List.rev !deltas);
+  }
+
+let final t = t.estimates.(Array.length t.estimates - 1)

@@ -1,0 +1,35 @@
+(** Iterative Bayesian prior refinement (Vaton & Gravey, ITC 2003 — the
+    paper's reference [11]).
+
+    The estimated traffic matrix from one set of link-load measurements
+    is used as the prior for the next estimation round on fresh
+    measurements, and the process repeats until the estimate stops
+    moving.  On slowly varying traffic this lets a cheap initial prior
+    (gravity) bootstrap itself into a far better one. *)
+
+type trace = {
+  estimates : Tmest_linalg.Vec.t array;  (** estimate after each round *)
+  deltas : float array;
+      (** relative L1 change between consecutive rounds *)
+}
+
+(** [refine ?rounds ?tol ?sigma2 routing ~load_series ~prior] runs the
+    refinement over the rows of [load_series] (consecutive snapshots,
+    cycled if [rounds] exceeds the row count).  Each round solves the
+    Bayesian problem {!Bayes.estimate} with the previous round's output
+    as the prior.  Stops early when the relative L1 change drops below
+    [tol] (default 1e-3).  Returns the full trace; the final estimate is
+    [estimates.(Array.length estimates - 1)].
+    @raise Invalid_argument on an empty series. *)
+val refine :
+  ?rounds:int ->
+  ?tol:float ->
+  ?sigma2:float ->
+  ?max_iter:int ->
+  Tmest_net.Routing.t ->
+  load_series:Tmest_linalg.Mat.t ->
+  prior:Tmest_linalg.Vec.t ->
+  trace
+
+(** [final t] is the last estimate of a trace. *)
+val final : trace -> Tmest_linalg.Vec.t

@@ -1,0 +1,23 @@
+module Vec = Tmest_linalg.Vec
+module Scaling = Tmest_opt.Scaling
+module Routing = Tmest_net.Routing
+module Topology = Tmest_net.Topology
+module Odpairs = Tmest_net.Odpairs
+
+let adjust routing ~loads ~prior =
+  Problem.check_dims routing ~loads;
+  let n = Topology.num_nodes routing.Routing.topo in
+  if Array.length prior <> Odpairs.count n then
+    invalid_arg "Kruithof.adjust: prior dimension mismatch";
+  let te, tx = Gravity.node_totals routing ~loads in
+  let prior_m = Odpairs.matrix_of_vector ~nodes:n prior in
+  let balanced, _report =
+    Scaling.ipf prior_m ~row_sums:te ~col_sums:tx
+  in
+  Odpairs.vector_of_matrix ~nodes:n balanced
+
+let krupp ?max_iter ?tol routing ~loads ~prior =
+  Problem.check_dims routing ~loads;
+  let r = Routing.dense routing in
+  let s, _report = Scaling.gis ?max_iter ?tol r loads ~prior in
+  s

@@ -1,0 +1,137 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Eigen = Tmest_linalg.Eigen
+module Rng = Tmest_stats.Rng
+module Dist = Tmest_stats.Dist
+module Desc = Tmest_stats.Desc
+module Simplex = Tmest_opt.Simplex
+module Routing = Tmest_net.Routing
+
+type result = {
+  mean : Vec.t;
+  lower : Vec.t;
+  upper : Vec.t;
+  samples : int;
+  null_dim : int;
+}
+
+(* Draw from the density ∝ exp(-c x) on [0, len].  Reduction to c >= 0
+   by reflection keeps the inverse CDF numerically safe. *)
+let rec truncated_exp rng ~c ~len =
+  if len <= 0. then 0.
+  else if c < 0. then len -. truncated_exp rng ~c:(-.c) ~len
+  else if c *. len < 1e-12 then Rng.float rng *. len
+  else begin
+    let u = Rng.float rng in
+    let tail = exp (-.(c *. len)) in
+    let x = -.log (1. -. (u *. (1. -. tail))) /. c in
+    Stdlib.min x len
+  end
+
+type prior_model = [ `Exponential | `Uniform ]
+
+let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
+    ?(prior_model = `Exponential) routing ~loads ~prior =
+  Problem.check_dims routing ~loads;
+  let p = Routing.num_pairs routing in
+  if Array.length prior <> p then
+    invalid_arg "Mcmc.sample: prior dimension mismatch";
+  if burn_in < 0 || samples <= 0 || thin <= 0 then
+    invalid_arg "Mcmc.sample: bad chain parameters";
+  let scale = Problem.total_traffic routing ~loads in
+  let scale = if scale > 0. then scale else 1. in
+  let t_n = Vec.scale (1. /. scale) loads in
+  let floor_p = 1e-9 in
+  let inv_prior =
+    match prior_model with
+    | `Uniform -> Vec.zeros p
+    | `Exponential ->
+        Vec.map (fun x -> 1. /. Stdlib.max (x /. scale) floor_p) prior
+  in
+  (* Starting point: a vertex blocks every null-space direction (some
+     zero coordinate resists any dense move), so average the optimal
+     vertices of a handful of random linear objectives — each is exactly
+     feasible, and their mean is a relative-interior point the chain can
+     move from. *)
+  let state = Simplex.make (Routing.dense routing) t_n in
+  let start_rng = Rng.create (seed + 77) in
+  let vertex_count = 16 in
+  let start = Vec.zeros p in
+  let found = ref 0 in
+  for _ = 1 to vertex_count do
+    let objective = Vec.init p (fun _ -> Dist.standard_gaussian start_rng) in
+    match Simplex.maximize state objective with
+    | Simplex.Optimal { x; _ } ->
+        Vec.axpy_inplace 1. x start;
+        incr found
+    | Simplex.Unbounded -> ()
+  done;
+  let s =
+    ref
+      (if !found = 0 then Simplex.feasible_point state
+       else Vec.scale (1. /. float_of_int !found) start)
+  in
+  (* Null-space basis of R from the spectrum of its Gram matrix. *)
+  let g = Csr.gram routing.Routing.matrix in
+  let d = Eigen.symmetric g in
+  let top = Stdlib.max d.Eigen.values.(0) 1e-30 in
+  let null_cols = ref [] in
+  Array.iteri
+    (fun j v -> if v < 1e-9 *. top then null_cols := j :: !null_cols)
+    d.Eigen.values;
+  let basis =
+    List.map (fun j -> Mat.col d.Eigen.vectors j) !null_cols
+  in
+  let null_dim = List.length basis in
+  let rng = Rng.create seed in
+  let step () =
+    match basis with
+    | [] -> () (* fully determined system: the posterior is a point *)
+    | _ ->
+        (* Random direction in the null space. *)
+        let dir = Vec.zeros p in
+        List.iter
+          (fun v -> Vec.axpy_inplace (Dist.standard_gaussian rng) v dir)
+          basis;
+        let norm = Vec.norm2 dir in
+        if norm > 1e-12 then begin
+          let dir = Vec.scale (1. /. norm) dir in
+          (* Feasible segment s + theta * dir >= 0. *)
+          let theta_min = ref neg_infinity and theta_max = ref infinity in
+          Array.iteri
+            (fun i di ->
+              if di > 1e-14 then
+                theta_min := Stdlib.max !theta_min (-.(!s.(i)) /. di)
+              else if di < -1e-14 then
+                theta_max := Stdlib.min !theta_max (!s.(i) /. -.di))
+            dir;
+          if Float.is_finite !theta_min && Float.is_finite !theta_max
+             && !theta_max > !theta_min
+          then begin
+            let c = Vec.dot dir inv_prior in
+            let len = !theta_max -. !theta_min in
+            let x = truncated_exp rng ~c ~len in
+            let theta = !theta_min +. x in
+            s := Vec.clamp_nonneg (Vec.axpy theta dir !s)
+          end
+        end
+  in
+  for _ = 1 to burn_in do
+    step ()
+  done;
+  let collected = Mat.zeros samples p in
+  for k = 0 to samples - 1 do
+    for _ = 1 to thin do
+      step ()
+    done;
+    Mat.set_row collected k (Vec.scale scale !s)
+  done;
+  let mean = Vec.zeros p and lower = Vec.zeros p and upper = Vec.zeros p in
+  for j = 0 to p - 1 do
+    let col = Mat.col collected j in
+    mean.(j) <- Desc.mean col;
+    lower.(j) <- Desc.quantile 0.05 col;
+    upper.(j) <- Desc.quantile 0.95 col
+  done;
+  { mean; lower; upper; samples; null_dim }

@@ -1,0 +1,50 @@
+(** Bayesian posterior sampling over the feasible demand polytope
+    (in the spirit of Tebaldi & West 1998, the paper's reference [10]).
+
+    A load snapshot confines the demands to the polytope
+    [{s >= 0 | R s = t}].  With an independent exponential prior
+    [s_p ~ Exp(1 / prior_p)] the posterior is the prior restricted to
+    the polytope; a hit-and-run Markov chain samples it exactly:
+
+    + start at a vertex (from the phase-1 simplex solution);
+    + pick a random direction in the null space of [R];
+    + sample the new point from the 1-D restriction of the prior to
+      the feasible segment (a truncated exponential — closed form).
+
+    Tebaldi & West sample integer Poisson counts; this is the continuous
+    relaxation appropriate for rate data.  Beyond a point estimate
+    (the posterior mean), the sampler yields the per-demand credible
+    intervals the optimization methods cannot provide. *)
+
+type result = {
+  mean : Tmest_linalg.Vec.t;  (** posterior mean (bits/s) *)
+  lower : Tmest_linalg.Vec.t;  (** 5th percentile per demand *)
+  upper : Tmest_linalg.Vec.t;  (** 95th percentile per demand *)
+  samples : int;  (** retained samples *)
+  null_dim : int;  (** dimension of the sampled null space *)
+}
+
+(** How the prior weighs points of the feasible polytope:
+    [`Exponential] is the independent [Exp(1/prior_p)] model (strongly
+    informative: it drags the chain towards low-prior corners);
+    [`Uniform] ignores the prior vector and samples the polytope
+    uniformly — the non-informative posterior whose mean approximates
+    the polytope centroid and whose credible intervals sit inside the
+    worst-case bounds. *)
+type prior_model = [ `Exponential | `Uniform ]
+
+(** [sample ?burn_in ?samples ?thin ?seed ?prior_model routing ~loads
+    ~prior] runs the chain.  Defaults: 500 burn-in steps, 1000 retained
+    samples, thinning 5, exponential prior.
+    @raise Tmest_opt.Simplex.Infeasible if the loads are inconsistent.
+    @raise Invalid_argument on dimension mismatch. *)
+val sample :
+  ?burn_in:int ->
+  ?samples:int ->
+  ?thin:int ->
+  ?seed:int ->
+  ?prior_model:prior_model ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  result

@@ -1,0 +1,86 @@
+module Vec = Tmest_linalg.Vec
+
+let threshold_for_coverage ~coverage truth =
+  if coverage < 0. || coverage > 1. then
+    invalid_arg "Metrics.threshold_for_coverage: coverage out of [0,1]";
+  let sorted = Array.copy truth in
+  Array.sort (fun a b -> compare b a) sorted;
+  let total = Vec.sum sorted in
+  if total <= 0. then (0., 0)
+  else begin
+    let acc = ref 0. and i = ref 0 in
+    while !acc < coverage *. total && !i < Array.length sorted do
+      acc := !acc +. sorted.(!i);
+      incr i
+    done;
+    let count = Stdlib.max 1 !i in
+    (sorted.(count - 1), count)
+  end
+
+let mre_with_threshold ~threshold ~truth ~estimate =
+  if Array.length truth <> Array.length estimate then
+    invalid_arg "Metrics.mre: dimension mismatch";
+  let total = ref 0. and count = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if t >= threshold && t > 0. then begin
+        total := !total +. (abs_float (estimate.(i) -. t) /. t);
+        incr count
+      end)
+    truth;
+  if !count = 0 then 0. else !total /. float_of_int !count
+
+let mre ?(coverage = 0.9) ~truth ~estimate () =
+  let threshold, _ = threshold_for_coverage ~coverage truth in
+  mre_with_threshold ~threshold ~truth ~estimate
+
+let rmse ~truth ~estimate =
+  if Array.length truth <> Array.length estimate then
+    invalid_arg "Metrics.rmse: dimension mismatch";
+  let n = Array.length truth in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iteri
+      (fun i t ->
+        let d = estimate.(i) -. t in
+        acc := !acc +. (d *. d))
+      truth;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let relative_l1 ~truth ~estimate =
+  if Array.length truth <> Array.length estimate then
+    invalid_arg "Metrics.relative_l1: dimension mismatch";
+  let total = Vec.sum truth in
+  if total <= 0. then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iteri (fun i t -> acc := !acc +. abs_float (estimate.(i) -. t)) truth;
+    !acc /. total
+  end
+
+(* Average ranks with midpoint tie handling, then Pearson on the ranks. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let rank_correlation xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Metrics.rank_correlation: dimension mismatch";
+  Tmest_stats.Desc.correlation (ranks xs) (ranks ys)

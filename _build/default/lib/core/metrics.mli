@@ -1,0 +1,43 @@
+(** Estimation-quality metrics (paper Section 5.3.1).
+
+    The headline metric is the mean relative error over the demands that
+    matter for traffic engineering: those above a threshold chosen so the
+    retained demands carry a given share (90 % in the paper) of the total
+    traffic. *)
+
+(** [threshold_for_coverage ~coverage truth] is [(threshold, count)]:
+    the smallest demand value such that demands [>= threshold] carry at
+    least [coverage] of the total volume, and how many demands qualify. *)
+val threshold_for_coverage : coverage:float -> Tmest_linalg.Vec.t -> float * int
+
+(** [mre ?coverage ~truth ~estimate ()] is eq. (8): the mean of
+    [|est - true| / true] over demands above the coverage threshold
+    (default [coverage = 0.9]).  Demands that are exactly zero are never
+    included (relative error undefined). *)
+val mre :
+  ?coverage:float ->
+  truth:Tmest_linalg.Vec.t ->
+  estimate:Tmest_linalg.Vec.t ->
+  unit ->
+  float
+
+(** [mre_with_threshold ~threshold ~truth ~estimate] uses an explicit
+    absolute threshold instead. *)
+val mre_with_threshold :
+  threshold:float ->
+  truth:Tmest_linalg.Vec.t ->
+  estimate:Tmest_linalg.Vec.t ->
+  float
+
+(** [rmse ~truth ~estimate] is the root-mean-square error over all
+    demands. *)
+val rmse : truth:Tmest_linalg.Vec.t -> estimate:Tmest_linalg.Vec.t -> float
+
+(** [relative_l1 ~truth ~estimate] is [Σ|est-true| / Σ true]. *)
+val relative_l1 :
+  truth:Tmest_linalg.Vec.t -> estimate:Tmest_linalg.Vec.t -> float
+
+(** [rank_correlation xs ys] is Spearman's rho — the paper notes that
+    most methods rank the demand sizes accurately even when the values
+    are off. *)
+val rank_correlation : float array -> float array -> float

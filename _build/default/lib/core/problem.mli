@@ -1,0 +1,26 @@
+(** Shared plumbing for the estimation methods. *)
+
+(** The library's log source ("tmest.core"): solvers report
+    non-convergence and numerical trouble here at [Warning] level.
+    Silence or route it with the usual [Logs] machinery. *)
+val log_src : Logs.src
+
+(** [total_traffic routing ~loads] is the total network traffic
+    [Σ te(n)] read off the ingress access-link rows — the [stot] used to
+    normalize estimation problems (Section 3.2.1). *)
+val total_traffic : Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> float
+
+(** [check_dims routing ~loads] validates the load vector length. *)
+val check_dims : Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> unit
+
+(** [gram routing] is the dense [RᵀR] of the routing matrix (cached by
+    callers; recomputed on each call here). *)
+val gram : Tmest_net.Routing.t -> Tmest_linalg.Mat.t
+
+(** [residual_norm routing ~loads estimate] is [‖R s − t‖ / ‖t‖]:
+    how consistent an estimate is with the link measurements. *)
+val residual_norm :
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t ->
+  float

@@ -1,0 +1,87 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Eigen = Tmest_linalg.Eigen
+module Fista = Tmest_opt.Fista
+module Routing = Tmest_net.Routing
+
+type result = {
+  estimate : Vec.t;
+  iterations : int;
+  converged : bool;
+  stacked_rank_gain : int;
+}
+
+let numerical_rank g =
+  let d = Eigen.symmetric g in
+  let top = Stdlib.max d.Eigen.values.(0) 0. in
+  let threshold = 1e-9 *. Stdlib.max top 1e-30 in
+  Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0
+    d.Eigen.values
+
+let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
+  (match configs with [] -> invalid_arg "Routechange.estimate: no configs" | _ -> ());
+  let p = Routing.num_pairs (fst (List.hd configs)) in
+  List.iter
+    (fun (routing, loads) ->
+      if Routing.num_pairs routing <> p then
+        invalid_arg "Routechange.estimate: OD dimension mismatch";
+      Problem.check_dims routing ~loads)
+    configs;
+  (* Normalize every snapshot by its own total so the stacking weights
+     configurations equally. *)
+  let scaled =
+    List.map
+      (fun (routing, loads) ->
+        let s = Problem.total_traffic routing ~loads in
+        let s = if s > 0. then s else 1. in
+        (routing.Routing.matrix, Vec.scale (1. /. s) loads, s))
+      configs
+  in
+  let mean_scale =
+    List.fold_left (fun acc (_, _, s) -> acc +. s) 0. scaled
+    /. float_of_int (List.length scaled)
+  in
+  let gradient x =
+    let g = Vec.zeros p in
+    List.iter
+      (fun (r, t, _) ->
+        Vec.axpy_inplace 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r x) t)) g)
+      scaled;
+    g
+  in
+  let lipschitz =
+    2.
+    *. Fista.lipschitz_of_op ~dim:p (fun v ->
+           let acc = Vec.zeros p in
+           List.iter
+             (fun (r, _, _) -> Vec.axpy_inplace 1. (Csr.tmatvec r (Csr.matvec r v)) acc)
+             scaled;
+           acc)
+  in
+  let res = Fista.solve ~max_iter ~tol ~dim:p ~gradient ~lipschitz () in
+  let stacked_rank_gain =
+    if p > 300 then 0
+    else begin
+      let gram_of r = Csr.gram r in
+      let first = numerical_rank (gram_of (match scaled with (r, _, _) :: _ -> r | [] -> assert false)) in
+      let stacked = Mat.zeros p p in
+      List.iter
+        (fun (r, _, _) ->
+          let g = gram_of r in
+          for i = 0 to p - 1 do
+            for j = 0 to p - 1 do
+              Mat.unsafe_set stacked i j
+                (Mat.unsafe_get stacked i j +. Mat.unsafe_get g i j)
+            done
+          done)
+        scaled;
+      numerical_rank stacked - first
+    end
+  in
+  {
+    estimate = Vec.scale mean_scale res.Fista.x;
+    iterations = res.Fista.iterations;
+    converged = res.Fista.converged;
+    stacked_rank_gain;
+  }

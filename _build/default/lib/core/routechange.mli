@@ -1,0 +1,33 @@
+(** Traffic-matrix inference from deliberate routing changes
+    (Nucci, Cruz, Taft, Diot, INFOCOM 2004 — the paper's reference
+    [14]).
+
+    Changing IGP link weights moves demands onto different paths; link
+    loads observed under several routing configurations constrain the
+    same demand vector through several routing matrices at once:
+
+    {v  min Σ_i ‖R_i s − t_i‖²   subject to  s >= 0  v}
+
+    Each extra configuration adds up to [L] fresh equations, so a demand
+    unidentifiable under one routing can become pinned after a weight
+    change.  Assumes the demands stay constant across the snapshots
+    (take them minutes apart). *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;
+  iterations : int;
+  converged : bool;
+  stacked_rank_gain : int;
+      (** rank of the stacked Gram minus rank of the first
+          configuration's Gram (numerical, informative only) *)
+}
+
+(** [estimate ?max_iter ?tol configs] solves the stacked problem.
+    [configs] pairs each routing with the loads observed under it; all
+    must share the OD-pair dimension.
+    @raise Invalid_argument on an empty list or dimension mismatch. *)
+val estimate :
+  ?max_iter:int ->
+  ?tol:float ->
+  (Tmest_net.Routing.t * Tmest_linalg.Vec.t) list ->
+  result

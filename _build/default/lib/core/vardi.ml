@@ -1,0 +1,72 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Fista = Tmest_opt.Fista
+module Desc = Tmest_stats.Desc
+module Routing = Tmest_net.Routing
+
+type result = {
+  estimate : Vec.t;
+  mean_residual : float;
+  iterations : int;
+}
+
+let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) routing ~load_samples
+    ~sigma_inv2 =
+  if sigma_inv2 < 0. then invalid_arg "Vardi.estimate: negative sigma_inv2";
+  if unit_bps <= 0. then invalid_arg "Vardi.estimate: unit_bps <= 0";
+  let l = Routing.num_links routing and p = Routing.num_pairs routing in
+  if Mat.cols load_samples <> l then
+    invalid_arg "Vardi.estimate: load samples do not match the routing matrix";
+  if Mat.rows load_samples < 2 then
+    invalid_arg "Vardi.estimate: need at least two load samples";
+  (* Work in counting units so Poisson moments are commensurate. *)
+  let k = Mat.rows load_samples in
+  let samples =
+    Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
+  in
+  let t_hat, sigma_hat = Desc.sample_mean_cov samples in
+  let g = Problem.gram routing in
+  let w = sigma_inv2 in
+  (* Hessian/2 = G + w * (G entry-wise squared). *)
+  let h0 =
+    Mat.init p p (fun i j ->
+        let gij = Mat.unsafe_get g i j in
+        gij +. (w *. gij *. gij))
+  in
+  (* Linear term/2 = Rᵀ t̂ + w * v with v_p = r_pᵀ Σ̂ r_p. *)
+  let rt = Csr.transpose routing.Routing.matrix in
+  let v = Vec.zeros p in
+  for pair = 0 to p - 1 do
+    let links = Csr.row_nonzeros rt pair in
+    let acc = ref 0. in
+    List.iter
+      (fun (i, ri) ->
+        List.iter
+          (fun (j, rj) -> acc := !acc +. (ri *. rj *. Mat.get sigma_hat i j))
+          links)
+      links;
+    v.(pair) <- !acc
+  done;
+  let lin = Vec.axpy w v (Csr.tmatvec routing.Routing.matrix t_hat) in
+  let gradient x = Vec.scale 2. (Vec.sub (Mat.matvec h0 x) lin) in
+  let lipschitz = 2. *. Fista.lipschitz_of_gram h0 in
+  let res =
+    Fista.solve ~max_iter ~tol:1e-12 ~dim:p ~gradient ~lipschitz ()
+  in
+  let lambda = res.Fista.x in
+  let pred = Csr.matvec routing.Routing.matrix lambda in
+  let denom = Vec.norm2 t_hat in
+  let mean_residual =
+    if denom = 0. then 0. else Vec.dist2 pred t_hat /. denom
+  in
+  if mean_residual > 0.5 then
+    Logs.warn ~src:Problem.log_src (fun m ->
+        m "Vardi.estimate: first-moment residual %.2f — the covariance \
+           term dominates; the Poisson assumption is likely violated \
+           (sigma_inv2 = %g)" mean_residual sigma_inv2);
+  {
+    estimate = Vec.scale unit_bps lambda;
+    mean_residual;
+    iterations = res.Fista.iterations;
+  }

@@ -1,0 +1,35 @@
+(** Vardi's Poissonian moment-matching estimator (Section 4.2.2).
+
+    Under [s_p ~ Poisson(λ_p)], the link loads satisfy [E t = R λ] and
+    [Cov t = R diag(λ) Rᵀ].  Given a time series of load measurements,
+    the sample mean and covariance are matched to these expressions in
+    least squares:
+
+    {v min ‖R λ − t̂‖² + σ⁻² ‖R diag(λ) Rᵀ − Σ̂‖_F²,   λ >= 0 v}
+
+    Both terms are quadratic in [λ] (the Frobenius term has Hessian
+    [(RᵀR) ∘ (RᵀR)], the entry-wise square of the Gram matrix), so the
+    problem is a non-negative quadratic program solved by accelerated
+    projected gradient.  [σ⁻² ∈ (0, 1]] expresses faith in the Poisson
+    assumption ([σ⁻² = 1] trusts it fully).
+
+    Traffic is rescaled internally so the *counting units* are
+    explicit: the Poisson mean-variance link only holds in the unit the
+    traffic is counted in, and [unit_bps] (default 1 Mbps) sets it. *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;  (** estimated mean rates, bits/s *)
+  mean_residual : float;  (** ‖Rλ − t̂‖ / ‖t̂‖ at the solution *)
+  iterations : int;
+}
+
+(** [estimate ?max_iter ?unit_bps routing ~load_samples ~sigma_inv2]
+    runs the estimator on a [K x L] matrix of load samples.
+    @raise Invalid_argument if [sigma_inv2 < 0] or dimensions differ. *)
+val estimate :
+  ?max_iter:int ->
+  ?unit_bps:float ->
+  Tmest_net.Routing.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  sigma_inv2:float ->
+  result

@@ -1,0 +1,73 @@
+module Vec = Tmest_linalg.Vec
+module Simplex = Tmest_opt.Simplex
+module Routing = Tmest_net.Routing
+
+type bounds = {
+  lower : Vec.t;
+  upper : Vec.t;
+}
+
+let trivial_upper routing ~loads =
+  Problem.check_dims routing ~loads;
+  let p = Routing.num_pairs routing in
+  let upper = Vec.create p infinity in
+  (* A link bounds a demand only when the demand crosses it *whole*:
+     with fractional (ECMP) routing, t_l >= frac * s_p gives s_p <=
+     t_l / frac, so only coefficient-1 rows yield t_l itself.  Access
+     links always qualify. *)
+  let rt = Tmest_linalg.Csr.transpose routing.Routing.matrix in
+  for pair = 0 to p - 1 do
+    Tmest_linalg.Csr.iter_row rt pair (fun link coeff ->
+        if coeff >= 1. -. 1e-9 then
+          upper.(pair) <- Stdlib.min upper.(pair) loads.(link))
+  done;
+  upper
+
+let bounds ?pairs routing ~loads =
+  Problem.check_dims routing ~loads;
+  let p = Routing.num_pairs routing in
+  let scale = Problem.total_traffic routing ~loads in
+  let scale = if scale > 0. then scale else 1. in
+  let r = Routing.dense routing in
+  let t = Vec.scale (1. /. scale) loads in
+  let state = Simplex.make r t in
+  let selected =
+    match pairs with
+    | None -> List.init p (fun i -> i)
+    | Some l ->
+        List.iter
+          (fun i ->
+            if i < 0 || i >= p then invalid_arg "Wcb.bounds: pair out of range")
+          l;
+        l
+  in
+  let lower = Vec.zeros p in
+  let upper = trivial_upper routing ~loads in
+  let objective = Vec.zeros p in
+  List.iter
+    (fun pair ->
+      objective.(pair) <- 1.;
+      (match Simplex.maximize state objective with
+      | Simplex.Optimal { objective = v; _ } ->
+          upper.(pair) <- Stdlib.min upper.(pair) (v *. scale)
+      | Simplex.Unbounded -> () (* keep the trivial bound *));
+      (match Simplex.minimize state objective with
+      | Simplex.Optimal { objective = v; _ } ->
+          lower.(pair) <- Stdlib.max 0. (v *. scale)
+      | Simplex.Unbounded -> assert false (* s >= 0 bounds it below *));
+      objective.(pair) <- 0.)
+    selected;
+  { lower; upper }
+
+let midpoint b = Vec.scale 0.5 (Vec.add b.lower b.upper)
+let width b = Vec.sub b.upper b.lower
+
+let contains b s =
+  let eps = 1e-6 in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      let tol = eps *. (1. +. abs_float x) in
+      if x < b.lower.(i) -. tol || x > b.upper.(i) +. tol then ok := false)
+    s;
+  !ok

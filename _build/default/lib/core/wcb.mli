@@ -1,0 +1,42 @@
+(** Worst-case bounds on demands (Section 4.3.1).
+
+    With no statistical assumptions, a load snapshot [t] confines the
+    demand vector to the polytope [{s >= 0 | R s = t}]; per-demand upper
+    and lower bounds come from maximizing / minimizing [s_p] over it —
+    two linear programs per demand, all sharing one feasible region, so
+    the simplex solver's warm-started re-optimization carries most of
+    the work.  The bound midpoints make a surprisingly good prior
+    (Fig. 9 / 15). *)
+
+type bounds = {
+  lower : Tmest_linalg.Vec.t;
+  upper : Tmest_linalg.Vec.t;
+}
+
+(** [bounds ?pairs routing ~loads] computes the per-demand bounds.
+    [pairs] restricts the computation to a subset of OD pairs (bounds of
+    the others are reported as [0] and the trivial path-minimum upper
+    bound).
+    @raise Tmest_opt.Simplex.Infeasible if the loads are inconsistent. *)
+val bounds :
+  ?pairs:int list ->
+  Tmest_net.Routing.t ->
+  loads:Tmest_linalg.Vec.t ->
+  bounds
+
+(** [trivial_upper routing ~loads] is the per-demand upper bound
+    [min over links on the path of t_l] — the baseline any useful LP
+    bound must beat. *)
+val trivial_upper :
+  Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [midpoint b] is the prior [(lower + upper) / 2]. *)
+val midpoint : bounds -> Tmest_linalg.Vec.t
+
+(** [width b] is [upper - lower] per demand (the uncertainty). *)
+val width : bounds -> Tmest_linalg.Vec.t
+
+(** [contains b s] checks [lower <= s <= upper] element-wise (within
+    [1e-6] relative tolerance) — true for the ground truth by
+    construction. *)
+val contains : bounds -> Tmest_linalg.Vec.t -> bool

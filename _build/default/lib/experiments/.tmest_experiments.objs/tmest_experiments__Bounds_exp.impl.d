@@ -1,0 +1,1 @@
+lib/experiments/bounds_exp.ml: Array Ctx Lazy List Report Stdlib Tmest_core Tmest_linalg Tmest_traffic

@@ -1,0 +1,1 @@
+lib/experiments/bounds_exp.mli: Ctx Report

@@ -1,0 +1,1 @@
+lib/experiments/combined_exp.ml: Array Ctx Lazy List Report Tmest_core Tmest_traffic

@@ -1,0 +1,1 @@
+lib/experiments/combined_exp.mli: Ctx Report

@@ -1,0 +1,1 @@
+lib/experiments/ctx.ml: Array Lazy Stdlib Tmest_core Tmest_linalg Tmest_traffic

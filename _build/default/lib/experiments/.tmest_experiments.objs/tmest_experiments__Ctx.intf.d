@@ -1,0 +1,1 @@
+lib/experiments/ctx.mli: Lazy Tmest_core Tmest_linalg Tmest_traffic

@@ -1,0 +1,1 @@
+lib/experiments/data_analysis.ml: Array Ctx List Printf Report Stdlib Tmest_core Tmest_linalg Tmest_net Tmest_stats Tmest_traffic

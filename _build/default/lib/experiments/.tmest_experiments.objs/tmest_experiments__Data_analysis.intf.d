@@ -1,0 +1,1 @@
+lib/experiments/data_analysis.mli: Ctx Report

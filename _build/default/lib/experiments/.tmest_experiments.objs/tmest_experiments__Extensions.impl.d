@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Array Ctx Float Lazy List Printf Regularized_exp Report Stdlib Tmest_core Tmest_linalg Tmest_net Tmest_netflow Tmest_stats Tmest_te Tmest_traffic

@@ -1,0 +1,1 @@
+lib/experiments/fanout_exp.ml: Array Ctx List Printf Report Stdlib Tmest_core Tmest_linalg Tmest_traffic

@@ -1,0 +1,1 @@
+lib/experiments/fanout_exp.mli: Ctx Report

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Bounds_exp Combined_exp Ctx Data_analysis Extensions Fanout_exp List Regularized_exp Report Summary_exp Vardi_exp

@@ -1,0 +1,1 @@
+lib/experiments/regularized_exp.mli: Ctx Report

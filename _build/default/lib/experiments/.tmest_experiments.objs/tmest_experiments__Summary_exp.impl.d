@@ -1,0 +1,1 @@
+lib/experiments/summary_exp.ml: Ctx Lazy List Regularized_exp Report Stdlib Tmest_core Tmest_linalg Tmest_traffic

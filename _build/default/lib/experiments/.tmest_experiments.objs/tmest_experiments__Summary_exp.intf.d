@@ -1,0 +1,1 @@
+lib/experiments/summary_exp.mli: Ctx Report

@@ -1,0 +1,1 @@
+lib/experiments/vardi_exp.mli: Ctx Report

@@ -1,0 +1,83 @@
+module Vec = Tmest_linalg.Vec
+module Wcb = Tmest_core.Wcb
+module Metrics = Tmest_core.Metrics
+
+let fig8 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let b = Lazy.force net.Ctx.wcb in
+        let truth = net.Ctx.truth in
+        let order = Array.init (Array.length truth) (fun i -> i) in
+        Array.sort (fun a b -> compare truth.(a) truth.(b)) order;
+        let lower =
+          Array.map (fun p -> (truth.(p), b.Wcb.lower.(p))) order
+        in
+        let upper =
+          Array.map (fun p -> (truth.(p), b.Wcb.upper.(p))) order
+        in
+        (* Bound quality counts. *)
+        let trivial =
+          Wcb.trivial_upper net.Ctx.dataset.Tmest_traffic.Dataset.routing
+            ~loads:net.Ctx.loads
+        in
+        let nontrivial = ref 0 and exact = ref 0 in
+        let total = Array.length truth in
+        Array.iteri
+          (fun p u ->
+            let tol = 1e-6 *. (1. +. truth.(p)) in
+            if u < trivial.(p) -. tol || b.Wcb.lower.(p) > tol then
+              incr nontrivial;
+            if u -. b.Wcb.lower.(p) <= 1e-6 *. (1. +. u) then incr exact)
+          b.Wcb.upper;
+        let threshold, _ = Metrics.threshold_for_coverage ~coverage:0.9 truth in
+        let mean_rel_width =
+          let acc = ref 0. and count = ref 0 in
+          Array.iteri
+            (fun p t ->
+              if t >= threshold && t > 0. then begin
+                acc := !acc +. ((b.Wcb.upper.(p) -. b.Wcb.lower.(p)) /. t);
+                incr count
+              end)
+            truth;
+          !acc /. float_of_int (Stdlib.max 1 !count)
+        in
+        [
+          Report.series (net.Ctx.label ^ " lower bound vs actual") lower;
+          Report.series (net.Ctx.label ^ " upper bound vs actual") upper;
+          Report.note
+            "%s: %d/%d bounds non-trivial, %d measured exactly; mean \
+             relative width on top demands %.2f"
+            net.Ctx.label !nontrivial total !exact mean_rel_width;
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig8";
+    title = "Worst-case bounds on demands";
+    items;
+  }
+
+let fig9 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let prior = Lazy.force net.Ctx.wcb_prior in
+        let truth = net.Ctx.truth in
+        let order = Array.init (Array.length truth) (fun i -> i) in
+        Array.sort (fun a b -> compare truth.(a) truth.(b)) order;
+        let points = Array.map (fun p -> (truth.(p), prior.(p))) order in
+        [
+          Report.series (net.Ctx.label ^ " WCB prior vs actual") points;
+          Report.note "%s: WCB prior MRE %.3f (rank correlation %.3f)"
+            net.Ctx.label
+            (Metrics.mre ~truth ~estimate:prior ())
+            (Metrics.rank_correlation truth prior);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig9";
+    title = "Priors obtained from worst-case bounds";
+    items;
+  }

@@ -1,0 +1,7 @@
+(** Worst-case-bound experiments (Section 5.3.2):
+
+    - Fig. 8: per-demand LP bounds vs actual demands
+    - Fig. 9: the bound-midpoint prior vs actual demands *)
+
+val fig8 : Ctx.t -> Report.t
+val fig9 : Ctx.t -> Report.t

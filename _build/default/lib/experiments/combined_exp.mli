@@ -1,0 +1,6 @@
+(** Tomography + direct measurement experiment (Section 5.3.6, Fig. 16):
+    MRE of the Entropy method as a function of the number of directly
+    measured demands on the European subnetwork, with the greedy
+    (exhaustive-search) and largest-demand-first selection policies. *)
+
+val fig16 : ?steps:int -> Ctx.t -> Report.t

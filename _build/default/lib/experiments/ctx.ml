@@ -1,0 +1,69 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Dataset = Tmest_traffic.Dataset
+module Spec = Tmest_traffic.Spec
+
+type network = {
+  label : string;
+  dataset : Dataset.t;
+  snapshot_k : int;
+  truth : Vec.t;
+  loads : Vec.t;
+  gravity_prior : Vec.t Lazy.t;
+  wcb : Tmest_core.Wcb.bounds Lazy.t;
+  wcb_prior : Vec.t Lazy.t;
+}
+
+type t = {
+  europe : network;
+  america : network;
+  fast : bool;
+}
+
+let make_network label dataset =
+  let spec = dataset.Dataset.spec in
+  let snapshot_k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+  let truth = Dataset.demand_at dataset snapshot_k in
+  let loads = Dataset.link_loads_at dataset snapshot_k in
+  let routing = dataset.Dataset.routing in
+  let gravity_prior = lazy (Tmest_core.Gravity.simple routing ~loads) in
+  let wcb = lazy (Tmest_core.Wcb.bounds routing ~loads) in
+  let wcb_prior = lazy (Tmest_core.Wcb.midpoint (Lazy.force wcb)) in
+  { label; dataset; snapshot_k; truth; loads; gravity_prior; wcb; wcb_prior }
+
+let create ?(fast = false) () =
+  if fast then begin
+    let eu =
+      Dataset.generate
+        { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
+          Spec.name = "europe-fast" }
+    in
+    let us =
+      Dataset.generate
+        { (Spec.scaled ~nodes:8 ~directed_links:44 Spec.america) with
+          Spec.name = "america-fast" }
+    in
+    {
+      europe = make_network "Europe" eu;
+      america = make_network "America" us;
+      fast = true;
+    }
+  end
+  else
+    {
+      europe = make_network "Europe" (Dataset.europe ());
+      america = make_network "America" (Dataset.america ());
+      fast = false;
+    }
+
+let networks t = [ t.europe; t.america ]
+
+let busy_loads net ~window =
+  let d = net.dataset in
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let window = Stdlib.min window (Array.length ks) in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  Mat.init window (Dataset.num_links d) (fun i j ->
+      (Dataset.link_loads_at d ks.(i)).(j))
+
+let busy_mean net = Dataset.busy_mean_demand net.dataset

@@ -1,0 +1,38 @@
+(** Shared experiment context: the two datasets plus cached derived
+    artifacts (priors, worst-case bounds, busy-window load matrices)
+    that several experiments reuse. *)
+
+type network = {
+  label : string;
+  dataset : Tmest_traffic.Dataset.t;
+  snapshot_k : int;  (** the busy-period snapshot the paper-style
+                         single-measurement evaluations use *)
+  truth : Tmest_linalg.Vec.t;  (** demand vector at [snapshot_k] *)
+  loads : Tmest_linalg.Vec.t;  (** [R s] at [snapshot_k] *)
+  gravity_prior : Tmest_linalg.Vec.t Lazy.t;
+  wcb : Tmest_core.Wcb.bounds Lazy.t;
+  wcb_prior : Tmest_linalg.Vec.t Lazy.t;
+}
+
+type t = {
+  europe : network;
+  america : network;
+  fast : bool;  (** shrink sweeps for quick runs (tests) *)
+}
+
+(** [create ?fast ()] builds the paper-scale context ([fast = false],
+    default) or a reduced one on small networks with shorter sweeps
+    ([fast = true]). *)
+val create : ?fast:bool -> unit -> t
+
+(** [networks t] is [[europe; america]] (evaluation order used in all
+    two-network tables). *)
+val networks : t -> network list
+
+(** [busy_loads net ~window] is the [window x L] matrix of the last
+    [window] busy-period link-load samples. *)
+val busy_loads : network -> window:int -> Tmest_linalg.Mat.t
+
+(** [busy_mean net] is the busy-period mean demand (reference for
+    time-series methods). *)
+val busy_mean : network -> Tmest_linalg.Vec.t

@@ -1,0 +1,278 @@
+module Vec = Tmest_linalg.Vec
+module Desc = Tmest_stats.Desc
+module Regress = Tmest_stats.Regress
+module Dataset = Tmest_traffic.Dataset
+module Spec = Tmest_traffic.Spec
+module Odpairs = Tmest_net.Odpairs
+module Topology = Tmest_net.Topology
+module Gravity = Tmest_core.Gravity
+module Metrics = Tmest_core.Metrics
+
+let fig1 ctx =
+  let nets = Ctx.networks ctx in
+  let all_totals =
+    List.map (fun n -> Dataset.total_series n.Ctx.dataset) nets
+  in
+  let global_max =
+    List.fold_left
+      (fun acc ts -> Array.fold_left Stdlib.max acc ts)
+      0. all_totals
+  in
+  let items =
+    List.map2
+      (fun net totals ->
+        let samples = Array.length totals in
+        let points =
+          Array.mapi
+            (fun k v ->
+              (24. *. float_of_int k /. float_of_int samples, v /. global_max))
+            totals
+        in
+        Report.series (net.Ctx.label ^ " normalized total") points)
+      nets all_totals
+  in
+  let busy =
+    let d = (List.hd nets).Ctx.dataset in
+    let spec = d.Dataset.spec in
+    let samples = float_of_int spec.Spec.samples in
+    Report.note "shared busy period: %.1f-%.1f GMT (%d samples)"
+      (24. *. float_of_int spec.Spec.busy_start /. samples)
+      (24.
+      *. float_of_int (spec.Spec.busy_start + spec.Spec.busy_len)
+      /. samples)
+      spec.Spec.busy_len
+  in
+  {
+    Report.id = "fig1";
+    title = "Total network traffic over time (diurnal cycles)";
+    items = items @ [ busy ];
+  }
+
+let fig2 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let mean = Ctx.busy_mean net in
+        let shares = Desc.cumulative_share mean in
+        let n = Array.length shares in
+        let points =
+          Array.mapi
+            (fun i s -> (100. *. float_of_int (i + 1) /. float_of_int n, s))
+            shares
+        in
+        [
+          Report.series (net.Ctx.label ^ " cumulative share") points;
+          Report.note "%s: top 20%% of demands carry %.1f%% of traffic"
+            net.Ctx.label
+            (100. *. Desc.top_share ~fraction:0.2 mean);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig2";
+    title = "Cumulative demand distributions";
+    items;
+  }
+
+let fig3 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let d = net.Ctx.dataset in
+        let n = Dataset.num_nodes d in
+        let mean = Ctx.busy_mean net in
+        let total = Vec.sum mean in
+        let order = Array.init (Array.length mean) (fun i -> i) in
+        Array.sort (fun a b -> compare mean.(b) mean.(a)) order;
+        let name i = d.Dataset.topo.Topology.nodes.(i).Topology.name in
+        let rows =
+          List.init 10 (fun rank ->
+              let p = order.(rank) in
+              let src, dst = Odpairs.pair ~nodes:n p in
+              ( Printf.sprintf "%s %s->%s" net.Ctx.label (name src) (name dst),
+                [| mean.(p) /. total *. 100. |] ))
+        in
+        [
+          Report.table
+            ~columns:[ "largest demands"; "% of total" ]
+            rows;
+          Report.note
+            "%s: %d of %d node pairs carry 50%% of the traffic" net.Ctx.label
+            (let acc = ref 0. and k = ref 0 in
+             while !acc < 0.5 *. total do
+               acc := !acc +. mean.(order.(!k));
+               incr k
+             done;
+             !k)
+            (Array.length mean);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig3";
+    title = "Spatial distribution of traffic (demand heat map)";
+    items;
+  }
+
+(* Top source PoPs and their largest demands, shared by fig4/fig5. *)
+let top_sources net count =
+  let d = net.Ctx.dataset in
+  let n = Dataset.num_nodes d in
+  let mean = Ctx.busy_mean net in
+  let te = Array.make n 0. in
+  Odpairs.iter ~nodes:n (fun p src _ -> te.(src) <- te.(src) +. mean.(p));
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare te.(b) te.(a)) order;
+  Array.to_list (Array.sub order 0 count)
+  |> List.map (fun src ->
+         (* Largest demand out of this source. *)
+         let best = ref (-1) in
+         Odpairs.iter ~nodes:n (fun p s _ ->
+             if s = src && (!best < 0 || mean.(p) > mean.(!best)) then
+               best := p);
+         (src, !best))
+
+let relative_std xs =
+  let m = Desc.mean xs in
+  if m <= 0. then 0. else Desc.std xs /. m
+
+let demand_and_fanout_series net pair =
+  let d = net.Ctx.dataset in
+  let k = Dataset.num_samples d in
+  let demand = Dataset.demand_series d pair in
+  let fanout =
+    Array.init k (fun t -> (Dataset.fanouts_at d t).(pair))
+  in
+  (demand, fanout)
+
+let fig_4_5 ~fanouts ctx =
+  let net = ctx.Ctx.america in
+  let d = net.Ctx.dataset in
+  let n = Dataset.num_nodes d in
+  let name i = d.Dataset.topo.Topology.nodes.(i).Topology.name in
+  let sources = top_sources net 4 in
+  let items =
+    List.concat_map
+      (fun (src, pair) ->
+        let demand, fanout = demand_and_fanout_series net pair in
+        let ys = if fanouts then fanout else demand in
+        let peak = Array.fold_left Stdlib.max 1e-30 ys in
+        let points =
+          Array.mapi
+            (fun k v ->
+              ( 24. *. float_of_int k /. float_of_int (Array.length ys),
+                v /. peak ))
+            ys
+        in
+        let _, dst = Odpairs.pair ~nodes:n pair in
+        [
+          Report.series
+            (Printf.sprintf "%s->%s %s" (name src) (name dst)
+               (if fanouts then "fanout" else "demand"))
+            points;
+          Report.note "%s->%s relative std: demand %.3f, fanout %.3f"
+            (name src) (name dst) (relative_std demand) (relative_std fanout);
+        ])
+      sources
+  in
+  if fanouts then
+    {
+      Report.id = "fig5";
+      title =
+        "Fanouts of the largest demands from the top-4 American PoPs \
+         (stability)";
+      items;
+    }
+  else
+    {
+      Report.id = "fig4";
+      title = "Largest demands from the top-4 American PoPs over 24 h";
+      items;
+    }
+
+let fig4 ctx = fig_4_5 ~fanouts:false ctx
+let fig5 ctx = fig_4_5 ~fanouts:true ctx
+
+let fig6 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let d = net.Ctx.dataset in
+        let busy = Dataset.busy_samples d in
+        let p = Dataset.num_pairs d in
+        let scale = d.Dataset.spec.Spec.peak_total_bps in
+        let means = Array.make p 0. and vars = Array.make p 0. in
+        for pair = 0 to p - 1 do
+          let xs =
+            Array.of_list
+              (List.map (fun k -> (Dataset.demand_at d k).(pair) /. scale) busy)
+          in
+          means.(pair) <- Desc.mean xs;
+          vars.(pair) <- Desc.variance xs
+        done;
+        let fit = Regress.power_law means vars in
+        (* Log-log scatter, sorted by mean, downsampled implicitly by
+           the report printer. *)
+        let pairs =
+          Array.of_list
+            (List.filter
+               (fun (m, v) -> m > 0. && v > 0.)
+               (Array.to_list (Array.mapi (fun i m -> (m, vars.(i))) means)))
+        in
+        Array.sort compare pairs;
+        let points = Array.map (fun (m, v) -> (log10 m, log10 v)) pairs in
+        [
+          Report.series (net.Ctx.label ^ " log10 mean vs log10 var") points;
+          Report.note
+            "%s fit: Var = %.3g * mean^%.2f  (r2 = %.3f; paper: c = %s)"
+            net.Ctx.label fit.Regress.phi fit.Regress.c fit.Regress.r2
+            (if net.Ctx.label = "Europe" then "1.6" else "1.5");
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig6";
+    title = "Demand mean-variance relationship (generalized scaling law)";
+    items;
+  }
+
+let fig7 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let routing = net.Ctx.dataset.Dataset.routing in
+        let est = Gravity.simple routing ~loads:net.Ctx.loads in
+        let truth = net.Ctx.truth in
+        let order = Array.init (Array.length truth) (fun i -> i) in
+        Array.sort (fun a b -> compare truth.(b) truth.(a)) order;
+        let top_count = Stdlib.max 1 (Array.length truth / 10) in
+        let ratio_top =
+          let acc = ref 0. in
+          for i = 0 to top_count - 1 do
+            let p = order.(i) in
+            acc := !acc +. (est.(p) /. Stdlib.max truth.(p) 1.)
+          done;
+          !acc /. float_of_int top_count
+        in
+        let points =
+          Array.map
+            (fun p -> (truth.(p), est.(p)))
+            (Array.of_list (List.rev (Array.to_list order)))
+        in
+        [
+          Report.series (net.Ctx.label ^ " actual vs gravity estimate") points;
+          Report.note
+            "%s: MRE %.3f, rank correlation %.3f, top-decile est/actual %.2f%s"
+            net.Ctx.label
+            (Metrics.mre ~truth ~estimate:est ())
+            (Metrics.rank_correlation truth est)
+            ratio_top
+            (if ratio_top < 0.9 then " (underestimates large demands)" else "");
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig7";
+    title = "Real demands vs simple gravity model estimates";
+    items;
+  }

@@ -1,0 +1,17 @@
+(** Reproductions of the paper's data-analysis figures (Section 5.2):
+
+    - Fig. 1: normalized total traffic over time, both subnetworks
+    - Fig. 2: cumulative demand distribution
+    - Fig. 3: spatial demand distribution
+    - Fig. 4: largest demands of the top source PoPs over 24 h
+    - Fig. 5: the corresponding fanouts (stability comparison)
+    - Fig. 6: demand mean-variance relationship and power-law fit
+    - Fig. 7: gravity-model estimates vs actual demands *)
+
+val fig1 : Ctx.t -> Report.t
+val fig2 : Ctx.t -> Report.t
+val fig3 : Ctx.t -> Report.t
+val fig4 : Ctx.t -> Report.t
+val fig5 : Ctx.t -> Report.t
+val fig6 : Ctx.t -> Report.t
+val fig7 : Ctx.t -> Report.t

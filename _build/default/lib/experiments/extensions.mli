@@ -1,0 +1,57 @@
+(** Extension experiments beyond the paper's evaluation — each one
+    addresses an item the paper explicitly leaves open (Section 6) or a
+    design choice this reproduction makes:
+
+    - [ext1]: prior ablation — uniform vs gravity vs worst-case-bound
+      priors for the regularized estimators (design-choice ablation).
+    - [ext2]: measurement errors — per-link multiplicative SNMP error
+      and stale samples from lost polls ("our data set does not contain
+      measurement errors ... we have not evaluated the effect of such
+      events").
+    - [ext3]: component failures — estimation with a stale routing
+      matrix while the network has re-routed around a failed link.
+    - [ext4]: the generalized gravity model with peering PoPs
+      (described in Section 4.1 but left without evaluation).
+    - [ext5]: Cao et al.'s generalized-linear-model estimator, the
+      paper's declared missing method, swept over its parameters. *)
+
+val ext1 : Ctx.t -> Report.t
+val ext2 : Ctx.t -> Report.t
+val ext3 : Ctx.t -> Report.t
+val ext4 : Ctx.t -> Report.t
+val ext5 : Ctx.t -> Report.t
+
+(** [ext6]: NetFlow variance distortion — quantifies the paper's
+    Section-5 argument that flow-lifetime aggregation destroys the
+    intra-flow variability that variance-based estimators need, using
+    the flow-level simulator ({!Tmest_netflow}). *)
+val ext6 : Ctx.t -> Report.t
+
+(** [ext7]: iterative Bayesian prior refinement (Vaton & Gravey, the
+    paper's reference [11]) across consecutive snapshots. *)
+val ext7 : Ctx.t -> Report.t
+
+(** [ext8]: single-path vs fractional ECMP routing matrices — the
+    paper's Section 3.1 remark about fractional [R], evaluated. *)
+val ext8 : Ctx.t -> Report.t
+
+(** [ext9]: route-change inference (Nucci et al., the paper's reference
+    [14]) — stacking load snapshots from several routing configurations
+    over the same demands. *)
+val ext9 : Ctx.t -> Report.t
+
+(** [ext10]: Bayesian posterior sampling over the feasible polytope
+    (Tebaldi & West, the paper's reference [10]) — point accuracy and
+    credible intervals. *)
+val ext10 : Ctx.t -> Report.t
+
+(** [ext11]: traffic engineering with estimated traffic matrices
+    (Roughan, Thorup & Zhang, the paper's reference [4]): IGP weight
+    optimization driven by the true vs the estimated TM, scored under
+    the true demands. *)
+val ext11 : Ctx.t -> Report.t
+
+(** [ext12]: estimation quality across the diurnal cycle — the paper
+    evaluates only the busy hour; this sweeps the entropy estimator over
+    the whole 24 h. *)
+val ext12 : Ctx.t -> Report.t

@@ -1,0 +1,8 @@
+(** Fanout-estimation experiments (Section 5.3.3):
+
+    - Fig. 10: fanout estimates vs window-average demands for window
+      lengths 1, 3 and 10 (American subnetwork)
+    - Fig. 11: fanout-estimation MRE as a function of window length *)
+
+val fig10 : Ctx.t -> Report.t
+val fig11 : Ctx.t -> Report.t

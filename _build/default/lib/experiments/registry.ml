@@ -1,0 +1,150 @@
+type entry = {
+  id : string;
+  title : string;
+  run : Ctx.t -> Report.t;
+}
+
+let all =
+  [
+    {
+      id = "fig1";
+      title = "Total network traffic over time";
+      run = Data_analysis.fig1;
+    };
+    {
+      id = "fig2";
+      title = "Cumulative demand distributions";
+      run = Data_analysis.fig2;
+    };
+    {
+      id = "fig3";
+      title = "Spatial distribution of traffic";
+      run = Data_analysis.fig3;
+    };
+    {
+      id = "fig4";
+      title = "Largest demands of the top-4 American PoPs";
+      run = Data_analysis.fig4;
+    };
+    {
+      id = "fig5";
+      title = "Fanouts of the largest demands (stability)";
+      run = Data_analysis.fig5;
+    };
+    {
+      id = "fig6";
+      title = "Mean-variance relationship";
+      run = Data_analysis.fig6;
+    };
+    {
+      id = "fig7";
+      title = "Gravity model vs actual demands";
+      run = Data_analysis.fig7;
+    };
+    { id = "fig8"; title = "Worst-case bounds"; run = Bounds_exp.fig8 };
+    { id = "fig9"; title = "Worst-case bound priors"; run = Bounds_exp.fig9 };
+    {
+      id = "fig10";
+      title = "Fanout estimation scatter (America)";
+      run = Fanout_exp.fig10;
+    };
+    {
+      id = "fig11";
+      title = "Fanout MRE vs window length";
+      run = Fanout_exp.fig11;
+    };
+    { id = "tab1"; title = "Vardi MRE, K = 50"; run = Vardi_exp.tab1 };
+    {
+      id = "fig12";
+      title = "Vardi MRE vs window size on synthetic Poisson TMs";
+      run = Vardi_exp.fig12;
+    };
+    {
+      id = "fig13";
+      title = "Bayes/Entropy MRE vs regularization";
+      run = Regularized_exp.fig13;
+    };
+    {
+      id = "fig14";
+      title = "Actual vs estimated (America, reg = 1000)";
+      run = Regularized_exp.fig14;
+    };
+    {
+      id = "fig15";
+      title = "Bayes MRE vs regularization: gravity vs WCB prior";
+      run = Regularized_exp.fig15;
+    };
+    {
+      id = "fig16";
+      title = "Entropy MRE vs number of measured demands";
+      run = (fun ctx -> Combined_exp.fig16 ctx);
+    };
+    {
+      id = "tab2";
+      title = "Best MRE per method (summary)";
+      run = Summary_exp.tab2;
+    };
+    {
+      id = "ext1";
+      title = "Prior ablation for regularized methods (extension)";
+      run = Extensions.ext1;
+    };
+    {
+      id = "ext2";
+      title = "Measurement-error sensitivity (extension)";
+      run = Extensions.ext2;
+    };
+    {
+      id = "ext3";
+      title = "Component failures and stale routing (extension)";
+      run = Extensions.ext3;
+    };
+    {
+      id = "ext4";
+      title = "Generalized gravity with peering PoPs (extension)";
+      run = Extensions.ext4;
+    };
+    {
+      id = "ext5";
+      title = "Cao et al. GLM parameter sweep (extension)";
+      run = Extensions.ext5;
+    };
+    {
+      id = "ext6";
+      title = "NetFlow variance distortion (extension)";
+      run = Extensions.ext6;
+    };
+    {
+      id = "ext7";
+      title = "Iterative Bayesian prior refinement (extension)";
+      run = Extensions.ext7;
+    };
+    {
+      id = "ext8";
+      title = "ECMP vs single-path routing matrices (extension)";
+      run = Extensions.ext8;
+    };
+    {
+      id = "ext9";
+      title = "Route-change inference, Nucci et al. (extension)";
+      run = Extensions.ext9;
+    };
+    {
+      id = "ext10";
+      title = "Bayesian posterior sampling, Tebaldi-West (extension)";
+      run = Extensions.ext10;
+    };
+    {
+      id = "ext11";
+      title = "TE with estimated traffic matrices (extension)";
+      run = Extensions.ext11;
+    };
+    {
+      id = "ext12";
+      title = "Estimation quality across the diurnal cycle (extension)";
+      run = Extensions.ext12;
+    };
+  ]
+
+let find id = List.find (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,19 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, keyed by id
+    ("fig1" .. "fig16", "tab1", "tab2"), plus the extension experiments
+    ("ext1" .. "ext5") covering the paper's declared future work. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : Ctx.t -> Report.t;
+}
+
+val all : entry list
+
+(** [find id] looks an experiment up.
+    @raise Not_found for unknown ids. *)
+val find : string -> entry
+
+(** [ids ()] lists the registered experiment ids in paper order. *)
+val ids : unit -> string list

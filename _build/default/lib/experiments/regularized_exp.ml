@@ -1,0 +1,131 @@
+module Vec = Tmest_linalg.Vec
+module Bayes = Tmest_core.Bayes
+module Entropy = Tmest_core.Entropy
+module Metrics = Tmest_core.Metrics
+module Dataset = Tmest_traffic.Dataset
+
+let sigma2_grid ~fast =
+  if fast then [ 1e-3; 1.; 1e3 ]
+  else [ 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 1e1; 1e2; 1e3; 1e4; 1e5 ]
+
+let max_iter ~fast = if fast then 2000 else 12000
+
+let sweep ~fast net ~prior method_ =
+  let routing = net.Ctx.dataset.Dataset.routing in
+  let loads = net.Ctx.loads and truth = net.Ctx.truth in
+  List.map
+    (fun sigma2 ->
+      let estimate =
+        match method_ with
+        | `Bayes ->
+            (Bayes.estimate ~max_iter:(max_iter ~fast) routing ~loads ~prior
+               ~sigma2)
+              .Bayes.estimate
+        | `Entropy ->
+            (Entropy.estimate ~max_iter:(max_iter ~fast) routing ~loads
+               ~prior ~sigma2)
+              .Entropy.estimate
+      in
+      (log10 sigma2, Metrics.mre ~truth ~estimate ()))
+    (sigma2_grid ~fast)
+
+let fig13 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let prior = Lazy.force net.Ctx.gravity_prior in
+        let bayes = sweep ~fast:ctx.Ctx.fast net ~prior `Bayes in
+        let entropy = sweep ~fast:ctx.Ctx.fast net ~prior `Entropy in
+        let prior_mre =
+          Metrics.mre ~truth:net.Ctx.truth ~estimate:prior ()
+        in
+        [
+          Report.series
+            (net.Ctx.label ^ " Bayesian MRE vs log10(reg)")
+            (Array.of_list bayes);
+          Report.series
+            (net.Ctx.label ^ " Entropy MRE vs log10(reg)")
+            (Array.of_list entropy);
+          Report.note
+            "%s: gravity-prior MRE %.3f (the left asymptote); best Bayes \
+             %.3f, best Entropy %.3f — large regularization (trust the \
+             measurements) wins"
+            net.Ctx.label prior_mre
+            (List.fold_left (fun a (_, m) -> Stdlib.min a m) infinity bayes)
+            (List.fold_left (fun a (_, m) -> Stdlib.min a m) infinity entropy);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig13";
+    title =
+      "MRE vs regularization parameter: Bayesian and Entropy (gravity \
+       prior)";
+    items;
+  }
+
+let fig14 ctx =
+  let net = ctx.Ctx.america in
+  let routing = net.Ctx.dataset.Dataset.routing in
+  let prior = Lazy.force net.Ctx.gravity_prior in
+  let truth = net.Ctx.truth in
+  let sigma2 = 1000. in
+  let order = Array.init (Array.length truth) (fun i -> i) in
+  Array.sort (fun a b -> compare truth.(a) truth.(b)) order;
+  let items =
+    List.concat_map
+      (fun (label, estimate) ->
+        let points = Array.map (fun p -> (truth.(p), estimate.(p))) order in
+        [
+          Report.series (label ^ " actual vs estimated (America)") points;
+          Report.note "%s: MRE %.3f, rank correlation %.3f" label
+            (Metrics.mre ~truth ~estimate ())
+            (Metrics.rank_correlation truth estimate);
+        ])
+      [
+        ( "Bayesian",
+          (Bayes.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) routing
+             ~loads:net.Ctx.loads ~prior ~sigma2)
+            .Bayes.estimate );
+        ( "Entropy",
+          (Entropy.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) routing
+             ~loads:net.Ctx.loads ~prior ~sigma2)
+            .Entropy.estimate );
+      ]
+  in
+  {
+    Report.id = "fig14";
+    title =
+      "Real vs estimated demands, American subnetwork (regularization \
+       1000)";
+    items;
+  }
+
+let fig15 ctx =
+  let items =
+    List.concat_map
+      (fun net ->
+        let gravity = Lazy.force net.Ctx.gravity_prior in
+        let wcb = Lazy.force net.Ctx.wcb_prior in
+        let s_gravity = sweep ~fast:ctx.Ctx.fast net ~prior:gravity `Bayes in
+        let s_wcb = sweep ~fast:ctx.Ctx.fast net ~prior:wcb `Bayes in
+        let at_smallest l = snd (List.hd l) in
+        [
+          Report.series
+            (net.Ctx.label ^ " Bayes w. gravity prior")
+            (Array.of_list s_gravity);
+          Report.series
+            (net.Ctx.label ^ " Bayes w. WCB prior")
+            (Array.of_list s_wcb);
+          Report.note
+            "%s: at small regularization the WCB prior wins (%.3f vs \
+             %.3f); at large regularization both converge"
+            net.Ctx.label (at_smallest s_wcb) (at_smallest s_gravity);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig15";
+    title = "Bayesian MRE vs regularization: gravity prior vs WCB prior";
+    items;
+  }

@@ -1,0 +1,16 @@
+(** Regularized-estimation experiments (Section 5.3.5):
+
+    - Fig. 13: Bayesian and Entropy MRE vs the regularization parameter
+      (gravity prior), both subnetworks
+    - Fig. 14: actual vs estimated demands for both methods on the
+      American subnetwork at regularization 1000
+    - Fig. 15: Bayesian MRE vs regularization with gravity vs WCB
+      priors, both subnetworks *)
+
+val fig13 : Ctx.t -> Report.t
+val fig14 : Ctx.t -> Report.t
+val fig15 : Ctx.t -> Report.t
+
+(** The regularization sweep grid used by fig13/fig15 and the Table 2
+    best-value search. *)
+val sigma2_grid : fast:bool -> float list

@@ -1,0 +1,162 @@
+type series = {
+  label : string;
+  points : (float * float) array;
+}
+
+type table = {
+  columns : string list;
+  rows : (string * float array) list;
+}
+
+type item =
+  | Series of series
+  | Table of table
+  | Note of string
+
+type t = {
+  id : string;
+  title : string;
+  items : item list;
+}
+
+let series label points = Series { label; points }
+
+let series_of_ys label ys =
+  Series
+    { label; points = Array.mapi (fun i y -> (float_of_int i, y)) ys }
+
+let table ~columns rows = Table { columns; rows }
+let note fmt = Printf.ksprintf (fun s -> Note s) fmt
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ys =
+  if Array.length ys = 0 then ""
+  else begin
+    let finite = Array.of_list (List.filter Float.is_finite (Array.to_list ys)) in
+    if Array.length finite = 0 then String.make (Array.length ys) '?'
+    else begin
+      let lo = Array.fold_left Stdlib.min finite.(0) finite in
+      let hi = Array.fold_left Stdlib.max finite.(0) finite in
+      let buf = Buffer.create (Array.length ys * 3) in
+      Array.iter
+        (fun y ->
+          if not (Float.is_finite y) then Buffer.add_char buf '?'
+          else begin
+            let level =
+              if hi = lo then 4
+              else
+                int_of_float
+                  (Float.round ((y -. lo) /. (hi -. lo) *. 8.))
+            in
+            Buffer.add_string buf blocks.(Stdlib.max 0 (Stdlib.min 8 level))
+          end)
+        ys;
+      Buffer.contents buf
+    end
+  end
+
+let downsample ~max_points points =
+  let n = Array.length points in
+  if n <= max_points then points
+  else begin
+    let step = float_of_int (n - 1) /. float_of_int (max_points - 1) in
+    Array.init max_points (fun i ->
+        points.(int_of_float (Float.round (float_of_int i *. step))))
+  end
+
+let pp_series ppf s =
+  let ys = Array.map snd s.points in
+  Format.fprintf ppf "  %s  (%d points)@," s.label (Array.length s.points);
+  Format.fprintf ppf "    %s@," (sparkline (Array.map snd (downsample ~max_points:60 s.points)));
+  let shown = downsample ~max_points:12 s.points in
+  Format.fprintf ppf "    x:";
+  Array.iter (fun (x, _) -> Format.fprintf ppf " %9.3g" x) shown;
+  Format.fprintf ppf "@,    y:";
+  Array.iter (fun (_, y) -> Format.fprintf ppf " %9.3g" y) shown;
+  Format.fprintf ppf "@,";
+  if Array.length ys > 0 then begin
+    let finite = Array.of_list (List.filter Float.is_finite (Array.to_list ys)) in
+    if Array.length finite > 0 then begin
+      let lo = Array.fold_left Stdlib.min finite.(0) finite in
+      let hi = Array.fold_left Stdlib.max finite.(0) finite in
+      Format.fprintf ppf "    min %.4g  max %.4g@," lo hi
+    end
+  end
+
+let pp_table ppf t =
+  let widths =
+    List.map (fun c -> Stdlib.max 10 (String.length c)) t.columns
+  in
+  let pad w s = Printf.sprintf "%*s" w s in
+  Format.fprintf ppf "  ";
+  List.iter2 (fun w c -> Format.fprintf ppf " %s" (pad w c)) widths t.columns;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (label, values) ->
+      Format.fprintf ppf "  ";
+      (match widths with
+      | w :: rest ->
+          Format.fprintf ppf " %s" (pad w label);
+          List.iteri
+            (fun i w ->
+              let v =
+                if i < Array.length values then
+                  Printf.sprintf "%.4g" values.(i)
+                else ""
+              in
+              Format.fprintf ppf " %s" (pad w v))
+            rest
+      | [] -> ());
+      Format.fprintf ppf "@,")
+    t.rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>=== %s: %s ===@," (String.uppercase_ascii t.id)
+    t.title;
+  List.iter
+    (fun item ->
+      match item with
+      | Note s -> Format.fprintf ppf "  note: %s@," s
+      | Series s -> pp_series ppf s
+      | Table tbl -> pp_table ppf tbl)
+    t.items;
+  Format.fprintf ppf "@]"
+
+let csv_escape s =
+  if String.contains s ',' || String.contains s '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun item ->
+      match item with
+      | Note _ -> ()
+      | Series s ->
+          Array.iter
+            (fun (x, y) ->
+              Buffer.add_string buf
+                (Printf.sprintf "series,%s,%.8g,%.8g\n" (csv_escape s.label) x
+                   y))
+            s.points
+      | Table tbl ->
+          let data_cols = List.tl tbl.columns in
+          List.iter
+            (fun (row, values) ->
+              List.iteri
+                (fun i col ->
+                  if i < Array.length values then
+                    Buffer.add_string buf
+                      (Printf.sprintf "table,%s,%s,%.8g\n" (csv_escape row)
+                         (csv_escape col) values.(i)))
+                data_cols)
+            tbl.rows)
+    t.items;
+  Buffer.contents buf
+
+let print t =
+  Format.printf "%a@." pp t

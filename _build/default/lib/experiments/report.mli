@@ -1,0 +1,49 @@
+(** Experiment reports: the printable reproduction of one paper table or
+    figure.
+
+    A report carries named series (figure curves), small tables, and
+    free-form notes.  [pp] renders a terminal view (tables, downsampled
+    series, unicode sparklines); [to_csv] dumps every series and table
+    for external plotting. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;  (** (x, y) in x order *)
+}
+
+type table = {
+  columns : string list;  (** header, first column is the row label *)
+  rows : (string * float array) list;
+}
+
+type item =
+  | Series of series
+  | Table of table
+  | Note of string
+
+type t = {
+  id : string;  (** e.g. "fig13" *)
+  title : string;
+  items : item list;
+}
+
+val series : string -> (float * float) array -> item
+
+(** [series_of_ys label ys] numbers the x axis 0, 1, ... *)
+val series_of_ys : string -> float array -> item
+
+val table : columns:string list -> (string * float array) list -> item
+val note : ('a, unit, string, item) format4 -> 'a
+
+(** [sparkline ys] renders values as unicode block characters (for
+    quick visual shape checks in terminal output). *)
+val sparkline : float array -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_csv t] is a CSV rendition: series as [series,label,x,y] rows and
+    tables as [table,row,col,value] rows. *)
+val to_csv : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit

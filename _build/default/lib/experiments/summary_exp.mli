@@ -1,0 +1,6 @@
+(** Table 2: best-achievable MRE of every method on both subnetworks
+    (Section 5.3.7), plus extension rows for the methods this
+    reproduction adds beyond the paper (Kruithof/Krupp projection, Cao's
+    generalized linear model). *)
+
+val tab2 : Ctx.t -> Report.t

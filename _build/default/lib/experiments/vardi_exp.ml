@@ -1,0 +1,95 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Vardi = Tmest_core.Vardi
+module Metrics = Tmest_core.Metrics
+module Dataset = Tmest_traffic.Dataset
+module Routing = Tmest_net.Routing
+
+let tab1 ctx =
+  let k = if ctx.Ctx.fast then 20 else 50 in
+  let rows =
+    List.map
+      (fun sigma_inv2 ->
+        let values =
+          List.map
+            (fun net ->
+              let samples = Ctx.busy_loads net ~window:k in
+              let r =
+                Vardi.estimate net.Ctx.dataset.Dataset.routing
+                  ~load_samples:samples ~sigma_inv2
+              in
+              let truth = Ctx.busy_mean net in
+              Metrics.mre ~truth ~estimate:r.Vardi.estimate ())
+            (Ctx.networks ctx)
+        in
+        (Printf.sprintf "sigma^-2 = %g" sigma_inv2, Array.of_list values))
+      [ 0.01; 1. ]
+  in
+  {
+    Report.id = "tab1";
+    title = Printf.sprintf "MRE for the Vardi approach, K = %d" k;
+    items =
+      [
+        Report.table ~columns:[ "setting"; "Europe"; "America" ] rows;
+        Report.note
+          "paper: 0.47 / 0.98 at sigma^-2 = 0.01 and 302 / 1183 at \
+           sigma^-2 = 1 — full faith in the Poisson assumption is \
+           catastrophic";
+      ];
+  }
+
+let fig12 ctx =
+  let windows =
+    if ctx.Ctx.fast then [ 25; 50; 100 ]
+    else [ 25; 50; 100; 200; 400; 600; 800; 1000 ]
+  in
+  let unit_bps = 1e6 in
+  let items =
+    List.concat_map
+      (fun net ->
+        let d = net.Ctx.dataset in
+        let truth = Ctx.busy_mean net in
+        let max_window = List.fold_left Stdlib.max 0 windows in
+        let series =
+          Dataset.poisson_series d ~unit_bps ~samples:max_window
+            ~seed:(20040 + Dataset.num_nodes d)
+        in
+        let loads =
+          Mat.init max_window (Dataset.num_links d) (fun k j ->
+              (Routing.link_loads d.Dataset.routing (Mat.row series k)).(j))
+        in
+        let points =
+          List.map
+            (fun window ->
+              let sub =
+                Mat.submatrix loads ~row:0 ~col:0 ~rows:window
+                  ~cols:(Mat.cols loads)
+              in
+              let r =
+                Vardi.estimate ~unit_bps d.Dataset.routing ~load_samples:sub
+                  ~sigma_inv2:1.
+              in
+              (float_of_int window,
+               Metrics.mre ~truth ~estimate:r.Vardi.estimate ()))
+            windows
+        in
+        [
+          Report.series
+            (net.Ctx.label ^ " MRE vs window (synthetic Poisson TM)")
+            (Array.of_list points);
+        ])
+      (Ctx.networks ctx)
+  in
+  {
+    Report.id = "fig12";
+    title =
+      "Vardi on ideal Poisson data: MRE vs window size (covariance \
+       estimation converges slowly)";
+    items =
+      items
+      @ [
+          Report.note
+            "even when the Poisson assumption holds exactly, hundreds of \
+             samples are needed for an acceptable error (paper Fig. 12)";
+        ];
+  }

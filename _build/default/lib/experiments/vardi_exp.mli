@@ -1,0 +1,9 @@
+(** Vardi-method experiments (Section 5.3.4):
+
+    - Table 1: MRE of the Vardi approach for sigma^-2 in {0.01, 1} over
+      the K = 50 busy-period samples
+    - Fig. 12: MRE vs window size on synthetic Poisson traffic matrices
+      (supporting the covariance-estimation-convergence argument) *)
+
+val tab1 : Ctx.t -> Report.t
+val fig12 : Ctx.t -> Report.t

@@ -1,0 +1,1 @@
+lib/io/format_spec.mli:

@@ -1,0 +1,1 @@
+lib/io/tm_io.ml: Array Buffer Format_spec Fun List Printf String Tmest_linalg Tmest_net

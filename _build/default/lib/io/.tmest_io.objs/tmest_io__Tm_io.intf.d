@@ -1,0 +1,1 @@
+lib/io/tm_io.mli: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/io/topology_io.ml: Array Buffer Format_spec Fun Hashtbl List Printf Stdlib String Tmest_net

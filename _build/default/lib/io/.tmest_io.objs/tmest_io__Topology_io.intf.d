@@ -1,0 +1,1 @@
+lib/io/topology_io.mli: Tmest_net

@@ -1,0 +1,2 @@
+let parse_error ~file ~line msg =
+  failwith (Printf.sprintf "%s:%d: %s" file line msg)

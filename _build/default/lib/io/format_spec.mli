@@ -1,0 +1,35 @@
+(** The on-disk text formats.
+
+    Three line-oriented, comment-friendly ([#] prefix) formats let
+    users bring their own networks and traffic data:
+
+    {2 Topology files (.topo)}
+    {v
+    # node <id> <name> <kind:access|peering> <lat> <lon>
+    node 0 London access 51.51 -0.13
+    node 1 Paris  access 48.86 2.35
+    # edge <a> <b> <capacity_bps> <metric>   (bidirectional core edge)
+    edge 0 1 10e9 7
+    v}
+
+    {2 Traffic-matrix series files (.tm)}
+    {v
+    # tm <sample_index>
+    # <src_id> <dst_id> <rate_bps>
+    tm 0
+    0 1 1.5e9
+    1 0 0.8e9
+    tm 1
+    ...
+    v}
+    Unlisted pairs are zero.  Sample indices must be dense from 0.
+
+    {2 Link-load files (.loads)}
+    {v
+    # one line per link id, in topology link order
+    load <link_id> <rate_bps>
+    v} *)
+
+(** [parse_error ~file ~line msg] raises [Failure] with a located
+    message (shared by the parsers). *)
+val parse_error : file:string -> line:int -> string -> 'a

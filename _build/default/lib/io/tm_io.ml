@@ -1,0 +1,137 @@
+module Mat = Tmest_linalg.Mat
+module Vec = Tmest_linalg.Vec
+module Odpairs = Tmest_net.Odpairs
+
+let series_to_string ~nodes series =
+  let p = Odpairs.count nodes in
+  if Mat.cols series <> p then
+    invalid_arg "Tm_io.series_to_string: column count is not n*(n-1)";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# traffic matrix series: %d samples, %d nodes\n"
+       (Mat.rows series) nodes);
+  for k = 0 to Mat.rows series - 1 do
+    Buffer.add_string buf (Printf.sprintf "tm %d\n" k);
+    Odpairs.iter ~nodes (fun pair src dst ->
+        let v = Mat.get series k pair in
+        if v <> 0. then
+          Buffer.add_string buf (Printf.sprintf "%d %d %.8g\n" src dst v))
+  done;
+  Buffer.contents buf
+
+let relevant_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) ->
+         line <> "" && not (String.length line > 0 && line.[0] = '#'))
+
+let series_of_string ~name ~nodes s =
+  let file = name in
+  let p = Odpairs.count nodes in
+  (* First pass: collect samples as association lists. *)
+  let samples = ref [] (* (index, entries ref) in reverse order *) in
+  let current = ref None in
+  List.iter
+    (fun (line_no, line) ->
+      match String.split_on_char ' ' line |> List.filter (fun x -> x <> "") with
+      | [ "tm"; idx ] -> (
+          match int_of_string_opt idx with
+          | Some k ->
+              let entries = ref [] in
+              samples := (k, entries) :: !samples;
+              current := Some entries
+          | None ->
+              Format_spec.parse_error ~file ~line:line_no
+                "malformed tm header")
+      | [ src; dst; rate ] -> (
+          match !current with
+          | None ->
+              Format_spec.parse_error ~file ~line:line_no
+                "demand line before any tm header"
+          | Some entries -> (
+              match
+                ( int_of_string_opt src,
+                  int_of_string_opt dst,
+                  float_of_string_opt rate )
+              with
+              | Some s', Some d, Some r ->
+                  if s' < 0 || s' >= nodes || d < 0 || d >= nodes || s' = d
+                  then
+                    Format_spec.parse_error ~file ~line:line_no
+                      "node id out of range (or src = dst)";
+                  if r < 0. then
+                    Format_spec.parse_error ~file ~line:line_no
+                      "negative rate";
+                  entries := (Odpairs.index ~nodes ~src:s' ~dst:d, r) :: !entries
+              | _ ->
+                  Format_spec.parse_error ~file ~line:line_no
+                    "malformed demand line"))
+      | _ ->
+          Format_spec.parse_error ~file ~line:line_no "unrecognized line")
+    (relevant_lines s);
+  let samples = List.rev !samples in
+  let count = List.length samples in
+  if count = 0 then failwith (file ^ ": no samples");
+  List.iteri
+    (fun expected (k, _) ->
+      if k <> expected then
+        failwith
+          (Printf.sprintf "%s: sample indices must be dense (got %d, want %d)"
+             file k expected))
+    samples;
+  let m = Mat.zeros count p in
+  List.iteri
+    (fun k (_, entries) ->
+      List.iter (fun (pair, r) -> Mat.set m k pair r) !entries)
+    samples;
+  m
+
+let write_series path ~nodes series =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (series_to_string ~nodes series))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_series path ~nodes = series_of_string ~name:path ~nodes (read_file path)
+
+let write_loads path loads =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# link loads, bits per second\n";
+      Array.iteri
+        (fun i v -> output_string oc (Printf.sprintf "load %d %.8g\n" i v))
+        loads)
+
+let read_loads path ~links =
+  let loads = Vec.zeros links in
+  let seen = Array.make links false in
+  List.iter
+    (fun (line_no, line) ->
+      match String.split_on_char ' ' line |> List.filter (fun x -> x <> "") with
+      | [ "load"; id; v ] -> (
+          match (int_of_string_opt id, float_of_string_opt v) with
+          | Some id, Some v when id >= 0 && id < links ->
+              if seen.(id) then
+                Format_spec.parse_error ~file:path ~line:line_no
+                  "duplicate link id";
+              seen.(id) <- true;
+              loads.(id) <- v
+          | _ ->
+              Format_spec.parse_error ~file:path ~line:line_no
+                "malformed load line")
+      | _ -> Format_spec.parse_error ~file:path ~line:line_no "unrecognized line")
+    (relevant_lines (read_file path));
+  Array.iteri
+    (fun i ok ->
+      if not ok then
+        failwith (Printf.sprintf "%s: missing load for link %d" path i))
+    seen;
+  loads

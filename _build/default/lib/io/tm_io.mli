@@ -1,0 +1,23 @@
+(** Reading and writing traffic-matrix series and link-load vectors
+    (see {!Format_spec}). *)
+
+(** [write_series path ~nodes series] saves a [K x P] demand matrix
+    (OD-pair columns in {!Tmest_net.Odpairs} order); zero entries are
+    omitted. *)
+val write_series : string -> nodes:int -> Tmest_linalg.Mat.t -> unit
+
+(** [read_series path ~nodes] loads a series.
+    @raise Failure with a located message on malformed input, ids out
+    of range, negative rates, or non-dense sample indices. *)
+val read_series : string -> nodes:int -> Tmest_linalg.Mat.t
+
+(** [write_loads path loads] / [read_loads path ~links]: one load value
+    per link id. *)
+val write_loads : string -> Tmest_linalg.Vec.t -> unit
+
+val read_loads : string -> links:int -> Tmest_linalg.Vec.t
+
+(** String versions for tests/embedding. *)
+val series_to_string : nodes:int -> Tmest_linalg.Mat.t -> string
+
+val series_of_string : name:string -> nodes:int -> string -> Tmest_linalg.Mat.t

@@ -1,0 +1,126 @@
+module Topology = Tmest_net.Topology
+
+let to_string topo =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# topology %s: %d nodes\n" topo.Topology.net_name
+       (Topology.num_nodes topo));
+  Array.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %s %s %.6f %.6f\n" n.Topology.node_id
+           n.Topology.name
+           (match n.Topology.kind with
+           | Topology.Access -> "access"
+           | Topology.Peering -> "peering")
+           n.Topology.lat n.Topology.lon))
+    topo.Topology.nodes;
+  (* Each bidirectional pair appears twice as directed links; emit the
+     first occurrence in its original orientation so a reload rebuilds
+     the exact same link-id layout (Dijkstra tie-breaking depends on
+     it). *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      if l.Topology.lkind = Topology.Interior then begin
+        let key =
+          (Stdlib.min l.Topology.src l.Topology.dst,
+           Stdlib.max l.Topology.src l.Topology.dst)
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %.6g %.6g\n" l.Topology.src
+               l.Topology.dst l.Topology.capacity l.Topology.metric)
+        end
+      end)
+    topo.Topology.links;
+  Buffer.contents buf
+
+let write path topo =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string topo))
+
+let relevant_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) ->
+         line <> "" && not (String.length line > 0 && line.[0] = '#'))
+
+let of_string ~name s =
+  let file = name in
+  let nodes = ref [] and edges = ref [] in
+  List.iter
+    (fun (line_no, line) ->
+      match String.split_on_char ' ' line |> List.filter (fun x -> x <> "") with
+      | "node" :: id :: nname :: kind :: lat :: lon :: [] -> (
+          try
+            let kind =
+              match kind with
+              | "access" -> Topology.Access
+              | "peering" -> Topology.Peering
+              | k ->
+                  Format_spec.parse_error ~file ~line:line_no
+                    (Printf.sprintf "unknown node kind %S" k)
+            in
+            nodes :=
+              {
+                Topology.node_id = int_of_string id;
+                name = nname;
+                kind;
+                lat = float_of_string lat;
+                lon = float_of_string lon;
+              }
+              :: !nodes
+          with Failure _ as e -> raise e)
+      | "edge" :: a :: b :: cap :: metric :: [] -> (
+          match
+            ( int_of_string_opt a,
+              int_of_string_opt b,
+              float_of_string_opt cap,
+              float_of_string_opt metric )
+          with
+          | Some a, Some b, Some cap, Some metric ->
+              edges := (a, b, cap, metric) :: !edges
+          | _ ->
+              Format_spec.parse_error ~file ~line:line_no
+                "malformed edge line")
+      | kw :: _ ->
+          Format_spec.parse_error ~file ~line:line_no
+            (Printf.sprintf "unknown keyword %S" kw)
+      | [] -> ())
+    (relevant_lines s);
+  let nodes = List.rev !nodes in
+  let n = List.length nodes in
+  if n = 0 then failwith (file ^ ": no nodes");
+  let arr = Array.make n (List.hd nodes) in
+  List.iter
+    (fun node ->
+      let id = node.Topology.node_id in
+      if id < 0 || id >= n then
+        failwith
+          (Printf.sprintf "%s: node id %d out of range (ids must be dense)"
+             file id);
+      arr.(id) <- node)
+    nodes;
+  (* Detect duplicate / missing ids. *)
+  let seen = Array.make n false in
+  List.iter
+    (fun node ->
+      let id = node.Topology.node_id in
+      if seen.(id) then
+        failwith (Printf.sprintf "%s: duplicate node id %d" file id);
+      seen.(id) <- true)
+    nodes;
+  Topology.build ~name arr (List.rev !edges)
+
+let read path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:path content

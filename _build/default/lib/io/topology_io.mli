@@ -1,0 +1,15 @@
+(** Reading and writing topology files (see {!Format_spec}). *)
+
+(** [write path topo] saves the topology (nodes and bidirectional core
+    edges; access links are regenerated on load). *)
+val write : string -> Tmest_net.Topology.t -> unit
+
+(** [read path] loads a topology.
+    @raise Failure with a located message on malformed input. *)
+val read : string -> Tmest_net.Topology.t
+
+(** [to_string topo] / [of_string ~name s] are the in-memory versions
+    (used by the tests and for embedding). *)
+val to_string : Tmest_net.Topology.t -> string
+
+val of_string : name:string -> string -> Tmest_net.Topology.t

@@ -1,0 +1,1 @@
+lib/linalg/chol.ml: Array Mat Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/chol.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/csr.ml: Array Hashtbl List Mat Printf

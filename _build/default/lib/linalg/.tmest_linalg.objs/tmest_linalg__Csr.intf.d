@@ -1,0 +1,1 @@
+lib/linalg/csr.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/eigen.ml: Array Mat Stdlib Vec

@@ -1,0 +1,1 @@
+lib/linalg/lu.mli: Mat Vec

@@ -1,0 +1,70 @@
+type t = { l : Mat.t }
+
+exception Not_positive_definite of int
+
+let factor a =
+  if Mat.rows a <> Mat.cols a then
+    invalid_arg "Chol.factor: matrix not square";
+  let n = Mat.rows a in
+  let l = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.unsafe_get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.unsafe_get l i k *. Mat.unsafe_get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise (Not_positive_definite i);
+        Mat.unsafe_set l i i (sqrt !acc)
+      end
+      else Mat.unsafe_set l i j (!acc /. Mat.unsafe_get l j j)
+    done
+  done;
+  { l }
+
+let factor_regularized ?ridge a =
+  let n = Mat.rows a in
+  let max_diag = ref 0. in
+  for i = 0 to n - 1 do
+    max_diag := Stdlib.max !max_diag (abs_float (Mat.get a i i))
+  done;
+  let ridge =
+    match ridge with Some r -> r | None -> 1e-12 *. Stdlib.max !max_diag 1.
+  in
+  let b = Mat.copy a in
+  for i = 0 to n - 1 do
+    Mat.set b i i (Mat.get b i i +. ridge)
+  done;
+  factor b
+
+let solve f b =
+  let n = Mat.rows f.l in
+  if Array.length b <> n then invalid_arg "Chol.solve: dimension mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Mat.unsafe_get f.l i k *. y.(k))
+    done;
+    y.(i) <- !acc /. Mat.unsafe_get f.l i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Mat.unsafe_get f.l k i *. y.(k))
+    done;
+    y.(i) <- !acc /. Mat.unsafe_get f.l i i
+  done;
+  y
+
+let lower f = Mat.copy f.l
+
+let log_det f =
+  let n = Mat.rows f.l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.unsafe_get f.l i i)
+  done;
+  2. *. !acc
+
+let solve_system a b = solve (factor a) b

@@ -1,0 +1,30 @@
+(** Cholesky factorization of symmetric positive-definite matrices. *)
+
+type t
+(** A factorization [A = L*Lᵀ] with [L] lower triangular. *)
+
+exception Not_positive_definite of int
+(** Raised when a diagonal pivot is non-positive; payload is its index. *)
+
+(** [factor a] factors the symmetric positive-definite matrix [a].  Only the
+    lower triangle of [a] is read.
+    @raise Not_positive_definite if a pivot fails.
+    @raise Invalid_argument if [a] is not square. *)
+val factor : Mat.t -> t
+
+(** [factor_regularized ?ridge a] adds [ridge] (default [1e-12] times the
+    largest diagonal entry) to the diagonal before factoring, for
+    nearly-singular normal equations. *)
+val factor_regularized : ?ridge:float -> Mat.t -> t
+
+(** [solve f b] solves [A x = b]. *)
+val solve : t -> Vec.t -> Vec.t
+
+(** [lower f] is the lower-triangular factor [L]. *)
+val lower : t -> Mat.t
+
+(** [log_det f] is [log det A], computed stably from the factor. *)
+val log_det : t -> float
+
+(** [solve_system a b] is [solve (factor a) b]. *)
+val solve_system : Mat.t -> Vec.t -> Vec.t

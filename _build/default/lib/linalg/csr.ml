@@ -1,0 +1,158 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+let of_triplets ~rows ~cols entries =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.of_triplets: negative size";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Csr.of_triplets: (%d,%d) out of bounds for %dx%d"
+             i j rows cols))
+    entries;
+  (* Sum duplicates via per-row association tables, then pack. *)
+  let row_tbls = Array.init rows (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (i, j, v) ->
+      let tbl = row_tbls.(i) in
+      let cur = try Hashtbl.find tbl j with Not_found -> 0. in
+      Hashtbl.replace tbl j (cur +. v))
+    entries;
+  let row_lists =
+    Array.map
+      (fun tbl ->
+        Hashtbl.fold (fun j v acc -> if v = 0. then acc else (j, v) :: acc)
+          tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+      row_tbls
+  in
+  let nnz = Array.fold_left (fun acc l -> acc + List.length l) 0 row_lists in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0. in
+  let k = ref 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i) <- !k;
+    List.iter
+      (fun (j, v) ->
+        col_idx.(!k) <- j;
+        values.(!k) <- v;
+        incr k)
+      row_lists.(i)
+  done;
+  row_ptr.(rows) <- !k;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_dense m =
+  let entries = ref [] in
+  for i = Mat.rows m - 1 downto 0 do
+    for j = Mat.cols m - 1 downto 0 do
+      let v = Mat.unsafe_get m i j in
+      if v <> 0. then entries := (i, j, v) :: !entries
+    done
+  done;
+  of_triplets ~rows:(Mat.rows m) ~cols:(Mat.cols m) !entries
+
+let rows m = m.rows
+let cols m = m.cols
+let nnz m = Array.length m.values
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Csr.get: out of bounds";
+  let rec find k stop =
+    if k >= stop then 0.
+    else if m.col_idx.(k) = j then m.values.(k)
+    else if m.col_idx.(k) > j then 0.
+    else find (k + 1) stop
+  in
+  find m.row_ptr.(i) m.row_ptr.(i + 1)
+
+let matvec m x =
+  if Array.length x <> m.cols then invalid_arg "Csr.matvec: dimension mismatch";
+  let y = Array.make m.rows 0. in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0. in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get m.values k
+           *. Array.unsafe_get x (Array.unsafe_get m.col_idx k)
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let tmatvec m x =
+  if Array.length x <> m.rows then
+    invalid_arg "Csr.tmatvec: dimension mismatch";
+  let y = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j = Array.unsafe_get m.col_idx k in
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. Array.unsafe_get m.values k))
+      done
+  done;
+  y
+
+let to_dense m =
+  let d = Mat.zeros m.rows m.cols in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Mat.unsafe_set d i m.col_idx.(k) m.values.(k)
+    done
+  done;
+  d
+
+let row_nonzeros m i =
+  if i < 0 || i >= m.rows then invalid_arg "Csr.row_nonzeros: out of bounds";
+  let acc = ref [] in
+  for k = m.row_ptr.(i + 1) - 1 downto m.row_ptr.(i) do
+    acc := (m.col_idx.(k), m.values.(k)) :: !acc
+  done;
+  !acc
+
+let iter_row m i f =
+  if i < 0 || i >= m.rows then invalid_arg "Csr.iter_row: out of bounds";
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let scale_cols m d =
+  if Array.length d <> m.cols then
+    invalid_arg "Csr.scale_cols: dimension mismatch";
+  {
+    m with
+    values = Array.mapi (fun k v -> v *. d.(m.col_idx.(k))) m.values;
+  }
+
+let transpose m =
+  let entries = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for k = m.row_ptr.(i + 1) - 1 downto m.row_ptr.(i) do
+      entries := (m.col_idx.(k), i, m.values.(k)) :: !entries
+    done
+  done;
+  of_triplets ~rows:m.cols ~cols:m.rows !entries
+
+let gram m =
+  let g = Mat.zeros m.cols m.cols in
+  for i = 0 to m.rows - 1 do
+    for k1 = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j1 = m.col_idx.(k1) and v1 = m.values.(k1) in
+      for k2 = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j2 = m.col_idx.(k2) in
+        Mat.unsafe_set g j1 j2
+          (Mat.unsafe_get g j1 j2 +. (v1 *. m.values.(k2)))
+      done
+    done
+  done;
+  g

@@ -1,0 +1,49 @@
+(** Compressed sparse row (CSR) matrices.
+
+    Routing matrices are sparse 0/1 matrices with a handful of nonzeros per
+    column (one per link on the demand's path); CSR keeps the estimation
+    methods' matrix-vector products cheap on the larger networks. *)
+
+type t
+
+(** [of_triplets ~rows ~cols entries] builds a CSR matrix from
+    [(row, col, value)] triplets.  Duplicate coordinates are summed;
+    explicit zeros are dropped. *)
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+
+(** [of_dense m] converts a dense matrix, dropping zeros. *)
+val of_dense : Mat.t -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** [nnz m] is the number of stored entries. *)
+val nnz : t -> int
+
+(** [get m i j] is the entry at [(i, j)] (0 if not stored). *)
+val get : t -> int -> int -> float
+
+(** [matvec m x] is [m * x]. *)
+val matvec : t -> Vec.t -> Vec.t
+
+(** [tmatvec m x] is [mᵀ * x]. *)
+val tmatvec : t -> Vec.t -> Vec.t
+
+(** [to_dense m] expands to a dense matrix. *)
+val to_dense : t -> Mat.t
+
+(** [row_nonzeros m i] is the list of [(col, value)] pairs of row [i],
+    in increasing column order. *)
+val row_nonzeros : t -> int -> (int * float) list
+
+(** [iter_row m i f] applies [f col value] over row [i]'s stored entries. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** [scale_cols m d] multiplies column [j] by [d.(j)]. *)
+val scale_cols : t -> Vec.t -> t
+
+(** [transpose m] is [mᵀ] in CSR form. *)
+val transpose : t -> t
+
+(** [gram m] is the dense Gram matrix [mᵀ * m]. *)
+val gram : t -> Mat.t

@@ -1,0 +1,80 @@
+type t = {
+  values : Vec.t;
+  vectors : Mat.t;
+}
+
+(* Cyclic Jacobi: sweep all (p, q) pairs, rotating away the off-diagonal
+   entry with the classic stable rotation; accumulate the rotations into
+   the eigenvector matrix. *)
+let symmetric ?(max_sweeps = 60) ?(tol = 1e-12) a =
+  if Mat.rows a <> Mat.cols a then
+    invalid_arg "Eigen.symmetric: matrix not square";
+  let n = Mat.rows a in
+  (* Work on a symmetrized copy. *)
+  let m = Mat.init n n (fun i j -> if j <= i then Mat.get a i j else Mat.get a j i) in
+  let v = Mat.identity n in
+  let off_norm () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let x = Mat.unsafe_get m i j in
+        acc := !acc +. (x *. x)
+      done
+    done;
+    sqrt !acc
+  in
+  let frob = Mat.frobenius m +. 1e-300 in
+  let sweeps = ref 0 in
+  while off_norm () > tol *. frob && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.unsafe_get m p q in
+        if abs_float apq > 1e-300 then begin
+          let app = Mat.unsafe_get m p p and aqq = Mat.unsafe_get m q q in
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (abs_float theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          (* Update rows/columns p and q of m. *)
+          for k = 0 to n - 1 do
+            let akp = Mat.unsafe_get m k p and akq = Mat.unsafe_get m k q in
+            Mat.unsafe_set m k p ((c *. akp) -. (s *. akq));
+            Mat.unsafe_set m k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.unsafe_get m p k and aqk = Mat.unsafe_get m q k in
+            Mat.unsafe_set m p k ((c *. apk) -. (s *. aqk));
+            Mat.unsafe_set m q k ((s *. apk) +. (c *. aqk))
+          done;
+          (* Accumulate the rotation. *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.unsafe_get v k p and vkq = Mat.unsafe_get v k q in
+            Mat.unsafe_set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.unsafe_set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let values = Array.init n (fun i -> Mat.get m i i) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare values.(b) values.(a)) order;
+  {
+    values = Array.map (fun i -> values.(i)) order;
+    vectors = Mat.select_cols v order;
+  }
+
+let spectral_norm a =
+  let d = symmetric a in
+  Array.fold_left (fun acc x -> Stdlib.max acc (abs_float x)) 0. d.values
+
+let reconstruct d =
+  let n = Array.length d.values in
+  Mat.matmul
+    (Mat.scale_cols d.vectors d.values)
+    (Mat.transpose d.vectors)
+  |> fun m -> Mat.init n n (fun i j -> Mat.get m i j)

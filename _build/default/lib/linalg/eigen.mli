@@ -1,0 +1,22 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Small dense symmetric matrices only (covariance spectra, exact
+    Lipschitz constants); Jacobi is simple, unconditionally stable and
+    accurate to machine precision for these sizes. *)
+
+type t = {
+  values : Vec.t;  (** eigenvalues, descending *)
+  vectors : Mat.t;  (** column [j] is the eigenvector of [values.(j)] *)
+}
+
+(** [symmetric ?max_sweeps ?tol a] decomposes the symmetric matrix [a].
+    Only the lower triangle is read.
+    @raise Invalid_argument if [a] is not square. *)
+val symmetric : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+
+(** [spectral_norm a] is the largest absolute eigenvalue of the
+    symmetric matrix [a]. *)
+val spectral_norm : Mat.t -> float
+
+(** [reconstruct d] is [V diag(values) Vᵀ] (for testing). *)
+val reconstruct : t -> Mat.t

@@ -1,0 +1,91 @@
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+exception Singular of int
+
+let factor a =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Lu.factor: matrix not square";
+  let n = Mat.rows a in
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k to the
+       diagonal to bound the growth factor. *)
+    let pivot_row = ref k in
+    let pivot_mag = ref (abs_float (Mat.unsafe_get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let m = abs_float (Mat.unsafe_get lu i k) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      sign := -. !sign;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      for j = 0 to n - 1 do
+        let t = Mat.unsafe_get lu k j in
+        Mat.unsafe_set lu k j (Mat.unsafe_get lu !pivot_row j);
+        Mat.unsafe_set lu !pivot_row j t
+      done
+    end;
+    let pivot = Mat.unsafe_get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.unsafe_get lu i k /. pivot in
+      Mat.unsafe_set lu i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          Mat.unsafe_set lu i j
+            (Mat.unsafe_get lu i j -. (factor *. Mat.unsafe_get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n = Mat.rows f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* Forward substitution with unit lower-triangular L. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.unsafe_get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.unsafe_get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.unsafe_get f.lu i i
+  done;
+  x
+
+let solve_mat f b =
+  let n = Mat.rows f.lu in
+  if Mat.rows b <> n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  let x = Mat.zeros n (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    let xj = solve f (Mat.col b j) in
+    for i = 0 to n - 1 do
+      Mat.unsafe_set x i j xj.(i)
+    done
+  done;
+  x
+
+let det f =
+  let n = Mat.rows f.lu in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.unsafe_get f.lu i i
+  done;
+  !d
+
+let inverse a = solve_mat (factor a) (Mat.identity (Mat.rows a))
+let solve_system a b = solve (factor a) b

@@ -1,0 +1,28 @@
+(** LU factorization with partial pivoting and linear solves. *)
+
+type t
+(** A factorization [P*A = L*U] of a square matrix [A]. *)
+
+exception Singular of int
+(** Raised when a pivot column is numerically zero; the payload is the
+    elimination step at which the factorization broke down. *)
+
+(** [factor a] factors the square matrix [a].
+    @raise Singular if [a] is (numerically) singular.
+    @raise Invalid_argument if [a] is not square. *)
+val factor : Mat.t -> t
+
+(** [solve f b] solves [A x = b] using the factorization [f]. *)
+val solve : t -> Vec.t -> Vec.t
+
+(** [solve_mat f b] solves [A X = B] column by column. *)
+val solve_mat : t -> Mat.t -> Mat.t
+
+(** [det f] is the determinant of the factored matrix. *)
+val det : t -> float
+
+(** [inverse a] is [a]⁻¹. Prefer [solve] when a solve suffices. *)
+val inverse : Mat.t -> Mat.t
+
+(** [solve_system a b] is [solve (factor a) b]. *)
+val solve_system : Mat.t -> Vec.t -> Vec.t

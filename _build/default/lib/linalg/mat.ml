@@ -1,0 +1,238 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.
+
+let init rows cols f =
+  let m = zeros rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then zeros 0 0
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Mat.of_rows: ragged rows")
+      rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let of_vec v = init (Array.length v) 1 (fun i _ -> v.(i))
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.)
+
+let copy m = { m with data = Array.copy m.data }
+let rows m = m.rows
+let cols m = m.cols
+
+let check_bounds name m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: (%d,%d) out of bounds for %dx%d" name i j
+         m.rows m.cols)
+
+let get m i j =
+  check_bounds "get" m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  check_bounds "set" m i j;
+  m.data.((i * m.cols) + j) <- x
+
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.cols) + j) x
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row: out of bounds";
+  Array.sub m.data (i * m.cols) m.cols
+
+let col m j =
+  if j < 0 || j >= m.cols then invalid_arg "Mat.col: out of bounds";
+  Array.init m.rows (fun i -> m.data.((i * m.cols) + j))
+
+let set_row m i v =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.set_row: out of bounds";
+  if Array.length v <> m.cols then
+    invalid_arg "Mat.set_row: dimension mismatch";
+  Array.blit v 0 m.data (i * m.cols) m.cols
+
+let transpose m = init m.cols m.rows (fun i j -> unsafe_get m j i)
+
+let check_same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  check_same_shape "add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same_shape "sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale c m = { m with data = Array.map (fun x -> c *. x) m.data }
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: inner dimension mismatch (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  (* i-k-j loop order keeps the inner loop contiguous in both b and c. *)
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = Array.unsafe_get a.data ((i * a.cols) + k) in
+      if aik <> 0. then begin
+        let brow = k * b.cols in
+        let crow = i * c.cols in
+        for j = 0 to b.cols - 1 do
+          Array.unsafe_set c.data (crow + j)
+            (Array.unsafe_get c.data (crow + j)
+            +. (aik *. Array.unsafe_get b.data (brow + j)))
+        done
+      end
+    done
+  done;
+  c
+
+let matvec a x =
+  if a.cols <> Array.length x then
+    invalid_arg "Mat.matvec: dimension mismatch";
+  let y = Array.make a.rows 0. in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let tmatvec a x =
+  if a.rows <> Array.length x then
+    invalid_arg "Mat.tmatvec: dimension mismatch";
+  let y = Array.make a.cols 0. in
+  for i = 0 to a.rows - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then begin
+      let base = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j
+          +. (xi *. Array.unsafe_get a.data (base + j)))
+      done
+    end
+  done;
+  y
+
+let gram a =
+  let n = a.cols in
+  let g = zeros n n in
+  for k = 0 to a.rows - 1 do
+    let base = k * n in
+    for i = 0 to n - 1 do
+      let aki = Array.unsafe_get a.data (base + i) in
+      if aki <> 0. then
+        for j = i to n - 1 do
+          let idx = (i * n) + j in
+          Array.unsafe_set g.data idx
+            (Array.unsafe_get g.data idx
+            +. (aki *. Array.unsafe_get a.data (base + j)))
+        done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      g.data.((i * n) + j) <- g.data.((j * n) + i)
+    done
+  done;
+  g
+
+let scale_cols a d =
+  if Array.length d <> a.cols then
+    invalid_arg "Mat.scale_cols: dimension mismatch";
+  init a.rows a.cols (fun i j -> unsafe_get a i j *. d.(j))
+
+let vstack a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vstack: column mismatch";
+  let m = zeros (a.rows + b.rows) a.cols in
+  Array.blit a.data 0 m.data 0 (Array.length a.data);
+  Array.blit b.data 0 m.data (Array.length a.data) (Array.length b.data);
+  m
+
+let hstack a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hstack: row mismatch";
+  init a.rows (a.cols + b.cols) (fun i j ->
+      if j < a.cols then unsafe_get a i j else unsafe_get b i (j - a.cols))
+
+let submatrix m ~row ~col ~rows ~cols =
+  if
+    row < 0 || col < 0 || rows < 0 || cols < 0
+    || row + rows > m.rows
+    || col + cols > m.cols
+  then invalid_arg "Mat.submatrix: block out of bounds";
+  init rows cols (fun i j -> unsafe_get m (row + i) (col + j))
+
+let select_cols m js =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m.cols then
+        invalid_arg "Mat.select_cols: column index out of bounds")
+    js;
+  init m.rows (Array.length js) (fun i k -> unsafe_get m i js.(k))
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun k x -> if abs_float (x -. b.data.(k)) > eps then ok := false)
+    a.data;
+  !ok
+
+let is_symmetric ?(eps = 1e-9) m =
+  m.rows = m.cols
+  &&
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if abs_float (unsafe_get m i j -. unsafe_get m j i) > eps then
+        ok := false
+    done
+  done;
+  !ok
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (unsafe_get m i j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,91 @@
+(** Dense matrices of floats, stored row-major in a flat array. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+(** [create r c x] is an [r]x[c] matrix filled with [x]. *)
+val create : int -> int -> float -> t
+
+val zeros : int -> int -> t
+
+(** [identity n] is the [n]x[n] identity. *)
+val identity : int -> t
+
+(** [init r c f] has entry [f i j] at row [i], column [j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+(** [of_rows rows] builds a matrix from an array of equal-length rows. *)
+val of_rows : float array array -> t
+
+(** [of_vec v] is the column matrix of [v]. *)
+val of_vec : Vec.t -> t
+
+(** [diag v] is the square diagonal matrix with diagonal [v]. *)
+val diag : Vec.t -> t
+
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+
+(** [get m i j] / [set m i j x]: bounds-checked element access. *)
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+(** [unsafe_get]/[unsafe_set]: no bounds checks; for inner loops. *)
+val unsafe_get : t -> int -> int -> float
+
+val unsafe_set : t -> int -> int -> float -> unit
+
+(** [row m i] is a copy of row [i] as a vector. *)
+val row : t -> int -> Vec.t
+
+(** [col m j] is a copy of column [j] as a vector. *)
+val col : t -> int -> Vec.t
+
+(** [set_row m i v] overwrites row [i]. *)
+val set_row : t -> int -> Vec.t -> unit
+
+(** [transpose m] is [m]ᵀ. *)
+val transpose : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+(** [matmul a b] is the matrix product [a*b]. *)
+val matmul : t -> t -> t
+
+(** [matvec a x] is [a*x]. *)
+val matvec : t -> Vec.t -> Vec.t
+
+(** [tmatvec a x] is [aᵀ*x], without forming the transpose. *)
+val tmatvec : t -> Vec.t -> Vec.t
+
+(** [gram a] is [aᵀ*a] computed symmetrically. *)
+val gram : t -> t
+
+(** [scale_cols a d] is [a * diag d]: column [j] scaled by [d.(j)]. *)
+val scale_cols : t -> Vec.t -> t
+
+(** [vstack a b] stacks [a] on top of [b] (same column count). *)
+val vstack : t -> t -> t
+
+(** [hstack a b] places [a] left of [b] (same row count). *)
+val hstack : t -> t -> t
+
+(** [submatrix m ~row ~col ~rows ~cols] is a copied rectangular block. *)
+val submatrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+
+(** [select_cols m js] is the matrix of columns [js] of [m], in order. *)
+val select_cols : t -> int array -> t
+
+(** [frobenius m] is the Frobenius norm. *)
+val frobenius : t -> float
+
+(** [equal ?eps a b] is entry-wise equality within tolerance. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [is_symmetric ?eps m]. *)
+val is_symmetric : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

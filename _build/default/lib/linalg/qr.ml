@@ -1,0 +1,89 @@
+(* Householder QR in LAPACK-style compact storage: the k-th reflector
+   v_k (with v_k(k) = 1 implicit) is stored below the diagonal of [qr],
+   R on and above the diagonal, and the scalar beta_k in [beta]. *)
+
+type t = { qr : Mat.t; beta : float array }
+
+exception Rank_deficient of int
+
+let factor a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  let qr = Mat.copy a in
+  let beta = Array.make n 0. in
+  for k = 0 to n - 1 do
+    (* Norm of the k-th column below (and including) the diagonal. *)
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      let x = Mat.unsafe_get qr i k in
+      norm := !norm +. (x *. x)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0. then begin
+      let akk = Mat.unsafe_get qr k k in
+      let alpha = if akk >= 0. then -.norm else norm in
+      let v0 = akk -. alpha in
+      (* v = x - alpha*e1, normalized so v(k) = 1. *)
+      if v0 <> 0. then begin
+        for i = k + 1 to m - 1 do
+          Mat.unsafe_set qr i k (Mat.unsafe_get qr i k /. v0)
+        done;
+        beta.(k) <- -.v0 /. alpha;
+        Mat.unsafe_set qr k k alpha;
+        (* Apply the reflector to the remaining columns. *)
+        for j = k + 1 to n - 1 do
+          let s = ref (Mat.unsafe_get qr k j) in
+          for i = k + 1 to m - 1 do
+            s := !s +. (Mat.unsafe_get qr i k *. Mat.unsafe_get qr i j)
+          done;
+          let s = beta.(k) *. !s in
+          Mat.unsafe_set qr k j (Mat.unsafe_get qr k j -. s);
+          for i = k + 1 to m - 1 do
+            Mat.unsafe_set qr i j
+              (Mat.unsafe_get qr i j -. (s *. Mat.unsafe_get qr i k))
+          done
+        done
+      end
+    end
+  done;
+  { qr; beta }
+
+let apply_qt f b =
+  let m = Mat.rows f.qr and n = Mat.cols f.qr in
+  if Array.length b <> m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    if f.beta.(k) <> 0. then begin
+      let s = ref y.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (Mat.unsafe_get f.qr i k *. y.(i))
+      done;
+      let s = f.beta.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to m - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.unsafe_get f.qr i k)
+      done
+    end
+  done;
+  y
+
+let r f =
+  let n = Mat.cols f.qr in
+  Mat.init n n (fun i j -> if j >= i then Mat.unsafe_get f.qr i j else 0.)
+
+let lstsq f b =
+  let n = Mat.cols f.qr in
+  let y = apply_qt f b in
+  let x = Array.sub y 0 n in
+  for i = n - 1 downto 0 do
+    let rii = Mat.unsafe_get f.qr i i in
+    if abs_float rii < 1e-300 then raise (Rank_deficient i);
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.unsafe_get f.qr i j *. x.(j))
+    done;
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let solve_lstsq a b = lstsq (factor a) b

@@ -1,0 +1,24 @@
+(** Householder QR factorization and least-squares solves. *)
+
+type t
+(** A factorization [A = Q*R] of an [m]x[n] matrix with [m >= n]. *)
+
+exception Rank_deficient of int
+(** Raised by [lstsq] when a diagonal entry of [R] is numerically zero;
+    payload is the column index. *)
+
+(** [factor a] factors [a] ([m >= n] required). *)
+val factor : Mat.t -> t
+
+(** [lstsq f b] is the least-squares solution of [A x ≈ b].
+    @raise Rank_deficient if [A] does not have full column rank. *)
+val lstsq : t -> Vec.t -> Vec.t
+
+(** [r f] is the upper-triangular [n]x[n] factor. *)
+val r : t -> Mat.t
+
+(** [apply_qt f b] is [Qᵀ b] (length [m]). *)
+val apply_qt : t -> Vec.t -> Vec.t
+
+(** [solve_lstsq a b] is [lstsq (factor a) b]. *)
+val solve_lstsq : Mat.t -> Vec.t -> Vec.t

@@ -1,0 +1,129 @@
+type t = float array
+
+let create n x = Array.make n x
+let zeros n = create n 0.
+let ones n = create n 1.
+let init = Array.init
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = zeros n in
+  v.(i) <- 1.;
+  v
+
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length u) (Array.length v))
+
+let add u v =
+  check_same_dim "add" u v;
+  Array.mapi (fun i x -> x +. v.(i)) u
+
+let sub u v =
+  check_same_dim "sub" u v;
+  Array.mapi (fun i x -> x -. v.(i)) u
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  Array.mapi (fun i yi -> (a *. x.(i)) +. yi) y
+
+let axpy_inplace a x y =
+  check_same_dim "axpy_inplace" x y;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let mul u v =
+  check_same_dim "mul" u v;
+  Array.mapi (fun i x -> x *. v.(i)) u
+
+let div u v =
+  check_same_dim "div" u v;
+  Array.mapi (fun i x -> x /. v.(i)) u
+
+let dot u v =
+  check_same_dim "dot" u v;
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let norm2 v = sqrt (dot v v)
+let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0. v
+
+let norm_inf v =
+  Array.fold_left (fun acc x -> Stdlib.max acc (abs_float x)) 0. v
+
+let dist2 u v =
+  check_same_dim "dist2" u v;
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    let d = u.(i) -. v.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let sum v = Array.fold_left ( +. ) 0. v
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  sum v /. float_of_int (Array.length v)
+
+let fold_nonempty name f v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let acc = ref v.(0) in
+  for i = 1 to Array.length v - 1 do
+    acc := f !acc v.(i)
+  done;
+  !acc
+
+let min v = fold_nonempty "min" Stdlib.min v
+let max v = fold_nonempty "max" Stdlib.max v
+
+let arg_best name better v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if better v.(i) v.(!best) then best := i
+  done;
+  !best
+
+let argmax v = arg_best "argmax" ( > ) v
+let argmin v = arg_best "argmin" ( < ) v
+let map = Array.map
+let mapi = Array.mapi
+
+let map2 f u v =
+  check_same_dim "map2" u v;
+  Array.mapi (fun i x -> f x v.(i)) u
+
+let clamp_nonneg v = Array.map (fun x -> if x < 0. then 0. else x) v
+
+let equal ?(eps = 1e-9) u v =
+  Array.length u = Array.length v
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length u - 1 do
+    if abs_float (u.(i) -. v.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "@]]"
+
+let to_list = Array.to_list
+let of_list = Array.of_list

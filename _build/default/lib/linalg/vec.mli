@@ -1,0 +1,101 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module collects the numerical
+    operations the rest of the library needs.  All binary operations require
+    operands of equal length and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+(** [create n x] is a vector of length [n] filled with [x]. *)
+val create : int -> float -> t
+
+(** [zeros n] is the zero vector of length [n]. *)
+val zeros : int -> t
+
+(** [ones n] is the all-ones vector of length [n]. *)
+val ones : int -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [basis n i] is the [i]-th standard basis vector of length [n]. *)
+val basis : int -> int -> t
+
+(** [copy v] is an independent copy of [v]. *)
+val copy : t -> t
+
+val dim : t -> int
+
+(** [add u v] is the element-wise sum. *)
+val add : t -> t -> t
+
+(** [sub u v] is the element-wise difference [u - v]. *)
+val sub : t -> t -> t
+
+(** [scale a v] is [a * v]. *)
+val scale : float -> t -> t
+
+(** [axpy a x y] is [a*x + y]. *)
+val axpy : float -> t -> t -> t
+
+(** [axpy_inplace a x y] adds [a*x] into [y]. *)
+val axpy_inplace : float -> t -> t -> unit
+
+(** [mul u v] is the element-wise (Hadamard) product. *)
+val mul : t -> t -> t
+
+(** [div u v] is the element-wise quotient. *)
+val div : t -> t -> t
+
+(** [dot u v] is the inner product. *)
+val dot : t -> t -> float
+
+(** [norm2 v] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm1 v] is the sum of absolute values. *)
+val norm1 : t -> float
+
+(** [norm_inf v] is the maximum absolute value, 0 for the empty vector. *)
+val norm_inf : t -> float
+
+(** [dist2 u v] is [norm2 (sub u v)] without allocating. *)
+val dist2 : t -> t -> float
+
+(** [sum v] is the sum of the entries. *)
+val sum : t -> float
+
+(** [mean v] is the arithmetic mean; raises [Invalid_argument] if empty. *)
+val mean : t -> float
+
+(** [min v] and [max v]; raise [Invalid_argument] if empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** [argmax v] is the index of the first maximal entry. *)
+val argmax : t -> int
+
+val argmin : t -> int
+
+(** [map f v] applies [f] element-wise. *)
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> float -> float) -> t -> t
+
+(** [map2 f u v] applies [f] pair-wise. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [clamp_nonneg v] replaces negative entries by 0. *)
+val clamp_nonneg : t -> t
+
+(** [equal ?eps u v] tests element-wise equality within absolute
+    tolerance [eps] (default [1e-9]). *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [pp] prints as [[x0; x1; ...]] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit
+
+val to_list : t -> float list
+
+val of_list : float list -> t

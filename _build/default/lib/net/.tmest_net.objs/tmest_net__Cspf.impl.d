@@ -1,0 +1,1 @@
+lib/net/cspf.ml: Array Dijkstra List Stdlib Topology

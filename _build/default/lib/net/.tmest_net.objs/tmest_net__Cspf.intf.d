@@ -1,0 +1,1 @@
+lib/net/cspf.mli: Topology

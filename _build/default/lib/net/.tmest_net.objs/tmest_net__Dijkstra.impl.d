@@ -1,0 +1,1 @@
+lib/net/dijkstra.ml: Array List Set Topology

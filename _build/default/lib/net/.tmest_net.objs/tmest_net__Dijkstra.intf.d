@@ -1,0 +1,1 @@
+lib/net/dijkstra.mli: Topology

@@ -1,0 +1,1 @@
+lib/net/lsp.ml: Array Cspf Odpairs Printf Topology

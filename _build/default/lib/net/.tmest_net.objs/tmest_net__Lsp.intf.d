@@ -1,0 +1,1 @@
+lib/net/lsp.mli: Cspf Tmest_linalg

@@ -1,0 +1,1 @@
+lib/net/odpairs.ml: Array Tmest_linalg

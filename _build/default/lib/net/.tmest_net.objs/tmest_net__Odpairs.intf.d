@@ -1,0 +1,1 @@
+lib/net/odpairs.mli: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/net/routing.ml: Array Cspf Dijkstra Float List Lsp Odpairs Printf Set Tmest_linalg Topology

@@ -1,0 +1,1 @@
+lib/net/routing.mli: Tmest_linalg Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Float Format Hashtbl List Queue Stdlib Tmest_stats

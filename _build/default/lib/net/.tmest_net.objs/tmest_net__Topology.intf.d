@@ -1,0 +1,1 @@
+lib/net/topology.mli: Format

@@ -1,0 +1,67 @@
+type t = {
+  topo : Topology.t;
+  reserved : float array;
+  up : bool array;
+}
+
+let create topo =
+  let l = Topology.num_links topo in
+  { topo; reserved = Array.make l 0.; up = Array.make l true }
+
+let topology t = t.topo
+
+let check_link t link_id =
+  if link_id < 0 || link_id >= Topology.num_links t.topo then
+    invalid_arg "Cspf: link id out of range"
+
+let available t link_id =
+  check_link t link_id;
+  if not t.up.(link_id) then 0.
+  else begin
+    let l = t.topo.Topology.links.(link_id) in
+    Stdlib.max 0. (l.Topology.capacity -. t.reserved.(link_id))
+  end
+
+let reserved t link_id =
+  check_link t link_id;
+  t.reserved.(link_id)
+
+let route t ~src ~dst ~bandwidth =
+  if bandwidth < 0. then invalid_arg "Cspf.route: negative bandwidth";
+  let usable l =
+    t.up.(l.Topology.link_id) && available t l.Topology.link_id >= bandwidth
+  in
+  Dijkstra.shortest_path ~usable t.topo ~src ~dst
+
+let reserve t ~src ~dst ~bandwidth =
+  match route t ~src ~dst ~bandwidth with
+  | None -> None
+  | Some path ->
+      List.iter
+        (fun link_id ->
+          t.reserved.(link_id) <- t.reserved.(link_id) +. bandwidth)
+        path;
+      Some path
+
+let release t ~path ~bandwidth =
+  List.iter
+    (fun link_id ->
+      check_link t link_id;
+      t.reserved.(link_id) <- Stdlib.max 0. (t.reserved.(link_id) -. bandwidth))
+    path
+
+let fail_link t link_id =
+  check_link t link_id;
+  t.up.(link_id) <- false
+
+let restore_link t link_id =
+  check_link t link_id;
+  t.up.(link_id) <- true
+
+let is_up t link_id =
+  check_link t link_id;
+  t.up.(link_id)
+
+let reset t =
+  Array.fill t.reserved 0 (Array.length t.reserved) 0.;
+  Array.fill t.up 0 (Array.length t.up) true

@@ -1,0 +1,46 @@
+(** Constraint-based shortest path first with bandwidth reservations.
+
+    Models the head-end behaviour of an MPLS-TE network (Section 5.1.1):
+    an LSP with a bandwidth value is routed on the minimum-IGP-metric
+    path among links with enough unreserved bandwidth, and RSVP-style
+    reservations are subtracted from the links along the chosen path. *)
+
+type t
+(** Mutable reservation/failure state over one topology. *)
+
+val create : Topology.t -> t
+
+(** [topology t] is the underlying topology. *)
+val topology : t -> Topology.t
+
+(** [available t link_id] is the unreserved capacity of a link
+    (0 when the link is failed). *)
+val available : t -> int -> float
+
+(** [reserved t link_id] is the currently reserved bandwidth. *)
+val reserved : t -> int -> float
+
+(** [route t ~src ~dst ~bandwidth] computes a constrained shortest path
+    without reserving.  Returns interior link ids, or [None] if no path
+    with enough headroom exists. *)
+val route : t -> src:int -> dst:int -> bandwidth:float -> int list option
+
+(** [reserve t ~src ~dst ~bandwidth] routes and books the reservation.
+    Returns the path taken. *)
+val reserve : t -> src:int -> dst:int -> bandwidth:float -> int list option
+
+(** [release t ~path ~bandwidth] returns a reservation. *)
+val release : t -> path:int list -> bandwidth:float -> unit
+
+(** [fail_link t link_id] takes a link (and reservations crossing it stay
+    booked; re-routing is the caller's policy) out of service;
+    [restore_link] brings it back. *)
+val fail_link : t -> int -> unit
+
+val restore_link : t -> int -> unit
+
+(** [is_up t link_id]. *)
+val is_up : t -> int -> bool
+
+(** [reset t] clears all reservations and failures. *)
+val reset : t -> unit

@@ -1,0 +1,78 @@
+(* Dijkstra with a set-based priority queue.  Keys carry (distance,
+   hops, node) so label comparison alone makes the tie-breaking
+   deterministic: shorter metric first, then fewer hops, then smaller
+   node id. *)
+
+module Key = struct
+  type t = float * int * int
+
+  let compare = compare
+end
+
+module Pq = Set.Make (Key)
+
+let default_usable (_ : Topology.link) = true
+
+let tree ?(usable = default_usable) (topo : Topology.t) ~src =
+  let n = Topology.num_nodes topo in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.tree: src out of range";
+  let dist = Array.make n infinity in
+  let hops = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.;
+  hops.(src) <- 0;
+  let queue = ref (Pq.singleton (0., 0, src)) in
+  while not (Pq.is_empty !queue) do
+    let ((_, _, u) as key) = Pq.min_elt !queue in
+    queue := Pq.remove key !queue;
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      List.iter
+        (fun (link_id, v) ->
+          let l = topo.Topology.links.(link_id) in
+          if (not visited.(v)) && usable l then begin
+            let nd = dist.(u) +. l.Topology.metric in
+            let nh = hops.(u) + 1 in
+            if
+              nd < dist.(v)
+              || (nd = dist.(v) && nh < hops.(v))
+              || (nd = dist.(v) && nh = hops.(v) && parent.(v) > link_id)
+            then begin
+              dist.(v) <- nd;
+              hops.(v) <- nh;
+              parent.(v) <- link_id;
+              queue := Pq.add (nd, nh, v) !queue
+            end
+          end)
+        topo.Topology.outgoing.(u)
+    end
+  done;
+  (dist, parent)
+
+let path_of_tree (topo : Topology.t) parent ~src ~dst =
+  if src = dst then Some []
+  else if parent.(dst) < 0 then None
+  else begin
+    let rec walk node acc =
+      if node = src then Some acc
+      else begin
+        let link_id = parent.(node) in
+        if link_id < 0 then None
+        else begin
+          let l = topo.Topology.links.(link_id) in
+          walk l.Topology.src (link_id :: acc)
+        end
+      end
+    in
+    walk dst []
+  end
+
+let shortest_path ?usable topo ~src ~dst =
+  let _, parent = tree ?usable topo ~src in
+  path_of_tree topo parent ~src ~dst
+
+let path_metric (topo : Topology.t) path =
+  List.fold_left
+    (fun acc link_id -> acc +. topo.Topology.links.(link_id).Topology.metric)
+    0. path

@@ -1,0 +1,30 @@
+(** Shortest paths over the interior links of a topology. *)
+
+(** [shortest_path ?usable topo ~src ~dst] is the minimum-metric path from
+    [src] to [dst] as a list of interior link ids (in travel order), or
+    [None] if [dst] is unreachable.  [usable] filters links (default:
+    all interior links); ties are broken toward fewer hops, then lower
+    link ids, so paths are deterministic. *)
+val shortest_path :
+  ?usable:(Topology.link -> bool) ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  int list option
+
+(** [tree ?usable topo ~src] computes, for every node, the distance from
+    [src] and the incoming link on the shortest-path tree ([-1] at the
+    root / unreachable marked by [infinity]). *)
+val tree :
+  ?usable:(Topology.link -> bool) ->
+  Topology.t ->
+  src:int ->
+  float array * int array
+
+(** [path_of_tree topo parents ~src ~dst] reconstructs the link-id path
+    from a [tree] result, or [None] if unreachable. *)
+val path_of_tree :
+  Topology.t -> int array -> src:int -> dst:int -> int list option
+
+(** [path_metric topo path] sums the metrics along a link-id path. *)
+val path_metric : Topology.t -> int list -> float

@@ -1,0 +1,54 @@
+type t = {
+  lsp_id : int;
+  src : int;
+  dst : int;
+  bandwidth : float;
+  path : int list;
+}
+
+let route_one cspf ~src ~dst ~bandwidth =
+  match Cspf.reserve cspf ~src ~dst ~bandwidth with
+  | Some path -> path
+  | None -> (
+      (* Fall back to the plain shortest path: the tunnel is still set
+         up, just without honoring the constraint. *)
+      match Cspf.route cspf ~src ~dst ~bandwidth:0. with
+      | Some path -> path
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Lsp.mesh: no path from node %d to node %d" src
+               dst))
+
+let mesh cspf ~bandwidths =
+  let topo = Cspf.topology cspf in
+  let n = Topology.num_nodes topo in
+  let p = Odpairs.count n in
+  if Array.length bandwidths <> p then
+    invalid_arg "Lsp.mesh: bandwidth vector has wrong dimension";
+  let order = Array.init p (fun i -> i) in
+  Array.sort
+    (fun a b -> compare bandwidths.(b) bandwidths.(a))
+    order;
+  let lsps = Array.make p None in
+  Array.iter
+    (fun pair ->
+      let src, dst = Odpairs.pair ~nodes:n pair in
+      let bandwidth = bandwidths.(pair) in
+      let path = route_one cspf ~src ~dst ~bandwidth in
+      lsps.(pair) <- Some { lsp_id = pair; src; dst; bandwidth; path })
+    order;
+  Array.map
+    (function Some l -> l | None -> assert false)
+    lsps
+
+let reroute cspf lsp =
+  Cspf.release cspf ~path:lsp.path ~bandwidth:lsp.bandwidth;
+  let path =
+    route_one cspf ~src:lsp.src ~dst:lsp.dst ~bandwidth:lsp.bandwidth
+  in
+  { lsp with path }
+
+let paths lsps =
+  let arr = Array.make (Array.length lsps) [] in
+  Array.iter (fun l -> arr.(l.lsp_id) <- l.path) lsps;
+  arr

@@ -1,0 +1,31 @@
+(** MPLS label-switched paths and full-mesh setup.
+
+    Global Crossing's measurement infrastructure rests on a full mesh of
+    LSPs between core routers; per-LSP byte counters then give the exact
+    traffic matrix.  [mesh] reproduces the setup: one LSP per ordered PoP
+    pair, routed by CSPF in decreasing order of requested bandwidth. *)
+
+type t = {
+  lsp_id : int;  (** equals the OD-pair index of (src, dst) *)
+  src : int;
+  dst : int;
+  bandwidth : float;  (** reserved bandwidth (bits/s) *)
+  path : int list;  (** interior link ids, in travel order *)
+}
+
+(** [mesh cspf ~bandwidths] sets up a full mesh over the CSPF state:
+    [bandwidths.(p)] is the requested bandwidth of OD pair [p].  LSPs are
+    placed in decreasing bandwidth order (largest trunks get first pick,
+    the usual TE practice); when no constrained path exists the LSP falls
+    back to the unconstrained shortest path, mirroring an operator
+    over-subscribing rather than leaving a pair dark.
+    @raise Invalid_argument if the topology is disconnected for some pair. *)
+val mesh : Cspf.t -> bandwidths:Tmest_linalg.Vec.t -> t array
+
+(** [reroute cspf lsp] recomputes one LSP's path on the current CSPF
+    state (e.g. after a link failure), returning the updated LSP.  The
+    old reservation is released first. *)
+val reroute : Cspf.t -> t -> t
+
+(** [paths lsps] extracts the per-pair path array indexed by lsp_id. *)
+val paths : t array -> int list array

@@ -1,0 +1,40 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+
+let count n = n * (n - 1)
+
+let index ~nodes ~src ~dst =
+  if src < 0 || src >= nodes || dst < 0 || dst >= nodes then
+    invalid_arg "Odpairs.index: node out of range";
+  if src = dst then invalid_arg "Odpairs.index: src = dst";
+  (src * (nodes - 1)) + if dst < src then dst else dst - 1
+
+let pair ~nodes p =
+  if p < 0 || p >= count nodes then invalid_arg "Odpairs.pair: out of range";
+  let src = p / (nodes - 1) in
+  let r = p mod (nodes - 1) in
+  let dst = if r < src then r else r + 1 in
+  (src, dst)
+
+let iter ~nodes f =
+  for p = 0 to count nodes - 1 do
+    let src, dst = pair ~nodes p in
+    f p src dst
+  done
+
+let source ~nodes p = fst (pair ~nodes p)
+let dest ~nodes p = snd (pair ~nodes p)
+
+let matrix_of_vector ~nodes s =
+  if Array.length s <> count nodes then
+    invalid_arg "Odpairs.matrix_of_vector: dimension mismatch";
+  let m = Mat.zeros nodes nodes in
+  iter ~nodes (fun p src dst -> Mat.set m src dst s.(p));
+  m
+
+let vector_of_matrix ~nodes m =
+  if Mat.rows m <> nodes || Mat.cols m <> nodes then
+    invalid_arg "Odpairs.vector_of_matrix: dimension mismatch";
+  let s = Vec.zeros (count nodes) in
+  iter ~nodes (fun p src dst -> s.(p) <- Mat.get m src dst);
+  s

@@ -1,0 +1,31 @@
+(** Enumeration of origin-destination pairs.
+
+    A network with [n] nodes has [P = n*(n-1)] ordered pairs of distinct
+    nodes.  This module fixes the bijection between pair indices
+    [0 .. P-1] and [(src, dst)] tuples used by every traffic matrix and
+    routing matrix in the library. *)
+
+(** [count n] is [n * (n - 1)]. *)
+val count : int -> int
+
+(** [index ~nodes ~src ~dst] is the pair index of [(src, dst)].
+    @raise Invalid_argument if [src = dst] or out of range. *)
+val index : nodes:int -> src:int -> dst:int -> int
+
+(** [pair ~nodes p] is the [(src, dst)] of pair index [p]. *)
+val pair : nodes:int -> int -> int * int
+
+(** [iter ~nodes f] applies [f p src dst] for every ordered pair. *)
+val iter : nodes:int -> (int -> int -> int -> unit) -> unit
+
+(** [source ~nodes p] / [dest ~nodes p] project a pair index. *)
+val source : nodes:int -> int -> int
+
+val dest : nodes:int -> int -> int
+
+(** [matrix_of_vector ~nodes s] reshapes a demand vector into an [n]x[n]
+    matrix with zero diagonal; [vector_of_matrix] inverts it (the diagonal
+    is ignored). *)
+val matrix_of_vector : nodes:int -> Tmest_linalg.Vec.t -> Tmest_linalg.Mat.t
+
+val vector_of_matrix : nodes:int -> Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t

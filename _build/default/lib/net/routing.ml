@@ -1,0 +1,178 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+
+type t = {
+  topo : Topology.t;
+  matrix : Csr.t;
+  paths : int list array;
+}
+
+let validate_path topo ~src ~dst path =
+  let current = ref src in
+  List.iter
+    (fun link_id ->
+      if link_id < 0 || link_id >= Topology.num_links topo then
+        invalid_arg "Routing: link id out of range";
+      let l = topo.Topology.links.(link_id) in
+      if l.Topology.lkind <> Topology.Interior then
+        invalid_arg "Routing: path uses a non-interior link";
+      if l.Topology.src <> !current then
+        invalid_arg "Routing: path is not a contiguous walk";
+      current := l.Topology.dst)
+    path;
+  if !current <> dst then invalid_arg "Routing: path does not reach dst"
+
+let of_paths topo paths =
+  let n = Topology.num_nodes topo in
+  let p = Odpairs.count n in
+  if Array.length paths <> p then
+    invalid_arg "Routing.of_paths: need one path per OD pair";
+  let entries = ref [] in
+  Odpairs.iter ~nodes:n (fun pair src dst ->
+      validate_path topo ~src ~dst paths.(pair);
+      entries := (Topology.ingress_link topo src, pair, 1.) :: !entries;
+      entries := (Topology.egress_link topo dst, pair, 1.) :: !entries;
+      List.iter
+        (fun link_id -> entries := (link_id, pair, 1.) :: !entries)
+        paths.(pair));
+  let matrix =
+    Csr.of_triplets ~rows:(Topology.num_links topo) ~cols:p !entries
+  in
+  { topo; matrix; paths }
+
+let shortest_path topo =
+  let n = Topology.num_nodes topo in
+  let paths = Array.make (Odpairs.count n) [] in
+  for src = 0 to n - 1 do
+    let _, parent = Dijkstra.tree topo ~src in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        match Dijkstra.path_of_tree topo parent ~src ~dst with
+        | Some path -> paths.(Odpairs.index ~nodes:n ~src ~dst) <- path
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Routing.shortest_path: %d unreachable from %d"
+                 dst src)
+      end
+    done
+  done;
+  of_paths topo paths
+
+let cspf_mesh topo ~bandwidths =
+  let cspf = Cspf.create topo in
+  let lsps = Lsp.mesh cspf ~bandwidths in
+  of_paths topo (Lsp.paths lsps)
+
+(* Per-destination reverse shortest-path distances over interior links. *)
+let distances_to topo ~dst =
+  let n = Topology.num_nodes topo in
+  let dist = Array.make n infinity in
+  dist.(dst) <- 0.;
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let queue = ref (Pq.singleton (0., dst)) in
+  let visited = Array.make n false in
+  (* Incoming interior links per node. *)
+  let incoming = Array.make n [] in
+  Array.iter
+    (fun l ->
+      if l.Topology.lkind = Topology.Interior then
+        incoming.(l.Topology.dst) <- l :: incoming.(l.Topology.dst))
+    topo.Topology.links;
+  while not (Pq.is_empty !queue) do
+    let ((_, v) as key) = Pq.min_elt !queue in
+    queue := Pq.remove key !queue;
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter
+        (fun l ->
+          let u = l.Topology.src in
+          let nd = dist.(v) +. l.Topology.metric in
+          if nd < dist.(u) then begin
+            dist.(u) <- nd;
+            queue := Pq.add (nd, u) !queue
+          end)
+        incoming.(v)
+    end
+  done;
+  dist
+
+let ecmp topo =
+  let n = Topology.num_nodes topo in
+  let p = Odpairs.count n in
+  let eps = 1e-9 in
+  let entries = ref [] in
+  let paths = Array.make p [] in
+  for dst = 0 to n - 1 do
+    let dist = distances_to topo ~dst in
+    (* Equal-cost next-hop links per node towards [dst]. *)
+    let dag = Array.make n [] in
+    Array.iter
+      (fun l ->
+        if l.Topology.lkind = Topology.Interior then begin
+          let u = l.Topology.src and v = l.Topology.dst in
+          if
+            Float.is_finite dist.(u)
+            && abs_float (dist.(u) -. (l.Topology.metric +. dist.(v))) < eps
+          then dag.(u) <- l :: dag.(u)
+        end)
+      topo.Topology.links;
+    let dag = Array.map List.rev dag in
+    (* Node processing order: decreasing distance to dst. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare dist.(b) dist.(a)) order;
+    for src = 0 to n - 1 do
+      if src <> dst then begin
+        if not (Float.is_finite dist.(src)) then
+          invalid_arg "Routing.ecmp: destination unreachable";
+        let pair = Odpairs.index ~nodes:n ~src ~dst in
+        (* Per-hop equal splitting of one unit of demand. *)
+        let flow = Array.make n 0. in
+        flow.(src) <- 1.;
+        Array.iter
+          (fun u ->
+            if u <> dst && flow.(u) > 0. then begin
+              let next = dag.(u) in
+              let share = flow.(u) /. float_of_int (List.length next) in
+              List.iter
+                (fun l ->
+                  entries := (l.Topology.link_id, pair, share) :: !entries;
+                  flow.(l.Topology.dst) <- flow.(l.Topology.dst) +. share)
+                next
+            end)
+          order;
+        entries := (Topology.ingress_link topo src, pair, 1.) :: !entries;
+        entries := (Topology.egress_link topo dst, pair, 1.) :: !entries;
+        (* Representative path: lowest-link-id next hop at each node. *)
+        let rec walk u acc =
+          if u = dst then List.rev acc
+          else begin
+            match dag.(u) with
+            | [] -> invalid_arg "Routing.ecmp: broken DAG"
+            | l :: _ -> walk l.Topology.dst (l.Topology.link_id :: acc)
+          end
+        in
+        paths.(pair) <- walk src []
+      end
+    done
+  done;
+  let matrix =
+    Csr.of_triplets ~rows:(Topology.num_links topo) ~cols:p !entries
+  in
+  { topo; matrix; paths }
+
+let link_loads t s = Csr.matvec t.matrix s
+let dense t = Csr.to_dense t.matrix
+let num_pairs t = Csr.cols t.matrix
+let num_links t = Csr.rows t.matrix
+let ingress_row t n = Topology.ingress_link t.topo n
+let egress_row t n = Topology.egress_link t.topo n
+
+let interior_rows t =
+  List.map
+    (fun l -> l.Topology.link_id)
+    (Topology.interior_links t.topo)

@@ -1,0 +1,57 @@
+(** Routing matrices: the [R] of [R s = t] (paper eq. 1-2).
+
+    Rows are links (interior + access), columns are OD pairs; entry
+    [(l, p)] is 1 when pair [p]'s path crosses link [l].  The ingress
+    access link of node [n] carries every pair sourced at [n] and the
+    egress link of [m] every pair destined to [m], so the link-load
+    vector [R s] contains the node totals [te(n)], [tx(m)] alongside the
+    interior loads. *)
+
+type t = {
+  topo : Topology.t;
+  matrix : Tmest_linalg.Csr.t;  (** L x P, 0/1 *)
+  paths : int list array;  (** per OD pair, interior link ids *)
+}
+
+(** [of_paths topo paths] builds the routing matrix from per-pair
+    interior paths (as produced by {!Lsp.paths}).
+    @raise Invalid_argument if a path's links do not form a walk from the
+    pair's source to its destination. *)
+val of_paths : Topology.t -> int list array -> t
+
+(** [shortest_path topo] routes every pair on the plain IGP shortest
+    path. *)
+val shortest_path : Topology.t -> t
+
+(** [cspf_mesh topo ~bandwidths] sets up an LSP full mesh (see
+    {!Lsp.mesh}) and extracts its routing. *)
+val cspf_mesh : Topology.t -> bandwidths:Tmest_linalg.Vec.t -> t
+
+(** [ecmp topo] routes every pair over *all* of its equal-cost shortest
+    paths with per-hop equal splitting (the OSPF/IS-IS ECMP behaviour),
+    producing a fractional routing matrix (paper Section 3.1: "the
+    routing matrix may easily be transformed ... by allowing fractional
+    values").  [paths] holds one representative shortest path per pair. *)
+val ecmp : Topology.t -> t
+
+(** [link_loads t s] is [R s]: the exact link loads induced by demand
+    vector [s]. *)
+val link_loads : t -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [dense t] is [R] as a dense matrix (small networks / solvers that
+    need dense access). *)
+val dense : t -> Tmest_linalg.Mat.t
+
+(** [num_pairs t] and [num_links t]. *)
+val num_pairs : t -> int
+
+val num_links : t -> int
+
+(** [ingress_row t n] / [egress_row t n] are the row indices carrying
+    node [n]'s total ingress/egress traffic. *)
+val ingress_row : t -> int -> int
+
+val egress_row : t -> int -> int
+
+(** [interior_rows t] is the list of interior-link row indices. *)
+val interior_rows : t -> int list

@@ -1,0 +1,301 @@
+module Rng = Tmest_stats.Rng
+
+type node_kind = Access | Peering
+
+type node = {
+  node_id : int;
+  name : string;
+  kind : node_kind;
+  lat : float;
+  lon : float;
+}
+
+type link_kind = Interior | Ingress of int | Egress of int
+
+type link = {
+  link_id : int;
+  src : int;
+  dst : int;
+  capacity : float;
+  metric : float;
+  lkind : link_kind;
+}
+
+type t = {
+  net_name : string;
+  nodes : node array;
+  links : link array;
+  outgoing : (int * int) list array;
+}
+
+let num_nodes t = Array.length t.nodes
+let num_links t = Array.length t.links
+
+let num_interior_links t =
+  Array.fold_left
+    (fun acc l -> if l.lkind = Interior then acc + 1 else acc)
+    0 t.links
+
+let find_access t n pred =
+  let found = ref (-1) in
+  Array.iter (fun l -> if pred l.lkind n then found := l.link_id) t.links;
+  if !found < 0 then invalid_arg "Topology: node has no access link";
+  !found
+
+let ingress_link t n =
+  find_access t n (fun k n -> match k with Ingress m -> m = n | _ -> false)
+
+let egress_link t n =
+  find_access t n (fun k n -> match k with Egress m -> m = n | _ -> false)
+
+let interior_links t =
+  Array.to_list t.links |> List.filter (fun l -> l.lkind = Interior)
+
+let build ~name nodes edges =
+  let n = Array.length nodes in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b, capacity, metric) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Topology.build: endpoint out of range";
+      if a = b then invalid_arg "Topology.build: self loop";
+      if capacity <= 0. || metric <= 0. then
+        invalid_arg "Topology.build: capacity and metric must be positive";
+      let key = (Stdlib.min a b, Stdlib.max a b) in
+      if Hashtbl.mem seen key then
+        invalid_arg "Topology.build: duplicate edge";
+      Hashtbl.add seen key ())
+    edges;
+  let interior =
+    List.concat_map
+      (fun (a, b, capacity, metric) ->
+        [ (a, b, capacity, metric); (b, a, capacity, metric) ])
+      edges
+  in
+  let node_capacity = Array.make n 0. in
+  List.iter
+    (fun (a, _, c, _) -> node_capacity.(a) <- node_capacity.(a) +. c)
+    interior;
+  let links = ref [] in
+  let next_id = ref 0 in
+  let add src dst capacity metric lkind =
+    links := { link_id = !next_id; src; dst; capacity; metric; lkind } :: !links;
+    incr next_id
+  in
+  List.iter (fun (a, b, c, m) -> add a b c m Interior) interior;
+  for i = 0 to n - 1 do
+    let cap = Stdlib.max node_capacity.(i) 1e9 in
+    add (-1) i cap 1. (Ingress i);
+    add i (-1) cap 1. (Egress i)
+  done;
+  let links = Array.of_list (List.rev !links) in
+  let outgoing = Array.make n [] in
+  Array.iter
+    (fun l ->
+      if l.lkind = Interior then
+        outgoing.(l.src) <- (l.link_id, l.dst) :: outgoing.(l.src))
+    links;
+  Array.iteri (fun i adj -> outgoing.(i) <- List.rev adj) outgoing;
+  { net_name = name; nodes; links; outgoing }
+
+let pi = 4. *. atan 1.
+
+let haversine_km (lat1, lon1) (lat2, lon2) =
+  let rad x = x *. pi /. 180. in
+  let dlat = rad (lat2 -. lat1) and dlon = rad (lon2 -. lon1) in
+  let a =
+    (sin (dlat /. 2.) ** 2.)
+    +. (cos (rad lat1) *. cos (rad lat2) *. (sin (dlon /. 2.) ** 2.))
+  in
+  2. *. 6371. *. asin (sqrt (Stdlib.min 1. a))
+
+(* Capacity tiers: OC-48 / OC-192 / OC-768. *)
+let capacity_tiers = [| 2.5e9; 10e9; 40e9 |]
+
+let generate ~name ~seed ~nodes:n ~directed_links cities =
+  if n < 3 then invalid_arg "Topology.generate: need at least 3 nodes";
+  if Array.length cities < n then
+    invalid_arg "Topology.generate: not enough cities";
+  let core_directed = directed_links - (2 * n) in
+  if core_directed < 2 * n || core_directed mod 2 <> 0 then
+    invalid_arg "Topology.generate: unrealizable link budget";
+  let edges_wanted = core_directed / 2 in
+  if edges_wanted > n * (n - 1) / 2 then
+    invalid_arg "Topology.generate: more edges than node pairs";
+  let rng = Rng.create seed in
+  let node_arr =
+    Array.init n (fun i ->
+        let name, lat, lon = cities.(i) in
+        { node_id = i; name; kind = Access; lat; lon })
+  in
+  (* Order nodes by angle around the centroid so the ring is geographic. *)
+  let clat =
+    Array.fold_left (fun acc nd -> acc +. nd.lat) 0. node_arr /. float_of_int n
+  in
+  let clon =
+    Array.fold_left (fun acc nd -> acc +. nd.lon) 0. node_arr /. float_of_int n
+  in
+  let order = Array.init n (fun i -> i) in
+  let angle i =
+    atan2 (node_arr.(i).lat -. clat) (node_arr.(i).lon -. clon)
+  in
+  Array.sort (fun a b -> compare (angle a) (angle b)) order;
+  let edge_set = Hashtbl.create 64 in
+  let edge_key a b = (Stdlib.min a b, Stdlib.max a b) in
+  let edges = ref [] in
+  let dist a b =
+    haversine_km
+      (node_arr.(a).lat, node_arr.(a).lon)
+      (node_arr.(b).lat, node_arr.(b).lon)
+  in
+  let pick_capacity importance =
+    (* Busier (shorter, more central) links tend to be fatter pipes. *)
+    let r = Rng.float rng +. importance in
+    if r > 1.2 then capacity_tiers.(2)
+    else if r > 0.6 then capacity_tiers.(1)
+    else capacity_tiers.(0)
+  in
+  let add_edge a b importance =
+    let key = edge_key a b in
+    if not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      let km = dist a b in
+      let metric = Stdlib.max 1. (Float.round (km /. 50.)) in
+      edges := (a, b, pick_capacity importance, metric) :: !edges
+    end
+  in
+  (* Ring for strong connectivity. *)
+  for i = 0 to n - 1 do
+    add_edge order.(i) order.((i + 1) mod n) 0.5
+  done;
+  (* Shortcut edges, biased toward close pairs (real backbones are
+     distance-sensitive but not planar). *)
+  let candidates = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if not (Hashtbl.mem edge_set (edge_key a b)) then
+        candidates := (a, b) :: !candidates
+    done
+  done;
+  let cand = Array.of_list !candidates in
+  let weights =
+    Array.map (fun (a, b) -> 1. /. ((1. +. (dist a b /. 500.)) ** 2.)) cand
+  in
+  let remaining = ref (edges_wanted - n) in
+  let active = Array.make (Array.length cand) true in
+  while !remaining > 0 do
+    let total =
+      Array.fold_left ( +. ) 0.
+        (Array.mapi (fun i w -> if active.(i) then w else 0.) weights)
+    in
+    let target = Rng.float rng *. total in
+    let acc = ref 0. and chosen = ref (-1) in
+    Array.iteri
+      (fun i w ->
+        if active.(i) && !chosen < 0 then begin
+          acc := !acc +. w;
+          if !acc >= target then chosen := i
+        end)
+      weights;
+    let i = if !chosen < 0 then Array.length cand - 1 else !chosen in
+    if active.(i) then begin
+      active.(i) <- false;
+      let a, b = cand.(i) in
+      add_edge a b (Rng.float rng *. 0.8);
+      decr remaining
+    end
+  done;
+  build ~name node_arr (List.rev !edges)
+
+let is_connected t =
+  let n = num_nodes t in
+  if n = 0 then true
+  else begin
+    (* Strong connectivity: BFS forward from 0 and BFS over reversed
+       interior links. *)
+    let reachable forward =
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      Queue.add 0 queue;
+      seen.(0) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun l ->
+            if l.lkind = Interior then begin
+              let from, into = if forward then (l.src, l.dst) else (l.dst, l.src) in
+              if from = u && not seen.(into) then begin
+                seen.(into) <- true;
+                Queue.add into queue
+              end
+            end)
+          t.links
+      done;
+      Array.for_all (fun b -> b) seen
+    in
+    reachable true && reachable false
+  end
+
+let set_node_kind t n kind =
+  if n < 0 || n >= num_nodes t then
+    invalid_arg "Topology.set_node_kind: node out of range";
+  let nodes = Array.copy t.nodes in
+  nodes.(n) <- { nodes.(n) with kind };
+  { t with nodes }
+
+let european_cities =
+  [|
+    ("London", 51.51, -0.13);
+    ("Amsterdam", 52.37, 4.90);
+    ("Paris", 48.86, 2.35);
+    ("Frankfurt", 50.11, 8.68);
+    ("Stockholm", 59.33, 18.07);
+    ("Madrid", 40.42, -3.70);
+    ("Milan", 45.46, 9.19);
+    ("Brussels", 50.85, 4.35);
+    ("Zurich", 47.38, 8.54);
+    ("Vienna", 48.21, 16.37);
+    ("Copenhagen", 55.68, 12.57);
+    ("Dublin", 53.35, -6.26);
+  |]
+
+let american_cities =
+  [|
+    ("NewYork", 40.71, -74.01);
+    ("Washington", 38.91, -77.04);
+    ("Chicago", 41.88, -87.63);
+    ("Dallas", 32.78, -96.80);
+    ("LosAngeles", 34.05, -118.24);
+    ("SanFrancisco", 37.77, -122.42);
+    ("Seattle", 47.61, -122.33);
+    ("Atlanta", 33.75, -84.39);
+    ("Miami", 25.76, -80.19);
+    ("Denver", 39.74, -104.99);
+    ("Houston", 29.76, -95.37);
+    ("Phoenix", 33.45, -112.07);
+    ("Boston", 42.36, -71.06);
+    ("Philadelphia", 39.95, -75.17);
+    ("Detroit", 42.33, -83.05);
+    ("Minneapolis", 44.98, -93.27);
+    ("StLouis", 38.63, -90.20);
+    ("KansasCity", 39.10, -94.58);
+    ("SaltLakeCity", 40.76, -111.89);
+    ("Portland", 45.52, -122.68);
+    ("SanDiego", 32.72, -117.16);
+    ("Austin", 30.27, -97.74);
+    ("Charlotte", 35.23, -80.84);
+    ("Cleveland", 41.50, -81.69);
+    ("Tampa", 27.95, -82.46);
+  |]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>network %s: %d PoPs, %d links (%d interior)@,"
+    t.net_name (num_nodes t) (num_links t) (num_interior_links t);
+  Array.iter
+    (fun l ->
+      if l.lkind = Interior then
+        Format.fprintf ppf "  %s -> %s cap=%.1fG metric=%.0f@,"
+          t.nodes.(l.src).name t.nodes.(l.dst).name (l.capacity /. 1e9)
+          l.metric)
+    t.links;
+  Format.fprintf ppf "@]"

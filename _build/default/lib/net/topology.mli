@@ -1,0 +1,100 @@
+(** Backbone topology model: PoPs connected by directed links.
+
+    Each PoP has an explicit access-ingress and access-egress link (the
+    [e(n)] and [x(m)] of the paper's Section 3.1), so a routing matrix
+    over all links carries the node-total rows the gravity model needs.
+    Interior links connect distinct PoPs and carry transit traffic. *)
+
+type node_kind = Access | Peering
+
+type node = {
+  node_id : int;
+  name : string;
+  kind : node_kind;
+  lat : float;  (** degrees, for distance-based IGP metrics *)
+  lon : float;
+}
+
+type link_kind =
+  | Interior  (** a core link between two PoPs *)
+  | Ingress of int  (** the access link over which node [n]'s demand enters *)
+  | Egress of int  (** the access link over which node [m]'s demand exits *)
+
+type link = {
+  link_id : int;
+  src : int;  (** source PoP ([-1] for access links' outside end) *)
+  dst : int;  (** destination PoP ([-1] for egress links' outside end) *)
+  capacity : float;  (** bits per second *)
+  metric : float;  (** IGP metric used by (C)SPF *)
+  lkind : link_kind;
+}
+
+type t = {
+  net_name : string;
+  nodes : node array;
+  links : link array;
+  outgoing : (int * int) list array;
+      (** per node: [(link_id, neighbour)] over interior links *)
+}
+
+(** [num_nodes t], [num_links t] (all links, including access links). *)
+val num_nodes : t -> int
+
+val num_links : t -> int
+
+(** [num_interior_links t] counts only core links. *)
+val num_interior_links : t -> int
+
+(** [ingress_link t n] / [egress_link t n] are the access-link ids of
+    node [n]. *)
+val ingress_link : t -> int -> int
+
+val egress_link : t -> int -> int
+
+(** [interior_links t] lists core links in id order. *)
+val interior_links : t -> link list
+
+(** [build ~name nodes edges] assembles a topology from PoPs and
+    *bidirectional* core edges [(a, b, capacity, metric)]; each edge
+    yields two directed links, and every node gets ingress/egress access
+    links with capacity equal to the sum of its interior capacity.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    duplicate edges. *)
+val build :
+  name:string ->
+  node array ->
+  (int * int * float * float) list ->
+  t
+
+(** [generate ~name ~seed ~nodes ~directed_links cities] synthesizes a
+    connected backbone over the given city list with exactly
+    [directed_links] total directed links ([2*nodes] of which are access
+    links).  The core is a ring (for connectivity) plus
+    random geographically-biased shortcut edges; capacities are drawn
+    from standard OC-48/OC-192/OC-768 tiers; metrics follow great-circle
+    distance.  [directed_links - 2*nodes] must be even, at least
+    [2*nodes], and at most [nodes*(nodes-1)].
+    @raise Invalid_argument if the link budget is not realizable. *)
+val generate :
+  name:string ->
+  seed:int ->
+  nodes:int ->
+  directed_links:int ->
+  (string * float * float) array ->
+  t
+
+(** [is_connected t] checks strong connectivity over interior links. *)
+val is_connected : t -> bool
+
+(** [set_node_kind t n kind] returns a topology with node [n]'s kind
+    replaced (used to mark peering PoPs for the generalized gravity
+    model). *)
+val set_node_kind : t -> int -> node_kind -> t
+
+(** [european_cities] and [american_cities] are the PoP name/coordinate
+    tables used for the paper-scale networks (12 and 25 PoPs). *)
+val european_cities : (string * float * float) array
+
+val american_cities : (string * float * float) array
+
+val pp : Format.formatter -> t -> unit

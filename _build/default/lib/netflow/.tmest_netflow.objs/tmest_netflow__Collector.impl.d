@@ -1,0 +1,1 @@
+lib/netflow/collector.ml: Array Flow List Stdlib Tmest_linalg Tmest_stats

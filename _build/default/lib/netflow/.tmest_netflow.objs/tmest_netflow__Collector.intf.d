@@ -1,0 +1,1 @@
+lib/netflow/collector.mli: Flow Tmest_linalg

@@ -1,0 +1,1 @@
+lib/netflow/generator.ml: Array Flow List Stdlib Tmest_stats

@@ -1,0 +1,1 @@
+lib/netflow/generator.mli: Flow Tmest_stats

@@ -1,0 +1,62 @@
+module Mat = Tmest_linalg.Mat
+module Desc = Tmest_stats.Desc
+
+let check_args ~interval_s ~bins ~pairs =
+  if interval_s <= 0. then invalid_arg "Collector: interval <= 0";
+  if bins <= 0 || pairs <= 0 then invalid_arg "Collector: empty shape"
+
+let bin_range f ~interval_s ~bins =
+  let first =
+    Stdlib.max 0 (int_of_float (floor (f.Flow.start_s /. interval_s)))
+  in
+  let last =
+    Stdlib.min (bins - 1)
+      (int_of_float (floor ((Flow.end_s f -. 1e-9) /. interval_s)))
+  in
+  (first, last)
+
+let exact_bins flows ~interval_s ~bins ~pairs =
+  check_args ~interval_s ~bins ~pairs;
+  let m = Mat.zeros bins pairs in
+  List.iter
+    (fun f ->
+      Flow.validate f;
+      if f.Flow.od >= pairs then invalid_arg "Collector: od out of range";
+      let first, last = bin_range f ~interval_s ~bins in
+      for b = first to last do
+        let t0 = float_of_int b *. interval_s in
+        let bits = Flow.bits_between f ~t0 ~t1:(t0 +. interval_s) in
+        Mat.set m b f.Flow.od (Mat.get m b f.Flow.od +. (bits /. interval_s))
+      done)
+    flows;
+  m
+
+let netflow_bins flows ~interval_s ~bins ~pairs =
+  check_args ~interval_s ~bins ~pairs;
+  let m = Mat.zeros bins pairs in
+  List.iter
+    (fun f ->
+      Flow.validate f;
+      if f.Flow.od >= pairs then invalid_arg "Collector: od out of range";
+      let rate = Flow.mean_rate f in
+      let first, last = bin_range f ~interval_s ~bins in
+      for b = first to last do
+        let t0 = float_of_int b *. interval_s in
+        let overlap =
+          Stdlib.min (Flow.end_s f) (t0 +. interval_s)
+          -. Stdlib.max f.Flow.start_s t0
+        in
+        if overlap > 0. then
+          Mat.set m b f.Flow.od
+            (Mat.get m b f.Flow.od +. (rate *. overlap /. interval_s))
+      done)
+    flows;
+  m
+
+let variance_distortion ~exact ~netflow =
+  if Mat.rows exact <> Mat.rows netflow || Mat.cols exact <> Mat.cols netflow
+  then invalid_arg "Collector.variance_distortion: shape mismatch";
+  Array.init (Mat.cols exact) (fun p ->
+      let col m = Mat.col m p in
+      let ve = Desc.variance (col exact) in
+      if ve <= 0. then nan else Desc.variance (col netflow) /. ve)

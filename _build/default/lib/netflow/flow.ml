@@ -1,0 +1,41 @@
+type t = {
+  od : int;
+  start_s : float;
+  segments : (float * float) array;
+}
+
+let duration f =
+  Array.fold_left (fun acc (d, _) -> acc +. d) 0. f.segments
+
+let end_s f = f.start_s +. duration f
+
+let total_bits f =
+  Array.fold_left (fun acc (d, r) -> acc +. (d *. r)) 0. f.segments
+
+let mean_rate f =
+  let d = duration f in
+  if d <= 0. then 0. else total_bits f /. d
+
+let bits_between f ~t0 ~t1 =
+  if t1 <= t0 then 0.
+  else begin
+    let acc = ref 0. in
+    let cursor = ref f.start_s in
+    Array.iter
+      (fun (d, r) ->
+        let seg0 = !cursor and seg1 = !cursor +. d in
+        let lo = Stdlib.max seg0 t0 and hi = Stdlib.min seg1 t1 in
+        if hi > lo then acc := !acc +. ((hi -. lo) *. r);
+        cursor := seg1)
+      f.segments;
+    !acc
+  end
+
+let validate f =
+  if f.od < 0 then invalid_arg "Flow: negative OD index";
+  if Array.length f.segments = 0 then invalid_arg "Flow: no segments";
+  Array.iter
+    (fun (d, r) ->
+      if d <= 0. then invalid_arg "Flow: non-positive segment duration";
+      if r < 0. then invalid_arg "Flow: negative rate")
+    f.segments

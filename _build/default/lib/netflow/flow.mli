@@ -1,0 +1,34 @@
+(** Individual traffic flows, as a NetFlow-style collector sees them.
+
+    A flow belongs to one OD pair, lives over a time interval, and has a
+    piecewise-constant rate profile — the intra-flow variability that
+    NetFlow's lifetime aggregation throws away (the paper's criticism of
+    NetFlow-based traffic matrices, Section 5). *)
+
+type t = {
+  od : int;  (** OD-pair index *)
+  start_s : float;  (** start time, seconds *)
+  segments : (float * float) array;
+      (** (duration seconds, rate bits/s) pieces, in time order *)
+}
+
+(** [duration f] is the flow's total lifetime in seconds. *)
+val duration : t -> float
+
+(** [end_s f] is [start_s + duration]. *)
+val end_s : t -> float
+
+(** [total_bits f] is the exact volume carried. *)
+val total_bits : t -> float
+
+(** [mean_rate f] is [total_bits / duration] — the only rate NetFlow
+    export retains. *)
+val mean_rate : t -> float
+
+(** [bits_between f ~t0 ~t1] integrates the true rate profile over
+    [\[t0, t1)] (0 outside the flow's lifetime). *)
+val bits_between : t -> t0:float -> t1:float -> float
+
+(** [validate f] checks invariants (positive durations, non-negative
+    rates); raises [Invalid_argument] otherwise. *)
+val validate : t -> unit

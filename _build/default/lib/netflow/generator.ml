@@ -1,0 +1,81 @@
+module Rng = Tmest_stats.Rng
+module Dist = Tmest_stats.Dist
+
+type params = {
+  mean_flow_duration_s : float;
+  duration_log_std : float;
+  segment_s : float;
+  burstiness : float;
+  flows_per_second : float;
+}
+
+let default_params =
+  {
+    mean_flow_duration_s = 120.;
+    duration_log_std = 1.0;
+    segment_s = 10.;
+    burstiness = 0.8;
+    flows_per_second = 0.5;
+  }
+
+let make_flow rng params ~od ~start_s ~base_rate =
+  (* Lognormal lifetime with the requested mean. *)
+  let sigma = params.duration_log_std in
+  let mu = log params.mean_flow_duration_s -. (sigma *. sigma /. 2.) in
+  let duration = Stdlib.max 1. (Dist.lognormal rng ~mu ~sigma) in
+  let nsegs =
+    Stdlib.max 1 (int_of_float (ceil (duration /. params.segment_s)))
+  in
+  let seg_d = duration /. float_of_int nsegs in
+  let segments =
+    Array.init nsegs (fun _ ->
+        let rate =
+          if params.burstiness <= 0. then base_rate
+          else begin
+            (* Gamma with mean base_rate, relative std = burstiness. *)
+            let shape = 1. /. (params.burstiness *. params.burstiness) in
+            Dist.gamma rng ~shape ~scale:(base_rate /. shape)
+          end
+        in
+        (seg_d, rate))
+  in
+  { Flow.od; start_s; segments }
+
+let generate rng params ~od ~mean_rate ~horizon_s =
+  if horizon_s <= 0. then invalid_arg "Generator.generate: horizon <= 0";
+  if mean_rate < 0. then invalid_arg "Generator.generate: negative rate";
+  if mean_rate = 0. then []
+  else begin
+    (* Poisson arrivals; start a little before 0 so the window does not
+       begin flow-empty. *)
+    let warmup = 3. *. params.mean_flow_duration_s in
+    let flows = ref [] in
+    let t = ref (-.warmup) in
+    while !t < horizon_s do
+      t := !t +. Dist.exponential rng ~rate:params.flows_per_second;
+      if !t < horizon_s then begin
+        (* Heavy-tailed base rates: a few elephants, many mice. *)
+        let base = Dist.pareto rng ~shape:1.6 ~scale:1. in
+        flows := make_flow rng params ~od ~start_s:!t ~base_rate:base :: !flows
+      end
+    done;
+    let flows = !flows in
+    (* Scale so the aggregate inside [0, horizon) matches the target. *)
+    let carried =
+      List.fold_left
+        (fun acc f -> acc +. Flow.bits_between f ~t0:0. ~t1:horizon_s)
+        0. flows
+    in
+    if carried <= 0. then []
+    else begin
+      let factor = mean_rate *. horizon_s /. carried in
+      List.map
+        (fun f ->
+          {
+            f with
+            Flow.segments =
+              Array.map (fun (d, r) -> (d, r *. factor)) f.Flow.segments;
+          })
+        flows
+    end
+  end

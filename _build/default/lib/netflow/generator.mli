@@ -1,0 +1,33 @@
+(** Flow-level traffic synthesis for one OD pair.
+
+    The aggregate of the generated flows matches a target mean rate over
+    the horizon, while individual flows have heavy-tailed sizes and
+    bursty intra-flow rate profiles — the two properties that make
+    lifetime-averaged NetFlow rates a poor proxy for 5-minute
+    variability. *)
+
+type params = {
+  mean_flow_duration_s : float;  (** average flow lifetime (default 120 s) *)
+  duration_log_std : float;  (** lognormal spread of lifetimes *)
+  segment_s : float;  (** intra-flow rate re-draw period (default 10 s) *)
+  burstiness : float;
+      (** relative std of the intra-flow rate around the flow's base
+          rate (Gamma segments; 0 = perfectly smooth flows) *)
+  flows_per_second : float;  (** arrival intensity *)
+}
+
+val default_params : params
+
+(** [generate rng params ~od ~mean_rate ~horizon_s] produces flows whose
+    aggregate rate over [\[0, horizon_s)] averages [mean_rate].  Flow
+    arrivals are Poisson; base rates are heavy-tailed (Pareto) and
+    scaled so the expected aggregate matches.  Flows may extend past the
+    horizon (their spill-over is part of the model).
+    @raise Invalid_argument on non-positive horizon or negative rate. *)
+val generate :
+  Tmest_stats.Rng.t ->
+  params ->
+  od:int ->
+  mean_rate:float ->
+  horizon_s:float ->
+  Flow.t list

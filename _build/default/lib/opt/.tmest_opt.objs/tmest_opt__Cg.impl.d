@@ -1,0 +1,1 @@
+lib/opt/cg.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/cg.mli: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/eqqp.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/eqqp.mli: Tmest_linalg

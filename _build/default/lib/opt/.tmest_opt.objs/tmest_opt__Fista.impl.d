@@ -1,0 +1,1 @@
+lib/opt/fista.ml: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/fista.mli: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/nnls.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/nnls.mli: Tmest_linalg

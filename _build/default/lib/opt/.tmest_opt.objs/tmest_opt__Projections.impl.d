@@ -1,0 +1,1 @@
+lib/opt/projections.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/projections.mli: Tmest_linalg

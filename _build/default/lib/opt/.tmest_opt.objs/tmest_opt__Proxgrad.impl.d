@@ -1,0 +1,1 @@
+lib/opt/proxgrad.ml: Array Tmest_linalg Tmest_stats

@@ -1,0 +1,1 @@
+lib/opt/proxgrad.mli: Tmest_linalg

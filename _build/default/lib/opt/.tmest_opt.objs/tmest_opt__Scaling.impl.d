@@ -1,0 +1,1 @@
+lib/opt/scaling.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/opt/scaling.mli: Tmest_linalg

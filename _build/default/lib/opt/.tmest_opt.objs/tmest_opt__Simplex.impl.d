@@ -1,0 +1,1 @@
+lib/opt/simplex.ml: Array List Tmest_linalg

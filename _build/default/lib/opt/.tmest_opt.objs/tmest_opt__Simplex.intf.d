@@ -1,0 +1,1 @@
+lib/opt/simplex.mli: Tmest_linalg

@@ -1,0 +1,53 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+
+type result = {
+  x : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let solve ?x0 ?max_iter ?(tol = 1e-10) ~apply ~b () =
+  let dim = Array.length b in
+  let max_iter = match max_iter with Some k -> k | None -> 2 * dim in
+  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros dim) in
+  let r = ref (Vec.sub b (apply !x)) in
+  let p = ref (Vec.copy !r) in
+  let rs = ref (Vec.dot !r !r) in
+  let target = tol *. (Vec.norm2 b +. 1e-300) in
+  let iterations = ref 0 in
+  while sqrt !rs > target && !iterations < max_iter do
+    incr iterations;
+    let ap = apply !p in
+    let pap = Vec.dot !p ap in
+    if pap <= 0. then begin
+      (* Null-space direction of a semidefinite operator: stop here. *)
+      rs := 0.
+    end
+    else begin
+      let alpha = !rs /. pap in
+      x := Vec.axpy alpha !p !x;
+      r := Vec.axpy (-.alpha) ap !r;
+      let rs' = Vec.dot !r !r in
+      let beta = rs' /. !rs in
+      p := Vec.axpy beta !p !r;
+      rs := rs'
+    end
+  done;
+  let residual_norm = Vec.norm2 (Vec.sub b (apply !x)) in
+  {
+    x = !x;
+    iterations = !iterations;
+    residual_norm;
+    converged = residual_norm <= Stdlib.max target (10. *. target);
+  }
+
+let solve_mat ?max_iter ?tol a b =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Cg.solve_mat: not square";
+  solve ?max_iter ?tol ~apply:(fun v -> Mat.matvec a v) ~b ()
+
+let lsqr_normal ?max_iter ?tol ~matvec ~tmatvec ~b () =
+  let apply v = tmatvec (matvec v) in
+  let rhs = tmatvec b in
+  solve ?max_iter ?tol ~apply ~b:rhs ()

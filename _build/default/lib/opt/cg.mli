@@ -1,0 +1,43 @@
+(** Conjugate gradients for symmetric positive-(semi)definite systems.
+
+    Matrix-free: only matrix-vector products are needed, so it works
+    with CSR routing Grams and implicit normal equations without
+    forming dense factors. *)
+
+type result = {
+  x : Tmest_linalg.Vec.t;
+  iterations : int;
+  residual_norm : float;  (** ‖b − A x‖ at exit *)
+  converged : bool;
+}
+
+(** [solve ~apply ~b ()] solves [A x = b] for SPD [A] given as the
+    product [apply].  Stops when the residual drops below
+    [tol * ‖b‖] (default [tol = 1e-10]) or after [max_iter]
+    iterations (default [2 * dim]). *)
+val solve :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  apply:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  b:Tmest_linalg.Vec.t ->
+  unit ->
+  result
+
+(** [solve_mat a b] is [solve] with a dense SPD matrix. *)
+val solve_mat :
+  ?max_iter:int -> ?tol:float -> Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t ->
+  result
+
+(** [lsqr_normal ~matvec ~tmatvec ~b ()] solves the least-squares
+    problem [min ‖M x − b‖] through the normal equations
+    [MᵀM x = Mᵀ b] with CG (adequate for the mildly conditioned routing
+    systems here). *)
+val lsqr_normal :
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  tmatvec:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  b:Tmest_linalg.Vec.t ->
+  unit ->
+  result

@@ -1,0 +1,107 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Lu = Tmest_linalg.Lu
+
+type solution = { x : Vec.t; multipliers : Vec.t }
+
+exception Singular_kkt
+
+let kkt_solve ~ridge h q c d =
+  let n = Mat.cols h and m = Mat.rows c in
+  if Mat.rows h <> n then invalid_arg "Eqqp: H must be square";
+  if Mat.cols c <> n then invalid_arg "Eqqp: C column mismatch";
+  if Array.length q <> n || Array.length d <> m then
+    invalid_arg "Eqqp: vector dimension mismatch";
+  let kkt = Mat.zeros (n + m) (n + m) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.unsafe_set kkt i j (Mat.unsafe_get h i j)
+    done;
+    Mat.unsafe_set kkt i i (Mat.unsafe_get kkt i i +. ridge)
+  done;
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let v = Mat.unsafe_get c i j in
+      Mat.unsafe_set kkt (n + i) j v;
+      Mat.unsafe_set kkt j (n + i) v
+    done
+  done;
+  let rhs = Array.append q d in
+  let sol = try Lu.solve_system kkt rhs with Lu.Singular _ -> raise Singular_kkt in
+  (Array.sub sol 0 n, Array.sub sol n m)
+
+let default_ridge h =
+  let n = Mat.rows h in
+  let max_diag = ref 0. in
+  for i = 0 to n - 1 do
+    max_diag := Stdlib.max !max_diag (abs_float (Mat.get h i i))
+  done;
+  1e-10 *. Stdlib.max !max_diag 1.
+
+let solve ?ridge h q c d =
+  let ridge = match ridge with Some r -> r | None -> default_ridge h in
+  let x, multipliers = kkt_solve ~ridge h q c d in
+  { x; multipliers }
+
+(* Reduced solve with the variables in [pinned] fixed at zero: drop those
+   columns (and rows of H). *)
+let solve_reduced ~ridge h q c d pinned =
+  let n = Mat.cols h in
+  let free = ref [] in
+  for j = n - 1 downto 0 do
+    if not pinned.(j) then free := j :: !free
+  done;
+  let free = Array.of_list !free in
+  let nf = Array.length free in
+  let hf = Mat.init nf nf (fun i j -> Mat.get h free.(i) free.(j)) in
+  let qf = Array.map (fun j -> q.(j)) free in
+  let cf = Mat.init (Mat.rows c) nf (fun i j -> Mat.get c i free.(j)) in
+  let xf, nu = kkt_solve ~ridge hf qf cf d in
+  let x = Vec.zeros n in
+  Array.iteri (fun k j -> x.(j) <- xf.(k)) free;
+  (x, nu)
+
+let solve_nonneg ?ridge ?(max_iter = 200) h q c d =
+  let ridge = match ridge with Some r -> r | None -> default_ridge h in
+  let n = Mat.cols h in
+  let pinned = Array.make n false in
+  let tol = 1e-9 in
+  let x = ref (Vec.zeros n) in
+  let nu = ref (Vec.zeros (Mat.rows c)) in
+  let finished = ref false in
+  let iter = ref 0 in
+  while (not !finished) && !iter < max_iter do
+    incr iter;
+    let xi, nui = solve_reduced ~ridge h q c d pinned in
+    x := xi;
+    nu := nui;
+    (* Pin every negative free variable at once (block pinning): far
+       fewer KKT factorizations than one-at-a-time, and any variable
+       pinned too eagerly is released by the multiplier check below. *)
+    let pinned_any = ref false in
+    for j = 0 to n - 1 do
+      if (not pinned.(j)) && xi.(j) < -.tol then begin
+        pinned.(j) <- true;
+        pinned_any := true
+      end
+    done;
+    if !pinned_any then ()
+    else begin
+      (* Bound multipliers mu = Hx − q − Cᵀnu; release the most negative. *)
+      let grad = Vec.sub (Mat.matvec h xi) q in
+      let ct_nu = Mat.tmatvec c nui in
+      let release = ref (-1) in
+      let release_val = ref (-.tol) in
+      for j = 0 to n - 1 do
+        if pinned.(j) then begin
+          let mu = grad.(j) -. ct_nu.(j) in
+          if mu < !release_val then begin
+            release_val := mu;
+            release := j
+          end
+        end
+      done;
+      if !release >= 0 then pinned.(!release) <- false else finished := true
+    end
+  done;
+  { x = Vec.clamp_nonneg !x; multipliers = !nu }

@@ -1,0 +1,40 @@
+(** Equality-constrained quadratic programming.
+
+    Solves {v min ½ xᵀ H x − qᵀ x   subject to   C x = d v}
+    via the KKT system, with an optional active-set refinement adding
+    [x >= 0] — the form of the paper's constant-fanout estimation problem
+    (Section 4.2.4). *)
+
+type solution = {
+  x : Tmest_linalg.Vec.t;
+  multipliers : Tmest_linalg.Vec.t;  (** one per equality constraint *)
+}
+
+exception Singular_kkt
+
+(** [solve ?ridge h q c d] solves the equality-constrained QP.  [ridge]
+    (default 1e-10 relative) is added to [H]'s diagonal to keep the KKT
+    system factorable when [H] is only positive semidefinite.
+    @raise Singular_kkt when the KKT matrix is singular even after
+    regularization (e.g. [C] has dependent rows). *)
+val solve :
+  ?ridge:float ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  solution
+
+(** [solve_nonneg ?ridge ?max_iter h q c d] additionally enforces
+    [x >= 0] by an NNLS-style active set on the bounds: pin the most
+    negative variable, re-solve, release pinned variables whose bound
+    multiplier goes negative.  Returns the final iterate (primal feasible
+    for the bounds up to tolerance). *)
+val solve_nonneg :
+  ?ridge:float ->
+  ?max_iter:int ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  solution

@@ -1,0 +1,62 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+
+type result = { x : Vec.t; iterations : int; converged : bool }
+
+let project v = Vec.clamp_nonneg v
+
+let solve ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ~dim ~gradient ~lipschitz () =
+  if lipschitz <= 0. then invalid_arg "Fista.solve: lipschitz must be > 0";
+  let step = 1. /. lipschitz in
+  let x = ref (match x0 with Some v -> project v | None -> Vec.zeros dim) in
+  let y = ref (Vec.copy !x) in
+  let momentum = ref 1. in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let g = gradient !y in
+    let x_next = project (Vec.axpy (-.step) g !y) in
+    let delta = Vec.sub x_next !x in
+    (* Adaptive restart (O'Donoghue & Candès): kill the momentum when it
+       opposes the direction of progress. *)
+    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
+    let momentum_next =
+      if restart then 1.
+      else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
+    in
+    let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
+    y := Vec.axpy beta delta x_next;
+    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
+      converged := true;
+    x := x_next;
+    momentum := momentum_next
+  done;
+  { x = !x; iterations = !iterations; converged = !converged }
+
+let lipschitz_of_op ?(iters = 60) ~dim apply =
+  if dim = 0 then 0.
+  else begin
+    (* Power iteration with a deterministic, mildly irregular start so we
+       do not begin orthogonal to the principal eigenvector. *)
+    let v = ref (Vec.init dim (fun i -> 1. +. (0.01 *. float_of_int (i mod 7)))) in
+    let lambda = ref 0. in
+    let n0 = Vec.norm2 !v in
+    v := Vec.scale (1. /. n0) !v;
+    for _ = 1 to iters do
+      let w = apply !v in
+      let n = Vec.norm2 w in
+      if n > 0. then begin
+        lambda := n;
+        v := Vec.scale (1. /. n) w
+      end
+    done;
+    (* Small safety margin: an underestimated Lipschitz constant breaks
+       the FISTA step-size guarantee. *)
+    !lambda *. 1.01
+  end
+
+let lipschitz_of_gram ?iters h =
+  if Mat.rows h <> Mat.cols h then
+    invalid_arg "Fista.lipschitz_of_gram: matrix not square";
+  lipschitz_of_op ?iters ~dim:(Mat.rows h) (fun v -> Mat.matvec h v)

@@ -1,0 +1,42 @@
+(** Accelerated projected-gradient (FISTA) solver for smooth convex
+    objectives over the non-negative orthant.
+
+    Used for the larger regularized estimation problems (Bayesian, Vardi)
+    where forming and factoring normal equations per active-set change
+    would be too slow. *)
+
+type result = {
+  x : Tmest_linalg.Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(** [solve ~dim ~gradient ~lipschitz ()] minimizes a convex differentiable
+    [f] with gradient [gradient] and gradient Lipschitz constant
+    [lipschitz] over [{x >= 0}].
+
+    - [x0]: starting point (default 0); negative entries are projected.
+    - [max_iter]: default 2000.
+    - [tol]: stop when the projected-gradient step moves [x] by less than
+      [tol * (1 + ‖x‖)] in Euclidean norm (default 1e-9).
+    - Restarts the momentum whenever it points uphill (adaptive restart),
+      which matters for the badly conditioned small-regularization runs. *)
+val solve :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  dim:int ->
+  gradient:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  lipschitz:float ->
+  unit ->
+  result
+
+(** [lipschitz_of_gram h] is the largest eigenvalue of the symmetric
+    positive-semidefinite matrix [h], estimated by power iteration; a
+    valid gradient Lipschitz constant for [f(x) = ½xᵀhx − qᵀx]. *)
+val lipschitz_of_gram : ?iters:int -> Tmest_linalg.Mat.t -> float
+
+(** [lipschitz_of_op ~dim apply] estimates ‖H‖₂ for a symmetric PSD
+    operator given only matrix-vector products. *)
+val lipschitz_of_op :
+  ?iters:int -> dim:int -> (Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) -> float

@@ -1,0 +1,89 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Qr = Tmest_linalg.Qr
+
+type result = { x : Vec.t; residual_norm : float; iterations : int }
+
+(* Lawson & Hanson (1974), ch. 23.  P is the passive (free) set, Z the
+   active (zero) set.  Each outer step admits the variable with the most
+   positive gradient of the residual; the inner loop backtracks along the
+   segment to the unconstrained solution whenever it leaves the positive
+   orthant, pinning the blocking variables. *)
+let solve ?max_iter ?tol a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length b <> m then invalid_arg "Nnls.solve: dimension mismatch";
+  let max_iter = match max_iter with Some k -> k | None -> 3 * n in
+  let x = Vec.zeros n in
+  let passive = Array.make n false in
+  let iterations = ref 0 in
+  let residual () = Vec.sub b (Mat.matvec a x) in
+  let tol =
+    match tol with
+    | Some t -> t
+    | None -> 1e-10 *. float_of_int m *. (1. +. Vec.norm_inf b)
+  in
+  let passive_indices () =
+    let acc = ref [] in
+    for j = n - 1 downto 0 do
+      if passive.(j) then acc := j :: !acc
+    done;
+    Array.of_list !acc
+  in
+  (* Unconstrained LS on the passive columns, via QR. *)
+  let ls_on_passive () =
+    let idx = passive_indices () in
+    if Array.length idx = 0 then [||]
+    else begin
+      let sub = Mat.select_cols a idx in
+      Qr.solve_lstsq sub b
+    end
+  in
+  let finished = ref false in
+  while (not !finished) && !iterations < max_iter do
+    incr iterations;
+    let w = Mat.tmatvec a (residual ()) in
+    (* Most promising zero variable. *)
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not passive.(j)) && w.(j) > tol then
+        if !best < 0 || w.(j) > w.(!best) then best := j
+    done;
+    if !best < 0 then finished := true
+    else begin
+      passive.(!best) <- true;
+      let inner_done = ref false in
+      while not !inner_done do
+        let idx = passive_indices () in
+        let z = ls_on_passive () in
+        let min_z = Array.fold_left Stdlib.min infinity z in
+        if min_z > 0. then begin
+          Array.iteri (fun k j -> x.(j) <- z.(k)) idx;
+          inner_done := true
+        end
+        else begin
+          (* Step from x toward z until the first variable hits zero. *)
+          let alpha = ref infinity in
+          Array.iteri
+            (fun k j ->
+              if z.(k) <= 0. then begin
+                let denom = x.(j) -. z.(k) in
+                if denom > 0. then
+                  alpha := Stdlib.min !alpha (x.(j) /. denom)
+              end)
+            idx;
+          let alpha = if !alpha = infinity then 0. else !alpha in
+          Array.iteri
+            (fun k j -> x.(j) <- x.(j) +. (alpha *. (z.(k) -. x.(j))))
+            idx;
+          Array.iteri
+            (fun k j ->
+              if z.(k) <= 0. && x.(j) <= 1e-12 then begin
+                x.(j) <- 0.;
+                passive.(j) <- false
+              end)
+            idx
+        end
+      done
+    end
+  done;
+  { x; residual_norm = Vec.norm2 (residual ()); iterations = !iterations }

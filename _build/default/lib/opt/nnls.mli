@@ -1,0 +1,21 @@
+(** Non-negative least squares: Lawson–Hanson active-set algorithm.
+
+    Solves {v min ‖A x − b‖₂  subject to  x >= 0 v} exactly (up to
+    tolerance), by growing a passive set of strictly positive variables
+    and solving unconstrained least squares on it. *)
+
+type result = {
+  x : Tmest_linalg.Vec.t;
+  residual_norm : float;  (** ‖A x − b‖₂ at the solution *)
+  iterations : int;
+}
+
+(** [solve ?max_iter ?tol a b] solves the NNLS problem.  [tol] bounds the
+    dual feasibility (default scales with the problem); [max_iter] defaults
+    to [3 * cols]. *)
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  result

@@ -1,0 +1,59 @@
+module Vec = Tmest_linalg.Vec
+
+(* Threshold tau with sum(max(v_i - tau, 0)) = total over the given
+   coordinates, found by one pass over the sorted values. *)
+let threshold total (v : float array) (idx : int array) =
+  let n = Array.length idx in
+  if n = 0 then invalid_arg "Projections: empty block";
+  let sorted = Array.map (fun i -> v.(i)) idx in
+  Array.sort (fun a b -> compare b a) sorted;
+  let tau = ref ((sorted.(0) -. total) /. 1.) in
+  let cum = ref 0. in
+  (try
+     for j = 0 to n - 1 do
+       cum := !cum +. sorted.(j);
+       let candidate = (!cum -. total) /. float_of_int (j + 1) in
+       if j + 1 >= n || sorted.(j + 1) <= candidate then begin
+         tau := candidate;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !tau
+
+let simplex ?(total = 1.) v =
+  if total <= 0. then invalid_arg "Projections.simplex: total must be > 0";
+  if Array.length v = 0 then invalid_arg "Projections.simplex: empty vector";
+  let idx = Array.init (Array.length v) (fun i -> i) in
+  let tau = threshold total v idx in
+  Array.map (fun x -> Stdlib.max 0. (x -. tau)) v
+
+let block_simplex ~block v =
+  if Array.length block <> Array.length v then
+    invalid_arg "Projections.block_simplex: dimension mismatch";
+  let nblocks =
+    Array.fold_left
+      (fun acc b ->
+        if b < 0 then
+          invalid_arg "Projections.block_simplex: negative block id";
+        Stdlib.max acc (b + 1))
+      0 block
+  in
+  let counts = Array.make nblocks 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) block;
+  let members = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make nblocks 0 in
+  Array.iteri
+    (fun i b ->
+      members.(b).(fill.(b)) <- i;
+      fill.(b) <- fill.(b) + 1)
+    block;
+  let out = Array.make (Array.length v) 0. in
+  Array.iter
+    (fun idx ->
+      if Array.length idx > 0 then begin
+        let tau = threshold 1. v idx in
+        Array.iter (fun i -> out.(i) <- Stdlib.max 0. (v.(i) -. tau)) idx
+      end)
+    members;
+  out

@@ -1,0 +1,13 @@
+(** Euclidean projections onto simple convex sets. *)
+
+(** [simplex ?total v] is the Euclidean projection of [v] onto
+    [{x >= 0 | Σ x = total}] (default [total = 1]), via the sort-based
+    algorithm of Held/Wolfe/Crowder (also Duchi et al. 2008), O(n log n).
+    @raise Invalid_argument if [total <= 0] or [v] is empty. *)
+val simplex : ?total:float -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [block_simplex ~block v] projects each block of coordinates
+    independently onto the probability simplex: [block.(i)] names the
+    block of coordinate [i] (block ids must be [0..B-1]).  Used to
+    enforce per-source fanout constraints [Σ_m α(n,m) = 1, α >= 0]. *)
+val block_simplex : block:int array -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t

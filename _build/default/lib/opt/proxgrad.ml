@@ -1,0 +1,70 @@
+module Vec = Tmest_linalg.Vec
+module Lambert = Tmest_stats.Lambert
+
+type result = { x : Vec.t; iterations : int; converged : bool }
+
+let solve ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ~dim ~gradient ~prox
+    ~lipschitz () =
+  if lipschitz <= 0. then invalid_arg "Proxgrad.solve: lipschitz must be > 0";
+  let step = 1. /. lipschitz in
+  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros dim) in
+  let y = ref (Vec.copy !x) in
+  let momentum = ref 1. in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let g = gradient !y in
+    let x_next = prox step (Vec.axpy (-.step) g !y) in
+    let delta = Vec.sub x_next !x in
+    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
+    let momentum_next =
+      if restart then 1.
+      else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
+    in
+    let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
+    y := Vec.axpy beta delta x_next;
+    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
+      converged := true;
+    x := x_next;
+    momentum := momentum_next
+  done;
+  { x = !x; iterations = !iterations; converged = !converged }
+
+(* Minimizer of  w·(s ln(s/p) − s + p) + (s − v)²/(2η)  over s >= 0:
+   stationarity gives  c ln(s/p) + s = v  with  c = w·η, hence
+   s = c · W₀((p/c)·e^(v/c)).  Computed via the log-domain W to survive
+   v/c of thousands. *)
+let kl_prox ~weight ~prior step v =
+  if weight < 0. then invalid_arg "Proxgrad.kl_prox: negative weight";
+  let c = weight *. step in
+  if c = 0. then Vec.clamp_nonneg v
+  else
+    Vec.mapi
+      (fun i vi ->
+        let p = prior.(i) in
+        if p <= 0. then 0.
+        else begin
+          let log_arg = log p -. log c +. (vi /. c) in
+          c *. Lambert.w0_exp log_arg
+        end)
+      v
+
+let kl_divergence s p =
+  if Array.length s <> Array.length p then
+    invalid_arg "Proxgrad.kl_divergence: dimension mismatch";
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i si ->
+         let pi = p.(i) in
+         if si < 0. then invalid_arg "Proxgrad.kl_divergence: negative entry";
+         if si = 0. then acc := !acc +. pi
+         else if pi <= 0. then begin
+           acc := infinity;
+           raise Exit
+         end
+         else acc := !acc +. ((si *. log (si /. pi)) -. si +. pi))
+       s
+   with Exit -> ());
+  !acc

@@ -1,0 +1,40 @@
+(** Accelerated proximal-gradient method for composite objectives
+    [f(x) + h(x)] with [f] smooth and [h] prox-friendly.
+
+    The entropy ("tomogravity") estimator is solved with
+    [f(s) = ‖R s − t‖²] and [h(s) = σ⁻² D(s ‖ prior)]; the proximal
+    operator of a scaled generalized KL divergence has the closed form
+    [prox(v) = c · W₀((p/c) · e^(v/c))] evaluated through the log-domain
+    Lambert-W to avoid overflow. *)
+
+type result = {
+  x : Tmest_linalg.Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(** [solve ~dim ~gradient ~prox ~lipschitz ()] minimizes [f + h] where
+    [gradient] is ∇f, [prox step v] is [argmin_u h(u) + ‖u−v‖²/(2 step)],
+    and [lipschitz] bounds ∇f's Lipschitz constant. *)
+val solve :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  dim:int ->
+  gradient:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  prox:(float -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
+  lipschitz:float ->
+  unit ->
+  result
+
+(** [kl_prox ~weight ~prior step v] is the proximal operator of
+    [weight · D(· ‖ prior)] (generalized KL, [D(s‖p) = Σ s ln(s/p) − s + p])
+    with step size [step], applied element-wise.  Entries with
+    [prior <= 0] are mapped to 0. *)
+val kl_prox :
+  weight:float -> prior:Tmest_linalg.Vec.t -> float -> Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t
+
+(** [kl_divergence s p] is [Σ sᵢ ln(sᵢ/pᵢ) − sᵢ + pᵢ], with the usual
+    conventions [0 ln 0 = 0]; infinite if some [sᵢ > 0] has [pᵢ = 0]. *)
+val kl_divergence : Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t -> float

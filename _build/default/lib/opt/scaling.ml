@@ -1,0 +1,117 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+
+type report = { iterations : int; max_error : float; converged : bool }
+
+let ipf ?(max_iter = 500) ?(tol = 1e-9) prior ~row_sums ~col_sums =
+  let n = Mat.rows prior and m = Mat.cols prior in
+  if Array.length row_sums <> n || Array.length col_sums <> m then
+    invalid_arg "Scaling.ipf: dimension mismatch";
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Scaling.ipf: negative target")
+    (Array.append row_sums col_sums);
+  let s = Mat.copy prior in
+  let scale_axis sums ~along_rows =
+    let k = if along_rows then n else m in
+    for i = 0 to k - 1 do
+      let total = ref 0. in
+      let len = if along_rows then m else n in
+      for j = 0 to len - 1 do
+        total :=
+          !total +. (if along_rows then Mat.unsafe_get s i j
+                     else Mat.unsafe_get s j i)
+      done;
+      if !total > 0. then begin
+        let f = sums.(i) /. !total in
+        for j = 0 to len - 1 do
+          if along_rows then
+            Mat.unsafe_set s i j (Mat.unsafe_get s i j *. f)
+          else Mat.unsafe_set s j i (Mat.unsafe_get s j i *. f)
+        done
+      end
+    done
+  in
+  let marginal_error () =
+    let err = ref 0. in
+    for i = 0 to n - 1 do
+      let total = ref 0. in
+      for j = 0 to m - 1 do
+        total := !total +. Mat.unsafe_get s i j
+      done;
+      err := Stdlib.max !err (abs_float (!total -. row_sums.(i)))
+    done;
+    for j = 0 to m - 1 do
+      let total = ref 0. in
+      for i = 0 to n - 1 do
+        total := !total +. Mat.unsafe_get s i j
+      done;
+      err := Stdlib.max !err (abs_float (!total -. col_sums.(j)))
+    done;
+    !err
+  in
+  let scale_ref =
+    Stdlib.max (Vec.norm_inf row_sums) (Vec.norm_inf col_sums) +. 1.
+  in
+  let iterations = ref 0 in
+  let err = ref infinity in
+  while !iterations < max_iter && !err > tol *. scale_ref do
+    incr iterations;
+    scale_axis row_sums ~along_rows:true;
+    scale_axis col_sums ~along_rows:false;
+    err := marginal_error ()
+  done;
+  ( s,
+    {
+      iterations = !iterations;
+      max_error = !err;
+      converged = !err <= tol *. scale_ref;
+    } )
+
+let gis ?(max_iter = 2000) ?(tol = 1e-8) r t ~prior =
+  let l = Mat.rows r and p = Mat.cols r in
+  if Array.length t <> l || Array.length prior <> p then
+    invalid_arg "Scaling.gis: dimension mismatch";
+  for i = 0 to l - 1 do
+    for j = 0 to p - 1 do
+      if Mat.unsafe_get r i j < 0. then
+        invalid_arg "Scaling.gis: constraint matrix must be non-negative"
+    done
+  done;
+  (* f# of Darroch–Ratcliff: the largest feature total over variables;
+     exponents r_lp / f# make the per-step correction a proper mean. *)
+  let fsharp = ref 0. in
+  for j = 0 to p - 1 do
+    let colsum = ref 0. in
+    for i = 0 to l - 1 do
+      colsum := !colsum +. Mat.unsafe_get r i j
+    done;
+    fsharp := Stdlib.max !fsharp !colsum
+  done;
+  let fsharp = Stdlib.max !fsharp 1e-12 in
+  let s = Vec.copy prior in
+  let iterations = ref 0 in
+  let err = ref infinity in
+  let scale_ref = Vec.norm_inf t +. 1. in
+  while !iterations < max_iter && !err > tol *. scale_ref do
+    incr iterations;
+    let pred = Mat.matvec r s in
+    for j = 0 to p - 1 do
+      if s.(j) > 0. then begin
+        let log_factor = ref 0. in
+        for i = 0 to l - 1 do
+          let rij = Mat.unsafe_get r i j in
+          if rij > 0. && pred.(i) > 0. && t.(i) > 0. then
+            log_factor := !log_factor +. (rij *. log (t.(i) /. pred.(i)))
+        done;
+        s.(j) <- s.(j) *. exp (!log_factor /. fsharp)
+      end
+    done;
+    let pred = Mat.matvec r s in
+    err := Vec.norm_inf (Vec.sub pred t)
+  done;
+  ( s,
+    {
+      iterations = !iterations;
+      max_error = !err;
+      converged = !err <= tol *. scale_ref;
+    } )

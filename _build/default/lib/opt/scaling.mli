@@ -1,0 +1,33 @@
+(** Iterative proportional fitting (Kruithof's projection method) and
+    Darroch–Ratcliff generalized iterative scaling.
+
+    Both compute the minimum Kullback–Leibler-distance adjustment of a
+    prior to given linear measurements (Krupp 1979): classic IPF for
+    row/column totals, GIS for a general non-negative constraint matrix. *)
+
+type report = { iterations : int; max_error : float; converged : bool }
+
+(** [ipf ?max_iter ?tol prior ~row_sums ~col_sums] rescales the
+    non-negative [prior] matrix so its row and column sums match the
+    targets.  Structural zeros of the prior stay zero.  Row and column
+    totals must agree ([Σ row_sums = Σ col_sums] within tolerance) for
+    convergence.  Returns the balanced matrix and a convergence report. *)
+val ipf :
+  ?max_iter:int ->
+  ?tol:float ->
+  Tmest_linalg.Mat.t ->
+  row_sums:Tmest_linalg.Vec.t ->
+  col_sums:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Mat.t * report
+
+(** [gis ?max_iter ?tol r t ~prior] finds a non-negative [s] minimizing
+    [D(s ‖ prior)] subject to [r s = t], by generalized iterative scaling
+    ([r] must be entry-wise non-negative, [t] positive where a constraint
+    is active).  Structural zeros of the prior stay zero. *)
+val gis :
+  ?max_iter:int ->
+  ?tol:float ->
+  Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t * report

@@ -1,0 +1,232 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Lu = Tmest_linalg.Lu
+
+exception Infeasible
+exception Stalled
+
+type outcome = Optimal of { x : Vec.t; objective : float } | Unbounded
+
+(* Columns [0, n) are the problem variables; columns [n, n+m) are the
+   phase-1 artificial variables (the j-th artificial is e_{j-n}).  The
+   basis inverse is kept explicitly and refreshed from scratch every
+   [refactor_period] pivots to stop drift. *)
+type t = {
+  m : int;
+  n : int;
+  a : Mat.t; (* rows pre-flipped so that b >= 0 *)
+  b : Vec.t;
+  basis : int array; (* length m *)
+  binv : Mat.t; (* m x m, mutated in place *)
+  xb : Vec.t; (* current basic values, = binv * b *)
+  mutable pivots_since_refactor : int;
+}
+
+let eps = 1e-9
+let refactor_period = 64
+
+let column t j =
+  if j < t.n then Mat.col t.a j
+  else begin
+    let e = Vec.zeros t.m in
+    e.(j - t.n) <- 1.;
+    e
+  end
+
+let in_basis t j = Array.exists (fun bj -> bj = j) t.basis
+
+let refactor t =
+  let bmat = Mat.zeros t.m t.m in
+  for r = 0 to t.m - 1 do
+    let cj = column t t.basis.(r) in
+    for i = 0 to t.m - 1 do
+      Mat.unsafe_set bmat i r cj.(i)
+    done
+  done;
+  let inv = Lu.inverse bmat in
+  Array.blit inv.Mat.data 0 t.binv.Mat.data 0 (t.m * t.m);
+  let xb = Mat.matvec t.binv t.b in
+  Array.blit xb 0 t.xb 0 t.m;
+  t.pivots_since_refactor <- 0
+
+(* Replace basis row [r] by column [q], given the simplex direction
+   [d] = binv * A_q.  Rank-one update of binv and xb. *)
+let pivot t ~row:r ~col:q ~dir:d =
+  let piv = d.(r) in
+  let n = t.m in
+  for j = 0 to n - 1 do
+    Mat.unsafe_set t.binv r j (Mat.unsafe_get t.binv r j /. piv)
+  done;
+  t.xb.(r) <- t.xb.(r) /. piv;
+  for i = 0 to n - 1 do
+    if i <> r && d.(i) <> 0. then begin
+      let di = d.(i) in
+      for j = 0 to n - 1 do
+        Mat.unsafe_set t.binv i j
+          (Mat.unsafe_get t.binv i j -. (di *. Mat.unsafe_get t.binv r j))
+      done;
+      t.xb.(i) <- t.xb.(i) -. (di *. t.xb.(r))
+    end
+  done;
+  t.basis.(r) <- q;
+  t.pivots_since_refactor <- t.pivots_since_refactor + 1;
+  if t.pivots_since_refactor >= refactor_period then refactor t
+
+(* One phase of simplex minimization.  [cost j] gives the objective
+   coefficient of column [j]; [candidates] lists the columns allowed to
+   enter.  Returns [None] on optimality, raises on stall. *)
+let run_phase t ~cost ~candidates =
+  let max_pivots = 2000 + (200 * (t.m + t.n)) in
+  let degenerate_streak = ref 0 in
+  let rec iterate k =
+    if k > max_pivots then raise Stalled;
+    let use_bland = !degenerate_streak > 40 in
+    (* Simplex multipliers y = B^-T c_B, then reduced costs. *)
+    let cb = Array.map (fun j -> cost j) t.basis in
+    let y = Mat.tmatvec t.binv cb in
+    let entering = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       List.iter
+         (fun j ->
+           if not (in_basis t j) then begin
+             let aj = column t j in
+             let rj = cost j -. Vec.dot y aj in
+             if use_bland then begin
+               if rj < -.eps then begin
+                 entering := j;
+                 raise Exit
+               end
+             end
+             else if rj < !best then begin
+               best := rj;
+               entering := j
+             end
+           end)
+         candidates
+     with Exit -> ());
+    if !entering < 0 then None (* optimal *)
+    else begin
+      let q = !entering in
+      let d = Mat.matvec t.binv (column t q) in
+      (* Ratio test; prefer kicking artificials out on ties. *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        if d.(i) > eps then begin
+          let ratio = t.xb.(i) /. d.(i) in
+          let strictly_better = ratio < !best_ratio -. eps in
+          let tie = abs_float (ratio -. !best_ratio) <= eps in
+          let prefer =
+            tie && !leave >= 0
+            && ((t.basis.(i) >= t.n && t.basis.(!leave) < t.n)
+               || (t.basis.(i) < t.basis.(!leave)
+                  && (t.basis.(i) >= t.n) = (t.basis.(!leave) >= t.n)))
+          in
+          if strictly_better || !leave < 0 || prefer then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then Some q (* unbounded direction *)
+      else begin
+        if !best_ratio <= eps then incr degenerate_streak
+        else degenerate_streak := 0;
+        pivot t ~row:!leave ~col:q ~dir:d;
+        iterate (k + 1)
+      end
+    end
+  in
+  iterate 0
+
+let all_columns lo hi =
+  let rec build j acc = if j < lo then acc else build (j - 1) (j :: acc) in
+  build (hi - 1) []
+
+(* After phase 1, swap any artificial still basic (at zero) for an
+   original column with a nonzero entry in that basis row; rows where no
+   such column exists are redundant constraints and keep their artificial
+   pinned at zero harmlessly. *)
+let evict_artificials t =
+  for r = 0 to t.m - 1 do
+    if t.basis.(r) >= t.n then begin
+      let found = ref (-1) in
+      let j = ref 0 in
+      while !found < 0 && !j < t.n do
+        if not (in_basis t !j) then begin
+          let d = Mat.matvec t.binv (column t !j) in
+          if abs_float d.(r) > 1e-7 then found := !j
+        end;
+        incr j
+      done;
+      match !found with
+      | -1 -> ()
+      | q ->
+          let d = Mat.matvec t.binv (column t q) in
+          pivot t ~row:r ~col:q ~dir:d
+    end
+  done
+
+let make a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length b <> m then invalid_arg "Simplex.make: dimension mismatch";
+  let a = Mat.copy a and b = Vec.copy b in
+  for i = 0 to m - 1 do
+    if b.(i) < 0. then begin
+      b.(i) <- -.b.(i);
+      for j = 0 to n - 1 do
+        Mat.unsafe_set a i j (-.(Mat.unsafe_get a i j))
+      done
+    end
+  done;
+  let t =
+    {
+      m;
+      n;
+      a;
+      b;
+      basis = Array.init m (fun i -> n + i);
+      binv = Mat.identity m;
+      xb = Vec.copy b;
+      pivots_since_refactor = 0;
+    }
+  in
+  let phase1_cost j = if j >= n then 1. else 0. in
+  (match run_phase t ~cost:phase1_cost ~candidates:(all_columns 0 n) with
+  | Some _ -> assert false (* phase 1 objective is bounded below by 0 *)
+  | None -> ());
+  let infeas = ref 0. in
+  Array.iteri
+    (fun r j -> if j >= n then infeas := !infeas +. t.xb.(r))
+    t.basis;
+  if !infeas > 1e-6 *. (1. +. Vec.norm1 b) then raise Infeasible;
+  evict_artificials t;
+  t
+
+let extract t =
+  let x = Vec.zeros t.n in
+  Array.iteri
+    (fun r j ->
+      if j < t.n then x.(j) <- (if t.xb.(r) < 0. then 0. else t.xb.(r)))
+    t.basis;
+  x
+
+let minimize t c =
+  if Array.length c <> t.n then
+    invalid_arg "Simplex.minimize: objective dimension mismatch";
+  let cost j = if j < t.n then c.(j) else 0. in
+  match run_phase t ~cost ~candidates:(all_columns 0 t.n) with
+  | Some _ -> Unbounded
+  | None ->
+      let x = extract t in
+      Optimal { x; objective = Vec.dot c x }
+
+let maximize t c =
+  match minimize t (Vec.scale (-1.) c) with
+  | Unbounded -> Unbounded
+  | Optimal { x; objective } -> Optimal { x; objective = -.objective }
+
+let feasible_point = extract
+let lp_min a b c = minimize (make a b) c
+let lp_max a b c = maximize (make a b) c

@@ -1,0 +1,42 @@
+(** Two-phase primal simplex for linear programs in standard form:
+
+    {v  min / max  cᵀx   subject to   A x = b,  x >= 0  v}
+
+    The solver keeps its basis (and basis inverse) between calls, so a
+    sequence of objectives over the same feasible region — the worst-case
+    bound computation solves 2·P programs over one region — pays the
+    phase-1 cost only once and warm-starts every subsequent solve. *)
+
+type t
+(** Mutable solver state for one feasible region [{x >= 0 | Ax = b}]. *)
+
+exception Infeasible
+(** Raised by [make] when the region is empty. *)
+
+exception Stalled
+(** Raised when the pivot limit is exceeded (should not happen with
+    Bland's rule; indicates severe numerical trouble). *)
+
+type outcome =
+  | Optimal of { x : Tmest_linalg.Vec.t; objective : float }
+  | Unbounded
+
+(** [make a b] prepares the region [{x >= 0 | a x = b}] and finds an initial
+    basic feasible solution (phase 1).
+    @raise Infeasible when no feasible point exists. *)
+val make : Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t -> t
+
+(** [minimize t c] minimizes [cᵀx] over the region, starting from the
+    current basis. *)
+val minimize : t -> Tmest_linalg.Vec.t -> outcome
+
+(** [maximize t c] maximizes [cᵀx]. *)
+val maximize : t -> Tmest_linalg.Vec.t -> outcome
+
+(** [feasible_point t] is the current basic feasible solution. *)
+val feasible_point : t -> Tmest_linalg.Vec.t
+
+(** [lp_min a b c] and [lp_max a b c] are one-shot conveniences. *)
+val lp_min : Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t -> outcome
+
+val lp_max : Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t -> outcome

@@ -1,0 +1,1 @@
+lib/snmp/collect.ml: Array Counter Float Stdlib Tmest_linalg Tmest_stats

@@ -1,0 +1,1 @@
+lib/snmp/collect.mli: Counter Tmest_linalg

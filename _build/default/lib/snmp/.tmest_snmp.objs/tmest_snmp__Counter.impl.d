@@ -1,0 +1,1 @@
+lib/snmp/counter.ml: Float

@@ -1,0 +1,122 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Rng = Tmest_stats.Rng
+
+type config = {
+  interval_s : float;
+  jitter_s : float;
+  loss_prob : float;
+  width : Counter.width;
+  pollers : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    interval_s = 300.;
+    jitter_s = 10.;
+    loss_prob = 0.01;
+    width = Counter.Bits64;
+    pollers = 4;
+    seed = 1;
+  }
+
+type result = {
+  rates : Mat.t;
+  present : bool array array;
+  polls_sent : int;
+  polls_lost : int;
+}
+
+let run config ~true_rates ~samples ~pairs =
+  if config.interval_s <= 0. then invalid_arg "Collect.run: interval <= 0";
+  if config.jitter_s < 0. || config.jitter_s >= config.interval_s then
+    invalid_arg "Collect.run: jitter must be in [0, interval)";
+  if config.loss_prob < 0. || config.loss_prob >= 1. then
+    invalid_arg "Collect.run: loss probability out of range";
+  if config.pollers <= 0 then invalid_arg "Collect.run: need >= 1 poller";
+  let rng = Rng.create config.seed in
+  let interval = config.interval_s in
+  (* Cumulative true byte counts per pair at nominal boundaries. *)
+  let rate_rows = Array.init samples (fun k -> true_rates k) in
+  let cum = Array.make_matrix (samples + 1) pairs 0. in
+  for k = 0 to samples - 1 do
+    for p = 0 to pairs - 1 do
+      cum.(k + 1).(p) <- cum.(k).(p) +. (rate_rows.(k).(p) *. interval /. 8.)
+    done
+  done;
+  let bytes_at ~pair t =
+    let k = int_of_float (floor (t /. interval)) in
+    let k = Stdlib.max 0 (Stdlib.min k (samples - 1)) in
+    let dt = t -. (float_of_int k *. interval) in
+    cum.(k).(pair) +. (rate_rows.(k).(pair) *. dt /. 8.)
+  in
+  (* Shared per-(poller, poll) jitter: a poller sweeps its routers in one
+     burst; individual LSP reads land a few seconds apart. *)
+  let poller_jitter =
+    Array.init config.pollers (fun _ ->
+        Array.init (samples + 1) (fun _ ->
+            Rng.uniform rng ~lo:0. ~hi:config.jitter_s))
+  in
+  let rates = Mat.zeros samples pairs in
+  let present = Array.init samples (fun _ -> Array.make pairs false) in
+  let polls_sent = ref 0 and polls_lost = ref 0 in
+  let wrap_mod =
+    match config.width with
+    | Counter.Bits32 -> 4294967296.
+    | Counter.Bits64 -> 1.8446744073709552e19
+  in
+  for pair = 0 to pairs - 1 do
+    let poller = pair mod config.pollers in
+    let extra = Rng.uniform rng ~lo:0. ~hi:5. in
+    (* Replay the successful polls, then difference them. *)
+    let last_ok = ref None in
+    for k = 0 to samples do
+      incr polls_sent;
+      let lost = Rng.float rng < config.loss_prob in
+      (* Anchor the series: first and final polls always succeed, as a
+         collector would retry until the series is bracketed. *)
+      let lost = lost && k > 0 && k < samples in
+      if lost then incr polls_lost
+      else begin
+        let jit =
+          if config.jitter_s = 0. then 0.
+          else Stdlib.min (config.jitter_s -. 1e-9)
+                 (poller_jitter.(poller).(k) +. (extra /. 10.))
+        in
+        let t = (float_of_int k *. interval) +. jit in
+        let reading = Float.rem (bytes_at ~pair t) wrap_mod in
+        (match !last_ok with
+        | None -> ()
+        | Some (k0, t0, c0) ->
+            let bytes =
+              Counter.delta ~width:config.width ~previous:c0 ~current:reading
+            in
+            let rate = bytes *. 8. /. (t -. t0) in
+            for j = k0 to k - 1 do
+              Mat.set rates j pair rate;
+              present.(j).(pair) <- k = k0 + 1
+            done);
+        last_ok := Some (k, t, reading)
+      end
+    done
+  done;
+  { rates; present; polls_sent = !polls_sent; polls_lost = !polls_lost }
+
+let mean_absolute_rate_error result ~true_rates =
+  let samples = Mat.rows result.rates and pairs = Mat.cols result.rates in
+  let total = ref 0. and count = ref 0 in
+  for k = 0 to samples - 1 do
+    let truth = true_rates k in
+    for p = 0 to pairs - 1 do
+      if result.present.(k).(p) then begin
+        let err =
+          abs_float (Mat.get result.rates k p -. truth.(p))
+          /. Stdlib.max truth.(p) 1.
+        in
+        total := !total +. err;
+        incr count
+      end
+    done
+  done;
+  if !count = 0 then 0. else !total /. float_of_int !count

@@ -1,0 +1,18 @@
+type width = Bits32 | Bits64
+
+type t = { width : width; mutable value : float }
+
+let modulus = function Bits32 -> 4294967296. | Bits64 -> 1.8446744073709552e19
+
+let create width = { width; value = 0. }
+
+let advance t ~bytes =
+  if bytes < 0. then invalid_arg "Counter.advance: negative byte count";
+  let m = modulus t.width in
+  t.value <- Float.rem (t.value +. bytes) m
+
+let read t = t.value
+
+let delta ~width ~previous ~current =
+  if current >= previous then current -. previous
+  else current -. previous +. modulus width

@@ -1,0 +1,29 @@
+(** SNMP-style octet counters.
+
+    A monotonically increasing byte counter as exposed by a router MIB,
+    either 64-bit ([ifHCOutOctets]-like, practically never wraps) or
+    32-bit ([ifOutOctets]-like, wraps modulo 2^32 — within seconds on
+    multi-gigabit links, which is why collection systems poll the HC
+    counters).  [delta] implements the collector-side wrap correction. *)
+
+type width = Bits32 | Bits64
+
+type t
+
+(** [create width] is a fresh zero counter. *)
+val create : width -> t
+
+(** [advance t ~bytes] accumulates traffic.  Fractional bytes are
+    carried exactly (the simulation integrates rates over real-valued
+    intervals). *)
+val advance : t -> bytes:float -> unit
+
+(** [read t] is the current counter value as exposed over SNMP
+    (wrapped for 32-bit counters). *)
+val read : t -> float
+
+(** [delta ~width ~previous ~current] is the number of bytes sent
+    between two readings, correcting a single wrap for 32-bit counters.
+    A 32-bit counter that wraps more than once between polls is
+    undetectable — exactly the real-world failure mode. *)
+val delta : width:width -> previous:float -> current:float -> float

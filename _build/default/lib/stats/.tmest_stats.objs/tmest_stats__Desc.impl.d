@@ -1,0 +1,1 @@
+lib/stats/desc.ml: Array Stdlib Tmest_linalg

@@ -1,0 +1,1 @@
+lib/stats/desc.mli: Tmest_linalg

@@ -1,0 +1,1 @@
+lib/stats/dist.ml: Array Rng

@@ -1,0 +1,1 @@
+lib/stats/regress.mli:

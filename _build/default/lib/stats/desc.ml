@@ -1,0 +1,102 @@
+module Mat = Tmest_linalg.Mat
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Desc.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let sum_sq_dev xs =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0. else sum_sq_dev xs /. float_of_int (n - 1)
+
+let variance_biased xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Desc.variance_biased: empty sample";
+  sum_sq_dev xs /. float_of_int n
+
+let std xs = sqrt (variance xs)
+
+let quantile q xs =
+  if Array.length xs = 0 then invalid_arg "Desc.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Desc.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let median xs = quantile 0.5 xs
+
+let sample_mean_cov samples =
+  let k = Array.length samples in
+  if k = 0 then invalid_arg "Desc.sample_mean_cov: no samples";
+  let l = Array.length samples.(0) in
+  Array.iter
+    (fun s ->
+      if Array.length s <> l then
+        invalid_arg "Desc.sample_mean_cov: ragged samples")
+    samples;
+  let mu = Array.make l 0. in
+  Array.iter (fun s -> Array.iteri (fun j x -> mu.(j) <- mu.(j) +. x) s)
+    samples;
+  let kf = float_of_int k in
+  Array.iteri (fun j x -> mu.(j) <- x /. kf) mu;
+  let cov = Mat.zeros l l in
+  Array.iter
+    (fun s ->
+      let d = Array.mapi (fun j x -> x -. mu.(j)) s in
+      for i = 0 to l - 1 do
+        if d.(i) <> 0. then
+          for j = 0 to l - 1 do
+            Mat.unsafe_set cov i j
+              (Mat.unsafe_get cov i j +. (d.(i) *. d.(j) /. kf))
+          done
+      done)
+    samples;
+  (mu, cov)
+
+let correlation xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Desc.correlation: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let cumulative_share xs =
+  if Array.length xs = 0 then invalid_arg "Desc.cumulative_share: empty";
+  let sorted = Array.copy xs in
+  Array.sort (fun a b -> compare b a) sorted;
+  let total = Array.fold_left ( +. ) 0. sorted in
+  if total <= 0. then Array.make (Array.length xs) 0.
+  else begin
+    let acc = ref 0. in
+    Array.map
+      (fun x ->
+        acc := !acc +. x;
+        !acc /. total)
+      sorted
+  end
+
+let top_share ~fraction xs =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Desc.top_share: fraction out of [0,1]";
+  let shares = cumulative_share xs in
+  let n = Array.length shares in
+  let k = int_of_float (ceil (fraction *. float_of_int n)) in
+  if k = 0 then 0. else shares.(Stdlib.min (k - 1) (n - 1))

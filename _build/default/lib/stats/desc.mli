@@ -1,0 +1,39 @@
+(** Descriptive statistics over float arrays and sample matrices. *)
+
+val mean : float array -> float
+
+(** [variance xs] is the unbiased (n-1) sample variance; 0 for n < 2. *)
+val variance : float array -> float
+
+val std : float array -> float
+
+(** [variance_biased xs] divides by n (used when matching the paper's
+    population moments). *)
+val variance_biased : float array -> float
+
+(** [quantile q xs] is the [q]-quantile (0 <= q <= 1) by linear
+    interpolation of the sorted sample.  Does not modify [xs]. *)
+val quantile : float -> float array -> float
+
+val median : float array -> float
+
+(** [sample_mean_cov samples] takes K observations of an L-vector (an array
+    of K arrays of length L) and returns the sample mean (length L) and the
+    biased sample covariance matrix (L x L), exactly the [t-hat] and
+    [Sigma-hat] of the paper's Section 4.2.2. *)
+val sample_mean_cov :
+  float array array -> float array * Tmest_linalg.Mat.t
+
+(** [correlation xs ys] is the Pearson correlation coefficient. *)
+val correlation : float array -> float array -> float
+
+(** [cumulative_share xs] sorts demands in decreasing order and returns the
+    running share of the total, i.e. the curve of the paper's Figure 2:
+    element [i] is the fraction of total volume carried by the [i+1]
+    largest values. *)
+val cumulative_share : float array -> float array
+
+(** [top_share ~fraction xs] is the share of the total carried by the
+    largest [fraction] of values (e.g. [~fraction:0.2] for the 80/20
+    check). *)
+val top_share : fraction:float -> float array -> float

@@ -1,0 +1,84 @@
+let two_pi = 8. *. atan 1.
+
+let standard_gaussian rng =
+  (* Box–Muller; one value per call keeps the stream reproducible without
+     hidden cache state. *)
+  let u1 = 1. -. Rng.float rng in
+  let u2 = Rng.float rng in
+  sqrt (-2. *. log u1) *. cos (two_pi *. u2)
+
+let gaussian rng ~mu ~sigma = mu +. (sigma *. standard_gaussian rng)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (1. -. Rng.float rng) /. rate
+
+let poisson rng ~lambda =
+  if lambda < 0. then invalid_arg "Dist.poisson: negative mean";
+  if lambda = 0. then 0
+  else if lambda < 30. then begin
+    (* Knuth: multiply uniforms until the product drops below e^-lambda. *)
+    let limit = exp (-.lambda) in
+    let rec loop k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.
+  end
+  else begin
+    let x = gaussian rng ~mu:lambda ~sigma:(sqrt lambda) in
+    let k = int_of_float (floor (x +. 0.5)) in
+    if k < 0 then 0 else k
+  end
+
+let lognormal rng ~mu ~sigma = exp (gaussian rng ~mu ~sigma)
+
+let zipf_weights ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  let w = Array.init n (fun i -> (float_of_int (i + 1)) ** -.alpha) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Dist.pareto: parameters must be positive";
+  scale /. ((1. -. Rng.float rng) ** (1. /. shape))
+
+let truncated_gaussian rng ~mu ~sigma =
+  let x = gaussian rng ~mu ~sigma in
+  if x < 0. then 0. else x
+
+let rec gamma rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Dist.gamma: parameters must be positive";
+  if shape < 1. then begin
+    (* Boost to shape+1 and correct by a uniform power (Marsaglia–Tsang). *)
+    let u = Rng.float rng in
+    gamma rng ~shape:(shape +. 1.) ~scale *. (u ** (1. /. shape))
+  end
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec draw () =
+      let x = standard_gaussian rng in
+      let v = 1. +. (c *. x) in
+      if v <= 0. then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = Rng.float rng in
+        if u < 1. -. (0.0331 *. x *. x *. x *. x) then d *. v3 *. scale
+        else if log u < (0.5 *. x *. x) +. (d *. (1. -. v3 +. log v3)) then
+          d *. v3 *. scale
+        else draw ()
+      end
+    in
+    draw ()
+  end
+
+let dirichlet rng alphas =
+  if Array.length alphas = 0 then invalid_arg "Dist.dirichlet: empty alphas";
+  let g = Array.map (fun a -> gamma rng ~shape:a ~scale:1.) alphas in
+  let total = Array.fold_left ( +. ) 0. g in
+  if total = 0. then
+    Array.make (Array.length alphas) (1. /. float_of_int (Array.length alphas))
+  else Array.map (fun x -> x /. total) g

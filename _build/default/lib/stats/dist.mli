@@ -1,0 +1,38 @@
+(** Random samplers for the distributions used by the traffic model. *)
+
+(** [gaussian rng ~mu ~sigma] samples N(mu, sigma²) by Box–Muller. *)
+val gaussian : Rng.t -> mu:float -> sigma:float -> float
+
+(** [standard_gaussian rng] samples N(0, 1). *)
+val standard_gaussian : Rng.t -> float
+
+(** [exponential rng ~rate] samples Exp(rate). *)
+val exponential : Rng.t -> rate:float -> float
+
+(** [poisson rng ~lambda] samples Poisson(lambda).  Uses Knuth's product
+    method for small means and a Gaussian approximation with continuity
+    correction (clamped at 0) for large means, which is accurate for the
+    lambda >> 1 regimes the Vardi experiments exercise. *)
+val poisson : Rng.t -> lambda:float -> int
+
+(** [lognormal rng ~mu ~sigma] samples exp(N(mu, sigma²)). *)
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+(** [zipf_weights ~n ~alpha] is the normalized Zipf weight vector
+    [w_i ∝ (i+1)^(-alpha)], used for heavy-tailed PoP popularities. *)
+val zipf_weights : n:int -> alpha:float -> float array
+
+(** [pareto rng ~shape ~scale] samples a Pareto(shape) with minimum
+    [scale]. *)
+val pareto : Rng.t -> shape:float -> scale:float -> float
+
+(** [truncated_gaussian rng ~mu ~sigma] is [max 0 (gaussian ...)]: the
+    demand-noise model (traffic rates cannot be negative). *)
+val truncated_gaussian : Rng.t -> mu:float -> sigma:float -> float
+
+(** [dirichlet rng alphas] samples a Dirichlet vector (sums to 1), via
+    normalized Gamma draws (Marsaglia–Tsang). *)
+val dirichlet : Rng.t -> float array -> float array
+
+(** [gamma rng ~shape ~scale] samples Gamma(shape, scale), shape > 0. *)
+val gamma : Rng.t -> shape:float -> scale:float -> float

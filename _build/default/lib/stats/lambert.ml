@@ -1,0 +1,51 @@
+let inv_e = exp (-1.)
+
+(* Halley iteration on w*e^w = x, started from a branch-point or
+   asymptotic guess.  Converges to machine precision in < 10 steps over
+   the whole domain. *)
+let w0 x =
+  if x < -.inv_e -. 1e-12 then invalid_arg "Lambert.w0: x < -1/e";
+  if x = 0. then 0.
+  else begin
+    let w0_guess =
+      if x < -0.25 then begin
+        (* Near the branch point use the series in p = sqrt(2(ex+1)). *)
+        let p = sqrt (2. *. ((exp 1. *. x) +. 1.)) in
+        -1. +. p -. (p *. p /. 3.)
+      end
+      else if x < 1. then x *. (1. -. x +. (1.5 *. x *. x))
+      else begin
+        let l1 = log x in
+        let l2 = log l1 in
+        if l1 > 3. then l1 -. l2 +. (l2 /. l1) else l1
+      end
+    in
+    let w = ref (Stdlib.max w0_guess (-1.0)) in
+    for _ = 1 to 40 do
+      let ew = exp !w in
+      let f = (!w *. ew) -. x in
+      if f <> 0. then begin
+        let denom =
+          (ew *. (!w +. 1.))
+          -. ((!w +. 2.) *. f /. (2. *. (!w +. 1.)))
+        in
+        if denom <> 0. then w := !w -. (f /. denom)
+      end
+    done;
+    !w
+  end
+
+(* Solve w + log w = log_x for w > 0 by Newton; never forms exp log_x. *)
+let w0_exp log_x =
+  if log_x < -700. then exp log_x
+  else if log_x <= 1. then w0 (exp log_x)
+  else begin
+    let w = ref (Stdlib.max (log_x -. log log_x) 1e-8) in
+    for _ = 1 to 60 do
+      let f = !w +. log !w -. log_x in
+      let f' = 1. +. (1. /. !w) in
+      let next = !w -. (f /. f') in
+      w := if next > 0. then next else !w /. 2.
+    done;
+    !w
+  end

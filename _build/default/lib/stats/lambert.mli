@@ -1,0 +1,13 @@
+(** The principal branch W₀ of the Lambert W function.
+
+    W₀(x) is the solution of [w * exp w = x] for [x >= -1/e].  The entropy
+    estimator's proximal step reduces to a Lambert-W evaluation, and the
+    log-scaled variant keeps it stable when the argument overflows. *)
+
+(** [w0 x] is W₀(x).
+    @raise Invalid_argument if [x < -1/e]. *)
+val w0 : float -> float
+
+(** [w0_exp log_x] is W₀(exp log_x), computed without forming [exp log_x],
+    so it is usable for [log_x] far beyond 709 where [exp] overflows. *)
+val w0_exp : float -> float

@@ -1,0 +1,41 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let ols xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regress.ols: length mismatch";
+  if n < 2 then invalid_arg "Regress.ols: need at least two points";
+  let mx = Desc.mean xs and my = Desc.mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0. then invalid_arg "Regress.ols: degenerate x sample";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+type power_law = { phi : float; c : float; r2 : float }
+
+let power_law means variances =
+  if Array.length means <> Array.length variances then
+    invalid_arg "Regress.power_law: length mismatch";
+  let pairs = ref [] in
+  Array.iteri
+    (fun i m ->
+      let v = variances.(i) in
+      if m > 0. && v > 0. then pairs := (log m, log v) :: !pairs)
+    means;
+  let pairs = Array.of_list !pairs in
+  if Array.length pairs < 2 then
+    invalid_arg "Regress.power_law: fewer than two positive pairs";
+  let xs = Array.map fst pairs and ys = Array.map snd pairs in
+  let l = ols xs ys in
+  { phi = exp l.intercept; c = l.slope; r2 = l.r2 }
+
+let predict_line l x = (l.slope *. x) +. l.intercept
+let predict_power_law p mean = p.phi *. (mean ** p.c)

@@ -1,0 +1,20 @@
+(** Simple regression fits. *)
+
+type line = { slope : float; intercept : float; r2 : float }
+
+(** [ols xs ys] fits [y = slope*x + intercept] by ordinary least squares. *)
+val ols : float array -> float array -> line
+
+type power_law = { phi : float; c : float; r2 : float }
+
+(** [power_law means variances] fits the generalized scaling law
+    [Var = phi * mean^c] of Cao et al. by OLS in log-log space, as the paper
+    does in Section 5.2.3.  Pairs with non-positive mean or variance are
+    skipped. *)
+val power_law : float array -> float array -> power_law
+
+(** [predict_line l x] evaluates the fitted line. *)
+val predict_line : line -> float -> float
+
+(** [predict_power_law p mean] is [phi *. mean ** c]. *)
+val predict_power_law : power_law -> float -> float

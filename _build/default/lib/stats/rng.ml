@@ -1,0 +1,57 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a 64-bit state advanced by a Weyl
+   sequence, output mixed by two xor-shift-multiply rounds.  Passes BigCrush
+   and is trivially splittable, which is all we need for reproducible
+   synthetic datasets. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (int64 t) mask) in
+    let v = r mod bound in
+    if r - v > (1 lsl 62) - bound then draw () else v
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

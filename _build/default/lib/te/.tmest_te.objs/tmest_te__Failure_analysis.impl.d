@@ -1,0 +1,1 @@
+lib/te/failure_analysis.ml: Array List Tmest_linalg Tmest_net Utilization

@@ -1,0 +1,1 @@
+lib/te/failure_analysis.mli: Tmest_linalg Tmest_net Utilization

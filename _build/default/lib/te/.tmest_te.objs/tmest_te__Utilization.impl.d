@@ -1,0 +1,1 @@
+lib/te/utilization.ml: Array List Tmest_linalg Tmest_net

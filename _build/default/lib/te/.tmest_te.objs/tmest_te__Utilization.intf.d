@@ -1,0 +1,1 @@
+lib/te/utilization.mli: Tmest_linalg Tmest_net

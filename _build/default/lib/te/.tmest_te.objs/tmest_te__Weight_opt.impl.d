@@ -1,0 +1,1 @@
+lib/te/weight_opt.ml: Array List Stdlib Tmest_linalg Tmest_net Utilization

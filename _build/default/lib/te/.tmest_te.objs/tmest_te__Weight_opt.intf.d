@@ -1,0 +1,1 @@
+lib/te/weight_opt.mli: Tmest_linalg Tmest_net Utilization

@@ -1,0 +1,82 @@
+module Vec = Tmest_linalg.Vec
+module Topology = Tmest_net.Topology
+module Dijkstra = Tmest_net.Dijkstra
+module Odpairs = Tmest_net.Odpairs
+
+type event = {
+  failed_link : int;
+  partitioned : bool;
+  report : Utilization.report;
+}
+
+let loads_without topo ~demands ~failed =
+  let n = Topology.num_nodes topo in
+  if Array.length demands <> Odpairs.count n then
+    invalid_arg "Failure_analysis: demand dimension mismatch";
+  let usable l = l.Topology.link_id <> failed in
+  let loads = Array.make (Topology.num_links topo) 0. in
+  let partitioned = ref false in
+  for src = 0 to n - 1 do
+    let _, parent = Dijkstra.tree ~usable topo ~src in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        let p = Odpairs.index ~nodes:n ~src ~dst in
+        if demands.(p) > 0. then begin
+          match Dijkstra.path_of_tree topo parent ~src ~dst with
+          | None -> partitioned := true
+          | Some path ->
+              List.iter
+                (fun l -> loads.(l) <- loads.(l) +. demands.(p))
+                path;
+              loads.(Topology.ingress_link topo src) <-
+                loads.(Topology.ingress_link topo src) +. demands.(p);
+              loads.(Topology.egress_link topo dst) <-
+                loads.(Topology.egress_link topo dst) +. demands.(p)
+        end
+      end
+    done
+  done;
+  (loads, !partitioned)
+
+let sweep topo ~demands =
+  Topology.interior_links topo
+  |> List.map (fun l ->
+         let failed = l.Topology.link_id in
+         let loads, partitioned = loads_without topo ~demands ~failed in
+         (* The failed link carries nothing. *)
+         loads.(failed) <- 0.;
+         {
+           failed_link = failed;
+           partitioned;
+           report = Utilization.of_loads topo ~loads;
+         })
+
+let worst topo ~demands =
+  match sweep topo ~demands with
+  | [] -> invalid_arg "Failure_analysis.worst: no interior links"
+  | first :: rest ->
+      List.fold_left
+        (fun best e ->
+          if
+            e.report.Utilization.max_utilization
+            > best.report.Utilization.max_utilization
+          then e
+          else best)
+        first rest
+
+let overload_set ~threshold events =
+  List.concat_map
+    (fun e ->
+      let over = ref [] in
+      Array.iteri
+        (fun link u ->
+          if u > threshold && link <> e.failed_link then
+            over := (e.failed_link, link) :: !over)
+        e.report.Utilization.utilization;
+      !over)
+    events
+
+let overload_agreement ~threshold a b =
+  let sa = overload_set ~threshold a and sb = overload_set ~threshold b in
+  let both = List.length (List.filter (fun x -> List.mem x sb) sa) in
+  (both, List.length sa - both, List.length sb - both)

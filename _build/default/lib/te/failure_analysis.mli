@@ -1,0 +1,29 @@
+(** Systematic single-link failure sweeps.
+
+    For every interior link: remove it, re-route all demands on IGP
+    shortest paths, and record the post-failure utilization profile.
+    The classic planning question a traffic matrix answers ("which
+    failure overloads what?"), evaluated with either the true or an
+    estimated TM. *)
+
+type event = {
+  failed_link : int;
+  partitioned : bool;  (** some demands had no surviving path *)
+  report : Utilization.report;  (** post-failure utilizations *)
+}
+
+(** [sweep topo ~demands] simulates every single interior-link failure.
+    Demands that lose connectivity are dropped from the re-routed load
+    (and the event is flagged [partitioned]). *)
+val sweep : Tmest_net.Topology.t -> demands:Tmest_linalg.Vec.t -> event list
+
+(** [worst topo ~demands] is the failure event with the highest
+    post-failure max-utilization. *)
+val worst : Tmest_net.Topology.t -> demands:Tmest_linalg.Vec.t -> event
+
+(** [overload_agreement ~threshold a b] compares two sweeps (e.g. true
+    vs estimated TM): returns [(both, only_a, only_b)] counts of
+    (failure, link) pairs whose post-failure utilization exceeds
+    [threshold] — the planning-decision agreement measure. *)
+val overload_agreement :
+  threshold:float -> event list -> event list -> int * int * int

@@ -1,0 +1,62 @@
+module Vec = Tmest_linalg.Vec
+module Topology = Tmest_net.Topology
+module Routing = Tmest_net.Routing
+
+type report = {
+  utilization : Vec.t;
+  max_utilization : float;
+  max_link : int;
+  cost : float;
+}
+
+(* Fortz & Thorup's piecewise-linear link cost: convex, slope growing
+   from 1 to 5000 as utilization passes 1/3, 2/3, 9/10, 1, 11/10. *)
+let congestion_cost ~load ~capacity =
+  if capacity <= 0. then invalid_arg "Utilization: non-positive capacity";
+  let u = load /. capacity in
+  let c = capacity in
+  if u < 1. /. 3. then load
+  else if u < 2. /. 3. then (3. *. load) -. (2. /. 3. *. c)
+  else if u < 0.9 then (10. *. load) -. (16. /. 3. *. c)
+  else if u < 1. then (70. *. load) -. (178. /. 3. *. c)
+  else if u < 1.1 then (500. *. load) -. (1468. /. 3. *. c)
+  else (5000. *. load) -. (16318. /. 3. *. c)
+
+let of_loads topo ~loads =
+  if Array.length loads <> Topology.num_links topo then
+    invalid_arg "Utilization.of_loads: dimension mismatch";
+  let utilization = Array.make (Array.length loads) 0. in
+  let max_utilization = ref 0. in
+  let max_link = ref (-1) in
+  let cost = ref 0. in
+  Array.iter
+    (fun l ->
+      let id = l.Topology.link_id in
+      let u = loads.(id) /. l.Topology.capacity in
+      utilization.(id) <- u;
+      if l.Topology.lkind = Topology.Interior then begin
+        if u > !max_utilization then begin
+          max_utilization := u;
+          max_link := id
+        end;
+        cost := !cost +. congestion_cost ~load:loads.(id) ~capacity:l.Topology.capacity
+      end)
+    topo.Topology.links;
+  {
+    utilization;
+    max_utilization = !max_utilization;
+    max_link = !max_link;
+    cost = !cost;
+  }
+
+let of_demands routing ~demands =
+  of_loads routing.Routing.topo ~loads:(Routing.link_loads routing demands)
+
+let headroom topo ~loads ~threshold =
+  let report = of_loads topo ~loads in
+  Topology.interior_links topo
+  |> List.filter_map (fun l ->
+         let id = l.Topology.link_id in
+         let u = report.utilization.(id) in
+         if u > threshold then Some (id, u) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,33 @@
+(** Link-utilization analysis: the traffic-engineering consumer the
+    paper's introduction motivates TM estimation with. *)
+
+type report = {
+  utilization : Tmest_linalg.Vec.t;  (** per link, load / capacity *)
+  max_utilization : float;  (** over interior links *)
+  max_link : int;  (** arg max (interior link id, -1 if none) *)
+  cost : float;  (** Fortz-Thorup piecewise-linear congestion cost *)
+}
+
+(** [of_demands routing ~demands] computes the report for a demand
+    vector routed by [routing]. *)
+val of_demands :
+  Tmest_net.Routing.t -> demands:Tmest_linalg.Vec.t -> report
+
+(** [of_loads topo ~loads] computes the report directly from a
+    link-load vector. *)
+val of_loads : Tmest_net.Topology.t -> loads:Tmest_linalg.Vec.t -> report
+
+(** [congestion_cost ~load ~capacity] is the Fortz-Thorup piecewise
+    linear penalty for one link: slope 1 below 1/3 utilization, rising
+    to 5000 above 110 % — the standard objective for IGP weight
+    optimization. *)
+val congestion_cost : load:float -> capacity:float -> float
+
+(** [headroom topo ~loads ~threshold] lists interior links whose
+    utilization exceeds [threshold], busiest first, as
+    [(link_id, utilization)] — the provisioning to-do list. *)
+val headroom :
+  Tmest_net.Topology.t ->
+  loads:Tmest_linalg.Vec.t ->
+  threshold:float ->
+  (int * float) list

@@ -1,0 +1,77 @@
+module Vec = Tmest_linalg.Vec
+module Topology = Tmest_net.Topology
+module Routing = Tmest_net.Routing
+
+type result = {
+  topo : Topology.t;
+  cost : float;
+  max_utilization : float;
+  initial_cost : float;
+  initial_max_utilization : float;
+  moves : int;
+}
+
+let with_weight topo ~link ~metric =
+  if metric <= 0. then invalid_arg "Weight_opt.with_weight: metric <= 0";
+  if link < 0 || link >= Topology.num_links topo then
+    invalid_arg "Weight_opt.with_weight: link out of range";
+  let links = Array.copy topo.Topology.links in
+  if links.(link).Topology.lkind <> Topology.Interior then
+    invalid_arg "Weight_opt.with_weight: not an interior link";
+  links.(link) <- { links.(link) with Topology.metric };
+  { topo with Topology.links }
+
+let evaluate topo ~demands =
+  Utilization.of_demands (Routing.shortest_path topo) ~demands
+
+let optimize ?(max_passes = 6)
+    ?(candidates = [ 0.25; 0.5; 0.8; 1.25; 2.; 4. ]) topo ~demands =
+  let initial = evaluate topo ~demands in
+  let best_topo = ref topo in
+  let best = ref initial in
+  let moves = ref 0 in
+  let improved_in_pass = ref true in
+  let passes = ref 0 in
+  while !improved_in_pass && !passes < max_passes do
+    incr passes;
+    improved_in_pass := false;
+    (* Scan busiest links first: that is where a weight change moves
+       the most traffic. *)
+    let order =
+      Topology.interior_links !best_topo
+      |> List.map (fun l -> l.Topology.link_id)
+      |> List.sort (fun a b ->
+             compare
+               (!best).Utilization.utilization.(b)
+               (!best).Utilization.utilization.(a))
+    in
+    List.iter
+      (fun link ->
+        let current = (!best_topo).Topology.links.(link).Topology.metric in
+        List.iter
+          (fun factor ->
+            let metric =
+              Stdlib.max 1. (Stdlib.min 1e5 (current *. factor))
+            in
+            if metric <> current then begin
+              let trial_topo = with_weight !best_topo ~link ~metric in
+              let trial = evaluate trial_topo ~demands in
+              if trial.Utilization.cost < (!best).Utilization.cost *. (1. -. 1e-9)
+              then begin
+                best_topo := trial_topo;
+                best := trial;
+                incr moves;
+                improved_in_pass := true
+              end
+            end)
+          candidates)
+      order
+  done;
+  {
+    topo = !best_topo;
+    cost = (!best).Utilization.cost;
+    max_utilization = (!best).Utilization.max_utilization;
+    initial_cost = initial.Utilization.cost;
+    initial_max_utilization = initial.Utilization.max_utilization;
+    moves = !moves;
+  }

@@ -1,0 +1,41 @@
+(** IGP link-weight optimization by local search
+    (a compact Fortz-Thorup-style heuristic).
+
+    Given a traffic matrix, searches over interior-link weights to
+    minimize the piecewise-linear congestion cost of the induced
+    shortest-path routing.  This is the optimization an operator would
+    drive with an *estimated* TM — reference [4] of the paper studies
+    exactly how estimation errors affect it. *)
+
+type result = {
+  topo : Tmest_net.Topology.t;  (** topology with the optimized weights *)
+  cost : float;  (** final congestion cost *)
+  max_utilization : float;
+  initial_cost : float;
+  initial_max_utilization : float;
+  moves : int;  (** accepted weight changes *)
+}
+
+(** [optimize ?max_passes ?candidates topo ~demands] runs the search.
+    Each pass scans the links on the most-utilized paths and tries the
+    multiplicative [candidates] (default
+    [0.25; 0.5; 0.8; 1.25; 2.; 4.]) for each; the best improving move is
+    kept.  Stops after a pass without improvement or [max_passes]
+    (default 6). *)
+val optimize :
+  ?max_passes:int ->
+  ?candidates:float list ->
+  Tmest_net.Topology.t ->
+  demands:Tmest_linalg.Vec.t ->
+  result
+
+(** [with_weight topo ~link ~metric] is [topo] with one interior link's
+    metric replaced.
+    @raise Invalid_argument for non-interior links or metric <= 0. *)
+val with_weight :
+  Tmest_net.Topology.t -> link:int -> metric:float -> Tmest_net.Topology.t
+
+(** [evaluate topo ~demands] is the congestion report of shortest-path
+    routing [demands] over [topo] (convenience wrapper). *)
+val evaluate :
+  Tmest_net.Topology.t -> demands:Tmest_linalg.Vec.t -> Utilization.report

@@ -1,0 +1,1 @@
+lib/traffic/dataset.ml: Array Demand_gen List Spec Stdlib Tmest_linalg Tmest_net Tmest_stats

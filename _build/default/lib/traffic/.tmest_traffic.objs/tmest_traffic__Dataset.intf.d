@@ -1,0 +1,1 @@
+lib/traffic/dataset.mli: Demand_gen Spec Tmest_linalg Tmest_net

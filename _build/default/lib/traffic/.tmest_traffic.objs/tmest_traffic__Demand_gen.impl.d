@@ -1,0 +1,1 @@
+lib/traffic/demand_gen.ml: Array Diurnal List Spec Stdlib Tmest_linalg Tmest_net Tmest_stats

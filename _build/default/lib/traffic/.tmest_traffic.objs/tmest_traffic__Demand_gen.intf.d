@@ -1,0 +1,1 @@
+lib/traffic/demand_gen.mli: Spec Tmest_linalg Tmest_net

@@ -1,0 +1,1 @@
+lib/traffic/spec.ml: Array Diurnal Tmest_net

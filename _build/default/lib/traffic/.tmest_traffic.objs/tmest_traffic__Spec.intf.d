@@ -1,0 +1,1 @@
+lib/traffic/spec.mli: Diurnal

@@ -1,0 +1,200 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Rng = Tmest_stats.Rng
+module Dist = Tmest_stats.Dist
+module Odpairs = Tmest_net.Odpairs
+
+type ground_truth = {
+  demands : Mat.t;
+  mean_demands : Mat.t;
+  base_fanouts : Mat.t;
+  node_activity : Vec.t;
+}
+
+(* Per-source fanout rows: a mixture of global destination popularity
+   (the gravity-friendly part) and a handful of dominating destinations
+   specific to the source (the part that defeats gravity, Section 5.2.4).
+   Dominating destinations are biased towards geographically distant
+   PoPs — big flows tend to be long-haul (content to eyeballs across the
+   continent), and their paths cross many links. *)
+let base_fanouts rng (spec : Spec.t) (topo : Tmest_net.Topology.t) =
+  let n = spec.Spec.nodes in
+  let popularity = Dist.zipf_weights ~n ~alpha:spec.Spec.zipf_alpha in
+  let pop_order = Array.init n (fun i -> i) in
+  Rng.shuffle rng pop_order;
+  let dest_pop = Array.make n 0. in
+  Array.iteri (fun rank node -> dest_pop.(node) <- popularity.(rank)) pop_order;
+  let coord i =
+    let nd = topo.Tmest_net.Topology.nodes.(i) in
+    (nd.Tmest_net.Topology.lat, nd.Tmest_net.Topology.lon)
+  in
+  let dist2 a b =
+    let la, lo = coord a and lb, lob = coord b in
+    let d = ((la -. lb) ** 2.) +. ((lo -. lob) ** 2.) in
+    1e-6 +. d
+  in
+  let weighted_sample_without_replacement weights k =
+    let items = Array.mapi (fun i w -> (i, w)) weights in
+    let chosen = ref [] in
+    let active = Array.map (fun (_, w) -> w) items in
+    for _ = 1 to k do
+      let total = Array.fold_left ( +. ) 0. active in
+      if total > 0. then begin
+        let target = Rng.float rng *. total in
+        let acc = ref 0. and pick = ref (-1) in
+        Array.iteri
+          (fun i w ->
+            if !pick < 0 && w > 0. then begin
+              acc := !acc +. w;
+              if !acc >= target then pick := i
+            end)
+          active;
+        let pick = if !pick < 0 then Array.length active - 1 else !pick in
+        chosen := pick :: !chosen;
+        active.(pick) <- 0.
+      end
+    done;
+    List.rev !chosen
+  in
+  let fanouts = Mat.zeros n n in
+  for src = 0 to n - 1 do
+    (* Dominating destinations for this source, distance-biased. *)
+    let weights =
+      Array.init n (fun m -> if m = src then 0. else dist2 src m)
+    in
+    let k = Stdlib.min spec.Spec.dominant_per_node (n - 1) in
+    let others = Array.of_list (weighted_sample_without_replacement weights k) in
+    let dom_weight = Array.make n 0. in
+    let shares =
+      Dist.dirichlet rng (Array.make k 1.5)
+    in
+    for i = 0 to k - 1 do
+      dom_weight.(others.(i)) <- shares.(i)
+    done;
+    let row_total = ref 0. in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        let gravity_part = dest_pop.(dst) in
+        let v =
+          ((1. -. spec.Spec.locality) *. gravity_part)
+          +. (spec.Spec.locality *. dom_weight.(dst))
+        in
+        Mat.set fanouts src dst v;
+        row_total := !row_total +. v
+      end
+    done;
+    for dst = 0 to n - 1 do
+      if dst <> src then
+        Mat.set fanouts src dst (Mat.get fanouts src dst /. !row_total)
+    done
+  done;
+  (dest_pop, fanouts)
+
+let generate (spec : Spec.t) topo =
+  let n = Tmest_net.Topology.num_nodes topo in
+  if n <> spec.Spec.nodes then
+    invalid_arg "Demand_gen.generate: topology size does not match spec";
+  let rng = Rng.create spec.Spec.seed in
+  let p = Odpairs.count n in
+  let k = spec.Spec.samples in
+  let _dest_pop, fanouts = base_fanouts rng spec topo in
+  (* Node activity: how much each PoP originates, heavy-tailed and
+     independent of destination popularity. *)
+  let act_weights = Dist.zipf_weights ~n ~alpha:spec.Spec.zipf_alpha in
+  let act_order = Array.init n (fun i -> i) in
+  Rng.shuffle rng act_order;
+  let node_activity = Array.make n 0. in
+  Array.iteri
+    (fun rank node -> node_activity.(node) <- act_weights.(rank))
+    act_order;
+  (* Per-node diurnal phase shift (time zones inside a continent, user
+     mix): +- ~1 h. *)
+  let phase = Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.2) ~hi:1.2) in
+  (* Raw node totals before global normalization. *)
+  let node_total = Mat.zeros k n in
+  for step = 0 to k - 1 do
+    let hour = 24. *. float_of_int step /. float_of_int k in
+    for node = 0 to n - 1 do
+      let d =
+        Diurnal.value spec.Spec.diurnal ~hour:(hour +. phase.(node))
+      in
+      Mat.set node_total step node (node_activity.(node) *. d)
+    done
+  done;
+  (* Normalize so the peak *total* network traffic equals 1, then scale
+     to bits per second. *)
+  let peak = ref 0. in
+  for step = 0 to k - 1 do
+    peak := Stdlib.max !peak (Vec.sum (Mat.row node_total step))
+  done;
+  let to_bps = spec.Spec.peak_total_bps /. !peak in
+  (* Fanout wander: per-pair AR(1) in log space.  Innovations sized so
+     the stationary relative std is [fanout_drift] for the large pairs
+     and [fanout_drift + small_fanout_noise] for the small ones
+     (Section 5.2.2: small demands' fanouts fluctuate relatively more). *)
+  let rho = 0.992 in
+  let base_share = Array.make p 0. in
+  Odpairs.iter ~nodes:n (fun pair src dst ->
+      base_share.(pair) <-
+        node_activity.(src) *. Mat.get fanouts src dst);
+  let share_median =
+    Tmest_stats.Desc.median (Array.copy base_share)
+  in
+  let target_rel = Array.map
+      (fun share ->
+        if share >= share_median then spec.Spec.fanout_drift
+        else spec.Spec.fanout_drift +. spec.Spec.small_fanout_noise)
+      base_share
+  in
+  let innovation_std =
+    Array.map (fun rel -> rel *. sqrt (1. -. (rho *. rho))) target_rel
+  in
+  let gamma = Array.make p 0. in
+  (* Start at the stationary distribution. *)
+  Array.iteri
+    (fun pair std ->
+      gamma.(pair) <-
+        Dist.gaussian rng ~mu:0. ~sigma:(std /. sqrt (1. -. (rho *. rho))))
+    innovation_std;
+  let mean_demands = Mat.zeros k p in
+  let demands = Mat.zeros k p in
+  (* Interval noise: in units normalized by the peak total (where the
+     paper fits phi and c), Var = phi * mean^c.  A Gamma draw with
+     matched mean and variance keeps the law exact for the small demands
+     too — a zero-clipped Gaussian would deflate their variance and bias
+     the fitted exponent towards 2. *)
+  let total = spec.Spec.peak_total_bps in
+  let sample_demand mu_bps =
+    if mu_bps <= 0. then 0.
+    else begin
+      let mu_norm = mu_bps /. total in
+      let var_bps = spec.Spec.phi *. (mu_norm ** spec.Spec.c) *. total *. total in
+      if var_bps <= 0. then mu_bps
+      else begin
+        let shape = mu_bps *. mu_bps /. var_bps in
+        let scale = var_bps /. mu_bps in
+        Dist.gamma rng ~shape ~scale
+      end
+    end
+  in
+  for step = 0 to k - 1 do
+    (* Advance fanout wander and renormalize per source. *)
+    Array.iteri
+      (fun pair std ->
+        gamma.(pair) <-
+          (rho *. gamma.(pair)) +. Dist.gaussian rng ~mu:0. ~sigma:std)
+      innovation_std;
+    let row_norm = Array.make n 0. in
+    let alpha = Array.make p 0. in
+    Odpairs.iter ~nodes:n (fun pair src dst ->
+        let a = Mat.get fanouts src dst *. exp gamma.(pair) in
+        alpha.(pair) <- a;
+        row_norm.(src) <- row_norm.(src) +. a;
+        ignore dst);
+    Odpairs.iter ~nodes:n (fun pair src _dst ->
+        let a = alpha.(pair) /. row_norm.(src) in
+        let mu = Mat.get node_total step src *. a *. to_bps in
+        Mat.set mean_demands step pair mu;
+        Mat.set demands step pair (sample_demand mu))
+  done;
+  { demands; mean_demands; base_fanouts = fanouts; node_activity }

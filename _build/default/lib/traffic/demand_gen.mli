@@ -1,0 +1,18 @@
+(** Synthetic demand time-series generator.
+
+    Produces a [samples x P] matrix of demand rates (bits/s) whose
+    statistical fingerprint matches the paper's measured data; see
+    {!Spec} for the properties and the knobs that control them. *)
+
+type ground_truth = {
+  demands : Tmest_linalg.Mat.t;  (** K x P, bits/s, K = spec.samples *)
+  mean_demands : Tmest_linalg.Mat.t;
+      (** K x P noise-free demand means (the latent process the noise is
+          added to; useful for tests) *)
+  base_fanouts : Tmest_linalg.Mat.t;  (** N x N, rows sum to 1, diag 0 *)
+  node_activity : Tmest_linalg.Vec.t;  (** per-node relative volume *)
+}
+
+(** [generate spec topo] draws the demand process for [topo] (which must
+    have [spec.nodes] nodes).  Deterministic in [spec.seed]. *)
+val generate : Spec.t -> Tmest_net.Topology.t -> ground_truth

@@ -1,0 +1,46 @@
+type t = {
+  base : float;
+  peak_hour : float;
+  concentration : float;
+  shoulder_hour : float;
+  shoulder_gain : float;
+}
+
+let two_pi = 8. *. atan 1.
+
+let bump ~center ~kappa hour =
+  let theta = two_pi *. (hour -. center) /. 24. in
+  exp (kappa *. (cos theta -. 1.))
+
+let value t ~hour =
+  let main = bump ~center:t.peak_hour ~kappa:t.concentration hour in
+  let shoulder =
+    t.shoulder_gain *. bump ~center:t.shoulder_hour ~kappa:t.concentration hour
+  in
+  t.base +. ((1. -. t.base) *. (main +. shoulder) /. (1. +. t.shoulder_gain))
+
+let samples t ~count =
+  if count <= 0 then invalid_arg "Diurnal.samples: count must be positive";
+  Array.init count (fun k ->
+      value t ~hour:(24. *. float_of_int k /. float_of_int count))
+
+(* European business/evening traffic peaks in the late afternoon GMT;
+   the American profile peaks a few hours later, so the busy periods
+   overlap around 18:00 GMT (paper Fig. 1). *)
+let europe =
+  {
+    base = 0.35;
+    peak_hour = 17.0;
+    concentration = 2.2;
+    shoulder_hour = 9.5;
+    shoulder_gain = 0.35;
+  }
+
+let america =
+  {
+    base = 0.32;
+    peak_hour = 20.5;
+    concentration = 1.9;
+    shoulder_hour = 14.0;
+    shoulder_gain = 0.30;
+  }

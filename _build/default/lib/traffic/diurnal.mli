@@ -1,0 +1,30 @@
+(** Diurnal total-traffic profiles.
+
+    The paper's Figure 1 shows both subnetworks following a clear daily
+    cycle with pronounced, partly overlapping busy periods (around 18:00
+    GMT).  We model the normalized total traffic as a von-Mises-shaped
+    bump over the 24-hour circle on top of a base load, plus an optional
+    secondary (morning) shoulder. *)
+
+type t = {
+  base : float;  (** off-peak floor, fraction of the peak (0..1) *)
+  peak_hour : float;  (** centre of the main busy period, hours GMT *)
+  concentration : float;  (** von Mises kappa; larger = narrower peak *)
+  shoulder_hour : float;  (** centre of the secondary bump *)
+  shoulder_gain : float;  (** relative height of the secondary bump *)
+}
+
+(** [value t ~hour] is the profile at [hour] (0..24, wraps), scaled so the
+    main peak is ~1. *)
+val value : t -> hour:float -> float
+
+(** [samples t ~count] evaluates the profile at [count] evenly spaced
+    instants over 24 h (e.g. 288 five-minute samples). *)
+val samples : t -> count:int -> float array
+
+(** Profiles used for the synthetic datasets: the European busy period
+    is earlier and slightly narrower than the American one, and the two
+    overlap around 18:00 GMT as in the paper. *)
+val europe : t
+
+val america : t

@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  seed : int;
+  nodes : int;
+  directed_links : int;
+  cities : (string * float * float) array;
+  diurnal : Diurnal.t;
+  zipf_alpha : float;
+  locality : float;
+  dominant_per_node : int;
+  phi : float;
+  c : float;
+  fanout_drift : float;
+  small_fanout_noise : float;
+  peak_total_bps : float;
+  samples : int;
+  busy_start : int;
+  busy_len : int;
+}
+
+(* The shared busy period: samples 204..253 = 17:00-21:10 GMT, 250 min,
+   where the European and American busy periods overlap (paper Fig. 1). *)
+let busy_start_default = 204
+let busy_len_default = 50
+
+let europe =
+  {
+    name = "europe";
+    seed = 20041025;
+    nodes = 12;
+    directed_links = 72;
+    cities = Tmest_net.Topology.european_cities;
+    diurnal = Diurnal.europe;
+    zipf_alpha = 1.8;
+    locality = 0.15;
+    dominant_per_node = 2;
+    phi = 0.002;
+    c = 1.6;
+    fanout_drift = 0.05;
+    small_fanout_noise = 0.35;
+    peak_total_bps = 30e9;
+    samples = 288;
+    busy_start = busy_start_default;
+    busy_len = busy_len_default;
+  }
+
+let america =
+  {
+    name = "america";
+    seed = 20041027;
+    nodes = 25;
+    directed_links = 284;
+    cities = Tmest_net.Topology.american_cities;
+    diurnal = Diurnal.america;
+    zipf_alpha = 1.5;
+    locality = 0.45;
+    dominant_per_node = 3;
+    phi = 0.004;
+    c = 1.5;
+    fanout_drift = 0.05;
+    small_fanout_noise = 0.4;
+    peak_total_bps = 80e9;
+    samples = 288;
+    busy_start = busy_start_default;
+    busy_len = busy_len_default;
+  }
+
+let scaled ~nodes ~directed_links t =
+  if nodes > Array.length t.cities then
+    invalid_arg "Spec.scaled: not enough cities for requested size";
+  { t with nodes; directed_links; name = t.name ^ "-small" }

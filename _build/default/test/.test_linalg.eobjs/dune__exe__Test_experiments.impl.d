@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Ctx Format Lazy List Printf Registry Report Stdlib String Tmest_experiments

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Float Fun List Mat Odpairs Printf Routing Sys Tm_io Tmest_core Tmest_io Tmest_linalg Tmest_net Tmest_traffic Topology Topology_io Vec

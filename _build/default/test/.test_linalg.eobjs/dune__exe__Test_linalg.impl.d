@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Chol Csr Eigen List Lu Mat QCheck QCheck_alcotest Qr Tmest_linalg Vec

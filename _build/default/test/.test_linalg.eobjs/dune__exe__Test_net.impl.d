@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Cspf Dijkstra List Lsp Mat Odpairs Printf QCheck QCheck_alcotest Routing Tmest_linalg Tmest_net Topology Vec

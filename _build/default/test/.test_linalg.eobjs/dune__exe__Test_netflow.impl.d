@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Array Collector Float Flow Generator List Mat Printf QCheck QCheck_alcotest Rng Tmest_linalg Tmest_netflow Tmest_stats

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Cg Chol Eqqp Fista List Mat Nnls Printf Projections Proxgrad QCheck QCheck_alcotest Qr Scaling Simplex Tmest_linalg Tmest_opt Vec

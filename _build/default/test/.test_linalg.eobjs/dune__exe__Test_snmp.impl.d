@@ -1,0 +1,1 @@
+test/test_snmp.ml: Alcotest Array Collect Counter Mat Printf Tmest_linalg Tmest_snmp Tmest_traffic Vec

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Desc Dist Lambert List Printf QCheck QCheck_alcotest Regress Rng Tmest_linalg Tmest_stats

@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Array Dijkstra Failure_analysis Lazy List Odpairs Printf Routing Tmest_linalg Tmest_net Tmest_te Tmest_traffic Topology Utilization Vec Weight_opt

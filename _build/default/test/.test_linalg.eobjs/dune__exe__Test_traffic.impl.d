@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Dataset Demand_gen Desc Diurnal Lazy List Mat Odpairs Printf Regress Routing Spec Stdlib Tmest_linalg Tmest_net Tmest_stats Tmest_traffic Vec

@@ -1,0 +1,233 @@
+open Tmest_experiments
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* One reduced-scale context shared by all cases (building it is the
+   expensive part). *)
+let ctx = lazy (Ctx.create ~fast:true ())
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let all_series report =
+  List.filter_map
+    (function Report.Series s -> Some s | _ -> None)
+    report.Report.items
+
+let series_like report label_part =
+  List.filter (fun s -> contains s.Report.label label_part)
+    (all_series report)
+
+let run id = (Registry.find id).Registry.run (Lazy.force ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Report.sparkline [||]);
+  let s = Report.sparkline [| 0.; 1. |] in
+  Alcotest.(check bool) "two blocks" true (String.length s > 0);
+  (* A constant series renders mid-level blocks, no crash. *)
+  ignore (Report.sparkline [| 2.; 2.; 2. |])
+
+let test_report_csv () =
+  let r =
+    {
+      Report.id = "x";
+      title = "t";
+      items =
+        [
+          Report.series "s" [| (1., 2.) |];
+          Report.table ~columns:[ "m"; "a" ] [ ("row", [| 3. |]) ];
+          Report.note "ignored";
+        ];
+    }
+  in
+  let csv = Report.to_csv r in
+  Alcotest.(check bool) "series row" true (contains csv "series,s,1,2");
+  Alcotest.(check bool) "table row" true (contains csv "table,row,a,3")
+
+let test_report_print_no_crash () =
+  let r = run "fig1" in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.pp ppf r;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "nonempty" true (Buffer.length buf > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  (* Every table and figure of the evaluation section is registered. *)
+  let expected =
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+      "fig9"; "fig10"; "fig11"; "tab1"; "fig12"; "fig13"; "fig14"; "fig15";
+      "fig16"; "tab2"; "ext1"; "ext2"; "ext3"; "ext4"; "ext5"; "ext6"; "ext7"; "ext8"; "ext9"; "ext10"; "ext11"; "ext12" ]
+  in
+  Alcotest.(check (list string)) "ids" expected (Registry.ids ())
+
+let test_registry_find () =
+  Alcotest.(check string) "found" "tab2" (Registry.find "tab2").Registry.id;
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Registry.find "fig99");
+       false
+     with Not_found -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Every experiment runs and has content                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_experiments_produce_content () =
+  List.iter
+    (fun e ->
+      let r = e.Registry.run (Lazy.force ctx) in
+      Alcotest.(check string) "id matches" e.Registry.id r.Report.id;
+      Alcotest.(check bool)
+        (e.Registry.id ^ " has items")
+        true
+        (List.length r.Report.items > 0))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Shape assertions on key experiments                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_diurnal_range () =
+  let r = run "fig1" in
+  let series = all_series r in
+  Alcotest.(check int) "two networks" 2 (List.length series);
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          Alcotest.(check bool) "x in hours" true (x >= 0. && x <= 24.);
+          Alcotest.(check bool) "normalized" true (y >= 0. && y <= 1.0001))
+        s.Report.points)
+    series
+
+let test_fig2_cumulative_monotone () =
+  let r = run "fig2" in
+  List.iter
+    (fun s ->
+      let prev = ref 0. in
+      Array.iter
+        (fun (_, y) ->
+          Alcotest.(check bool) "monotone" true (y >= !prev -. 1e-9);
+          prev := y)
+        s.Report.points;
+      check_float 1e-6 "ends at 1" 1. !prev)
+    (all_series r)
+
+let test_fig6_strong_fit () =
+  let r = run "fig6" in
+  (* Both fits are reported with strong r2 in the note. *)
+  let count = ref 0 in
+  List.iter
+    (function
+      | Report.Note s when contains s "fit:" -> incr count
+      | _ -> ())
+    r.Report.items;
+  Alcotest.(check int) "two fits" 2 !count
+
+let test_fig13_regularized_beats_prior () =
+  let r = run "fig13" in
+  List.iter
+    (fun s ->
+      let ys = Array.map snd s.Report.points in
+      let best = Array.fold_left Stdlib.min ys.(0) ys in
+      let leftmost = ys.(0) in
+      Alcotest.(check bool)
+        (s.Report.label ^ ": best sweep value improves on prior end")
+        true
+        (best <= leftmost +. 1e-9))
+    (all_series r)
+
+let test_tab1_poisson_faith_catastrophic () =
+  let r = run "tab1" in
+  match
+    List.find_map
+      (function Report.Table t -> Some t | _ -> None)
+      r.Report.items
+  with
+  | None -> Alcotest.fail "tab1 has no table"
+  | Some t ->
+      let weak = List.assoc "sigma^-2 = 0.01" t.Report.rows in
+      let strong = List.assoc "sigma^-2 = 1" t.Report.rows in
+      Array.iteri
+        (fun i w ->
+          Alcotest.(check bool) "sigma^-2 = 1 is much worse" true
+            (strong.(i) > 2. *. w))
+        weak
+
+let test_fig16_mre_decreases () =
+  let r = run "fig16" in
+  match series_like r "greedy" with
+  | [ s ] ->
+      let ys = Array.map snd s.Report.points in
+      let first = ys.(0) and last = ys.(Array.length ys - 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "greedy MRE drops %.3f -> %.3f" first last)
+        true (last < first)
+  | _ -> Alcotest.fail "expected exactly one greedy series"
+
+let test_tab2_expected_orderings () =
+  let r = run "tab2" in
+  match
+    List.find_map
+      (function Report.Table t -> Some t | _ -> None)
+      r.Report.items
+  with
+  | None -> Alcotest.fail "tab2 has no table"
+  | Some t ->
+      let v row col = (List.assoc row t.Report.rows).(col) in
+      (* Paper's headline orderings, per network (0 = Europe, 1 = US):
+         regularized methods beat the raw gravity prior; Vardi is the
+         worst of the paper's methods. *)
+      List.iter
+        (fun col ->
+          Alcotest.(check bool) "entropy beats gravity" true
+            (v "Entropy w. gravity prior" col < v "Simple gravity prior" col);
+          Alcotest.(check bool) "vardi worst" true
+            (v "Vardi" col > v "Entropy w. gravity prior" col))
+        [ 0; 1 ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "print" `Quick test_report_print_no_crash;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "all produce content" `Slow
+            test_all_experiments_produce_content;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "fig1 diurnal" `Quick test_fig1_diurnal_range;
+          Alcotest.test_case "fig2 cumulative" `Quick
+            test_fig2_cumulative_monotone;
+          Alcotest.test_case "fig6 fits" `Quick test_fig6_strong_fit;
+          Alcotest.test_case "fig13 sweep" `Slow
+            test_fig13_regularized_beats_prior;
+          Alcotest.test_case "tab1 ordering" `Slow
+            test_tab1_poisson_faith_catastrophic;
+          Alcotest.test_case "fig16 decreasing" `Slow test_fig16_mre_decreases;
+          Alcotest.test_case "tab2 orderings" `Slow
+            test_tab2_expected_orderings;
+        ] );
+    ]

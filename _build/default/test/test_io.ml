@@ -1,0 +1,196 @@
+open Tmest_linalg
+open Tmest_net
+open Tmest_io
+
+
+let sample_topo () =
+  Topology.generate ~name:"eu" ~seed:4 ~nodes:12 ~directed_links:72
+    Topology.european_cities
+
+(* ------------------------------------------------------------------ *)
+(* Topology round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_roundtrip () =
+  let t = sample_topo () in
+  let t' = Topology_io.of_string ~name:"mem" (Topology_io.to_string t) in
+  Alcotest.(check int) "nodes" (Topology.num_nodes t) (Topology.num_nodes t');
+  Alcotest.(check int) "links" (Topology.num_links t) (Topology.num_links t');
+  (* Interior structure preserved: same (src, dst, capacity, metric)
+     multiset. *)
+  let sig_of topo =
+    Topology.interior_links topo
+    |> List.map (fun l ->
+           (l.Topology.src, l.Topology.dst, l.Topology.capacity,
+            l.Topology.metric))
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "same edges" true (sig_of t = sig_of t');
+  Array.iteri
+    (fun i n ->
+      let n' = t'.Topology.nodes.(i) in
+      Alcotest.(check string) "name" n.Topology.name n'.Topology.name;
+      Alcotest.(check bool) "kind" true (n.Topology.kind = n'.Topology.kind))
+    t.Topology.nodes
+
+let test_topology_file_roundtrip () =
+  let t = sample_topo () in
+  let path = Filename.temp_file "tmest" ".topo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topology_io.write path t;
+      let t' = Topology_io.read path in
+      Alcotest.(check int) "links" (Topology.num_links t)
+        (Topology.num_links t'))
+
+let test_topology_peering_kind_preserved () =
+  let t = Topology.set_node_kind (sample_topo ()) 3 Topology.Peering in
+  let t' = Topology_io.of_string ~name:"mem" (Topology_io.to_string t) in
+  Alcotest.(check bool) "peering" true
+    (t'.Topology.nodes.(3).Topology.kind = Topology.Peering)
+
+let expect_failure f =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (f ());
+       false
+     with Failure _ | Invalid_argument _ -> true)
+
+let test_topology_rejects_garbage () =
+  expect_failure (fun () -> Topology_io.of_string ~name:"m" "nonsense 1 2\n");
+  expect_failure (fun () ->
+      Topology_io.of_string ~name:"m" "node 0 A access 0 0\nedge 0 5 1e9 1\n");
+  expect_failure (fun () ->
+      (* duplicate node id *)
+      Topology_io.of_string ~name:"m"
+        "node 0 A access 0 0\nnode 0 B access 0 0\n");
+  expect_failure (fun () -> Topology_io.of_string ~name:"m" "# only comments\n")
+
+(* ------------------------------------------------------------------ *)
+(* Traffic-matrix series round-trips                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_roundtrip () =
+  let nodes = 5 in
+  let p = Odpairs.count nodes in
+  let m =
+    Mat.init 4 p (fun k pair ->
+        if (k + pair) mod 3 = 0 then 0. else float_of_int ((k * 100) + pair))
+  in
+  let s = Tm_io.series_to_string ~nodes m in
+  let m' = Tm_io.series_of_string ~name:"mem" ~nodes s in
+  Alcotest.(check bool) "roundtrip" true (Mat.equal ~eps:1e-6 m m')
+
+let test_series_file_roundtrip () =
+  let nodes = 4 in
+  let p = Odpairs.count nodes in
+  let m = Mat.init 3 p (fun k pair -> float_of_int (k + pair) *. 1e6) in
+  let path = Filename.temp_file "tmest" ".tm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tm_io.write_series path ~nodes m;
+      let m' = Tm_io.read_series path ~nodes in
+      Alcotest.(check bool) "roundtrip" true (Mat.equal ~eps:1e-3 m m'))
+
+let test_series_rejects_bad_input () =
+  expect_failure (fun () ->
+      Tm_io.series_of_string ~name:"m" ~nodes:3 "0 1 5.0\n" (* no header *));
+  expect_failure (fun () ->
+      Tm_io.series_of_string ~name:"m" ~nodes:3 "tm 0\n0 0 5.0\n" (* diag *));
+  expect_failure (fun () ->
+      Tm_io.series_of_string ~name:"m" ~nodes:3 "tm 0\n0 1 -2.\n");
+  expect_failure (fun () ->
+      Tm_io.series_of_string ~name:"m" ~nodes:3 "tm 1\n0 1 2.\n" (* gap *));
+  expect_failure (fun () -> Tm_io.series_of_string ~name:"m" ~nodes:3 "")
+
+(* ------------------------------------------------------------------ *)
+(* Loads round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_loads_roundtrip () =
+  let loads = Vec.init 7 (fun i -> float_of_int i *. 1.5e8) in
+  let path = Filename.temp_file "tmest" ".loads" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tm_io.write_loads path loads;
+      let loads' = Tm_io.read_loads path ~links:7 in
+      Alcotest.(check bool) "roundtrip" true (Vec.equal ~eps:1e-3 loads loads'))
+
+let test_loads_rejects_missing_link () =
+  let path = Filename.temp_file "tmest" ".loads" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tm_io.write_loads path (Vec.ones 3);
+      expect_failure (fun () -> Tm_io.read_loads path ~links:5))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: exported dataset re-imported and estimated              *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_import_estimate () =
+  let d =
+    Tmest_traffic.Dataset.generate
+      { (Tmest_traffic.Spec.scaled ~nodes:6 ~directed_links:28
+           Tmest_traffic.Spec.europe)
+        with Tmest_traffic.Spec.seed = 77; samples = 30 }
+  in
+  let nodes = Tmest_traffic.Dataset.num_nodes d in
+  let topo_s = Topology_io.to_string d.Tmest_traffic.Dataset.topo in
+  let tm_s =
+    Tm_io.series_to_string ~nodes
+      d.Tmest_traffic.Dataset.truth.Tmest_traffic.Demand_gen.demands
+  in
+  (* A downstream user reloads both and runs the estimator. *)
+  let topo = Topology_io.of_string ~name:"mem" topo_s in
+  let series = Tm_io.series_of_string ~name:"mem" ~nodes tm_s in
+  let routing = Routing.shortest_path topo in
+  let truth = Mat.row series 20 in
+  let loads = Routing.link_loads routing truth in
+  let prior = Tmest_core.Gravity.simple routing ~loads in
+  let est =
+    (Tmest_core.Entropy.estimate routing ~loads ~prior ~sigma2:1000.)
+      .Tmest_core.Entropy.estimate
+  in
+  let mre = Tmest_core.Metrics.mre ~truth ~estimate:est () in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimation works on reloaded data (MRE %.3f)" mre)
+    true
+    (Float.is_finite mre && mre < 1.)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_topology_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_topology_file_roundtrip;
+          Alcotest.test_case "peering preserved" `Quick
+            test_topology_peering_kind_preserved;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_topology_rejects_garbage;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_series_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_series_file_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_series_rejects_bad_input;
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_loads_roundtrip;
+          Alcotest.test_case "missing link" `Quick
+            test_loads_rejects_missing_link;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "export/import/estimate" `Quick
+            test_export_import_estimate;
+        ] );
+    ]

@@ -1,0 +1,394 @@
+open Tmest_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic () =
+  let v = Vec.of_list [ 1.; 2.; 3. ] in
+  check_float "sum" 6. (Vec.sum v);
+  check_float "mean" 2. (Vec.mean v);
+  check_float "norm1" 6. (Vec.norm1 v);
+  check_float "norm2" (sqrt 14.) (Vec.norm2 v);
+  check_float "norm_inf" 3. (Vec.norm_inf v);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax v);
+  Alcotest.(check int) "argmin" 0 (Vec.argmin v)
+
+let test_vec_ops () =
+  let u = Vec.of_list [ 1.; -2.; 3. ] and v = Vec.of_list [ 4.; 5.; -6. ] in
+  check_float "dot" (1. *. 4. -. 2. *. 5. -. 3. *. 6.) (Vec.dot u v);
+  Alcotest.(check bool) "add" true
+    (Vec.equal (Vec.add u v) (Vec.of_list [ 5.; 3.; -3. ]));
+  Alcotest.(check bool) "sub" true
+    (Vec.equal (Vec.sub u v) (Vec.of_list [ -3.; -7.; 9. ]));
+  Alcotest.(check bool) "scale" true
+    (Vec.equal (Vec.scale 2. u) (Vec.of_list [ 2.; -4.; 6. ]));
+  Alcotest.(check bool) "axpy" true
+    (Vec.equal (Vec.axpy 2. u v) (Vec.of_list [ 6.; 1.; 0. ]));
+  Alcotest.(check bool) "clamp" true
+    (Vec.equal (Vec.clamp_nonneg u) (Vec.of_list [ 1.; 0.; 3. ]))
+
+let test_vec_axpy_inplace () =
+  let x = Vec.of_list [ 1.; 2. ] and y = Vec.of_list [ 10.; 20. ] in
+  Vec.axpy_inplace 3. x y;
+  Alcotest.(check bool) "inplace" true
+    (Vec.equal y (Vec.of_list [ 13.; 26. ]))
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add (Vec.zeros 2) (Vec.zeros 3)))
+
+let test_vec_basis () =
+  let e = Vec.basis 4 2 in
+  check_float "basis sum" 1. (Vec.sum e);
+  check_float "basis entry" 1. e.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let m23 = Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]
+
+let test_mat_basic () =
+  Alcotest.(check int) "rows" 2 (Mat.rows m23);
+  Alcotest.(check int) "cols" 3 (Mat.cols m23);
+  check_float "get" 6. (Mat.get m23 1 2);
+  Alcotest.(check bool) "row" true
+    (Vec.equal (Mat.row m23 1) (Vec.of_list [ 4.; 5.; 6. ]));
+  Alcotest.(check bool) "col" true
+    (Vec.equal (Mat.col m23 1) (Vec.of_list [ 2.; 5. ]))
+
+let test_mat_transpose () =
+  let t = Mat.transpose m23 in
+  Alcotest.(check int) "t rows" 3 (Mat.rows t);
+  check_float "t entry" 6. (Mat.get t 2 1);
+  Alcotest.(check bool) "double transpose" true
+    (Mat.equal (Mat.transpose t) m23)
+
+let test_mat_matmul () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.matmul a b in
+  Alcotest.(check bool) "product" true
+    (Mat.equal c (Mat.of_rows [| [| 19.; 22. |]; [| 43.; 50. |] |]));
+  let i = Mat.identity 2 in
+  Alcotest.(check bool) "identity" true (Mat.equal (Mat.matmul a i) a)
+
+let test_mat_matvec () =
+  let y = Mat.matvec m23 (Vec.of_list [ 1.; 1.; 1. ]) in
+  Alcotest.(check bool) "matvec" true (Vec.equal y (Vec.of_list [ 6.; 15. ]));
+  let z = Mat.tmatvec m23 (Vec.of_list [ 1.; 1. ]) in
+  Alcotest.(check bool) "tmatvec" true
+    (Vec.equal z (Vec.of_list [ 5.; 7.; 9. ]))
+
+let test_mat_gram () =
+  let g = Mat.gram m23 in
+  Alcotest.(check bool) "gram = AtA" true
+    (Mat.equal g (Mat.matmul (Mat.transpose m23) m23));
+  Alcotest.(check bool) "gram symmetric" true (Mat.is_symmetric g)
+
+let test_mat_stack () =
+  let v = Mat.vstack m23 m23 in
+  Alcotest.(check int) "vstack rows" 4 (Mat.rows v);
+  check_float "vstack entry" 4. (Mat.get v 3 0);
+  let h = Mat.hstack m23 m23 in
+  Alcotest.(check int) "hstack cols" 6 (Mat.cols h);
+  check_float "hstack entry" 1. (Mat.get h 0 3)
+
+let test_mat_select_cols () =
+  let s = Mat.select_cols m23 [| 2; 0 |] in
+  Alcotest.(check bool) "select" true
+    (Mat.equal s (Mat.of_rows [| [| 3.; 1. |]; [| 6.; 4. |] |]))
+
+let test_mat_scale_cols () =
+  let s = Mat.scale_cols m23 (Vec.of_list [ 1.; 10.; 100. ]) in
+  Alcotest.(check bool) "scale_cols" true
+    (Mat.equal s (Mat.of_rows [| [| 1.; 20.; 300. |]; [| 4.; 50.; 600. |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* LU / Cholesky / QR                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_solve () =
+  let a = Mat.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let b = Vec.of_list [ 3.; 5. ] in
+  let x = Lu.solve_system a b in
+  let r = Vec.sub (Mat.matvec a x) b in
+  check_float "residual" 0. (Vec.norm_inf r)
+
+let test_lu_pivoting () =
+  (* Requires row exchange: zero top-left pivot. *)
+  let a = Mat.of_rows [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Lu.solve_system a (Vec.of_list [ 2.; 3. ]) in
+  Alcotest.(check bool) "swap solve" true
+    (Vec.equal x (Vec.of_list [ 3.; 2. ]))
+
+let test_lu_det () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_float "det" (-2.) (Lu.det (Lu.factor a))
+
+let test_lu_singular () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.(check bool) "raises Singular" true
+    (try
+       ignore (Lu.factor a);
+       false
+     with Lu.Singular _ -> true)
+
+let test_lu_inverse () =
+  let a = Mat.of_rows [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let ai = Lu.inverse a in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (Mat.equal ~eps:1e-12 (Mat.matmul a ai) (Mat.identity 2))
+
+let test_chol () =
+  let a = Mat.of_rows [| [| 4.; 2. |]; [| 2.; 3. |] |] in
+  let f = Chol.factor a in
+  let l = Chol.lower f in
+  Alcotest.(check bool) "L*Lt = A" true
+    (Mat.equal ~eps:1e-12 (Mat.matmul l (Mat.transpose l)) a);
+  let x = Chol.solve f (Vec.of_list [ 1.; 2. ]) in
+  let r = Vec.sub (Mat.matvec a x) (Vec.of_list [ 1.; 2. ]) in
+  check_float "chol residual" 0. (Vec.norm_inf r);
+  check_float_loose "log det" (log (4. *. 3. -. 4.)) (Chol.log_det f)
+
+let test_chol_not_pd () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Chol.factor a);
+       false
+     with Chol.Not_positive_definite _ -> true)
+
+let test_qr_lstsq () =
+  (* Overdetermined fit y = 2x + 1 exactly. *)
+  let a = Mat.of_rows [| [| 0.; 1. |]; [| 1.; 1. |]; [| 2.; 1. |] |] in
+  let b = Vec.of_list [ 1.; 3.; 5. ] in
+  let x = Qr.solve_lstsq a b in
+  check_float_loose "slope" 2. x.(0);
+  check_float_loose "intercept" 1. x.(1)
+
+let test_qr_residual_orthogonal () =
+  let a =
+    Mat.of_rows
+      [| [| 1.; 0. |]; [| 1.; 1. |]; [| 1.; 2. |]; [| 1.; 3. |] |]
+  in
+  let b = Vec.of_list [ 1.; 0.; 2.; 1. ] in
+  let x = Qr.solve_lstsq a b in
+  let r = Vec.sub b (Mat.matvec a x) in
+  (* Least-squares residual is orthogonal to the column space. *)
+  check_float_loose "At r = 0" 0. (Vec.norm_inf (Mat.tmatvec a r))
+
+(* ------------------------------------------------------------------ *)
+(* CSR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csr_roundtrip () =
+  let d = Mat.of_rows [| [| 0.; 1.; 0. |]; [| 2.; 0.; 3. |] |] in
+  let s = Csr.of_dense d in
+  Alcotest.(check int) "nnz" 3 (Csr.nnz s);
+  Alcotest.(check bool) "roundtrip" true (Mat.equal (Csr.to_dense s) d);
+  check_float "get stored" 3. (Csr.get s 1 2);
+  check_float "get zero" 0. (Csr.get s 0 0)
+
+let test_csr_matvec () =
+  let d = Mat.of_rows [| [| 0.; 1.; 0. |]; [| 2.; 0.; 3. |] |] in
+  let s = Csr.of_dense d in
+  let x = Vec.of_list [ 1.; 2.; 3. ] in
+  Alcotest.(check bool) "matvec" true
+    (Vec.equal (Csr.matvec s x) (Mat.matvec d x));
+  let y = Vec.of_list [ 5.; 7. ] in
+  Alcotest.(check bool) "tmatvec" true
+    (Vec.equal (Csr.tmatvec s y) (Mat.tmatvec d y))
+
+let test_csr_duplicates () =
+  let s = Csr.of_triplets ~rows:1 ~cols:2 [ (0, 0, 1.); (0, 0, 2.) ] in
+  check_float "summed" 3. (Csr.get s 0 0);
+  Alcotest.(check int) "nnz after merge" 1 (Csr.nnz s)
+
+let test_csr_transpose_gram () =
+  let d = Mat.of_rows [| [| 1.; 0.; 2. |]; [| 0.; 3.; 0. |] |] in
+  let s = Csr.of_dense d in
+  Alcotest.(check bool) "transpose" true
+    (Mat.equal (Csr.to_dense (Csr.transpose s)) (Mat.transpose d));
+  Alcotest.(check bool) "gram" true
+    (Mat.equal (Csr.gram s) (Mat.gram d))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mat_gen rows cols =
+  QCheck.Gen.(
+    array_size (return (rows * cols)) (float_bound_inclusive 10.)
+    |> map (fun data -> Mat.init rows cols (fun i j -> data.((i * cols) + j))))
+
+let arb_mat rows cols = QCheck.make (mat_gen rows cols)
+
+let prop_transpose_product =
+  QCheck.Test.make ~name:"(AB)t = Bt At" ~count:50
+    (QCheck.pair (arb_mat 3 4) (arb_mat 4 2))
+    (fun (a, b) ->
+      Mat.equal ~eps:1e-9
+        (Mat.transpose (Mat.matmul a b))
+        (Mat.matmul (Mat.transpose b) (Mat.transpose a)))
+
+let prop_matvec_linear =
+  QCheck.Test.make ~name:"A(x+y) = Ax + Ay" ~count:50
+    (QCheck.triple (arb_mat 4 3)
+       (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.float_bound_inclusive 5.))
+       (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.float_bound_inclusive 5.)))
+    (fun (a, x, y) ->
+      Vec.equal ~eps:1e-9
+        (Mat.matvec a (Vec.add x y))
+        (Vec.add (Mat.matvec a x) (Mat.matvec a y)))
+
+let prop_lu_solve =
+  QCheck.Test.make ~name:"LU solve residual small" ~count:50
+    (QCheck.pair (arb_mat 4 4)
+       (QCheck.array_of_size (QCheck.Gen.return 4) (QCheck.float_bound_inclusive 5.)))
+    (fun (a, b) ->
+      (* Make the matrix diagonally dominant so it is well conditioned. *)
+      let a = Mat.add a (Mat.scale 50. (Mat.identity 4)) in
+      let x = Lu.solve_system a b in
+      Vec.norm_inf (Vec.sub (Mat.matvec a x) b) < 1e-8)
+
+let prop_chol_gram =
+  QCheck.Test.make ~name:"Cholesky of Gram + I solves" ~count:50
+    (QCheck.pair (arb_mat 5 3)
+       (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.float_bound_inclusive 5.)))
+    (fun (a, b) ->
+      let h = Mat.add (Mat.gram a) (Mat.identity 3) in
+      let x = Chol.solve_system h b in
+      Vec.norm_inf (Vec.sub (Mat.matvec h x) b) < 1e-8)
+
+let prop_csr_matches_dense =
+  QCheck.Test.make ~name:"CSR matvec = dense matvec" ~count:50
+    (QCheck.pair (arb_mat 4 6)
+       (QCheck.array_of_size (QCheck.Gen.return 6) (QCheck.float_bound_inclusive 5.)))
+    (fun (a, x) ->
+      (* Sparsify: zero entries below 5 to exercise the sparse paths. *)
+      let a = Mat.init 4 6 (fun i j ->
+          let v = Mat.get a i j in
+          if v < 5. then 0. else v)
+      in
+      Vec.equal ~eps:1e-9 (Csr.matvec (Csr.of_dense a) x) (Mat.matvec a x))
+
+
+(* ------------------------------------------------------------------ *)
+(* Eigen (Jacobi)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_eigen_diagonal () =
+  let d = Eigen.symmetric (Mat.diag (Vec.of_list [ 3.; 1.; 2. ])) in
+  Alcotest.(check bool) "sorted values" true
+    (Vec.equal ~eps:1e-12 d.Eigen.values (Vec.of_list [ 3.; 2.; 1. ]))
+
+let test_eigen_known_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let d = Eigen.symmetric (Mat.of_rows [| [| 2.; 1. |]; [| 1.; 2. |] |]) in
+  check_float "l1" 3. d.Eigen.values.(0);
+  check_float "l2" 1. d.Eigen.values.(1)
+
+let test_eigen_reconstruct () =
+  let a = Mat.gram (Mat.of_rows [| [| 1.; 2.; 0. |]; [| 0.; 1.; 3. |] |]) in
+  let d = Eigen.symmetric a in
+  Alcotest.(check bool) "V D Vt = A" true
+    (Mat.equal ~eps:1e-8 (Eigen.reconstruct d) a)
+
+let test_eigen_orthonormal_vectors () =
+  let a =
+    Mat.add
+      (Mat.gram (Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]))
+      (Mat.identity 3)
+  in
+  let d = Eigen.symmetric a in
+  let vtv = Mat.matmul (Mat.transpose d.Eigen.vectors) d.Eigen.vectors in
+  Alcotest.(check bool) "Vt V = I" true
+    (Mat.equal ~eps:1e-9 vtv (Mat.identity 3))
+
+let test_eigen_psd_rank () =
+  (* Gram of a 2x4 matrix: rank <= 2, so two zero eigenvalues. *)
+  let a = Mat.gram (Mat.of_rows [| [| 1.; 2.; 3.; 4. |]; [| 0.; 1.; 0.; 1. |] |]) in
+  let d = Eigen.symmetric a in
+  check_float_loose "null eigenvalue" 0. d.Eigen.values.(2);
+  check_float_loose "null eigenvalue" 0. d.Eigen.values.(3)
+
+let prop_eigen_spectral_norm_bounds_matvec =
+  QCheck.Test.make ~name:"||Ax|| <= lmax ||x|| for PSD A" ~count:40
+    (QCheck.pair (arb_mat 3 3)
+       (QCheck.array_of_size (QCheck.Gen.return 3)
+          (QCheck.float_range (-2.) 2.)))
+    (fun (b, x) ->
+      let a = Mat.gram b in
+      let lmax = Eigen.spectral_norm a in
+      Vec.norm2 (Mat.matvec a x) <= (lmax +. 1e-6) *. (Vec.norm2 x +. 1e-9))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_transpose_product;
+      prop_matvec_linear;
+      prop_lu_solve;
+      prop_chol_gram;
+      prop_csr_matches_dense;
+      prop_eigen_spectral_norm_bounds_matvec;
+    ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basic;
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "axpy inplace" `Quick test_vec_axpy_inplace;
+          Alcotest.test_case "dim mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "basics" `Quick test_mat_basic;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "matmul" `Quick test_mat_matmul;
+          Alcotest.test_case "matvec" `Quick test_mat_matvec;
+          Alcotest.test_case "gram" `Quick test_mat_gram;
+          Alcotest.test_case "stack" `Quick test_mat_stack;
+          Alcotest.test_case "select cols" `Quick test_mat_select_cols;
+          Alcotest.test_case "scale cols" `Quick test_mat_scale_cols;
+        ] );
+      ( "factorizations",
+        [
+          Alcotest.test_case "lu solve" `Quick test_lu_solve;
+          Alcotest.test_case "lu pivoting" `Quick test_lu_pivoting;
+          Alcotest.test_case "lu det" `Quick test_lu_det;
+          Alcotest.test_case "lu singular" `Quick test_lu_singular;
+          Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "cholesky" `Quick test_chol;
+          Alcotest.test_case "cholesky not pd" `Quick test_chol_not_pd;
+          Alcotest.test_case "qr lstsq" `Quick test_qr_lstsq;
+          Alcotest.test_case "qr residual orthogonal" `Quick
+            test_qr_residual_orthogonal;
+        ] );
+      ( "eigen",
+        [
+          Alcotest.test_case "diagonal" `Quick test_eigen_diagonal;
+          Alcotest.test_case "2x2" `Quick test_eigen_known_2x2;
+          Alcotest.test_case "reconstruct" `Quick test_eigen_reconstruct;
+          Alcotest.test_case "orthonormal" `Quick
+            test_eigen_orthonormal_vectors;
+          Alcotest.test_case "psd rank" `Quick test_eigen_psd_rank;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "matvec" `Quick test_csr_matvec;
+          Alcotest.test_case "duplicates" `Quick test_csr_duplicates;
+          Alcotest.test_case "transpose gram" `Quick test_csr_transpose_gram;
+        ] );
+      ("properties", qcheck_cases);
+    ]

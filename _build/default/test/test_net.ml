@@ -1,0 +1,478 @@
+open Tmest_linalg
+open Tmest_net
+
+let check_float eps = Alcotest.(check (float eps))
+
+let triangle () =
+  (* 0 - 1 - 2 ring with one expensive direct edge 0-2. *)
+  let nodes =
+    Array.init 3 (fun i ->
+        {
+          Topology.node_id = i;
+          name = Printf.sprintf "n%d" i;
+          kind = Topology.Access;
+          lat = 0.;
+          lon = float_of_int i;
+        })
+  in
+  Topology.build ~name:"triangle" nodes
+    [ (0, 1, 10e9, 1.); (1, 2, 10e9, 1.); (0, 2, 10e9, 5.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_counts () =
+  let t = triangle () in
+  Alcotest.(check int) "nodes" 3 (Topology.num_nodes t);
+  (* 3 bidirectional core edges = 6 directed + 6 access links. *)
+  Alcotest.(check int) "links" 12 (Topology.num_links t);
+  Alcotest.(check int) "interior" 6 (Topology.num_interior_links t)
+
+let test_build_rejects_self_loop () =
+  let nodes =
+    Array.init 2 (fun i ->
+        {
+          Topology.node_id = i;
+          name = "x";
+          kind = Topology.Access;
+          lat = 0.;
+          lon = 0.;
+        })
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Topology.build ~name:"bad" nodes [ (0, 0, 1e9, 1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_access_links_unique () =
+  let t = triangle () in
+  for n = 0 to 2 do
+    let i = Topology.ingress_link t n and e = Topology.egress_link t n in
+    Alcotest.(check bool) "distinct" true (i <> e);
+    let li = t.Topology.links.(i) in
+    Alcotest.(check bool) "ingress kind" true
+      (li.Topology.lkind = Topology.Ingress n)
+  done
+
+let test_generate_europe_budget () =
+  let t =
+    Topology.generate ~name:"eu" ~seed:1 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  Alcotest.(check int) "nodes" 12 (Topology.num_nodes t);
+  Alcotest.(check int) "links" 72 (Topology.num_links t);
+  Alcotest.(check int) "interior" 48 (Topology.num_interior_links t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t)
+
+let test_generate_america_budget () =
+  let t =
+    Topology.generate ~name:"us" ~seed:2 ~nodes:25 ~directed_links:284
+      Topology.american_cities
+  in
+  Alcotest.(check int) "links" 284 (Topology.num_links t);
+  Alcotest.(check int) "interior" 234 (Topology.num_interior_links t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t)
+
+let test_generate_deterministic () =
+  let t1 =
+    Topology.generate ~name:"eu" ~seed:7 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  let t2 =
+    Topology.generate ~name:"eu" ~seed:7 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  Array.iteri
+    (fun i l1 ->
+      let l2 = t2.Topology.links.(i) in
+      Alcotest.(check bool) "same link" true
+        (l1.Topology.src = l2.Topology.src
+        && l1.Topology.dst = l2.Topology.dst
+        && l1.Topology.capacity = l2.Topology.capacity))
+    t1.Topology.links
+
+let test_generate_rejects_bad_budget () =
+  Alcotest.(check bool) "odd core" true
+    (try
+       ignore
+         (Topology.generate ~name:"x" ~seed:1 ~nodes:12 ~directed_links:73
+            Topology.european_cities);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Odpairs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_odpairs_bijection () =
+  let nodes = 7 in
+  for p = 0 to Odpairs.count nodes - 1 do
+    let src, dst = Odpairs.pair ~nodes p in
+    Alcotest.(check bool) "distinct" true (src <> dst);
+    Alcotest.(check int) "roundtrip" p (Odpairs.index ~nodes ~src ~dst)
+  done
+
+let test_odpairs_matrix_roundtrip () =
+  let nodes = 5 in
+  let s = Vec.init (Odpairs.count nodes) (fun p -> float_of_int p +. 1.) in
+  let m = Odpairs.matrix_of_vector ~nodes s in
+  for i = 0 to nodes - 1 do
+    Alcotest.(check (float 0.)) "diag zero" 0. (Mat.get m i i)
+  done;
+  Alcotest.(check bool) "roundtrip" true
+    (Vec.equal (Odpairs.vector_of_matrix ~nodes m) s)
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_dijkstra_prefers_cheap_path () =
+  let t = triangle () in
+  (* 0 -> 2: direct metric 5 vs 0->1->2 metric 2. *)
+  match Dijkstra.shortest_path t ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "no path"
+  | Some path ->
+      Alcotest.(check int) "two hops" 2 (List.length path);
+      check_float 1e-9 "metric" 2. (Dijkstra.path_metric t path)
+
+let test_dijkstra_filtered () =
+  let t = triangle () in
+  (* Forbid everything except the direct 0->2 link. *)
+  let usable l = l.Topology.src = 0 && l.Topology.dst = 2 in
+  (match Dijkstra.shortest_path ~usable t ~src:0 ~dst:2 with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "expected the direct link");
+  match Dijkstra.shortest_path ~usable t ~src:1 ~dst:2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected unreachable"
+
+let test_dijkstra_tree_consistent () =
+  let t =
+    Topology.generate ~name:"eu" ~seed:3 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  let dist, parent = Dijkstra.tree t ~src:0 in
+  for dst = 1 to 11 do
+    match Dijkstra.path_of_tree t parent ~src:0 ~dst with
+    | None -> Alcotest.fail "unreachable in connected graph"
+    | Some path ->
+        check_float 1e-9 "tree distance = path metric" dist.(dst)
+          (Dijkstra.path_metric t path)
+  done
+
+let test_dijkstra_optimality_bruteforce () =
+  (* Compare against Bellman-Ford on a generated topology. *)
+  let t =
+    Topology.generate ~name:"eu" ~seed:5 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  let n = Topology.num_nodes t in
+  let dist = Array.make n infinity in
+  dist.(0) <- 0.;
+  for _ = 1 to n do
+    Array.iter
+      (fun l ->
+        if l.Topology.lkind = Topology.Interior then begin
+          let u = l.Topology.src and v = l.Topology.dst in
+          if dist.(u) +. l.Topology.metric < dist.(v) then
+            dist.(v) <- dist.(u) +. l.Topology.metric
+        end)
+      t.Topology.links
+  done;
+  let d2, _ = Dijkstra.tree t ~src:0 in
+  for v = 0 to n - 1 do
+    check_float 1e-9 "matches bellman-ford" dist.(v) d2.(v)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CSPF                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cspf_respects_bandwidth () =
+  let t = triangle () in
+  let cspf = Cspf.create t in
+  (* Saturate the cheap path 0->1. *)
+  (match Cspf.reserve cspf ~src:0 ~dst:1 ~bandwidth:10e9 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "first reservation failed");
+  (* Next LSP 0->2 cannot use 0->1 anymore; must take the direct link. *)
+  match Cspf.route cspf ~src:0 ~dst:2 ~bandwidth:1e9 with
+  | Some [ link ] ->
+      let l = t.Topology.links.(link) in
+      Alcotest.(check int) "direct" 2 l.Topology.dst
+  | _ -> Alcotest.fail "expected direct route"
+
+let test_cspf_reserve_release () =
+  let t = triangle () in
+  let cspf = Cspf.create t in
+  match Cspf.reserve cspf ~src:0 ~dst:1 ~bandwidth:4e9 with
+  | None -> Alcotest.fail "reserve failed"
+  | Some path ->
+      let link = List.hd path in
+      check_float 1e-3 "reserved" 4e9 (Cspf.reserved cspf link);
+      check_float 1e-3 "available" 6e9 (Cspf.available cspf link);
+      Cspf.release cspf ~path ~bandwidth:4e9;
+      check_float 1e-3 "released" 0. (Cspf.reserved cspf link)
+
+let test_cspf_link_failure () =
+  let t = triangle () in
+  let cspf = Cspf.create t in
+  (* Fail the 0->1 link; path 0->2 via 1 must avoid it. *)
+  let l01 =
+    List.find
+      (fun l -> l.Topology.src = 0 && l.Topology.dst = 1)
+      (Topology.interior_links t)
+  in
+  Cspf.fail_link cspf l01.Topology.link_id;
+  (match Cspf.route cspf ~src:0 ~dst:1 ~bandwidth:0. with
+  | Some path -> Alcotest.(check int) "detour" 2 (List.length path)
+  | None -> Alcotest.fail "no detour found");
+  Cspf.restore_link cspf l01.Topology.link_id;
+  match Cspf.route cspf ~src:0 ~dst:1 ~bandwidth:0. with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "restore failed"
+
+(* ------------------------------------------------------------------ *)
+(* LSP mesh + Routing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lsp_mesh_complete () =
+  let t = triangle () in
+  let cspf = Cspf.create t in
+  let p = Odpairs.count 3 in
+  let lsps = Lsp.mesh cspf ~bandwidths:(Vec.create p 1e8) in
+  Alcotest.(check int) "one lsp per pair" p (Array.length lsps);
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "nonempty path" true (l.Lsp.path <> []))
+    lsps
+
+let test_routing_consistency () =
+  (* R applied to a unit demand vector must put load 1 exactly on the
+     demand's path plus its access links. *)
+  let t = triangle () in
+  let routing = Routing.shortest_path t in
+  let p = Odpairs.count 3 in
+  let pair = Odpairs.index ~nodes:3 ~src:0 ~dst:2 in
+  let s = Vec.zeros p in
+  s.(pair) <- 1.;
+  let loads = Routing.link_loads routing s in
+  let expected_links =
+    Topology.ingress_link t 0 :: Topology.egress_link t 2
+    :: routing.Routing.paths.(pair)
+  in
+  Array.iteri
+    (fun l load ->
+      if List.mem l expected_links then check_float 1e-12 "on path" 1. load
+      else check_float 1e-12 "off path" 0. load)
+    loads
+
+let test_routing_node_totals () =
+  let t = triangle () in
+  let routing = Routing.shortest_path t in
+  let p = Odpairs.count 3 in
+  let s = Vec.init p (fun i -> float_of_int (i + 1)) in
+  let loads = Routing.link_loads routing s in
+  (* Ingress row of node n = sum of demands sourced at n. *)
+  for n = 0 to 2 do
+    let expect = ref 0. in
+    Odpairs.iter ~nodes:3 (fun pair src _ ->
+        if src = n then expect := !expect +. s.(pair));
+    check_float 1e-9 "te(n)" !expect loads.(Routing.ingress_row routing n)
+  done
+
+let test_routing_rejects_broken_path () =
+  let t = triangle () in
+  let p = Odpairs.count 3 in
+  let paths = Array.make p [] in
+  (* Empty paths are walks only for src = dst, which never happens, so
+     validation must reject (path 0 connects pair 0's src to dst only if
+     it is a real walk). *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Routing.of_paths t paths);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cspf_mesh_routing_dimensions () =
+  let t =
+    Topology.generate ~name:"eu" ~seed:11 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  let p = Odpairs.count 12 in
+  let bw = Vec.create p 1e8 in
+  let routing = Routing.cspf_mesh t ~bandwidths:bw in
+  Alcotest.(check int) "rows = links" 72 (Routing.num_links routing);
+  Alcotest.(check int) "cols = pairs" 132 (Routing.num_pairs routing)
+
+
+(* ------------------------------------------------------------------ *)
+(* ECMP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Unit-metric square: two equal-cost two-hop paths 0 -> 3. *)
+let square () =
+  let nodes =
+    Array.init 4 (fun i ->
+        {
+          Topology.node_id = i;
+          name = Printf.sprintf "n%d" i;
+          kind = Topology.Access;
+          lat = 0.;
+          lon = float_of_int i;
+        })
+  in
+  Topology.build ~name:"square" nodes
+    [ (0, 1, 10e9, 1.); (1, 3, 10e9, 1.); (0, 2, 10e9, 1.); (2, 3, 10e9, 1.) ]
+
+let test_ecmp_splits_equally () =
+  let t = square () in
+  let routing = Routing.ecmp t in
+  let pair = Odpairs.index ~nodes:4 ~src:0 ~dst:3 in
+  let s = Vec.zeros (Odpairs.count 4) in
+  s.(pair) <- 1.;
+  let loads = Routing.link_loads routing s in
+  (* Each of the two forward paths carries exactly half; reverse
+     directions carry nothing. *)
+  List.iter
+    (fun l ->
+      let load = loads.(l.Topology.link_id) in
+      if l.Topology.src < l.Topology.dst then
+        Alcotest.(check (float 1e-9)) "half" 0.5 load
+      else Alcotest.(check (float 1e-9)) "reverse empty" 0. load)
+    (Topology.interior_links t);
+  (* Access links carry the whole demand. *)
+  Alcotest.(check (float 1e-9)) "ingress" 1.
+    loads.(Routing.ingress_row routing 0);
+  Alcotest.(check (float 1e-9)) "egress" 1.
+    loads.(Routing.egress_row routing 3)
+
+let test_ecmp_flow_conservation () =
+  (* On a generated network with hop-count metrics, a unit demand must
+     deliver exactly 1 at the destination for every pair. *)
+  let t =
+    Topology.generate ~name:"eu" ~seed:3 ~nodes:12 ~directed_links:72
+      Topology.european_cities
+  in
+  let t =
+    {
+      t with
+      Topology.links =
+        Array.map
+          (fun l ->
+            if l.Topology.lkind = Topology.Interior then
+              { l with Topology.metric = 1. }
+            else l)
+          t.Topology.links;
+    }
+  in
+  let routing = Routing.ecmp t in
+  let p = Odpairs.count 12 in
+  for pair = 0 to p - 1 do
+    let s = Vec.zeros p in
+    s.(pair) <- 1.;
+    let loads = Routing.link_loads routing s in
+    let _, dst = Odpairs.pair ~nodes:12 pair in
+    Alcotest.(check (float 1e-9)) "delivered" 1.
+      loads.(Routing.egress_row routing dst);
+    (* Flow conservation at transit nodes: in = out. *)
+    for node = 0 to 11 do
+      let inflow = ref 0. and outflow = ref 0. in
+      Array.iter
+        (fun l ->
+          if l.Topology.lkind = Topology.Interior then begin
+            if l.Topology.dst = node then
+              inflow := !inflow +. loads.(l.Topology.link_id);
+            if l.Topology.src = node then
+              outflow := !outflow +. loads.(l.Topology.link_id)
+          end)
+        t.Topology.links;
+      let src, dst = Odpairs.pair ~nodes:12 pair in
+      let expected_delta =
+        if node = src then 1. else if node = dst then -1. else 0.
+      in
+      Alcotest.(check (float 1e-9)) "conservation" expected_delta
+        (!outflow -. !inflow)
+    done
+  done
+
+let test_ecmp_matches_shortest_path_without_ties () =
+  let t = triangle () in
+  let sp = Routing.shortest_path t in
+  let ec = Routing.ecmp t in
+  Alcotest.(check bool) "same matrix" true
+    (Mat.equal ~eps:1e-12 (Routing.dense sp) (Routing.dense ec))
+
+let prop_routing_linear =
+  QCheck.Test.make ~name:"R(s1 + s2) = R s1 + R s2" ~count:20
+    (QCheck.pair
+       (QCheck.array_of_size (QCheck.Gen.return 6)
+          (QCheck.float_bound_inclusive 10.))
+       (QCheck.array_of_size (QCheck.Gen.return 6)
+          (QCheck.float_bound_inclusive 10.)))
+    (fun (s1, s2) ->
+      let t = triangle () in
+      let routing = Routing.shortest_path t in
+      Vec.equal ~eps:1e-9
+        (Routing.link_loads routing (Vec.add s1 s2))
+        (Vec.add (Routing.link_loads routing s1)
+           (Routing.link_loads routing s2)))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "build counts" `Quick test_build_counts;
+          Alcotest.test_case "self loop" `Quick test_build_rejects_self_loop;
+          Alcotest.test_case "access links" `Quick test_access_links_unique;
+          Alcotest.test_case "europe budget" `Quick test_generate_europe_budget;
+          Alcotest.test_case "america budget" `Quick
+            test_generate_america_budget;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "bad budget" `Quick
+            test_generate_rejects_bad_budget;
+        ] );
+      ( "odpairs",
+        [
+          Alcotest.test_case "bijection" `Quick test_odpairs_bijection;
+          Alcotest.test_case "matrix roundtrip" `Quick
+            test_odpairs_matrix_roundtrip;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "cheap path" `Quick
+            test_dijkstra_prefers_cheap_path;
+          Alcotest.test_case "filtered" `Quick test_dijkstra_filtered;
+          Alcotest.test_case "tree consistent" `Quick
+            test_dijkstra_tree_consistent;
+          Alcotest.test_case "optimal vs bellman-ford" `Quick
+            test_dijkstra_optimality_bruteforce;
+        ] );
+      ( "cspf",
+        [
+          Alcotest.test_case "bandwidth constraint" `Quick
+            test_cspf_respects_bandwidth;
+          Alcotest.test_case "reserve/release" `Quick test_cspf_reserve_release;
+          Alcotest.test_case "failure" `Quick test_cspf_link_failure;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "lsp mesh" `Quick test_lsp_mesh_complete;
+          Alcotest.test_case "consistency" `Quick test_routing_consistency;
+          Alcotest.test_case "node totals" `Quick test_routing_node_totals;
+          Alcotest.test_case "broken path" `Quick
+            test_routing_rejects_broken_path;
+          Alcotest.test_case "cspf mesh dims" `Quick
+            test_cspf_mesh_routing_dimensions;
+          Alcotest.test_case "ecmp equal split" `Quick
+            test_ecmp_splits_equally;
+          Alcotest.test_case "ecmp conservation" `Quick
+            test_ecmp_flow_conservation;
+          Alcotest.test_case "ecmp no ties" `Quick
+            test_ecmp_matches_shortest_path_without_ties;
+          QCheck_alcotest.to_alcotest prop_routing_linear;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+open Tmest_linalg
+open Tmest_stats
+open Tmest_netflow
+
+let check_float eps = Alcotest.(check (float eps))
+
+let flow ?(od = 0) ?(start_s = 0.) segments =
+  { Flow.od; start_s; segments = Array.of_list segments }
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_accounting () =
+  let f = flow [ (10., 1e6); (20., 4e6) ] in
+  check_float 1e-6 "duration" 30. (Flow.duration f);
+  check_float 1e-6 "end" 30. (Flow.end_s f);
+  check_float 1e-3 "bits" ((10. *. 1e6) +. (20. *. 4e6)) (Flow.total_bits f);
+  check_float 1e-3 "mean rate" 3e6 (Flow.mean_rate f)
+
+let test_flow_bits_between () =
+  let f = flow ~start_s:100. [ (10., 1e6); (10., 2e6) ] in
+  check_float 1e-6 "before" 0. (Flow.bits_between f ~t0:0. ~t1:100.);
+  check_float 1e-3 "first seg" 1e7 (Flow.bits_between f ~t0:100. ~t1:110.);
+  check_float 1e-3 "straddle" (5e6 +. 1e7)
+    (Flow.bits_between f ~t0:105. ~t1:115.);
+  check_float 1e-3 "whole" 3e7 (Flow.bits_between f ~t0:0. ~t1:1000.);
+  check_float 1e-6 "after" 0. (Flow.bits_between f ~t0:120. ~t1:200.)
+
+let test_flow_validate () =
+  Alcotest.(check bool) "bad duration" true
+    (try
+       Flow.validate (flow [ (0., 1.) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad rate" true
+    (try
+       Flow.validate (flow [ (1., -1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_matches_target_rate () =
+  let rng = Rng.create 5 in
+  let horizon = 3600. in
+  let flows =
+    Generator.generate rng Generator.default_params ~od:3 ~mean_rate:5e6
+      ~horizon_s:horizon
+  in
+  Alcotest.(check bool) "has flows" true (List.length flows > 10);
+  let carried =
+    List.fold_left
+      (fun acc f -> acc +. Flow.bits_between f ~t0:0. ~t1:horizon)
+      0. flows
+  in
+  check_float 1e-3 "aggregate matches" 5e6 (carried /. horizon);
+  List.iter
+    (fun f ->
+      Flow.validate f;
+      Alcotest.(check int) "od tag" 3 f.Flow.od)
+    flows
+
+let test_generator_zero_rate () =
+  let rng = Rng.create 5 in
+  Alcotest.(check int) "no flows" 0
+    (List.length
+       (Generator.generate rng Generator.default_params ~od:0 ~mean_rate:0.
+          ~horizon_s:100.))
+
+let test_generator_smooth_flows () =
+  let rng = Rng.create 6 in
+  let params = { Generator.default_params with Generator.burstiness = 0. } in
+  let flows =
+    Generator.generate rng params ~od:0 ~mean_rate:1e6 ~horizon_s:600.
+  in
+  List.iter
+    (fun f ->
+      let rates =
+        Array.to_list (Array.map snd f.Flow.segments)
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check int) "constant rate" 1 (List.length rates))
+    flows
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_bins_integrate () =
+  (* One flow, rate 1 Mbps for 300 s then 3 Mbps for 300 s. *)
+  let f = flow [ (300., 1e6); (300., 3e6) ] in
+  let m = Collector.exact_bins [ f ] ~interval_s:300. ~bins:3 ~pairs:1 in
+  check_float 1e-3 "bin 0" 1e6 (Mat.get m 0 0);
+  check_float 1e-3 "bin 1" 3e6 (Mat.get m 1 0);
+  check_float 1e-3 "bin 2 empty" 0. (Mat.get m 2 0)
+
+let test_netflow_bins_flatten () =
+  (* Same flow: NetFlow spreads the lifetime average (2 Mbps) over both
+     bins — intra-flow variability gone. *)
+  let f = flow [ (300., 1e6); (300., 3e6) ] in
+  let m = Collector.netflow_bins [ f ] ~interval_s:300. ~bins:3 ~pairs:1 in
+  check_float 1e-3 "bin 0 flattened" 2e6 (Mat.get m 0 0);
+  check_float 1e-3 "bin 1 flattened" 2e6 (Mat.get m 1 0)
+
+let test_both_conserve_volume () =
+  (* Total bytes must agree between the two binnings when the flow lies
+     inside the binned horizon. *)
+  let rng = Rng.create 11 in
+  let flows =
+    Generator.generate rng Generator.default_params ~od:0 ~mean_rate:2e6
+      ~horizon_s:1500.
+  in
+  (* Keep only flows fully inside the horizon for exact comparison. *)
+  let flows = List.filter (fun f -> f.Flow.start_s >= 0. && Flow.end_s f <= 3000.) flows in
+  let vol m =
+    let acc = ref 0. in
+    for b = 0 to Mat.rows m - 1 do
+      acc := !acc +. (Mat.get m b 0 *. 300.)
+    done;
+    !acc
+  in
+  let exact = Collector.exact_bins flows ~interval_s:300. ~bins:10 ~pairs:1 in
+  let nf = Collector.netflow_bins flows ~interval_s:300. ~bins:10 ~pairs:1 in
+  let ve = vol exact and vn = vol nf in
+  Alcotest.(check bool) "volumes agree" true
+    (abs_float (ve -. vn) < 1e-6 *. (1. +. ve))
+
+let test_variance_distortion_below_one () =
+  (* Bursty flows: NetFlow must underestimate 5-minute variance. *)
+  let rng = Rng.create 21 in
+  let params =
+    { Generator.default_params with Generator.burstiness = 1.2;
+      mean_flow_duration_s = 600. }
+  in
+  let flows =
+    Generator.generate rng params ~od:0 ~mean_rate:5e6 ~horizon_s:7200.
+  in
+  let bins = 24 in
+  let exact = Collector.exact_bins flows ~interval_s:300. ~bins ~pairs:1 in
+  let netflow = Collector.netflow_bins flows ~interval_s:300. ~bins ~pairs:1 in
+  let ratios = Collector.variance_distortion ~exact ~netflow in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f < 1" ratios.(0))
+    true
+    (Float.is_finite ratios.(0) && ratios.(0) < 1.)
+
+let prop_netflow_never_negative =
+  QCheck.Test.make ~name:"binned rates are non-negative" ~count:30
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let flows =
+        Generator.generate rng Generator.default_params ~od:0 ~mean_rate:1e6
+          ~horizon_s:900.
+      in
+      let ok m =
+        let good = ref true in
+        for b = 0 to Mat.rows m - 1 do
+          if Mat.get m b 0 < 0. then good := false
+        done;
+        !good
+      in
+      ok (Collector.exact_bins flows ~interval_s:300. ~bins:3 ~pairs:1)
+      && ok (Collector.netflow_bins flows ~interval_s:300. ~bins:3 ~pairs:1))
+
+let () =
+  Alcotest.run "netflow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "accounting" `Quick test_flow_accounting;
+          Alcotest.test_case "bits between" `Quick test_flow_bits_between;
+          Alcotest.test_case "validate" `Quick test_flow_validate;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "target rate" `Quick
+            test_generator_matches_target_rate;
+          Alcotest.test_case "zero rate" `Quick test_generator_zero_rate;
+          Alcotest.test_case "smooth flows" `Quick test_generator_smooth_flows;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "exact integrates" `Quick test_exact_bins_integrate;
+          Alcotest.test_case "netflow flattens" `Quick
+            test_netflow_bins_flatten;
+          Alcotest.test_case "volume conserved" `Quick
+            test_both_conserve_volume;
+          Alcotest.test_case "variance distortion" `Quick
+            test_variance_distortion_below_one;
+          QCheck_alcotest.to_alcotest prop_netflow_never_negative;
+        ] );
+    ]

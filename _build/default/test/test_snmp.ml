@@ -1,0 +1,155 @@
+open Tmest_linalg
+open Tmest_snmp
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Counter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_accumulates () =
+  let c = Counter.create Counter.Bits64 in
+  Counter.advance c ~bytes:100.;
+  Counter.advance c ~bytes:50.5;
+  check_float 1e-9 "value" 150.5 (Counter.read c)
+
+let test_counter_wraps_32 () =
+  let c = Counter.create Counter.Bits32 in
+  Counter.advance c ~bytes:4294967290.;
+  let before = Counter.read c in
+  Counter.advance c ~bytes:100.;
+  let after = Counter.read c in
+  Alcotest.(check bool) "wrapped" true (after < before);
+  check_float 1e-3 "delta corrects wrap" 100.
+    (Counter.delta ~width:Counter.Bits32 ~previous:before ~current:after)
+
+let test_counter_delta_monotone () =
+  check_float 1e-9 "plain" 40.
+    (Counter.delta ~width:Counter.Bits64 ~previous:10. ~current:50.)
+
+let test_counter_rejects_negative () =
+  let c = Counter.create Counter.Bits64 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Counter.advance c ~bytes:(-1.);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Collection pipeline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let const_rates pairs v = fun _ -> Vec.create pairs v
+
+let test_collect_constant_rate_exact () =
+  (* Piecewise-constant truth, no loss: recovered rate must match the
+     truth despite jitter, thanks to the real-interval correction. *)
+  let pairs = 3 and samples = 20 in
+  let config =
+    { Collect.default_config with Collect.loss_prob = 0.; seed = 5 }
+  in
+  let r =
+    Collect.run config ~true_rates:(const_rates pairs 1e8) ~samples ~pairs
+  in
+  for k = 0 to samples - 1 do
+    for p = 0 to pairs - 1 do
+      Alcotest.(check bool) "present" true r.Collect.present.(k).(p);
+      check_float 1. "rate" 1e8 (Mat.get r.Collect.rates k p)
+    done
+  done
+
+let test_collect_varying_rate_close () =
+  let pairs = 2 and samples = 50 in
+  let truth k =
+    Vec.of_list [ 1e8 *. (1. +. (0.5 *. sin (float_of_int k /. 5.))); 5e7 ]
+  in
+  let config =
+    { Collect.default_config with Collect.loss_prob = 0.; seed = 7 }
+  in
+  let r = Collect.run config ~true_rates:truth ~samples ~pairs in
+  let err = Collect.mean_absolute_rate_error r ~true_rates:truth in
+  (* Jitter mixes ~10s of a 300s interval: a few percent error at most. *)
+  Alcotest.(check bool) (Printf.sprintf "error %.4f < 0.03" err) true
+    (err < 0.03)
+
+let test_collect_loss_marks_missing () =
+  let pairs = 1 and samples = 200 in
+  let config =
+    { Collect.default_config with Collect.loss_prob = 0.2; seed = 11 }
+  in
+  let r =
+    Collect.run config ~true_rates:(const_rates pairs 1e8) ~samples ~pairs
+  in
+  Alcotest.(check bool) "some lost" true (r.Collect.polls_lost > 0);
+  let missing = ref 0 in
+  Array.iter
+    (fun row -> if not row.(0) then incr missing)
+    r.Collect.present;
+  Alcotest.(check bool) "gaps recorded" true (!missing > 0);
+  (* Even across gaps, the gap-average of a constant rate is exact. *)
+  for k = 0 to samples - 1 do
+    check_float 1. "gap average" 1e8 (Mat.get r.Collect.rates k 0)
+  done
+
+let test_collect_32bit_wrap_recovered () =
+  (* 1 Mbps over 300 s = 37.5 MB per interval; a 32-bit counter wraps
+     every ~114 intervals.  Single wraps must be corrected. *)
+  let pairs = 1 and samples = 250 in
+  let config =
+    {
+      Collect.default_config with
+      Collect.loss_prob = 0.;
+      width = Counter.Bits32;
+      seed = 3;
+    }
+  in
+  let r =
+    Collect.run config ~true_rates:(const_rates pairs 1e6) ~samples ~pairs
+  in
+  for k = 0 to samples - 1 do
+    check_float 1. "wrap-corrected" 1e6 (Mat.get r.Collect.rates k 0)
+  done
+
+let test_collect_dataset_end_to_end () =
+  (* Full pipeline over a small synthetic dataset: recovered TM close to
+     ground truth demand-by-demand. *)
+  let spec =
+    { (Tmest_traffic.Spec.scaled ~nodes:5 ~directed_links:22
+         Tmest_traffic.Spec.europe)
+      with Tmest_traffic.Spec.seed = 42; samples = 60 }
+  in
+  let d = Tmest_traffic.Dataset.generate spec in
+  let pairs = Tmest_traffic.Dataset.num_pairs d in
+  let truth k = Tmest_traffic.Dataset.demand_at d k in
+  let config =
+    { Collect.default_config with Collect.loss_prob = 0.005; seed = 9 }
+  in
+  let r = Collect.run config ~true_rates:truth ~samples:60 ~pairs in
+  let err = Collect.mean_absolute_rate_error r ~true_rates:truth in
+  Alcotest.(check bool) (Printf.sprintf "pipeline error %.4f < 0.05" err) true
+    (err < 0.05)
+
+let () =
+  Alcotest.run "snmp"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "accumulates" `Quick test_counter_accumulates;
+          Alcotest.test_case "32-bit wrap" `Quick test_counter_wraps_32;
+          Alcotest.test_case "delta" `Quick test_counter_delta_monotone;
+          Alcotest.test_case "negative" `Quick test_counter_rejects_negative;
+        ] );
+      ( "collect",
+        [
+          Alcotest.test_case "constant exact" `Quick
+            test_collect_constant_rate_exact;
+          Alcotest.test_case "varying close" `Quick
+            test_collect_varying_rate_close;
+          Alcotest.test_case "loss handling" `Quick
+            test_collect_loss_marks_missing;
+          Alcotest.test_case "32-bit wrap recovery" `Quick
+            test_collect_32bit_wrap_recovered;
+          Alcotest.test_case "dataset end-to-end" `Quick
+            test_collect_dataset_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+open Tmest_stats
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.int rng 5 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i))
+    sorted
+
+(* ------------------------------------------------------------------ *)
+(* Dist                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample n f =
+  let rng = Rng.create 1234 in
+  Array.init n (fun _ -> f rng)
+
+let test_gaussian_moments () =
+  let xs = sample 20000 (fun rng -> Dist.gaussian rng ~mu:3. ~sigma:2.) in
+  check_float 0.1 "mean" 3. (Desc.mean xs);
+  check_float 0.2 "std" 2. (Desc.std xs)
+
+let test_exponential_mean () =
+  let xs = sample 20000 (fun rng -> Dist.exponential rng ~rate:2.) in
+  check_float 0.02 "mean" 0.5 (Desc.mean xs)
+
+let test_poisson_small_mean () =
+  let xs =
+    sample 20000 (fun rng -> float_of_int (Dist.poisson rng ~lambda:4.))
+  in
+  check_float 0.1 "mean" 4. (Desc.mean xs);
+  check_float 0.3 "variance" 4. (Desc.variance xs)
+
+let test_poisson_large_mean () =
+  let xs =
+    sample 20000 (fun rng -> float_of_int (Dist.poisson rng ~lambda:500.))
+  in
+  check_float 2.0 "mean" 500. (Desc.mean xs);
+  check_float 25. "variance" 500. (Desc.variance xs)
+
+let test_poisson_zero () =
+  Alcotest.(check int) "lambda 0" 0 (Dist.poisson (Rng.create 1) ~lambda:0.)
+
+let test_zipf_weights () =
+  let w = Dist.zipf_weights ~n:10 ~alpha:1. in
+  check_float 1e-9 "normalized" 1. (Array.fold_left ( +. ) 0. w);
+  Alcotest.(check bool) "decreasing" true (w.(0) > w.(9));
+  check_float 1e-9 "ratio" 2. (w.(0) /. w.(1))
+
+let test_gamma_moments () =
+  let xs = sample 20000 (fun rng -> Dist.gamma rng ~shape:3. ~scale:2.) in
+  check_float 0.15 "mean" 6. (Desc.mean xs);
+  check_float 0.8 "variance" 12. (Desc.variance xs)
+
+let test_dirichlet_simplex () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let v = Dist.dirichlet rng [| 1.; 2.; 3. |] in
+    check_float 1e-9 "sums to 1" 1. (Array.fold_left ( +. ) 0. v);
+    Array.iter (fun x -> Alcotest.(check bool) "nonneg" true (x >= 0.)) v
+  done
+
+let test_truncated_gaussian_nonneg () =
+  let xs =
+    sample 5000 (fun rng -> Dist.truncated_gaussian rng ~mu:0.1 ~sigma:1.)
+  in
+  Array.iter (fun x -> Alcotest.(check bool) "nonneg" true (x >= 0.)) xs
+
+(* ------------------------------------------------------------------ *)
+(* Desc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_desc_basics () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float 1e-9 "mean" 5. (Desc.mean xs);
+  check_float 1e-9 "biased var" 4. (Desc.variance_biased xs);
+  check_float 1e-9 "median" 4.5 (Desc.median xs)
+
+let test_desc_quantile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float 1e-9 "q0" 1. (Desc.quantile 0. xs);
+  check_float 1e-9 "q1" 5. (Desc.quantile 1. xs);
+  check_float 1e-9 "q0.5" 3. (Desc.quantile 0.5 xs);
+  check_float 1e-9 "q0.25" 2. (Desc.quantile 0.25 xs)
+
+let test_desc_correlation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  check_float 1e-9 "perfect" 1. (Desc.correlation xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_float 1e-9 "anti" (-1.) (Desc.correlation xs zs)
+
+let test_desc_mean_cov () =
+  let samples = [| [| 1.; 2. |]; [| 3.; 6. |] |] in
+  let mu, cov = Desc.sample_mean_cov samples in
+  check_float 1e-9 "mu0" 2. mu.(0);
+  check_float 1e-9 "mu1" 4. mu.(1);
+  check_float 1e-9 "var0" 1. (Tmest_linalg.Mat.get cov 0 0);
+  check_float 1e-9 "var1" 4. (Tmest_linalg.Mat.get cov 1 1);
+  check_float 1e-9 "cov01" 2. (Tmest_linalg.Mat.get cov 0 1)
+
+let test_cumulative_share () =
+  let xs = [| 1.; 3.; 4.; 2. |] in
+  let cs = Desc.cumulative_share xs in
+  check_float 1e-9 "first" 0.4 cs.(0);
+  check_float 1e-9 "last" 1. cs.(3);
+  check_float 1e-9 "top half" 0.7 (Desc.top_share ~fraction:0.5 xs)
+
+(* ------------------------------------------------------------------ *)
+(* Regress                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ols_exact () =
+  let xs = [| 0.; 1.; 2.; 3. |] in
+  let ys = Array.map (fun x -> (3. *. x) -. 1. ) xs in
+  let l = Regress.ols xs ys in
+  check_float 1e-9 "slope" 3. l.Regress.slope;
+  check_float 1e-9 "intercept" (-1.) l.Regress.intercept;
+  check_float 1e-9 "r2" 1. l.Regress.r2
+
+let test_power_law_recovery () =
+  (* Var = 2.5 * mean^1.6 exactly. *)
+  let means = Array.init 50 (fun i -> 0.001 *. (1.3 ** float_of_int i)) in
+  let vars = Array.map (fun m -> 2.5 *. (m ** 1.6)) means in
+  let p = Regress.power_law means vars in
+  check_float 1e-6 "phi" 2.5 p.Regress.phi;
+  check_float 1e-6 "c" 1.6 p.Regress.c;
+  check_float 1e-9 "r2" 1. p.Regress.r2
+
+let test_power_law_skips_nonpositive () =
+  let means = [| 0.; 1.; 2.; 4. |] in
+  let vars = [| 5.; 1.; 2.; 4. |] in
+  let p = Regress.power_law means vars in
+  check_float 1e-6 "c" 1. p.Regress.c
+
+(* ------------------------------------------------------------------ *)
+(* Lambert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lambert_identities () =
+  List.iter
+    (fun x ->
+      let w = Lambert.w0 x in
+      check_float 1e-8 (Printf.sprintf "w e^w = %g" x) x (w *. exp w))
+    [ -0.35; -0.1; 0.; 0.5; 1.; 10.; 100.; 1e6 ]
+
+let test_lambert_known_values () =
+  check_float 1e-10 "W(0)" 0. (Lambert.w0 0.);
+  check_float 1e-8 "W(e)" 1. (Lambert.w0 (exp 1.));
+  check_float 1e-8 "W(-1/e)" (-1.) (Lambert.w0 (-.exp (-1.)) )
+
+let test_lambert_log_domain () =
+  (* w0_exp must agree with w0 where both are computable... *)
+  List.iter
+    (fun lx ->
+      check_float 1e-7
+        (Printf.sprintf "w0_exp %g" lx)
+        (Lambert.w0 (exp lx))
+        (Lambert.w0_exp lx))
+    [ -5.; 0.; 1.; 5.; 50. ];
+  (* ... and satisfy w + log w = log_x far beyond exp overflow. *)
+  let lx = 5000. in
+  let w = Lambert.w0_exp lx in
+  check_float 1e-6 "identity at 5000" lx (w +. log w)
+
+let prop_lambert =
+  QCheck.Test.make ~name:"w0 inverts w e^w" ~count:200
+    QCheck.(float_bound_inclusive 50.)
+    (fun x ->
+      let w = Lambert.w0 x in
+      abs_float ((w *. exp w) -. x) <= 1e-6 *. (1. +. x))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "poisson small" `Quick test_poisson_small_mean;
+          Alcotest.test_case "poisson large" `Quick test_poisson_large_mean;
+          Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+          Alcotest.test_case "zipf" `Quick test_zipf_weights;
+          Alcotest.test_case "gamma moments" `Quick test_gamma_moments;
+          Alcotest.test_case "dirichlet" `Quick test_dirichlet_simplex;
+          Alcotest.test_case "truncated gaussian" `Quick
+            test_truncated_gaussian_nonneg;
+        ] );
+      ( "desc",
+        [
+          Alcotest.test_case "basics" `Quick test_desc_basics;
+          Alcotest.test_case "quantiles" `Quick test_desc_quantile;
+          Alcotest.test_case "correlation" `Quick test_desc_correlation;
+          Alcotest.test_case "mean/cov" `Quick test_desc_mean_cov;
+          Alcotest.test_case "cumulative share" `Quick test_cumulative_share;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "ols exact" `Quick test_ols_exact;
+          Alcotest.test_case "power law" `Quick test_power_law_recovery;
+          Alcotest.test_case "power law skips" `Quick
+            test_power_law_skips_nonpositive;
+        ] );
+      ( "lambert",
+        [
+          Alcotest.test_case "identities" `Quick test_lambert_identities;
+          Alcotest.test_case "known values" `Quick test_lambert_known_values;
+          Alcotest.test_case "log domain" `Quick test_lambert_log_domain;
+          QCheck_alcotest.to_alcotest prop_lambert;
+        ] );
+    ]

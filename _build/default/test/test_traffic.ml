@@ -1,0 +1,284 @@
+open Tmest_linalg
+open Tmest_stats
+open Tmest_net
+open Tmest_traffic
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* A small, fast dataset shared by most cases. *)
+let small_spec =
+  { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with Spec.seed = 99 }
+
+let small = lazy (Dataset.generate small_spec)
+let europe = lazy (Dataset.generate Spec.europe)
+let america = lazy (Dataset.generate Spec.america)
+
+(* ------------------------------------------------------------------ *)
+(* Diurnal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_diurnal_peaks_near_peak_hour () =
+  List.iter
+    (fun (profile : Diurnal.t) ->
+      let samples = Diurnal.samples profile ~count:288 in
+      let peak_idx = ref 0 in
+      Array.iteri
+        (fun i v -> if v > samples.(!peak_idx) then peak_idx := i)
+        samples;
+      let peak_hour = 24. *. float_of_int !peak_idx /. 288. in
+      let diff = abs_float (peak_hour -. profile.Diurnal.peak_hour) in
+      let diff = Stdlib.min diff (24. -. diff) in
+      Alcotest.(check bool) "peak near spec" true (diff < 1.5))
+    [ Diurnal.europe; Diurnal.america ]
+
+let test_diurnal_range () =
+  let samples = Diurnal.samples Diurnal.europe ~count:288 in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in (0, 1.05]" true (v > 0. && v <= 1.05))
+    samples
+
+let test_diurnal_busy_overlap () =
+  (* Around 18:00 GMT both profiles are within 25% of their own peak. *)
+  let near_peak p =
+    let v = Diurnal.value p ~hour:18. in
+    let peak = Diurnal.value p ~hour:p.Diurnal.peak_hour in
+    v /. peak
+  in
+  Alcotest.(check bool) "europe busy at 18" true (near_peak Diurnal.europe > 0.75);
+  Alcotest.(check bool) "america busy at 18" true
+    (near_peak Diurnal.america > 0.75)
+
+(* ------------------------------------------------------------------ *)
+(* Generator invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dimensions () =
+  let d = Lazy.force small in
+  Alcotest.(check int) "nodes" 6 (Dataset.num_nodes d);
+  Alcotest.(check int) "pairs" 30 (Dataset.num_pairs d);
+  Alcotest.(check int) "links" 28 (Dataset.num_links d);
+  Alcotest.(check int) "samples" 288 (Dataset.num_samples d)
+
+let test_demands_nonnegative () =
+  let d = Lazy.force small in
+  for k = 0 to Dataset.num_samples d - 1 do
+    Array.iter
+      (fun s -> Alcotest.(check bool) "nonneg" true (s >= 0.))
+      (Dataset.demand_at d k)
+  done
+
+let test_deterministic () =
+  let d1 = Dataset.generate small_spec and d2 = Dataset.generate small_spec in
+  Alcotest.(check bool) "same demands" true
+    (Mat.equal d1.Dataset.truth.Demand_gen.demands
+       d2.Dataset.truth.Demand_gen.demands)
+
+let test_base_fanouts_rows_sum_to_one () =
+  let d = Lazy.force small in
+  let f = d.Dataset.truth.Demand_gen.base_fanouts in
+  for src = 0 to Mat.rows f - 1 do
+    check_float 1e-9 "row sum" 1. (Vec.sum (Mat.row f src));
+    check_float 1e-12 "diag" 0. (Mat.get f src src)
+  done
+
+let test_link_loads_consistent () =
+  (* t = R s by construction: recompute via dense R and compare. *)
+  let d = Lazy.force small in
+  let r = Routing.dense d.Dataset.routing in
+  let k = 100 in
+  let s = Dataset.demand_at d k in
+  Alcotest.(check bool) "consistent" true
+    (Vec.equal ~eps:1e-6 (Dataset.link_loads_at d k) (Mat.matvec r s))
+
+let test_node_totals_match_demands () =
+  let d = Lazy.force small in
+  let k = 150 in
+  let te = Dataset.node_ingress_totals d k in
+  let tx = Dataset.node_egress_totals d k in
+  let s = Dataset.demand_at d k in
+  check_float 1e-3 "sum te = total" (Vec.sum s) (Vec.sum te);
+  check_float 1e-3 "sum tx = total" (Vec.sum s) (Vec.sum tx);
+  (* And they equal the access-link loads. *)
+  let loads = Dataset.link_loads_at d k in
+  for n = 0 to Dataset.num_nodes d - 1 do
+    check_float 1e-3 "te = ingress load" te.(n)
+      loads.(Routing.ingress_row d.Dataset.routing n);
+    check_float 1e-3 "tx = egress load" tx.(n)
+      loads.(Routing.egress_row d.Dataset.routing n)
+  done
+
+let test_fanouts_sum_to_one () =
+  let d = Lazy.force small in
+  let alpha = Dataset.fanouts_at d 200 in
+  let n = Dataset.num_nodes d in
+  for src = 0 to n - 1 do
+    let total = ref 0. in
+    Odpairs.iter ~nodes:n (fun p s _ -> if s = src then total := !total +. alpha.(p));
+    check_float 1e-9 "fanout row" 1. !total
+  done
+
+let test_busy_period_is_busy () =
+  let d = Lazy.force small in
+  let series = Dataset.total_series d in
+  let busy = Dataset.busy_samples d in
+  let busy_mean =
+    List.fold_left (fun acc k -> acc +. series.(k)) 0. busy
+    /. float_of_int (List.length busy)
+  in
+  let overall = Desc.mean series in
+  Alcotest.(check bool) "busy above average" true (busy_mean > overall)
+
+(* ------------------------------------------------------------------ *)
+(* Statistical fingerprint (paper Section 5.2)                          *)
+(* ------------------------------------------------------------------ *)
+
+let busy_mean_variance d =
+  let busy = Dataset.busy_samples d in
+  let p = Dataset.num_pairs d in
+  let means = Array.make p 0. and vars = Array.make p 0. in
+  for pair = 0 to p - 1 do
+    let xs =
+      Array.of_list
+        (List.map (fun k -> (Dataset.demand_at d k).(pair)) busy)
+    in
+    means.(pair) <- Desc.mean xs;
+    vars.(pair) <- Desc.variance xs
+  done;
+  (means, vars)
+
+let test_top_heavy_demand_distribution () =
+  List.iter
+    (fun d ->
+      let d = Lazy.force d in
+      let mean = Dataset.busy_mean_demand d in
+      let share = Desc.top_share ~fraction:0.2 mean in
+      (* Paper Fig. 2: top 20% of demands ~ 80% of traffic. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "top-20%% share %.2f in [0.6, 0.95]" share)
+        true
+        (share > 0.6 && share < 0.95))
+    [ europe; america ]
+
+let test_mean_variance_scaling_law () =
+  (* Fit Var = phi * mean^c on normalized busy-hour demands; c should be
+     near the spec's target (the paper finds 1.5-1.6). *)
+  List.iter
+    (fun (dl, target_c) ->
+      let d = Lazy.force dl in
+      let means, vars = busy_mean_variance d in
+      let scale = d.Dataset.spec.Spec.peak_total_bps in
+      let means_n = Array.map (fun m -> m /. scale) means in
+      let vars_n = Array.map (fun v -> v /. (scale *. scale)) vars in
+      let fit = Regress.power_law means_n vars_n in
+      Alcotest.(check bool)
+        (Printf.sprintf "c fit %.2f near %.2f" fit.Regress.c target_c)
+        true
+        (abs_float (fit.Regress.c -. target_c) < 0.25);
+      Alcotest.(check bool)
+        (Printf.sprintf "r2 %.2f strong" fit.Regress.r2)
+        true (fit.Regress.r2 > 0.9))
+    [ (europe, Spec.europe.Spec.c); (america, Spec.america.Spec.c) ]
+
+let relative_std xs =
+  let m = Desc.mean xs in
+  if m <= 0. then 0. else Desc.std xs /. m
+
+let test_fanouts_more_stable_than_demands () =
+  (* Section 5.2.2: for large demands, fanouts fluctuate relatively less
+     than the demands themselves over 24 h. *)
+  let d = Lazy.force europe in
+  let mean = Dataset.busy_mean_demand d in
+  let order = Array.init (Dataset.num_pairs d) (fun i -> i) in
+  Array.sort (fun a b -> compare mean.(b) mean.(a)) order;
+  let k = Dataset.num_samples d in
+  let wins = ref 0 and top = 10 in
+  for rank = 0 to top - 1 do
+    let pair = order.(rank) in
+    let demand_ts = Array.init k (fun t -> (Dataset.demand_at d t).(pair)) in
+    let fanout_ts = Array.init k (fun t -> (Dataset.fanouts_at d t).(pair)) in
+    if relative_std fanout_ts < relative_std demand_ts then incr wins
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fanouts steadier for %d/%d top demands" !wins top)
+    true
+    (!wins >= 8)
+
+let test_gravity_violation_stronger_in_america () =
+  (* The locality knob must make American fanout rows deviate more from
+     the rank-one (gravity) structure than European ones. *)
+  let deviation dl =
+    let d = Lazy.force dl in
+    let n = Dataset.num_nodes d in
+    let mean = Dataset.busy_mean_demand d in
+    let tx = Array.make n 0. in
+    Odpairs.iter ~nodes:n (fun p _ dst -> tx.(dst) <- tx.(dst) +. mean.(p));
+    let total = Array.fold_left ( +. ) 0. tx in
+    let te = Array.make n 0. in
+    Odpairs.iter ~nodes:n (fun p src _ -> te.(src) <- te.(src) +. mean.(p));
+    (* Average relative L1 distance between actual fanouts and the
+       gravity fanout prediction tx(m)/total. *)
+    let err = ref 0. in
+    Odpairs.iter ~nodes:n (fun p src dst ->
+        let actual = if te.(src) > 0. then mean.(p) /. te.(src) else 0. in
+        let gravity = tx.(dst) /. total in
+        err := !err +. abs_float (actual -. gravity));
+    !err /. float_of_int n
+  in
+  let eu = deviation europe and us = deviation america in
+  Alcotest.(check bool)
+    (Printf.sprintf "gravity misfit: eu %.3f < us %.3f" eu us)
+    true (eu < us)
+
+let test_poisson_series_moments () =
+  let d = Lazy.force small in
+  let unit_bps = 1e6 in
+  let m = Dataset.poisson_series d ~unit_bps ~samples:400 ~seed:4 in
+  let mean = Dataset.busy_mean_demand d in
+  (* For the largest pair, sample mean ~ busy mean and var ~ unit * mean. *)
+  let pair = Vec.argmax mean in
+  let xs = Array.init 400 (fun k -> Mat.get m k pair) in
+  let mu = Desc.mean xs in
+  Alcotest.(check bool) "mean close" true
+    (abs_float (mu -. mean.(pair)) /. mean.(pair) < 0.05);
+  let v = Desc.variance xs in
+  let expected = unit_bps *. mean.(pair) in
+  Alcotest.(check bool) "poisson variance" true
+    (v > 0.5 *. expected && v < 1.7 *. expected)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "diurnal",
+        [
+          Alcotest.test_case "peak location" `Quick
+            test_diurnal_peaks_near_peak_hour;
+          Alcotest.test_case "range" `Quick test_diurnal_range;
+          Alcotest.test_case "busy overlap" `Quick test_diurnal_busy_overlap;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "nonnegative" `Quick test_demands_nonnegative;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "fanout rows" `Quick
+            test_base_fanouts_rows_sum_to_one;
+          Alcotest.test_case "loads consistent" `Quick
+            test_link_loads_consistent;
+          Alcotest.test_case "node totals" `Quick test_node_totals_match_demands;
+          Alcotest.test_case "fanouts normalized" `Quick
+            test_fanouts_sum_to_one;
+          Alcotest.test_case "busy period" `Quick test_busy_period_is_busy;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "top-heavy demands" `Slow
+            test_top_heavy_demand_distribution;
+          Alcotest.test_case "mean-variance law" `Slow
+            test_mean_variance_scaling_law;
+          Alcotest.test_case "fanout stability" `Slow
+            test_fanouts_more_stable_than_demands;
+          Alcotest.test_case "gravity misfit ordering" `Slow
+            test_gravity_violation_stronger_in_america;
+          Alcotest.test_case "poisson series" `Quick test_poisson_series_moments;
+        ] );
+    ]
