@@ -8,7 +8,9 @@
    [--perf] instead runs Bechamel micro/meso benchmarks: one Test.make
    per paper table/figure (the full experiment pipeline on the reduced
    context, so each run is sub-second) plus the numerical kernels the
-   estimators are built on.
+   estimators are built on, and writes BENCH_workspace.json with
+   cold-vs-warm solver-workspace timings (gram, Cholesky factor, one
+   full entropy solve, one full Cao solve).
 
    Other flags: [--fast] (reduced datasets for the report mode),
    [--only fig13,tab2], [--list]. *)
@@ -46,8 +48,99 @@ let run_reports ~fast ~only () =
       Printf.printf "  (%s completed in %.1fs)\n\n%!" e.Registry.id
         (Unix.gettimeofday () -. t0))
     selected;
+  List.iter
+    (fun net ->
+      Format.printf "workspace[%s]: %a@." net.Ctx.label
+        Tmest_core.Workspace.pp_stats
+        (Tmest_core.Workspace.stats net.Ctx.workspace))
+    (Ctx.networks ctx);
   Printf.printf "all experiments done in %.1fs\n%!"
     (Unix.gettimeofday () -. t_start)
+
+(* ------------------------------------------------------------------ *)
+(* Workspace cold-vs-warm timings (BENCH_workspace.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled ns/op: repeat the thunk until ~0.2s of wall-clock has
+   accumulated (at least 3 runs) and report the mean.  Bechamel's OLS
+   machinery is overkill here — these are one-shot artifact timings
+   whose point is the cold/warm ratio, not nanosecond precision. *)
+let time_ns f =
+  ignore (f ());
+  let budget = 0.2 in
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  while Unix.gettimeofday () -. t0 < budget || !reps < 3 do
+    ignore (f ());
+    incr reps
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int !reps *. 1e9
+
+let workspace_json () =
+  let module Core = Tmest_core in
+  let module Dataset = Tmest_traffic.Dataset in
+  let module Mat = Tmest_linalg.Mat in
+  let eu = Dataset.europe () in
+  let routing = eu.Dataset.routing in
+  let spec = eu.Dataset.spec in
+  let k = spec.Tmest_traffic.Spec.busy_start + (spec.Tmest_traffic.Spec.busy_len / 2) in
+  let loads = Dataset.link_loads_at eu k in
+  let ks = Array.of_list (Dataset.busy_samples eu) in
+  let window = 20 in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  let load_samples =
+    Mat.init window (Dataset.num_links eu) (fun i j ->
+        (Dataset.link_loads_at eu ks.(i)).(j))
+  in
+  let entropy = Core.Estimator.of_name "entropy" in
+  let cao = Core.Estimator.of_name "cao" in
+  let warm = Core.Workspace.create routing in
+  (* Populate every artifact the warm path uses before timing it. *)
+  ignore (Core.Estimator.run_ws entropy warm ~loads ~load_samples);
+  ignore (Core.Estimator.run_ws cao warm ~loads ~load_samples);
+  let rows =
+    [
+      ( "gram_cold",
+        time_ns (fun () ->
+            Core.Workspace.gram (Core.Workspace.create routing)) );
+      ("gram_warm", time_ns (fun () -> Core.Workspace.gram warm));
+      ( "factor_cold",
+        let g = Core.Workspace.gram warm in
+        time_ns (fun () -> Tmest_linalg.Chol.factor_regularized g) );
+      ("factor_warm", time_ns (fun () -> Core.Workspace.gram_chol warm));
+      ( "entropy_solve_cold",
+        time_ns (fun () ->
+            Core.Estimator.run entropy routing ~loads ~load_samples) );
+      ( "entropy_solve_warm",
+        time_ns (fun () ->
+            Core.Estimator.run_ws entropy warm ~loads ~load_samples) );
+      ( "cao_solve_cold",
+        time_ns (fun () ->
+            Core.Estimator.run cao routing ~loads ~load_samples) );
+      ( "cao_solve_warm",
+        time_ns (fun () ->
+            Core.Estimator.run_ws cao warm ~loads ~load_samples) );
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"network\": \"europe\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"window\": %d,\n  \"unit\": \"ns/op\",\n" window);
+  Buffer.add_string buf "  \"benchmarks\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.0f%s\n" name ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_workspace.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  List.iter (fun (name, ns) -> Printf.printf "%-20s %12.0f ns/op\n" name ns) rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
@@ -159,5 +252,8 @@ let () =
     List.iter
       (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
       Registry.all
-  else if !perf then run_perf ()
+  else if !perf then begin
+    workspace_json ();
+    run_perf ()
+  end
   else run_reports ~fast:!fast ~only:!only ()

@@ -101,9 +101,8 @@ let estimate_cmd =
           Printf.eprintf "%s\n" msg;
           exit 2
     in
-    let estimate =
-      Core.Estimator.run m d.Dataset.routing ~loads ~load_samples
-    in
+    let ws = Core.Workspace.create d.Dataset.routing in
+    let estimate = Core.Estimator.run_ws m ws ~loads ~load_samples in
     let reference =
       if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
       else truth
@@ -115,6 +114,8 @@ let estimate_cmd =
       (Core.Metrics.rank_correlation reference estimate);
     Printf.printf "residual : %.6f (relative ||Rs - t||)\n"
       (Core.Problem.residual_norm d.Dataset.routing ~loads estimate);
+    Format.printf "workspace: %a@." Core.Workspace.pp_stats
+      (Core.Workspace.stats ws);
     let n = Dataset.num_nodes d in
     let name i =
       d.Dataset.topo.Tmest_net.Topology.nodes.(i).Tmest_net.Topology.name
@@ -263,11 +264,15 @@ let estimate_files_cmd =
         end
         else begin
           let routing = Tmest_net.Routing.shortest_path topo in
+          let ws = Core.Workspace.create routing in
           let truth = Mat.row series sample in
           let loads = Tmest_net.Routing.link_loads routing truth in
-          let prior = Core.Gravity.simple routing ~loads in
+          let prior =
+            Core.Estimator.build_prior_ws Core.Estimator.Prior_gravity ws
+              ~loads
+          in
           let est =
-            (Core.Entropy.estimate routing ~loads ~prior ~sigma2)
+            (Core.Entropy.estimate ws ~loads ~prior ~sigma2)
               .Core.Entropy.estimate
           in
           Printf.printf

@@ -37,7 +37,8 @@ let () =
     Mat.init window (Dataset.num_links dataset) (fun i j ->
         (Dataset.link_loads_at dataset (ref_start + i)).(j))
   in
-  let model = Fanout.estimate routing ~load_samples:reference_loads in
+  let ws = Tmest_core.Workspace.create routing in
+  let model = Fanout.estimate ws ~load_samples:reference_loads in
   Printf.printf "fanout model fitted on samples %d..%d\n" ref_start
     (ref_start + window - 1);
 
@@ -81,7 +82,7 @@ let () =
   let residual k =
     let loads = Routing.link_loads routing (shifted_demand k) in
     let predicted_demands =
-      Fanout.demands_of_fanouts routing ~fanouts:model.Fanout.fanouts ~loads
+      Fanout.demands_of_fanouts ws ~fanouts:model.Fanout.fanouts ~loads
     in
     let predicted = Routing.link_loads routing predicted_demands in
     Vec.dist2 predicted loads /. Vec.norm2 loads

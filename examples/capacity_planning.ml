@@ -52,9 +52,10 @@ let () =
   let loads = Dataset.link_loads_at dataset k in
 
   (* Estimate the TM from the observable link loads. *)
+  let ws = Tmest_core.Workspace.create routing in
   let prior = Gravity.simple routing ~loads in
   let estimate =
-    (Entropy.estimate routing ~loads ~prior ~sigma2:1000.).Entropy.estimate
+    (Entropy.estimate ws ~loads ~prior ~sigma2:1000.).Entropy.estimate
   in
   Printf.printf "estimated TM: MRE %.3f\n\n"
     (Metrics.mre ~truth ~estimate ());

@@ -33,6 +33,7 @@ let () =
   let routing = dataset.Dataset.routing in
 
   (* 3. A gravity prior from the per-PoP ingress/egress totals... *)
+  let ws = Tmest_core.Workspace.create routing in
   let prior = Gravity.simple routing ~loads in
   Printf.printf "gravity prior        : MRE %.3f\n"
     (Metrics.mre ~truth ~estimate:prior ());
@@ -40,7 +41,7 @@ let () =
   (* 4. ...refined against the full link-load system by the entropy
      estimator.  sigma2 trades prior against measurements; large values
      (the paper's best regime) trust the measurements. *)
-  let result = Entropy.estimate routing ~loads ~prior ~sigma2:1000. in
+  let result = Entropy.estimate ws ~loads ~prior ~sigma2:1000. in
   let estimate = result.Entropy.estimate in
   Printf.printf "entropy estimate     : MRE %.3f (converged in %d iters)\n"
     (Metrics.mre ~truth ~estimate ())

@@ -63,12 +63,14 @@ let () =
     ^ " -> "
     ^ topo.Topology.nodes.(l.Topology.dst).Topology.name
   in
+  (* One workspace per configuration: each stacks its own cached
+     Gram/eigen artifacts across the incremental estimates below. *)
   let configs =
-    (base, base_loads)
+    (Tmest_core.Workspace.create base, base_loads)
     :: List.map
          (fun l ->
            let r = routing_without topo l.Topology.link_id in
-           (r, Routing.link_loads r truth))
+           (Tmest_core.Workspace.create r, Routing.link_loads r truth))
          busiest
   in
   List.iteri
@@ -89,8 +91,8 @@ let () =
 
   (* The same effect seen through the worst-case bounds: uncertainty
      shrinks as configurations pin the demands. *)
-  let width routing loads =
-    let b = Wcb.bounds routing ~loads in
+  let width ws loads =
+    let b = Wcb.bounds ws ~loads in
     let w = Wcb.width b in
     Vec.sum w /. Vec.sum truth
   in

@@ -54,10 +54,11 @@ let () =
   (* 3. ...versus estimating the same interval from link loads only
      (what an operator without the LSP mesh would have to do). *)
   let routing = dataset.Dataset.routing in
+  let ws = Tmest_core.Workspace.create routing in
   let loads = Dataset.link_loads_at dataset k in
   let prior = Gravity.simple routing ~loads in
   let estimated =
-    (Entropy.estimate routing ~loads ~prior ~sigma2:1000.).Entropy.estimate
+    (Entropy.estimate ws ~loads ~prior ~sigma2:1000.).Entropy.estimate
   in
   Printf.printf "estimation from link loads only: MRE %.4f\n"
     (Metrics.mre ~truth:actual ~estimate:estimated ());

@@ -9,14 +9,15 @@ type result = {
   converged : bool;
 }
 
-let estimate ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2 =
+let estimate ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   if sigma2 <= 0. then invalid_arg "Bayes.estimate: sigma2 must be positive";
   let p = Routing.num_pairs routing in
   if Array.length prior <> p then
     invalid_arg "Bayes.estimate: prior dimension mismatch";
   let r = routing.Routing.matrix in
-  let scale = Problem.total_traffic routing ~loads in
+  let scale = Workspace.total_traffic ws ~loads in
   let scale = if scale > 0. then scale else 1. in
   let t_n = Vec.scale (1. /. scale) loads in
   let prior_n = Vec.scale (1. /. scale) prior in
@@ -27,9 +28,7 @@ let estimate ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2 =
     let g = Csr.tmatvec r res in
     Vec.mapi (fun i gi -> 2. *. (gi +. (w *. (s.(i) -. prior_n.(i))))) g
   in
-  let lip_r =
-    Fista.lipschitz_of_op ~dim:p (fun v -> Csr.tmatvec r (Csr.matvec r v))
-  in
+  let lip_r = Workspace.op_norm ws in
   let lipschitz = (2. *. lip_r) +. (2. *. w) in
   let res =
     Fista.solve ~x0:(Vec.copy prior_n) ~max_iter ~tol ~dim:p ~gradient

@@ -18,13 +18,13 @@ type result = {
   converged : bool;
 }
 
-(** [estimate ?max_iter ?tol routing ~loads ~prior ~sigma2] solves the
+(** [estimate ?max_iter ?tol ws ~loads ~prior ~sigma2] solves the
     regularized problem with an accelerated projected-gradient method.
     @raise Invalid_argument on dimension mismatch or [sigma2 <= 0]. *)
 val estimate :
   ?max_iter:int ->
   ?tol:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   sigma2:float ->

@@ -11,11 +11,12 @@ type result = {
   iterations : int;
 }
 
-let estimate ?(max_iter = 400) ?(unit_bps = 1e6) routing ~load_samples ~phi
+let estimate ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
     ~c ~sigma_inv2 =
   if phi <= 0. then invalid_arg "Cao.estimate: phi must be positive";
   if c < 1. then invalid_arg "Cao.estimate: need c >= 1";
   if sigma_inv2 < 0. then invalid_arg "Cao.estimate: negative sigma_inv2";
+  let routing = Workspace.routing ws in
   let l = Routing.num_links routing and p = Routing.num_pairs routing in
   if Mat.cols load_samples <> l then
     invalid_arg "Cao.estimate: load samples do not match the routing matrix";
@@ -25,13 +26,10 @@ let estimate ?(max_iter = 400) ?(unit_bps = 1e6) routing ~load_samples ~phi
     Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
   in
   let t_hat, sigma_hat = Desc.sample_mean_cov samples in
-  let g = Problem.gram routing in
-  let g2 = Mat.init p p (fun i j ->
-      let x = Mat.unsafe_get g i j in
-      x *. x)
-  in
+  let g = Workspace.gram ws in
+  let g2 = Workspace.gram_sq ws in
   let rt_t = Csr.tmatvec routing.Routing.matrix t_hat in
-  let rt = Csr.transpose routing.Routing.matrix in
+  let rt = Workspace.transpose ws in
   let v = Vec.zeros p in
   for pair = 0 to p - 1 do
     let links = Csr.row_nonzeros rt pair in
@@ -65,7 +63,7 @@ let estimate ?(max_iter = 400) ?(unit_bps = 1e6) routing ~load_samples ~phi
       d_first
   in
   (* Start from the first-moment-only solution. *)
-  let lip = 2. *. Fista.lipschitz_of_gram g in
+  let lip = 2. *. Workspace.gram_norm ws in
   let init =
     Fista.solve ~max_iter:2000 ~tol:1e-10 ~dim:p
       ~gradient:(fun x -> Vec.scale 2. (Vec.sub (Mat.matvec g x) rt_t))

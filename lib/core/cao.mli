@@ -23,14 +23,14 @@ type result = {
   iterations : int;
 }
 
-(** [estimate ?max_iter ?unit_bps routing ~load_samples ~phi ~c
+(** [estimate ?max_iter ?unit_bps ws ~load_samples ~phi ~c
     ~sigma_inv2] runs the estimator.  [phi] and [c] are the scaling-law
     parameters in the chosen counting unit ([unit_bps], default 1 Mbps);
     [c = 1, phi = 1] recovers Vardi's objective. *)
 val estimate :
   ?max_iter:int ->
   ?unit_bps:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   phi:float ->
   c:float ->

@@ -8,27 +8,27 @@ type step = {
 
 let fixed_of_set truth set = List.map (fun p -> (p, truth.(p))) set
 
-let mre_with ?x0 routing ~loads ~prior ~truth ~sigma2 ~threshold set =
+let mre_with ?x0 ws ~loads ~prior ~truth ~sigma2 ~threshold set =
   let res =
     (* The sweep re-solves thousands of times; warm starts plus a looser
        inner tolerance keep it tractable (MRE differences of interest
        are >= 1e-3). *)
-    Entropy.estimate_fixed ?x0 ~max_iter:1500 ~tol:1e-8 routing ~loads
-      ~prior ~sigma2 ~fixed:(fixed_of_set truth set)
+    Entropy.estimate_fixed ?x0 ~max_iter:1500 ~tol:1e-8 ws ~loads ~prior
+      ~sigma2 ~fixed:(fixed_of_set truth set)
   in
   ( Metrics.mre_with_threshold ~threshold ~truth ~estimate:res.Entropy.estimate,
     res.Entropy.estimate )
 
-let run_policy ?(coverage = 0.9) routing ~loads ~prior ~truth ~sigma2 ~steps
+let run_policy ?(coverage = 0.9) ws ~loads ~prior ~truth ~sigma2 ~steps
     ~choose =
-  let p = Routing.num_pairs routing in
+  let p = Workspace.num_pairs ws in
   if Array.length truth <> p then
     invalid_arg "Combined: truth dimension mismatch";
   let steps = Stdlib.min steps p in
   let threshold, _ = Metrics.threshold_for_coverage ~coverage truth in
   let warm = ref None in
   let eval set =
-    mre_with ?x0:!warm routing ~loads ~prior ~truth ~sigma2 ~threshold set
+    mre_with ?x0:!warm ws ~loads ~prior ~truth ~sigma2 ~threshold set
   in
   let rec loop set acc remaining_steps =
     if remaining_steps = 0 then List.rev acc
@@ -44,8 +44,8 @@ let run_policy ?(coverage = 0.9) routing ~loads ~prior ~truth ~sigma2 ~steps
   in
   loop [] [] steps
 
-let greedy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
-  let p = Routing.num_pairs routing in
+let greedy ?coverage ws ~loads ~prior ~truth ~sigma2 ~steps =
+  let p = Workspace.num_pairs ws in
   let choose ~eval ~set =
     (* Exhaustive search: try measuring every remaining demand and keep
        the one with the lowest resulting MRE (paper Fig. 16). *)
@@ -60,10 +60,10 @@ let greedy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
     done;
     Option.map fst !best
   in
-  run_policy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps ~choose
+  run_policy ?coverage ws ~loads ~prior ~truth ~sigma2 ~steps ~choose
 
-let largest_first ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
-  let p = Routing.num_pairs routing in
+let largest_first ?coverage ws ~loads ~prior ~truth ~sigma2 ~steps =
+  let p = Workspace.num_pairs ws in
   let order = Array.init p (fun i -> i) in
   Array.sort (fun a b -> compare truth.(b) truth.(a)) order;
   let next = ref 0 in
@@ -75,4 +75,4 @@ let largest_first ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps =
       Some pair
     end
   in
-  run_policy ?coverage routing ~loads ~prior ~truth ~sigma2 ~steps ~choose
+  run_policy ?coverage ws ~loads ~prior ~truth ~sigma2 ~steps ~choose

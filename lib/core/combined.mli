@@ -12,13 +12,13 @@ type step = {
   mre : float;  (** MRE of the entropy estimate after the step *)
 }
 
-(** [greedy routing ~loads ~prior ~truth ~sigma2 ~steps] returns the MRE
+(** [greedy ws ~loads ~prior ~truth ~sigma2 ~steps] returns the MRE
     trajectory: element [i] is the state after [i+1] measurements.  The
     MRE is computed at the paper's 90 % coverage threshold (fixed from
     the ground truth once, before any measurement). *)
 val greedy :
   ?coverage:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   truth:Tmest_linalg.Vec.t ->
@@ -26,11 +26,11 @@ val greedy :
   steps:int ->
   step list
 
-(** [largest_first routing ~loads ~prior ~truth ~sigma2 ~steps] measures
+(** [largest_first ws ~loads ~prior ~truth ~sigma2 ~steps] measures
     the demands in decreasing true-size order instead. *)
 val largest_first :
   ?coverage:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   truth:Tmest_linalg.Vec.t ->

@@ -1,6 +1,5 @@
 module Vec = Tmest_linalg.Vec
 module Csr = Tmest_linalg.Csr
-module Fista = Tmest_opt.Fista
 module Proxgrad = Tmest_opt.Proxgrad
 module Routing = Tmest_net.Routing
 
@@ -10,15 +9,16 @@ type result = {
   converged : bool;
 }
 
-let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2
+let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
     ~mask =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   if sigma2 <= 0. then invalid_arg "Entropy.estimate: sigma2 must be positive";
   let p = Routing.num_pairs routing in
   if Array.length prior <> p then
     invalid_arg "Entropy.estimate: prior dimension mismatch";
   let r = routing.Routing.matrix in
-  let scale = Problem.total_traffic routing ~loads in
+  let scale = Workspace.total_traffic ws ~loads in
   let scale = if scale > 0. then scale else 1. in
   let t_n = Vec.scale (1. /. scale) loads in
   let prior_n =
@@ -26,10 +26,7 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2
   in
   let w = 1. /. sigma2 in
   let gradient s = Vec.scale 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r s) t_n)) in
-  let lipschitz =
-    2.
-    *. Fista.lipschitz_of_op ~dim:p (fun v -> Csr.tmatvec r (Csr.matvec r v))
-  in
+  let lipschitz = 2. *. Workspace.op_norm ws in
   let prox = Proxgrad.kl_prox ~weight:w ~prior:prior_n in
   let start =
     match x0 with
@@ -55,12 +52,12 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) routing ~loads ~prior ~sigma2
     converged = res.Proxgrad.converged;
   }
 
-let estimate ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 =
-  let mask = Array.make (Routing.num_pairs routing) false in
-  solve ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 ~mask
+let estimate ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 =
+  let mask = Array.make (Workspace.num_pairs ws) false in
+  solve ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 ~mask
 
-let estimate_fixed ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 ~fixed =
-  let p = Routing.num_pairs routing in
+let estimate_fixed ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 ~fixed =
+  let p = Workspace.num_pairs ws in
   let mask = Array.make p false in
   let s_fixed = Vec.zeros p in
   List.iter
@@ -73,8 +70,10 @@ let estimate_fixed ?x0 ?max_iter ?tol routing ~loads ~prior ~sigma2 ~fixed =
       s_fixed.(pair) <- value)
     fixed;
   (* Move the measured demands' contribution to the right-hand side. *)
-  let loads' = Vec.sub loads (Routing.link_loads routing s_fixed) in
-  let res = solve ?x0 ?max_iter ?tol routing ~loads:loads' ~prior ~sigma2 ~mask in
+  let loads' =
+    Vec.sub loads (Routing.link_loads (Workspace.routing ws) s_fixed)
+  in
+  let res = solve ?x0 ?max_iter ?tol ws ~loads:loads' ~prior ~sigma2 ~mask in
   let estimate =
     Vec.mapi
       (fun i v -> if mask.(i) then s_fixed.(i) else v)

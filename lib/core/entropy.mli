@@ -15,7 +15,7 @@ type result = {
   converged : bool;
 }
 
-(** [estimate ?max_iter ?tol routing ~loads ~prior ~sigma2] solves the
+(** [estimate ?max_iter ?tol ws ~loads ~prior ~sigma2] solves the
     problem.  Prior entries that are zero stay zero in the estimate (KL
     structural zeros); pass a floor-adjusted prior if that is not
     desired.
@@ -24,13 +24,13 @@ val estimate :
   ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->
   ?tol:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   sigma2:float ->
   result
 
-(** [estimate_fixed ?max_iter ?tol routing ~loads ~prior ~sigma2 ~fixed]
+(** [estimate_fixed ?max_iter ?tol ws ~loads ~prior ~sigma2 ~fixed]
     solves the same problem with some demands pinned to known values
     ([fixed] maps pair index to the measured demand): the pinned columns
     are moved to the right-hand side and excluded from the optimization.
@@ -40,7 +40,7 @@ val estimate_fixed :
   ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->
   ?tol:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   sigma2:float ->

@@ -2,7 +2,10 @@ module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Routing = Tmest_net.Routing
 
-type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
+type prior_kind = Workspace.prior_kind =
+  | Prior_gravity
+  | Prior_wcb
+  | Prior_uniform
 
 type t =
   | Gravity
@@ -42,14 +45,18 @@ let uses_time_series = function
   | Gravity | Kruithof _ | Entropy _ | Bayes _ | Wcb_midpoint -> false
   | Fanout _ | Vardi _ | Cao _ -> true
 
+let build_prior_ws kind ws ~loads =
+  Workspace.cached_prior ws ~kind ~loads ~compute:(fun () ->
+      match kind with
+      | Prior_gravity -> Gravity.simple (Workspace.routing ws) ~loads
+      | Prior_wcb -> Wcb.midpoint (Wcb.bounds ws ~loads)
+      | Prior_uniform ->
+          let p = Workspace.num_pairs ws in
+          let total = Workspace.total_traffic ws ~loads in
+          Vec.create p (total /. float_of_int p))
+
 let build_prior kind routing ~loads =
-  match kind with
-  | Prior_gravity -> Gravity.simple routing ~loads
-  | Prior_wcb -> Wcb.midpoint (Wcb.bounds routing ~loads)
-  | Prior_uniform ->
-      let p = Routing.num_pairs routing in
-      let total = Problem.total_traffic routing ~loads in
-      Vec.create p (total /. float_of_int p)
+  build_prior_ws kind (Workspace.create routing) ~loads
 
 let last_window samples window =
   let k = Mat.rows samples in
@@ -57,26 +64,33 @@ let last_window samples window =
   Mat.submatrix samples ~row:(k - window) ~col:0 ~rows:window
     ~cols:(Mat.cols samples)
 
+let run_ws t ws ~loads ~load_samples =
+  let t0 = Sys.time () in
+  let estimate =
+    match t with
+    | Gravity -> Gravity.simple (Workspace.routing ws) ~loads
+    | Kruithof { prior } ->
+        let prior = build_prior_ws prior ws ~loads in
+        Kruithof.adjust ws ~loads ~prior
+    | Entropy { sigma2; prior } ->
+        let prior = build_prior_ws prior ws ~loads in
+        (Entropy.estimate ws ~loads ~prior ~sigma2).Entropy.estimate
+    | Bayes { sigma2; prior } ->
+        let prior = build_prior_ws prior ws ~loads in
+        (Bayes.estimate ws ~loads ~prior ~sigma2).Bayes.estimate
+    | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds ws ~loads)
+    | Fanout { window } ->
+        let samples = last_window load_samples window in
+        (Fanout.estimate ws ~load_samples:samples).Fanout.estimate
+    | Vardi { sigma_inv2; window } ->
+        let samples = last_window load_samples window in
+        (Vardi.estimate ws ~load_samples:samples ~sigma_inv2).Vardi.estimate
+    | Cao { phi; c; sigma_inv2; window } ->
+        let samples = last_window load_samples window in
+        (Cao.estimate ws ~load_samples:samples ~phi ~c ~sigma_inv2).Cao.estimate
+  in
+  Workspace.record_solve ws (Sys.time () -. t0);
+  estimate
+
 let run t routing ~loads ~load_samples =
-  match t with
-  | Gravity -> Gravity.simple routing ~loads
-  | Kruithof { prior } ->
-      let prior = build_prior prior routing ~loads in
-      Kruithof.adjust routing ~loads ~prior
-  | Entropy { sigma2; prior } ->
-      let prior = build_prior prior routing ~loads in
-      (Entropy.estimate routing ~loads ~prior ~sigma2).Entropy.estimate
-  | Bayes { sigma2; prior } ->
-      let prior = build_prior prior routing ~loads in
-      (Bayes.estimate routing ~loads ~prior ~sigma2).Bayes.estimate
-  | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds routing ~loads)
-  | Fanout { window } ->
-      let samples = last_window load_samples window in
-      (Fanout.estimate routing ~load_samples:samples).Fanout.estimate
-  | Vardi { sigma_inv2; window } ->
-      let samples = last_window load_samples window in
-      (Vardi.estimate routing ~load_samples:samples ~sigma_inv2).Vardi.estimate
-  | Cao { phi; c; sigma_inv2; window } ->
-      let samples = last_window load_samples window in
-      (Cao.estimate routing ~load_samples:samples ~phi ~c ~sigma_inv2)
-        .Cao.estimate
+  run_ws t (Workspace.create routing) ~loads ~load_samples

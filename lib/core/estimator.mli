@@ -1,7 +1,9 @@
 (** A uniform face over all estimation methods, for drivers (CLI,
     benchmarks) that select a method by name. *)
 
-type prior_kind =
+(** Re-export of {!Workspace.prior_kind} so drivers can speak prior
+    names without depending on the workspace module directly. *)
+type prior_kind = Workspace.prior_kind =
   | Prior_gravity  (** simple gravity model (the paper's default prior) *)
   | Prior_wcb  (** worst-case-bound midpoints *)
   | Prior_uniform  (** total traffic spread evenly over all pairs *)
@@ -30,17 +32,39 @@ val all_names : unit -> string list
     load measurements rather than one snapshot. *)
 val uses_time_series : t -> bool
 
-(** [build_prior kind routing ~loads] materializes a prior vector. *)
+(** [build_prior_ws kind ws ~loads] materializes a prior vector through
+    the workspace's [(kind, loads)] cache, so repeated solves on the
+    same snapshot reuse one prior (WCB priors in particular cost two LPs
+    per demand). *)
+val build_prior_ws :
+  prior_kind ->
+  Workspace.t ->
+  loads:Tmest_linalg.Vec.t ->
+  Tmest_linalg.Vec.t
+
+(** [build_prior kind routing ~loads] is {!build_prior_ws} on a
+    throwaway workspace — compatibility wrapper with no reuse. *)
 val build_prior :
   prior_kind ->
   Tmest_net.Routing.t ->
   loads:Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t
 
-(** [run t routing ~loads ~load_samples] executes the method.
-    Snapshot methods use [loads]; time-series methods take the last
-    [window] rows of [load_samples] (and fall back to fewer if the
-    series is shorter).  Returns the demand estimate in bits/s. *)
+(** [run_ws t ws ~loads ~load_samples] executes the method against a
+    shared workspace.  Snapshot methods use [loads]; time-series methods
+    take the last [window] rows of [load_samples] (and fall back to
+    fewer if the series is shorter).  Returns the demand estimate in
+    bits/s and accounts the wall-clock in the workspace's [solve]
+    counter. *)
+val run_ws :
+  t ->
+  Workspace.t ->
+  loads:Tmest_linalg.Vec.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  Tmest_linalg.Vec.t
+
+(** [run t routing ~loads ~load_samples] is {!run_ws} on a fresh
+    throwaway workspace: identical results, none of the reuse. *)
 val run :
   t ->
   Tmest_net.Routing.t ->

@@ -22,7 +22,9 @@ type result = {
    squared node totals, whose spread (heavy-tailed PoP sizes) makes the
    KKT system numerically hopeless; projection-based iterations only
    ever evaluate well-scaled matrix-vector products. *)
-let estimate routing ~load_samples =
+let estimate ws ~load_samples =
+  let routing = Workspace.routing ws in
+  let ingress = Workspace.ingress_rows ws in
   let l = Routing.num_links routing in
   let p = Routing.num_pairs routing in
   let n = Topology.num_nodes routing.Routing.topo in
@@ -34,16 +36,14 @@ let estimate routing ~load_samples =
   let scale = ref 0. in
   for step = 0 to k - 1 do
     for node = 0 to n - 1 do
-      scale :=
-        !scale +. Mat.get load_samples step (Routing.ingress_row routing node)
+      scale := !scale +. Mat.get load_samples step ingress.(node)
     done
   done;
   let scale = Stdlib.max (!scale /. float_of_int k) 1. in
   let te = Mat.zeros k n in
   for step = 0 to k - 1 do
     for node = 0 to n - 1 do
-      Mat.set te step node
-        (Mat.get load_samples step (Routing.ingress_row routing node) /. scale)
+      Mat.set te step node (Mat.get load_samples step ingress.(node) /. scale)
     done
   done;
   let src_of = Array.init p (fun pair -> Odpairs.source ~nodes:n pair) in
@@ -58,7 +58,7 @@ let estimate routing ~load_samples =
         done
     done
   done;
-  let g = Problem.gram routing in
+  let g = Workspace.gram ws in
   let h =
     Mat.init p p (fun i j ->
         Mat.unsafe_get g i j *. Mat.get w src_of.(i) src_of.(j))
@@ -74,7 +74,7 @@ let estimate routing ~load_samples =
     done
   done;
   let gradient a = Vec.scale 2. (Vec.sub (Mat.matvec h a) lin) in
-  let lipschitz = 2. *. Fista.lipschitz_of_gram h in
+  let lipschitz = 2. *. Workspace.lipschitz_of_matrix ws h in
   (* FISTA with the per-source simplex projection, started from uniform
      fanouts. *)
   let project v = Projections.block_simplex ~block:src_of v in
@@ -116,7 +116,8 @@ let estimate routing ~load_samples =
   in
   { fanouts; estimate }
 
-let demands_of_fanouts routing ~fanouts ~loads =
+let demands_of_fanouts ws ~fanouts ~loads =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let n = Topology.num_nodes routing.Routing.topo in
   let p = Routing.num_pairs routing in

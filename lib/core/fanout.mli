@@ -20,21 +20,21 @@ type result = {
           totals — comparable to the window-average true demands *)
 }
 
-(** [estimate routing ~load_samples] solves the constrained problem
+(** [estimate ws ~load_samples] solves the constrained problem
     over a [K x L] window of load samples by accelerated projected
     gradient with an exact per-source probability-simplex projection
     (a KKT solve is numerically hopeless here: the Hessian blocks are
     scaled by squared, heavy-tailed node totals).
     @raise Invalid_argument if the window is empty or dimensions differ. *)
 val estimate :
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   result
 
-(** [demands_of_fanouts routing ~fanouts ~loads] expands fanouts into a
+(** [demands_of_fanouts ws ~fanouts ~loads] expands fanouts into a
     demand vector using the node totals of one load snapshot. *)
 val demands_of_fanouts :
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   fanouts:Tmest_linalg.Vec.t ->
   loads:Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t

@@ -8,7 +8,7 @@ type trace = {
 }
 
 let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?(max_iter = 4000)
-    routing ~load_series ~prior =
+    ws ~load_series ~prior =
   let k = Mat.rows load_series in
   if k = 0 then invalid_arg "Iterative.refine: empty load series";
   if rounds <= 0 then invalid_arg "Iterative.refine: rounds must be positive";
@@ -19,7 +19,7 @@ let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?(max_iter = 4000)
   while (not !finished) && !round < rounds do
     let loads = Mat.row load_series (!round mod k) in
     let result =
-      Bayes.estimate ~max_iter routing ~loads ~prior:!current ~sigma2
+      Bayes.estimate ~max_iter ws ~loads ~prior:!current ~sigma2
     in
     let next = result.Bayes.estimate in
     let delta = Metrics.relative_l1 ~truth:!current ~estimate:next in

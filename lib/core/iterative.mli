@@ -13,7 +13,7 @@ type trace = {
       (** relative L1 change between consecutive rounds *)
 }
 
-(** [refine ?rounds ?tol ?sigma2 routing ~load_series ~prior] runs the
+(** [refine ?rounds ?tol ?sigma2 ws ~load_series ~prior] runs the
     refinement over the rows of [load_series] (consecutive snapshots,
     cycled if [rounds] exceeds the row count).  Each round solves the
     Bayesian problem {!Bayes.estimate} with the previous round's output
@@ -26,7 +26,7 @@ val refine :
   ?tol:float ->
   ?sigma2:float ->
   ?max_iter:int ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   load_series:Tmest_linalg.Mat.t ->
   prior:Tmest_linalg.Vec.t ->
   trace

@@ -4,7 +4,8 @@ module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
 module Odpairs = Tmest_net.Odpairs
 
-let adjust routing ~loads ~prior =
+let adjust ws ~loads ~prior =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let n = Topology.num_nodes routing.Routing.topo in
   if Array.length prior <> Odpairs.count n then
@@ -16,8 +17,9 @@ let adjust routing ~loads ~prior =
   in
   Odpairs.vector_of_matrix ~nodes:n balanced
 
-let krupp ?max_iter ?tol routing ~loads ~prior =
+let krupp ?max_iter ?tol ws ~loads ~prior =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
-  let r = Routing.dense routing in
+  let r = Workspace.dense ws in
   let s, _report = Scaling.gis ?max_iter ?tol r loads ~prior in
   s

@@ -32,14 +32,15 @@ let rec truncated_exp rng ~c ~len =
 type prior_model = [ `Exponential | `Uniform ]
 
 let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
-    ?(prior_model = `Exponential) routing ~loads ~prior =
+    ?(prior_model = `Exponential) ws ~loads ~prior =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in
   if Array.length prior <> p then
     invalid_arg "Mcmc.sample: prior dimension mismatch";
   if burn_in < 0 || samples <= 0 || thin <= 0 then
     invalid_arg "Mcmc.sample: bad chain parameters";
-  let scale = Problem.total_traffic routing ~loads in
+  let scale = Workspace.total_traffic ws ~loads in
   let scale = if scale > 0. then scale else 1. in
   let t_n = Vec.scale (1. /. scale) loads in
   let floor_p = 1e-9 in
@@ -54,7 +55,7 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
      vertices of a handful of random linear objectives — each is exactly
      feasible, and their mean is a relative-interior point the chain can
      move from. *)
-  let state = Simplex.make (Routing.dense routing) t_n in
+  let state = Simplex.make (Workspace.dense ws) t_n in
   let start_rng = Rng.create (seed + 77) in
   let vertex_count = 16 in
   let start = Vec.zeros p in
@@ -73,8 +74,7 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
        else Vec.scale (1. /. float_of_int !found) start)
   in
   (* Null-space basis of R from the spectrum of its Gram matrix. *)
-  let g = Csr.gram routing.Routing.matrix in
-  let d = Eigen.symmetric g in
+  let d = Workspace.gram_eigen ws in
   let top = Stdlib.max d.Eigen.values.(0) 1e-30 in
   let null_cols = ref [] in
   Array.iteri

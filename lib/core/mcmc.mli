@@ -33,7 +33,7 @@ type result = {
     worst-case bounds. *)
 type prior_model = [ `Exponential | `Uniform ]
 
-(** [sample ?burn_in ?samples ?thin ?seed ?prior_model routing ~loads
+(** [sample ?burn_in ?samples ?thin ?seed ?prior_model ws ~loads
     ~prior] runs the chain.  Defaults: 500 burn-in steps, 1000 retained
     samples, thinning 5, exponential prior.
     @raise Tmest_opt.Simplex.Infeasible if the loads are inconsistent.
@@ -44,7 +44,7 @@ val sample :
   ?thin:int ->
   ?seed:int ->
   ?prior_model:prior_model ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   result

@@ -2,7 +2,6 @@ let log_src =
   Logs.Src.create "tmest.core" ~doc:"Traffic-matrix estimation solvers"
 
 module Vec = Tmest_linalg.Vec
-module Csr = Tmest_linalg.Csr
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
 
@@ -19,7 +18,7 @@ let total_traffic routing ~loads =
   done;
   !acc
 
-let gram routing = Csr.gram routing.Routing.matrix
+let gram routing = Workspace.gram (Workspace.create routing)
 
 let residual_norm routing ~loads estimate =
   check_dims routing ~loads;

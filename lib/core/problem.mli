@@ -13,8 +13,11 @@ val total_traffic : Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> float
 (** [check_dims routing ~loads] validates the load vector length. *)
 val check_dims : Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> unit
 
-(** [gram routing] is the dense [RᵀR] of the routing matrix (cached by
-    callers; recomputed on each call here). *)
+(** [gram routing] is the dense [RᵀR] of the routing matrix.
+    Compatibility wrapper: delegates to a throwaway {!Workspace}, so
+    each call still pays the full product.  Repeated solvers should
+    hold a [Workspace.t] and use {!Workspace.gram}, which computes the
+    product once per routing context. *)
 val gram : Tmest_net.Routing.t -> Tmest_linalg.Mat.t
 
 (** [residual_norm routing ~loads estimate] is [‖R s − t‖ / ‖t‖]:

@@ -3,7 +3,6 @@ module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Eigen = Tmest_linalg.Eigen
 module Fista = Tmest_opt.Fista
-module Routing = Tmest_net.Routing
 
 type result = {
   estimate : Vec.t;
@@ -12,8 +11,7 @@ type result = {
   stacked_rank_gain : int;
 }
 
-let numerical_rank g =
-  let d = Eigen.symmetric g in
+let rank_of_eigen d =
   let top = Stdlib.max d.Eigen.values.(0) 0. in
   let threshold = 1e-9 *. Stdlib.max top 1e-30 in
   Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0
@@ -21,23 +19,25 @@ let numerical_rank g =
 
 let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
   (match configs with [] -> invalid_arg "Routechange.estimate: no configs" | _ -> ());
-  let p = Routing.num_pairs (fst (List.hd configs)) in
+  let first_ws = fst (List.hd configs) in
+  let p = Workspace.num_pairs first_ws in
   List.iter
-    (fun (routing, loads) ->
-      if Routing.num_pairs routing <> p then
+    (fun (ws, loads) ->
+      if Workspace.num_pairs ws <> p then
         invalid_arg "Routechange.estimate: OD dimension mismatch";
-      Problem.check_dims routing ~loads)
+      Problem.check_dims (Workspace.routing ws) ~loads)
     configs;
   (* Normalize every snapshot by its own total so the stacking weights
      configurations equally. *)
   let scaled =
     List.map
-      (fun (routing, loads) ->
-        let s = Problem.total_traffic routing ~loads in
+      (fun (ws, loads) ->
+        let s = Workspace.total_traffic ws ~loads in
         let s = if s > 0. then s else 1. in
-        (routing.Routing.matrix, Vec.scale (1. /. s) loads, s))
+        (ws, Vec.scale (1. /. s) loads, s))
       configs
   in
+  let matrix_of ws = (Workspace.routing ws).Tmest_net.Routing.matrix in
   let mean_scale =
     List.fold_left (fun acc (_, _, s) -> acc +. s) 0. scaled
     /. float_of_int (List.length scaled)
@@ -45,17 +45,20 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
   let gradient x =
     let g = Vec.zeros p in
     List.iter
-      (fun (r, t, _) ->
+      (fun (ws, t, _) ->
+        let r = matrix_of ws in
         Vec.axpy_inplace 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r x) t)) g)
       scaled;
     g
   in
   let lipschitz =
     2.
-    *. Fista.lipschitz_of_op ~dim:p (fun v ->
+    *. Workspace.lipschitz_of_op first_ws ~dim:p (fun v ->
            let acc = Vec.zeros p in
            List.iter
-             (fun (r, _, _) -> Vec.axpy_inplace 1. (Csr.tmatvec r (Csr.matvec r v)) acc)
+             (fun (ws, _, _) ->
+               let r = matrix_of ws in
+               Vec.axpy_inplace 1. (Csr.tmatvec r (Csr.matvec r v)) acc)
              scaled;
            acc)
   in
@@ -63,12 +66,11 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
   let stacked_rank_gain =
     if p > 300 then 0
     else begin
-      let gram_of r = Csr.gram r in
-      let first = numerical_rank (gram_of (match scaled with (r, _, _) :: _ -> r | [] -> assert false)) in
+      let first = rank_of_eigen (Workspace.gram_eigen first_ws) in
       let stacked = Mat.zeros p p in
       List.iter
-        (fun (r, _, _) ->
-          let g = gram_of r in
+        (fun (ws, _, _) ->
+          let g = Workspace.gram ws in
           for i = 0 to p - 1 do
             for j = 0 to p - 1 do
               Mat.unsafe_set stacked i j
@@ -76,7 +78,7 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
             done
           done)
         scaled;
-      numerical_rank stacked - first
+      rank_of_eigen (Eigen.symmetric stacked) - first
     end
   in
   {

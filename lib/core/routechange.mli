@@ -23,11 +23,11 @@ type result = {
 }
 
 (** [estimate ?max_iter ?tol configs] solves the stacked problem.
-    [configs] pairs each routing with the loads observed under it; all
-    must share the OD-pair dimension.
+    [configs] pairs each routing context's workspace with the loads
+    observed under it; all must share the OD-pair dimension.
     @raise Invalid_argument on an empty list or dimension mismatch. *)
 val estimate :
   ?max_iter:int ->
   ?tol:float ->
-  (Tmest_net.Routing.t * Tmest_linalg.Vec.t) list ->
+  (Workspace.t * Tmest_linalg.Vec.t) list ->
   result

@@ -11,10 +11,11 @@ type result = {
   iterations : int;
 }
 
-let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) routing ~load_samples
+let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
     ~sigma_inv2 =
   if sigma_inv2 < 0. then invalid_arg "Vardi.estimate: negative sigma_inv2";
   if unit_bps <= 0. then invalid_arg "Vardi.estimate: unit_bps <= 0";
+  let routing = Workspace.routing ws in
   let l = Routing.num_links routing and p = Routing.num_pairs routing in
   if Mat.cols load_samples <> l then
     invalid_arg "Vardi.estimate: load samples do not match the routing matrix";
@@ -26,7 +27,7 @@ let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) routing ~load_samples
     Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
   in
   let t_hat, sigma_hat = Desc.sample_mean_cov samples in
-  let g = Problem.gram routing in
+  let g = Workspace.gram ws in
   let w = sigma_inv2 in
   (* Hessian/2 = G + w * (G entry-wise squared). *)
   let h0 =
@@ -35,7 +36,7 @@ let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) routing ~load_samples
         gij +. (w *. gij *. gij))
   in
   (* Linear term/2 = Rᵀ t̂ + w * v with v_p = r_pᵀ Σ̂ r_p. *)
-  let rt = Csr.transpose routing.Routing.matrix in
+  let rt = Workspace.transpose ws in
   let v = Vec.zeros p in
   for pair = 0 to p - 1 do
     let links = Csr.row_nonzeros rt pair in
@@ -50,7 +51,12 @@ let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) routing ~load_samples
   done;
   let lin = Vec.axpy w v (Csr.tmatvec routing.Routing.matrix t_hat) in
   let gradient x = Vec.scale 2. (Vec.sub (Mat.matvec h0 x) lin) in
-  let lipschitz = 2. *. Fista.lipschitz_of_gram h0 in
+  let lipschitz =
+    2.
+    *. Workspace.cached_lipschitz ws
+         ~key:(Printf.sprintf "vardi.h0:%h" w)
+         ~compute:(fun () -> Fista.lipschitz_of_gram h0)
+  in
   let res =
     Fista.solve ~max_iter ~tol:1e-12 ~dim:p ~gradient ~lipschitz ()
   in

@@ -23,13 +23,13 @@ type result = {
   iterations : int;
 }
 
-(** [estimate ?max_iter ?unit_bps routing ~load_samples ~sigma_inv2]
+(** [estimate ?max_iter ?unit_bps ws ~load_samples ~sigma_inv2]
     runs the estimator on a [K x L] matrix of load samples.
     @raise Invalid_argument if [sigma_inv2 < 0] or dimensions differ. *)
 val estimate :
   ?max_iter:int ->
   ?unit_bps:float ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   sigma_inv2:float ->
   result

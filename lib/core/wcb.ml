@@ -7,7 +7,8 @@ type bounds = {
   upper : Vec.t;
 }
 
-let trivial_upper routing ~loads =
+let trivial_upper ws ~loads =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in
   let upper = Vec.create p infinity in
@@ -15,7 +16,7 @@ let trivial_upper routing ~loads =
      with fractional (ECMP) routing, t_l >= frac * s_p gives s_p <=
      t_l / frac, so only coefficient-1 rows yield t_l itself.  Access
      links always qualify. *)
-  let rt = Tmest_linalg.Csr.transpose routing.Routing.matrix in
+  let rt = Workspace.transpose ws in
   for pair = 0 to p - 1 do
     Tmest_linalg.Csr.iter_row rt pair (fun link coeff ->
         if coeff >= 1. -. 1e-9 then
@@ -23,12 +24,13 @@ let trivial_upper routing ~loads =
   done;
   upper
 
-let bounds ?pairs routing ~loads =
+let bounds ?pairs ws ~loads =
+  let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in
-  let scale = Problem.total_traffic routing ~loads in
+  let scale = Workspace.total_traffic ws ~loads in
   let scale = if scale > 0. then scale else 1. in
-  let r = Routing.dense routing in
+  let r = Workspace.dense ws in
   let t = Vec.scale (1. /. scale) loads in
   let state = Simplex.make r t in
   let selected =
@@ -42,7 +44,7 @@ let bounds ?pairs routing ~loads =
         l
   in
   let lower = Vec.zeros p in
-  let upper = trivial_upper routing ~loads in
+  let upper = trivial_upper ws ~loads in
   let objective = Vec.zeros p in
   List.iter
     (fun pair ->

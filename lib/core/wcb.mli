@@ -13,22 +13,22 @@ type bounds = {
   upper : Tmest_linalg.Vec.t;
 }
 
-(** [bounds ?pairs routing ~loads] computes the per-demand bounds.
+(** [bounds ?pairs ws ~loads] computes the per-demand bounds.
     [pairs] restricts the computation to a subset of OD pairs (bounds of
     the others are reported as [0] and the trivial path-minimum upper
     bound).
     @raise Tmest_opt.Simplex.Infeasible if the loads are inconsistent. *)
 val bounds :
   ?pairs:int list ->
-  Tmest_net.Routing.t ->
+  Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   bounds
 
-(** [trivial_upper routing ~loads] is the per-demand upper bound
+(** [trivial_upper ws ~loads] is the per-demand upper bound
     [min over links on the path of t_l] — the baseline any useful LP
     bound must beat. *)
 val trivial_upper :
-  Tmest_net.Routing.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+  Workspace.t -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
 
 (** [midpoint b] is the prior [(lower + upper) / 2]. *)
 val midpoint : bounds -> Tmest_linalg.Vec.t

@@ -1,0 +1,340 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Chol = Tmest_linalg.Chol
+module Eigen = Tmest_linalg.Eigen
+module Fista = Tmest_opt.Fista
+module Routing = Tmest_net.Routing
+module Topology = Tmest_net.Topology
+
+type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
+
+(* Internal mutable counters; snapshots exposed as immutable records. *)
+type c = { mutable h : int; mutable m : int; mutable s : float }
+
+let c_zero () = { h = 0; m = 0; s = 0. }
+
+type counters = {
+  c_gram : c;
+  c_chol : c;
+  c_eigen : c;
+  c_transpose : c;
+  c_dense : c;
+  c_lipschitz : c;
+  c_prior : c;
+  c_total : c;
+  c_solve : c;
+}
+
+(* Load-keyed caches are bounded MRU lists: snapshot sweeps reuse the
+   same few load vectors and hit; long scans (e.g. the greedy
+   combined-method search, which solves against thousands of distinct
+   right-hand sides) cannot grow the workspace without bound. *)
+let max_keyed = 8
+
+type t = {
+  routing : Routing.t;
+  ingress : int array;
+  egress : int array;
+  mutable gram : Mat.t option;
+  mutable gram_sq : Mat.t option;
+  mutable chol : Chol.t option;
+  mutable eigen : Eigen.t option;
+  mutable transpose : Csr.t option;
+  mutable dense : Mat.t option;
+  mutable op_norm : float option;
+  mutable gram_norm : float option;
+  lipschitz_tbl : (string, float) Hashtbl.t;
+  mutable totals : (Vec.t * float) list;  (* MRU *)
+  mutable priors : (prior_kind * Vec.t * Vec.t) list;  (* MRU *)
+  counters : counters;
+}
+
+let create routing =
+  let n = Topology.num_nodes routing.Routing.topo in
+  {
+    routing;
+    ingress = Array.init n (fun i -> Routing.ingress_row routing i);
+    egress = Array.init n (fun i -> Routing.egress_row routing i);
+    gram = None;
+    gram_sq = None;
+    chol = None;
+    eigen = None;
+    transpose = None;
+    dense = None;
+    op_norm = None;
+    gram_norm = None;
+    lipschitz_tbl = Hashtbl.create 7;
+    totals = [];
+    priors = [];
+    counters =
+      {
+        c_gram = c_zero ();
+        c_chol = c_zero ();
+        c_eigen = c_zero ();
+        c_transpose = c_zero ();
+        c_dense = c_zero ();
+        c_lipschitz = c_zero ();
+        c_prior = c_zero ();
+        c_total = c_zero ();
+        c_solve = c_zero ();
+      };
+  }
+
+let routing t = t.routing
+let num_links t = Routing.num_links t.routing
+let num_pairs t = Routing.num_pairs t.routing
+let ingress_rows t = t.ingress
+let egress_rows t = t.egress
+
+let timed c compute =
+  let t0 = Sys.time () in
+  let v = compute () in
+  c.s <- c.s +. (Sys.time () -. t0);
+  v
+
+let memo c get set compute t =
+  match get t with
+  | Some v ->
+      c.h <- c.h + 1;
+      v
+  | None ->
+      c.m <- c.m + 1;
+      let v = timed c compute in
+      set t (Some v);
+      v
+
+let gram t =
+  memo t.counters.c_gram
+    (fun t -> t.gram)
+    (fun t v -> t.gram <- v)
+    (fun () -> Csr.gram t.routing.Routing.matrix)
+    t
+
+let gram_sq t =
+  let g = gram t in
+  memo t.counters.c_gram
+    (fun t -> t.gram_sq)
+    (fun t v -> t.gram_sq <- v)
+    (fun () ->
+      let p = Mat.rows g in
+      Mat.init p p (fun i j ->
+          let x = Mat.unsafe_get g i j in
+          x *. x))
+    t
+
+let gram_chol t =
+  let g = gram t in
+  memo t.counters.c_chol
+    (fun t -> t.chol)
+    (fun t v -> t.chol <- v)
+    (fun () -> Chol.factor_regularized g)
+    t
+
+let gram_eigen t =
+  let g = gram t in
+  memo t.counters.c_eigen
+    (fun t -> t.eigen)
+    (fun t v -> t.eigen <- v)
+    (fun () -> Eigen.symmetric g)
+    t
+
+let transpose t =
+  memo t.counters.c_transpose
+    (fun t -> t.transpose)
+    (fun t v -> t.transpose <- v)
+    (fun () -> Csr.transpose t.routing.Routing.matrix)
+    t
+
+let dense t =
+  memo t.counters.c_dense
+    (fun t -> t.dense)
+    (fun t v -> t.dense <- v)
+    (fun () -> Routing.dense t.routing)
+    t
+
+let op_norm t =
+  memo t.counters.c_lipschitz
+    (fun t -> t.op_norm)
+    (fun t v -> t.op_norm <- v)
+    (fun () ->
+      let r = t.routing.Routing.matrix in
+      Fista.lipschitz_of_op ~dim:(num_pairs t) (fun v ->
+          Csr.tmatvec r (Csr.matvec r v)))
+    t
+
+let gram_norm t =
+  let g = gram t in
+  memo t.counters.c_lipschitz
+    (fun t -> t.gram_norm)
+    (fun t v -> t.gram_norm <- v)
+    (fun () -> Fista.lipschitz_of_gram g)
+    t
+
+let cached_lipschitz t ~key ~compute =
+  match Hashtbl.find_opt t.lipschitz_tbl key with
+  | Some v ->
+      t.counters.c_lipschitz.h <- t.counters.c_lipschitz.h + 1;
+      v
+  | None ->
+      t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
+      let v = timed t.counters.c_lipschitz compute in
+      Hashtbl.replace t.lipschitz_tbl key v;
+      v
+
+let lipschitz_of_matrix t h =
+  t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
+  timed t.counters.c_lipschitz (fun () -> Fista.lipschitz_of_gram h)
+
+let lipschitz_of_op t ~dim apply =
+  t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
+  timed t.counters.c_lipschitz (fun () -> Fista.lipschitz_of_op ~dim apply)
+
+let same_loads a b = a == b || Vec.equal ~eps:0. a b
+
+let take_mru n l = List.filteri (fun i _ -> i < n) l
+
+let total_traffic t ~loads =
+  if Array.length loads <> num_links t then
+    invalid_arg "Workspace.total_traffic: load vector dimension mismatch";
+  match List.find_opt (fun (l, _) -> same_loads l loads) t.totals with
+  | Some (l, v) ->
+      t.counters.c_total.h <- t.counters.c_total.h + 1;
+      (* Refresh MRU position. *)
+      t.totals <- (l, v) :: List.filter (fun (l', _) -> l' != l) t.totals;
+      v
+  | None ->
+      t.counters.c_total.m <- t.counters.c_total.m + 1;
+      let v =
+        timed t.counters.c_total (fun () ->
+            let acc = ref 0. in
+            Array.iter (fun row -> acc := !acc +. loads.(row)) t.ingress;
+            !acc)
+      in
+      t.totals <- take_mru max_keyed ((loads, v) :: t.totals);
+      v
+
+let cached_prior t ~kind ~loads ~compute =
+  match
+    List.find_opt (fun (k, l, _) -> k = kind && same_loads l loads) t.priors
+  with
+  | Some ((_, l, v) as entry) ->
+      t.counters.c_prior.h <- t.counters.c_prior.h + 1;
+      t.priors <-
+        entry :: List.filter (fun (k', l', _) -> not (k' = kind && l' == l)) t.priors;
+      v
+  | None ->
+      t.counters.c_prior.m <- t.counters.c_prior.m + 1;
+      let v = timed t.counters.c_prior compute in
+      t.priors <- take_mru max_keyed ((kind, loads, v) :: t.priors);
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { hits : int; misses : int; seconds : float }
+
+type stats = {
+  gram : counter;
+  chol : counter;
+  eigen : counter;
+  transpose : counter;
+  dense : counter;
+  lipschitz : counter;
+  prior : counter;
+  total : counter;
+  solve : counter;
+}
+
+let snap c = { hits = c.h; misses = c.m; seconds = c.s }
+
+let stats t =
+  let c = t.counters in
+  {
+    gram = snap c.c_gram;
+    chol = snap c.c_chol;
+    eigen = snap c.c_eigen;
+    transpose = snap c.c_transpose;
+    dense = snap c.c_dense;
+    lipschitz = snap c.c_lipschitz;
+    prior = snap c.c_prior;
+    total = snap c.c_total;
+    solve = snap c.c_solve;
+  }
+
+let reset_stats t =
+  let z c =
+    c.h <- 0;
+    c.m <- 0;
+    c.s <- 0.
+  in
+  let c = t.counters in
+  z c.c_gram;
+  z c.c_chol;
+  z c.c_eigen;
+  z c.c_transpose;
+  z c.c_dense;
+  z c.c_lipschitz;
+  z c.c_prior;
+  z c.c_total;
+  z c.c_solve
+
+let record_solve t seconds =
+  t.counters.c_solve.m <- t.counters.c_solve.m + 1;
+  t.counters.c_solve.s <- t.counters.c_solve.s +. seconds
+
+let add_counter a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    seconds = a.seconds +. b.seconds;
+  }
+
+let add_stats a b =
+  {
+    gram = add_counter a.gram b.gram;
+    chol = add_counter a.chol b.chol;
+    eigen = add_counter a.eigen b.eigen;
+    transpose = add_counter a.transpose b.transpose;
+    dense = add_counter a.dense b.dense;
+    lipschitz = add_counter a.lipschitz b.lipschitz;
+    prior = add_counter a.prior b.prior;
+    total = add_counter a.total b.total;
+    solve = add_counter a.solve b.solve;
+  }
+
+let stats_rows s =
+  [
+    ("gram", s.gram.hits, s.gram.misses, s.gram.seconds);
+    ("chol", s.chol.hits, s.chol.misses, s.chol.seconds);
+    ("eigen", s.eigen.hits, s.eigen.misses, s.eigen.seconds);
+    ("transpose", s.transpose.hits, s.transpose.misses, s.transpose.seconds);
+    ("dense", s.dense.hits, s.dense.misses, s.dense.seconds);
+    ("lipschitz", s.lipschitz.hits, s.lipschitz.misses, s.lipschitz.seconds);
+    ("prior", s.prior.hits, s.prior.misses, s.prior.seconds);
+    ("total", s.total.hits, s.total.misses, s.total.seconds);
+    ("solve", s.solve.hits, s.solve.misses, s.solve.seconds);
+  ]
+
+let pp_stats ppf s =
+  let pp_row first (name, hits, misses, seconds) =
+    if hits + misses > 0 then begin
+      if not first then Format.fprintf ppf "  ";
+      if name = "solve" then
+        Format.fprintf ppf "%s %d runs (%.3fs)" name misses seconds
+      else
+        Format.fprintf ppf "%s %d hit%s/%d miss%s (%.3fs)" name hits
+          (if hits = 1 then "" else "s")
+          misses
+          (if misses = 1 then "" else "es")
+          seconds
+    end
+  in
+  let rec go first = function
+    | [] -> ()
+    | ((_, h, m, _) as row) :: rest ->
+        pp_row first row;
+        go (first && h + m = 0) rest
+  in
+  go true (stats_rows s)

@@ -1,0 +1,167 @@
+(** Shared solver workspace: one preprocessing pass, many cheap solves.
+
+    Every estimation method in the comparison solves against the same
+    routing matrix [R], and most of them need the same derived
+    artifacts: the CSR transpose [Rᵀ], the dense Gram matrix [RᵀR], its
+    regularized Cholesky factor, spectral norms (gradient Lipschitz
+    constants), the access-link row indices, the total-traffic
+    normalization and the materialized prior vectors.  A [Workspace.t]
+    wraps one routing context and computes each artifact lazily, exactly
+    once, so that sweeps over regularization parameters, measurement
+    windows and 5-minute snapshots pay the preprocessing cost a single
+    time.
+
+    All cached values are produced by the very same expressions the
+    methods previously evaluated inline, so estimates obtained through a
+    workspace are bit-identical to the historical per-call results.
+    Cached matrices are shared — callers must treat them as read-only.
+
+    The workspace also keeps per-artifact hit/miss/time counters (see
+    {!stats}) so the effect of the caching is observable in the
+    benchmark harness and the CLI rather than asserted. *)
+
+type t
+
+(** Prior families the estimation methods accept (paper Section 4).
+    Defined here (rather than in {!Estimator}) so the workspace can key
+    its prior cache on the family; [Estimator.prior_kind] re-exports the
+    constructors. *)
+type prior_kind =
+  | Prior_gravity  (** simple gravity model (the paper's default prior) *)
+  | Prior_wcb  (** worst-case-bound midpoints *)
+  | Prior_uniform  (** total traffic spread evenly over all pairs *)
+
+(** [create routing] wraps a routing context.  No artifact is computed
+    until first use. *)
+val create : Tmest_net.Routing.t -> t
+
+val routing : t -> Tmest_net.Routing.t
+
+(** [num_links t] / [num_pairs t]: dimensions of the wrapped [R]. *)
+val num_links : t -> int
+
+val num_pairs : t -> int
+
+(** [ingress_rows t] / [egress_rows t]: per-node access-link row
+    indices, materialized once ([ingress_rows t].(n) is the row carrying
+    node [n]'s total ingress traffic).  Do not mutate. *)
+val ingress_rows : t -> int array
+
+val egress_rows : t -> int array
+
+(** {1 Memoized linear-algebra artifacts} *)
+
+(** [gram t] is the dense [RᵀR], computed once. *)
+val gram : t -> Tmest_linalg.Mat.t
+
+(** [gram_sq t] is the entry-wise square of {!gram} (second-moment
+    system of the Vardi/Cao methods). *)
+val gram_sq : t -> Tmest_linalg.Mat.t
+
+(** [gram_chol t] is the ridge-regularized Cholesky factor of {!gram}
+    (default {!Tmest_linalg.Chol.factor_regularized} ridge). *)
+val gram_chol : t -> Tmest_linalg.Chol.t
+
+(** [gram_eigen t] is the symmetric eigendecomposition of {!gram}
+    (null-space bases, numerical ranks). *)
+val gram_eigen : t -> Tmest_linalg.Eigen.t
+
+(** [transpose t] is [Rᵀ] in CSR form. *)
+val transpose : t -> Tmest_linalg.Csr.t
+
+(** [dense t] is [R] as a dense matrix (LP-based methods). *)
+val dense : t -> Tmest_linalg.Mat.t
+
+(** [op_norm t] is [‖RᵀR‖₂] estimated by power iteration on the sparse
+    operator [v ↦ Rᵀ(Rv)] — the Lipschitz building block of the
+    first-order methods (Entropy, Bayes). *)
+val op_norm : t -> float
+
+(** [gram_norm t] is [‖RᵀR‖₂] estimated by power iteration on the
+    {e dense} {!gram} matrix.  Numerically this can differ from
+    {!op_norm} in the last bits (different summation order), and the Cao
+    solver historically used the dense variant, so both are kept. *)
+val gram_norm : t -> float
+
+(** [cached_lipschitz t ~key ~compute] memoizes a method-specific
+    Lipschitz constant under [key].  Use for constants that depend on
+    the routing matrix plus fixed scalar parameters (encode the
+    parameters in the key); [compute] runs at most once per key. *)
+val cached_lipschitz : t -> key:string -> compute:(unit -> float) -> float
+
+(** [lipschitz_of_matrix t h] is {!Tmest_opt.Fista.lipschitz_of_gram}[ h],
+    uncached (for per-window matrices that cannot be reused) but counted
+    in {!stats}. *)
+val lipschitz_of_matrix : t -> Tmest_linalg.Mat.t -> float
+
+(** [lipschitz_of_op t ~dim apply] is
+    {!Tmest_opt.Fista.lipschitz_of_op}, uncached but counted in
+    {!stats} (joint multi-routing operators). *)
+val lipschitz_of_op :
+  t -> dim:int -> (Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) -> float
+
+(** {1 Load-dependent caches}
+
+    Keyed by the load vector itself (physical equality first, then
+    structural); bounded most-recently-used lists, so sweeps that reuse
+    one snapshot hit the cache while long scans cannot grow it without
+    bound. *)
+
+(** [total_traffic t ~loads] is the total network traffic [Σ te(n)]
+    read off the ingress access-link rows (the [stot] normalization of
+    Section 3.2.1). *)
+val total_traffic : t -> loads:Tmest_linalg.Vec.t -> float
+
+(** [cached_prior t ~kind ~loads ~compute] memoizes a materialized
+    prior vector per [(kind, loads)].  The computation closure lives
+    with the caller ({!Estimator.build_prior_ws}) so the workspace does
+    not depend on the method modules.  Treat the result as read-only. *)
+val cached_prior :
+  t ->
+  kind:prior_kind ->
+  loads:Tmest_linalg.Vec.t ->
+  compute:(unit -> Tmest_linalg.Vec.t) ->
+  Tmest_linalg.Vec.t
+
+(** {1 Observability} *)
+
+(** One artifact class's counters: [misses] is the number of times the
+    artifact was actually computed, [hits] the number of times a cached
+    value was served, [seconds] the cumulative wall-clock time spent
+    computing (misses only). *)
+type counter = { hits : int; misses : int; seconds : float }
+
+type stats = {
+  gram : counter;  (** dense [RᵀR] (+ entry-wise square) *)
+  chol : counter;  (** regularized Cholesky factor *)
+  eigen : counter;  (** symmetric eigendecomposition *)
+  transpose : counter;  (** CSR transpose *)
+  dense : counter;  (** dense [R] *)
+  lipschitz : counter;  (** all spectral-norm estimates *)
+  prior : counter;  (** materialized prior vectors *)
+  total : counter;  (** total-traffic normalizations *)
+  solve : counter;  (** full estimator runs via [Estimator.run_ws]
+                        ([misses] = number of solves) *)
+}
+
+(** [stats t] is a snapshot of the counters. *)
+val stats : t -> stats
+
+(** [reset_stats t] zeroes all counters (cached artifacts are kept). *)
+val reset_stats : t -> unit
+
+(** [record_solve t seconds] accounts one full estimator run; called by
+    [Estimator.run_ws]. *)
+val record_solve : t -> float -> unit
+
+(** [add_stats a b] sums two snapshots field-wise (aggregating several
+    workspaces in a report). *)
+val add_stats : stats -> stats -> stats
+
+(** [pp_stats ppf s] prints a compact human-readable summary. *)
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [stats_rows s] is [(artifact, hits, misses, seconds)] per artifact
+    class, in a stable order — machine-readable form for benchmark
+    emitters. *)
+val stats_rows : stats -> (string * int * int * float) list

@@ -18,8 +18,7 @@ let fig8 ctx =
         in
         (* Bound quality counts. *)
         let trivial =
-          Wcb.trivial_upper net.Ctx.dataset.Tmest_traffic.Dataset.routing
-            ~loads:net.Ctx.loads
+          Wcb.trivial_upper net.Ctx.workspace ~loads:net.Ctx.loads
         in
         let nontrivial = ref 0 and exact = ref 0 in
         let total = Array.length truth in

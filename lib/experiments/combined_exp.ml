@@ -10,13 +10,11 @@ let fig16 ?steps ctx =
     | Some s -> s
     | None -> if ctx.Ctx.fast then 4 else 25
   in
-  let routing = net.Ctx.dataset.Dataset.routing in
+  let ws = net.Ctx.workspace in
   let prior = Lazy.force net.Ctx.gravity_prior in
   let truth = net.Ctx.truth and loads = net.Ctx.loads in
   let sigma2 = 1000. in
-  let base =
-    (Entropy.estimate routing ~loads ~prior ~sigma2).Entropy.estimate
-  in
+  let base = (Entropy.estimate ws ~loads ~prior ~sigma2).Entropy.estimate in
   let base_mre = Metrics.mre ~truth ~estimate:base () in
   let to_points steps_list =
     Array.of_list
@@ -25,11 +23,9 @@ let fig16 ?steps ctx =
            (fun i s -> (float_of_int (i + 1), s.Combined.mre))
            steps_list)
   in
-  let greedy =
-    Combined.greedy routing ~loads ~prior ~truth ~sigma2 ~steps
-  in
+  let greedy = Combined.greedy ws ~loads ~prior ~truth ~sigma2 ~steps in
   let largest =
-    Combined.largest_first routing ~loads ~prior ~truth ~sigma2 ~steps
+    Combined.largest_first ws ~loads ~prior ~truth ~sigma2 ~steps
   in
   let count_until l target =
     let rec go i = function

@@ -6,6 +6,7 @@ module Spec = Tmest_traffic.Spec
 type network = {
   label : string;
   dataset : Dataset.t;
+  workspace : Tmest_core.Workspace.t;
   snapshot_k : int;
   truth : Vec.t;
   loads : Vec.t;
@@ -25,11 +26,30 @@ let make_network label dataset =
   let snapshot_k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
   let truth = Dataset.demand_at dataset snapshot_k in
   let loads = Dataset.link_loads_at dataset snapshot_k in
-  let routing = dataset.Dataset.routing in
-  let gravity_prior = lazy (Tmest_core.Gravity.simple routing ~loads) in
-  let wcb = lazy (Tmest_core.Wcb.bounds routing ~loads) in
-  let wcb_prior = lazy (Tmest_core.Wcb.midpoint (Lazy.force wcb)) in
-  { label; dataset; snapshot_k; truth; loads; gravity_prior; wcb; wcb_prior }
+  let workspace = Tmest_core.Workspace.create dataset.Dataset.routing in
+  let gravity_prior =
+    lazy
+      (Tmest_core.Estimator.build_prior_ws Tmest_core.Estimator.Prior_gravity
+         workspace ~loads)
+  in
+  let wcb = lazy (Tmest_core.Wcb.bounds workspace ~loads) in
+  let wcb_prior =
+    lazy
+      (Tmest_core.Workspace.cached_prior workspace
+         ~kind:Tmest_core.Workspace.Prior_wcb ~loads ~compute:(fun () ->
+           Tmest_core.Wcb.midpoint (Lazy.force wcb)))
+  in
+  {
+    label;
+    dataset;
+    workspace;
+    snapshot_k;
+    truth;
+    loads;
+    gravity_prior;
+    wcb;
+    wcb_prior;
+  }
 
 let create ?(fast = false) () =
   if fast then begin

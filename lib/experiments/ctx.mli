@@ -5,6 +5,10 @@
 type network = {
   label : string;
   dataset : Tmest_traffic.Dataset.t;
+  workspace : Tmest_core.Workspace.t;
+      (** shared solver workspace for this network's routing context:
+          every experiment and every 5-minute snapshot reuses its cached
+          Gram/Lipschitz/prior artifacts *)
   snapshot_k : int;  (** the busy-period snapshot the paper-style
                          single-measurement evaluations use *)
   truth : Tmest_linalg.Vec.t;  (** demand vector at [snapshot_k] *)

@@ -10,9 +10,8 @@ module Core = Tmest_core
 module Metrics = Tmest_core.Metrics
 
 let entropy_mre ?(sigma2 = 1000.) ~max_iter net ~loads ~prior =
-  let routing = net.Ctx.dataset.Dataset.routing in
   let estimate =
-    (Core.Entropy.estimate ~max_iter routing ~loads ~prior ~sigma2)
+    (Core.Entropy.estimate ~max_iter net.Ctx.workspace ~loads ~prior ~sigma2)
       .Core.Entropy.estimate
   in
   Metrics.mre ~truth:net.Ctx.truth ~estimate ()
@@ -26,12 +25,13 @@ let ext1 ctx =
   let rows =
     List.concat_map
       (fun net ->
-        let routing = net.Ctx.dataset.Dataset.routing in
+        let ws = net.Ctx.workspace in
         let loads = net.Ctx.loads in
         let priors =
           [
-            ("uniform", Core.Estimator.build_prior Core.Estimator.Prior_uniform
-               routing ~loads);
+            ( "uniform",
+              Core.Estimator.build_prior_ws Core.Estimator.Prior_uniform ws
+                ~loads );
             ("gravity", Lazy.force net.Ctx.gravity_prior);
             ("wcb", Lazy.force net.Ctx.wcb_prior);
           ]
@@ -44,11 +44,11 @@ let ext1 ctx =
                   let estimate =
                     match method_ with
                     | `Entropy ->
-                        (Core.Entropy.estimate ~max_iter routing ~loads
-                           ~prior ~sigma2)
+                        (Core.Entropy.estimate ~max_iter ws ~loads ~prior
+                           ~sigma2)
                           .Core.Entropy.estimate
                     | `Bayes ->
-                        (Core.Bayes.estimate ~max_iter routing ~loads ~prior
+                        (Core.Bayes.estimate ~max_iter ws ~loads ~prior
                            ~sigma2)
                           .Core.Bayes.estimate
                   in
@@ -194,8 +194,9 @@ let ext3 ctx =
                in
                let fresh_prior = Core.Gravity.simple new_routing ~loads in
                let fresh =
-                 (Core.Entropy.estimate ~max_iter new_routing ~loads
-                    ~prior:fresh_prior ~sigma2:1000.)
+                 (Core.Entropy.estimate ~max_iter
+                    (Core.Workspace.create new_routing)
+                    ~loads ~prior:fresh_prior ~sigma2:1000.)
                    .Core.Entropy.estimate
                in
                let fresh_mre = Metrics.mre ~truth ~estimate:fresh () in
@@ -242,6 +243,7 @@ let ext4 ctx =
       d.Dataset.topo peers
   in
   let routing = { d.Dataset.routing with Routing.topo } in
+  let ws = Core.Workspace.create routing in
   let truth =
     Vec.mapi
       (fun p v ->
@@ -255,7 +257,7 @@ let ext4 ctx =
   let mre estimate = Metrics.mre ~truth ~estimate () in
   let entropy prior =
     mre
-      (Core.Entropy.estimate ~max_iter routing ~loads ~prior ~sigma2:1000.)
+      (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
         .Core.Entropy.estimate
   in
   (* Spurious peer-to-peer traffic predicted by each prior. *)
@@ -295,19 +297,19 @@ let ext5 ctx =
   let rows =
     List.concat_map
       (fun net ->
-        let routing = net.Ctx.dataset.Dataset.routing in
+        let ws = net.Ctx.workspace in
         let samples = Ctx.busy_loads net ~window in
         let truth = Ctx.busy_mean net in
         let mre estimate = Metrics.mre ~truth ~estimate () in
         let cao c sigma_inv2 =
           mre
-            (Core.Cao.estimate routing ~load_samples:samples ~phi:1. ~c
+            (Core.Cao.estimate ws ~load_samples:samples ~phi:1. ~c
                ~sigma_inv2)
               .Core.Cao.estimate
         in
         let vardi sigma_inv2 =
           mre
-            (Core.Vardi.estimate routing ~load_samples:samples ~sigma_inv2)
+            (Core.Vardi.estimate ws ~load_samples:samples ~sigma_inv2)
               .Core.Vardi.estimate
         in
         [
@@ -428,7 +430,7 @@ let ext7 ctx =
   let rows =
     List.map
       (fun net ->
-        let routing = net.Ctx.dataset.Dataset.routing in
+        let ws = net.Ctx.workspace in
         (* Consecutive snapshots ending at the evaluation snapshot feed
            the refinement, so the last round's measurement is the one
            the MRE is computed against. *)
@@ -444,12 +446,12 @@ let ext7 ctx =
            to the iteration. *)
         let sigma2 = 1. in
         let trace =
-          Core.Iterative.refine ~rounds ~tol:1e-4 ~sigma2 ~max_iter routing
+          Core.Iterative.refine ~rounds ~tol:1e-4 ~sigma2 ~max_iter ws
             ~load_series:series ~prior
         in
         let truth = net.Ctx.truth in
         let one_shot =
-          (Core.Bayes.estimate ~max_iter routing ~loads:net.Ctx.loads ~prior
+          (Core.Bayes.estimate ~max_iter ws ~loads:net.Ctx.loads ~prior
              ~sigma2)
             .Core.Bayes.estimate
         in
@@ -489,14 +491,14 @@ let ext8 ctx =
         let topo = net.Ctx.dataset.Dataset.topo in
         let truth = net.Ctx.truth in
         let evaluate label routing =
+          let ws = Core.Workspace.create routing in
           let loads = Routing.link_loads routing truth in
           let prior = Core.Gravity.simple routing ~loads in
           let entropy =
-            (Core.Entropy.estimate ~max_iter routing ~loads ~prior
-               ~sigma2:1000.)
+            (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
               .Core.Entropy.estimate
           in
-          let wcb = Core.Wcb.midpoint (Core.Wcb.bounds routing ~loads) in
+          let wcb = Core.Wcb.midpoint (Core.Wcb.bounds ws ~loads) in
           ( Printf.sprintf "%s %s" net.Ctx.label label,
             [|
               Metrics.mre ~truth ~estimate:prior ();
@@ -570,6 +572,7 @@ let ext9 ctx =
     done;
     if !ok then Some (Routing.of_paths topo paths) else None
   in
+  let base_ws = Core.Workspace.create base in
   let loads1 = Routing.link_loads base truth in
   (* Alternative configurations: take down each of the two busiest
      interior links in turn (weight changes in practice; failures give
@@ -583,9 +586,10 @@ let ext9 ctx =
   let alt_configs =
     List.filteri (fun i _ -> i < 2) by_load
     |> List.filter_map (fun l -> reroute_without [ l.Topology.link_id ])
-    |> List.map (fun r -> (r, Routing.link_loads r truth))
+    |> List.map (fun r ->
+           (Core.Workspace.create r, Routing.link_loads r truth))
   in
-  let configs = (base, loads1) :: alt_configs in
+  let configs = (base_ws, loads1) :: alt_configs in
   let prefix k = List.filteri (fun i _ -> i < k) configs in
   let rows =
     List.map
@@ -617,7 +621,7 @@ let ext9 ctx =
 
 let ext10 ctx =
   let net = ctx.Ctx.europe in
-  let routing = net.Ctx.dataset.Dataset.routing in
+  let ws = net.Ctx.workspace in
   let truth = net.Ctx.truth and loads = net.Ctx.loads in
   let prior = Lazy.force net.Ctx.gravity_prior in
   (* Chain length scales with the null-space dimension the sampler has
@@ -626,14 +630,14 @@ let ext10 ctx =
   let thin = if ctx.Ctx.fast then 5 else 25 in
   let r =
     Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin
-      ~prior_model:`Uniform routing ~loads ~prior
+      ~prior_model:`Uniform ws ~loads ~prior
   in
   let r_exp =
     Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin
-      ~prior_model:`Exponential routing ~loads ~prior
+      ~prior_model:`Exponential ws ~loads ~prior
   in
   let entropy =
-    (Core.Entropy.estimate routing ~loads ~prior ~sigma2:1000.)
+    (Core.Entropy.estimate ws ~loads ~prior ~sigma2:1000.)
       .Core.Entropy.estimate
   in
   let threshold, kept = Metrics.threshold_for_coverage ~coverage:0.9 truth in
@@ -699,11 +703,10 @@ let ext11 ctx =
           else 1.
         in
         let truth = Vec.scale scale_up net.Ctx.truth in
-        let routing = net.Ctx.dataset.Dataset.routing in
         let loads = Vec.scale scale_up net.Ctx.loads in
         let prior = Vec.scale scale_up (Lazy.force net.Ctx.gravity_prior) in
         let estimated =
-          (Core.Entropy.estimate ~max_iter routing ~loads ~prior
+          (Core.Entropy.estimate ~max_iter net.Ctx.workspace ~loads ~prior
              ~sigma2:1000.)
             .Core.Entropy.estimate
         in
@@ -766,6 +769,7 @@ let ext12 ctx =
       (fun net ->
         let d = net.Ctx.dataset in
         let samples = Dataset.num_samples d in
+        let ws = net.Ctx.workspace in
         let routing = d.Dataset.routing in
         let points = ref [] in
         let k = ref 0 in
@@ -775,8 +779,7 @@ let ext12 ctx =
           if Vec.sum truth > 0. then begin
             let prior = Core.Gravity.simple routing ~loads in
             let est =
-              (Core.Entropy.estimate ~max_iter routing ~loads ~prior
-                 ~sigma2:1000.)
+              (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
                 .Core.Entropy.estimate
             in
             let hour = 24. *. float_of_int !k /. float_of_int samples in

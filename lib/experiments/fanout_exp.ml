@@ -17,9 +17,7 @@ let window_truth net window =
 
 let estimate_for net window =
   let samples = Ctx.busy_loads net ~window in
-  let r =
-    Fanout.estimate net.Ctx.dataset.Dataset.routing ~load_samples:samples
-  in
+  let r = Fanout.estimate net.Ctx.workspace ~load_samples:samples in
   (r.Fanout.estimate, window_truth net window)
 
 let fig10 ctx =

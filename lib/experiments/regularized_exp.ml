@@ -11,19 +11,19 @@ let sigma2_grid ~fast =
 let max_iter ~fast = if fast then 2000 else 12000
 
 let sweep ~fast net ~prior method_ =
-  let routing = net.Ctx.dataset.Dataset.routing in
+  let ws = net.Ctx.workspace in
   let loads = net.Ctx.loads and truth = net.Ctx.truth in
   List.map
     (fun sigma2 ->
       let estimate =
         match method_ with
         | `Bayes ->
-            (Bayes.estimate ~max_iter:(max_iter ~fast) routing ~loads ~prior
+            (Bayes.estimate ~max_iter:(max_iter ~fast) ws ~loads ~prior
                ~sigma2)
               .Bayes.estimate
         | `Entropy ->
-            (Entropy.estimate ~max_iter:(max_iter ~fast) routing ~loads
-               ~prior ~sigma2)
+            (Entropy.estimate ~max_iter:(max_iter ~fast) ws ~loads ~prior
+               ~sigma2)
               .Entropy.estimate
       in
       (log10 sigma2, Metrics.mre ~truth ~estimate ()))
@@ -66,7 +66,7 @@ let fig13 ctx =
 
 let fig14 ctx =
   let net = ctx.Ctx.america in
-  let routing = net.Ctx.dataset.Dataset.routing in
+  let ws = net.Ctx.workspace in
   let prior = Lazy.force net.Ctx.gravity_prior in
   let truth = net.Ctx.truth in
   let sigma2 = 1000. in
@@ -84,11 +84,11 @@ let fig14 ctx =
         ])
       [
         ( "Bayesian",
-          (Bayes.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) routing
+          (Bayes.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ws
              ~loads:net.Ctx.loads ~prior ~sigma2)
             .Bayes.estimate );
         ( "Entropy",
-          (Entropy.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) routing
+          (Entropy.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ws
              ~loads:net.Ctx.loads ~prior ~sigma2)
             .Entropy.estimate );
       ]

@@ -11,7 +11,7 @@ let tab2 ctx =
   let sigma2s = Regularized_exp.sigma2_grid ~fast in
   let windows = if fast then [ 3; 8 ] else [ 3; 10; 20; 40 ] in
   let per_network net =
-    let routing = net.Ctx.dataset.Dataset.routing in
+    let ws = net.Ctx.workspace in
     let loads = net.Ctx.loads and truth = net.Ctx.truth in
     let gravity = Lazy.force net.Ctx.gravity_prior in
     let wcb = Lazy.force net.Ctx.wcb_prior in
@@ -21,10 +21,10 @@ let tab2 ctx =
     let regularized method_ prior sigma2 =
       match method_ with
       | `Bayes ->
-          (Core.Bayes.estimate ~max_iter routing ~loads ~prior ~sigma2)
+          (Core.Bayes.estimate ~max_iter ws ~loads ~prior ~sigma2)
             .Core.Bayes.estimate
       | `Entropy ->
-          (Core.Entropy.estimate ~max_iter routing ~loads ~prior ~sigma2)
+          (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2)
             .Core.Entropy.estimate
     in
     [
@@ -47,7 +47,7 @@ let tab2 ctx =
           (fun window ->
             let samples = Ctx.busy_loads net ~window in
             busy_mre
-              (Core.Fanout.estimate routing ~load_samples:samples)
+              (Core.Fanout.estimate ws ~load_samples:samples)
                 .Core.Fanout.estimate)
           windows );
       ( "Vardi",
@@ -55,17 +55,17 @@ let tab2 ctx =
           (fun sigma_inv2 ->
             let samples = Ctx.busy_loads net ~window:(if fast then 20 else 50) in
             busy_mre
-              (Core.Vardi.estimate routing ~load_samples:samples ~sigma_inv2)
+              (Core.Vardi.estimate ws ~load_samples:samples ~sigma_inv2)
                 .Core.Vardi.estimate)
           [ 1e-4; 0.01; 1. ] );
       ( "Kruithof/Krupp projection*",
         snapshot_mre
-          (Core.Kruithof.krupp ~max_iter:3000 routing ~loads ~prior:gravity) );
+          (Core.Kruithof.krupp ~max_iter:3000 ws ~loads ~prior:gravity) );
       ( "Cao et al. GLM*",
         let samples = Ctx.busy_loads net ~window:(if fast then 20 else 50) in
         let spec = net.Ctx.dataset.Dataset.spec in
         busy_mre
-          (Core.Cao.estimate routing ~load_samples:samples ~phi:1.
+          (Core.Cao.estimate ws ~load_samples:samples ~phi:1.
              ~c:spec.Tmest_traffic.Spec.c ~sigma_inv2:0.01)
             .Core.Cao.estimate );
     ]

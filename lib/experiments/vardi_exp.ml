@@ -15,8 +15,8 @@ let tab1 ctx =
             (fun net ->
               let samples = Ctx.busy_loads net ~window:k in
               let r =
-                Vardi.estimate net.Ctx.dataset.Dataset.routing
-                  ~load_samples:samples ~sigma_inv2
+                Vardi.estimate net.Ctx.workspace ~load_samples:samples
+                  ~sigma_inv2
               in
               let truth = Ctx.busy_mean net in
               Metrics.mre ~truth ~estimate:r.Vardi.estimate ())
@@ -66,7 +66,7 @@ let fig12 ctx =
                   ~cols:(Mat.cols loads)
               in
               let r =
-                Vardi.estimate ~unit_bps d.Dataset.routing ~load_samples:sub
+                Vardi.estimate ~unit_bps net.Ctx.workspace ~load_samples:sub
                   ~sigma_inv2:1.
               in
               (float_of_int window,

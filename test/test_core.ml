@@ -23,6 +23,10 @@ let busy_load_matrix d window =
   let l = Dataset.num_links d in
   Mat.init window l (fun i j -> (Dataset.link_loads_at d ks.(i)).(j))
 
+(* Method modules take a solver workspace; the tests build a throwaway
+   one per call, which is exactly the historical per-call behaviour. *)
+let ws_of d = Workspace.create d.Dataset.routing
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -127,7 +131,7 @@ let test_kruithof_matches_marginals () =
   let truth, loads = busy_snapshot d in
   let n = Dataset.num_nodes d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let adjusted = Kruithof.adjust d.Dataset.routing ~loads ~prior in
+  let adjusted = Kruithof.adjust (ws_of d) ~loads ~prior in
   let te_ref = Array.make n 0. in
   Odpairs.iter ~nodes:n (fun p src _ -> te_ref.(src) <- te_ref.(src) +. truth.(p));
   let te_adj = Array.make n 0. in
@@ -141,7 +145,7 @@ let test_krupp_consistent_with_loads () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let s = Kruithof.krupp ~max_iter:4000 d.Dataset.routing ~loads ~prior in
+  let s = Kruithof.krupp ~max_iter:4000 (ws_of d) ~loads ~prior in
   check_float 0.02 "Rs = t (relative)" 0.
     (Problem.residual_norm d.Dataset.routing ~loads s)
 
@@ -149,7 +153,7 @@ let test_krupp_improves_on_prior () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let s = Kruithof.krupp ~max_iter:4000 d.Dataset.routing ~loads ~prior in
+  let s = Kruithof.krupp ~max_iter:4000 (ws_of d) ~loads ~prior in
   let mre_prior = Metrics.mre ~truth ~estimate:prior () in
   let mre_krupp = Metrics.mre ~truth ~estimate:s () in
   Alcotest.(check bool)
@@ -164,7 +168,7 @@ let test_bayes_small_sigma_returns_prior () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Bayes.estimate d.Dataset.routing ~loads ~prior ~sigma2:1e-9 in
+  let r = Bayes.estimate (ws_of d) ~loads ~prior ~sigma2:1e-9 in
   Alcotest.(check bool) "close to prior" true
     (Metrics.relative_l1 ~truth:prior ~estimate:r.Bayes.estimate < 1e-3)
 
@@ -172,7 +176,7 @@ let test_bayes_large_sigma_fits_loads () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Bayes.estimate ~max_iter:8000 d.Dataset.routing ~loads ~prior ~sigma2:1e5 in
+  let r = Bayes.estimate ~max_iter:8000 (ws_of d) ~loads ~prior ~sigma2:1e5 in
   check_float 0.01 "fits measurements" 0.
     (Problem.residual_norm d.Dataset.routing ~loads r.Bayes.estimate)
 
@@ -180,7 +184,7 @@ let test_bayes_improves_prior () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Bayes.estimate d.Dataset.routing ~loads ~prior ~sigma2:1000. in
+  let r = Bayes.estimate (ws_of d) ~loads ~prior ~sigma2:1000. in
   let mre_prior = Metrics.mre ~truth ~estimate:prior () in
   let mre_bayes = Metrics.mre ~truth ~estimate:r.Bayes.estimate () in
   Alcotest.(check bool)
@@ -192,7 +196,7 @@ let test_entropy_small_sigma_returns_prior () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Entropy.estimate d.Dataset.routing ~loads ~prior ~sigma2:1e-9 in
+  let r = Entropy.estimate (ws_of d) ~loads ~prior ~sigma2:1e-9 in
   Alcotest.(check bool) "close to prior" true
     (Metrics.relative_l1 ~truth:prior ~estimate:r.Entropy.estimate < 1e-3)
 
@@ -201,7 +205,7 @@ let test_entropy_large_sigma_fits_loads () =
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let r =
-    Entropy.estimate ~max_iter:8000 d.Dataset.routing ~loads ~prior
+    Entropy.estimate ~max_iter:8000 (ws_of d) ~loads ~prior
       ~sigma2:1e5
   in
   check_float 0.02 "fits measurements" 0.
@@ -211,7 +215,7 @@ let test_entropy_improves_prior () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Entropy.estimate d.Dataset.routing ~loads ~prior ~sigma2:1000. in
+  let r = Entropy.estimate (ws_of d) ~loads ~prior ~sigma2:1000. in
   let mre_prior = Metrics.mre ~truth ~estimate:prior () in
   let mre_entropy = Metrics.mre ~truth ~estimate:r.Entropy.estimate () in
   Alcotest.(check bool)
@@ -223,7 +227,7 @@ let test_entropy_nonnegative () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Entropy.estimate d.Dataset.routing ~loads ~prior ~sigma2:100. in
+  let r = Entropy.estimate (ws_of d) ~loads ~prior ~sigma2:100. in
   Array.iter
     (fun x -> Alcotest.(check bool) "nonneg" true (x >= 0.))
     r.Entropy.estimate
@@ -234,7 +238,7 @@ let test_entropy_fixed_pins_measured () =
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let fixed = [ (0, truth.(0)); (5, truth.(5)) ] in
   let r =
-    Entropy.estimate_fixed d.Dataset.routing ~loads ~prior ~sigma2:1000.
+    Entropy.estimate_fixed (ws_of d) ~loads ~prior ~sigma2:1000.
       ~fixed
   in
   check_float 1e-6 "pinned 0" truth.(0) r.Entropy.estimate.(0);
@@ -244,12 +248,12 @@ let test_entropy_fixed_reduces_mre () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let base = Entropy.estimate d.Dataset.routing ~loads ~prior ~sigma2:1000. in
+  let base = Entropy.estimate (ws_of d) ~loads ~prior ~sigma2:1000. in
   let order = Array.init (Array.length truth) (fun i -> i) in
   Array.sort (fun a b -> compare truth.(b) truth.(a)) order;
   let fixed = List.map (fun i -> (order.(i), truth.(order.(i)))) [ 0; 1; 2; 3 ] in
   let pinned =
-    Entropy.estimate_fixed d.Dataset.routing ~loads ~prior ~sigma2:1000.
+    Entropy.estimate_fixed (ws_of d) ~loads ~prior ~sigma2:1000.
       ~fixed
   in
   let mre_base = Metrics.mre ~truth ~estimate:base.Entropy.estimate () in
@@ -266,13 +270,13 @@ let test_entropy_fixed_reduces_mre () =
 let test_wcb_contains_truth () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
-  let b = Wcb.bounds d.Dataset.routing ~loads in
+  let b = Wcb.bounds (ws_of d) ~loads in
   Alcotest.(check bool) "truth within bounds" true (Wcb.contains b truth)
 
 let test_wcb_bounds_ordered () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
-  let b = Wcb.bounds d.Dataset.routing ~loads in
+  let b = Wcb.bounds (ws_of d) ~loads in
   Array.iteri
     (fun i lo ->
       Alcotest.(check bool) "lower <= upper" true (lo <= b.Wcb.upper.(i) +. 1e-6))
@@ -281,8 +285,8 @@ let test_wcb_bounds_ordered () =
 let test_wcb_beats_trivial () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
-  let b = Wcb.bounds d.Dataset.routing ~loads in
-  let trivial = Wcb.trivial_upper d.Dataset.routing ~loads in
+  let b = Wcb.bounds (ws_of d) ~loads in
+  let trivial = Wcb.trivial_upper (ws_of d) ~loads in
   let improved = ref 0 in
   Array.iteri
     (fun i u -> if u < trivial.(i) -. 1. then incr improved)
@@ -296,7 +300,7 @@ let test_wcb_midpoint_better_than_gravity () =
      plain gravity prior, as in the paper's Table 2. *)
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
-  let wcb = Wcb.midpoint (Wcb.bounds d.Dataset.routing ~loads) in
+  let wcb = Wcb.midpoint (Wcb.bounds (ws_of d) ~loads) in
   let grav = Gravity.simple d.Dataset.routing ~loads in
   let mre_wcb = Metrics.mre ~truth ~estimate:wcb () in
   let mre_grav = Metrics.mre ~truth ~estimate:grav () in
@@ -328,7 +332,7 @@ let test_wcb_exact_null_space_slack () =
   let p = Odpairs.count 3 in
   let s = Vec.init p (fun i -> float_of_int (i + 1) *. 1e6) in
   let loads = Routing.link_loads routing s in
-  let b = Wcb.bounds routing ~loads in
+  let b = Wcb.bounds (Workspace.create routing) ~loads in
   let dir = [| 1.; -1.; -1.; 1.; 1.; -1. |] in
   (* t_plus: how far s + t*dir stays >= 0 (bounded by negative entries);
      t_minus: same in the other direction. *)
@@ -353,7 +357,7 @@ let test_wcb_exact_null_space_slack () =
 let test_fanout_rows_sum_to_one () =
   let d = Lazy.force small in
   let samples = busy_load_matrix d 5 in
-  let r = Fanout.estimate d.Dataset.routing ~load_samples:samples in
+  let r = Fanout.estimate (ws_of d) ~load_samples:samples in
   let n = Dataset.num_nodes d in
   for src = 0 to n - 1 do
     let total = ref 0. in
@@ -390,7 +394,7 @@ let test_fanout_recovers_constant_fanouts () =
   let samples =
     Mat.init window (Dataset.num_links d) (fun k j -> load_rows.(k).(j))
   in
-  let r = Fanout.estimate routing ~load_samples:samples in
+  let r = Fanout.estimate (Workspace.create routing) ~load_samples:samples in
   Odpairs.iter ~nodes:n (fun pair src dst ->
       Alcotest.(check bool) "fanout recovered" true
         (abs_float (r.Fanout.fanouts.(pair) -. Mat.get base src dst) < 1e-4))
@@ -399,7 +403,7 @@ let test_fanout_estimate_reasonable () =
   let d = Lazy.force small in
   let window = 10 in
   let samples = busy_load_matrix d window in
-  let r = Fanout.estimate d.Dataset.routing ~load_samples:samples in
+  let r = Fanout.estimate (ws_of d) ~load_samples:samples in
   let truth = Dataset.busy_mean_demand d in
   let mre = Metrics.mre ~truth ~estimate:r.Fanout.estimate () in
   Alcotest.(check bool) (Printf.sprintf "fanout MRE %.3f < 0.6" mre) true
@@ -420,7 +424,7 @@ let test_vardi_identifiable_on_ideal_poisson () =
         (Routing.link_loads d.Dataset.routing (Mat.row series k)).(j))
   in
   let r =
-    Vardi.estimate ~unit_bps d.Dataset.routing ~load_samples:loads
+    Vardi.estimate ~unit_bps (ws_of d) ~load_samples:loads
       ~sigma_inv2:1.
   in
   let truth = Dataset.busy_mean_demand d in
@@ -434,7 +438,7 @@ let test_vardi_first_moment_consistent () =
   let d = Lazy.force small in
   let samples = busy_load_matrix d 20 in
   let r =
-    Vardi.estimate d.Dataset.routing ~load_samples:samples ~sigma_inv2:1e-9
+    Vardi.estimate (ws_of d) ~load_samples:samples ~sigma_inv2:1e-9
   in
   Alcotest.(check bool)
     (Printf.sprintf "mean residual %.4f small" r.Vardi.mean_residual)
@@ -448,10 +452,10 @@ let test_vardi_strong_poisson_faith_hurts_mean_fit () =
   let d = Lazy.force small in
   let samples = busy_load_matrix d 20 in
   let weak =
-    Vardi.estimate d.Dataset.routing ~load_samples:samples ~sigma_inv2:1e-9
+    Vardi.estimate (ws_of d) ~load_samples:samples ~sigma_inv2:1e-9
   in
   let strong =
-    Vardi.estimate d.Dataset.routing ~load_samples:samples ~sigma_inv2:1.
+    Vardi.estimate (ws_of d) ~load_samples:samples ~sigma_inv2:1.
   in
   Alcotest.(check bool)
     (Printf.sprintf "residual grows: %.4f -> %.4f" weak.Vardi.mean_residual
@@ -463,7 +467,7 @@ let test_cao_reduces_objective () =
   let d = Lazy.force small in
   let samples = busy_load_matrix d 20 in
   let r =
-    Cao.estimate d.Dataset.routing ~load_samples:samples ~phi:1. ~c:1.5
+    Cao.estimate (ws_of d) ~load_samples:samples ~phi:1. ~c:1.5
       ~sigma_inv2:0.01
   in
   Alcotest.(check bool) "ran some iterations" true (r.Cao.iterations >= 1);
@@ -475,10 +479,10 @@ let test_cao_matches_vardi_at_c1 () =
   let d = Lazy.force small in
   let samples = busy_load_matrix d 15 in
   let v =
-    Vardi.estimate d.Dataset.routing ~load_samples:samples ~sigma_inv2:0.5
+    Vardi.estimate (ws_of d) ~load_samples:samples ~sigma_inv2:0.5
   in
   let c =
-    Cao.estimate d.Dataset.routing ~load_samples:samples ~phi:1. ~c:1.
+    Cao.estimate (ws_of d) ~load_samples:samples ~phi:1. ~c:1.
       ~sigma_inv2:0.5
   in
   (* Same objective; different solvers. Compare on the large demands. *)
@@ -499,7 +503,7 @@ let test_combined_greedy_monotone_trend () =
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let steps =
-    Combined.greedy d.Dataset.routing ~loads ~prior ~truth ~sigma2:1000.
+    Combined.greedy (ws_of d) ~loads ~prior ~truth ~sigma2:1000.
       ~steps:6
   in
   Alcotest.(check int) "six steps" 6 (List.length steps);
@@ -520,11 +524,11 @@ let test_combined_greedy_beats_largest_first () =
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let g =
-    Combined.greedy d.Dataset.routing ~loads ~prior ~truth ~sigma2:1000.
+    Combined.greedy (ws_of d) ~loads ~prior ~truth ~sigma2:1000.
       ~steps:4
   in
   let lf =
-    Combined.largest_first d.Dataset.routing ~loads ~prior ~truth
+    Combined.largest_first (ws_of d) ~loads ~prior ~truth
       ~sigma2:1000. ~steps:4
   in
   let last l = (List.nth l (List.length l - 1)).Combined.mre in
@@ -547,7 +551,7 @@ let test_iterative_improves_prior () =
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let series = Mat.init 4 (Dataset.num_links d) (fun _ j -> loads.(j)) in
   let trace =
-    Iterative.refine ~rounds:8 ~tol:1e-6 ~sigma2:1. d.Dataset.routing
+    Iterative.refine ~rounds:8 ~tol:1e-6 ~sigma2:1. (ws_of d)
       ~load_series:series ~prior
   in
   let refined = Iterative.final trace in
@@ -567,7 +571,7 @@ let test_iterative_deltas_shrink () =
     Mat.init 3 (Dataset.num_links d) (fun _ j -> loads.(j))
   in
   let trace =
-    Iterative.refine ~rounds:12 ~tol:1e-6 ~sigma2:10. d.Dataset.routing
+    Iterative.refine ~rounds:12 ~tol:1e-6 ~sigma2:10. (ws_of d)
       ~load_series:series ~prior
   in
   let deltas = trace.Iterative.deltas in
@@ -597,7 +601,7 @@ let test_trivial_upper_valid_under_ecmp () =
   let routing = Routing.ecmp topo in
   let truth, _ = busy_snapshot d in
   let loads = Routing.link_loads routing truth in
-  let upper = Wcb.trivial_upper routing ~loads in
+  let upper = Wcb.trivial_upper (Workspace.create routing) ~loads in
   Array.iteri
     (fun p u ->
       Alcotest.(check bool) "upper >= truth" true
@@ -642,8 +646,9 @@ let test_routechange_improves_identifiability () =
   done;
   let r2 = Routing.of_paths topo paths in
   let loads2 = Routing.link_loads r2 truth in
-  let single = Routechange.estimate [ (r1, loads1) ] in
-  let stacked = Routechange.estimate [ (r1, loads1); (r2, loads2) ] in
+  let w1 = Workspace.create r1 and w2 = Workspace.create r2 in
+  let single = Routechange.estimate [ (w1, loads1) ] in
+  let stacked = Routechange.estimate [ (w1, loads1); (w2, loads2) ] in
   let mre e = Metrics.mre ~truth ~estimate:e () in
   Alcotest.(check bool) "rank gain" true (stacked.Routechange.stacked_rank_gain >= 0);
   Alcotest.(check bool)
@@ -665,7 +670,7 @@ let test_mcmc_samples_feasible_posterior () =
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let r =
-    Mcmc.sample ~burn_in:200 ~samples:300 ~thin:3 d.Dataset.routing ~loads
+    Mcmc.sample ~burn_in:200 ~samples:300 ~thin:3 (ws_of d) ~loads
       ~prior
   in
   Alcotest.(check bool) "null space found" true (r.Mcmc.null_dim > 0);
@@ -703,7 +708,7 @@ let test_mcmc_deterministic_in_seed () =
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let run () =
-    (Mcmc.sample ~burn_in:50 ~samples:50 ~thin:2 ~seed:9 d.Dataset.routing
+    (Mcmc.sample ~burn_in:50 ~samples:50 ~thin:2 ~seed:9 (ws_of d)
        ~loads ~prior)
       .Mcmc.mean
   in

@@ -47,7 +47,7 @@ let prop_wcb_contains =
   prop "WCB bounds contain the truth" 5 (fun seed ->
       let d = dataset_of_seed seed in
       let truth, loads = snapshot d in
-      let b = Wcb.bounds d.Dataset.routing ~loads in
+      let b = Wcb.bounds (Tmest_core.Workspace.create d.Dataset.routing) ~loads in
       Wcb.contains b truth)
 
 (* 4. At large sigma2 the entropy estimate is load-consistent and never
@@ -58,7 +58,8 @@ let prop_entropy_consistency =
       let _, loads = snapshot d in
       let prior = Gravity.simple d.Dataset.routing ~loads in
       let est =
-        (Entropy.estimate ~max_iter:6000 d.Dataset.routing ~loads ~prior
+        (Entropy.estimate ~max_iter:6000
+           (Tmest_core.Workspace.create d.Dataset.routing) ~loads ~prior
            ~sigma2:1e4)
           .Entropy.estimate
       in
@@ -75,7 +76,8 @@ let prop_bayes_interpolates =
       let prior = Gravity.simple d.Dataset.routing ~loads in
       let dist sigma2 =
         let est =
-          (Bayes.estimate ~max_iter:4000 d.Dataset.routing ~loads ~prior
+          (Bayes.estimate ~max_iter:4000
+             (Tmest_core.Workspace.create d.Dataset.routing) ~loads ~prior
              ~sigma2)
             .Bayes.estimate
         in
@@ -113,7 +115,11 @@ let prop_fanout_stochastic =
         Mat.init window (Dataset.num_links d) (fun i j ->
             (Dataset.link_loads_at d ks.(i)).(j))
       in
-      let r = Fanout.estimate d.Dataset.routing ~load_samples:loads in
+      let r =
+        Fanout.estimate
+          (Tmest_core.Workspace.create d.Dataset.routing)
+          ~load_samples:loads
+      in
       let n = Dataset.num_nodes d in
       let ok = ref true in
       for src = 0 to n - 1 do

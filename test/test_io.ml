@@ -152,7 +152,9 @@ let test_export_import_estimate () =
   let loads = Routing.link_loads routing truth in
   let prior = Tmest_core.Gravity.simple routing ~loads in
   let est =
-    (Tmest_core.Entropy.estimate routing ~loads ~prior ~sigma2:1000.)
+    (Tmest_core.Entropy.estimate
+       (Tmest_core.Workspace.create routing)
+       ~loads ~prior ~sigma2:1000.)
       .Tmest_core.Entropy.estimate
   in
   let mre = Tmest_core.Metrics.mre ~truth ~estimate:est () in

@@ -1,0 +1,235 @@
+(* The shared solver workspace: results must be bit-identical to the
+   historical per-call path, memoized artifacts must equal freshly
+   computed ones, and the stats counters must actually observe the
+   caching. *)
+
+open Tmest_linalg
+open Tmest_traffic
+open Tmest_core
+
+let small_spec =
+  { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with Spec.seed = 7 }
+
+let small = lazy (Dataset.generate small_spec)
+
+let busy_snapshot d =
+  let k = d.Dataset.spec.Spec.busy_start + (d.Dataset.spec.Spec.busy_len / 2) in
+  (Dataset.demand_at d k, Dataset.link_loads_at d k)
+
+let busy_load_matrix d window =
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  Mat.init window (Dataset.num_links d) (fun i j ->
+      (Dataset.link_loads_at d ks.(i)).(j))
+
+(* ------------------------------------------------------------------ *)
+(* run vs run_ws: bit-identical                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_ws_bit_identical () =
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let samples = busy_load_matrix d 20 in
+  let ws = Workspace.create d.Dataset.routing in
+  List.iter
+    (fun name ->
+      let m = Estimator.of_name name in
+      let via_run = Estimator.run m d.Dataset.routing ~loads ~load_samples:samples in
+      let via_ws = Estimator.run_ws m ws ~loads ~load_samples:samples in
+      Alcotest.(check bool)
+        (name ^ " run = run_ws bit-for-bit")
+        true
+        (Array.length via_run = Array.length via_ws
+        && Array.for_all2 (fun a b -> Float.equal a b) via_run via_ws))
+    (Estimator.all_names ())
+
+let test_run_ws_bit_identical_warm () =
+  (* A warm workspace (every artifact already cached from a previous
+     solve) must still reproduce the throwaway-path result exactly. *)
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let samples = busy_load_matrix d 20 in
+  let ws = Workspace.create d.Dataset.routing in
+  let names = Estimator.all_names () in
+  List.iter
+    (fun name ->
+      ignore
+        (Estimator.run_ws (Estimator.of_name name) ws ~loads
+           ~load_samples:samples))
+    names;
+  List.iter
+    (fun name ->
+      let m = Estimator.of_name name in
+      let cold = Estimator.run m d.Dataset.routing ~loads ~load_samples:samples in
+      let warm = Estimator.run_ws m ws ~loads ~load_samples:samples in
+      Alcotest.(check bool)
+        (name ^ " warm workspace bit-for-bit")
+        true
+        (Array.for_all2 (fun a b -> Float.equal a b) cold warm))
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Memoized artifacts = freshly computed                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_memoized_gram_equals_fresh () =
+  let d = Lazy.force small in
+  let ws = Workspace.create d.Dataset.routing in
+  let cached = Workspace.gram ws in
+  let fresh = Csr.gram d.Dataset.routing.Tmest_net.Routing.matrix in
+  Alcotest.(check bool) "gram equals fresh" true (Mat.equal ~eps:0. cached fresh);
+  Alcotest.(check bool) "gram memoized (same object)" true
+    (cached == Workspace.gram ws)
+
+let test_memoized_chol_equals_fresh () =
+  let d = Lazy.force small in
+  let ws = Workspace.create d.Dataset.routing in
+  let cached = Workspace.gram_chol ws in
+  let fresh = Chol.factor_regularized (Workspace.gram ws) in
+  let rhs =
+    Array.init (Dataset.num_pairs d) (fun i -> float_of_int (i mod 7) +. 1.)
+  in
+  Alcotest.(check bool) "chol solves match" true
+    (Vec.equal ~eps:0. (Chol.solve cached rhs) (Chol.solve fresh rhs))
+
+let test_memoized_prior_equals_fresh () =
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let ws = Workspace.create d.Dataset.routing in
+  let cached = Estimator.build_prior_ws Estimator.Prior_gravity ws ~loads in
+  let fresh = Gravity.simple d.Dataset.routing ~loads in
+  Alcotest.(check bool) "gravity prior equals fresh" true
+    (Vec.equal ~eps:0. cached fresh);
+  Alcotest.(check bool) "prior memoized (same object)" true
+    (cached == Estimator.build_prior_ws Estimator.Prior_gravity ws ~loads)
+
+let test_total_traffic_matches_problem () =
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let ws = Workspace.create d.Dataset.routing in
+  Alcotest.(check (float 0.))
+    "total_traffic matches Problem"
+    (Problem.total_traffic d.Dataset.routing ~loads)
+    (Workspace.total_traffic ws ~loads)
+
+(* ------------------------------------------------------------------ *)
+(* Stats observe the caching                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_hits_on_second_access () =
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let ws = Workspace.create d.Dataset.routing in
+  ignore (Workspace.gram ws);
+  ignore (Workspace.gram_chol ws);
+  ignore (Workspace.transpose ws);
+  ignore (Workspace.op_norm ws);
+  ignore (Workspace.total_traffic ws ~loads);
+  let s1 = Workspace.stats ws in
+  Alcotest.(check int) "gram miss once" 1 s1.Workspace.gram.Workspace.misses;
+  ignore (Workspace.gram ws);
+  ignore (Workspace.gram_chol ws);
+  ignore (Workspace.transpose ws);
+  ignore (Workspace.op_norm ws);
+  ignore (Workspace.total_traffic ws ~loads);
+  let s2 = Workspace.stats ws in
+  Alcotest.(check bool) "gram hit" true
+    (s2.Workspace.gram.Workspace.hits > s1.Workspace.gram.Workspace.hits);
+  Alcotest.(check int) "gram still one miss" 1 s2.Workspace.gram.Workspace.misses;
+  Alcotest.(check int) "chol hit" 1 s2.Workspace.chol.Workspace.hits;
+  Alcotest.(check int) "transpose hit" 1 s2.Workspace.transpose.Workspace.hits;
+  Alcotest.(check int) "lipschitz hit" 1 s2.Workspace.lipschitz.Workspace.hits;
+  Alcotest.(check int) "total hit" 1 s2.Workspace.total.Workspace.hits;
+  Workspace.reset_stats ws;
+  let s3 = Workspace.stats ws in
+  Alcotest.(check int) "reset clears hits" 0 s3.Workspace.gram.Workspace.hits;
+  (* Cached artifact survives the reset: next access is a hit again. *)
+  ignore (Workspace.gram ws);
+  let s4 = Workspace.stats ws in
+  Alcotest.(check int) "artifact survives reset" 1
+    s4.Workspace.gram.Workspace.hits
+
+let test_solve_counter_increments () =
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let samples = busy_load_matrix d 20 in
+  let ws = Workspace.create d.Dataset.routing in
+  ignore
+    (Estimator.run_ws (Estimator.of_name "entropy") ws ~loads
+       ~load_samples:samples);
+  ignore
+    (Estimator.run_ws (Estimator.of_name "gravity") ws ~loads
+       ~load_samples:samples);
+  let s = Workspace.stats ws in
+  Alcotest.(check int) "two solves recorded" 2 s.Workspace.solve.Workspace.misses
+
+let test_prior_cache_hits_across_methods () =
+  (* Two methods sharing the default gravity prior on the same loads:
+     the second must hit the prior cache, the second op_norm request
+     must hit the lipschitz cache. *)
+  let d = Lazy.force small in
+  let _, loads = busy_snapshot d in
+  let samples = busy_load_matrix d 20 in
+  let ws = Workspace.create d.Dataset.routing in
+  ignore
+    (Estimator.run_ws (Estimator.of_name "entropy") ws ~loads
+       ~load_samples:samples);
+  ignore
+    (Estimator.run_ws (Estimator.of_name "bayes") ws ~loads
+       ~load_samples:samples);
+  let s = Workspace.stats ws in
+  Alcotest.(check int) "prior computed once" 1 s.Workspace.prior.Workspace.misses;
+  Alcotest.(check bool) "prior hit by second method" true
+    (s.Workspace.prior.Workspace.hits >= 1);
+  Alcotest.(check int) "op norm computed once" 1
+    s.Workspace.lipschitz.Workspace.misses;
+  Alcotest.(check bool) "op norm hit by second method" true
+    (s.Workspace.lipschitz.Workspace.hits >= 1)
+
+let test_keyed_caches_bounded () =
+  (* Thousands of distinct load vectors must not grow the workspace. *)
+  let d = Lazy.force small in
+  let ws = Workspace.create d.Dataset.routing in
+  let l = Dataset.num_links d in
+  for i = 0 to 99 do
+    ignore
+      (Workspace.total_traffic ws
+         ~loads:(Vec.init l (fun j -> float_of_int ((i * l) + j))))
+  done;
+  let s = Workspace.stats ws in
+  Alcotest.(check int) "all distinct loads miss" 100
+    s.Workspace.total.Workspace.misses
+
+let () =
+  Alcotest.run "workspace"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "run vs run_ws bit-identical" `Quick
+            test_run_ws_bit_identical;
+          Alcotest.test_case "warm workspace bit-identical" `Quick
+            test_run_ws_bit_identical_warm;
+        ] );
+      ( "memoization",
+        [
+          Alcotest.test_case "gram equals fresh" `Quick
+            test_memoized_gram_equals_fresh;
+          Alcotest.test_case "cholesky equals fresh" `Quick
+            test_memoized_chol_equals_fresh;
+          Alcotest.test_case "prior equals fresh" `Quick
+            test_memoized_prior_equals_fresh;
+          Alcotest.test_case "total traffic matches Problem" `Quick
+            test_total_traffic_matches_problem;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "hits on second access" `Quick
+            test_stats_hits_on_second_access;
+          Alcotest.test_case "solve counter" `Quick
+            test_solve_counter_increments;
+          Alcotest.test_case "prior/lipschitz shared across methods" `Quick
+            test_prior_cache_hits_across_methods;
+          Alcotest.test_case "keyed caches bounded" `Quick
+            test_keyed_caches_bounded;
+        ] );
+    ]
