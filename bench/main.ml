@@ -7,10 +7,14 @@
 
    [--perf] instead runs Bechamel micro/meso benchmarks: one Test.make
    per paper table/figure (the full experiment pipeline on the reduced
-   context, so each run is sub-second) plus the numerical kernels the
-   estimators are built on, and writes BENCH_workspace.json with
-   cold-vs-warm solver-workspace timings (gram, Cholesky factor, one
-   full entropy solve, one full Cao solve).
+   context, so each run is sub-second) plus the numerical kernels and
+   allocation-free solver cores the estimators are built on, reporting
+   both time/run and minor words/run.  It also writes
+   BENCH_workspace.json (cold-vs-warm solver-workspace timings) and
+   BENCH_solvers.json (per-iteration solver allocations, full-method
+   timings with the warm-start cache, and the cold-vs-warm window-scan
+   meso-benchmark).  [--perf --fast] is the CI smoke variant: kernels
+   and solvers only, reduced context and quota.
 
    Other flags: [--fast] (reduced datasets for the report mode),
    [--only fig13,tab2], [--list]. *)
@@ -143,6 +147,153 @@ let workspace_json () =
   List.iter (fun (name, ns) -> Printf.printf "%-20s %12.0f ns/op\n" name ns) rows
 
 (* ------------------------------------------------------------------ *)
+(* Solver hot-path allocations and warm-started scans                  *)
+(* (BENCH_solvers.json)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Minor-heap words allocated per call, measured directly with the GC
+   counters (deterministic, unlike timings). *)
+let minor_words_per f =
+  ignore (f ());
+  let reps = 8 in
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Gc.minor_words () -. before) /. float_of_int reps
+
+(* Marginal allocation of one extra solver iteration: difference between
+   a 1-iteration and a (1+n)-iteration solve.  The setup cost (scratch
+   validation, result copy) cancels out. *)
+let words_per_iter solve =
+  let extra = 64 in
+  let base = minor_words_per (fun () -> solve 1) in
+  let long = minor_words_per (fun () -> solve (1 + extra)) in
+  (long -. base) /. float_of_int extra
+
+let solvers_json ~fast () =
+  let module Core = Tmest_core in
+  let module Vec = Tmest_linalg.Vec in
+  let module Mat = Tmest_linalg.Mat in
+  let module Fista = Tmest_opt.Fista in
+  let module Proxgrad = Tmest_opt.Proxgrad in
+  let module Cg = Tmest_opt.Cg in
+  (* Per-iteration allocations of the solver cores, on a synthetic SPD
+     quadratic so the numbers are routing-independent. *)
+  let rng = Tmest_stats.Rng.create 23 in
+  let dim = 200 in
+  let a =
+    Mat.add
+      (Mat.gram (Mat.init dim dim (fun _ _ -> Tmest_stats.Rng.float rng)))
+      (Mat.identity dim)
+  in
+  let b = Array.init dim (fun _ -> Tmest_stats.Rng.float rng) in
+  let lip = Fista.lipschitz_of_gram a in
+  let gradient_into x ~dst =
+    Mat.matvec_into a x ~dst;
+    Vec.sub_into dst b ~dst
+  in
+  let fista_scratch = Array.init Fista.scratch_size (fun _ -> Vec.zeros dim) in
+  let pg_scratch = Array.init Proxgrad.scratch_size (fun _ -> Vec.zeros dim) in
+  let cg_scratch = Array.init Cg.scratch_size (fun _ -> Vec.zeros dim) in
+  let prior = Vec.ones dim in
+  let alloc_rows =
+    [
+      ( "fista",
+        words_per_iter (fun n ->
+            Fista.solve_into ~max_iter:n ~tol:0. ~scratch:fista_scratch ~dim
+              ~gradient_into ~lipschitz:lip ()) );
+      ( "proxgrad",
+        words_per_iter (fun n ->
+            Proxgrad.solve_into ~max_iter:n ~tol:0. ~scratch:pg_scratch ~dim
+              ~gradient_into
+              ~prox_into:(Proxgrad.kl_prox_into ~weight:0.1 ~prior)
+              ~lipschitz:lip ()) );
+      ( "cg",
+        words_per_iter (fun n ->
+            Cg.solve_into ~max_iter:n ~tol:0. ~scratch:cg_scratch
+              ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
+              ~b ()) );
+    ]
+  in
+  (* Full-method timings plus the cold-vs-warm window-scan comparison on
+     the shared experiment context. *)
+  let ctx = Ctx.create ~fast () in
+  let net = ctx.Ctx.europe in
+  let ws = net.Ctx.workspace in
+  let loads = net.Ctx.loads in
+  let window = if fast then 5 else 20 in
+  let steps = if fast then 3 else 5 in
+  let load_samples = Ctx.busy_loads net ~window in
+  let routing = net.Ctx.dataset.Tmest_traffic.Dataset.routing in
+  let entropy = Core.Estimator.of_name "entropy" in
+  let cao = Core.Estimator.of_name "cao" in
+  (* Populate workspace artifacts and the warm-start cache. *)
+  ignore (Core.Estimator.run_ws ~warm:true entropy ws ~loads ~load_samples);
+  ignore (Core.Estimator.run_ws ~warm:true cao ws ~loads ~load_samples);
+  let ns_rows =
+    [
+      ( "entropy_solve_cold",
+        time_ns (fun () ->
+            Core.Estimator.run entropy routing ~loads ~load_samples) );
+      ( "entropy_solve_warm",
+        time_ns (fun () ->
+            Core.Estimator.run_ws ~warm:true entropy ws ~loads ~load_samples) );
+      ( "cao_solve_cold",
+        time_ns (fun () -> Core.Estimator.run cao routing ~loads ~load_samples) );
+      ( "cao_solve_warm",
+        time_ns (fun () ->
+            Core.Estimator.run_ws ~warm:true cao ws ~loads ~load_samples) );
+      (* Scan with the Cao estimator: its warm start reuses the previous
+         window's lambda and skips the first-moment bootstrap entirely,
+         so the cold/warm gap is the meso-level payoff of the cache.
+         (Entropy re-derives a near-optimal start from the gravity prior
+         of each window's own loads, so warm-starting barely moves its
+         iteration count.) *)
+      ( "windows_scan_cold",
+        time_ns (fun () -> Ctx.scan_busy net cao ~window ~steps) );
+      ( "windows_scan_warm",
+        time_ns (fun () -> Ctx.scan_busy ~warm:true net cao ~window ~steps) );
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"network\": %S,\n" (if fast then "europe-fast" else "europe"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"window\": %d,\n  \"scan_steps\": %d,\n  \"scan_method\": \"cao\",\n"
+       window steps);
+  Buffer.add_string buf "  \"alloc_minor_words_per_iter\": {\n";
+  List.iteri
+    (fun i (name, words) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.1f%s\n" name words
+           (if i = List.length alloc_rows - 1 then "" else ",")))
+    alloc_rows;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"ns_per_op\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.0f%s\n" name ns
+           (if i = List.length ns_rows - 1 then "" else ",")))
+    ns_rows;
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_solvers.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  List.iter
+    (fun (name, words) ->
+      Printf.printf "%-20s %12.1f minor words/iter\n" name words)
+    alloc_rows;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-20s %12.0f ns/op\n" name ns)
+    ns_rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -163,19 +314,74 @@ let kernel_tests () =
   let demand =
     Tmest_traffic.Dataset.demand_at eu 229
   in
+  let w200 = Array.init 200 (fun _ -> Tmest_stats.Rng.float rng) in
+  let dst200 = Vec.zeros 200 in
+  let dst_mv = Vec.zeros 200 in
+  let r_eu_csr = r_eu.Tmest_net.Routing.matrix in
+  let link_buf = Vec.zeros (Csr.rows r_eu_csr) in
   [
     Test.make ~name:"mat200.matmul" (Staged.stage (fun () ->
         Mat.matmul a200 b200));
     Test.make ~name:"mat200.matvec" (Staged.stage (fun () ->
         Mat.matvec a200 v200));
+    Test.make ~name:"mat200.matvec_into" (Staged.stage (fun () ->
+        Mat.matvec_into a200 v200 ~dst:dst_mv));
+    Test.make ~name:"vec200.axpy" (Staged.stage (fun () ->
+        Vec.axpy 1.5 v200 w200));
+    Test.make ~name:"vec200.axpy_into" (Staged.stage (fun () ->
+        Vec.axpy_into 1.5 v200 w200 ~dst:dst200));
     Test.make ~name:"chol120.factor+solve" (Staged.stage (fun () ->
         Tmest_linalg.Chol.solve_system spd rhs));
     Test.make ~name:"lu120.factor+solve" (Staged.stage (fun () ->
         Tmest_linalg.Lu.solve_system spd rhs));
     Test.make ~name:"csr.europe.link_loads" (Staged.stage (fun () ->
         Tmest_net.Routing.link_loads r_eu demand));
+    Test.make ~name:"csr.europe.matvec_into" (Staged.stage (fun () ->
+        Csr.matvec_into r_eu_csr demand ~dst:link_buf));
     Test.make ~name:"lambert.w0" (Staged.stage (fun () ->
         Tmest_stats.Lambert.w0 12.3));
+  ]
+
+(* Full fixed-iteration solves on a 200-dim SPD quadratic with
+   preallocated scratch: the allocation column should read ~0 words/run
+   beyond the one result copy. *)
+let solver_tests () =
+  let open Bechamel in
+  let module Mat = Tmest_linalg.Mat in
+  let module Vec = Tmest_linalg.Vec in
+  let module Fista = Tmest_opt.Fista in
+  let module Proxgrad = Tmest_opt.Proxgrad in
+  let module Cg = Tmest_opt.Cg in
+  let rng = Tmest_stats.Rng.create 23 in
+  let dim = 200 in
+  let a =
+    Mat.add
+      (Mat.gram (Mat.init dim dim (fun _ _ -> Tmest_stats.Rng.float rng)))
+      (Mat.identity dim)
+  in
+  let b = Array.init dim (fun _ -> Tmest_stats.Rng.float rng) in
+  let lip = Fista.lipschitz_of_gram a in
+  let gradient_into x ~dst =
+    Mat.matvec_into a x ~dst;
+    Vec.sub_into dst b ~dst
+  in
+  let fista_scratch = Array.init Fista.scratch_size (fun _ -> Vec.zeros dim) in
+  let pg_scratch = Array.init Proxgrad.scratch_size (fun _ -> Vec.zeros dim) in
+  let cg_scratch = Array.init Cg.scratch_size (fun _ -> Vec.zeros dim) in
+  let prior = Vec.ones dim in
+  [
+    Test.make ~name:"fista200.solve_into_x64" (Staged.stage (fun () ->
+        Fista.solve_into ~max_iter:64 ~tol:0. ~scratch:fista_scratch ~dim
+          ~gradient_into ~lipschitz:lip ()));
+    Test.make ~name:"proxgrad200.solve_into_x64" (Staged.stage (fun () ->
+        Proxgrad.solve_into ~max_iter:64 ~tol:0. ~scratch:pg_scratch ~dim
+          ~gradient_into
+          ~prox_into:(Proxgrad.kl_prox_into ~weight:0.1 ~prior)
+          ~lipschitz:lip ()));
+    Test.make ~name:"cg200.solve_into_x64" (Staged.stage (fun () ->
+        Cg.solve_into ~max_iter:64 ~tol:0. ~scratch:cg_scratch
+          ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
+          ~b ()));
   ]
 
 let experiment_tests () =
@@ -189,36 +395,74 @@ let experiment_tests () =
         (Staged.stage (fun () -> ignore (e.Registry.run ctx))))
     Registry.all
 
-let run_perf () =
+(* Bechamel's stock [minor_allocated] reads [Gc.quick_stat], which on
+   OCaml 5 only refreshes [minor_words] at minor collections — small
+   per-run allocation rates are invisible to it.  [Gc.minor_words ()]
+   reads the domain-local allocation pointer and is exact. *)
+module Precise_minor_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+  let get () = Gc.minor_words ()
+  let label () = "minor-words"
+  let unit () = "mnw"
+end
+
+let minor_words_instance =
   let open Bechamel in
+  Measure.instance
+    (module Precise_minor_words)
+    (Measure.register (module Precise_minor_words))
+
+let run_perf ~fast () =
+  let open Bechamel in
+  (* [--fast] is the CI smoke mode: kernels and solvers only (no
+     experiment pipelines) under a small measurement quota. *)
   let tests =
     Test.make_grouped ~name:"tmest" ~fmt:"%s.%s"
-      (kernel_tests () @ experiment_tests ())
+      (kernel_tests () @ solver_tests ()
+      @ (if fast then [] else experiment_tests ()))
   in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+    if fast then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.1) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
   in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let instances = [ minor_words_instance; Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true
       ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols minor_words_instance raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) times [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  Printf.printf "%-32s %14s\n" "benchmark" "time/run";
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some o -> (
+        match Analyze.OLS.estimates o with Some (x :: _) -> Some x | _ -> None)
+    | None -> None
+  in
+  Printf.printf "%-32s %14s %18s\n" "benchmark" "time/run" "minor words/run";
   List.iter
-    (fun (name, o) ->
-      match Analyze.OLS.estimates o with
-      | Some (ns :: _) ->
-          let pretty =
+    (fun (name, _) ->
+      let time =
+        match estimate times name with
+        | Some ns ->
             if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
             else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
             else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
             else Printf.sprintf "%8.0f ns" ns
-          in
-          Printf.printf "%-32s %14s\n" name pretty
-      | _ -> Printf.printf "%-32s %14s\n" name "n/a")
+        | None -> "n/a"
+      in
+      let alloc =
+        match estimate allocs name with
+        | Some w -> Printf.sprintf "%14.0f w" w
+        | None -> "n/a"
+      in
+      Printf.printf "%-32s %14s %18s\n" name time alloc)
     rows
 
 let () =
@@ -253,7 +497,8 @@ let () =
       (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
       Registry.all
   else if !perf then begin
-    workspace_json ();
-    run_perf ()
+    if not !fast then workspace_json ();
+    solvers_json ~fast:!fast ();
+    run_perf ~fast:!fast ()
   end
   else run_reports ~fast:!fast ~only:!only ()

@@ -9,7 +9,7 @@ type result = {
   converged : bool;
 }
 
-let estimate ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
+let estimate ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   if sigma2 <= 0. then invalid_arg "Bayes.estimate: sigma2 must be positive";
@@ -22,16 +22,32 @@ let estimate ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
   let t_n = Vec.scale (1. /. scale) loads in
   let prior_n = Vec.scale (1. /. scale) prior in
   let w = 1. /. sigma2 in
-  (* grad = 2 Rᵀ(R s − t) + 2 w (s − prior). *)
-  let gradient s =
-    let res = Vec.sub (Csr.matvec r s) t_n in
-    let g = Csr.tmatvec r res in
-    Vec.mapi (fun i gi -> 2. *. (gi +. (w *. (s.(i) -. prior_n.(i))))) g
+  (* grad = 2 Rᵀ(R s − t) + 2 w (s − prior), staged through one
+     links-dimension buffer so solver iterations allocate nothing. *)
+  let l = Routing.num_links routing in
+  let tmp_l = (Workspace.scratch ws ~name:"bayes.links" ~dim:l ~count:1).(0) in
+  let gradient_into s ~dst =
+    Csr.matvec_into r s ~dst:tmp_l;
+    Vec.sub_into tmp_l t_n ~dst:tmp_l;
+    Csr.tmatvec_into r tmp_l ~dst;
+    for i = 0 to p - 1 do
+      dst.(i) <- 2. *. (dst.(i) +. (w *. (s.(i) -. prior_n.(i))))
+    done
   in
   let lip_r = Workspace.op_norm ws in
   let lipschitz = (2. *. lip_r) +. (2. *. w) in
+  let start =
+    match x0 with
+    | None -> prior_n
+    | Some v ->
+        (* Warm start, rescaled to the solver's normalized units. *)
+        Vec.map (fun x -> Stdlib.max 0. (x /. scale)) v
+  in
+  let scratch =
+    Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
+  in
   let res =
-    Fista.solve ~x0:(Vec.copy prior_n) ~max_iter ~tol ~dim:p ~gradient
+    Fista.solve_into ~x0:start ~max_iter ~tol ~scratch ~dim:p ~gradient_into
       ~lipschitz ()
   in
   if not res.Fista.converged then

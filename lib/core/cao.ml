@@ -11,7 +11,7 @@ type result = {
   iterations : int;
 }
 
-let estimate ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
+let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
     ~c ~sigma_inv2 =
   if phi <= 0. then invalid_arg "Cao.estimate: phi must be positive";
   if c < 1. then invalid_arg "Cao.estimate: need c >= 1";
@@ -43,55 +43,82 @@ let estimate ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
     v.(pair) <- !acc
   done;
   let w = sigma_inv2 in
-  let u_of lambda = Vec.map (fun x -> phi *. (Stdlib.max x 0. ** c)) lambda in
-  let objective lambda =
-    let u = u_of lambda in
-    let first = Vec.dot lambda (Mat.matvec g lambda)
-                -. (2. *. Vec.dot rt_t lambda) in
-    let second = Vec.dot u (Mat.matvec g2 u) -. (2. *. Vec.dot v u) in
+  (* All per-iteration work — u(λ), matrix-vector products, gradient,
+     line-search candidates — lives in one pooled buffer set. *)
+  let bufs = Workspace.scratch ws ~name:"cao" ~dim:p ~count:5 in
+  let u_buf = bufs.(0) and tmp_p = bufs.(1) and grad = bufs.(2) in
+  let lambda = ref bufs.(3) and cand = ref bufs.(4) in
+  let u_of_into lam ~dst =
+    for i = 0 to p - 1 do
+      dst.(i) <- phi *. (Stdlib.max lam.(i) 0. ** c)
+    done
+  in
+  let objective lam =
+    u_of_into lam ~dst:u_buf;
+    Mat.matvec_into g lam ~dst:tmp_p;
+    let first = Vec.dot lam tmp_p -. (2. *. Vec.dot rt_t lam) in
+    Mat.matvec_into g2 u_buf ~dst:tmp_p;
+    let second = Vec.dot u_buf tmp_p -. (2. *. Vec.dot v u_buf) in
     first +. (w *. second)
   in
-  let gradient lambda =
-    let u = u_of lambda in
-    let d_first = Vec.scale 2. (Vec.sub (Mat.matvec g lambda) rt_t) in
-    let d_second_du = Vec.scale 2. (Vec.sub (Mat.matvec g2 u) v) in
-    let du_dlambda =
-      Vec.map (fun x -> phi *. c *. (Stdlib.max x 0. ** (c -. 1.))) lambda
-    in
-    Vec.mapi
-      (fun i d -> d +. (w *. d_second_du.(i) *. du_dlambda.(i)))
-      d_first
+  let gradient_into lam ~dst =
+    u_of_into lam ~dst:u_buf;
+    Mat.matvec_into g2 u_buf ~dst:tmp_p;
+    Mat.matvec_into g lam ~dst;
+    for i = 0 to p - 1 do
+      let d_first = 2. *. (dst.(i) -. rt_t.(i)) in
+      let d_second_du = 2. *. (tmp_p.(i) -. v.(i)) in
+      let du_dlambda = phi *. c *. (Stdlib.max lam.(i) 0. ** (c -. 1.)) in
+      dst.(i) <- d_first +. (w *. d_second_du *. du_dlambda)
+    done
   in
-  (* Start from the first-moment-only solution. *)
   let lip = 2. *. Workspace.gram_norm ws in
-  let init =
-    Fista.solve ~max_iter:2000 ~tol:1e-10 ~dim:p
-      ~gradient:(fun x -> Vec.scale 2. (Vec.sub (Mat.matvec g x) rt_t))
-      ~lipschitz:lip ()
-  in
-  let lambda = ref init.Fista.x in
+  (match x0 with
+  | Some v0 ->
+      (* Warm start (bits/s): skip the first-moment bootstrap solve. *)
+      if Vec.dim v0 <> p then invalid_arg "Cao.estimate: x0 dimension mismatch";
+      for i = 0 to p - 1 do
+        !lambda.(i) <- Stdlib.max (v0.(i) /. unit_bps) 0.
+      done
+  | None ->
+      (* Start from the first-moment-only solution. *)
+      let init =
+        Fista.solve_into ~max_iter:2000 ~tol:1e-10 ~dim:p
+          ~scratch:
+            (Workspace.scratch ws ~name:"fista" ~dim:p
+               ~count:Fista.scratch_size)
+          ~gradient_into:(fun x ~dst ->
+            Mat.matvec_into g x ~dst;
+            Vec.sub_into dst rt_t ~dst;
+            Vec.scale_into 2. dst ~dst)
+          ~lipschitz:lip ()
+      in
+      Vec.blit_into init.Fista.x ~dst:!lambda);
   let f = ref (objective !lambda) in
   let step = ref (1. /. lip) in
   let iterations = ref 0 in
   let stalled = ref false in
   while (not !stalled) && !iterations < max_iter do
     incr iterations;
-    let grad = gradient !lambda in
+    gradient_into !lambda ~dst:grad;
     (* Backtracking projected gradient: halve the step until descent. *)
     let rec try_step eta attempts =
       if attempts = 0 then None
       else begin
-        let cand = Vec.clamp_nonneg (Vec.axpy (-.eta) grad !lambda) in
-        let fc = objective cand in
-        if fc < !f -. 1e-12 then Some (cand, fc, eta)
+        Vec.axpy_into (-.eta) grad !lambda ~dst:!cand;
+        Vec.clamp_nonneg_into !cand ~dst:!cand;
+        let fc = objective !cand in
+        if fc < !f -. 1e-12 then Some (fc, eta)
         else try_step (eta /. 2.) (attempts - 1)
       end
     in
     match try_step (!step *. 2.) 40 with
     | None -> stalled := true
-    | Some (cand, fc, eta) ->
+    | Some (fc, eta) ->
         let progress = !f -. fc in
-        lambda := cand;
+        let tmp = !lambda in
+        lambda := !cand;
+        cand := tmp;
         f := fc;
         step := eta;
         if progress < 1e-12 *. (1. +. abs_float fc) then stalled := true

@@ -23,11 +23,14 @@ type result = {
   iterations : int;
 }
 
-(** [estimate ?max_iter ?unit_bps ws ~load_samples ~phi ~c
+(** [estimate ?x0 ?max_iter ?unit_bps ws ~load_samples ~phi ~c
     ~sigma_inv2] runs the estimator.  [phi] and [c] are the scaling-law
     parameters in the chosen counting unit ([unit_bps], default 1 Mbps);
-    [c = 1, phi = 1] recovers Vardi's objective. *)
+    [c = 1, phi = 1] recovers Vardi's objective.  [x0] is an optional
+    warm-start estimate in bits/s; when given, the first-moment
+    bootstrap solve is skipped and the line search starts from [x0]. *)
 val estimate :
+  ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->
   ?unit_bps:float ->
   Workspace.t ->

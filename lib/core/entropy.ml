@@ -25,9 +25,18 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
     Vec.mapi (fun i x -> if mask.(i) then 0. else x /. scale) prior
   in
   let w = 1. /. sigma2 in
-  let gradient s = Vec.scale 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r s) t_n)) in
+  (* grad = 2 Rᵀ(R s − t), staged through one links-dimension buffer so
+     solver iterations allocate nothing. *)
+  let l = Routing.num_links routing in
+  let tmp_l = (Workspace.scratch ws ~name:"entropy.links" ~dim:l ~count:1).(0) in
+  let gradient_into s ~dst =
+    Csr.matvec_into r s ~dst:tmp_l;
+    Vec.sub_into tmp_l t_n ~dst:tmp_l;
+    Csr.tmatvec_into r tmp_l ~dst;
+    Vec.scale_into 2. dst ~dst
+  in
   let lipschitz = 2. *. Workspace.op_norm ws in
-  let prox = Proxgrad.kl_prox ~weight:w ~prior:prior_n in
+  let prox_into = Proxgrad.kl_prox_into ~weight:w ~prior:prior_n in
   let start =
     match x0 with
     | None -> Vec.copy prior_n
@@ -38,9 +47,13 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
           (fun i x -> if prior_n.(i) <= 0. then 0. else Stdlib.max 0. (x /. scale))
           v
   in
+  let scratch =
+    Workspace.scratch ws ~name:"proxgrad" ~dim:p
+      ~count:Proxgrad.scratch_size
+  in
   let res =
-    Proxgrad.solve ~x0:start ~max_iter ~tol ~dim:p ~gradient
-      ~prox ~lipschitz ()
+    Proxgrad.solve_into ~x0:start ~max_iter ~tol ~scratch ~dim:p
+      ~gradient_into ~prox_into ~lipschitz ()
   in
   if not res.Proxgrad.converged then
     Logs.warn ~src:Problem.log_src (fun m ->

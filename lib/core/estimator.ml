@@ -64,8 +64,40 @@ let last_window samples window =
   Mat.submatrix samples ~row:(k - window) ~col:0 ~rows:window
     ~cols:(Mat.cols samples)
 
-let run_ws t ws ~loads ~load_samples =
+let prior_tag = function
+  | Prior_gravity -> "gravity"
+  | Prior_wcb -> "wcb"
+  | Prior_uniform -> "uniform"
+
+(* Warm-start cache keys: method plus every parameter that changes the
+   optimization problem (the load vector deliberately excluded — the
+   point is to start the next window from this window's solution). *)
+let warm_key = function
+  | Gravity | Kruithof _ | Wcb_midpoint -> None
+  | Entropy { sigma2; prior } ->
+      Some (Printf.sprintf "entropy:sigma2=%h:prior=%s" sigma2 (prior_tag prior))
+  | Bayes { sigma2; prior } ->
+      Some (Printf.sprintf "bayes:sigma2=%h:prior=%s" sigma2 (prior_tag prior))
+  | Fanout { window } -> Some (Printf.sprintf "fanout:window=%d" window)
+  | Vardi { sigma_inv2; window } ->
+      Some (Printf.sprintf "vardi:sigma_inv2=%h:window=%d" sigma_inv2 window)
+  | Cao { phi; c; sigma_inv2; window } ->
+      Some
+        (Printf.sprintf "cao:phi=%h:c=%h:sigma_inv2=%h:window=%d" phi c
+           sigma_inv2 window)
+
+let run_ws ?(warm = false) t ws ~loads ~load_samples =
   let t0 = Sys.time () in
+  let key = if warm then warm_key t else None in
+  let x0 =
+    match key with
+    | Some key -> Workspace.warm_start ws ~key ~dim:(Workspace.num_pairs ws)
+    | None -> None
+  in
+  let store v = match key with
+    | Some key -> Workspace.store_warm_start ws ~key v
+    | None -> ()
+  in
   let estimate =
     match t with
     | Gravity -> Gravity.simple (Workspace.routing ws) ~loads
@@ -74,20 +106,37 @@ let run_ws t ws ~loads ~load_samples =
         Kruithof.adjust ws ~loads ~prior
     | Entropy { sigma2; prior } ->
         let prior = build_prior_ws prior ws ~loads in
-        (Entropy.estimate ws ~loads ~prior ~sigma2).Entropy.estimate
+        let est = (Entropy.estimate ?x0 ws ~loads ~prior ~sigma2).Entropy.estimate in
+        store est;
+        est
     | Bayes { sigma2; prior } ->
         let prior = build_prior_ws prior ws ~loads in
-        (Bayes.estimate ws ~loads ~prior ~sigma2).Bayes.estimate
+        let est = (Bayes.estimate ?x0 ws ~loads ~prior ~sigma2).Bayes.estimate in
+        store est;
+        est
     | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds ws ~loads)
     | Fanout { window } ->
         let samples = last_window load_samples window in
-        (Fanout.estimate ws ~load_samples:samples).Fanout.estimate
+        (* The natural warm-start state is the fanout vector, not the
+           demand estimate it expands to. *)
+        let res = Fanout.estimate ?x0 ws ~load_samples:samples in
+        store res.Fanout.fanouts;
+        res.Fanout.estimate
     | Vardi { sigma_inv2; window } ->
         let samples = last_window load_samples window in
-        (Vardi.estimate ws ~load_samples:samples ~sigma_inv2).Vardi.estimate
+        let est =
+          (Vardi.estimate ?x0 ws ~load_samples:samples ~sigma_inv2).Vardi.estimate
+        in
+        store est;
+        est
     | Cao { phi; c; sigma_inv2; window } ->
         let samples = last_window load_samples window in
-        (Cao.estimate ws ~load_samples:samples ~phi ~c ~sigma_inv2).Cao.estimate
+        let est =
+          (Cao.estimate ?x0 ws ~load_samples:samples ~phi ~c ~sigma_inv2)
+            .Cao.estimate
+        in
+        store est;
+        est
   in
   Workspace.record_solve ws (Sys.time () -. t0);
   estimate

@@ -50,13 +50,21 @@ val build_prior :
   loads:Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t
 
-(** [run_ws t ws ~loads ~load_samples] executes the method against a
-    shared workspace.  Snapshot methods use [loads]; time-series methods
-    take the last [window] rows of [load_samples] (and fall back to
-    fewer if the series is shorter).  Returns the demand estimate in
+(** [run_ws ?warm t ws ~loads ~load_samples] executes the method against
+    a shared workspace.  Snapshot methods use [loads]; time-series
+    methods take the last [window] rows of [load_samples] (and fall back
+    to fewer if the series is shorter).  Returns the demand estimate in
     bits/s and accounts the wall-clock in the workspace's [solve]
-    counter. *)
+    counter.
+
+    With [warm:true] (default false), iterative methods start from the
+    workspace's cached solution for the same method and parameters —
+    the previous window of a scan — and store their own solution back.
+    Warm runs converge to the same optimum within the solver tolerance
+    but are {e not} bit-identical to cold runs; leave [warm] unset where
+    exact reproducibility across call orders matters. *)
 val run_ws :
+  ?warm:bool ->
   t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->

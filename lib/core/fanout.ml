@@ -22,7 +22,7 @@ type result = {
    squared node totals, whose spread (heavy-tailed PoP sizes) makes the
    KKT system numerically hopeless; projection-based iterations only
    ever evaluate well-scaled matrix-vector products. *)
-let estimate ws ~load_samples =
+let estimate ?x0 ws ~load_samples =
   let routing = Workspace.routing ws in
   let ingress = Workspace.ingress_rows ws in
   let l = Routing.num_links routing in
@@ -73,36 +73,33 @@ let estimate ws ~load_samples =
         lin.(pair) +. (Mat.get te step src_of.(pair) *. rt.(pair))
     done
   done;
-  let gradient a = Vec.scale 2. (Vec.sub (Mat.matvec h a) lin) in
+  let gradient_into a ~dst =
+    Mat.matvec_into h a ~dst;
+    Vec.sub_into dst lin ~dst;
+    Vec.scale_into 2. dst ~dst
+  in
   let lipschitz = 2. *. Workspace.lipschitz_of_matrix ws h in
   (* FISTA with the per-source simplex projection, started from uniform
-     fanouts. *)
-  let project v = Projections.block_simplex ~block:src_of v in
-  let x = ref (project (Vec.create p (1. /. float_of_int (n - 1)))) in
-  let y = ref (Vec.copy !x) in
-  let momentum = ref 1. in
-  let step_size = 1. /. lipschitz in
-  let max_iter = 4000 and tol = 1e-10 in
-  let converged = ref false in
-  let iter = ref 0 in
-  while (not !converged) && !iter < max_iter do
-    incr iter;
-    let grad = gradient !y in
-    let x_next = project (Vec.axpy (-.step_size) grad !y) in
-    let delta = Vec.sub x_next !x in
-    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
-    let momentum_next =
-      if restart then 1.
-      else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
-    in
-    let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
-    y := Vec.axpy beta delta x_next;
-    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
-      converged := true;
-    x := x_next;
-    momentum := momentum_next
-  done;
-  let fanouts = !x in
+     fanouts (or a warm-started fanout vector); the historical
+     hand-rolled loop here is now the generic allocation-free solver
+     with a block-simplex [project_into]. *)
+  let part = Projections.block_partition ~block:src_of in
+  let start =
+    match x0 with
+    | Some v ->
+        if Array.length v <> p then
+          invalid_arg "Fanout.estimate: x0 dimension mismatch";
+        v
+    | None -> Vec.create p (1. /. float_of_int (n - 1))
+  in
+  let res =
+    Fista.solve_into ~x0:start ~max_iter:4000 ~tol:1e-10
+      ~scratch:
+        (Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size)
+      ~project_into:(fun v ~dst -> Projections.block_simplex_into part v ~dst)
+      ~dim:p ~gradient_into ~lipschitz ()
+  in
+  let fanouts = res.Fista.x in
   (* Demand estimate against the window-average totals (in bits/s). *)
   let te_mean = Vec.zeros n in
   for step = 0 to k - 1 do

@@ -20,13 +20,16 @@ type result = {
           totals — comparable to the window-average true demands *)
 }
 
-(** [estimate ws ~load_samples] solves the constrained problem
+(** [estimate ?x0 ws ~load_samples] solves the constrained problem
     over a [K x L] window of load samples by accelerated projected
     gradient with an exact per-source probability-simplex projection
     (a KKT solve is numerically hopeless here: the Hessian blocks are
-    scaled by squared, heavy-tailed node totals).
+    scaled by squared, heavy-tailed node totals).  [x0] is an optional
+    warm-start {e fanout} vector (e.g. the previous window's
+    [result.fanouts]); default is uniform fanouts.
     @raise Invalid_argument if the window is empty or dimensions differ. *)
 val estimate :
+  ?x0:Tmest_linalg.Vec.t ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   result

@@ -64,7 +64,7 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
     let objective = Vec.init p (fun _ -> Dist.standard_gaussian start_rng) in
     match Simplex.maximize state objective with
     | Simplex.Optimal { x; _ } ->
-        Vec.axpy_inplace 1. x start;
+        Vec.axpy_into 1. x start ~dst:start;
         incr found
     | Simplex.Unbounded -> ()
   done;
@@ -92,7 +92,7 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
         (* Random direction in the null space. *)
         let dir = Vec.zeros p in
         List.iter
-          (fun v -> Vec.axpy_inplace (Dist.standard_gaussian rng) v dir)
+          (fun v -> Vec.axpy_into (Dist.standard_gaussian rng) v dir ~dst:dir)
           basis;
         let norm = Vec.norm2 dir in
         if norm > 1e-12 then begin

@@ -47,7 +47,7 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
     List.iter
       (fun (ws, t, _) ->
         let r = matrix_of ws in
-        Vec.axpy_inplace 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r x) t)) g)
+        Vec.axpy_into 2. (Csr.tmatvec r (Vec.sub (Csr.matvec r x) t)) g ~dst:g)
       scaled;
     g
   in
@@ -58,7 +58,7 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
            List.iter
              (fun (ws, _, _) ->
                let r = matrix_of ws in
-               Vec.axpy_inplace 1. (Csr.tmatvec r (Csr.matvec r v)) acc)
+               Vec.axpy_into 1. (Csr.tmatvec r (Csr.matvec r v)) acc ~dst:acc)
              scaled;
            acc)
   in

@@ -11,7 +11,7 @@ type result = {
   iterations : int;
 }
 
-let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
+let estimate ?x0 ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
     ~sigma_inv2 =
   if sigma_inv2 < 0. then invalid_arg "Vardi.estimate: negative sigma_inv2";
   if unit_bps <= 0. then invalid_arg "Vardi.estimate: unit_bps <= 0";
@@ -50,15 +50,26 @@ let estimate ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
     v.(pair) <- !acc
   done;
   let lin = Vec.axpy w v (Csr.tmatvec routing.Routing.matrix t_hat) in
-  let gradient x = Vec.scale 2. (Vec.sub (Mat.matvec h0 x) lin) in
+  (* grad = 2 (H₀ x − lin), computed in place. *)
+  let gradient_into x ~dst =
+    Mat.matvec_into h0 x ~dst;
+    Vec.sub_into dst lin ~dst;
+    Vec.scale_into 2. dst ~dst
+  in
   let lipschitz =
     2.
     *. Workspace.cached_lipschitz ws
          ~key:(Printf.sprintf "vardi.h0:%h" w)
          ~compute:(fun () -> Fista.lipschitz_of_gram h0)
   in
+  (* Warm starts arrive in bits/s; the solver works in counting units. *)
+  let x0 = Option.map (fun v0 -> Vec.scale (1. /. unit_bps) v0) x0 in
+  let scratch =
+    Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
+  in
   let res =
-    Fista.solve ~max_iter ~tol:1e-12 ~dim:p ~gradient ~lipschitz ()
+    Fista.solve_into ?x0 ~max_iter ~tol:1e-12 ~scratch ~dim:p ~gradient_into
+      ~lipschitz ()
   in
   let lambda = res.Fista.x in
   let pred = Csr.matvec routing.Routing.matrix lambda in

@@ -24,6 +24,7 @@ type counters = {
   c_prior : c;
   c_total : c;
   c_solve : c;
+  c_warm : c;
 }
 
 (* Load-keyed caches are bounded MRU lists: snapshot sweeps reuse the
@@ -47,6 +48,8 @@ type t = {
   lipschitz_tbl : (string, float) Hashtbl.t;
   mutable totals : (Vec.t * float) list;  (* MRU *)
   mutable priors : (prior_kind * Vec.t * Vec.t) list;  (* MRU *)
+  scratch_tbl : (string * int, Vec.t array) Hashtbl.t;
+  mutable warm : (string * Vec.t) list;  (* MRU *)
   counters : counters;
 }
 
@@ -67,6 +70,8 @@ let create routing =
     lipschitz_tbl = Hashtbl.create 7;
     totals = [];
     priors = [];
+    scratch_tbl = Hashtbl.create 7;
+    warm = [];
     counters =
       {
         c_gram = c_zero ();
@@ -78,6 +83,7 @@ let create routing =
         c_prior = c_zero ();
         c_total = c_zero ();
         c_solve = c_zero ();
+        c_warm = c_zero ();
       };
   }
 
@@ -230,6 +236,50 @@ let cached_prior t ~kind ~loads ~compute =
       v
 
 (* ------------------------------------------------------------------ *)
+(* Scratch-buffer pool and warm-start cache                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Scratch pools are keyed by (consumer name, dimension) so solvers
+   with the same problem size against this routing context share one
+   set of work vectors across an entire window scan.  Buffers are
+   handed out as uninitialized storage — consumers must not assume
+   contents survive between uses. *)
+let scratch t ~name ~dim ~count =
+  let key = (name, dim) in
+  match Hashtbl.find_opt t.scratch_tbl key with
+  | Some bufs when Array.length bufs >= count -> bufs
+  | existing ->
+      let have = match existing with Some b -> b | None -> [||] in
+      let bufs =
+        Array.init count (fun i ->
+            if i < Array.length have then have.(i) else Vec.zeros dim)
+      in
+      Hashtbl.replace t.scratch_tbl key bufs;
+      bufs
+
+(* Warm starts are bounded MRU like the other load-keyed caches: a
+   window scan re-solves one (method, parameters) pair against slowly
+   drifting loads, so the previous window's solution is an excellent
+   starting point; unrelated keys evict the oldest entry. *)
+let warm_start t ~key ~dim =
+  match List.find_opt (fun (k, _) -> String.equal k key) t.warm with
+  | Some ((_, v) as entry) when Vec.dim v = dim ->
+      t.counters.c_warm.h <- t.counters.c_warm.h + 1;
+      t.warm <- entry :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm;
+      Some v
+  | _ ->
+      t.counters.c_warm.m <- t.counters.c_warm.m + 1;
+      None
+
+let store_warm_start t ~key v =
+  (* Copy: the caller's estimate escapes to user code that may mutate
+     it, while cache entries must stay frozen. *)
+  t.warm <-
+    take_mru max_keyed
+      ((key, Vec.copy v)
+      :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm)
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -245,6 +295,7 @@ type stats = {
   prior : counter;
   total : counter;
   solve : counter;
+  warm : counter;
 }
 
 let snap c = { hits = c.h; misses = c.m; seconds = c.s }
@@ -261,6 +312,7 @@ let stats t =
     prior = snap c.c_prior;
     total = snap c.c_total;
     solve = snap c.c_solve;
+    warm = snap c.c_warm;
   }
 
 let reset_stats t =
@@ -278,7 +330,8 @@ let reset_stats t =
   z c.c_lipschitz;
   z c.c_prior;
   z c.c_total;
-  z c.c_solve
+  z c.c_solve;
+  z c.c_warm
 
 let record_solve t seconds =
   t.counters.c_solve.m <- t.counters.c_solve.m + 1;
@@ -302,6 +355,7 @@ let add_stats a b =
     prior = add_counter a.prior b.prior;
     total = add_counter a.total b.total;
     solve = add_counter a.solve b.solve;
+    warm = add_counter a.warm b.warm;
   }
 
 let stats_rows s =
@@ -315,6 +369,7 @@ let stats_rows s =
     ("prior", s.prior.hits, s.prior.misses, s.prior.seconds);
     ("total", s.total.hits, s.total.misses, s.total.seconds);
     ("solve", s.solve.hits, s.solve.misses, s.solve.seconds);
+    ("warm", s.warm.hits, s.warm.misses, s.warm.seconds);
   ]
 
 let pp_stats ppf s =

@@ -123,6 +123,43 @@ val cached_prior :
   compute:(unit -> Tmest_linalg.Vec.t) ->
   Tmest_linalg.Vec.t
 
+(** {1 Scratch-buffer pool}
+
+    Solver work vectors, keyed by consumer name and dimension, so the
+    allocation-free solver hot paths ({!Tmest_opt.Fista.solve_into} and
+    friends) reuse one set of buffers across every solve against this
+    routing context.  Buffers are handed out as uninitialized storage:
+    contents do not survive between [scratch] calls with the same key,
+    and two concurrent consumers must use distinct names. *)
+
+(** [scratch t ~name ~dim ~count] is a pool of at least [count] vectors
+    of dimension [dim], created on first use and cached under
+    [(name, dim)].  Growing [count] extends the cached pool in place. *)
+val scratch :
+  t -> name:string -> dim:int -> count:int -> Tmest_linalg.Vec.t array
+
+(** {1 Warm-start cache}
+
+    Bounded MRU cache of previous solutions, keyed by a caller-built
+    string identifying the method and its parameters (e.g.
+    ["entropy:sigma2=0x1.f4p+9:prior=gravity"]).  Window scans solve the
+    same problem against slowly drifting load vectors, so the previous
+    window's solution is an excellent starting iterate.  Opt-in:
+    {!Estimator.run_ws} only consults this cache when asked, because a
+    warm-started first-order solve stops at a {e different} point within
+    the solver tolerance than a cold one. *)
+
+(** [warm_start t ~key ~dim] is the most recent stored solution under
+    [key], if any of matching dimension.  Counted under the [warm]
+    stats class ([hits] = served, [misses] = empty lookups).  Treat the
+    result as read-only. *)
+val warm_start : t -> key:string -> dim:int -> Tmest_linalg.Vec.t option
+
+(** [store_warm_start t ~key v] records [v] (copied) as the starting
+    iterate for future solves under [key], evicting the least recently
+    used entry beyond the cache bound. *)
+val store_warm_start : t -> key:string -> Tmest_linalg.Vec.t -> unit
+
 (** {1 Observability} *)
 
 (** One artifact class's counters: [misses] is the number of times the
@@ -142,6 +179,7 @@ type stats = {
   total : counter;  (** total-traffic normalizations *)
   solve : counter;  (** full estimator runs via [Estimator.run_ws]
                         ([misses] = number of solves) *)
+  warm : counter;  (** warm-start lookups ([hits] = starts served) *)
 }
 
 (** [stats t] is a snapshot of the counters. *)

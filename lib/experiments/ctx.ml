@@ -87,3 +87,32 @@ let busy_loads net ~window =
       (Dataset.link_loads_at d ks.(i)).(j))
 
 let busy_mean net = Dataset.busy_mean_demand net.dataset
+
+let scan_busy ?(warm = false) net est ~window ~steps =
+  let d = net.dataset in
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let nk = Array.length ks in
+  if nk = 0 then invalid_arg "Ctx.scan_busy: no busy samples";
+  let window = Stdlib.max 1 (Stdlib.min window nk) in
+  let steps = Stdlib.max 1 (Stdlib.min steps (nk - window + 1)) in
+  let l = Dataset.num_links d in
+  (* Explicit in-order recursion: each step's solve must complete before
+     the next so warm starts chain through the workspace cache. *)
+  let rec go i acc =
+    if i >= steps then List.rev acc
+    else begin
+      let last = nk - steps + i in
+      let first = last - window + 1 in
+      let samples =
+        Mat.init window l (fun r j ->
+            (Dataset.link_loads_at d ks.(first + r)).(j))
+      in
+      let loads = Dataset.link_loads_at d ks.(last) in
+      let estimate =
+        Tmest_core.Estimator.run_ws ~warm est net.workspace ~loads
+          ~load_samples:samples
+      in
+      go (i + 1) ((ks.(last), estimate) :: acc)
+    end
+  in
+  go 0 []

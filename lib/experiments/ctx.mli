@@ -40,3 +40,19 @@ val busy_loads : network -> window:int -> Tmest_linalg.Mat.t
 (** [busy_mean net] is the busy-period mean demand (reference for
     time-series methods). *)
 val busy_mean : network -> Tmest_linalg.Vec.t
+
+(** [scan_busy ?warm net est ~window ~steps] slides a fixed-size
+    measurement window over the last [steps] busy-period snapshots and
+    runs estimator [est] once per position (snapshot methods see the
+    window-end load vector; time-series methods see the whole window).
+    With [warm:true] each solve starts from the previous position's
+    solution through the workspace warm-start cache — the intended use
+    of {!Tmest_core.Estimator.run_ws}'s [warm] flag.  Returns
+    [(snapshot index, estimate)] in scan order. *)
+val scan_busy :
+  ?warm:bool ->
+  network ->
+  Tmest_core.Estimator.t ->
+  window:int ->
+  steps:int ->
+  (int * Tmest_linalg.Vec.t) list

@@ -12,21 +12,32 @@ let window_truth net window =
   let ks = Array.sub ks (Array.length ks - window) window in
   let p = Dataset.num_pairs d in
   let acc = Vec.zeros p in
-  Array.iter (fun k -> Vec.axpy_inplace 1. (Dataset.demand_at d k) acc) ks;
+  Array.iter (fun k -> Vec.axpy_into 1. (Dataset.demand_at d k) acc ~dst:acc) ks;
   Vec.scale (1. /. float_of_int window) acc
 
-let estimate_for net window =
+let estimate_for ?x0 net window =
   let samples = Ctx.busy_loads net ~window in
-  let r = Fanout.estimate net.Ctx.workspace ~load_samples:samples in
-  (r.Fanout.estimate, window_truth net window)
+  let r = Fanout.estimate ?x0 net.Ctx.workspace ~load_samples:samples in
+  (r, window_truth net window)
+
+(* Scan over window lengths, warm-starting each solve from the previous
+   length's fanout vector (the fanout space is shared across lengths). *)
+let scan_windows net windows =
+  let _, results =
+    List.fold_left
+      (fun (x0, acc) window ->
+        let r, truth = estimate_for ?x0 net window in
+        (Some r.Fanout.fanouts, (window, r.Fanout.estimate, truth) :: acc))
+      (None, []) windows
+  in
+  List.rev results
 
 let fig10 ctx =
   let net = ctx.Ctx.america in
   let windows = if ctx.Ctx.fast then [ 1; 3 ] else [ 1; 3; 10 ] in
   let items =
     List.concat_map
-      (fun window ->
-        let estimate, truth = estimate_for net window in
+      (fun (window, estimate, truth) ->
         let order = Array.init (Array.length truth) (fun i -> i) in
         Array.sort (fun a b -> compare truth.(a) truth.(b)) order;
         let points = Array.map (fun p -> (truth.(p), estimate.(p))) order in
@@ -38,7 +49,7 @@ let fig10 ctx =
             (Metrics.mre ~truth ~estimate ())
             (Metrics.rank_correlation truth estimate);
         ])
-      windows
+      (scan_windows net windows)
   in
   {
     Report.id = "fig10";
@@ -56,10 +67,9 @@ let fig11 ctx =
       (fun net ->
         let points =
           List.map
-            (fun window ->
-              let estimate, truth = estimate_for net window in
+            (fun (window, estimate, truth) ->
               (float_of_int window, Metrics.mre ~truth ~estimate ()))
-            windows
+            (scan_windows net windows)
         in
         let points = Array.of_list points in
         let peak =

@@ -58,21 +58,26 @@ let fig12 ctx =
           Mat.init max_window (Dataset.num_links d) (fun k j ->
               (Routing.link_loads d.Dataset.routing (Mat.row series k)).(j))
         in
-        let points =
-          List.map
-            (fun window ->
+        (* Growing-window scan, warm-starting each solve from the
+           previous window's solution. *)
+        let _, points =
+          List.fold_left
+            (fun (x0, acc) window ->
               let sub =
                 Mat.submatrix loads ~row:0 ~col:0 ~rows:window
                   ~cols:(Mat.cols loads)
               in
               let r =
-                Vardi.estimate ~unit_bps net.Ctx.workspace ~load_samples:sub
-                  ~sigma_inv2:1.
+                Vardi.estimate ?x0 ~unit_bps net.Ctx.workspace
+                  ~load_samples:sub ~sigma_inv2:1.
               in
-              (float_of_int window,
-               Metrics.mre ~truth ~estimate:r.Vardi.estimate ()))
-            windows
+              ( Some r.Vardi.estimate,
+                (float_of_int window,
+                 Metrics.mre ~truth ~estimate:r.Vardi.estimate ())
+                :: acc ))
+            (None, []) windows
         in
+        let points = List.rev points in
         [
           Report.series
             (net.Ctx.label ^ " MRE vs window (synthetic Poisson TM)")

@@ -73,9 +73,13 @@ let get m i j =
   in
   find m.row_ptr.(i) m.row_ptr.(i + 1)
 
-let matvec m x =
-  if Array.length x <> m.cols then invalid_arg "Csr.matvec: dimension mismatch";
-  let y = Array.make m.rows 0. in
+let matvec_into m x ~dst =
+  if Array.length x <> m.cols then
+    invalid_arg "Csr.matvec_into: dimension mismatch";
+  if Array.length dst <> m.rows then
+    invalid_arg "Csr.matvec_into: destination dimension mismatch";
+  if dst == x && Array.length m.values > 0 then
+    invalid_arg "Csr.matvec_into: dst must not alias x";
   for i = 0 to m.rows - 1 do
     let acc = ref 0. in
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
@@ -84,23 +88,38 @@ let matvec m x =
         +. Array.unsafe_get m.values k
            *. Array.unsafe_get x (Array.unsafe_get m.col_idx k)
     done;
-    y.(i) <- !acc
-  done;
+    dst.(i) <- !acc
+  done
+
+let matvec m x =
+  if Array.length x <> m.cols then invalid_arg "Csr.matvec: dimension mismatch";
+  let y = Array.make m.rows 0. in
+  matvec_into m x ~dst:y;
   y
 
-let tmatvec m x =
+let tmatvec_into m x ~dst =
   if Array.length x <> m.rows then
-    invalid_arg "Csr.tmatvec: dimension mismatch";
-  let y = Array.make m.cols 0. in
+    invalid_arg "Csr.tmatvec_into: dimension mismatch";
+  if Array.length dst <> m.cols then
+    invalid_arg "Csr.tmatvec_into: destination dimension mismatch";
+  if dst == x && Array.length m.values > 0 then
+    invalid_arg "Csr.tmatvec_into: dst must not alias x";
+  Array.fill dst 0 m.cols 0.;
   for i = 0 to m.rows - 1 do
     let xi = Array.unsafe_get x i in
     if xi <> 0. then
       for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
         let j = Array.unsafe_get m.col_idx k in
-        Array.unsafe_set y j
-          (Array.unsafe_get y j +. (xi *. Array.unsafe_get m.values k))
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j +. (xi *. Array.unsafe_get m.values k))
       done
-  done;
+  done
+
+let tmatvec m x =
+  if Array.length x <> m.rows then
+    invalid_arg "Csr.tmatvec: dimension mismatch";
+  let y = Array.make m.cols 0. in
+  tmatvec_into m x ~dst:y;
   y
 
 let to_dense m =

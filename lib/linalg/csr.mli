@@ -26,8 +26,16 @@ val get : t -> int -> int -> float
 (** [matvec m x] is [m * x]. *)
 val matvec : t -> Vec.t -> Vec.t
 
+(** [matvec_into m x ~dst] writes [m * x] into [dst] without
+    allocating.  [dst] must not alias [x]. *)
+val matvec_into : t -> Vec.t -> dst:Vec.t -> unit
+
 (** [tmatvec m x] is [mᵀ * x]. *)
 val tmatvec : t -> Vec.t -> Vec.t
+
+(** [tmatvec_into m x ~dst] writes [mᵀ * x] into [dst] without
+    allocating.  [dst] must not alias [x]. *)
+val tmatvec_into : t -> Vec.t -> dst:Vec.t -> unit
 
 (** [to_dense m] expands to a dense matrix. *)
 val to_dense : t -> Mat.t

@@ -112,10 +112,13 @@ let matmul a b =
   done;
   c
 
-let matvec a x =
+let matvec_into a x ~dst =
   if a.cols <> Array.length x then
-    invalid_arg "Mat.matvec: dimension mismatch";
-  let y = Array.make a.rows 0. in
+    invalid_arg "Mat.matvec_into: dimension mismatch";
+  if Array.length dst <> a.rows then
+    invalid_arg "Mat.matvec_into: destination dimension mismatch";
+  if dst == x && a.rows > 0 && a.cols > 0 then
+    invalid_arg "Mat.matvec_into: dst must not alias x";
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
     let acc = ref 0. in
@@ -123,25 +126,41 @@ let matvec a x =
       acc :=
         !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
     done;
-    y.(i) <- !acc
-  done;
+    dst.(i) <- !acc
+  done
+
+let matvec a x =
+  if a.cols <> Array.length x then
+    invalid_arg "Mat.matvec: dimension mismatch";
+  let y = Array.make a.rows 0. in
+  matvec_into a x ~dst:y;
   y
 
-let tmatvec a x =
+let tmatvec_into a x ~dst =
   if a.rows <> Array.length x then
-    invalid_arg "Mat.tmatvec: dimension mismatch";
-  let y = Array.make a.cols 0. in
+    invalid_arg "Mat.tmatvec_into: dimension mismatch";
+  if Array.length dst <> a.cols then
+    invalid_arg "Mat.tmatvec_into: destination dimension mismatch";
+  if dst == x && a.rows > 0 && a.cols > 0 then
+    invalid_arg "Mat.tmatvec_into: dst must not alias x";
+  Array.fill dst 0 a.cols 0.;
   for i = 0 to a.rows - 1 do
     let xi = Array.unsafe_get x i in
     if xi <> 0. then begin
       let base = i * a.cols in
       for j = 0 to a.cols - 1 do
-        Array.unsafe_set y j
-          (Array.unsafe_get y j
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j
           +. (xi *. Array.unsafe_get a.data (base + j)))
       done
     end
-  done;
+  done
+
+let tmatvec a x =
+  if a.rows <> Array.length x then
+    invalid_arg "Mat.tmatvec: dimension mismatch";
+  let y = Array.make a.cols 0. in
+  tmatvec_into a x ~dst:y;
   y
 
 let gram a =

@@ -58,8 +58,16 @@ val matmul : t -> t -> t
 (** [matvec a x] is [a*x]. *)
 val matvec : t -> Vec.t -> Vec.t
 
+(** [matvec_into a x ~dst] writes [a*x] into [dst] without allocating.
+    [dst] must not alias [x]. *)
+val matvec_into : t -> Vec.t -> dst:Vec.t -> unit
+
 (** [tmatvec a x] is [aᵀ*x], without forming the transpose. *)
 val tmatvec : t -> Vec.t -> Vec.t
+
+(** [tmatvec_into a x ~dst] writes [aᵀ*x] into [dst] without
+    allocating.  [dst] must not alias [x]. *)
+val tmatvec_into : t -> Vec.t -> dst:Vec.t -> unit
 
 (** [gram a] is [aᵀ*a] computed symmetrically. *)
 val gram : t -> t

@@ -20,33 +20,103 @@ let check_same_dim name u v =
       (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
          (Array.length u) (Array.length v))
 
+let check_dst name v dst =
+  if Array.length dst <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: destination dimension mismatch (%d vs %d)"
+         name (Array.length dst) (Array.length v))
+
+(* Destination-passing kernels.  [dst] may alias any operand: every
+   kernel reads index [i] of its operands before writing index [i] of
+   [dst], so aliased calls still compute the element-wise result. *)
+
+let blit_into src ~dst =
+  check_dst "blit_into" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let add_into u v ~dst =
+  check_same_dim "add_into" u v;
+  check_dst "add_into" u dst;
+  for i = 0 to Array.length u - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get u i +. Array.unsafe_get v i)
+  done
+
+let sub_into u v ~dst =
+  check_same_dim "sub_into" u v;
+  check_dst "sub_into" u dst;
+  for i = 0 to Array.length u - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get u i -. Array.unsafe_get v i)
+  done
+
+let scale_into a v ~dst =
+  check_dst "scale_into" v dst;
+  for i = 0 to Array.length v - 1 do
+    Array.unsafe_set dst i (a *. Array.unsafe_get v i)
+  done
+
+let axpy_into a x y ~dst =
+  check_same_dim "axpy_into" x y;
+  check_dst "axpy_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i
+      ((a *. Array.unsafe_get x i) +. Array.unsafe_get y i)
+  done
+
+let mul_into u v ~dst =
+  check_same_dim "mul_into" u v;
+  check_dst "mul_into" u dst;
+  for i = 0 to Array.length u - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get u i *. Array.unsafe_get v i)
+  done
+
+let div_into u v ~dst =
+  check_same_dim "div_into" u v;
+  check_dst "div_into" u dst;
+  for i = 0 to Array.length u - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get u i /. Array.unsafe_get v i)
+  done
+
+let clamp_nonneg_into v ~dst =
+  check_dst "clamp_nonneg_into" v dst;
+  for i = 0 to Array.length v - 1 do
+    let x = Array.unsafe_get v i in
+    Array.unsafe_set dst i (if x < 0. then 0. else x)
+  done
+
 let add u v =
   check_same_dim "add" u v;
-  Array.mapi (fun i x -> x +. v.(i)) u
+  let dst = Array.make (Array.length u) 0. in
+  add_into u v ~dst;
+  dst
 
 let sub u v =
   check_same_dim "sub" u v;
-  Array.mapi (fun i x -> x -. v.(i)) u
+  let dst = Array.make (Array.length u) 0. in
+  sub_into u v ~dst;
+  dst
 
-let scale a v = Array.map (fun x -> a *. x) v
+let scale a v =
+  let dst = Array.make (Array.length v) 0. in
+  scale_into a v ~dst;
+  dst
 
 let axpy a x y =
   check_same_dim "axpy" x y;
-  Array.mapi (fun i yi -> (a *. x.(i)) +. yi) y
-
-let axpy_inplace a x y =
-  check_same_dim "axpy_inplace" x y;
-  for i = 0 to Array.length y - 1 do
-    y.(i) <- y.(i) +. (a *. x.(i))
-  done
+  let dst = Array.make (Array.length y) 0. in
+  axpy_into a x y ~dst;
+  dst
 
 let mul u v =
   check_same_dim "mul" u v;
-  Array.mapi (fun i x -> x *. v.(i)) u
+  let dst = Array.make (Array.length u) 0. in
+  mul_into u v ~dst;
+  dst
 
 let div u v =
   check_same_dim "div" u v;
-  Array.mapi (fun i x -> x /. v.(i)) u
+  let dst = Array.make (Array.length u) 0. in
+  div_into u v ~dst;
+  dst
 
 let dot u v =
   check_same_dim "dot" u v;
@@ -105,7 +175,10 @@ let map2 f u v =
   check_same_dim "map2" u v;
   Array.mapi (fun i x -> f x v.(i)) u
 
-let clamp_nonneg v = Array.map (fun x -> if x < 0. then 0. else x) v
+let clamp_nonneg v =
+  let dst = Array.make (Array.length v) 0. in
+  clamp_nonneg_into v ~dst;
+  dst
 
 let equal ?(eps = 1e-9) u v =
   Array.length u = Array.length v

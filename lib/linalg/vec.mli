@@ -38,14 +38,46 @@ val scale : float -> t -> t
 (** [axpy a x y] is [a*x + y]. *)
 val axpy : float -> t -> t -> t
 
-(** [axpy_inplace a x y] adds [a*x] into [y]. *)
-val axpy_inplace : float -> t -> t -> unit
-
 (** [mul u v] is the element-wise (Hadamard) product. *)
 val mul : t -> t -> t
 
 (** [div u v] is the element-wise quotient. *)
 val div : t -> t -> t
+
+(** {1 Destination-passing kernels}
+
+    Allocation-free variants used by the iterative-solver hot paths:
+    each writes its element-wise result into [dst] and returns nothing.
+    [dst] may alias any operand (every kernel reads index [i] before
+    writing index [i]), and results are bit-identical to the allocating
+    counterparts above.  All raise [Invalid_argument] on dimension
+    mismatch. *)
+
+(** [blit_into src ~dst] copies [src] into [dst]. *)
+val blit_into : t -> dst:t -> unit
+
+(** [add_into u v ~dst] writes [u + v] into [dst]. *)
+val add_into : t -> t -> dst:t -> unit
+
+(** [sub_into u v ~dst] writes [u - v] into [dst]. *)
+val sub_into : t -> t -> dst:t -> unit
+
+(** [scale_into a v ~dst] writes [a * v] into [dst]. *)
+val scale_into : float -> t -> dst:t -> unit
+
+(** [axpy_into a x y ~dst] writes [a*x + y] into [dst]; with [~dst:y]
+    this is the classical in-place BLAS axpy. *)
+val axpy_into : float -> t -> t -> dst:t -> unit
+
+(** [mul_into u v ~dst] writes the Hadamard product into [dst]. *)
+val mul_into : t -> t -> dst:t -> unit
+
+(** [div_into u v ~dst] writes the element-wise quotient into [dst]. *)
+val div_into : t -> t -> dst:t -> unit
+
+(** [clamp_nonneg_into v ~dst] writes [max v 0] element-wise into
+    [dst] (the non-negative-orthant projection of the solvers). *)
+val clamp_nonneg_into : t -> dst:t -> unit
 
 (** [dot u v] is the inner product. *)
 val dot : t -> t -> float

@@ -8,44 +8,64 @@ type result = {
   converged : bool;
 }
 
-let solve ?x0 ?max_iter ?(tol = 1e-10) ~apply ~b () =
+let scratch_size = 4
+
+let solve_into ?x0 ?max_iter ?(tol = 1e-10) ?scratch ~apply_into ~b () =
   let dim = Array.length b in
   let max_iter = match max_iter with Some k -> k | None -> 2 * dim in
-  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros dim) in
-  let r = ref (Vec.sub b (apply !x)) in
-  let p = ref (Vec.copy !r) in
-  let rs = ref (Vec.dot !r !r) in
+  let bufs =
+    Scratch.take ~name:"Cg.solve_into" ~dim ~count:scratch_size scratch
+  in
+  let x = bufs.(0) and r = bufs.(1) and p = bufs.(2) and ap = bufs.(3) in
+  (match x0 with
+  | Some v ->
+      if Vec.dim v <> dim then invalid_arg "Cg.solve: x0 dimension mismatch";
+      Vec.blit_into v ~dst:x
+  | None -> Array.fill x 0 dim 0.);
+  apply_into x ~dst:ap;
+  Vec.sub_into b ap ~dst:r;
+  Vec.blit_into r ~dst:p;
+  let rs = ref (Vec.dot r r) in
   let target = tol *. (Vec.norm2 b +. 1e-300) in
   let iterations = ref 0 in
   while sqrt !rs > target && !iterations < max_iter do
     incr iterations;
-    let ap = apply !p in
-    let pap = Vec.dot !p ap in
+    apply_into p ~dst:ap;
+    let pap = Vec.dot p ap in
     if pap <= 0. then begin
       (* Null-space direction of a semidefinite operator: stop here. *)
       rs := 0.
     end
     else begin
       let alpha = !rs /. pap in
-      x := Vec.axpy alpha !p !x;
-      r := Vec.axpy (-.alpha) ap !r;
-      let rs' = Vec.dot !r !r in
+      Vec.axpy_into alpha p x ~dst:x;
+      Vec.axpy_into (-.alpha) ap r ~dst:r;
+      let rs' = Vec.dot r r in
       let beta = rs' /. !rs in
-      p := Vec.axpy beta !p !r;
+      Vec.axpy_into beta p r ~dst:p;
       rs := rs'
     end
   done;
-  let residual_norm = Vec.norm2 (Vec.sub b (apply !x)) in
+  apply_into x ~dst:ap;
+  Vec.sub_into b ap ~dst:r;
+  let residual_norm = Vec.norm2 r in
   {
-    x = !x;
+    x = Vec.copy x;
     iterations = !iterations;
     residual_norm;
     converged = residual_norm <= Stdlib.max target (10. *. target);
   }
 
+let solve ?x0 ?max_iter ?tol ~apply ~b () =
+  solve_into ?x0 ?max_iter ?tol
+    ~apply_into:(fun v ~dst -> Vec.blit_into (apply v) ~dst)
+    ~b ()
+
 let solve_mat ?max_iter ?tol a b =
   if Mat.rows a <> Mat.cols a then invalid_arg "Cg.solve_mat: not square";
-  solve ?max_iter ?tol ~apply:(fun v -> Mat.matvec a v) ~b ()
+  solve_into ?max_iter ?tol
+    ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
+    ~b ()
 
 let lsqr_normal ?max_iter ?tol ~matvec ~tmatvec ~b () =
   let apply v = tmatvec (matvec v) in

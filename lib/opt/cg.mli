@@ -11,10 +11,31 @@ type result = {
   converged : bool;
 }
 
-(** [solve ~apply ~b ()] solves [A x = b] for SPD [A] given as the
-    product [apply].  Stops when the residual drops below
-    [tol * ‖b‖] (default [tol = 1e-10]) or after [max_iter]
-    iterations (default [2 * dim]). *)
+(** Number of scratch buffers of the system dimension consumed by
+    [solve_into] (iterate, residual, search direction, operator
+    output). *)
+val scratch_size : int
+
+(** [solve_into ~apply_into ~b ()] solves [A x = b] for SPD [A] given
+    as the destination-passing product [apply_into v ~dst] (never
+    called with [dst] aliasing [v]).  Iterations are allocation-free:
+    all work happens in [scratch_size] preallocated buffers (supplied
+    via [scratch] or allocated once at entry); the returned [x] is a
+    fresh copy.  Stops when the residual drops below [tol * ‖b‖]
+    (default [tol = 1e-10]) or after [max_iter] iterations (default
+    [2 * dim]). *)
+val solve_into :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?scratch:Tmest_linalg.Vec.t array ->
+  apply_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  b:Tmest_linalg.Vec.t ->
+  unit ->
+  result
+
+(** [solve ~apply ~b ()] is {!solve_into} with an allocating
+    matrix-vector product. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->

@@ -3,36 +3,73 @@ module Mat = Tmest_linalg.Mat
 
 type result = { x : Vec.t; iterations : int; converged : bool }
 
-let project v = Vec.clamp_nonneg v
+let scratch_size = 4
 
-let solve ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ~dim ~gradient ~lipschitz () =
+let default_project v ~dst = Vec.clamp_nonneg_into v ~dst
+
+let solve_into ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ?scratch ?project_into
+    ~dim ~gradient_into ~lipschitz () =
   if lipschitz <= 0. then invalid_arg "Fista.solve: lipschitz must be > 0";
+  let project_into =
+    match project_into with Some f -> f | None -> default_project
+  in
   let step = 1. /. lipschitz in
-  let x = ref (match x0 with Some v -> project v | None -> Vec.zeros dim) in
-  let y = ref (Vec.copy !x) in
+  let bufs =
+    Scratch.take ~name:"Fista.solve_into" ~dim ~count:scratch_size scratch
+  in
+  let x = ref bufs.(0) and x_next = ref bufs.(1) in
+  let y = bufs.(2) and g = bufs.(3) in
+  (match x0 with
+  | Some v ->
+      if Vec.dim v <> dim then
+        invalid_arg "Fista.solve: x0 dimension mismatch";
+      project_into v ~dst:!x
+  | None -> Array.fill !x 0 dim 0.);
+  Vec.blit_into !x ~dst:y;
   let momentum = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
   while (not !converged) && !iterations < max_iter do
     incr iterations;
-    let g = gradient !y in
-    let x_next = project (Vec.axpy (-.step) g !y) in
-    let delta = Vec.sub x_next !x in
-    (* Adaptive restart (O'Donoghue & Candès): kill the momentum when it
-       opposes the direction of progress. *)
-    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
+    gradient_into y ~dst:g;
+    Vec.axpy_into (-.step) g y ~dst:!x_next;
+    project_into !x_next ~dst:!x_next;
+    (* One fused pass computes the adaptive-restart test
+       (O'Donoghue & Candès: kill the momentum when it opposes the
+       direction of progress), the step length and ‖x_next‖ without
+       materializing [y − x_next] or [delta = x_next − x]. *)
+    let xa = !x and xna = !x_next in
+    let restart_dot = ref 0. and delta_sq = ref 0. and xnext_sq = ref 0. in
+    for i = 0 to dim - 1 do
+      let xn = Array.unsafe_get xna i in
+      let d = xn -. Array.unsafe_get xa i in
+      restart_dot := !restart_dot +. ((Array.unsafe_get y i -. xn) *. d);
+      delta_sq := !delta_sq +. (d *. d);
+      xnext_sq := !xnext_sq +. (xn *. xn)
+    done;
+    let restart = !restart_dot > 0. in
     let momentum_next =
       if restart then 1.
       else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
     in
     let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
-    y := Vec.axpy beta delta x_next;
-    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
-      converged := true;
-    x := x_next;
+    for i = 0 to dim - 1 do
+      let xn = Array.unsafe_get xna i in
+      Array.unsafe_set y i
+        ((beta *. (xn -. Array.unsafe_get xa i)) +. xn)
+    done;
+    if sqrt !delta_sq <= tol *. (1. +. sqrt !xnext_sq) then converged := true;
+    let tmp = !x in
+    x := !x_next;
+    x_next := tmp;
     momentum := momentum_next
   done;
-  { x = !x; iterations = !iterations; converged = !converged }
+  { x = Vec.copy !x; iterations = !iterations; converged = !converged }
+
+let solve ?x0 ?max_iter ?tol ~dim ~gradient ~lipschitz () =
+  solve_into ?x0 ?max_iter ?tol ~dim
+    ~gradient_into:(fun v ~dst -> Vec.blit_into (gradient v) ~dst)
+    ~lipschitz ()
 
 let lipschitz_of_op ?(iters = 60) ~dim apply =
   if dim = 0 then 0.

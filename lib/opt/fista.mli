@@ -11,16 +11,44 @@ type result = {
   converged : bool;
 }
 
-(** [solve ~dim ~gradient ~lipschitz ()] minimizes a convex differentiable
-    [f] with gradient [gradient] and gradient Lipschitz constant
-    [lipschitz] over [{x >= 0}].
+(** Number of scratch buffers of the problem dimension consumed by
+    [solve_into] (current iterate, candidate iterate, extrapolation
+    point, gradient). *)
+val scratch_size : int
 
-    - [x0]: starting point (default 0); negative entries are projected.
+(** [solve_into ~dim ~gradient_into ~lipschitz ()] minimizes a convex
+    differentiable [f] with gradient [gradient_into] (destination-passing:
+    [gradient_into v ~dst] writes ∇f(v) into [dst]) and gradient
+    Lipschitz constant [lipschitz] over the projection set.
+
+    Iterations are allocation-free: all work happens in [scratch_size]
+    preallocated buffers (supplied via [scratch], validated by
+    {!Scratch.take}, or allocated once at entry).  The returned [x] is a
+    fresh copy and never aliases the scratch pool.
+
+    - [x0]: starting point (default 0); projected before use.
     - [max_iter]: default 2000.
     - [tol]: stop when the projected-gradient step moves [x] by less than
       [tol * (1 + ‖x‖)] in Euclidean norm (default 1e-9).
+    - [project_into]: projection onto the feasible set, written to [dst]
+      (which may alias the input); defaults to clamping onto [{x >= 0}].
     - Restarts the momentum whenever it points uphill (adaptive restart),
       which matters for the badly conditioned small-regularization runs. *)
+val solve_into :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?scratch:Tmest_linalg.Vec.t array ->
+  ?project_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  dim:int ->
+  gradient_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  lipschitz:float ->
+  unit ->
+  result
+
+(** [solve ~dim ~gradient ~lipschitz ()] is {!solve_into} with an
+    allocating gradient callback and the non-negative orthant
+    projection; kept as the convenient non-hot-path entry point. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->

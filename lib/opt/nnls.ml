@@ -16,7 +16,14 @@ let solve ?max_iter ?tol a b =
   let x = Vec.zeros n in
   let passive = Array.make n false in
   let iterations = ref 0 in
-  let residual () = Vec.sub b (Mat.matvec a x) in
+  (* The outer-loop residual and dual gradient are recomputed every
+     step; keep one buffer for each instead of allocating per call. *)
+  let resid = Vec.zeros m in
+  let w = Vec.zeros n in
+  let refresh_residual () =
+    Mat.matvec_into a x ~dst:resid;
+    Vec.sub_into b resid ~dst:resid
+  in
   let tol =
     match tol with
     | Some t -> t
@@ -41,7 +48,8 @@ let solve ?max_iter ?tol a b =
   let finished = ref false in
   while (not !finished) && !iterations < max_iter do
     incr iterations;
-    let w = Mat.tmatvec a (residual ()) in
+    refresh_residual ();
+    Mat.tmatvec_into a resid ~dst:w;
     (* Most promising zero variable. *)
     let best = ref (-1) in
     for j = 0 to n - 1 do
@@ -86,4 +94,5 @@ let solve ?max_iter ?tol a b =
       done
     end
   done;
-  { x; residual_norm = Vec.norm2 (residual ()); iterations = !iterations }
+  refresh_residual ();
+  { x; residual_norm = Vec.norm2 resid; iterations = !iterations }

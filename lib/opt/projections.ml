@@ -1,11 +1,16 @@
 module Vec = Tmest_linalg.Vec
 
 (* Threshold tau with sum(max(v_i - tau, 0)) = total over the given
-   coordinates, found by one pass over the sorted values. *)
-let threshold total (v : float array) (idx : int array) =
+   coordinates, found by one pass over the sorted values.  [sorted] is
+   caller-provided storage of the block's size so repeated projections
+   (FISTA iterations) do not allocate. *)
+let threshold_into total (v : float array) (idx : int array)
+    (sorted : float array) =
   let n = Array.length idx in
   if n = 0 then invalid_arg "Projections: empty block";
-  let sorted = Array.map (fun i -> v.(i)) idx in
+  for j = 0 to n - 1 do
+    sorted.(j) <- v.(idx.(j))
+  done;
   Array.sort (fun a b -> compare b a) sorted;
   let tau = ref ((sorted.(0) -. total) /. 1.) in
   let cum = ref 0. in
@@ -21,6 +26,9 @@ let threshold total (v : float array) (idx : int array) =
    with Exit -> ());
   !tau
 
+let threshold total v idx =
+  threshold_into total v idx (Array.make (Array.length idx) 0.)
+
 let simplex ?(total = 1.) v =
   if total <= 0. then invalid_arg "Projections.simplex: total must be > 0";
   if Array.length v = 0 then invalid_arg "Projections.simplex: empty vector";
@@ -28,14 +36,18 @@ let simplex ?(total = 1.) v =
   let tau = threshold total v idx in
   Array.map (fun x -> Stdlib.max 0. (x -. tau)) v
 
-let block_simplex ~block v =
-  if Array.length block <> Array.length v then
-    invalid_arg "Projections.block_simplex: dimension mismatch";
+type partition = {
+  dim : int;
+  members : int array array;
+  sort_bufs : float array array;
+}
+
+let block_partition ~block =
   let nblocks =
     Array.fold_left
       (fun acc b ->
         if b < 0 then
-          invalid_arg "Projections.block_simplex: negative block id";
+          invalid_arg "Projections.block_partition: negative block id";
         Stdlib.max acc (b + 1))
       0 block
   in
@@ -48,12 +60,29 @@ let block_simplex ~block v =
       members.(b).(fill.(b)) <- i;
       fill.(b) <- fill.(b) + 1)
     block;
-  let out = Array.make (Array.length v) 0. in
-  Array.iter
-    (fun idx ->
-      if Array.length idx > 0 then begin
-        let tau = threshold 1. v idx in
-        Array.iter (fun i -> out.(i) <- Stdlib.max 0. (v.(i) -. tau)) idx
-      end)
+  {
+    dim = Array.length block;
     members;
-  out
+    sort_bufs = Array.map (fun idx -> Array.make (Array.length idx) 0.) members;
+  }
+
+let block_simplex_into part v ~dst =
+  if Array.length v <> part.dim then
+    invalid_arg "Projections.block_simplex_into: dimension mismatch";
+  if Array.length dst <> part.dim then
+    invalid_arg "Projections.block_simplex_into: destination dimension mismatch";
+  Array.iteri
+    (fun b idx ->
+      if Array.length idx > 0 then begin
+        let tau = threshold_into 1. v idx part.sort_bufs.(b) in
+        Array.iter (fun i -> dst.(i) <- Stdlib.max 0. (v.(i) -. tau)) idx
+      end)
+    part.members
+
+let block_simplex ~block v =
+  if Array.length block <> Array.length v then
+    invalid_arg "Projections.block_simplex: dimension mismatch";
+  let part = block_partition ~block in
+  let dst = Array.make (Array.length v) 0. in
+  block_simplex_into part v ~dst;
+  dst

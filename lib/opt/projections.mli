@@ -6,8 +6,25 @@
     @raise Invalid_argument if [total <= 0] or [v] is empty. *)
 val simplex : ?total:float -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
 
-(** [block_simplex ~block v] projects each block of coordinates
-    independently onto the probability simplex: [block.(i)] names the
-    block of coordinate [i] (block ids must be [0..B-1]).  Used to
-    enforce per-source fanout constraints [Σ_m α(n,m) = 1, α >= 0]. *)
+(** Precomputed block structure for {!block_simplex_into}: member index
+    lists plus per-block sort buffers, so the projection inside a solver
+    iteration allocates nothing. *)
+type partition
+
+(** [block_partition ~block] groups coordinates by [block.(i)] (block
+    ids must be [0..B-1]).  Build once per problem, reuse across
+    iterations. *)
+val block_partition : block:int array -> partition
+
+(** [block_simplex_into part v ~dst] projects each block of coordinates
+    independently onto the probability simplex, writing into [dst]
+    ([dst] may alias [v]; blocks are disjoint, so per-block writes never
+    disturb another block's reads). *)
+val block_simplex_into :
+  partition -> Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit
+
+(** [block_simplex ~block v] is the allocating form: builds the
+    partition and projects.  [block.(i)] names the block of coordinate
+    [i].  Used to enforce per-source fanout constraints
+    [Σ_m α(n,m) = 1, α >= 0]. *)
 val block_simplex : block:int array -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t

@@ -3,52 +3,143 @@ module Lambert = Tmest_stats.Lambert
 
 type result = { x : Vec.t; iterations : int; converged : bool }
 
-let solve ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ~dim ~gradient ~prox
-    ~lipschitz () =
+let scratch_size = 4
+
+let solve_into ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ?scratch ~dim
+    ~gradient_into ~prox_into ~lipschitz () =
   if lipschitz <= 0. then invalid_arg "Proxgrad.solve: lipschitz must be > 0";
   let step = 1. /. lipschitz in
-  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros dim) in
-  let y = ref (Vec.copy !x) in
+  let bufs =
+    Scratch.take ~name:"Proxgrad.solve_into" ~dim ~count:scratch_size scratch
+  in
+  let x = ref bufs.(0) and x_next = ref bufs.(1) in
+  let y = bufs.(2) and g = bufs.(3) in
+  (match x0 with
+  | Some v ->
+      if Vec.dim v <> dim then
+        invalid_arg "Proxgrad.solve: x0 dimension mismatch";
+      Vec.blit_into v ~dst:!x
+  | None -> Array.fill !x 0 dim 0.);
+  Vec.blit_into !x ~dst:y;
   let momentum = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
   while (not !converged) && !iterations < max_iter do
     incr iterations;
-    let g = gradient !y in
-    let x_next = prox step (Vec.axpy (-.step) g !y) in
-    let delta = Vec.sub x_next !x in
-    let restart = Vec.dot (Vec.sub !y x_next) delta > 0. in
+    gradient_into y ~dst:g;
+    Vec.axpy_into (-.step) g y ~dst:!x_next;
+    prox_into step !x_next ~dst:!x_next;
+    (* Fused restart/step/norm pass; see Fista.solve_into. *)
+    let xa = !x and xna = !x_next in
+    let restart_dot = ref 0. and delta_sq = ref 0. and xnext_sq = ref 0. in
+    for i = 0 to dim - 1 do
+      let xn = Array.unsafe_get xna i in
+      let d = xn -. Array.unsafe_get xa i in
+      restart_dot := !restart_dot +. ((Array.unsafe_get y i -. xn) *. d);
+      delta_sq := !delta_sq +. (d *. d);
+      xnext_sq := !xnext_sq +. (xn *. xn)
+    done;
+    let restart = !restart_dot > 0. in
     let momentum_next =
       if restart then 1.
       else (1. +. sqrt (1. +. (4. *. !momentum *. !momentum))) /. 2.
     in
     let beta = if restart then 0. else (!momentum -. 1.) /. momentum_next in
-    y := Vec.axpy beta delta x_next;
-    if Vec.norm2 delta <= tol *. (1. +. Vec.norm2 x_next) then
-      converged := true;
-    x := x_next;
+    for i = 0 to dim - 1 do
+      let xn = Array.unsafe_get xna i in
+      Array.unsafe_set y i
+        ((beta *. (xn -. Array.unsafe_get xa i)) +. xn)
+    done;
+    if sqrt !delta_sq <= tol *. (1. +. sqrt !xnext_sq) then converged := true;
+    let tmp = !x in
+    x := !x_next;
+    x_next := tmp;
     momentum := momentum_next
   done;
-  { x = !x; iterations = !iterations; converged = !converged }
+  { x = Vec.copy !x; iterations = !iterations; converged = !converged }
+
+let solve ?x0 ?max_iter ?tol ~dim ~gradient ~prox ~lipschitz () =
+  solve_into ?x0 ?max_iter ?tol ~dim
+    ~gradient_into:(fun v ~dst -> Vec.blit_into (gradient v) ~dst)
+    ~prox_into:(fun step v ~dst -> Vec.blit_into (prox step v) ~dst)
+    ~lipschitz ()
 
 (* Minimizer of  w·(s ln(s/p) − s + p) + (s − v)²/(2η)  over s >= 0:
    stationarity gives  c ln(s/p) + s = v  with  c = w·η, hence
    s = c · W₀((p/c)·e^(v/c)).  Computed via the log-domain W to survive
    v/c of thousands. *)
+let kl_prox_into ~weight ~prior step v ~dst =
+  if weight < 0. then invalid_arg "Proxgrad.kl_prox: negative weight";
+  if Vec.dim dst <> Vec.dim v then
+    invalid_arg "Proxgrad.kl_prox_into: destination dimension mismatch";
+  if Vec.dim prior <> Vec.dim v then
+    invalid_arg "Proxgrad.kl_prox_into: prior dimension mismatch";
+  let c = weight *. step in
+  if c = 0. then Vec.clamp_nonneg_into v ~dst
+  else
+    (* The Lambert evaluation is inlined from [Lambert.w0_exp] /
+       [Lambert.w0] (same guesses, same iteration counts, so results are
+       bit-identical), with [dst.(i)] as the unboxed Newton/Halley cell:
+       a [float ref] or a cross-module float call would box on every
+       element and this loop is the allocation hot path of the entropy
+       solver.  [test_kernels] pins the two implementations together. *)
+    for i = 0 to Vec.dim v - 1 do
+      let p = prior.(i) in
+      if p <= 0. then dst.(i) <- 0.
+      else begin
+        let l = log p -. log c +. (v.(i) /. c) in
+        if l < -700. then dst.(i) <- c *. exp l
+        else if l <= 1. then begin
+          (* Halley on w·e^w = x, x = e^l in (0, e]. *)
+          let x = exp l in
+          if x = 0. then dst.(i) <- 0.
+          else begin
+            let guess =
+              if x < 1. then x *. (1. -. x +. (1.5 *. x *. x))
+              else begin
+                let l1 = log x in
+                let l2 = log l1 in
+                if l1 > 3. then l1 -. l2 +. (l2 /. l1) else l1
+              end
+            in
+            dst.(i) <- (if guess > -1.0 then guess else -1.0);
+            for _ = 1 to 40 do
+              let w = dst.(i) in
+              let ew = exp w in
+              let f = (w *. ew) -. x in
+              if f <> 0. then begin
+                let denom =
+                  (ew *. (w +. 1.))
+                  -. ((w +. 2.) *. f /. (2. *. (w +. 1.)))
+                in
+                if denom <> 0. then dst.(i) <- w -. (f /. denom)
+              end
+            done;
+            dst.(i) <- c *. dst.(i)
+          end
+        end
+        else begin
+          (* Newton on w + ln w = l.  ([Stdlib.max] is polymorphic and
+             would box both floats; [l > 1] here so no NaN concerns.) *)
+          let g = l -. log l in
+          dst.(i) <- (if g > 1e-8 then g else 1e-8);
+          for _ = 1 to 60 do
+            let w = dst.(i) in
+            let f = w +. log w -. l in
+            let f' = 1. +. (1. /. w) in
+            let next = w -. (f /. f') in
+            dst.(i) <- (if next > 0. then next else w /. 2.)
+          done;
+          dst.(i) <- c *. dst.(i)
+        end
+      end
+    done
+
 let kl_prox ~weight ~prior step v =
   if weight < 0. then invalid_arg "Proxgrad.kl_prox: negative weight";
-  let c = weight *. step in
-  if c = 0. then Vec.clamp_nonneg v
-  else
-    Vec.mapi
-      (fun i vi ->
-        let p = prior.(i) in
-        if p <= 0. then 0.
-        else begin
-          let log_arg = log p -. log c +. (vi /. c) in
-          c *. Lambert.w0_exp log_arg
-        end)
-      v
+  let dst = Vec.zeros (Vec.dim v) in
+  kl_prox_into ~weight ~prior step v ~dst;
+  dst
 
 let kl_divergence s p =
   if Array.length s <> Array.length p then

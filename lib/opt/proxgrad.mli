@@ -13,9 +13,33 @@ type result = {
   converged : bool;
 }
 
-(** [solve ~dim ~gradient ~prox ~lipschitz ()] minimizes [f + h] where
-    [gradient] is ∇f, [prox step v] is [argmin_u h(u) + ‖u−v‖²/(2 step)],
-    and [lipschitz] bounds ∇f's Lipschitz constant. *)
+(** Number of scratch buffers of the problem dimension consumed by
+    [solve_into]. *)
+val scratch_size : int
+
+(** [solve_into ~dim ~gradient_into ~prox_into ~lipschitz ()] minimizes
+    [f + h] where [gradient_into v ~dst] writes ∇f(v) into [dst],
+    [prox_into step v ~dst] writes [argmin_u h(u) + ‖u−v‖²/(2 step)]
+    into [dst] ([dst] may alias [v]), and [lipschitz] bounds ∇f's
+    Lipschitz constant.  Iterations are allocation-free: all work
+    happens in [scratch_size] preallocated buffers (supplied via
+    [scratch] or allocated once at entry); the returned [x] is a fresh
+    copy. *)
+val solve_into :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?scratch:Tmest_linalg.Vec.t array ->
+  dim:int ->
+  gradient_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  prox_into:(float -> Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  lipschitz:float ->
+  unit ->
+  result
+
+(** [solve ~dim ~gradient ~prox ~lipschitz ()] is {!solve_into} with
+    allocating callbacks; kept as the convenient non-hot-path entry
+    point. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
   ?max_iter:int ->
@@ -27,10 +51,21 @@ val solve :
   unit ->
   result
 
-(** [kl_prox ~weight ~prior step v] is the proximal operator of
-    [weight · D(· ‖ prior)] (generalized KL, [D(s‖p) = Σ s ln(s/p) − s + p])
-    with step size [step], applied element-wise.  Entries with
-    [prior <= 0] are mapped to 0. *)
+(** [kl_prox_into ~weight ~prior step v ~dst] writes the proximal
+    operator of [weight · D(· ‖ prior)] (generalized KL,
+    [D(s‖p) = Σ s ln(s/p) − s + p]) with step size [step] into [dst],
+    element-wise.  [dst] may alias [v].  Entries with [prior <= 0] are
+    mapped to 0. *)
+val kl_prox_into :
+  weight:float ->
+  prior:Tmest_linalg.Vec.t ->
+  float ->
+  Tmest_linalg.Vec.t ->
+  dst:Tmest_linalg.Vec.t ->
+  unit
+
+(** [kl_prox ~weight ~prior step v] is the allocating form of
+    {!kl_prox_into}. *)
 val kl_prox :
   weight:float -> prior:Tmest_linalg.Vec.t -> float -> Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t

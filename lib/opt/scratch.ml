@@ -1,0 +1,23 @@
+module Vec = Tmest_linalg.Vec
+
+(* The iterative solvers iterate over a fixed number of work vectors;
+   [take] either validates a caller-supplied pool (so repeated solves
+   against one routing context reuse the same arrays, see
+   [Tmest_core.Workspace]) or allocates a fresh one.  Buffers are
+   treated as uninitialized on entry: every solver overwrites them
+   before reading. *)
+let take ~name ~dim ~count = function
+  | None -> Array.init count (fun _ -> Vec.zeros dim)
+  | Some bufs ->
+      if Array.length bufs < count then
+        invalid_arg
+          (Printf.sprintf "%s: scratch pool too small (%d < %d buffers)"
+             name (Array.length bufs) count);
+      for i = 0 to count - 1 do
+        if Vec.dim bufs.(i) <> dim then
+          invalid_arg
+            (Printf.sprintf
+               "%s: scratch buffer %d has dimension %d, expected %d" name i
+               (Vec.dim bufs.(i)) dim)
+      done;
+      bufs

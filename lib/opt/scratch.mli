@@ -1,0 +1,19 @@
+(** Scratch-buffer pools for the allocation-free solver hot paths.
+
+    Each iterative solver documents how many work vectors of the
+    problem dimension it needs ([Fista.scratch_size] etc.).  Passing a
+    preallocated pool makes repeated solves allocation-free end to end;
+    omitting it falls back to a fresh per-call allocation (setup cost
+    only — the iterations themselves never allocate either way). *)
+
+(** [take ~name ~dim ~count pool] is [pool] validated to hold at least
+    [count] buffers of dimension [dim] (raising [Invalid_argument]
+    otherwise, with [name] in the message), or [count] fresh zero
+    vectors when [pool] is [None].  Buffer contents are not preserved:
+    solvers treat them as uninitialized. *)
+val take :
+  name:string ->
+  dim:int ->
+  count:int ->
+  Tmest_linalg.Vec.t array option ->
+  Tmest_linalg.Vec.t array

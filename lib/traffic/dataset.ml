@@ -73,7 +73,7 @@ let busy_mean_demand t =
   let busy = busy_samples t in
   let p = num_pairs t in
   let acc = Vec.zeros p in
-  List.iter (fun k -> Vec.axpy_inplace 1. (demand_at t k) acc) busy;
+  List.iter (fun k -> Vec.axpy_into 1. (demand_at t k) acc ~dst:acc) busy;
   Vec.scale (1. /. float_of_int (List.length busy)) acc
 
 let total_series t =

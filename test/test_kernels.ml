@@ -1,0 +1,303 @@
+(* Equivalence of the destination-passing kernels with their allocating
+   counterparts.  Every [*_into] must be BIT-identical to the function it
+   shadows — the solver rewrite relies on swapping one for the other
+   without moving any floating-point result — including on the edge
+   cases: length 0, length 1, and an aliased destination. *)
+
+open Tmest_linalg
+open Tmest_opt
+
+let rng = Tmest_stats.Rng.create 97
+
+let rand_vec ?(offset = 0.) n =
+  Vec.init n (fun _ -> offset +. Tmest_stats.Rng.float rng)
+
+(* Bit-level equality: distinguishes 0. from -0. and catches any
+   reordering of float operations. *)
+let check_bits msg expected got =
+  if Vec.dim expected <> Vec.dim got then
+    Alcotest.failf "%s: dimension %d vs %d" msg (Vec.dim expected)
+      (Vec.dim got);
+  Array.iteri
+    (fun i e ->
+      if Int64.bits_of_float e <> Int64.bits_of_float got.(i) then
+        Alcotest.failf "%s: index %d: %h vs %h" msg i e got.(i))
+    expected
+
+let dims = [ 0; 1; 17 ]
+
+(* Each elementwise case: (name, allocating reference, into-kernel).
+   [div] gets strictly positive inputs via [offset]. *)
+let elementwise_cases =
+  [
+    ( "add",
+      (fun u v -> Vec.add u v),
+      fun u v ~dst -> Vec.add_into u v ~dst );
+    ( "sub",
+      (fun u v -> Vec.sub u v),
+      fun u v ~dst -> Vec.sub_into u v ~dst );
+    ( "mul",
+      (fun u v -> Vec.mul u v),
+      fun u v ~dst -> Vec.mul_into u v ~dst );
+    ( "div",
+      (fun u v -> Vec.div u v),
+      fun u v ~dst -> Vec.div_into u v ~dst );
+    ( "axpy",
+      (fun u v -> Vec.axpy 1.7 u v),
+      fun u v ~dst -> Vec.axpy_into 1.7 u v ~dst );
+  ]
+
+let test_elementwise_fresh_dst () =
+  List.iter
+    (fun (name, reference, into) ->
+      List.iter
+        (fun n ->
+          let u = rand_vec ~offset:0.5 n and v = rand_vec ~offset:0.5 n in
+          let expected = reference u v in
+          let dst = rand_vec n in
+          into u v ~dst;
+          check_bits (Printf.sprintf "%s dim %d" name n) expected dst)
+        dims)
+    elementwise_cases
+
+let test_elementwise_aliased_dst () =
+  List.iter
+    (fun (name, reference, into) ->
+      List.iter
+        (fun n ->
+          let u = rand_vec ~offset:0.5 n and v = rand_vec ~offset:0.5 n in
+          let expected = reference u v in
+          (* dst aliases the first operand ... *)
+          let u' = Vec.copy u in
+          into u' v ~dst:u';
+          check_bits (Printf.sprintf "%s dst==u dim %d" name n) expected u';
+          (* ... and the second. *)
+          let v' = Vec.copy v in
+          into u v' ~dst:v';
+          check_bits (Printf.sprintf "%s dst==v dim %d" name n) expected v')
+        dims)
+    elementwise_cases
+
+let test_unary_kernels () =
+  List.iter
+    (fun n ->
+      let v = Vec.init n (fun i -> Tmest_stats.Rng.float rng -. float_of_int (i mod 3)) in
+      let expected = Vec.scale (-2.5) v in
+      let dst = rand_vec n in
+      Vec.scale_into (-2.5) v ~dst;
+      check_bits (Printf.sprintf "scale dim %d" n) expected dst;
+      let v' = Vec.copy v in
+      Vec.scale_into (-2.5) v' ~dst:v';
+      check_bits (Printf.sprintf "scale aliased dim %d" n) expected v';
+      let expected = Vec.clamp_nonneg v in
+      let v' = Vec.copy v in
+      Vec.clamp_nonneg_into v' ~dst:v';
+      check_bits (Printf.sprintf "clamp_nonneg aliased dim %d" n) expected v';
+      let dst = rand_vec n in
+      Vec.blit_into v ~dst;
+      check_bits (Printf.sprintf "blit dim %d" n) v dst)
+    dims
+
+let test_matvec_into () =
+  List.iter
+    (fun (r, c) ->
+      let a = Mat.init r c (fun _ _ -> Tmest_stats.Rng.float rng) in
+      let x = rand_vec c and y = rand_vec r in
+      let dst_r = rand_vec r and dst_c = rand_vec c in
+      Mat.matvec_into a x ~dst:dst_r;
+      check_bits
+        (Printf.sprintf "matvec %dx%d" r c)
+        (Mat.matvec a x) dst_r;
+      Mat.tmatvec_into a y ~dst:dst_c;
+      check_bits
+        (Printf.sprintf "tmatvec %dx%d" r c)
+        (Mat.tmatvec a y) dst_c)
+    [ (1, 1); (7, 5); (5, 7) ]
+
+let test_matvec_into_alias_guard () =
+  let a = Mat.init 3 3 (fun _ _ -> 1.) in
+  let x = rand_vec 3 in
+  Alcotest.(check bool)
+    "matvec_into rejects dst == x" true
+    (try
+       Mat.matvec_into a x ~dst:x;
+       false
+     with Invalid_argument _ -> true)
+
+let test_csr_matvec_into () =
+  let dense =
+    Mat.init 9 6 (fun i j -> if (i + (2 * j)) mod 3 = 0 then float_of_int (i + j) else 0.)
+  in
+  let m = Csr.of_dense dense in
+  let x = rand_vec 6 and y = rand_vec 9 in
+  let dst_r = rand_vec 9 and dst_c = rand_vec 6 in
+  Csr.matvec_into m x ~dst:dst_r;
+  check_bits "csr matvec" (Csr.matvec m x) dst_r;
+  Csr.tmatvec_into m y ~dst:dst_c;
+  check_bits "csr tmatvec" (Csr.tmatvec m y) dst_c
+
+(* The KL prox inlines the Lambert-W evaluation (to keep the solver loop
+   allocation-free); pin it to the reference [Lambert.w0_exp] across all
+   three branches of the log-domain argument. *)
+let test_kl_prox_matches_lambert () =
+  let weight = 2. and step = 0.5 in
+  let c = weight *. step in
+  let prior = Vec.of_list [ 1.; 0.3; 2.; 0.; 1e-3; 4.; 1.; 1. ] in
+  (* v chosen so log p - log c + v/c spans l < -700, l <= 1, l > 1. *)
+  let v = Vec.of_list [ -800.; 0.2; 5.; 3.; -0.4; 40.; 0.9; 1.2 ] in
+  let dst = Vec.zeros 8 in
+  Proxgrad.kl_prox_into ~weight ~prior step v ~dst;
+  Array.iteri
+    (fun i p ->
+      let expected =
+        if p <= 0. then 0.
+        else c *. Tmest_stats.Lambert.w0_exp (log p -. log c +. (v.(i) /. c))
+      in
+      if Int64.bits_of_float expected <> Int64.bits_of_float dst.(i) then
+        Alcotest.failf "kl_prox vs lambert at %d: %h vs %h" i expected
+          dst.(i))
+    prior;
+  (* And the aliased form used by the solver loop (dst == v). *)
+  let v' = Vec.copy v in
+  Proxgrad.kl_prox_into ~weight ~prior step v' ~dst:v';
+  check_bits "kl_prox aliased" dst v'
+
+let test_block_simplex_into () =
+  let block = [| 0; 0; 1; 2; 1; 0; 2; 2 |] in
+  let v = rand_vec 8 in
+  let expected = Projections.block_simplex ~block v in
+  let part = Projections.block_partition ~block in
+  let dst = rand_vec 8 in
+  Projections.block_simplex_into part v ~dst;
+  check_bits "block_simplex fresh dst" expected dst;
+  let v' = Vec.copy v in
+  Projections.block_simplex_into part v' ~dst:v';
+  check_bits "block_simplex aliased" expected v';
+  (* The partition is reusable: a second projection through the same
+     partition must not be perturbed by the first one's sort scratch. *)
+  let w = rand_vec 8 in
+  let dst2 = rand_vec 8 in
+  Projections.block_simplex_into part w ~dst:dst2;
+  check_bits "block_simplex reused partition"
+    (Projections.block_simplex ~block w)
+    dst2
+
+(* Solver wrappers: the allocating entry points are thin shims over the
+   [_into] cores, and a caller-provided scratch pool (with arbitrary
+   stale contents) must not change any result. *)
+
+let quadratic_problem dim =
+  let a =
+    Mat.add
+      (Mat.gram (Mat.init dim dim (fun _ _ -> Tmest_stats.Rng.float rng)))
+      (Mat.identity dim)
+  in
+  let b = rand_vec dim in
+  (a, b)
+
+let test_fista_scratch_invariance () =
+  let dim = 12 in
+  let a, b = quadratic_problem dim in
+  let lipschitz = Fista.lipschitz_of_gram a in
+  let gradient x = Vec.sub (Mat.matvec a x) b in
+  let gradient_into x ~dst =
+    Mat.matvec_into a x ~dst;
+    Vec.sub_into dst b ~dst
+  in
+  let reference = Fista.solve ~max_iter:200 ~dim ~gradient ~lipschitz () in
+  let scratch =
+    Array.init Fista.scratch_size (fun _ -> rand_vec ~offset:3. dim)
+  in
+  let with_scratch =
+    Fista.solve_into ~max_iter:200 ~scratch ~dim ~gradient_into ~lipschitz ()
+  in
+  check_bits "fista scratch invariance" reference.Fista.x
+    with_scratch.Fista.x;
+  Alcotest.(check int)
+    "fista iteration count" reference.Fista.iterations
+    with_scratch.Fista.iterations
+
+let test_fista_scratch_validation () =
+  let dim = 5 in
+  let gradient_into _ ~dst = Vec.blit_into (Vec.zeros dim) ~dst in
+  Alcotest.(check bool)
+    "undersized scratch rejected" true
+    (try
+       ignore
+         (Fista.solve_into
+            ~scratch:(Array.init Fista.scratch_size (fun _ -> Vec.zeros 4))
+            ~dim ~gradient_into ~lipschitz:1. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_cg_scratch_invariance () =
+  let dim = 12 in
+  let a, b = quadratic_problem dim in
+  let reference = Cg.solve ~apply:(fun v -> Mat.matvec a v) ~b () in
+  let scratch = Array.init Cg.scratch_size (fun _ -> rand_vec ~offset:2. dim) in
+  let with_scratch =
+    Cg.solve_into ~scratch
+      ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
+      ~b ()
+  in
+  check_bits "cg scratch invariance" reference.Cg.x with_scratch.Cg.x;
+  Alcotest.(check int)
+    "cg iteration count" reference.Cg.iterations with_scratch.Cg.iterations
+
+let test_proxgrad_scratch_invariance () =
+  let dim = 12 in
+  let a, b = quadratic_problem dim in
+  let lipschitz = Fista.lipschitz_of_gram a in
+  let prior = Vec.create dim 0.8 in
+  let gradient x = Vec.sub (Mat.matvec a x) b in
+  let gradient_into x ~dst =
+    Mat.matvec_into a x ~dst;
+    Vec.sub_into dst b ~dst
+  in
+  let reference =
+    Proxgrad.solve ~max_iter:150 ~dim ~gradient
+      ~prox:(Proxgrad.kl_prox ~weight:0.3 ~prior)
+      ~lipschitz ()
+  in
+  let scratch =
+    Array.init Proxgrad.scratch_size (fun _ -> rand_vec ~offset:1. dim)
+  in
+  let with_scratch =
+    Proxgrad.solve_into ~max_iter:150 ~scratch ~dim ~gradient_into
+      ~prox_into:(Proxgrad.kl_prox_into ~weight:0.3 ~prior)
+      ~lipschitz ()
+  in
+  check_bits "proxgrad scratch invariance" reference.Proxgrad.x
+    with_scratch.Proxgrad.x
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "into-equivalence",
+        [
+          Alcotest.test_case "elementwise, fresh dst" `Quick
+            test_elementwise_fresh_dst;
+          Alcotest.test_case "elementwise, aliased dst" `Quick
+            test_elementwise_aliased_dst;
+          Alcotest.test_case "scale/clamp/blit" `Quick test_unary_kernels;
+          Alcotest.test_case "dense matvec/tmatvec" `Quick test_matvec_into;
+          Alcotest.test_case "matvec alias guard" `Quick
+            test_matvec_into_alias_guard;
+          Alcotest.test_case "csr matvec/tmatvec" `Quick test_csr_matvec_into;
+        ] );
+      ( "solver-cores",
+        [
+          Alcotest.test_case "kl_prox matches Lambert" `Quick
+            test_kl_prox_matches_lambert;
+          Alcotest.test_case "block simplex partition" `Quick
+            test_block_simplex_into;
+          Alcotest.test_case "fista scratch invariance" `Quick
+            test_fista_scratch_invariance;
+          Alcotest.test_case "fista scratch validation" `Quick
+            test_fista_scratch_validation;
+          Alcotest.test_case "cg scratch invariance" `Quick
+            test_cg_scratch_invariance;
+          Alcotest.test_case "proxgrad scratch invariance" `Quick
+            test_proxgrad_scratch_invariance;
+        ] );
+    ]

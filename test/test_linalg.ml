@@ -33,7 +33,7 @@ let test_vec_ops () =
 
 let test_vec_axpy_inplace () =
   let x = Vec.of_list [ 1.; 2. ] and y = Vec.of_list [ 10.; 20. ] in
-  Vec.axpy_inplace 3. x y;
+  Vec.axpy_into 3. x y ~dst:y;
   Alcotest.(check bool) "inplace" true
     (Vec.equal y (Vec.of_list [ 13.; 26. ]))
 

@@ -1,0 +1,145 @@
+(* Warm-started window scans: sliding a measurement window and starting
+   each solve from the previous window's solution must land on the same
+   optimum as solving cold, up to solver tolerance — warm starts change
+   the iteration path, never the answer.  Runs on both reduced networks
+   so the unit conversions of every method's [?x0] plumbing are covered
+   on two different routing contexts. *)
+
+module Vec = Tmest_linalg.Vec
+module Ctx = Tmest_experiments.Ctx
+module Workspace = Tmest_core.Workspace
+module Estimator = Tmest_core.Estimator
+
+let ctx = lazy (Ctx.create ~fast:true ())
+let window = 5
+let steps = 3
+
+(* Relative L2 deviation allowed between a cold and a warm solve.
+   Entropy/bayes/vardi optimize strictly convex objectives, so both
+   paths converge to one minimizer; fanout's block-simplex problem is
+   convex but flatter; Cao's second-moment objective is non-convex and
+   its backtracking line search is path-dependent, so two starts can
+   stop at modestly different stationary points (the bound still
+   catches any unit-conversion slip in the x0 plumbing, which is off by
+   factors of ~1e6). *)
+let tolerances =
+  [
+    ("entropy", 1e-4);
+    ("bayes", 1e-3);
+    ("vardi", 1e-8);
+    ("fanout", 1e-1);
+    ("cao", 5e-1);
+  ]
+
+let rel_dist a b = Vec.dist2 a b /. (1. +. Vec.norm2 a)
+
+let test_scan_matches_cold net () =
+  let net = net (Lazy.force ctx) in
+  List.iter
+    (fun (name, tol) ->
+      let est = Estimator.of_name name in
+      let cold = Ctx.scan_busy net est ~window ~steps in
+      let warm = Ctx.scan_busy ~warm:true net est ~window ~steps in
+      Alcotest.(check int)
+        (name ^ " scan length") (List.length cold) (List.length warm);
+      List.iter2
+        (fun (k_cold, est_cold) (k_warm, est_warm) ->
+          Alcotest.(check int) (name ^ " snapshot order") k_cold k_warm;
+          let d = rel_dist est_cold est_warm in
+          if not (d <= tol) then
+            Alcotest.failf "%s at snapshot %d: warm deviates by %.3e (> %.0e)"
+              name k_cold d tol)
+        cold warm)
+    tolerances
+
+(* The cache is keyed per method: a scan of [steps] positions misses on
+   the first and hits on the rest, and a cold scan never touches it. *)
+let test_warm_counters () =
+  let ctx = Ctx.create ~fast:true () in
+  let net = ctx.Ctx.europe in
+  let est = Estimator.of_name "entropy" in
+  ignore (Ctx.scan_busy net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "cold scan: no warm hits" 0 st.Workspace.warm.hits;
+  Alcotest.(check int) "cold scan: no warm misses" 0 st.Workspace.warm.misses;
+  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "first warm scan misses once" 1
+    st.Workspace.warm.misses;
+  Alcotest.(check int) "then hits every position" (steps - 1)
+    st.Workspace.warm.hits;
+  (* A second warm scan is fully served by the cache. *)
+  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "second warm scan never misses" 1
+    st.Workspace.warm.misses;
+  Alcotest.(check int) "second warm scan always hits"
+    ((2 * steps) - 1)
+    st.Workspace.warm.hits
+
+(* Methods without an iterative solve have no warm key; [warm:true] must
+   be a no-op for them, bit-identical to the cold path. *)
+let test_warm_noop_for_direct_methods () =
+  let ctx = Lazy.force ctx in
+  let net = ctx.Ctx.europe in
+  let samples = Ctx.busy_loads net ~window in
+  List.iter
+    (fun name ->
+      let est = Estimator.of_name name in
+      let cold =
+        Estimator.run_ws est net.Ctx.workspace ~loads:net.Ctx.loads
+          ~load_samples:samples
+      in
+      let warm =
+        Estimator.run_ws ~warm:true est net.Ctx.workspace ~loads:net.Ctx.loads
+          ~load_samples:samples
+      in
+      Array.iteri
+        (fun i c ->
+          if Int64.bits_of_float c <> Int64.bits_of_float warm.(i) then
+            Alcotest.failf "%s: warm flag changed a direct method at %d" name
+              i)
+        cold)
+    [ "gravity"; "kruithof"; "wcb" ]
+
+(* Repeating the identical problem warm must reproduce the cold answer
+   to solver tolerance: the stored solution is already the optimum, so
+   the warm solve re-converges immediately onto it. *)
+let test_warm_repeat_converges () =
+  let ctx = Ctx.create ~fast:true () in
+  let net = ctx.Ctx.america in
+  let samples = Ctx.busy_loads net ~window in
+  List.iter
+    (fun (name, tol) ->
+      let est = Estimator.of_name name in
+      let run warm =
+        Estimator.run_ws ~warm est net.Ctx.workspace ~loads:net.Ctx.loads
+          ~load_samples:samples
+      in
+      let cold = run false in
+      ignore (run true);
+      let again = run true in
+      let d = rel_dist cold again in
+      if not (d <= tol) then
+        Alcotest.failf "%s: warm repeat deviates by %.3e (> %.0e)" name d tol)
+    tolerances
+
+let () =
+  Alcotest.run "warmstart"
+    [
+      ( "scan-equivalence",
+        [
+          Alcotest.test_case "Europe scan matches cold" `Quick
+            (test_scan_matches_cold (fun c -> c.Ctx.europe));
+          Alcotest.test_case "America scan matches cold" `Quick
+            (test_scan_matches_cold (fun c -> c.Ctx.america));
+        ] );
+      ( "cache-behaviour",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_warm_counters;
+          Alcotest.test_case "no-op for direct methods" `Quick
+            test_warm_noop_for_direct_methods;
+          Alcotest.test_case "warm repeat re-converges" `Quick
+            test_warm_repeat_converges;
+        ] );
+    ]
