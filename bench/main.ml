@@ -10,18 +10,21 @@
    context, so each run is sub-second) plus the numerical kernels and
    allocation-free solver cores the estimators are built on, reporting
    both time/run and minor words/run.  It also writes
-   BENCH_workspace.json (cold-vs-warm solver-workspace timings) and
+   BENCH_workspace.json (cold-vs-warm solver-workspace timings),
    BENCH_solvers.json (per-iteration solver allocations, full-method
    timings with the warm-start cache, and the cold-vs-warm window-scan
-   meso-benchmark).  [--perf --fast] is the CI smoke variant: kernels
-   and solvers only, reduced context and quota.
+   meso-benchmark) and BENCH_parallel.json (the multicore fan-out sweep
+   over jobs in {1, 2, 4, #cores}).  [--perf --fast] is the CI smoke
+   variant: kernels and solvers only, reduced context and quota.
 
    Other flags: [--fast] (reduced datasets for the report mode),
-   [--only fig13,tab2], [--list]. *)
+   [--jobs N] (domain-pool size; default TMEST_JOBS, then the
+   recommended domain count), [--only fig13,tab2], [--list]. *)
 
 module Registry = Tmest_experiments.Registry
 module Report = Tmest_experiments.Report
 module Ctx = Tmest_experiments.Ctx
+module Pool = Tmest_parallel.Pool
 
 let run_reports ~fast ~only () =
   let t_start = Unix.gettimeofday () in
@@ -44,14 +47,22 @@ let run_reports ~fast ~only () =
               exit 2)
           ids
   in
-  List.iter
-    (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let report = e.Registry.run ctx in
+  (* Experiments fan out over the context's pool (sequential at
+     jobs = 1); reports print in registry order afterwards, so the
+     output is identical at every job count up to the timing lines. *)
+  let results =
+    Pool.map (Ctx.pool ctx)
+      (fun e ->
+        let t0 = Unix.gettimeofday () in
+        let report = e.Registry.run ctx in
+        (e, report, Unix.gettimeofday () -. t0))
+      (Array.of_list selected)
+  in
+  Array.iter
+    (fun (e, report, dt) ->
       Report.print report;
-      Printf.printf "  (%s completed in %.1fs)\n\n%!" e.Registry.id
-        (Unix.gettimeofday () -. t0))
-    selected;
+      Printf.printf "  (%s completed in %.1fs)\n\n%!" e.Registry.id dt)
+    results;
   List.iter
     (fun net ->
       Format.printf "workspace[%s]: %a@." net.Ctx.label
@@ -294,6 +305,118 @@ let solvers_json ~fast () =
     ns_rows
 
 (* ------------------------------------------------------------------ *)
+(* Multicore fan-out sweep (BENCH_parallel.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the three parallelized fan-out layers at several pool
+   sizes: the cold Europe window scan (one task per window position),
+   the America per-method sweep (one task per estimation method) and
+   the America-scale dense Gram matvec (row-partitioned kernel).  One
+   context is built up front and its workspaces swap pools between
+   sweeps, so every job count times the same cached artifacts; that
+   the *results* are independent of the job count is asserted in
+   test_parallel, this file only records the speedups. *)
+let parallel_json ~fast () =
+  let module Core = Tmest_core in
+  let module Workspace = Tmest_core.Workspace in
+  let module Mat = Tmest_linalg.Mat in
+  let module Vec = Tmest_linalg.Vec in
+  let cores = Pool.default_jobs () in
+  let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let window = if fast then 5 else 20 in
+  let steps = if fast then 4 else 8 in
+  let ctx = Ctx.create ~fast ~jobs:1 () in
+  let eu = ctx.Ctx.europe in
+  let us = ctx.Ctx.america in
+  let cao = Core.Estimator.of_name "cao" in
+  let methods =
+    Array.of_list
+      (List.map Core.Estimator.of_name (Core.Estimator.all_names ()))
+  in
+  let us_loads = us.Ctx.loads in
+  let us_samples = Ctx.busy_loads us ~window in
+  let gram = Workspace.gram us.Ctx.workspace in
+  let x = Vec.ones (Mat.cols gram) in
+  let dst = Vec.zeros (Mat.rows gram) in
+  let bench_at jobs =
+    let pool = Pool.create ~jobs in
+    List.iter
+      (fun net -> Workspace.set_pool net.Ctx.workspace (Some pool))
+      (Ctx.networks ctx);
+    let scan = time_ns (fun () -> Ctx.scan_busy eu cao ~window ~steps) in
+    let sweep =
+      time_ns (fun () ->
+          ignore
+            (Pool.map pool
+               (fun est ->
+                 Core.Estimator.run_ws est us.Ctx.workspace ~loads:us_loads
+                   ~load_samples:us_samples)
+               methods))
+    in
+    let matvec = time_ns (fun () -> Mat.matvec_into ~pool gram x ~dst) in
+    Pool.shutdown pool;
+    [
+      ("europe_scan_cold", scan);
+      ("america_method_sweep", sweep);
+      ("america_gram_matvec", matvec);
+    ]
+  in
+  let rows = List.map (fun jobs -> (jobs, bench_at jobs)) jobs_list in
+  let base = List.assoc (List.hd jobs_list) rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores_recommended\": %d,\n" cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": %S,\n" (if fast then "fast" else "full"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"window\": %d,\n  \"scan_steps\": %d,\n  \"scan_method\": \
+        \"cao\",\n  \"unit\": \"ns/op\",\n"
+       window steps);
+  let section title value last =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {\n" title);
+    List.iteri
+      (fun i (jobs, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%d\": %s%s\n" jobs (value v)
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf (if last then "  }\n" else "  },\n")
+  in
+  let names = List.map fst base in
+  List.iteri
+    (fun i name ->
+      section ("ns_" ^ name)
+        (fun bench -> Printf.sprintf "%.0f" (List.assoc name bench))
+        false;
+      section ("speedup_" ^ name)
+        (fun bench ->
+          Printf.sprintf "%.2f" (List.assoc name base /. List.assoc name bench))
+        (i = List.length names - 1))
+    names;
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Printf.printf "%-24s" "benchmark \\ jobs";
+  List.iter (fun jobs -> Printf.printf " %10d" jobs) jobs_list;
+  print_newline ();
+  List.iter
+    (fun name ->
+      Printf.printf "%-24s" name;
+      List.iter
+        (fun (_, bench) -> Printf.printf " %8.2fms" (List.assoc name bench /. 1e6))
+        rows;
+      Printf.printf "   (speedup at %d jobs: %.2fx)\n"
+        (List.hd (List.rev jobs_list))
+        (List.assoc name base
+        /. List.assoc name (List.assoc (List.hd (List.rev jobs_list)) rows)))
+    names
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -484,9 +607,17 @@ let () =
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
         parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j > 0 -> Pool.set_default_jobs j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2);
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: main.exe [--fast] [--perf] [--list] [--only id,id,...]\n\
+          "usage: main.exe [--fast] [--perf] [--list] [--jobs N] \
+           [--only id,id,...]\n\
            unknown argument: %s\n"
           arg;
         exit 2
@@ -499,6 +630,7 @@ let () =
   else if !perf then begin
     if not !fast then workspace_json ();
     solvers_json ~fast:!fast ();
+    parallel_json ~fast:!fast ();
     run_perf ~fast:!fast ()
   end
   else run_reports ~fast:!fast ~only:!only ()

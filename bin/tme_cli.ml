@@ -13,6 +13,7 @@ module Spec = Tmest_traffic.Spec
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Core = Tmest_core
+module Pool = Tmest_parallel.Pool
 
 let dataset_of_name = function
   | "europe" -> Dataset.europe ()
@@ -24,6 +25,18 @@ let dataset_of_name = function
 let network_arg =
   let doc = "Synthetic network to use: europe (12 PoPs) or america (25 PoPs)." in
   Arg.(value & opt string "europe" & info [ "n"; "network" ] ~docv:"NET" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domain-pool size for parallel window scans, matvecs and experiment \
+     sweeps (default: $(b,TMEST_JOBS) if set to a positive integer, else \
+     the recommended domain count)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Resize the shared default pool before any workspace or context is
+   built; every later [Pool.default ()] then returns the resized pool. *)
+let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
 (* -------------------------------------------------------------- info *)
 
@@ -76,7 +89,8 @@ let estimate_cmd =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
   in
-  let run network method_name sigma2 window top =
+  let run network method_name sigma2 window top jobs =
+    apply_jobs jobs;
     let d = dataset_of_name network in
     let spec = d.Dataset.spec in
     let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
@@ -101,7 +115,7 @@ let estimate_cmd =
           Printf.eprintf "%s\n" msg;
           exit 2
     in
-    let ws = Core.Workspace.create d.Dataset.routing in
+    let ws = Core.Workspace.create ~pool:(Pool.default ()) d.Dataset.routing in
     let estimate = Core.Estimator.run_ws m ws ~loads ~load_samples in
     let reference =
       if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
@@ -137,7 +151,8 @@ let estimate_cmd =
   let doc = "Estimate the traffic matrix from link loads and report accuracy." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg)
+      const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg
+      $ jobs_arg)
 
 (* -------------------------------------------------------- experiment *)
 
@@ -150,7 +165,8 @@ let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc)
 
 let experiment_cmd =
-  let run id fast =
+  let run id fast jobs =
+    apply_jobs jobs;
     match Tmest_experiments.Registry.find id with
     | exception Not_found ->
         Printf.eprintf "unknown experiment %S; try `tme list'\n" id;
@@ -161,7 +177,8 @@ let experiment_cmd =
         0
   in
   let doc = "Run one paper experiment and print its report." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ exp_id_arg $ fast_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ exp_id_arg $ fast_arg $ jobs_arg)
 
 let list_cmd =
   let run () =
@@ -180,7 +197,8 @@ let csv_cmd =
     let doc = "Output file (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
-  let run id fast out =
+  let run id fast out jobs =
+    apply_jobs jobs;
     match Tmest_experiments.Registry.find id with
     | exception Not_found ->
         Printf.eprintf "unknown experiment %S; try `tme list'\n" id;
@@ -200,7 +218,7 @@ let csv_cmd =
   in
   let doc = "Dump an experiment's series and tables as CSV." in
   Cmd.v (Cmd.info "csv" ~doc)
-    Term.(const run $ exp_id_arg $ fast_arg $ out_arg)
+    Term.(const run $ exp_id_arg $ fast_arg $ out_arg $ jobs_arg)
 
 (* ------------------------------------------------------------ export *)
 
@@ -246,7 +264,8 @@ let estimate_files_cmd =
     let doc = "Regularization parameter." in
     Arg.(value & opt float 1000. & info [ "sigma2" ] ~doc)
   in
-  let run topo_path tm_path sample sigma2 =
+  let run topo_path tm_path sample sigma2 jobs =
+    apply_jobs jobs;
     match
       let topo = Tmest_io.Topology_io.read topo_path in
       let nodes = Tmest_net.Topology.num_nodes topo in
@@ -264,7 +283,9 @@ let estimate_files_cmd =
         end
         else begin
           let routing = Tmest_net.Routing.shortest_path topo in
-          let ws = Core.Workspace.create routing in
+          let ws =
+            Core.Workspace.create ~pool:(Pool.default ()) routing
+          in
           let truth = Mat.row series sample in
           let loads = Tmest_net.Routing.link_loads routing truth in
           let prior =
@@ -293,7 +314,7 @@ let estimate_files_cmd =
      (shortest-path routing; loads derived from the chosen sample)."
   in
   Cmd.v (Cmd.info "estimate-files" ~doc)
-    Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg)
+    Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg $ jobs_arg)
 
 (* --------------------------------------------------------- snmp demo *)
 

@@ -25,9 +25,10 @@ let estimate ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
   (* grad = 2 Rᵀ(R s − t) + 2 w (s − prior), staged through one
      links-dimension buffer so solver iterations allocate nothing. *)
   let l = Routing.num_links routing in
+  let pool = Workspace.pool ws in
   let tmp_l = (Workspace.scratch ws ~name:"bayes.links" ~dim:l ~count:1).(0) in
   let gradient_into s ~dst =
-    Csr.matvec_into r s ~dst:tmp_l;
+    Csr.matvec_into ?pool r s ~dst:tmp_l;
     Vec.sub_into tmp_l t_n ~dst:tmp_l;
     Csr.tmatvec_into r tmp_l ~dst;
     for i = 0 to p - 1 do

@@ -53,18 +53,19 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
       dst.(i) <- phi *. (Stdlib.max lam.(i) 0. ** c)
     done
   in
+  let pool = Workspace.pool ws in
   let objective lam =
     u_of_into lam ~dst:u_buf;
-    Mat.matvec_into g lam ~dst:tmp_p;
+    Mat.matvec_into ?pool g lam ~dst:tmp_p;
     let first = Vec.dot lam tmp_p -. (2. *. Vec.dot rt_t lam) in
-    Mat.matvec_into g2 u_buf ~dst:tmp_p;
+    Mat.matvec_into ?pool g2 u_buf ~dst:tmp_p;
     let second = Vec.dot u_buf tmp_p -. (2. *. Vec.dot v u_buf) in
     first +. (w *. second)
   in
   let gradient_into lam ~dst =
     u_of_into lam ~dst:u_buf;
-    Mat.matvec_into g2 u_buf ~dst:tmp_p;
-    Mat.matvec_into g lam ~dst;
+    Mat.matvec_into ?pool g2 u_buf ~dst:tmp_p;
+    Mat.matvec_into ?pool g lam ~dst;
     for i = 0 to p - 1 do
       let d_first = 2. *. (dst.(i) -. rt_t.(i)) in
       let d_second_du = 2. *. (tmp_p.(i) -. v.(i)) in
@@ -88,7 +89,7 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
             (Workspace.scratch ws ~name:"fista" ~dim:p
                ~count:Fista.scratch_size)
           ~gradient_into:(fun x ~dst ->
-            Mat.matvec_into g x ~dst;
+            Mat.matvec_into ?pool g x ~dst;
             Vec.sub_into dst rt_t ~dst;
             Vec.scale_into 2. dst ~dst)
           ~lipschitz:lip ()

@@ -28,9 +28,10 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
   (* grad = 2 Rᵀ(R s − t), staged through one links-dimension buffer so
      solver iterations allocate nothing. *)
   let l = Routing.num_links routing in
+  let pool = Workspace.pool ws in
   let tmp_l = (Workspace.scratch ws ~name:"entropy.links" ~dim:l ~count:1).(0) in
   let gradient_into s ~dst =
-    Csr.matvec_into r s ~dst:tmp_l;
+    Csr.matvec_into ?pool r s ~dst:tmp_l;
     Vec.sub_into tmp_l t_n ~dst:tmp_l;
     Csr.tmatvec_into r tmp_l ~dst;
     Vec.scale_into 2. dst ~dst

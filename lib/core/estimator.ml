@@ -86,9 +86,17 @@ let warm_key = function
         (Printf.sprintf "cao:phi=%h:c=%h:sigma_inv2=%h:window=%d" phi c
            sigma_inv2 window)
 
-let run_ws ?(warm = false) t ws ~loads ~load_samples =
+let run_ws ?(warm = false) ?warm_tag t ws ~loads ~load_samples =
   let t0 = Sys.time () in
   let key = if warm then warm_key t else None in
+  (* A tag isolates this caller's warm-start chain from others sharing
+     the workspace — parallel window scans tag by chunk so each chunk
+     chains through its own cache entry. *)
+  let key =
+    match (key, warm_tag) with
+    | Some k, Some tag -> Some (k ^ "#" ^ tag)
+    | _ -> key
+  in
   let x0 =
     match key with
     | Some key -> Workspace.warm_start ws ~key ~dim:(Workspace.num_pairs ws)

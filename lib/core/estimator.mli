@@ -62,9 +62,15 @@ val build_prior :
     the previous window of a scan — and store their own solution back.
     Warm runs converge to the same optimum within the solver tolerance
     but are {e not} bit-identical to cold runs; leave [warm] unset where
-    exact reproducibility across call orders matters. *)
+    exact reproducibility across call orders matters.
+
+    [warm_tag] (only meaningful with [warm:true]) suffixes the cache
+    key, giving the caller a private warm-start chain; parallel window
+    scans tag by chunk so concurrent chunks never cross-feed starting
+    iterates. *)
 val run_ws :
   ?warm:bool ->
+  ?warm_tag:string ->
   t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->

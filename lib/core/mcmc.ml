@@ -7,6 +7,7 @@ module Dist = Tmest_stats.Dist
 module Desc = Tmest_stats.Desc
 module Simplex = Tmest_opt.Simplex
 module Routing = Tmest_net.Routing
+module Pool = Tmest_parallel.Pool
 
 type result = {
   mean : Vec.t;
@@ -32,13 +33,13 @@ let rec truncated_exp rng ~c ~len =
 type prior_model = [ `Exponential | `Uniform ]
 
 let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
-    ?(prior_model = `Exponential) ws ~loads ~prior =
+    ?(chains = 1) ?(prior_model = `Exponential) ws ~loads ~prior =
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in
   if Array.length prior <> p then
     invalid_arg "Mcmc.sample: prior dimension mismatch";
-  if burn_in < 0 || samples <= 0 || thin <= 0 then
+  if burn_in < 0 || samples <= 0 || thin <= 0 || chains <= 0 then
     invalid_arg "Mcmc.sample: bad chain parameters";
   let scale = Workspace.total_traffic ws ~loads in
   let scale = if scale > 0. then scale else 1. in
@@ -68,10 +69,9 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
         incr found
     | Simplex.Unbounded -> ()
   done;
-  let s =
-    ref
-      (if !found = 0 then Simplex.feasible_point state
-       else Vec.scale (1. /. float_of_int !found) start)
+  let start0 =
+    if !found = 0 then Simplex.feasible_point state
+    else Vec.scale (1. /. float_of_int !found) start
   in
   (* Null-space basis of R from the spectrum of its Gram matrix. *)
   let d = Workspace.gram_eigen ws in
@@ -84,49 +84,66 @@ let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
     List.map (fun j -> Mat.col d.Eigen.vectors j) !null_cols
   in
   let null_dim = List.length basis in
-  let rng = Rng.create seed in
-  let step () =
-    match basis with
-    | [] -> () (* fully determined system: the posterior is a point *)
-    | _ ->
-        (* Random direction in the null space. *)
-        let dir = Vec.zeros p in
-        List.iter
-          (fun v -> Vec.axpy_into (Dist.standard_gaussian rng) v dir ~dst:dir)
-          basis;
-        let norm = Vec.norm2 dir in
-        if norm > 1e-12 then begin
-          let dir = Vec.scale (1. /. norm) dir in
-          (* Feasible segment s + theta * dir >= 0. *)
-          let theta_min = ref neg_infinity and theta_max = ref infinity in
-          Array.iteri
-            (fun i di ->
-              if di > 1e-14 then
-                theta_min := Stdlib.max !theta_min (-.(!s.(i)) /. di)
-              else if di < -1e-14 then
-                theta_max := Stdlib.min !theta_max (!s.(i) /. -.di))
-            dir;
-          if Float.is_finite !theta_min && Float.is_finite !theta_max
-             && !theta_max > !theta_min
-          then begin
-            let c = Vec.dot dir inv_prior in
-            let len = !theta_max -. !theta_min in
-            let x = truncated_exp rng ~c ~len in
-            let theta = !theta_min +. x in
-            s := Vec.clamp_nonneg (Vec.axpy theta dir !s)
-          end
-        end
-  in
-  for _ = 1 to burn_in do
-    step ()
-  done;
   let collected = Mat.zeros samples p in
-  for k = 0 to samples - 1 do
-    for _ = 1 to thin do
-      step ()
-    done;
-    Mat.set_row collected k (Vec.scale scale !s)
-  done;
+  (* Each chain owns a contiguous block of [collected] rows and an
+     [Rng] derived from its index, so the pooled run writes exactly the
+     bits the sequential run would — chain streams depend on
+     (seed, chain), never on scheduling or creation order. *)
+  let run_chain chain =
+    let lo = chain * samples / chains and hi = (chain + 1) * samples / chains in
+    if hi > lo then begin
+      let rng = Rng.of_pair seed chain in
+      let s = ref (Vec.copy start0) in
+      let step () =
+        match basis with
+        | [] -> () (* fully determined system: the posterior is a point *)
+        | _ ->
+            (* Random direction in the null space. *)
+            let dir = Vec.zeros p in
+            List.iter
+              (fun v ->
+                Vec.axpy_into (Dist.standard_gaussian rng) v dir ~dst:dir)
+              basis;
+            let norm = Vec.norm2 dir in
+            if norm > 1e-12 then begin
+              let dir = Vec.scale (1. /. norm) dir in
+              (* Feasible segment s + theta * dir >= 0. *)
+              let theta_min = ref neg_infinity and theta_max = ref infinity in
+              Array.iteri
+                (fun i di ->
+                  if di > 1e-14 then
+                    theta_min := Stdlib.max !theta_min (-.(!s.(i)) /. di)
+                  else if di < -1e-14 then
+                    theta_max := Stdlib.min !theta_max (!s.(i) /. -.di))
+                dir;
+              if Float.is_finite !theta_min && Float.is_finite !theta_max
+                 && !theta_max > !theta_min
+              then begin
+                let c = Vec.dot dir inv_prior in
+                let len = !theta_max -. !theta_min in
+                let x = truncated_exp rng ~c ~len in
+                let theta = !theta_min +. x in
+                s := Vec.clamp_nonneg (Vec.axpy theta dir !s)
+              end
+            end
+      in
+      for _ = 1 to burn_in do
+        step ()
+      done;
+      for k = lo to hi - 1 do
+        for _ = 1 to thin do
+          step ()
+        done;
+        Mat.set_row collected k (Vec.scale scale !s)
+      done
+    end
+  in
+  (match Workspace.pool ws with
+  | Some pool when chains > 1 -> Pool.parallel_for pool ~n:chains run_chain
+  | _ ->
+      for chain = 0 to chains - 1 do
+        run_chain chain
+      done);
   let mean = Vec.zeros p and lower = Vec.zeros p and upper = Vec.zeros p in
   for j = 0 to p - 1 do
     let col = Mat.col collected j in

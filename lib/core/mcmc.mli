@@ -33,9 +33,13 @@ type result = {
     worst-case bounds. *)
 type prior_model = [ `Exponential | `Uniform ]
 
-(** [sample ?burn_in ?samples ?thin ?seed ?prior_model ws ~loads
-    ~prior] runs the chain.  Defaults: 500 burn-in steps, 1000 retained
-    samples, thinning 5, exponential prior.
+(** [sample ?burn_in ?samples ?thin ?seed ?chains ?prior_model ws
+    ~loads ~prior] runs [chains] independent hit-and-run chains from the
+    shared starting point, splitting the retained samples evenly
+    (defaults: 500 burn-in steps per chain, 1000 retained samples,
+    thinning 5, 1 chain, exponential prior).  Chain [c]'s generator is
+    [Rng.of_pair seed c], so results are identical whether chains run
+    sequentially or on the workspace's domain pool.
     @raise Tmest_opt.Simplex.Infeasible if the loads are inconsistent.
     @raise Invalid_argument on dimension mismatch. *)
 val sample :
@@ -43,6 +47,7 @@ val sample :
   ?samples:int ->
   ?thin:int ->
   ?seed:int ->
+  ?chains:int ->
   ?prior_model:prior_model ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->

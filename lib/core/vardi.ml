@@ -51,8 +51,9 @@ let estimate ?x0 ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
   done;
   let lin = Vec.axpy w v (Csr.tmatvec routing.Routing.matrix t_hat) in
   (* grad = 2 (H₀ x − lin), computed in place. *)
+  let pool = Workspace.pool ws in
   let gradient_into x ~dst =
-    Mat.matvec_into h0 x ~dst;
+    Mat.matvec_into ?pool h0 x ~dst;
     Vec.sub_into dst lin ~dst;
     Vec.scale_into 2. dst ~dst
   in

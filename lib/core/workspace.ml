@@ -6,10 +6,13 @@ module Eigen = Tmest_linalg.Eigen
 module Fista = Tmest_opt.Fista
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
+module Pool = Tmest_parallel.Pool
 
 type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
 
-(* Internal mutable counters; snapshots exposed as immutable records. *)
+(* Internal mutable counters; snapshots exposed as immutable records.
+   All mutation happens under the workspace lock, so hit/miss totals
+   stay exact even when several domains solve concurrently. *)
 type c = { mutable h : int; mutable m : int; mutable s : float }
 
 let c_zero () = { h = 0; m = 0; s = 0. }
@@ -33,10 +36,25 @@ type counters = {
    right-hand sides) cannot grow the workspace without bound. *)
 let max_keyed = 8
 
+(* Prior slots carry an explicit "being computed" state because the
+   computation closure ([Estimator.build_prior_ws]) re-enters the
+   workspace — the WCB prior calls [dense] and [total_traffic] — so it
+   must run outside the lock; concurrent requests for the same
+   [(kind, loads)] wait on [filled] instead of recomputing, which keeps
+   the miss count at exactly one per materialized prior. *)
+type prior_slot = {
+  p_kind : prior_kind;
+  p_loads : Vec.t;
+  mutable p_value : Vec.t option;
+}
+
 type t = {
   routing : Routing.t;
   ingress : int array;
   egress : int array;
+  lock : Mutex.t;
+  filled : Condition.t;
+  mutable pool : Pool.t option;
   mutable gram : Mat.t option;
   mutable gram_sq : Mat.t option;
   mutable chol : Chol.t option;
@@ -47,18 +65,22 @@ type t = {
   mutable gram_norm : float option;
   lipschitz_tbl : (string, float) Hashtbl.t;
   mutable totals : (Vec.t * float) list;  (* MRU *)
-  mutable priors : (prior_kind * Vec.t * Vec.t) list;  (* MRU *)
-  scratch_tbl : (string * int, Vec.t array) Hashtbl.t;
+  mutable priors : prior_slot list;  (* MRU *)
+  scratch_tbl : (string * int * int, Vec.t array) Hashtbl.t;
+      (* keyed by (consumer, dim, domain): each domain owns its arena *)
   mutable warm : (string * Vec.t) list;  (* MRU *)
   counters : counters;
 }
 
-let create routing =
+let create ?pool routing =
   let n = Topology.num_nodes routing.Routing.topo in
   {
     routing;
     ingress = Array.init n (fun i -> Routing.ingress_row routing i);
     egress = Array.init n (fun i -> Routing.egress_row routing i);
+    lock = Mutex.create ();
+    filled = Condition.create ();
+    pool;
     gram = None;
     gram_sq = None;
     chol = None;
@@ -92,6 +114,8 @@ let num_links t = Routing.num_links t.routing
 let num_pairs t = Routing.num_pairs t.routing
 let ingress_rows t = t.ingress
 let egress_rows t = t.egress
+let pool t = t.pool
+let set_pool t p = t.pool <- p
 
 let timed c compute =
   let t0 = Sys.time () in
@@ -99,16 +123,22 @@ let timed c compute =
   c.s <- c.s +. (Sys.time () -. t0);
   v
 
+(* Artifact memos hold the lock across the computation: the closures
+   below are pure in the workspace (they read [t.routing] or an
+   already-forced artifact), so holding the lock cannot deadlock, and
+   it guarantees each artifact is computed once with exact counters —
+   a concurrent second caller blocks, then hits. *)
 let memo c get set compute t =
-  match get t with
-  | Some v ->
-      c.h <- c.h + 1;
-      v
-  | None ->
-      c.m <- c.m + 1;
-      let v = timed c compute in
-      set t (Some v);
-      v
+  Mutex.protect t.lock (fun () ->
+      match get t with
+      | Some v ->
+          c.h <- c.h + 1;
+          v
+      | None ->
+          c.m <- c.m + 1;
+          let v = timed c compute in
+          set t (Some v);
+          v)
 
 let gram t =
   memo t.counters.c_gram
@@ -178,23 +208,34 @@ let gram_norm t =
     t
 
 let cached_lipschitz t ~key ~compute =
-  match Hashtbl.find_opt t.lipschitz_tbl key with
-  | Some v ->
-      t.counters.c_lipschitz.h <- t.counters.c_lipschitz.h + 1;
-      v
-  | None ->
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.lipschitz_tbl key with
+      | Some v ->
+          t.counters.c_lipschitz.h <- t.counters.c_lipschitz.h + 1;
+          v
+      | None ->
+          t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
+          let v = timed t.counters.c_lipschitz compute in
+          Hashtbl.replace t.lipschitz_tbl key v;
+          v)
+
+(* Uncached spectral-norm estimates: the computation belongs to the
+   caller (per-window matrices, stacked operators) and must not run
+   under the lock — only the accounting does. *)
+let counted_lipschitz t compute =
+  let t0 = Sys.time () in
+  let v = compute () in
+  let dt = Sys.time () -. t0 in
+  Mutex.protect t.lock (fun () ->
       t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
-      let v = timed t.counters.c_lipschitz compute in
-      Hashtbl.replace t.lipschitz_tbl key v;
-      v
+      t.counters.c_lipschitz.s <- t.counters.c_lipschitz.s +. dt);
+  v
 
 let lipschitz_of_matrix t h =
-  t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
-  timed t.counters.c_lipschitz (fun () -> Fista.lipschitz_of_gram h)
+  counted_lipschitz t (fun () -> Fista.lipschitz_of_gram h)
 
 let lipschitz_of_op t ~dim apply =
-  t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
-  timed t.counters.c_lipschitz (fun () -> Fista.lipschitz_of_op ~dim apply)
+  counted_lipschitz t (fun () -> Fista.lipschitz_of_op ~dim apply)
 
 let same_loads a b = a == b || Vec.equal ~eps:0. a b
 
@@ -203,81 +244,118 @@ let take_mru n l = List.filteri (fun i _ -> i < n) l
 let total_traffic t ~loads =
   if Array.length loads <> num_links t then
     invalid_arg "Workspace.total_traffic: load vector dimension mismatch";
-  match List.find_opt (fun (l, _) -> same_loads l loads) t.totals with
-  | Some (l, v) ->
-      t.counters.c_total.h <- t.counters.c_total.h + 1;
-      (* Refresh MRU position. *)
-      t.totals <- (l, v) :: List.filter (fun (l', _) -> l' != l) t.totals;
-      v
-  | None ->
-      t.counters.c_total.m <- t.counters.c_total.m + 1;
-      let v =
-        timed t.counters.c_total (fun () ->
-            let acc = ref 0. in
-            Array.iter (fun row -> acc := !acc +. loads.(row)) t.ingress;
-            !acc)
-      in
-      t.totals <- take_mru max_keyed ((loads, v) :: t.totals);
-      v
+  Mutex.protect t.lock (fun () ->
+      match List.find_opt (fun (l, _) -> same_loads l loads) t.totals with
+      | Some (l, v) ->
+          t.counters.c_total.h <- t.counters.c_total.h + 1;
+          (* Refresh MRU position. *)
+          t.totals <- (l, v) :: List.filter (fun (l', _) -> l' != l) t.totals;
+          v
+      | None ->
+          t.counters.c_total.m <- t.counters.c_total.m + 1;
+          let v =
+            timed t.counters.c_total (fun () ->
+                let acc = ref 0. in
+                Array.iter (fun row -> acc := !acc +. loads.(row)) t.ingress;
+                !acc)
+          in
+          t.totals <- take_mru max_keyed ((loads, v) :: t.totals);
+          v)
+
+let find_prior_slot t ~kind ~loads =
+  List.find_opt
+    (fun s -> s.p_kind = kind && same_loads s.p_loads loads)
+    t.priors
 
 let cached_prior t ~kind ~loads ~compute =
-  match
-    List.find_opt (fun (k, l, _) -> k = kind && same_loads l loads) t.priors
-  with
-  | Some ((_, l, v) as entry) ->
+  Mutex.lock t.lock;
+  match find_prior_slot t ~kind ~loads with
+  | Some slot ->
       t.counters.c_prior.h <- t.counters.c_prior.h + 1;
-      t.priors <-
-        entry :: List.filter (fun (k', l', _) -> not (k' = kind && l' == l)) t.priors;
+      t.priors <- slot :: List.filter (fun s -> s != slot) t.priors;
+      (* Another domain may still be materializing this slot; waiting
+         counts as a hit — the value is computed exactly once.  The
+         computing domain keeps a direct reference, so the slot fills
+         even if the MRU bound evicts it from the list meanwhile. *)
+      let rec await () =
+        match slot.p_value with
+        | Some v -> v
+        | None ->
+            Condition.wait t.filled t.lock;
+            await ()
+      in
+      let v = await () in
+      Mutex.unlock t.lock;
       v
   | None ->
       t.counters.c_prior.m <- t.counters.c_prior.m + 1;
-      let v = timed t.counters.c_prior compute in
-      t.priors <- take_mru max_keyed ((kind, loads, v) :: t.priors);
+      let slot = { p_kind = kind; p_loads = loads; p_value = None } in
+      t.priors <- take_mru max_keyed (slot :: t.priors);
+      Mutex.unlock t.lock;
+      (* Outside the lock: prior closures re-enter the workspace (the
+         WCB prior reads [dense] and [total_traffic]). *)
+      let t0 = Sys.time () in
+      let v = compute () in
+      let dt = Sys.time () -. t0 in
+      Mutex.protect t.lock (fun () ->
+          t.counters.c_prior.s <- t.counters.c_prior.s +. dt;
+          slot.p_value <- Some v;
+          Condition.broadcast t.filled);
       v
 
 (* ------------------------------------------------------------------ *)
 (* Scratch-buffer pool and warm-start cache                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Scratch pools are keyed by (consumer name, dimension) so solvers
-   with the same problem size against this routing context share one
-   set of work vectors across an entire window scan.  Buffers are
-   handed out as uninitialized storage — consumers must not assume
-   contents survive between uses. *)
+(* Scratch pools are keyed by (consumer name, dimension, domain) so
+   solvers with the same problem size against this routing context
+   share one set of work vectors across an entire window scan, while
+   concurrent solves on different domains each own a private arena and
+   never scribble on each other's iterates.  Buffers are handed out as
+   uninitialized storage — consumers must not assume contents survive
+   between uses. *)
 let scratch t ~name ~dim ~count =
-  let key = (name, dim) in
-  match Hashtbl.find_opt t.scratch_tbl key with
-  | Some bufs when Array.length bufs >= count -> bufs
-  | existing ->
-      let have = match existing with Some b -> b | None -> [||] in
-      let bufs =
-        Array.init count (fun i ->
-            if i < Array.length have then have.(i) else Vec.zeros dim)
-      in
-      Hashtbl.replace t.scratch_tbl key bufs;
-      bufs
+  let key = (name, dim, (Domain.self () :> int)) in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.scratch_tbl key with
+      | Some bufs when Array.length bufs >= count -> bufs
+      | existing ->
+          let have = match existing with Some b -> b | None -> [||] in
+          let bufs =
+            Array.init count (fun i ->
+                if i < Array.length have then have.(i) else Vec.zeros dim)
+          in
+          Hashtbl.replace t.scratch_tbl key bufs;
+          bufs)
 
 (* Warm starts are bounded MRU like the other load-keyed caches: a
    window scan re-solves one (method, parameters) pair against slowly
    drifting loads, so the previous window's solution is an excellent
-   starting point; unrelated keys evict the oldest entry. *)
+   starting point; unrelated keys evict the oldest entry.  Parallel
+   scans append a per-chunk tag to the key (see [Ctx.scan_busy]), so
+   each chunk chains through its own isolated entry. *)
 let warm_start t ~key ~dim =
-  match List.find_opt (fun (k, _) -> String.equal k key) t.warm with
-  | Some ((_, v) as entry) when Vec.dim v = dim ->
-      t.counters.c_warm.h <- t.counters.c_warm.h + 1;
-      t.warm <- entry :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm;
-      Some v
-  | _ ->
-      t.counters.c_warm.m <- t.counters.c_warm.m + 1;
-      None
+  Mutex.protect t.lock (fun () ->
+      match List.find_opt (fun (k, _) -> String.equal k key) t.warm with
+      | Some ((_, v) as entry) when Vec.dim v = dim ->
+          t.counters.c_warm.h <- t.counters.c_warm.h + 1;
+          t.warm <-
+            entry
+            :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm;
+          Some v
+      | _ ->
+          t.counters.c_warm.m <- t.counters.c_warm.m + 1;
+          None)
 
 let store_warm_start t ~key v =
   (* Copy: the caller's estimate escapes to user code that may mutate
      it, while cache entries must stay frozen. *)
-  t.warm <-
-    take_mru max_keyed
-      ((key, Vec.copy v)
-      :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm)
+  let v = Vec.copy v in
+  Mutex.protect t.lock (fun () ->
+      t.warm <-
+        take_mru max_keyed
+          ((key, v)
+          :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm))
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -301,9 +379,10 @@ type stats = {
 let snap c = { hits = c.h; misses = c.m; seconds = c.s }
 
 let stats t =
-  let c = t.counters in
-  {
-    gram = snap c.c_gram;
+  Mutex.protect t.lock (fun () ->
+      let c = t.counters in
+      {
+        gram = snap c.c_gram;
     chol = snap c.c_chol;
     eigen = snap c.c_eigen;
     transpose = snap c.c_transpose;
@@ -311,31 +390,33 @@ let stats t =
     lipschitz = snap c.c_lipschitz;
     prior = snap c.c_prior;
     total = snap c.c_total;
-    solve = snap c.c_solve;
-    warm = snap c.c_warm;
-  }
+        solve = snap c.c_solve;
+        warm = snap c.c_warm;
+      })
 
 let reset_stats t =
-  let z c =
-    c.h <- 0;
-    c.m <- 0;
-    c.s <- 0.
-  in
-  let c = t.counters in
-  z c.c_gram;
-  z c.c_chol;
-  z c.c_eigen;
-  z c.c_transpose;
-  z c.c_dense;
-  z c.c_lipschitz;
-  z c.c_prior;
-  z c.c_total;
-  z c.c_solve;
-  z c.c_warm
+  Mutex.protect t.lock (fun () ->
+      let z c =
+        c.h <- 0;
+        c.m <- 0;
+        c.s <- 0.
+      in
+      let c = t.counters in
+      z c.c_gram;
+      z c.c_chol;
+      z c.c_eigen;
+      z c.c_transpose;
+      z c.c_dense;
+      z c.c_lipschitz;
+      z c.c_prior;
+      z c.c_total;
+      z c.c_solve;
+      z c.c_warm)
 
 let record_solve t seconds =
-  t.counters.c_solve.m <- t.counters.c_solve.m + 1;
-  t.counters.c_solve.s <- t.counters.c_solve.s +. seconds
+  Mutex.protect t.lock (fun () ->
+      t.counters.c_solve.m <- t.counters.c_solve.m + 1;
+      t.counters.c_solve.s <- t.counters.c_solve.s +. seconds)
 
 let add_counter a b =
   {

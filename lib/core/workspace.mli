@@ -18,7 +18,15 @@
 
     The workspace also keeps per-artifact hit/miss/time counters (see
     {!stats}) so the effect of the caching is observable in the
-    benchmark harness and the CLI rather than asserted. *)
+    benchmark harness and the CLI rather than asserted.
+
+    {b Thread safety}: every cache, counter and scratch arena is guarded
+    by one internal mutex, so a single workspace may be driven from
+    several domains of a {!Tmest_parallel.Pool} concurrently.  Hit/miss
+    totals stay exact under contention — concurrent requests for the
+    same artifact serialize and all but the first count as hits.
+    Scratch arenas are additionally keyed by the calling domain (see
+    {!scratch}), so concurrent solves never share work vectors. *)
 
 type t
 
@@ -31,11 +39,21 @@ type prior_kind =
   | Prior_wcb  (** worst-case-bound midpoints *)
   | Prior_uniform  (** total traffic spread evenly over all pairs *)
 
-(** [create routing] wraps a routing context.  No artifact is computed
-    until first use. *)
-val create : Tmest_net.Routing.t -> t
+(** [create ?pool routing] wraps a routing context.  No artifact is
+    computed until first use.  [pool], when given, is the domain pool
+    row-partitioned kernels and multi-chain samplers use for solves
+    against this workspace (absent: everything runs sequentially). *)
+val create : ?pool:Tmest_parallel.Pool.t -> Tmest_net.Routing.t -> t
 
 val routing : t -> Tmest_net.Routing.t
+
+(** [pool t] is the domain pool attached at {!create} (or via
+    {!set_pool}); consumers fall back to sequential code when [None]. *)
+val pool : t -> Tmest_parallel.Pool.t option
+
+(** [set_pool t p] swaps the attached pool — benchmark drivers use this
+    to sweep job counts against one warmed-up workspace. *)
+val set_pool : t -> Tmest_parallel.Pool.t option -> unit
 
 (** [num_links t] / [num_pairs t]: dimensions of the wrapped [R]. *)
 val num_links : t -> int
@@ -125,16 +143,19 @@ val cached_prior :
 
 (** {1 Scratch-buffer pool}
 
-    Solver work vectors, keyed by consumer name and dimension, so the
-    allocation-free solver hot paths ({!Tmest_opt.Fista.solve_into} and
-    friends) reuse one set of buffers across every solve against this
-    routing context.  Buffers are handed out as uninitialized storage:
-    contents do not survive between [scratch] calls with the same key,
-    and two concurrent consumers must use distinct names. *)
+    Solver work vectors, keyed by consumer name, dimension and calling
+    domain, so the allocation-free solver hot paths
+    ({!Tmest_opt.Fista.solve_into} and friends) reuse one set of buffers
+    across every solve against this routing context while concurrent
+    solves on different domains each own a private arena.  Buffers are
+    handed out as uninitialized storage: contents do not survive between
+    [scratch] calls with the same key, and two concurrent consumers on
+    one domain must use distinct names. *)
 
 (** [scratch t ~name ~dim ~count] is a pool of at least [count] vectors
     of dimension [dim], created on first use and cached under
-    [(name, dim)].  Growing [count] extends the cached pool in place. *)
+    [(name, dim, domain)].  Growing [count] extends the cached pool in
+    place. *)
 val scratch :
   t -> name:string -> dim:int -> count:int -> Tmest_linalg.Vec.t array
 

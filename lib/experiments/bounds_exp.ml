@@ -6,7 +6,7 @@ let fig8 ctx =
   let items =
     List.concat_map
       (fun net ->
-        let b = Lazy.force net.Ctx.wcb in
+        let b = Tmest_parallel.Pool.Once.force net.Ctx.wcb in
         let truth = net.Ctx.truth in
         let order = Array.init (Array.length truth) (fun i -> i) in
         Array.sort (fun a b -> compare truth.(a) truth.(b)) order;
@@ -61,7 +61,7 @@ let fig9 ctx =
   let items =
     List.concat_map
       (fun net ->
-        let prior = Lazy.force net.Ctx.wcb_prior in
+        let prior = Tmest_parallel.Pool.Once.force net.Ctx.wcb_prior in
         let truth = net.Ctx.truth in
         let order = Array.init (Array.length truth) (fun i -> i) in
         Array.sort (fun a b -> compare truth.(a) truth.(b)) order;

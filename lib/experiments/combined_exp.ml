@@ -11,7 +11,7 @@ let fig16 ?steps ctx =
     | None -> if ctx.Ctx.fast then 4 else 25
   in
   let ws = net.Ctx.workspace in
-  let prior = Lazy.force net.Ctx.gravity_prior in
+  let prior = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
   let truth = net.Ctx.truth and loads = net.Ctx.loads in
   let sigma2 = 1000. in
   let base = (Entropy.estimate ws ~loads ~prior ~sigma2).Entropy.estimate in

@@ -2,6 +2,7 @@ module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Dataset = Tmest_traffic.Dataset
 module Spec = Tmest_traffic.Spec
+module Pool = Tmest_parallel.Pool
 
 type network = {
   label : string;
@@ -10,34 +11,37 @@ type network = {
   snapshot_k : int;
   truth : Vec.t;
   loads : Vec.t;
-  gravity_prior : Vec.t Lazy.t;
-  wcb : Tmest_core.Wcb.bounds Lazy.t;
-  wcb_prior : Vec.t Lazy.t;
+  gravity_prior : Vec.t Pool.Once.t;
+  wcb : Tmest_core.Wcb.bounds Pool.Once.t;
+  wcb_prior : Vec.t Pool.Once.t;
 }
 
 type t = {
   europe : network;
   america : network;
+  pool : Pool.t;
   fast : bool;
 }
 
-let make_network label dataset =
+let make_network ~pool label dataset =
   let spec = dataset.Dataset.spec in
   let snapshot_k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
   let truth = Dataset.demand_at dataset snapshot_k in
   let loads = Dataset.link_loads_at dataset snapshot_k in
-  let workspace = Tmest_core.Workspace.create dataset.Dataset.routing in
-  let gravity_prior =
-    lazy
-      (Tmest_core.Estimator.build_prior_ws Tmest_core.Estimator.Prior_gravity
-         workspace ~loads)
+  let workspace =
+    Tmest_core.Workspace.create ~pool dataset.Dataset.routing
   in
-  let wcb = lazy (Tmest_core.Wcb.bounds workspace ~loads) in
+  let gravity_prior =
+    Pool.Once.make (fun () ->
+        Tmest_core.Estimator.build_prior_ws Tmest_core.Estimator.Prior_gravity
+          workspace ~loads)
+  in
+  let wcb = Pool.Once.make (fun () -> Tmest_core.Wcb.bounds workspace ~loads) in
   let wcb_prior =
-    lazy
-      (Tmest_core.Workspace.cached_prior workspace
-         ~kind:Tmest_core.Workspace.Prior_wcb ~loads ~compute:(fun () ->
-           Tmest_core.Wcb.midpoint (Lazy.force wcb)))
+    Pool.Once.make (fun () ->
+        Tmest_core.Workspace.cached_prior workspace
+          ~kind:Tmest_core.Workspace.Prior_wcb ~loads ~compute:(fun () ->
+            Tmest_core.Wcb.midpoint (Pool.Once.force wcb)))
   in
   {
     label;
@@ -51,31 +55,37 @@ let make_network label dataset =
     wcb_prior;
   }
 
-let create ?(fast = false) () =
-  if fast then begin
-    let eu =
-      Dataset.generate
-        { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
-          Spec.name = "europe-fast" }
-    in
-    let us =
-      Dataset.generate
-        { (Spec.scaled ~nodes:8 ~directed_links:44 Spec.america) with
-          Spec.name = "america-fast" }
-    in
-    {
-      europe = make_network "Europe" eu;
-      america = make_network "America" us;
-      fast = true;
-    }
-  end
-  else
-    {
-      europe = make_network "Europe" (Dataset.europe ());
-      america = make_network "America" (Dataset.america ());
-      fast = false;
-    }
+let create ?(fast = false) ?jobs () =
+  let pool =
+    match jobs with Some j -> Pool.create ~jobs:j | None -> Pool.default ()
+  in
+  (* The two datasets are independent; generate and wrap them as two
+     pool tasks so context construction overlaps on multicore runs. *)
+  let builders =
+    if fast then
+      [|
+        (fun () ->
+          make_network ~pool "Europe"
+            (Dataset.generate
+               { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
+                 Spec.name = "europe-fast" }));
+        (fun () ->
+          make_network ~pool "America"
+            (Dataset.generate
+               { (Spec.scaled ~nodes:8 ~directed_links:44 Spec.america) with
+                 Spec.name = "america-fast" }));
+      |]
+    else
+      [|
+        (fun () -> make_network ~pool "Europe" (Dataset.europe ()));
+        (fun () -> make_network ~pool "America" (Dataset.america ()));
+      |]
+  in
+  match Pool.map pool (fun build -> build ()) builders with
+  | [| europe; america |] -> { europe; america; pool; fast }
+  | _ -> assert false
 
+let pool t = t.pool
 let networks t = [ t.europe; t.america ]
 
 let busy_loads net ~window =
@@ -96,23 +106,44 @@ let scan_busy ?(warm = false) net est ~window ~steps =
   let window = Stdlib.max 1 (Stdlib.min window nk) in
   let steps = Stdlib.max 1 (Stdlib.min steps (nk - window + 1)) in
   let l = Dataset.num_links d in
-  (* Explicit in-order recursion: each step's solve must complete before
-     the next so warm starts chain through the workspace cache. *)
-  let rec go i acc =
-    if i >= steps then List.rev acc
-    else begin
-      let last = nk - steps + i in
-      let first = last - window + 1 in
-      let samples =
-        Mat.init window l (fun r j ->
-            (Dataset.link_loads_at d ks.(first + r)).(j))
-      in
-      let loads = Dataset.link_loads_at d ks.(last) in
-      let estimate =
-        Tmest_core.Estimator.run_ws ~warm est net.workspace ~loads
-          ~load_samples:samples
-      in
-      go (i + 1) ((ks.(last), estimate) :: acc)
-    end
+  let solve ?warm_tag i =
+    let last = nk - steps + i in
+    let first = last - window + 1 in
+    let samples =
+      Mat.init window l (fun r j ->
+          (Dataset.link_loads_at d ks.(first + r)).(j))
+    in
+    let loads = Dataset.link_loads_at d ks.(last) in
+    let estimate =
+      Tmest_core.Estimator.run_ws ~warm ?warm_tag est net.workspace ~loads
+        ~load_samples:samples
+    in
+    (ks.(last), estimate)
   in
-  go 0 []
+  match Tmest_core.Workspace.pool net.workspace with
+  | Some p when Pool.size p > 1 && steps > 1 ->
+      (* One contiguous chunk of windows per pool slot.  Within a chunk
+         the steps run in order and (when warm) chain warm starts under
+         a chunk-tagged key, so results depend only on (jobs, steps) —
+         never on scheduling.  Cold scans are bit-identical to the
+         sequential path. *)
+      let out = Array.make steps None in
+      Pool.iter_chunks p ~n:steps (fun ~chunk ~lo ~hi ->
+          let warm_tag =
+            if warm then Some (Printf.sprintf "chunk%d" chunk) else None
+          in
+          for i = lo to hi - 1 do
+            out.(i) <- Some (solve ?warm_tag i)
+          done);
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false (* all written *))
+           out)
+  | _ ->
+      (* Explicit in-order recursion: each step's solve must complete
+         before the next so warm starts chain through the workspace
+         cache. *)
+      let rec go i acc =
+        if i >= steps then List.rev acc else go (i + 1) (solve i :: acc)
+      in
+      go 0 []

@@ -13,21 +13,31 @@ type network = {
                          single-measurement evaluations use *)
   truth : Tmest_linalg.Vec.t;  (** demand vector at [snapshot_k] *)
   loads : Tmest_linalg.Vec.t;  (** [R s] at [snapshot_k] *)
-  gravity_prior : Tmest_linalg.Vec.t Lazy.t;
-  wcb : Tmest_core.Wcb.bounds Lazy.t;
-  wcb_prior : Tmest_linalg.Vec.t Lazy.t;
+  gravity_prior : Tmest_linalg.Vec.t Tmest_parallel.Pool.Once.t;
+      (** one-shot memos rather than [Lazy.t]: experiments running
+          concurrently on the pool may force these from any domain *)
+  wcb : Tmest_core.Wcb.bounds Tmest_parallel.Pool.Once.t;
+  wcb_prior : Tmest_linalg.Vec.t Tmest_parallel.Pool.Once.t;
 }
 
 type t = {
   europe : network;
   america : network;
+  pool : Tmest_parallel.Pool.t;
+      (** domain pool shared by both workspaces, window scans and the
+          experiment registry *)
   fast : bool;  (** shrink sweeps for quick runs (tests) *)
 }
 
-(** [create ?fast ()] builds the paper-scale context ([fast = false],
-    default) or a reduced one on small networks with shorter sweeps
-    ([fast = true]). *)
-val create : ?fast:bool -> unit -> t
+(** [create ?fast ?jobs ()] builds the paper-scale context
+    ([fast = false], default) or a reduced one on small networks with
+    shorter sweeps ([fast = true]).  [jobs] sizes a dedicated domain
+    pool (default: the shared {!Tmest_parallel.Pool.default}); the two
+    networks are generated and wrapped concurrently on it. *)
+val create : ?fast:bool -> ?jobs:int -> unit -> t
+
+(** [pool t] is the context's domain pool. *)
+val pool : t -> Tmest_parallel.Pool.t
 
 (** [networks t] is [[europe; america]] (evaluation order used in all
     two-network tables). *)
@@ -48,7 +58,14 @@ val busy_mean : network -> Tmest_linalg.Vec.t
     With [warm:true] each solve starts from the previous position's
     solution through the workspace warm-start cache — the intended use
     of {!Tmest_core.Estimator.run_ws}'s [warm] flag.  Returns
-    [(snapshot index, estimate)] in scan order. *)
+    [(snapshot index, estimate)] in scan order.
+
+    On a multi-domain pool the scan splits into one contiguous chunk of
+    positions per pool slot; warm chains then run per chunk (keyed by
+    chunk index), so results are a function of the job count and step
+    count only — never of scheduling — and match the sequential scan
+    within the solver tolerance.  Cold scans ([warm:false]) are
+    bit-identical to the sequential scan at every pool size. *)
 val scan_busy :
   ?warm:bool ->
   network ->

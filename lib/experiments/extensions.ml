@@ -32,8 +32,8 @@ let ext1 ctx =
             ( "uniform",
               Core.Estimator.build_prior_ws Core.Estimator.Prior_uniform ws
                 ~loads );
-            ("gravity", Lazy.force net.Ctx.gravity_prior);
-            ("wcb", Lazy.force net.Ctx.wcb_prior);
+            ("gravity", Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior);
+            ("wcb", Tmest_parallel.Pool.Once.force net.Ctx.wcb_prior);
           ]
         in
         List.concat_map
@@ -440,7 +440,7 @@ let ext7 ctx =
               (Dataset.link_loads_at d
                  (net.Ctx.snapshot_k - rounds + 1 + i)).(j))
         in
-        let prior = Lazy.force net.Ctx.gravity_prior in
+        let prior = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
         (* A deliberately prior-trusting sigma2: on a single snapshot it
            barely moves away from gravity, so any gain is attributable
            to the iteration. *)
@@ -623,17 +623,21 @@ let ext10 ctx =
   let net = ctx.Ctx.europe in
   let ws = net.Ctx.workspace in
   let truth = net.Ctx.truth and loads = net.Ctx.loads in
-  let prior = Lazy.force net.Ctx.gravity_prior in
+  let prior = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
   (* Chain length scales with the null-space dimension the sampler has
      to mix over (~76 for the full European network). *)
   let samples = if ctx.Ctx.fast then 300 else 2000 in
   let thin = if ctx.Ctx.fast then 5 else 25 in
+  (* Four chains per posterior: the fixed chain count keeps the result
+     identical at every job count while letting multi-domain runs spread
+     the chains over the pool. *)
+  let chains = 4 in
   let r =
-    Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin
+    Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin ~chains
       ~prior_model:`Uniform ws ~loads ~prior
   in
   let r_exp =
-    Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin
+    Core.Mcmc.sample ~burn_in:(samples * thin / 4) ~samples ~thin ~chains
       ~prior_model:`Exponential ws ~loads ~prior
   in
   let entropy =
@@ -643,7 +647,7 @@ let ext10 ctx =
   let threshold, kept = Metrics.threshold_for_coverage ~coverage:0.9 truth in
   let covered = ref 0 in
   let widths = ref [] and wcb_widths = ref [] in
-  let bounds = Lazy.force net.Ctx.wcb in
+  let bounds = Tmest_parallel.Pool.Once.force net.Ctx.wcb in
   Array.iteri
     (fun i t ->
       if t >= threshold then begin
@@ -704,7 +708,7 @@ let ext11 ctx =
         in
         let truth = Vec.scale scale_up net.Ctx.truth in
         let loads = Vec.scale scale_up net.Ctx.loads in
-        let prior = Vec.scale scale_up (Lazy.force net.Ctx.gravity_prior) in
+        let prior = Vec.scale scale_up (Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior) in
         let estimated =
           (Core.Entropy.estimate ~max_iter net.Ctx.workspace ~loads ~prior
              ~sigma2:1000.)

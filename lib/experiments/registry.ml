@@ -148,3 +148,13 @@ let all =
 
 let find id = List.find (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
+
+let run_all ?pool ctx =
+  let entries = Array.of_list all in
+  let pool = match pool with Some p -> p | None -> Ctx.pool ctx in
+  (* Experiments only read the context (workspace caches are
+     domain-safe and every experiment is deterministic), so running
+     them concurrently returns the same reports as the sequential loop,
+     in registry order. *)
+  Array.to_list
+    (Tmest_parallel.Pool.map pool (fun e -> (e, e.run ctx)) entries)

@@ -17,3 +17,10 @@ val find : string -> entry
 
 (** [ids ()] lists the registered experiment ids in paper order. *)
 val ids : unit -> string list
+
+(** [run_all ?pool ctx] runs every registered experiment against [ctx]
+    — concurrently on [pool] (default: the context's pool) — and
+    returns [(entry, report)] in registry order.  Experiments are
+    deterministic and only read the context, so the reports are
+    identical to a sequential loop at every pool size. *)
+val run_all : ?pool:Tmest_parallel.Pool.t -> Ctx.t -> (entry * Report.t) list

@@ -33,7 +33,7 @@ let fig13 ctx =
   let items =
     List.concat_map
       (fun net ->
-        let prior = Lazy.force net.Ctx.gravity_prior in
+        let prior = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
         let bayes = sweep ~fast:ctx.Ctx.fast net ~prior `Bayes in
         let entropy = sweep ~fast:ctx.Ctx.fast net ~prior `Entropy in
         let prior_mre =
@@ -67,7 +67,7 @@ let fig13 ctx =
 let fig14 ctx =
   let net = ctx.Ctx.america in
   let ws = net.Ctx.workspace in
-  let prior = Lazy.force net.Ctx.gravity_prior in
+  let prior = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
   let truth = net.Ctx.truth in
   let sigma2 = 1000. in
   let order = Array.init (Array.length truth) (fun i -> i) in
@@ -105,8 +105,8 @@ let fig15 ctx =
   let items =
     List.concat_map
       (fun net ->
-        let gravity = Lazy.force net.Ctx.gravity_prior in
-        let wcb = Lazy.force net.Ctx.wcb_prior in
+        let gravity = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
+        let wcb = Tmest_parallel.Pool.Once.force net.Ctx.wcb_prior in
         let s_gravity = sweep ~fast:ctx.Ctx.fast net ~prior:gravity `Bayes in
         let s_wcb = sweep ~fast:ctx.Ctx.fast net ~prior:wcb `Bayes in
         let at_smallest l = snd (List.hd l) in

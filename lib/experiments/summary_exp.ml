@@ -13,8 +13,8 @@ let tab2 ctx =
   let per_network net =
     let ws = net.Ctx.workspace in
     let loads = net.Ctx.loads and truth = net.Ctx.truth in
-    let gravity = Lazy.force net.Ctx.gravity_prior in
-    let wcb = Lazy.force net.Ctx.wcb_prior in
+    let gravity = Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior in
+    let wcb = Tmest_parallel.Pool.Once.force net.Ctx.wcb_prior in
     let snapshot_mre estimate = Metrics.mre ~truth ~estimate () in
     let busy_truth = Ctx.busy_mean net in
     let busy_mre estimate = Metrics.mre ~truth:busy_truth ~estimate () in

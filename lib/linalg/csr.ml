@@ -73,14 +73,12 @@ let get m i j =
   in
   find m.row_ptr.(i) m.row_ptr.(i + 1)
 
-let matvec_into m x ~dst =
-  if Array.length x <> m.cols then
-    invalid_arg "Csr.matvec_into: dimension mismatch";
-  if Array.length dst <> m.rows then
-    invalid_arg "Csr.matvec_into: destination dimension mismatch";
-  if dst == x && Array.length m.values > 0 then
-    invalid_arg "Csr.matvec_into: dst must not alias x";
-  for i = 0 to m.rows - 1 do
+(* Below this many stored entries the pool dispatch overhead exceeds
+   the whole product; Europe-scale operands stay sequential. *)
+let par_nnz_threshold = 4096
+
+let matvec_rows m x dst lo hi =
+  for i = lo to hi - 1 do
     let acc = ref 0. in
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
       acc :=
@@ -91,10 +89,28 @@ let matvec_into m x ~dst =
     dst.(i) <- !acc
   done
 
-let matvec m x =
+let matvec_into ?pool m x ~dst =
+  if Array.length x <> m.cols then
+    invalid_arg "Csr.matvec_into: dimension mismatch";
+  if Array.length dst <> m.rows then
+    invalid_arg "Csr.matvec_into: destination dimension mismatch";
+  if dst == x && Array.length m.values > 0 then
+    invalid_arg "Csr.matvec_into: dst must not alias x";
+  match pool with
+  | Some p
+    when Tmest_parallel.Pool.size p > 1
+         && Array.length m.values >= par_nnz_threshold ->
+      (* Row-partitioned: every row owns its dst slot and accumulates in
+         the same order as the sequential loop, so the result is
+         bit-identical at any pool size. *)
+      Tmest_parallel.Pool.iter_chunks p ~n:m.rows
+        (fun ~chunk:_ ~lo ~hi -> matvec_rows m x dst lo hi)
+  | _ -> matvec_rows m x dst 0 m.rows
+
+let matvec ?pool m x =
   if Array.length x <> m.cols then invalid_arg "Csr.matvec: dimension mismatch";
   let y = Array.make m.rows 0. in
-  matvec_into m x ~dst:y;
+  matvec_into ?pool m x ~dst:y;
   y
 
 let tmatvec_into m x ~dst =

@@ -23,12 +23,15 @@ val nnz : t -> int
 (** [get m i j] is the entry at [(i, j)] (0 if not stored). *)
 val get : t -> int -> int -> float
 
-(** [matvec m x] is [m * x]. *)
-val matvec : t -> Vec.t -> Vec.t
+(** [matvec ?pool m x] is [m * x] ([pool] as in {!matvec_into}). *)
+val matvec : ?pool:Tmest_parallel.Pool.t -> t -> Vec.t -> Vec.t
 
-(** [matvec_into m x ~dst] writes [m * x] into [dst] without
-    allocating.  [dst] must not alias [x]. *)
-val matvec_into : t -> Vec.t -> dst:Vec.t -> unit
+(** [matvec_into ?pool m x ~dst] writes [m * x] into [dst] without
+    allocating.  [dst] must not alias [x].  With [pool], rows are
+    computed in parallel row blocks (large operands only); every row
+    owns its [dst] slot and accumulates in sequential order, so the
+    result is bit-identical at every pool size. *)
+val matvec_into : ?pool:Tmest_parallel.Pool.t -> t -> Vec.t -> dst:Vec.t -> unit
 
 (** [tmatvec m x] is [mᵀ * x]. *)
 val tmatvec : t -> Vec.t -> Vec.t

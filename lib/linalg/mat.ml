@@ -89,14 +89,13 @@ let sub a b =
 
 let scale c m = { m with data = Array.map (fun x -> c *. x) m.data }
 
-let matmul a b =
-  if a.cols <> b.rows then
-    invalid_arg
-      (Printf.sprintf "Mat.matmul: inner dimension mismatch (%dx%d * %dx%d)"
-         a.rows a.cols b.rows b.cols);
-  let c = zeros a.rows b.cols in
+(* Below this many scalar multiplies the pool dispatch overhead exceeds
+   the whole product; small operands stay sequential. *)
+let par_flops_threshold = 16_384
+
+let matmul_rows a b c lo hi =
   (* i-k-j loop order keeps the inner loop contiguous in both b and c. *)
-  for i = 0 to a.rows - 1 do
+  for i = lo to hi - 1 do
     for k = 0 to a.cols - 1 do
       let aik = Array.unsafe_get a.data ((i * a.cols) + k) in
       if aik <> 0. then begin
@@ -109,17 +108,29 @@ let matmul a b =
         done
       end
     done
-  done;
+  done
+
+let matmul ?pool a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: inner dimension mismatch (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  (match pool with
+  | Some p
+    when Tmest_parallel.Pool.size p > 1
+         && a.rows > 1
+         && a.rows * a.cols * b.cols >= par_flops_threshold ->
+      (* Row blocks of [c] are disjoint and each row runs the exact
+         sequential loop, so the product is bit-identical at any pool
+         size. *)
+      Tmest_parallel.Pool.iter_chunks p ~n:a.rows
+        (fun ~chunk:_ ~lo ~hi -> matmul_rows a b c lo hi)
+  | _ -> matmul_rows a b c 0 a.rows);
   c
 
-let matvec_into a x ~dst =
-  if a.cols <> Array.length x then
-    invalid_arg "Mat.matvec_into: dimension mismatch";
-  if Array.length dst <> a.rows then
-    invalid_arg "Mat.matvec_into: destination dimension mismatch";
-  if dst == x && a.rows > 0 && a.cols > 0 then
-    invalid_arg "Mat.matvec_into: dst must not alias x";
-  for i = 0 to a.rows - 1 do
+let matvec_rows a x dst lo hi =
+  for i = lo to hi - 1 do
     let base = i * a.cols in
     let acc = ref 0. in
     for j = 0 to a.cols - 1 do
@@ -129,11 +140,27 @@ let matvec_into a x ~dst =
     dst.(i) <- !acc
   done
 
-let matvec a x =
+let matvec_into ?pool a x ~dst =
+  if a.cols <> Array.length x then
+    invalid_arg "Mat.matvec_into: dimension mismatch";
+  if Array.length dst <> a.rows then
+    invalid_arg "Mat.matvec_into: destination dimension mismatch";
+  if dst == x && a.rows > 0 && a.cols > 0 then
+    invalid_arg "Mat.matvec_into: dst must not alias x";
+  match pool with
+  | Some p
+    when Tmest_parallel.Pool.size p > 1
+         && a.rows > 1
+         && a.rows * a.cols >= par_flops_threshold ->
+      Tmest_parallel.Pool.iter_chunks p ~n:a.rows
+        (fun ~chunk:_ ~lo ~hi -> matvec_rows a x dst lo hi)
+  | _ -> matvec_rows a x dst 0 a.rows
+
+let matvec ?pool a x =
   if a.cols <> Array.length x then
     invalid_arg "Mat.matvec: dimension mismatch";
   let y = Array.make a.rows 0. in
-  matvec_into a x ~dst:y;
+  matvec_into ?pool a x ~dst:y;
   y
 
 let tmatvec_into a x ~dst =

@@ -52,15 +52,20 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 
-(** [matmul a b] is the matrix product [a*b]. *)
-val matmul : t -> t -> t
+(** [matmul ?pool a b] is the matrix product [a*b].  With [pool], rows
+    of the result are computed in parallel row blocks (large operands
+    only); each row runs the exact sequential loop, so the product is
+    bit-identical at every pool size. *)
+val matmul : ?pool:Tmest_parallel.Pool.t -> t -> t -> t
 
-(** [matvec a x] is [a*x]. *)
-val matvec : t -> Vec.t -> Vec.t
+(** [matvec ?pool a x] is [a*x] ([pool] as in {!matmul}). *)
+val matvec : ?pool:Tmest_parallel.Pool.t -> t -> Vec.t -> Vec.t
 
-(** [matvec_into a x ~dst] writes [a*x] into [dst] without allocating.
-    [dst] must not alias [x]. *)
-val matvec_into : t -> Vec.t -> dst:Vec.t -> unit
+(** [matvec_into ?pool a x ~dst] writes [a*x] into [dst] without
+    allocating.  [dst] must not alias [x].  With [pool], rows are
+    computed in parallel row blocks (large operands only) —
+    bit-identical to the sequential product at every pool size. *)
+val matvec_into : ?pool:Tmest_parallel.Pool.t -> t -> Vec.t -> dst:Vec.t -> unit
 
 (** [tmatvec a x] is [aᵀ*x], without forming the transpose. *)
 val tmatvec : t -> Vec.t -> Vec.t

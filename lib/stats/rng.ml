@@ -25,6 +25,21 @@ let split t =
   let s = int64 t in
   { state = Int64.mul s 0xDA942042E4DD58B5L }
 
+(* Random-access splitting: [of_pair seed i] jumps straight to the state
+   the (i+1)'th sequential [split] of [create seed] would produce — the
+   Weyl sequence makes the k'th draw a pure function of (seed, k).
+   Parallel consumers (MCMC chains, per-sample synthetic noise) derive
+   their stream from an index and get bit-identical results whether the
+   streams are created sequentially or concurrently. *)
+let of_pair seed i =
+  if i < 0 then invalid_arg "Rng.of_pair: negative index";
+  let s =
+    mix
+      (Int64.add (Int64.of_int seed)
+         (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+  in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the low 62 bits to avoid modulo bias. *)

@@ -16,6 +16,12 @@ val copy : t -> t
     advances [t]. *)
 val split : t -> t
 
+(** [of_pair seed i] is the [(i+1)]'th generator that sequential
+    {!split}s of [create seed] would yield, computed directly — indexed
+    streams for parallel consumers (chains, per-sample noise) that must
+    not depend on creation order.  [i] must be non-negative. *)
+val of_pair : int -> int -> t
+
 (** [int64 t] is the next raw 64-bit output. *)
 val int64 : t -> int64
 

@@ -110,6 +110,11 @@ let poisson_series t ~unit_bps ~samples ~seed =
   if unit_bps <= 0. then invalid_arg "Dataset.poisson_series: unit_bps <= 0";
   let p = num_pairs t in
   let lambdas = Vec.scale (1. /. unit_bps) (busy_mean_demand t) in
-  let rng = Rng.create seed in
-  Mat.init samples p (fun _ pair ->
-      unit_bps *. float_of_int (Dist.poisson rng ~lambda:lambdas.(pair)))
+  (* One indexed generator per sample: row [k] depends on (seed, k)
+     only, so a subset of rows — or rows drawn concurrently — matches
+     the full sequential series bit for bit. *)
+  Mat.of_rows
+    (Array.init samples (fun k ->
+         let rng = Rng.of_pair seed k in
+         Array.init p (fun pair ->
+             unit_bps *. float_of_int (Dist.poisson rng ~lambda:lambdas.(pair)))))

@@ -1,0 +1,317 @@
+(* The domain pool and everything layered on it.  The determinism
+   contract under test: parallel map/for/reduce and the row-partitioned
+   kernels are bit-identical at every pool size, window scans are a
+   function of (jobs, steps) only, and indexed RNG streams are exactly
+   the sequential split streams.  All of it must hold on a pool larger
+   than the machine (the CI runners differ), so pools here are sized
+   explicitly, never from the core count. *)
+
+module Pool = Tmest_parallel.Pool
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Rng = Tmest_stats.Rng
+module Ctx = Tmest_experiments.Ctx
+module Workspace = Tmest_core.Workspace
+module Estimator = Tmest_core.Estimator
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let check_bits name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "%s: slot %d differs (%.17g vs %.17g)" name i x b.(i))
+    a
+
+(* ------------------------------------------------------------- pool *)
+
+let test_map_matches_sequential () =
+  let input = Array.init 257 (fun i -> i) in
+  let f i = float_of_int (i * i) +. (1. /. float_of_int (i + 1)) in
+  let expect = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          check_bits
+            (Printf.sprintf "map at %d jobs" jobs)
+            expect (Pool.map pool f input)))
+    [ 1; 4 ]
+
+let test_map_edge_sizes () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool succ [||]);
+      Alcotest.(check (array int)) "one task" [| 8 |]
+        (Pool.map pool succ [| 7 |]))
+
+let test_for_covers_every_index () =
+  let n = 1000 in
+  with_pool 3 (fun pool ->
+      let hits = Array.make n (Atomic.make 0) in
+      for i = 0 to n - 1 do
+        hits.(i) <- Atomic.make 0
+      done;
+      Pool.parallel_for pool ~n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "index %d ran %d times" i (Atomic.get c))
+        hits)
+
+let test_for_propagates_exception () =
+  with_pool 4 (fun pool ->
+      let n = 64 in
+      let ran = Atomic.make 0 in
+      let raised =
+        match
+          Pool.parallel_for pool ~n (fun i ->
+              if i = 13 then failwith "boom" else Atomic.incr ran)
+        with
+        | () -> false
+        | exception Failure msg when msg = "boom" -> true
+      in
+      Alcotest.(check bool) "Failure re-raised in caller" true raised;
+      (* The other tasks still ran to completion. *)
+      Alcotest.(check int) "remaining tasks completed" (n - 1)
+        (Atomic.get ran))
+
+let test_nested_parallel_for () =
+  with_pool 2 (fun pool ->
+      let total = Atomic.make 0 in
+      Pool.parallel_for pool ~n:4 (fun _ ->
+          Pool.parallel_for pool ~n:8 (fun _ -> Atomic.incr total));
+      Alcotest.(check int) "inner iterations all ran" 32 (Atomic.get total))
+
+let test_iter_chunks_partitions () =
+  with_pool 5 (fun pool ->
+      List.iter
+        (fun n ->
+          let seen = Array.make n 0 in
+          let nchunks = ref 0 in
+          Pool.iter_chunks pool ~n (fun ~chunk:_ ~lo ~hi ->
+              incr nchunks;
+              for i = lo to hi - 1 do
+                seen.(i) <- seen.(i) + 1
+              done);
+          Alcotest.(check int)
+            (Printf.sprintf "chunk count for n=%d" n)
+            (Stdlib.min 5 n) !nchunks;
+          Array.iteri
+            (fun i c ->
+              if c <> 1 then Alcotest.failf "n=%d: index %d covered %d times" n i c)
+            seen)
+        [ 1; 4; 5; 13 ])
+
+(* Chunked floating-point reduction: the grouping depends only on the
+   input length, so even a non-associative combine is bit-identical at
+   every pool size. *)
+let test_reduce_bit_identical () =
+  let rng = Rng.create 5 in
+  let a = Array.init 301 (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let f x = (x *. x) +. 1e-3 in
+  let combine = ( +. ) in
+  let at jobs = with_pool jobs (fun pool -> Pool.reduce pool ~f ~combine a) in
+  let r1 = at 1 in
+  List.iter
+    (fun jobs ->
+      match (r1, at jobs) with
+      | Some x, Some y ->
+          if Int64.bits_of_float x <> Int64.bits_of_float y then
+            Alcotest.failf "reduce at %d jobs: %.17g vs %.17g" jobs y x
+      | _ -> Alcotest.fail "reduce returned None on non-empty input")
+    [ 3; 5 ];
+  (* And it is the right sum, up to reassociation. *)
+  let plain = Array.fold_left (fun acc x -> combine acc (f x)) (f a.(0)) (Array.sub a 1 300) in
+  (match r1 with
+  | Some x ->
+      Alcotest.(check bool) "reduce close to sequential fold" true
+        (Float.abs (x -. plain) <= 1e-9 *. Float.abs plain)
+  | None -> Alcotest.fail "reduce returned None");
+  with_pool 3 (fun pool ->
+      Alcotest.(check bool) "reduce of empty is None" true
+        (Pool.reduce pool ~f ~combine [||] = None))
+
+let test_once_forces_once () =
+  with_pool 4 (fun pool ->
+      let computed = Atomic.make 0 in
+      let once =
+        Pool.Once.make (fun () ->
+            Atomic.incr computed;
+            41 + Atomic.get computed)
+      in
+      let results = Pool.map pool (fun _ -> Pool.Once.force once) (Array.make 32 ()) in
+      Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed);
+      Array.iter (fun v -> Alcotest.(check int) "same memo for all" 42 v) results)
+
+(* ------------------------------------------------- indexed rng split *)
+
+let test_of_pair_matches_sequential_splits () =
+  let seed = 91 in
+  let parent = Rng.create seed in
+  for i = 0 to 9 do
+    let sequential = Rng.split parent in
+    let indexed = Rng.of_pair seed i in
+    for draw = 0 to 4 do
+      let a = Rng.int64 sequential and b = Rng.int64 indexed in
+      if a <> b then
+        Alcotest.failf "of_pair %d, draw %d: %Ld vs sequential %Ld" i draw b a
+    done
+  done;
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.of_pair: negative index") (fun () ->
+      ignore (Rng.of_pair 1 (-1)))
+
+(* ------------------------------------------------ parallel kernels *)
+
+let test_dense_kernels_bit_identical () =
+  let rng = Rng.create 17 in
+  (* 150 x 150 and 30^3 both clear the parallel-path size gates. *)
+  let a = Mat.init 150 150 (fun _ _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let x = Array.init 150 (fun _ -> Rng.uniform rng ~lo:0. ~hi:1.) in
+  let b = Mat.init 30 30 (fun _ _ -> Rng.float rng) in
+  let c = Mat.init 30 30 (fun _ _ -> Rng.float rng) in
+  let mv = Mat.matvec a x in
+  let mm = Mat.matmul b c in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          check_bits
+            (Printf.sprintf "matvec at %d jobs" jobs)
+            mv
+            (Mat.matvec ~pool a x);
+          let mmp = Mat.matmul ~pool b c in
+          for i = 0 to Mat.rows mm - 1 do
+            check_bits
+              (Printf.sprintf "matmul row %d at %d jobs" i jobs)
+              (Mat.row mm i) (Mat.row mmp i)
+          done))
+    [ 2; 5 ]
+
+let test_csr_matvec_bit_identical () =
+  let rng = Rng.create 29 in
+  let rows = 220 and cols = 150 in
+  (* ~6600 stored entries: safely past the nnz gate. *)
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for _ = 1 to 30 do
+      entries :=
+        (i, Rng.int rng cols, Rng.uniform rng ~lo:0.1 ~hi:1.) :: !entries
+    done
+  done;
+  let m = Csr.of_triplets ~rows ~cols !entries in
+  Alcotest.(check bool) "nnz clears the parallel gate" true (Csr.nnz m >= 4096);
+  let x = Array.init cols (fun _ -> Rng.float rng) in
+  let plain = Csr.matvec m x in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          check_bits
+            (Printf.sprintf "csr matvec at %d jobs" jobs)
+            plain
+            (Csr.matvec ~pool m x)))
+    [ 2; 5 ]
+
+(* ------------------------------------------------------ window scans *)
+
+let window = 5
+let steps = 6
+
+(* Cold solves are independent, so a multi-domain scan is bit-identical
+   to the single-domain one; warm scans chain per chunk and must agree
+   within the solver tolerance (same bounds as test_warmstart). *)
+let test_scan_jobs4_matches_jobs1 () =
+  let ctx1 = Ctx.create ~fast:true ~jobs:1 () in
+  let ctx4 = Ctx.create ~fast:true ~jobs:4 () in
+  let rel_dist a b = Vec.dist2 a b /. (1. +. Vec.norm2 a) in
+  List.iter
+    (fun (name, tol) ->
+      let est = Estimator.of_name name in
+      let scan ctx ~warm =
+        Ctx.scan_busy ~warm ctx.Ctx.europe est ~window ~steps
+      in
+      List.iter2
+        (fun (k1, cold1) (k4, cold4) ->
+          Alcotest.(check int) (name ^ " cold scan order") k1 k4;
+          check_bits (name ^ " cold scan bit-identical") cold1 cold4)
+        (scan ctx1 ~warm:false) (scan ctx4 ~warm:false);
+      List.iter2
+        (fun (k1, warm1) (k4, warm4) ->
+          Alcotest.(check int) (name ^ " warm scan order") k1 k4;
+          let d = rel_dist warm1 warm4 in
+          if not (d <= tol) then
+            Alcotest.failf "%s warm at snapshot %d: jobs=4 deviates by %.3e"
+              name k1 d)
+        (scan ctx1 ~warm:true) (scan ctx4 ~warm:true))
+    [ ("entropy", 1e-4); ("vardi", 1e-8); ("cao", 5e-1) ]
+
+(* Chunked warm accounting: a 4-slot pool splits [steps] positions into
+   min 4 steps chunks, each chunk running its own warm chain — so the
+   first warm scan misses once per chunk and hits on every other
+   position, and a repeat scan hits everywhere. *)
+let test_warm_counters_chunked () =
+  let jobs = 4 in
+  let ctx = Ctx.create ~fast:true ~jobs () in
+  let net = ctx.Ctx.europe in
+  let est = Estimator.of_name "entropy" in
+  let nchunks = Stdlib.min jobs steps in
+  ignore (Ctx.scan_busy net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "cold scan: no warm traffic" 0
+    (st.Workspace.warm.hits + st.Workspace.warm.misses);
+  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "first warm scan: one miss per chunk" nchunks
+    st.Workspace.warm.misses;
+  Alcotest.(check int) "first warm scan: hits elsewhere" (steps - nchunks)
+    st.Workspace.warm.hits;
+  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  let st = Workspace.stats net.Ctx.workspace in
+  Alcotest.(check int) "repeat warm scan never misses" nchunks
+    st.Workspace.warm.misses;
+  Alcotest.(check int) "repeat warm scan hits every position"
+    ((2 * steps) - nchunks)
+    st.Workspace.warm.hits
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches Array.map" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "map edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "parallel_for covers every index" `Quick
+            test_for_covers_every_index;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_for_propagates_exception;
+          Alcotest.test_case "nested parallel_for" `Quick
+            test_nested_parallel_for;
+          Alcotest.test_case "iter_chunks partitions exactly" `Quick
+            test_iter_chunks_partitions;
+          Alcotest.test_case "reduce bit-identical across pool sizes" `Quick
+            test_reduce_bit_identical;
+          Alcotest.test_case "Once computes once" `Quick test_once_forces_once;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "of_pair = sequential splits" `Quick
+            test_of_pair_matches_sequential_splits;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "dense matvec/matmul bit-identical" `Quick
+            test_dense_kernels_bit_identical;
+          Alcotest.test_case "csr matvec bit-identical" `Quick
+            test_csr_matvec_bit_identical;
+        ] );
+      ( "scans",
+        [
+          Alcotest.test_case "jobs=4 scan matches jobs=1" `Quick
+            test_scan_jobs4_matches_jobs1;
+          Alcotest.test_case "chunked warm accounting" `Quick
+            test_warm_counters_chunked;
+        ] );
+    ]

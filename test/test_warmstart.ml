@@ -53,9 +53,11 @@ let test_scan_matches_cold net () =
     tolerances
 
 (* The cache is keyed per method: a scan of [steps] positions misses on
-   the first and hits on the rest, and a cold scan never touches it. *)
+   the first and hits on the rest, and a cold scan never touches it.
+   Pinned to one job: a multi-domain scan runs one warm chain per chunk
+   (its own exact accounting, covered in test_parallel). *)
 let test_warm_counters () =
-  let ctx = Ctx.create ~fast:true () in
+  let ctx = Ctx.create ~fast:true ~jobs:1 () in
   let net = ctx.Ctx.europe in
   let est = Estimator.of_name "entropy" in
   ignore (Ctx.scan_busy net est ~window ~steps);
