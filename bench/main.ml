@@ -80,6 +80,16 @@ let run_reports ~fast ~only () =
    accumulated (at least 3 runs) and report the mean.  Bechamel's OLS
    machinery is overkill here — these are one-shot artifact timings
    whose point is the cold/warm ratio, not nanosecond precision. *)
+(* Machine/run provenance stamped into every BENCH_*.json, so recorded
+   numbers can be compared across checkouts: the physical core count
+   the runtime reports, the pool size the benchmark actually used, and
+   the compiler version. *)
+let provenance ~jobs =
+  Printf.sprintf
+    "  \"cores\": %d,\n  \"jobs\": %d,\n  \"ocaml_version\": %S,\n"
+    (Domain.recommended_domain_count ())
+    jobs Sys.ocaml_version
+
 let time_ns f =
   ignore (f ());
   let budget = 0.2 in
@@ -110,9 +120,16 @@ let workspace_json () =
   let entropy = Core.Estimator.of_name "entropy" in
   let cao = Core.Estimator.of_name "cao" in
   let warm = Core.Workspace.create routing in
+  (* The "cold" rows rebuild the workspace inside the thunk, so they
+     price a from-scratch routing context against the cached one. *)
+  let solve_cold est () =
+    Core.Estimator.solve est
+      (Core.Workspace.create routing)
+      ~loads ~load_samples
+  in
   (* Populate every artifact the warm path uses before timing it. *)
-  ignore (Core.Estimator.run_ws entropy warm ~loads ~load_samples);
-  ignore (Core.Estimator.run_ws cao warm ~loads ~load_samples);
+  ignore (Core.Estimator.solve entropy warm ~loads ~load_samples);
+  ignore (Core.Estimator.solve cao warm ~loads ~load_samples);
   let rows =
     [
       ( "gram_cold",
@@ -123,23 +140,20 @@ let workspace_json () =
         let g = Core.Workspace.gram warm in
         time_ns (fun () -> Tmest_linalg.Chol.factor_regularized g) );
       ("factor_warm", time_ns (fun () -> Core.Workspace.gram_chol warm));
-      ( "entropy_solve_cold",
-        time_ns (fun () ->
-            Core.Estimator.run entropy routing ~loads ~load_samples) );
+      ("entropy_solve_cold", time_ns (solve_cold entropy));
       ( "entropy_solve_warm",
         time_ns (fun () ->
-            Core.Estimator.run_ws entropy warm ~loads ~load_samples) );
-      ( "cao_solve_cold",
-        time_ns (fun () ->
-            Core.Estimator.run cao routing ~loads ~load_samples) );
+            Core.Estimator.solve entropy warm ~loads ~load_samples) );
+      ("cao_solve_cold", time_ns (solve_cold cao));
       ( "cao_solve_warm",
         time_ns (fun () ->
-            Core.Estimator.run_ws cao warm ~loads ~load_samples) );
+            Core.Estimator.solve cao warm ~loads ~load_samples) );
     ]
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"network\": \"europe\",\n";
+  Buffer.add_string buf (provenance ~jobs:1);
   Buffer.add_string buf
     (Printf.sprintf "  \"window\": %d,\n  \"unit\": \"ns/op\",\n" window);
   Buffer.add_string buf "  \"benchmarks\": {\n";
@@ -189,6 +203,8 @@ let solvers_json ~fast () =
   let module Fista = Tmest_opt.Fista in
   let module Proxgrad = Tmest_opt.Proxgrad in
   let module Cg = Tmest_opt.Cg in
+  (* Exactly n iterations: tolerance 0 never triggers early exit. *)
+  let stop_exact n = Tmest_opt.Stop.make ~max_iter:n ~tol:0. () in
   (* Per-iteration allocations of the solver cores, on a synthetic SPD
      quadratic so the numbers are routing-independent. *)
   let rng = Tmest_stats.Rng.create 23 in
@@ -212,17 +228,17 @@ let solvers_json ~fast () =
     [
       ( "fista",
         words_per_iter (fun n ->
-            Fista.solve_into ~max_iter:n ~tol:0. ~scratch:fista_scratch ~dim
+            Fista.solve_into ~stop:(stop_exact n) ~scratch:fista_scratch ~dim
               ~gradient_into ~lipschitz:lip ()) );
       ( "proxgrad",
         words_per_iter (fun n ->
-            Proxgrad.solve_into ~max_iter:n ~tol:0. ~scratch:pg_scratch ~dim
+            Proxgrad.solve_into ~stop:(stop_exact n) ~scratch:pg_scratch ~dim
               ~gradient_into
               ~prox_into:(Proxgrad.kl_prox_into ~weight:0.1 ~prior)
               ~lipschitz:lip ()) );
       ( "cg",
         words_per_iter (fun n ->
-            Cg.solve_into ~max_iter:n ~tol:0. ~scratch:cg_scratch
+            Cg.solve_into ~stop:(stop_exact n) ~scratch:cg_scratch
               ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
               ~b ()) );
     ]
@@ -239,22 +255,27 @@ let solvers_json ~fast () =
   let routing = net.Ctx.dataset.Tmest_traffic.Dataset.routing in
   let entropy = Core.Estimator.of_name "entropy" in
   let cao = Core.Estimator.of_name "cao" in
+  let warm_opts = Core.Estimator.Options.make ~warm:true () in
+  let solve_cold est () =
+    Core.Estimator.solve est
+      (Core.Workspace.create routing)
+      ~loads ~load_samples
+  in
   (* Populate workspace artifacts and the warm-start cache. *)
-  ignore (Core.Estimator.run_ws ~warm:true entropy ws ~loads ~load_samples);
-  ignore (Core.Estimator.run_ws ~warm:true cao ws ~loads ~load_samples);
+  ignore (Core.Estimator.solve ~opts:warm_opts entropy ws ~loads ~load_samples);
+  ignore (Core.Estimator.solve ~opts:warm_opts cao ws ~loads ~load_samples);
   let ns_rows =
     [
-      ( "entropy_solve_cold",
-        time_ns (fun () ->
-            Core.Estimator.run entropy routing ~loads ~load_samples) );
+      ("entropy_solve_cold", time_ns (solve_cold entropy));
       ( "entropy_solve_warm",
         time_ns (fun () ->
-            Core.Estimator.run_ws ~warm:true entropy ws ~loads ~load_samples) );
-      ( "cao_solve_cold",
-        time_ns (fun () -> Core.Estimator.run cao routing ~loads ~load_samples) );
+            Core.Estimator.solve ~opts:warm_opts entropy ws ~loads
+              ~load_samples) );
+      ("cao_solve_cold", time_ns (solve_cold cao));
       ( "cao_solve_warm",
         time_ns (fun () ->
-            Core.Estimator.run_ws ~warm:true cao ws ~loads ~load_samples) );
+            Core.Estimator.solve ~opts:warm_opts cao ws ~loads ~load_samples)
+      );
       (* Scan with the Cao estimator: its warm start reuses the previous
          window's lambda and skips the first-moment bootstrap entirely,
          so the cold/warm gap is the meso-level payoff of the cache.
@@ -264,13 +285,15 @@ let solvers_json ~fast () =
       ( "windows_scan_cold",
         time_ns (fun () -> Ctx.scan_busy net cao ~window ~steps) );
       ( "windows_scan_warm",
-        time_ns (fun () -> Ctx.scan_busy ~warm:true net cao ~window ~steps) );
+        time_ns (fun () ->
+            Ctx.scan_busy ~opts:warm_opts net cao ~window ~steps) );
     ]
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"network\": %S,\n" (if fast then "europe-fast" else "europe"));
+  Buffer.add_string buf (provenance ~jobs:(Pool.size (Ctx.pool ctx)));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"window\": %d,\n  \"scan_steps\": %d,\n  \"scan_method\": \"cao\",\n"
@@ -349,7 +372,7 @@ let parallel_json ~fast () =
           ignore
             (Pool.map pool
                (fun est ->
-                 Core.Estimator.run_ws est us.Ctx.workspace ~loads:us_loads
+                 Core.Estimator.solve est us.Ctx.workspace ~loads:us_loads
                    ~load_samples:us_samples)
                methods))
     in
@@ -365,6 +388,7 @@ let parallel_json ~fast () =
   let base = List.assoc (List.hd jobs_list) rows in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf (provenance ~jobs:(List.fold_left Stdlib.max 1 jobs_list));
   Buffer.add_string buf
     (Printf.sprintf "  \"cores_recommended\": %d,\n" cores);
   Buffer.add_string buf
@@ -492,17 +516,18 @@ let solver_tests () =
   let pg_scratch = Array.init Proxgrad.scratch_size (fun _ -> Vec.zeros dim) in
   let cg_scratch = Array.init Cg.scratch_size (fun _ -> Vec.zeros dim) in
   let prior = Vec.ones dim in
+  let stop64 = Tmest_opt.Stop.make ~max_iter:64 ~tol:0. () in
   [
     Test.make ~name:"fista200.solve_into_x64" (Staged.stage (fun () ->
-        Fista.solve_into ~max_iter:64 ~tol:0. ~scratch:fista_scratch ~dim
+        Fista.solve_into ~stop:stop64 ~scratch:fista_scratch ~dim
           ~gradient_into ~lipschitz:lip ()));
     Test.make ~name:"proxgrad200.solve_into_x64" (Staged.stage (fun () ->
-        Proxgrad.solve_into ~max_iter:64 ~tol:0. ~scratch:pg_scratch ~dim
+        Proxgrad.solve_into ~stop:stop64 ~scratch:pg_scratch ~dim
           ~gradient_into
           ~prox_into:(Proxgrad.kl_prox_into ~weight:0.1 ~prior)
           ~lipschitz:lip ()));
     Test.make ~name:"cg200.solve_into_x64" (Staged.stage (fun () ->
-        Cg.solve_into ~max_iter:64 ~tol:0. ~scratch:cg_scratch
+        Cg.solve_into ~stop:stop64 ~scratch:cg_scratch
           ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
           ~b ()));
   ]

@@ -14,6 +14,8 @@ module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Core = Tmest_core
 module Pool = Tmest_parallel.Pool
+module Obs = Tmest_obs.Obs
+module Recorder = Tmest_obs.Recorder
 
 let dataset_of_name = function
   | "europe" -> Dataset.europe ()
@@ -37,6 +39,39 @@ let jobs_arg =
 (* Resize the shared default pool before any workspace or context is
    built; every later [Pool.default ()] then returns the resized pool. *)
 let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
+
+let trace_arg =
+  let doc =
+    "Record an execution trace to $(docv): spans for solves, windows \
+     and cache fills, counters for workspace caches, and one record \
+     per solver iteration.  A $(b,.jsonl) suffix selects the \
+     line-oriented encoding; anything else gets Chrome trace-viewer \
+     JSON (load in about://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] against a trace sink: the null sink without [--trace], else
+   a recorder whose contents are written to [path] on the way out
+   (also on failure, so aborted runs keep their partial trace). *)
+let with_trace ?(meta = []) trace f =
+  match trace with
+  | None -> f Obs.null
+  | Some path ->
+      (* Spans should measure wall-clock, not CPU seconds. *)
+      Obs.Clock.set_source Unix.gettimeofday;
+      let r = Recorder.create ~meta () in
+      let finish () =
+        Recorder.write_file r path;
+        Printf.eprintf "trace: %d events -> %s\n%!" (Recorder.length r) path
+      in
+      let code =
+        try f (Recorder.sink r)
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      code
 
 (* -------------------------------------------------------------- info *)
 
@@ -89,7 +124,7 @@ let estimate_cmd =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
   in
-  let run network method_name sigma2 window top jobs =
+  let run network method_name sigma2 window top jobs trace =
     apply_jobs jobs;
     let d = dataset_of_name network in
     let spec = d.Dataset.spec in
@@ -115,8 +150,18 @@ let estimate_cmd =
           Printf.eprintf "%s\n" msg;
           exit 2
     in
-    let ws = Core.Workspace.create ~pool:(Pool.default ()) d.Dataset.routing in
-    let estimate = Core.Estimator.run_ws m ws ~loads ~load_samples in
+    with_trace trace
+      ~meta:
+        [
+          ("command", "estimate");
+          ("network", network);
+          ("method", Core.Estimator.name m);
+        ]
+    @@ fun sink ->
+    let ws =
+      Core.Workspace.create ~pool:(Pool.default ()) ~sink d.Dataset.routing
+    in
+    let estimate = Core.Estimator.solve m ws ~loads ~load_samples in
     let reference =
       if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
       else truth
@@ -152,7 +197,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg)
 
 (* -------------------------------------------------------- experiment *)
 
@@ -165,20 +210,23 @@ let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc)
 
 let experiment_cmd =
-  let run id fast jobs =
+  let run id fast jobs trace =
     apply_jobs jobs;
     match Tmest_experiments.Registry.find id with
     | exception Not_found ->
         Printf.eprintf "unknown experiment %S; try `tme list'\n" id;
         2
     | e ->
-        let ctx = Tmest_experiments.Ctx.create ~fast () in
+        with_trace trace
+          ~meta:[ ("command", "experiment"); ("experiment", id) ]
+        @@ fun sink ->
+        let ctx = Tmest_experiments.Ctx.create ~fast ~sink () in
         Tmest_experiments.Report.print (e.Tmest_experiments.Registry.run ctx);
         0
   in
   let doc = "Run one paper experiment and print its report." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ exp_id_arg $ fast_arg $ jobs_arg)
+    Term.(const run $ exp_id_arg $ fast_arg $ jobs_arg $ trace_arg)
 
 let list_cmd =
   let run () =
@@ -289,8 +337,7 @@ let estimate_files_cmd =
           let truth = Mat.row series sample in
           let loads = Tmest_net.Routing.link_loads routing truth in
           let prior =
-            Core.Estimator.build_prior_ws Core.Estimator.Prior_gravity ws
-              ~loads
+            Core.Estimator.prior Core.Estimator.Prior_gravity ws ~loads
           in
           let est =
             (Core.Entropy.estimate ws ~loads ~prior ~sigma2)

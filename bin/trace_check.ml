@@ -1,0 +1,30 @@
+(* trace_check: validate a tmest trace file against the
+   "tmest-trace-1" schema.
+
+   Usage: trace_check FILE [FILE ...]
+
+   Each file is parsed with Tmest_obs.Validate (dispatching on the
+   .jsonl suffix, like Recorder.write_file) and checked for per-record
+   shape, globally monotone timestamps and properly nested span pairs.
+   Prints one summary line per valid file; exits 1 on the first
+   malformed one.  CI runs this over the traced smoke run. *)
+
+let check path =
+  match Tmest_obs.Validate.file path with
+  | Ok summary ->
+      Format.printf "%s: ok — %a@." path Tmest_obs.Validate.pp_summary summary;
+      true
+  | Error msg ->
+      Printf.eprintf "%s: INVALID — %s\n" path msg;
+      false
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      false
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: trace_check FILE [FILE ...]";
+    exit 2
+  end;
+  exit (if List.for_all check files then 0 else 1)

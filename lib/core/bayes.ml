@@ -1,6 +1,7 @@
 module Vec = Tmest_linalg.Vec
 module Csr = Tmest_linalg.Csr
 module Fista = Tmest_opt.Fista
+module Stop = Tmest_opt.Stop
 module Routing = Tmest_net.Routing
 
 type result = {
@@ -9,7 +10,11 @@ type result = {
   converged : bool;
 }
 
-let estimate ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
+let estimate ?x0 ?(stop = Stop.default) ws ~loads ~prior ~sigma2 =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"bayes/fista" ~max_iter:4000
+      ~tol:1e-10
+  in
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   if sigma2 <= 0. then invalid_arg "Bayes.estimate: sigma2 must be positive";
@@ -47,9 +52,15 @@ let estimate ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2 =
   let scratch =
     Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
   in
+  (* Traced runs only; allocates freely. *)
+  let objective s =
+    let resid = Vec.sub (Csr.matvec r s) t_n in
+    let dev = Vec.sub s prior_n in
+    Vec.dot resid resid +. (w *. Vec.dot dev dev)
+  in
   let res =
-    Fista.solve_into ~x0:start ~max_iter ~tol ~scratch ~dim:p ~gradient_into
-      ~lipschitz ()
+    Fista.solve_into ~x0:start ~stop ~scratch ~objective ~dim:p
+      ~gradient_into ~lipschitz ()
   in
   if not res.Fista.converged then
     Logs.warn ~src:Problem.log_src (fun m ->

@@ -18,15 +18,14 @@ type result = {
   converged : bool;
 }
 
-(** [estimate ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2] solves the
+(** [estimate ?x0 ?stop ws ~loads ~prior ~sigma2] solves the
     regularized problem with an accelerated projected-gradient method.
     [x0] is an optional warm-start estimate in bits/s (e.g. the previous
     measurement window's solution); default is the prior itself.
     @raise Invalid_argument on dimension mismatch or [sigma2 <= 0]. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->

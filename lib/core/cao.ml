@@ -2,6 +2,8 @@ module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Fista = Tmest_opt.Fista
+module Stop = Tmest_opt.Stop
+module Obs = Tmest_obs.Obs
 module Desc = Tmest_stats.Desc
 module Routing = Tmest_net.Routing
 
@@ -11,9 +13,19 @@ type result = {
   iterations : int;
 }
 
-let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
-    ~c ~sigma_inv2 =
+let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
+    ~phi ~c ~sigma_inv2 =
   if phi <= 0. then invalid_arg "Cao.estimate: phi must be positive";
+  (* [tol] scales the relative-progress stall test of the backtracking
+     outer loop (historical constant 1e-12). *)
+  let stop =
+    Workspace.solver_stop ws stop ~label:"cao" ~max_iter:400 ~tol:1e-12
+  in
+  let max_iter = Stop.max_iter stop ~default:400 in
+  let progress_tol = Stop.tol stop ~default:1e-12 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"cao" in
   if c < 1. then invalid_arg "Cao.estimate: need c >= 1";
   if sigma_inv2 < 0. then invalid_arg "Cao.estimate: negative sigma_inv2";
   let routing = Workspace.routing ws in
@@ -84,7 +96,11 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
   | None ->
       (* Start from the first-moment-only solution. *)
       let init =
-        Fista.solve_into ~max_iter:2000 ~tol:1e-10 ~dim:p
+        Fista.solve_into
+          ~stop:
+            (Stop.make ~max_iter:2000 ~tol:1e-10 ~sink
+               ~label:(label ^ "/bootstrap-fista") ())
+          ~dim:p
           ~scratch:
             (Workspace.scratch ws ~name:"fista" ~dim:p
                ~count:Fista.scratch_size)
@@ -99,6 +115,9 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
   let step = ref (1. /. lip) in
   let iterations = ref 0 in
   let stalled = ref false in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("dim", Obs.Int p); ("max_iter", Obs.Int max_iter) ];
   while (not !stalled) && !iterations < max_iter do
     incr iterations;
     gradient_into !lambda ~dst:grad;
@@ -113,7 +132,7 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
         else try_step (eta /. 2.) (attempts - 1)
       end
     in
-    match try_step (!step *. 2.) 40 with
+    (match try_step (!step *. 2.) 40 with
     | None -> stalled := true
     | Some (fc, eta) ->
         let progress = !f -. fc in
@@ -122,8 +141,13 @@ let estimate ?x0 ?(max_iter = 400) ?(unit_bps = 1e6) ws ~load_samples ~phi
         cand := tmp;
         f := fc;
         step := eta;
-        if progress < 1e-12 *. (1. +. abs_float fc) then stalled := true
+        if progress < progress_tol *. (1. +. abs_float fc) then
+          stalled := true);
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations ~objective:!f
+        ~step:!step ()
   done;
+  if traced then Obs.span_end sink label;
   {
     estimate = Vec.scale unit_bps !lambda;
     objective = !f;

@@ -23,7 +23,7 @@ type result = {
   iterations : int;
 }
 
-(** [estimate ?x0 ?max_iter ?unit_bps ws ~load_samples ~phi ~c
+(** [estimate ?x0 ?stop ?unit_bps ws ~load_samples ~phi ~c
     ~sigma_inv2] runs the estimator.  [phi] and [c] are the scaling-law
     parameters in the chosen counting unit ([unit_bps], default 1 Mbps);
     [c = 1, phi = 1] recovers Vardi's objective.  [x0] is an optional
@@ -31,7 +31,7 @@ type result = {
     bootstrap solve is skipped and the line search starts from [x0]. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
+  ?stop:Tmest_opt.Stop.t ->
   ?unit_bps:float ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->

@@ -13,8 +13,9 @@ let mre_with ?x0 ws ~loads ~prior ~truth ~sigma2 ~threshold set =
     (* The sweep re-solves thousands of times; warm starts plus a looser
        inner tolerance keep it tractable (MRE differences of interest
        are >= 1e-3). *)
-    Entropy.estimate_fixed ?x0 ~max_iter:1500 ~tol:1e-8 ws ~loads ~prior
-      ~sigma2 ~fixed:(fixed_of_set truth set)
+    Entropy.estimate_fixed ?x0
+      ~stop:(Tmest_opt.Stop.make ~max_iter:1500 ~tol:1e-8 ())
+      ws ~loads ~prior ~sigma2 ~fixed:(fixed_of_set truth set)
   in
   ( Metrics.mre_with_threshold ~threshold ~truth ~estimate:res.Entropy.estimate,
     res.Entropy.estimate )

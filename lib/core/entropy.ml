@@ -1,6 +1,7 @@
 module Vec = Tmest_linalg.Vec
 module Csr = Tmest_linalg.Csr
 module Proxgrad = Tmest_opt.Proxgrad
+module Stop = Tmest_opt.Stop
 module Routing = Tmest_net.Routing
 
 type result = {
@@ -9,8 +10,11 @@ type result = {
   converged : bool;
 }
 
-let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
-    ~mask =
+let solve ?x0 ?(stop = Stop.default) ws ~loads ~prior ~sigma2 ~mask =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"entropy/proxgrad" ~max_iter:4000
+      ~tol:1e-10
+  in
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   if sigma2 <= 0. then invalid_arg "Entropy.estimate: sigma2 must be positive";
@@ -52,8 +56,15 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
     Workspace.scratch ws ~name:"proxgrad" ~dim:p
       ~count:Proxgrad.scratch_size
   in
+  (* Only evaluated on traced runs, to fill the objective column of
+     per-iteration records; allocates freely. *)
+  let objective s =
+    let resid = Vec.sub (Csr.matvec r s) t_n in
+    Vec.dot resid resid
+    +. (w *. Proxgrad.kl_divergence s prior_n)
+  in
   let res =
-    Proxgrad.solve_into ~x0:start ~max_iter ~tol ~scratch ~dim:p
+    Proxgrad.solve_into ~x0:start ~stop ~scratch ~objective ~dim:p
       ~gradient_into ~prox_into ~lipschitz ()
   in
   if not res.Proxgrad.converged then
@@ -66,11 +77,11 @@ let solve ?x0 ?(max_iter = 4000) ?(tol = 1e-10) ws ~loads ~prior ~sigma2
     converged = res.Proxgrad.converged;
   }
 
-let estimate ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 =
+let estimate ?x0 ?stop ws ~loads ~prior ~sigma2 =
   let mask = Array.make (Workspace.num_pairs ws) false in
-  solve ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 ~mask
+  solve ?x0 ?stop ws ~loads ~prior ~sigma2 ~mask
 
-let estimate_fixed ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 ~fixed =
+let estimate_fixed ?x0 ?stop ws ~loads ~prior ~sigma2 ~fixed =
   let p = Workspace.num_pairs ws in
   let mask = Array.make p false in
   let s_fixed = Vec.zeros p in
@@ -87,7 +98,7 @@ let estimate_fixed ?x0 ?max_iter ?tol ws ~loads ~prior ~sigma2 ~fixed =
   let loads' =
     Vec.sub loads (Routing.link_loads (Workspace.routing ws) s_fixed)
   in
-  let res = solve ?x0 ?max_iter ?tol ws ~loads:loads' ~prior ~sigma2 ~mask in
+  let res = solve ?x0 ?stop ws ~loads:loads' ~prior ~sigma2 ~mask in
   let estimate =
     Vec.mapi
       (fun i v -> if mask.(i) then s_fixed.(i) else v)

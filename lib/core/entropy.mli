@@ -15,22 +15,23 @@ type result = {
   converged : bool;
 }
 
-(** [estimate ?max_iter ?tol ws ~loads ~prior ~sigma2] solves the
-    problem.  Prior entries that are zero stay zero in the estimate (KL
-    structural zeros); pass a floor-adjusted prior if that is not
-    desired.
+(** [estimate ?stop ws ~loads ~prior ~sigma2] solves the problem.
+    Prior entries that are zero stay zero in the estimate (KL structural
+    zeros); pass a floor-adjusted prior if that is not desired.  [stop]
+    ({!Tmest_opt.Stop.t}) carries solver limits (defaults 4000
+    iterations, tolerance 1e-10) and the trace sink; an unset sink falls
+    back to the workspace's.
     @raise Invalid_argument on dimension mismatch or [sigma2 <= 0]. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   sigma2:float ->
   result
 
-(** [estimate_fixed ?max_iter ?tol ws ~loads ~prior ~sigma2 ~fixed]
+(** [estimate_fixed ?stop ws ~loads ~prior ~sigma2 ~fixed]
     solves the same problem with some demands pinned to known values
     ([fixed] maps pair index to the measured demand): the pinned columns
     are moved to the right-hand side and excluded from the optimization.
@@ -38,8 +39,7 @@ val estimate :
     (Section 5.3.6). *)
 val estimate_fixed :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->

@@ -1,6 +1,7 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
-module Routing = Tmest_net.Routing
+module Stop = Tmest_opt.Stop
+module Obs = Tmest_obs.Obs
 
 type prior_kind = Workspace.prior_kind =
   | Prior_gravity
@@ -45,7 +46,24 @@ let uses_time_series = function
   | Gravity | Kruithof _ | Entropy _ | Bayes _ | Wcb_midpoint -> false
   | Fanout _ | Vardi _ | Cao _ -> true
 
-let build_prior_ws kind ws ~loads =
+module Options = struct
+  type t = {
+    warm : bool;
+    warm_tag : string option;
+    x0 : Vec.t option;
+    sink : Obs.sink;
+  }
+
+  let default = { warm = false; warm_tag = None; x0 = None; sink = Obs.null }
+
+  let make ?(warm = false) ?warm_tag ?x0 ?(sink = Obs.null) () =
+    { warm; warm_tag; x0; sink }
+
+  let with_warm_tag tag t = { t with warm_tag = Some tag }
+  let with_sink sink t = { t with sink }
+end
+
+let prior kind ws ~loads =
   Workspace.cached_prior ws ~kind ~loads ~compute:(fun () ->
       match kind with
       | Prior_gravity -> Gravity.simple (Workspace.routing ws) ~loads
@@ -54,9 +72,6 @@ let build_prior_ws kind ws ~loads =
           let p = Workspace.num_pairs ws in
           let total = Workspace.total_traffic ws ~loads in
           Vec.create p (total /. float_of_int p))
-
-let build_prior kind routing ~loads =
-  build_prior_ws kind (Workspace.create routing) ~loads
 
 let last_window samples window =
   let k = Mat.rows samples in
@@ -86,40 +101,57 @@ let warm_key = function
         (Printf.sprintf "cao:phi=%h:c=%h:sigma_inv2=%h:window=%d" phi c
            sigma_inv2 window)
 
-let run_ws ?(warm = false) ?warm_tag t ws ~loads ~load_samples =
+let solve ?(opts = Options.default) t ws ~loads ~load_samples =
   let t0 = Sys.time () in
-  let key = if warm then warm_key t else None in
+  let sink =
+    if Obs.is_null opts.Options.sink then Workspace.sink ws
+    else opts.Options.sink
+  in
+  (* Methods fall back to the workspace sink on their own; building the
+     [stop] explicitly here matters only when the caller routed a
+     different sink through [opts]. *)
+  let stop = Stop.make ~sink () in
+  let key = if opts.Options.warm then warm_key t else None in
   (* A tag isolates this caller's warm-start chain from others sharing
      the workspace — parallel window scans tag by chunk so each chunk
      chains through its own cache entry. *)
   let key =
-    match (key, warm_tag) with
+    match (key, opts.Options.warm_tag) with
     | Some k, Some tag -> Some (k ^ "#" ^ tag)
     | _ -> key
   in
   let x0 =
-    match key with
-    | Some key -> Workspace.warm_start ws ~key ~dim:(Workspace.num_pairs ws)
-    | None -> None
+    match opts.Options.x0 with
+    | Some _ as explicit -> explicit
+    | None -> (
+        match key with
+        | Some key ->
+            Workspace.warm_start ws ~key ~dim:(Workspace.num_pairs ws)
+        | None -> None)
   in
-  let store v = match key with
+  let store v =
+    match key with
     | Some key -> Workspace.store_warm_start ws ~key v
     | None -> ()
   in
-  let estimate =
+  let run () =
     match t with
     | Gravity -> Gravity.simple (Workspace.routing ws) ~loads
-    | Kruithof { prior } ->
-        let prior = build_prior_ws prior ws ~loads in
-        Kruithof.adjust ws ~loads ~prior
-    | Entropy { sigma2; prior } ->
-        let prior = build_prior_ws prior ws ~loads in
-        let est = (Entropy.estimate ?x0 ws ~loads ~prior ~sigma2).Entropy.estimate in
+    | Kruithof { prior = kind } ->
+        let prior = prior kind ws ~loads in
+        Kruithof.adjust ~stop ws ~loads ~prior
+    | Entropy { sigma2; prior = kind } ->
+        let prior = prior kind ws ~loads in
+        let est =
+          (Entropy.estimate ?x0 ~stop ws ~loads ~prior ~sigma2).Entropy.estimate
+        in
         store est;
         est
-    | Bayes { sigma2; prior } ->
-        let prior = build_prior_ws prior ws ~loads in
-        let est = (Bayes.estimate ?x0 ws ~loads ~prior ~sigma2).Bayes.estimate in
+    | Bayes { sigma2; prior = kind } ->
+        let prior = prior kind ws ~loads in
+        let est =
+          (Bayes.estimate ?x0 ~stop ws ~loads ~prior ~sigma2).Bayes.estimate
+        in
         store est;
         est
     | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds ws ~loads)
@@ -127,27 +159,37 @@ let run_ws ?(warm = false) ?warm_tag t ws ~loads ~load_samples =
         let samples = last_window load_samples window in
         (* The natural warm-start state is the fanout vector, not the
            demand estimate it expands to. *)
-        let res = Fanout.estimate ?x0 ws ~load_samples:samples in
+        let res = Fanout.estimate ?x0 ~stop ws ~load_samples:samples in
         store res.Fanout.fanouts;
         res.Fanout.estimate
     | Vardi { sigma_inv2; window } ->
         let samples = last_window load_samples window in
         let est =
-          (Vardi.estimate ?x0 ws ~load_samples:samples ~sigma_inv2).Vardi.estimate
+          (Vardi.estimate ?x0 ~stop ws ~load_samples:samples ~sigma_inv2)
+            .Vardi.estimate
         in
         store est;
         est
     | Cao { phi; c; sigma_inv2; window } ->
         let samples = last_window load_samples window in
         let est =
-          (Cao.estimate ?x0 ws ~load_samples:samples ~phi ~c ~sigma_inv2)
+          (Cao.estimate ?x0 ~stop ws ~load_samples:samples ~phi ~c ~sigma_inv2)
             .Cao.estimate
         in
         store est;
         est
   in
+  let estimate =
+    if sink.Obs.enabled then
+      Obs.span sink
+        ("solve/" ^ name t)
+        ~args:
+          [
+            ("method", Obs.String (name t));
+            ("warm", Obs.Bool opts.Options.warm);
+          ]
+        run
+    else run ()
+  in
   Workspace.record_solve ws (Sys.time () -. t0);
   estimate
-
-let run t routing ~loads ~load_samples =
-  run_ws t (Workspace.create routing) ~loads ~load_samples

@@ -1,5 +1,12 @@
 (** A uniform face over all estimation methods, for drivers (CLI,
-    benchmarks) that select a method by name. *)
+    benchmarks) that select a method by name.
+
+    The single entry point is {!solve}: one method value, one shared
+    {!Workspace.t}, one {!Options.t} bundling everything that modulates
+    a run (warm starts, an explicit starting iterate, the trace sink).
+    There are no throwaway-workspace conveniences — construct a
+    workspace once per routing context and reuse it; that is where all
+    caching, scratch reuse and observability live. *)
 
 (** Re-export of {!Workspace.prior_kind} so drivers can speak prior
     names without depending on the workspace module directly. *)
@@ -32,56 +39,68 @@ val all_names : unit -> string list
     load measurements rather than one snapshot. *)
 val uses_time_series : t -> bool
 
-(** [build_prior_ws kind ws ~loads] materializes a prior vector through
-    the workspace's [(kind, loads)] cache, so repeated solves on the
-    same snapshot reuse one prior (WCB priors in particular cost two LPs
-    per demand). *)
-val build_prior_ws :
+(** Per-run options for {!solve}. *)
+module Options : sig
+  type t = {
+    warm : bool;
+        (** start iterative methods from the workspace's cached solution
+            for the same method and parameters — the previous window of
+            a scan — and store the new solution back.  Warm runs
+            converge to the same optimum within the solver tolerance but
+            are {e not} bit-identical to cold runs; leave unset where
+            exact reproducibility across call orders matters. *)
+    warm_tag : string option;
+        (** suffixes the warm-start cache key, giving this caller a
+            private warm-start chain; parallel window scans tag by chunk
+            so concurrent chunks never cross-feed starting iterates. *)
+    x0 : Tmest_linalg.Vec.t option;
+        (** explicit starting iterate (bits/s); overrides the warm-start
+            cache lookup.  The solution is still stored back under the
+            warm key when [warm] is set. *)
+    sink : Tmest_obs.Obs.sink;
+        (** trace destination for this run; the null sink (default)
+            falls back to the workspace's {!Workspace.sink}. *)
+  }
+
+  (** Cold, untagged, no explicit start, null sink. *)
+  val default : t
+
+  val make :
+    ?warm:bool ->
+    ?warm_tag:string ->
+    ?x0:Tmest_linalg.Vec.t ->
+    ?sink:Tmest_obs.Obs.sink ->
+    unit ->
+    t
+
+  val with_warm_tag : string -> t -> t
+  val with_sink : Tmest_obs.Obs.sink -> t -> t
+end
+
+(** [prior kind ws ~loads] materializes a prior vector through the
+    workspace's [(kind, loads)] cache, so repeated solves on the same
+    snapshot reuse one prior (WCB priors in particular cost two LPs per
+    demand). *)
+val prior :
   prior_kind ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t
 
-(** [build_prior kind routing ~loads] is {!build_prior_ws} on a
-    throwaway workspace — compatibility wrapper with no reuse. *)
-val build_prior :
-  prior_kind ->
-  Tmest_net.Routing.t ->
-  loads:Tmest_linalg.Vec.t ->
-  Tmest_linalg.Vec.t
-
-(** [run_ws ?warm t ws ~loads ~load_samples] executes the method against
+(** [solve ?opts t ws ~loads ~load_samples] executes the method against
     a shared workspace.  Snapshot methods use [loads]; time-series
     methods take the last [window] rows of [load_samples] (and fall back
     to fewer if the series is shorter).  Returns the demand estimate in
     bits/s and accounts the wall-clock in the workspace's [solve]
     counter.
 
-    With [warm:true] (default false), iterative methods start from the
-    workspace's cached solution for the same method and parameters —
-    the previous window of a scan — and store their own solution back.
-    Warm runs converge to the same optimum within the solver tolerance
-    but are {e not} bit-identical to cold runs; leave [warm] unset where
-    exact reproducibility across call orders matters.
-
-    [warm_tag] (only meaningful with [warm:true]) suffixes the cache
-    key, giving the caller a private warm-start chain; parallel window
-    scans tag by chunk so concurrent chunks never cross-feed starting
-    iterates. *)
-val run_ws :
-  ?warm:bool ->
-  ?warm_tag:string ->
+    With an enabled trace sink (either [opts.sink] or the workspace's),
+    the run is wrapped in a [solve/<method>] span and every iterative
+    solver underneath emits per-iteration records. *)
+val solve :
+  ?opts:Options.t ->
   t ->
   Workspace.t ->
-  loads:Tmest_linalg.Vec.t ->
-  load_samples:Tmest_linalg.Mat.t ->
-  Tmest_linalg.Vec.t
-
-(** [run t routing ~loads ~load_samples] is {!run_ws} on a fresh
-    throwaway workspace: identical results, none of the reuse. *)
-val run :
-  t ->
-  Tmest_net.Routing.t ->
   loads:Tmest_linalg.Vec.t ->
   load_samples:Tmest_linalg.Mat.t ->
   Tmest_linalg.Vec.t

@@ -3,6 +3,7 @@ module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Fista = Tmest_opt.Fista
 module Projections = Tmest_opt.Projections
+module Stop = Tmest_opt.Stop
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
 module Odpairs = Tmest_net.Odpairs
@@ -22,7 +23,11 @@ type result = {
    squared node totals, whose spread (heavy-tailed PoP sizes) makes the
    KKT system numerically hopeless; projection-based iterations only
    ever evaluate well-scaled matrix-vector products. *)
-let estimate ?x0 ws ~load_samples =
+let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"fanout/fista" ~max_iter:4000
+      ~tol:1e-10
+  in
   let routing = Workspace.routing ws in
   let ingress = Workspace.ingress_rows ws in
   let l = Routing.num_links routing in
@@ -92,12 +97,16 @@ let estimate ?x0 ws ~load_samples =
         v
     | None -> Vec.create p (1. /. float_of_int (n - 1))
   in
+  (* Traced runs only; allocates freely. *)
+  let objective a =
+    Vec.dot a (Mat.matvec h a) -. (2. *. Vec.dot lin a)
+  in
   let res =
-    Fista.solve_into ~x0:start ~max_iter:4000 ~tol:1e-10
+    Fista.solve_into ~x0:start ~stop
       ~scratch:
         (Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size)
       ~project_into:(fun v ~dst -> Projections.block_simplex_into part v ~dst)
-      ~dim:p ~gradient_into ~lipschitz ()
+      ~objective ~dim:p ~gradient_into ~lipschitz ()
   in
   let fanouts = res.Fista.x in
   (* Demand estimate against the window-average totals (in bits/s). *)

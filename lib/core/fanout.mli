@@ -26,10 +26,13 @@ type result = {
     (a KKT solve is numerically hopeless here: the Hessian blocks are
     scaled by squared, heavy-tailed node totals).  [x0] is an optional
     warm-start {e fanout} vector (e.g. the previous window's
-    [result.fanouts]); default is uniform fanouts.
+    [result.fanouts]); default is uniform fanouts.  [stop] carries
+    solver limits (defaults 4000 iterations, tolerance 1e-10) and the
+    trace sink.
     @raise Invalid_argument if the window is empty or dimensions differ. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   result

@@ -7,7 +7,7 @@ type trace = {
   deltas : float array;
 }
 
-let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?(max_iter = 4000)
+let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?stop
     ws ~load_series ~prior =
   let k = Mat.rows load_series in
   if k = 0 then invalid_arg "Iterative.refine: empty load series";
@@ -18,9 +18,7 @@ let refine ?(rounds = 10) ?(tol = 1e-3) ?(sigma2 = 100.) ?(max_iter = 4000)
   let round = ref 0 in
   while (not !finished) && !round < rounds do
     let loads = Mat.row load_series (!round mod k) in
-    let result =
-      Bayes.estimate ~max_iter ws ~loads ~prior:!current ~sigma2
-    in
+    let result = Bayes.estimate ?stop ws ~loads ~prior:!current ~sigma2 in
     let next = result.Bayes.estimate in
     let delta = Metrics.relative_l1 ~truth:!current ~estimate:next in
     estimates := next :: !estimates;

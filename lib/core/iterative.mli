@@ -25,7 +25,7 @@ val refine :
   ?rounds:int ->
   ?tol:float ->
   ?sigma2:float ->
-  ?max_iter:int ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   load_series:Tmest_linalg.Mat.t ->
   prior:Tmest_linalg.Vec.t ->

@@ -1,10 +1,15 @@
 module Vec = Tmest_linalg.Vec
 module Scaling = Tmest_opt.Scaling
+module Stop = Tmest_opt.Stop
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
 module Odpairs = Tmest_net.Odpairs
 
-let adjust ws ~loads ~prior =
+let adjust ?(stop = Stop.default) ws ~loads ~prior =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"kruithof/ipf" ~max_iter:500
+      ~tol:1e-9
+  in
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let n = Topology.num_nodes routing.Routing.topo in
@@ -13,13 +18,17 @@ let adjust ws ~loads ~prior =
   let te, tx = Gravity.node_totals routing ~loads in
   let prior_m = Odpairs.matrix_of_vector ~nodes:n prior in
   let balanced, _report =
-    Scaling.ipf prior_m ~row_sums:te ~col_sums:tx
+    Scaling.ipf ~stop prior_m ~row_sums:te ~col_sums:tx
   in
   Odpairs.vector_of_matrix ~nodes:n balanced
 
-let krupp ?max_iter ?tol ws ~loads ~prior =
+let krupp ?(stop = Stop.default) ws ~loads ~prior =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"kruithof/gis" ~max_iter:2000
+      ~tol:1e-8
+  in
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let r = Workspace.dense ws in
-  let s, _report = Scaling.gis ?max_iter ?tol r loads ~prior in
+  let s, _report = Scaling.gis ~stop r loads ~prior in
   s

@@ -6,23 +6,24 @@
     Kullback–Leibler-distance feasible adjustment and generalized it to
     arbitrary linear constraints [R s = t]. *)
 
-(** [adjust ws ~loads ~prior] applies classic Kruithof scaling: the
-    prior demand vector is balanced so its per-node row/column totals
-    match the measured [te]/[tx] from the access-link loads.  Structural
-    zeros of the prior are preserved. *)
+(** [adjust ?stop ws ~loads ~prior] applies classic Kruithof scaling:
+    the prior demand vector is balanced so its per-node row/column
+    totals match the measured [te]/[tx] from the access-link loads.
+    Structural zeros of the prior are preserved.  [stop] carries the IPF
+    sweep limits (defaults 500, 1e-9) and trace sink. *)
 val adjust :
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t
 
-(** [krupp ?max_iter ?tol ws ~loads ~prior] is the generalized
+(** [krupp ?stop ws ~loads ~prior] is the generalized
     projection: minimize [D(s ‖ prior)] subject to the full link system
     [R s = t], via Darroch–Ratcliff iterative scaling.  Requires the
     loads to be consistent (they are, for loads derived as [R s]). *)
 val krupp :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Tmest_opt.Stop.t ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->

@@ -3,6 +3,7 @@ module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Eigen = Tmest_linalg.Eigen
 module Fista = Tmest_opt.Fista
+module Stop = Tmest_opt.Stop
 
 type result = {
   estimate : Vec.t;
@@ -17,9 +18,13 @@ let rank_of_eigen d =
   Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0
     d.Eigen.values
 
-let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
+let estimate ?(stop = Stop.default) configs =
   (match configs with [] -> invalid_arg "Routechange.estimate: no configs" | _ -> ());
   let first_ws = fst (List.hd configs) in
+  let stop =
+    Workspace.solver_stop first_ws stop ~label:"routechange/fista"
+      ~max_iter:6000 ~tol:1e-10
+  in
   let p = Workspace.num_pairs first_ws in
   List.iter
     (fun (ws, loads) ->
@@ -62,7 +67,7 @@ let estimate ?(max_iter = 6000) ?(tol = 1e-10) configs =
              scaled;
            acc)
   in
-  let res = Fista.solve ~max_iter ~tol ~dim:p ~gradient ~lipschitz () in
+  let res = Fista.solve ~stop ~dim:p ~gradient ~lipschitz () in
   let stacked_rank_gain =
     if p > 300 then 0
     else begin

@@ -22,12 +22,11 @@ type result = {
           configuration's Gram (numerical, informative only) *)
 }
 
-(** [estimate ?max_iter ?tol configs] solves the stacked problem.
+(** [estimate ?stop configs] solves the stacked problem.
     [configs] pairs each routing context's workspace with the loads
     observed under it; all must share the OD-pair dimension.
     @raise Invalid_argument on an empty list or dimension mismatch. *)
 val estimate :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Tmest_opt.Stop.t ->
   (Workspace.t * Tmest_linalg.Vec.t) list ->
   result

@@ -2,6 +2,7 @@ module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Fista = Tmest_opt.Fista
+module Stop = Tmest_opt.Stop
 module Desc = Tmest_stats.Desc
 module Routing = Tmest_net.Routing
 
@@ -11,9 +12,13 @@ type result = {
   iterations : int;
 }
 
-let estimate ?x0 ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
+let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
     ~sigma_inv2 =
   if sigma_inv2 < 0. then invalid_arg "Vardi.estimate: negative sigma_inv2";
+  let stop =
+    Workspace.solver_stop ws stop ~label:"vardi/fista" ~max_iter:6000
+      ~tol:1e-12
+  in
   if unit_bps <= 0. then invalid_arg "Vardi.estimate: unit_bps <= 0";
   let routing = Workspace.routing ws in
   let l = Routing.num_links routing and p = Routing.num_pairs routing in
@@ -68,8 +73,12 @@ let estimate ?x0 ?(max_iter = 6000) ?(unit_bps = 1e6) ws ~load_samples
   let scratch =
     Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
   in
+  (* Traced runs only; allocates freely. *)
+  let objective x =
+    Vec.dot x (Mat.matvec h0 x) -. (2. *. Vec.dot lin x)
+  in
   let res =
-    Fista.solve_into ?x0 ~max_iter ~tol:1e-12 ~scratch ~dim:p ~gradient_into
+    Fista.solve_into ?x0 ~stop ~scratch ~objective ~dim:p ~gradient_into
       ~lipschitz ()
   in
   let lambda = res.Fista.x in

@@ -23,14 +23,14 @@ type result = {
   iterations : int;
 }
 
-(** [estimate ?x0 ?max_iter ?unit_bps ws ~load_samples ~sigma_inv2]
+(** [estimate ?x0 ?stop ?unit_bps ws ~load_samples ~sigma_inv2]
     runs the estimator on a [K x L] matrix of load samples.  [x0] is an
     optional warm-start estimate in bits/s (converted internally to the
     counting unit).
     @raise Invalid_argument if [sigma_inv2 < 0] or dimensions differ. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
+  ?stop:Tmest_opt.Stop.t ->
   ?unit_bps:float ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->

@@ -7,6 +7,7 @@ module Fista = Tmest_opt.Fista
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
 module Pool = Tmest_parallel.Pool
+module Obs = Tmest_obs.Obs
 
 type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
 
@@ -49,6 +50,9 @@ type prior_slot = {
 }
 
 type t = {
+  mutable sink : Obs.sink;
+      (* trace destination for everything solved against this routing
+         context; [Obs.null] keeps every probe to a single branch *)
   routing : Routing.t;
   ingress : int array;
   egress : int array;
@@ -72,9 +76,10 @@ type t = {
   counters : counters;
 }
 
-let create ?pool routing =
+let create ?pool ?(sink = Obs.null) routing =
   let n = Topology.num_nodes routing.Routing.topo in
   {
+    sink;
     routing;
     ingress = Array.init n (fun i -> Routing.ingress_row routing i);
     egress = Array.init n (fun i -> Routing.egress_row routing i);
@@ -110,6 +115,23 @@ let create ?pool routing =
   }
 
 let routing t = t.routing
+let sink t = t.sink
+let set_sink t s = t.sink <- s
+
+(* Every estimation method resolves its caller-supplied stopping policy
+   the same way: its own defaults fill unset limits, the workspace sink
+   backs an unset sink, and the method's name becomes the trace label
+   unless the caller already attached one (e.g. a per-chunk tag). *)
+let solver_stop t stop ~label ~max_iter ~tol =
+  let module Stop = Tmest_opt.Stop in
+  let sink =
+    if Obs.is_null stop.Stop.sink then t.sink else stop.Stop.sink
+  in
+  Stop.make
+    ~max_iter:(Stop.max_iter stop ~default:max_iter)
+    ~tol:(Stop.tol stop ~default:tol)
+    ~sink
+    ~label:(Stop.label stop ~default:label) ()
 let num_links t = Routing.num_links t.routing
 let num_pairs t = Routing.num_pairs t.routing
 let ingress_rows t = t.ingress
@@ -128,20 +150,35 @@ let timed c compute =
    already-forced artifact), so holding the lock cannot deadlock, and
    it guarantees each artifact is computed once with exact counters —
    a concurrent second caller blocks, then hits. *)
-let memo c get set compute t =
+(* Cumulative hit/miss totals go to the trace as counter samples, so a
+   timeline shows cache effectiveness evolving, not just the final
+   score.  Emission happens under the workspace lock; the recorder has
+   its own independent mutex and never calls back in, so the order is
+   safe. *)
+let sample t name c =
+  if t.sink.Obs.enabled then begin
+    Obs.counter t.sink ("ws." ^ name ^ ".hits") (float_of_int c.h);
+    Obs.counter t.sink ("ws." ^ name ^ ".misses") (float_of_int c.m)
+  end
+
+let memo ~name c get set compute t =
   Mutex.protect t.lock (fun () ->
       match get t with
       | Some v ->
           c.h <- c.h + 1;
+          sample t name c;
           v
       | None ->
           c.m <- c.m + 1;
-          let v = timed c compute in
+          sample t name c;
+          let v =
+            Obs.span t.sink ("ws." ^ name) (fun () -> timed c compute)
+          in
           set t (Some v);
           v)
 
 let gram t =
-  memo t.counters.c_gram
+  memo ~name:"gram" t.counters.c_gram
     (fun t -> t.gram)
     (fun t v -> t.gram <- v)
     (fun () -> Csr.gram t.routing.Routing.matrix)
@@ -149,7 +186,7 @@ let gram t =
 
 let gram_sq t =
   let g = gram t in
-  memo t.counters.c_gram
+  memo ~name:"gram" t.counters.c_gram
     (fun t -> t.gram_sq)
     (fun t v -> t.gram_sq <- v)
     (fun () ->
@@ -161,7 +198,7 @@ let gram_sq t =
 
 let gram_chol t =
   let g = gram t in
-  memo t.counters.c_chol
+  memo ~name:"chol" t.counters.c_chol
     (fun t -> t.chol)
     (fun t v -> t.chol <- v)
     (fun () -> Chol.factor_regularized g)
@@ -169,28 +206,28 @@ let gram_chol t =
 
 let gram_eigen t =
   let g = gram t in
-  memo t.counters.c_eigen
+  memo ~name:"eigen" t.counters.c_eigen
     (fun t -> t.eigen)
     (fun t v -> t.eigen <- v)
     (fun () -> Eigen.symmetric g)
     t
 
 let transpose t =
-  memo t.counters.c_transpose
+  memo ~name:"transpose" t.counters.c_transpose
     (fun t -> t.transpose)
     (fun t v -> t.transpose <- v)
     (fun () -> Csr.transpose t.routing.Routing.matrix)
     t
 
 let dense t =
-  memo t.counters.c_dense
+  memo ~name:"dense" t.counters.c_dense
     (fun t -> t.dense)
     (fun t v -> t.dense <- v)
     (fun () -> Routing.dense t.routing)
     t
 
 let op_norm t =
-  memo t.counters.c_lipschitz
+  memo ~name:"lipschitz" t.counters.c_lipschitz
     (fun t -> t.op_norm)
     (fun t v -> t.op_norm <- v)
     (fun () ->
@@ -201,7 +238,7 @@ let op_norm t =
 
 let gram_norm t =
   let g = gram t in
-  memo t.counters.c_lipschitz
+  memo ~name:"lipschitz" t.counters.c_lipschitz
     (fun t -> t.gram_norm)
     (fun t v -> t.gram_norm <- v)
     (fun () -> Fista.lipschitz_of_gram g)
@@ -212,9 +249,11 @@ let cached_lipschitz t ~key ~compute =
       match Hashtbl.find_opt t.lipschitz_tbl key with
       | Some v ->
           t.counters.c_lipschitz.h <- t.counters.c_lipschitz.h + 1;
+          sample t "lipschitz" t.counters.c_lipschitz;
           v
       | None ->
           t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
+          sample t "lipschitz" t.counters.c_lipschitz;
           let v = timed t.counters.c_lipschitz compute in
           Hashtbl.replace t.lipschitz_tbl key v;
           v)
@@ -228,7 +267,8 @@ let counted_lipschitz t compute =
   let dt = Sys.time () -. t0 in
   Mutex.protect t.lock (fun () ->
       t.counters.c_lipschitz.m <- t.counters.c_lipschitz.m + 1;
-      t.counters.c_lipschitz.s <- t.counters.c_lipschitz.s +. dt);
+      t.counters.c_lipschitz.s <- t.counters.c_lipschitz.s +. dt;
+      sample t "lipschitz" t.counters.c_lipschitz);
   v
 
 let lipschitz_of_matrix t h =
@@ -248,11 +288,13 @@ let total_traffic t ~loads =
       match List.find_opt (fun (l, _) -> same_loads l loads) t.totals with
       | Some (l, v) ->
           t.counters.c_total.h <- t.counters.c_total.h + 1;
+          sample t "total" t.counters.c_total;
           (* Refresh MRU position. *)
           t.totals <- (l, v) :: List.filter (fun (l', _) -> l' != l) t.totals;
           v
       | None ->
           t.counters.c_total.m <- t.counters.c_total.m + 1;
+          sample t "total" t.counters.c_total;
           let v =
             timed t.counters.c_total (fun () ->
                 let acc = ref 0. in
@@ -272,6 +314,7 @@ let cached_prior t ~kind ~loads ~compute =
   match find_prior_slot t ~kind ~loads with
   | Some slot ->
       t.counters.c_prior.h <- t.counters.c_prior.h + 1;
+      sample t "prior" t.counters.c_prior;
       t.priors <- slot :: List.filter (fun s -> s != slot) t.priors;
       (* Another domain may still be materializing this slot; waiting
          counts as a hit — the value is computed exactly once.  The
@@ -289,14 +332,25 @@ let cached_prior t ~kind ~loads ~compute =
       v
   | None ->
       t.counters.c_prior.m <- t.counters.c_prior.m + 1;
+      sample t "prior" t.counters.c_prior;
       let slot = { p_kind = kind; p_loads = loads; p_value = None } in
       t.priors <- take_mru max_keyed (slot :: t.priors);
       Mutex.unlock t.lock;
       (* Outside the lock: prior closures re-enter the workspace (the
          WCB prior reads [dense] and [total_traffic]). *)
+      let kind_tag =
+        match kind with
+        | Prior_gravity -> "gravity"
+        | Prior_wcb -> "wcb"
+        | Prior_uniform -> "uniform"
+      in
+      if t.sink.Obs.enabled then
+        Obs.span_begin t.sink "ws.prior"
+          ~args:[ ("kind", Obs.String kind_tag) ];
       let t0 = Sys.time () in
       let v = compute () in
       let dt = Sys.time () -. t0 in
+      if t.sink.Obs.enabled then Obs.span_end t.sink "ws.prior";
       Mutex.protect t.lock (fun () ->
           t.counters.c_prior.s <- t.counters.c_prior.s +. dt;
           slot.p_value <- Some v;
@@ -326,6 +380,15 @@ let scratch t ~name ~dim ~count =
                 if i < Array.length have then have.(i) else Vec.zeros dim)
           in
           Hashtbl.replace t.scratch_tbl key bufs;
+          if t.sink.Obs.enabled then begin
+            Obs.counter t.sink "ws.scratch.arenas"
+              (float_of_int (Hashtbl.length t.scratch_tbl));
+            Obs.counter t.sink "ws.scratch.vectors"
+              (float_of_int
+                 (Hashtbl.fold
+                    (fun _ b acc -> acc + Array.length b)
+                    t.scratch_tbl 0))
+          end;
           bufs)
 
 (* Warm starts are bounded MRU like the other load-keyed caches: a
@@ -339,12 +402,14 @@ let warm_start t ~key ~dim =
       match List.find_opt (fun (k, _) -> String.equal k key) t.warm with
       | Some ((_, v) as entry) when Vec.dim v = dim ->
           t.counters.c_warm.h <- t.counters.c_warm.h + 1;
+          sample t "warm" t.counters.c_warm;
           t.warm <-
             entry
             :: List.filter (fun (k', _) -> not (String.equal k' key)) t.warm;
           Some v
       | _ ->
           t.counters.c_warm.m <- t.counters.c_warm.m + 1;
+          sample t "warm" t.counters.c_warm;
           None)
 
 let store_warm_start t ~key v =
@@ -416,7 +481,9 @@ let reset_stats t =
 let record_solve t seconds =
   Mutex.protect t.lock (fun () ->
       t.counters.c_solve.m <- t.counters.c_solve.m + 1;
-      t.counters.c_solve.s <- t.counters.c_solve.s +. seconds)
+      t.counters.c_solve.s <- t.counters.c_solve.s +. seconds;
+      if t.sink.Obs.enabled then
+        Obs.counter t.sink "ws.solves" (float_of_int t.counters.c_solve.m))
 
 let add_counter a b =
   {

@@ -39,13 +39,34 @@ type prior_kind =
   | Prior_wcb  (** worst-case-bound midpoints *)
   | Prior_uniform  (** total traffic spread evenly over all pairs *)
 
-(** [create ?pool routing] wraps a routing context.  No artifact is
-    computed until first use.  [pool], when given, is the domain pool
+(** [create ?pool ?sink routing] wraps a routing context.  No artifact
+    is computed until first use.  [pool], when given, is the domain pool
     row-partitioned kernels and multi-chain samplers use for solves
-    against this workspace (absent: everything runs sequentially). *)
-val create : ?pool:Tmest_parallel.Pool.t -> Tmest_net.Routing.t -> t
+    against this workspace (absent: everything runs sequentially).
+    [sink] (default {!Tmest_obs.Obs.null}) receives trace events from
+    every cache, solver and estimator run against this workspace. *)
+val create :
+  ?pool:Tmest_parallel.Pool.t -> ?sink:Tmest_obs.Obs.sink ->
+  Tmest_net.Routing.t -> t
 
 val routing : t -> Tmest_net.Routing.t
+
+(** [sink t] is the trace sink attached to this workspace; the null
+    sink unless a driver installed one ([--trace]). *)
+val sink : t -> Tmest_obs.Obs.sink
+
+(** [set_sink t s] installs [s] as the trace destination for subsequent
+    operations against this workspace. *)
+val set_sink : t -> Tmest_obs.Obs.sink -> unit
+
+(** [solver_stop t stop ~label ~max_iter ~tol] resolves a
+    caller-supplied {!Tmest_opt.Stop.t} against a method's defaults:
+    unset limits take [max_iter]/[tol], an unset (null) sink falls back
+    to this workspace's {!sink}, and [label] names the solve in trace
+    records unless the caller already attached one. *)
+val solver_stop :
+  t -> Tmest_opt.Stop.t -> label:string -> max_iter:int -> tol:float ->
+  Tmest_opt.Stop.t
 
 (** [pool t] is the domain pool attached at {!create} (or via
     {!set_pool}); consumers fall back to sequential code when [None]. *)
@@ -181,7 +202,14 @@ val warm_start : t -> key:string -> dim:int -> Tmest_linalg.Vec.t option
     used entry beyond the cache bound. *)
 val store_warm_start : t -> key:string -> Tmest_linalg.Vec.t -> unit
 
-(** {1 Observability} *)
+(** {1 Observability}
+
+    Beyond the counter snapshots below, a workspace with an enabled
+    {!sink} streams the same information as trace events: cumulative
+    [ws.<artifact>.hits]/[.misses] counter samples on every cache
+    probe, a [ws.<artifact>] span around each artifact computation, a
+    [ws.prior] span per materialized prior, and [ws.scratch.*] arena
+    gauges. *)
 
 (** One artifact class's counters: [misses] is the number of times the
     artifact was actually computed, [hits] the number of times a cached

@@ -3,6 +3,7 @@ module Mat = Tmest_linalg.Mat
 module Dataset = Tmest_traffic.Dataset
 module Spec = Tmest_traffic.Spec
 module Pool = Tmest_parallel.Pool
+module Obs = Tmest_obs.Obs
 
 type network = {
   label : string;
@@ -21,19 +22,20 @@ type t = {
   america : network;
   pool : Pool.t;
   fast : bool;
+  sink : Obs.sink;
 }
 
-let make_network ~pool label dataset =
+let make_network ~pool ~sink label dataset =
   let spec = dataset.Dataset.spec in
   let snapshot_k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
   let truth = Dataset.demand_at dataset snapshot_k in
   let loads = Dataset.link_loads_at dataset snapshot_k in
   let workspace =
-    Tmest_core.Workspace.create ~pool dataset.Dataset.routing
+    Tmest_core.Workspace.create ~pool ~sink dataset.Dataset.routing
   in
   let gravity_prior =
     Pool.Once.make (fun () ->
-        Tmest_core.Estimator.build_prior_ws Tmest_core.Estimator.Prior_gravity
+        Tmest_core.Estimator.prior Tmest_core.Estimator.Prior_gravity
           workspace ~loads)
   in
   let wcb = Pool.Once.make (fun () -> Tmest_core.Wcb.bounds workspace ~loads) in
@@ -55,37 +57,39 @@ let make_network ~pool label dataset =
     wcb_prior;
   }
 
-let create ?(fast = false) ?jobs () =
+let create ?(fast = false) ?jobs ?(sink = Obs.null) () =
   let pool =
     match jobs with Some j -> Pool.create ~jobs:j | None -> Pool.default ()
   in
+  if not (Obs.is_null sink) then Pool.set_sink pool sink;
   (* The two datasets are independent; generate and wrap them as two
      pool tasks so context construction overlaps on multicore runs. *)
   let builders =
     if fast then
       [|
         (fun () ->
-          make_network ~pool "Europe"
+          make_network ~pool ~sink "Europe"
             (Dataset.generate
                { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
                  Spec.name = "europe-fast" }));
         (fun () ->
-          make_network ~pool "America"
+          make_network ~pool ~sink "America"
             (Dataset.generate
                { (Spec.scaled ~nodes:8 ~directed_links:44 Spec.america) with
                  Spec.name = "america-fast" }));
       |]
     else
       [|
-        (fun () -> make_network ~pool "Europe" (Dataset.europe ()));
-        (fun () -> make_network ~pool "America" (Dataset.america ()));
+        (fun () -> make_network ~pool ~sink "Europe" (Dataset.europe ()));
+        (fun () -> make_network ~pool ~sink "America" (Dataset.america ()));
       |]
   in
   match Pool.map pool (fun build -> build ()) builders with
-  | [| europe; america |] -> { europe; america; pool; fast }
+  | [| europe; america |] -> { europe; america; pool; fast; sink }
   | _ -> assert false
 
 let pool t = t.pool
+let sink t = t.sink
 let networks t = [ t.europe; t.america ]
 
 let busy_loads net ~window =
@@ -98,7 +102,9 @@ let busy_loads net ~window =
 
 let busy_mean net = Dataset.busy_mean_demand net.dataset
 
-let scan_busy ?(warm = false) net est ~window ~steps =
+let scan_busy ?(opts = Tmest_core.Estimator.Options.default) net est ~window
+    ~steps =
+  let module Options = Tmest_core.Estimator.Options in
   let d = net.dataset in
   let ks = Array.of_list (Dataset.busy_samples d) in
   let nk = Array.length ks in
@@ -106,7 +112,12 @@ let scan_busy ?(warm = false) net est ~window ~steps =
   let window = Stdlib.max 1 (Stdlib.min window nk) in
   let steps = Stdlib.max 1 (Stdlib.min steps (nk - window + 1)) in
   let l = Dataset.num_links d in
-  let solve ?warm_tag i =
+  let sink =
+    if Obs.is_null opts.Options.sink then
+      Tmest_core.Workspace.sink net.workspace
+    else opts.Options.sink
+  in
+  let solve ~opts i =
     let last = nk - steps + i in
     let first = last - window + 1 in
     let samples =
@@ -114,9 +125,16 @@ let scan_busy ?(warm = false) net est ~window ~steps =
           (Dataset.link_loads_at d ks.(first + r)).(j))
     in
     let loads = Dataset.link_loads_at d ks.(last) in
-    let estimate =
-      Tmest_core.Estimator.run_ws ~warm ?warm_tag est net.workspace ~loads
+    let run () =
+      Tmest_core.Estimator.solve ~opts est net.workspace ~loads
         ~load_samples:samples
+    in
+    let estimate =
+      if sink.Obs.enabled then
+        Obs.span sink "scan.window"
+          ~args:[ ("step", Obs.Int i); ("snapshot", Obs.Int ks.(last)) ]
+          run
+      else run ()
     in
     (ks.(last), estimate)
   in
@@ -129,11 +147,20 @@ let scan_busy ?(warm = false) net est ~window ~steps =
          sequential path. *)
       let out = Array.make steps None in
       Pool.iter_chunks p ~n:steps (fun ~chunk ~lo ~hi ->
-          let warm_tag =
-            if warm then Some (Printf.sprintf "chunk%d" chunk) else None
+          let opts =
+            if opts.Options.warm then
+              (* Nested under any caller-supplied tag so two tagged
+                 scans sharing a workspace keep disjoint chains. *)
+              let tag =
+                match opts.Options.warm_tag with
+                | Some t -> Printf.sprintf "%s/chunk%d" t chunk
+                | None -> Printf.sprintf "chunk%d" chunk
+              in
+              Options.with_warm_tag tag opts
+            else opts
           in
           for i = lo to hi - 1 do
-            out.(i) <- Some (solve ?warm_tag i)
+            out.(i) <- Some (solve ~opts i)
           done);
       Array.to_list
         (Array.map
@@ -144,6 +171,6 @@ let scan_busy ?(warm = false) net est ~window ~steps =
          before the next so warm starts chain through the workspace
          cache. *)
       let rec go i acc =
-        if i >= steps then List.rev acc else go (i + 1) (solve i :: acc)
+        if i >= steps then List.rev acc else go (i + 1) (solve ~opts i :: acc)
       in
       go 0 []

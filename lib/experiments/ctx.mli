@@ -27,17 +27,26 @@ type t = {
       (** domain pool shared by both workspaces, window scans and the
           experiment registry *)
   fast : bool;  (** shrink sweeps for quick runs (tests) *)
+  sink : Tmest_obs.Obs.sink;
+      (** trace sink installed at {!create}; the null sink unless the
+          driver passed [--trace] *)
 }
 
-(** [create ?fast ?jobs ()] builds the paper-scale context
+(** [create ?fast ?jobs ?sink ()] builds the paper-scale context
     ([fast = false], default) or a reduced one on small networks with
     shorter sweeps ([fast = true]).  [jobs] sizes a dedicated domain
     pool (default: the shared {!Tmest_parallel.Pool.default}); the two
-    networks are generated and wrapped concurrently on it. *)
-val create : ?fast:bool -> ?jobs:int -> unit -> t
+    networks are generated and wrapped concurrently on it.  [sink],
+    when given, is installed on the pool and both workspaces, so every
+    solver, cache and chunk in the whole run traces to it. *)
+val create :
+  ?fast:bool -> ?jobs:int -> ?sink:Tmest_obs.Obs.sink -> unit -> t
 
 (** [pool t] is the context's domain pool. *)
 val pool : t -> Tmest_parallel.Pool.t
+
+(** [sink t] is the trace sink installed at {!create}. *)
+val sink : t -> Tmest_obs.Obs.sink
 
 (** [networks t] is [[europe; america]] (evaluation order used in all
     two-network tables). *)
@@ -51,13 +60,16 @@ val busy_loads : network -> window:int -> Tmest_linalg.Mat.t
     time-series methods). *)
 val busy_mean : network -> Tmest_linalg.Vec.t
 
-(** [scan_busy ?warm net est ~window ~steps] slides a fixed-size
+(** [scan_busy ?opts net est ~window ~steps] slides a fixed-size
     measurement window over the last [steps] busy-period snapshots and
     runs estimator [est] once per position (snapshot methods see the
     window-end load vector; time-series methods see the whole window).
-    With [warm:true] each solve starts from the previous position's
+    With [opts.warm] set, each solve starts from the previous position's
     solution through the workspace warm-start cache — the intended use
-    of {!Tmest_core.Estimator.run_ws}'s [warm] flag.  Returns
+    of {!Tmest_core.Estimator.Options.t}'s [warm] flag; on parallel
+    scans the chunk index is appended to [opts.warm_tag].  With an
+    enabled sink (either [opts.sink] or the workspace's), each window
+    solve is wrapped in a [scan.window] span.  Returns
     [(snapshot index, estimate)] in scan order.
 
     On a multi-domain pool the scan splits into one contiguous chunk of
@@ -67,7 +79,7 @@ val busy_mean : network -> Tmest_linalg.Vec.t
     within the solver tolerance.  Cold scans ([warm:false]) are
     bit-identical to the sequential scan at every pool size. *)
 val scan_busy :
-  ?warm:bool ->
+  ?opts:Tmest_core.Estimator.Options.t ->
   network ->
   Tmest_core.Estimator.t ->
   window:int ->

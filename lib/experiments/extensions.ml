@@ -9,9 +9,14 @@ module Odpairs = Tmest_net.Odpairs
 module Core = Tmest_core
 module Metrics = Tmest_core.Metrics
 
+(* Experiment sweeps cap solver effort per call; the shared Stop record
+   carries that cap down to the solvers (trace sinks ride along from the
+   workspace automatically). *)
+let stop_of max_iter = Tmest_opt.Stop.make ~max_iter ()
+
 let entropy_mre ?(sigma2 = 1000.) ~max_iter net ~loads ~prior =
   let estimate =
-    (Core.Entropy.estimate ~max_iter net.Ctx.workspace ~loads ~prior ~sigma2)
+    (Core.Entropy.estimate ~stop:(stop_of max_iter) net.Ctx.workspace ~loads ~prior ~sigma2)
       .Core.Entropy.estimate
   in
   Metrics.mre ~truth:net.Ctx.truth ~estimate ()
@@ -30,7 +35,7 @@ let ext1 ctx =
         let priors =
           [
             ( "uniform",
-              Core.Estimator.build_prior_ws Core.Estimator.Prior_uniform ws
+              Core.Estimator.prior Core.Estimator.Prior_uniform ws
                 ~loads );
             ("gravity", Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior);
             ("wcb", Tmest_parallel.Pool.Once.force net.Ctx.wcb_prior);
@@ -44,11 +49,11 @@ let ext1 ctx =
                   let estimate =
                     match method_ with
                     | `Entropy ->
-                        (Core.Entropy.estimate ~max_iter ws ~loads ~prior
+                        (Core.Entropy.estimate ~stop:(stop_of max_iter) ws ~loads ~prior
                            ~sigma2)
                           .Core.Entropy.estimate
                     | `Bayes ->
-                        (Core.Bayes.estimate ~max_iter ws ~loads ~prior
+                        (Core.Bayes.estimate ~stop:(stop_of max_iter) ws ~loads ~prior
                            ~sigma2)
                           .Core.Bayes.estimate
                   in
@@ -194,7 +199,7 @@ let ext3 ctx =
                in
                let fresh_prior = Core.Gravity.simple new_routing ~loads in
                let fresh =
-                 (Core.Entropy.estimate ~max_iter
+                 (Core.Entropy.estimate ~stop:(stop_of max_iter)
                     (Core.Workspace.create new_routing)
                     ~loads ~prior:fresh_prior ~sigma2:1000.)
                    .Core.Entropy.estimate
@@ -257,7 +262,7 @@ let ext4 ctx =
   let mre estimate = Metrics.mre ~truth ~estimate () in
   let entropy prior =
     mre
-      (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
+      (Core.Entropy.estimate ~stop:(stop_of max_iter) ws ~loads ~prior ~sigma2:1000.)
         .Core.Entropy.estimate
   in
   (* Spurious peer-to-peer traffic predicted by each prior. *)
@@ -446,12 +451,13 @@ let ext7 ctx =
            to the iteration. *)
         let sigma2 = 1. in
         let trace =
-          Core.Iterative.refine ~rounds ~tol:1e-4 ~sigma2 ~max_iter ws
+          Core.Iterative.refine ~rounds ~tol:1e-4 ~sigma2
+            ~stop:(stop_of max_iter) ws
             ~load_series:series ~prior
         in
         let truth = net.Ctx.truth in
         let one_shot =
-          (Core.Bayes.estimate ~max_iter ws ~loads:net.Ctx.loads ~prior
+          (Core.Bayes.estimate ~stop:(stop_of max_iter) ws ~loads:net.Ctx.loads ~prior
              ~sigma2)
             .Core.Bayes.estimate
         in
@@ -495,7 +501,7 @@ let ext8 ctx =
           let loads = Routing.link_loads routing truth in
           let prior = Core.Gravity.simple routing ~loads in
           let entropy =
-            (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
+            (Core.Entropy.estimate ~stop:(stop_of max_iter) ws ~loads ~prior ~sigma2:1000.)
               .Core.Entropy.estimate
           in
           let wcb = Core.Wcb.midpoint (Core.Wcb.bounds ws ~loads) in
@@ -710,7 +716,7 @@ let ext11 ctx =
         let loads = Vec.scale scale_up net.Ctx.loads in
         let prior = Vec.scale scale_up (Tmest_parallel.Pool.Once.force net.Ctx.gravity_prior) in
         let estimated =
-          (Core.Entropy.estimate ~max_iter net.Ctx.workspace ~loads ~prior
+          (Core.Entropy.estimate ~stop:(stop_of max_iter) net.Ctx.workspace ~loads ~prior
              ~sigma2:1000.)
             .Core.Entropy.estimate
         in
@@ -783,7 +789,7 @@ let ext12 ctx =
           if Vec.sum truth > 0. then begin
             let prior = Core.Gravity.simple routing ~loads in
             let est =
-              (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2:1000.)
+              (Core.Entropy.estimate ~stop:(stop_of max_iter) ws ~loads ~prior ~sigma2:1000.)
                 .Core.Entropy.estimate
             in
             let hour = 24. *. float_of_int !k /. float_of_int samples in

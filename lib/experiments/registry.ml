@@ -150,11 +150,20 @@ let find id = List.find (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
 
 let run_all ?pool ctx =
+  let module Obs = Tmest_obs.Obs in
   let entries = Array.of_list all in
   let pool = match pool with Some p -> p | None -> Ctx.pool ctx in
+  let sink = Ctx.sink ctx in
   (* Experiments only read the context (workspace caches are
      domain-safe and every experiment is deterministic), so running
      them concurrently returns the same reports as the sequential loop,
      in registry order. *)
   Array.to_list
-    (Tmest_parallel.Pool.map pool (fun e -> (e, e.run ctx)) entries)
+    (Tmest_parallel.Pool.map pool
+       (fun e ->
+         if sink.Obs.enabled then
+           Obs.span sink ("exp/" ^ e.id)
+             ~args:[ ("title", Obs.String e.title) ]
+             (fun () -> (e, e.run ctx))
+         else (e, e.run ctx))
+       entries)

@@ -18,11 +18,11 @@ let sweep ~fast net ~prior method_ =
       let estimate =
         match method_ with
         | `Bayes ->
-            (Bayes.estimate ~max_iter:(max_iter ~fast) ws ~loads ~prior
+            (Bayes.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:(max_iter ~fast) ()) ws ~loads ~prior
                ~sigma2)
               .Bayes.estimate
         | `Entropy ->
-            (Entropy.estimate ~max_iter:(max_iter ~fast) ws ~loads ~prior
+            (Entropy.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:(max_iter ~fast) ()) ws ~loads ~prior
                ~sigma2)
               .Entropy.estimate
       in
@@ -84,11 +84,11 @@ let fig14 ctx =
         ])
       [
         ( "Bayesian",
-          (Bayes.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ws
+          (Bayes.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ()) ws
              ~loads:net.Ctx.loads ~prior ~sigma2)
             .Bayes.estimate );
         ( "Entropy",
-          (Entropy.estimate ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ws
+          (Entropy.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:(max_iter ~fast:ctx.Ctx.fast) ()) ws
              ~loads:net.Ctx.loads ~prior ~sigma2)
             .Entropy.estimate );
       ]

@@ -21,10 +21,10 @@ let tab2 ctx =
     let regularized method_ prior sigma2 =
       match method_ with
       | `Bayes ->
-          (Core.Bayes.estimate ~max_iter ws ~loads ~prior ~sigma2)
+          (Core.Bayes.estimate ~stop:(Tmest_opt.Stop.make ~max_iter ()) ws ~loads ~prior ~sigma2)
             .Core.Bayes.estimate
       | `Entropy ->
-          (Core.Entropy.estimate ~max_iter ws ~loads ~prior ~sigma2)
+          (Core.Entropy.estimate ~stop:(Tmest_opt.Stop.make ~max_iter ()) ws ~loads ~prior ~sigma2)
             .Core.Entropy.estimate
     in
     [
@@ -60,7 +60,7 @@ let tab2 ctx =
           [ 1e-4; 0.01; 1. ] );
       ( "Kruithof/Krupp projection*",
         snapshot_mre
-          (Core.Kruithof.krupp ~max_iter:3000 ws ~loads ~prior:gravity) );
+          (Core.Kruithof.krupp ~stop:(Tmest_opt.Stop.make ~max_iter:3000 ()) ws ~loads ~prior:gravity) );
       ( "Cao et al. GLM*",
         let samples = Ctx.busy_loads net ~window:(if fast then 20 else 50) in
         let spec = net.Ctx.dataset.Dataset.spec in

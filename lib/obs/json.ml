@@ -1,0 +1,245 @@
+(* Minimal JSON support for the trace writers and the schema validator.
+   Covers exactly the JSON this library produces (objects, arrays,
+   strings, finite numbers, booleans, null) — not a general-purpose
+   parser, but a strict one: anything malformed raises [Parse_error]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else if Float.is_nan x then Buffer.add_string buf "null"
+    (* JSON has no NaN; absent-by-null keeps lines parseable. *)
+  else if x = Float.infinity then Buffer.add_string buf "1e999"
+  else if x = Float.neg_infinity then Buffer.add_string buf "-1e999"
+  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> add_num buf x
+  | Str s -> escape buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { s : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected %c" c)
+
+let parse_literal st lit v =
+  if
+    st.pos + String.length lit <= String.length st.s
+    && String.sub st.s st.pos (String.length lit) = lit
+  then begin
+    st.pos <- st.pos + String.length lit;
+    v
+  end
+  else error st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.s then error st "short \\u escape";
+            let hex = String.sub st.s st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            (* Traces only escape control characters, so plain byte
+               emission is sufficient here. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            go ()
+        | _ -> error st "bad escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then error st "expected number";
+  match float_of_string_opt (String.sub st.s start (st.pos - start)) with
+  | Some x -> x
+  | None -> error st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> error st "expected , or }"
+        in
+        fields []
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List (List.rev (v :: acc))
+          | _ -> error st "expected , or ]"
+        in
+        items []
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function
+  | Num x when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, printer and strict parser.
+
+    Only what the trace writers and schema validator need: no streaming,
+    no number-precision guarantees beyond round-tripping the library's
+    own output, NaN printed as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact (single-line) serialization. *)
+val to_string : t -> string
+
+(** Strict parse of one JSON document.
+    @raise Parse_error on malformed input or trailing bytes. *)
+val of_string : string -> t
+
+(** [member k v] is field [k] of object [v], if both exist. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,189 @@
+(* In-memory trace recorder: a domain-safe sink that appends events to
+   a list, plus the two on-disk encodings.
+
+   Timestamps are rebased to the recorder's creation instant before
+   serialization: rebased nanoseconds fit a double exactly (raw epoch
+   nanoseconds do not), so the JSON round-trips without losing the
+   ordering the validator checks. *)
+
+type stamped = { t_ns : int64; tid : int; ev : Obs.event }
+
+type t = {
+  lock : Mutex.t;
+  mutable rev_events : stamped list;
+  mutable count : int;
+  mutable meta : (string * string) list;
+  t0 : int64;
+}
+
+let create ?(meta = []) () =
+  {
+    lock = Mutex.create ();
+    rev_events = [];
+    count = 0;
+    meta;
+    t0 = Obs.Clock.now_ns ();
+  }
+
+let set_meta t key value =
+  Mutex.protect t.lock (fun () ->
+      t.meta <- (key, value) :: List.remove_assoc key t.meta)
+
+let meta t = Mutex.protect t.lock (fun () -> List.rev t.meta)
+
+let sink t =
+  Obs.make_sink (fun ~t_ns ~tid ev ->
+      Mutex.protect t.lock (fun () ->
+          t.rev_events <- { t_ns; tid; ev } :: t.rev_events;
+          t.count <- t.count + 1))
+
+let length t = Mutex.protect t.lock (fun () -> t.count)
+
+let events t =
+  let rev = Mutex.protect t.lock (fun () -> t.rev_events) in
+  let a = Array.of_list rev in
+  let n = Array.length a in
+  Array.init n (fun i ->
+      let s = a.(n - 1 - i) in
+      (s.t_ns, s.tid, s.ev))
+
+let schema = "tmest-trace-1"
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Obs.Int i -> Json.Num (float_of_int i)
+  | Obs.Float x -> Json.Num x
+  | Obs.String s -> Json.Str s
+  | Obs.Bool b -> Json.Bool b
+
+let args_to_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let rebase t t_ns = Int64.to_float (Int64.sub t_ns t.t0)
+
+let event_json t { t_ns; tid; ev } =
+  let ts = ("ts", Json.Num (rebase t t_ns)) in
+  let tid = ("tid", Json.Num (float_of_int tid)) in
+  match ev with
+  | Obs.Span_begin { name; args } ->
+      Json.Obj
+        (("type", Json.Str "span_begin") :: ts :: tid
+        :: ("name", Json.Str name)
+        ::
+        (if args = [] then [] else [ ("args", args_to_json args) ]))
+  | Obs.Span_end { name } ->
+      Json.Obj
+        [ ("type", Json.Str "span_end"); ts; tid; ("name", Json.Str name) ]
+  | Obs.Counter { name; value } ->
+      Json.Obj
+        [
+          ("type", Json.Str "counter");
+          ts;
+          tid;
+          ("name", Json.Str name);
+          ("value", Json.Num value);
+        ]
+  | Obs.Iter { solver; iter; objective; residual; step; restart } ->
+      Json.Obj
+        [
+          ("type", Json.Str "iter");
+          ts;
+          tid;
+          ("solver", Json.Str solver);
+          ("iter", Json.Num (float_of_int iter));
+          ("objective", Json.Num objective);
+          ("residual", Json.Num residual);
+          ("step", Json.Num step);
+          ("restart", Json.Bool restart);
+        ]
+
+let header_json t =
+  Json.Obj
+    [
+      ("type", Json.Str "header");
+      ("schema", Json.Str schema);
+      ( "meta",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (meta t)) );
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Json.to_string (header_json t));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun (t_ns, tid, ev) ->
+      Buffer.add_string buf (Json.to_string (event_json t { t_ns; tid; ev }));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace format                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The about://tracing JSON object format: spans become B/E duration
+   events, counters become C events, and solver iterations become C
+   events named after the solver so the per-iteration series plot as
+   counter tracks.  Timestamps are microseconds. *)
+let chrome_event t { t_ns; tid; ev } =
+  let us = rebase t t_ns /. 1e3 in
+  let base ph name =
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str ph);
+      ("ts", Json.Num us);
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int tid));
+    ]
+  in
+  match ev with
+  | Obs.Span_begin { name; args } ->
+      Json.Obj
+        (base "B" name
+        @ if args = [] then [] else [ ("args", args_to_json args) ])
+  | Obs.Span_end { name } -> Json.Obj (base "E" name)
+  | Obs.Counter { name; value } ->
+      Json.Obj
+        (base "C" name @ [ ("args", Json.Obj [ ("value", Json.Num value) ]) ])
+  | Obs.Iter { solver; iter; objective; residual; step; restart } ->
+      Json.Obj
+        (base "C" solver
+        @ [
+            ( "args",
+              Json.Obj
+                [
+                  ("iter", Json.Num (float_of_int iter));
+                  ("objective", Json.Num objective);
+                  ("residual", Json.Num residual);
+                  ("step", Json.Num step);
+                  ("restart", Json.Bool restart);
+                ] );
+          ])
+
+let to_chrome t =
+  let evs =
+    Array.to_list
+      (Array.map
+         (fun (t_ns, tid, ev) -> chrome_event t { t_ns; tid; ev })
+         (events t))
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("displayTimeUnit", Json.Str "ms");
+         ( "otherData",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (meta t)) );
+         ("traceEvents", Json.List evs);
+       ])
+
+let write_file t path =
+  let contents =
+    if Filename.check_suffix path ".jsonl" then to_jsonl t else to_chrome t
+  in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,43 @@
+(** In-memory trace recorder and its on-disk encodings.
+
+    A recorder is a domain-safe {!Obs.sink} target: solver iterations
+    emitted concurrently from pool workers interleave under one lock.
+    Timestamps serialize rebased to the recorder's creation instant, so
+    they are small, exact doubles and globally monotone. *)
+
+type t
+
+(** [create ()] makes an empty recorder; [meta] seeds the header
+    key/value block (command line, network, job count, ...). *)
+val create : ?meta:(string * string) list -> unit -> t
+
+(** [set_meta t k v] adds or replaces one header entry. *)
+val set_meta : t -> string -> string -> unit
+
+(** Header entries, oldest first. *)
+val meta : t -> (string * string) list
+
+(** The sink that appends into this recorder. *)
+val sink : t -> Obs.sink
+
+(** Number of recorded events. *)
+val length : t -> int
+
+(** All events in emission order as [(t_ns, tid, event)]. *)
+val events : t -> (int64 * int * Obs.event) array
+
+(** Schema identifier written into both encodings
+    (["tmest-trace-1"]). *)
+val schema : string
+
+(** One JSON object per line: a header line, then every event. *)
+val to_jsonl : t -> string
+
+(** Chrome trace-viewer JSON object ([traceEvents] array: B/E duration
+    events for spans, C counter events for counters and solver
+    iterations). *)
+val to_chrome : t -> string
+
+(** [write_file t path] writes {!to_jsonl} if [path] ends in [.jsonl],
+    else {!to_chrome}. *)
+val write_file : t -> string -> unit

@@ -1,0 +1,260 @@
+(* Schema validation for trace files.  Used by [test_obs] under `dune
+   runtest` and by the [trace_check] executable CI runs against the
+   CLI's --trace output.
+
+   Beyond per-record shape, two structural properties are enforced:
+   timestamps are globally monotone non-decreasing, and span begin/end
+   events balance as a properly nested stack per emitting domain. *)
+
+type summary = {
+  events : int;
+  spans : int;
+  counters : int;
+  iters : int;
+  max_depth : int;
+  solvers : string list;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d events: %d spans (max depth %d), %d counters, %d iteration records \
+     from [%s]"
+    s.events s.spans s.max_depth s.counters s.iters
+    (String.concat "; " s.solvers)
+
+type checker = {
+  mutable n : int;
+  mutable spans : int;
+  mutable counters : int;
+  mutable iters : int;
+  mutable max_depth : int;
+  mutable last_ts : float;
+  mutable solvers : string list;
+  stacks : (int, string list) Hashtbl.t;  (* open spans per tid *)
+}
+
+let new_checker () =
+  {
+    n = 0;
+    spans = 0;
+    counters = 0;
+    iters = 0;
+    max_depth = 0;
+    last_ts = neg_infinity;
+    solvers = [];
+    stacks = Hashtbl.create 7;
+  }
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let field name conv where j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> fail "%s: missing or mistyped field %S" where name
+
+let ( let* ) = Result.bind
+
+let check_ts c where ts =
+  if ts < c.last_ts then
+    fail "%s: timestamp %g goes backwards (previous %g)" where ts c.last_ts
+  else begin
+    c.last_ts <- ts;
+    Ok ()
+  end
+
+let begin_span c ~tid name =
+  let stack = Option.value ~default:[] (Hashtbl.find_opt c.stacks tid) in
+  let stack = name :: stack in
+  Hashtbl.replace c.stacks tid stack;
+  c.spans <- c.spans + 1;
+  c.max_depth <- Stdlib.max c.max_depth (List.length stack)
+
+let end_span c ~tid ~where name =
+  match Hashtbl.find_opt c.stacks tid with
+  | Some (top :: rest) when String.equal top name ->
+      Hashtbl.replace c.stacks tid rest;
+      Ok ()
+  | Some (top :: _) ->
+      fail "%s: span_end %S does not match open span %S (tid %d)" where name
+        top tid
+  | Some [] | None -> fail "%s: span_end %S with no open span (tid %d)" where
+                        name tid
+
+let note_solver c solver =
+  if not (List.mem solver c.solvers) then c.solvers <- solver :: c.solvers
+
+(* One record in the common (ts, tid, kind) vocabulary shared by both
+   encodings. *)
+let check_record c ~where ~ts ~tid j kind =
+  c.n <- c.n + 1;
+  let* () = check_ts c where ts in
+  match kind with
+  | "span_begin" ->
+      let* name = field "name" Json.to_str where j in
+      begin_span c ~tid name;
+      Ok ()
+  | "span_end" ->
+      let* name = field "name" Json.to_str where j in
+      end_span c ~tid ~where name
+  | "counter" ->
+      let* _name = field "name" Json.to_str where j in
+      let* _v =
+        match Json.member "value" j with
+        | Some (Json.Num v) -> Ok v
+        | Some Json.Null -> Ok nan
+        | _ -> fail "%s: counter without numeric value" where
+      in
+      c.counters <- c.counters + 1;
+      Ok ()
+  | "iter" ->
+      let* solver = field "solver" Json.to_str where j in
+      let* it = field "iter" Json.to_int where j in
+      let* _ =
+        match Json.member "restart" j with
+        | Some (Json.Bool _) -> Ok ()
+        | _ -> fail "%s: iter without boolean restart" where
+      in
+      (* objective/residual/step must be present (numeric or null-NaN). *)
+      let* () =
+        List.fold_left
+          (fun acc f ->
+            let* () = acc in
+            match Json.member f j with
+            | Some (Json.Num _) | Some Json.Null -> Ok ()
+            | _ -> fail "%s: iter field %S missing or mistyped" where f)
+          (Ok ())
+          [ "objective"; "residual"; "step" ]
+      in
+      if it < 1 then fail "%s: iteration index %d < 1" where it
+      else begin
+        note_solver c solver;
+        c.iters <- c.iters + 1;
+        Ok ()
+      end
+  | other -> fail "%s: unknown record type %S" where other
+
+let finish c =
+  let open_spans =
+    Hashtbl.fold
+      (fun tid stack acc ->
+        if stack = [] then acc
+        else Printf.sprintf "tid %d: %s" tid (String.concat " > " stack) :: acc)
+      c.stacks []
+  in
+  if open_spans <> [] then
+    fail "unclosed spans at end of trace (%s)" (String.concat "; " open_spans)
+  else
+    Ok
+      {
+        events = c.n;
+        spans = c.spans;
+        counters = c.counters;
+        iters = c.iters;
+        max_depth = c.max_depth;
+        solvers = List.sort compare c.solvers;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl contents =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' contents)
+  in
+  match lines with
+  | [] -> fail "empty trace"
+  | header :: rest ->
+      let* h =
+        match Json.of_string header with
+        | j -> Ok j
+        | exception Json.Parse_error m -> fail "header: %s" m
+      in
+      let* kind = field "type" Json.to_str "header" h in
+      let* () =
+        if kind <> "header" then fail "first record is %S, not a header" kind
+        else Ok ()
+      in
+      let* s = field "schema" Json.to_str "header" h in
+      let* () =
+        if s <> Recorder.schema then
+          fail "schema %S, expected %S" s Recorder.schema
+        else Ok ()
+      in
+      let c = new_checker () in
+      let* () =
+        List.fold_left
+          (fun acc (i, line) ->
+            let* () = acc in
+            let where = Printf.sprintf "line %d" (i + 2) in
+            let* j =
+              match Json.of_string line with
+              | j -> Ok j
+              | exception Json.Parse_error m -> fail "%s: %s" where m
+            in
+            let* kind = field "type" Json.to_str where j in
+            let* ts = field "ts" Json.to_float where j in
+            let* tid = field "tid" Json.to_int where j in
+            check_record c ~where ~ts ~tid j kind)
+          (Ok ())
+          (List.mapi (fun i l -> (i, l)) rest)
+      in
+      finish c
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace format                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let chrome contents =
+  let* j =
+    match Json.of_string contents with
+    | j -> Ok j
+    | exception Json.Parse_error m -> fail "trace: %s" m
+  in
+  let* s = field "schema" Json.to_str "trace" j in
+  let* () =
+    if s <> Recorder.schema then fail "schema %S, expected %S" s Recorder.schema
+    else Ok ()
+  in
+  let* evs = field "traceEvents" Json.to_list "trace" j in
+  let c = new_checker () in
+  let* () =
+    List.fold_left
+      (fun acc (i, ev) ->
+        let* () = acc in
+        let where = Printf.sprintf "traceEvents[%d]" i in
+        let* ph = field "ph" Json.to_str where ev in
+        let* ts = field "ts" Json.to_float where ev in
+        let* tid = field "tid" Json.to_int where ev in
+        let* name = field "name" Json.to_str where ev in
+        c.n <- c.n + 1;
+        let* () = check_ts c where ts in
+        match ph with
+        | "B" ->
+            begin_span c ~tid name;
+            Ok ()
+        | "E" -> end_span c ~tid ~where name
+        | "C" -> (
+            c.counters <- c.counters + 1;
+            (* Solver-iteration counters carry an [iter] arg. *)
+            match Option.bind (Json.member "args" ev) (Json.member "iter") with
+            | Some _ ->
+                note_solver c name;
+                c.iters <- c.iters + 1;
+                Ok ()
+            | None -> Ok ())
+        | other -> fail "%s: unsupported phase %S" where other)
+      (Ok ())
+      (List.mapi (fun i e -> (i, e)) evs)
+  in
+  finish c
+
+let file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  if Filename.check_suffix path ".jsonl" then jsonl contents
+  else chrome contents

@@ -1,0 +1,29 @@
+(** Schema validation for trace files (both encodings).
+
+    Checks per-record shape against the ["tmest-trace-1"] schema plus
+    two structural invariants: globally monotone non-decreasing
+    timestamps, and properly nested, fully closed span begin/end pairs
+    per emitting domain. *)
+
+type summary = {
+  events : int;
+  spans : int;  (** number of completed spans *)
+  counters : int;
+  iters : int;  (** solver per-iteration records *)
+  max_depth : int;  (** deepest span nesting observed *)
+  solvers : string list;  (** distinct solver labels, sorted *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [jsonl contents] validates one-record-per-line output
+    ({!Recorder.to_jsonl}). *)
+val jsonl : string -> (summary, string) result
+
+(** [chrome contents] validates Chrome trace-viewer output
+    ({!Recorder.to_chrome}). *)
+val chrome : string -> (summary, string) result
+
+(** [file path] reads and validates [path], dispatching on the
+    [.jsonl] suffix. *)
+val file : string -> (summary, string) result

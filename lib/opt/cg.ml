@@ -1,5 +1,6 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
+module Obs = Tmest_obs.Obs
 
 type result = {
   x : Vec.t;
@@ -10,9 +11,13 @@ type result = {
 
 let scratch_size = 4
 
-let solve_into ?x0 ?max_iter ?(tol = 1e-10) ?scratch ~apply_into ~b () =
+let solve_into ?x0 ?(stop = Stop.default) ?scratch ~apply_into ~b () =
   let dim = Array.length b in
-  let max_iter = match max_iter with Some k -> k | None -> 2 * dim in
+  let max_iter = Stop.max_iter stop ~default:(2 * dim) in
+  let tol = Stop.tol stop ~default:1e-10 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"cg" in
   let bufs =
     Scratch.take ~name:"Cg.solve_into" ~dim ~count:scratch_size scratch
   in
@@ -28,12 +33,17 @@ let solve_into ?x0 ?max_iter ?(tol = 1e-10) ?scratch ~apply_into ~b () =
   let rs = ref (Vec.dot r r) in
   let target = tol *. (Vec.norm2 b +. 1e-300) in
   let iterations = ref 0 in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("dim", Obs.Int dim); ("max_iter", Obs.Int max_iter) ];
   while sqrt !rs > target && !iterations < max_iter do
     incr iterations;
     apply_into p ~dst:ap;
     let pap = Vec.dot p ap in
     if pap <= 0. then begin
       (* Null-space direction of a semidefinite operator: stop here. *)
+      if traced then
+        Obs.iter sink ~solver:label ~iter:!iterations ~residual:0. ();
       rs := 0.
     end
     else begin
@@ -43,9 +53,13 @@ let solve_into ?x0 ?max_iter ?(tol = 1e-10) ?scratch ~apply_into ~b () =
       let rs' = Vec.dot r r in
       let beta = rs' /. !rs in
       Vec.axpy_into beta p r ~dst:p;
+      if traced then
+        Obs.iter sink ~solver:label ~iter:!iterations ~residual:(sqrt rs')
+          ~step:alpha ();
       rs := rs'
     end
   done;
+  if traced then Obs.span_end sink label;
   apply_into x ~dst:ap;
   Vec.sub_into b ap ~dst:r;
   let residual_norm = Vec.norm2 r in
@@ -56,18 +70,18 @@ let solve_into ?x0 ?max_iter ?(tol = 1e-10) ?scratch ~apply_into ~b () =
     converged = residual_norm <= Stdlib.max target (10. *. target);
   }
 
-let solve ?x0 ?max_iter ?tol ~apply ~b () =
-  solve_into ?x0 ?max_iter ?tol
+let solve ?x0 ?stop ~apply ~b () =
+  solve_into ?x0 ?stop
     ~apply_into:(fun v ~dst -> Vec.blit_into (apply v) ~dst)
     ~b ()
 
-let solve_mat ?max_iter ?tol a b =
+let solve_mat ?stop a b =
   if Mat.rows a <> Mat.cols a then invalid_arg "Cg.solve_mat: not square";
-  solve_into ?max_iter ?tol
+  solve_into ?stop
     ~apply_into:(fun v ~dst -> Mat.matvec_into a v ~dst)
     ~b ()
 
-let lsqr_normal ?max_iter ?tol ~matvec ~tmatvec ~b () =
+let lsqr_normal ?stop ~matvec ~tmatvec ~b () =
   let apply v = tmatvec (matvec v) in
   let rhs = tmatvec b in
-  solve ?max_iter ?tol ~apply ~b:rhs ()
+  solve ?stop ~apply ~b:rhs ()

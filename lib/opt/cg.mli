@@ -21,13 +21,14 @@ val scratch_size : int
     called with [dst] aliasing [v]).  Iterations are allocation-free:
     all work happens in [scratch_size] preallocated buffers (supplied
     via [scratch] or allocated once at entry); the returned [x] is a
-    fresh copy.  Stops when the residual drops below [tol * ‖b‖]
-    (default [tol = 1e-10]) or after [max_iter] iterations (default
-    [2 * dim]). *)
+    fresh copy.  [stop] ({!Stop.t}) bundles the stopping rule — residual
+    below [tol * ‖b‖] (default [tol = 1e-10]) or [max_iter] iterations
+    (default [2 * dim]) — and the trace sink; with an enabled sink the
+    solver emits one span plus a per-iteration record (residual norm,
+    step length α). *)
 val solve_into :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   ?scratch:Tmest_linalg.Vec.t array ->
   apply_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   b:Tmest_linalg.Vec.t ->
@@ -38,8 +39,7 @@ val solve_into :
     matrix-vector product. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   apply:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
   b:Tmest_linalg.Vec.t ->
   unit ->
@@ -47,7 +47,7 @@ val solve :
 
 (** [solve_mat a b] is [solve] with a dense SPD matrix. *)
 val solve_mat :
-  ?max_iter:int -> ?tol:float -> Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t ->
+  ?stop:Stop.t -> Tmest_linalg.Mat.t -> Tmest_linalg.Vec.t ->
   result
 
 (** [lsqr_normal ~matvec ~tmatvec ~b ()] solves the least-squares
@@ -55,8 +55,7 @@ val solve_mat :
     [MᵀM x = Mᵀ b] with CG (adequate for the mildly conditioned routing
     systems here). *)
 val lsqr_normal :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   matvec:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
   tmatvec:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
   b:Tmest_linalg.Vec.t ->

@@ -1,5 +1,6 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
+module Obs = Tmest_obs.Obs
 
 type result = { x : Vec.t; iterations : int; converged : bool }
 
@@ -7,9 +8,14 @@ let scratch_size = 4
 
 let default_project v ~dst = Vec.clamp_nonneg_into v ~dst
 
-let solve_into ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ?scratch ?project_into
+let solve_into ?x0 ?(stop = Stop.default) ?scratch ?project_into ?objective
     ~dim ~gradient_into ~lipschitz () =
   if lipschitz <= 0. then invalid_arg "Fista.solve: lipschitz must be > 0";
+  let max_iter = Stop.max_iter stop ~default:2000 in
+  let tol = Stop.tol stop ~default:1e-9 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"fista" in
   let project_into =
     match project_into with Some f -> f | None -> default_project
   in
@@ -29,6 +35,9 @@ let solve_into ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ?scratch ?project_into
   let momentum = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("dim", Obs.Int dim); ("max_iter", Obs.Int max_iter) ];
   while (not !converged) && !iterations < max_iter do
     incr iterations;
     gradient_into y ~dst:g;
@@ -59,15 +68,21 @@ let solve_into ?x0 ?(max_iter = 2000) ?(tol = 1e-9) ?scratch ?project_into
         ((beta *. (xn -. Array.unsafe_get xa i)) +. xn)
     done;
     if sqrt !delta_sq <= tol *. (1. +. sqrt !xnext_sq) then converged := true;
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations
+        ~objective:
+          (match objective with Some f -> f !x_next | None -> nan)
+        ~residual:(sqrt !delta_sq) ~step ~restart ();
     let tmp = !x in
     x := !x_next;
     x_next := tmp;
     momentum := momentum_next
   done;
+  if traced then Obs.span_end sink label;
   { x = Vec.copy !x; iterations = !iterations; converged = !converged }
 
-let solve ?x0 ?max_iter ?tol ~dim ~gradient ~lipschitz () =
-  solve_into ?x0 ?max_iter ?tol ~dim
+let solve ?x0 ?stop ~dim ~gradient ~lipschitz () =
+  solve_into ?x0 ?stop ~dim
     ~gradient_into:(fun v ~dst -> Vec.blit_into (gradient v) ~dst)
     ~lipschitz ()
 

@@ -27,19 +27,26 @@ val scratch_size : int
     fresh copy and never aliases the scratch pool.
 
     - [x0]: starting point (default 0); projected before use.
-    - [max_iter]: default 2000.
-    - [tol]: stop when the projected-gradient step moves [x] by less than
-      [tol * (1 + ‖x‖)] in Euclidean norm (default 1e-9).
+    - [stop]: shared stopping/observability policy ({!Stop.t}); solver
+      defaults are 2000 iterations and a tolerance of 1e-9 — stop when
+      the projected-gradient step moves [x] by less than
+      [tol * (1 + ‖x‖)] in Euclidean norm.  With an enabled trace sink
+      the solver emits one span plus a per-iteration record (step norm,
+      step size, restart flag); with the null sink the iterations stay
+      allocation-free and results bit-identical.
     - [project_into]: projection onto the feasible set, written to [dst]
       (which may alias the input); defaults to clamping onto [{x >= 0}].
+    - [objective]: evaluated on the new iterate {e only} when tracing is
+      enabled, to fill the objective column of iteration records; it
+      never influences the solve.
     - Restarts the momentum whenever it points uphill (adaptive restart),
       which matters for the badly conditioned small-regularization runs. *)
 val solve_into :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   ?scratch:Tmest_linalg.Vec.t array ->
   ?project_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
+  ?objective:(Tmest_linalg.Vec.t -> float) ->
   dim:int ->
   gradient_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   lipschitz:float ->
@@ -51,8 +58,7 @@ val solve_into :
     projection; kept as the convenient non-hot-path entry point. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   dim:int ->
   gradient:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
   lipschitz:float ->

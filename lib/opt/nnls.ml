@@ -1,6 +1,7 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Qr = Tmest_linalg.Qr
+module Obs = Tmest_obs.Obs
 
 type result = { x : Vec.t; residual_norm : float; iterations : int }
 
@@ -9,10 +10,13 @@ type result = { x : Vec.t; residual_norm : float; iterations : int }
    positive gradient of the residual; the inner loop backtracks along the
    segment to the unconstrained solution whenever it leaves the positive
    orthant, pinning the blocking variables. *)
-let solve ?max_iter ?tol a b =
+let solve ?(stop = Stop.default) a b =
   let m = Mat.rows a and n = Mat.cols a in
   if Array.length b <> m then invalid_arg "Nnls.solve: dimension mismatch";
-  let max_iter = match max_iter with Some k -> k | None -> 3 * n in
+  let max_iter = Stop.max_iter stop ~default:(3 * n) in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"nnls" in
   let x = Vec.zeros n in
   let passive = Array.make n false in
   let iterations = ref 0 in
@@ -25,7 +29,7 @@ let solve ?max_iter ?tol a b =
     Vec.sub_into b resid ~dst:resid
   in
   let tol =
-    match tol with
+    match stop.Stop.tol with
     | Some t -> t
     | None -> 1e-10 *. float_of_int m *. (1. +. Vec.norm_inf b)
   in
@@ -46,9 +50,16 @@ let solve ?max_iter ?tol a b =
     end
   in
   let finished = ref false in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("rows", Obs.Int m); ("cols", Obs.Int n);
+              ("max_iter", Obs.Int max_iter) ];
   while (not !finished) && !iterations < max_iter do
     incr iterations;
     refresh_residual ();
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations
+        ~residual:(Vec.norm2 resid) ();
     Mat.tmatvec_into a resid ~dst:w;
     (* Most promising zero variable. *)
     let best = ref (-1) in
@@ -94,5 +105,6 @@ let solve ?max_iter ?tol a b =
       done
     end
   done;
+  if traced then Obs.span_end sink label;
   refresh_residual ();
   { x; residual_norm = Vec.norm2 resid; iterations = !iterations }

@@ -10,12 +10,13 @@ type result = {
   iterations : int;
 }
 
-(** [solve ?max_iter ?tol a b] solves the NNLS problem.  [tol] bounds the
-    dual feasibility (default scales with the problem); [max_iter] defaults
-    to [3 * cols]. *)
+(** [solve ?stop a b] solves the NNLS problem.  [stop] ({!Stop.t})
+    carries the dual-feasibility tolerance (default scales with the
+    problem), the outer-iteration budget (default [3 * cols]) and the
+    trace sink; with an enabled sink each outer iteration emits a record
+    with the current residual norm. *)
 val solve :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   Tmest_linalg.Mat.t ->
   Tmest_linalg.Vec.t ->
   result

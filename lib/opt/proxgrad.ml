@@ -1,13 +1,19 @@
 module Vec = Tmest_linalg.Vec
 module Lambert = Tmest_stats.Lambert
+module Obs = Tmest_obs.Obs
 
 type result = { x : Vec.t; iterations : int; converged : bool }
 
 let scratch_size = 4
 
-let solve_into ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ?scratch ~dim
+let solve_into ?x0 ?(stop = Stop.default) ?scratch ?objective ~dim
     ~gradient_into ~prox_into ~lipschitz () =
   if lipschitz <= 0. then invalid_arg "Proxgrad.solve: lipschitz must be > 0";
+  let max_iter = Stop.max_iter stop ~default:3000 in
+  let tol = Stop.tol stop ~default:1e-9 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"proxgrad" in
   let step = 1. /. lipschitz in
   let bufs =
     Scratch.take ~name:"Proxgrad.solve_into" ~dim ~count:scratch_size scratch
@@ -24,6 +30,9 @@ let solve_into ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ?scratch ~dim
   let momentum = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("dim", Obs.Int dim); ("max_iter", Obs.Int max_iter) ];
   while (not !converged) && !iterations < max_iter do
     incr iterations;
     gradient_into y ~dst:g;
@@ -51,15 +60,21 @@ let solve_into ?x0 ?(max_iter = 3000) ?(tol = 1e-9) ?scratch ~dim
         ((beta *. (xn -. Array.unsafe_get xa i)) +. xn)
     done;
     if sqrt !delta_sq <= tol *. (1. +. sqrt !xnext_sq) then converged := true;
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations
+        ~objective:
+          (match objective with Some f -> f !x_next | None -> nan)
+        ~residual:(sqrt !delta_sq) ~step ~restart ();
     let tmp = !x in
     x := !x_next;
     x_next := tmp;
     momentum := momentum_next
   done;
+  if traced then Obs.span_end sink label;
   { x = Vec.copy !x; iterations = !iterations; converged = !converged }
 
-let solve ?x0 ?max_iter ?tol ~dim ~gradient ~prox ~lipschitz () =
-  solve_into ?x0 ?max_iter ?tol ~dim
+let solve ?x0 ?stop ~dim ~gradient ~prox ~lipschitz () =
+  solve_into ?x0 ?stop ~dim
     ~gradient_into:(fun v ~dst -> Vec.blit_into (gradient v) ~dst)
     ~prox_into:(fun step v ~dst -> Vec.blit_into (prox step v) ~dst)
     ~lipschitz ()

@@ -24,12 +24,17 @@ val scratch_size : int
     Lipschitz constant.  Iterations are allocation-free: all work
     happens in [scratch_size] preallocated buffers (supplied via
     [scratch] or allocated once at entry); the returned [x] is a fresh
-    copy. *)
+    copy.
+
+    [stop] bundles the iteration budget (default 3000), tolerance
+    (default 1e-9) and trace sink ({!Stop.t}); with an enabled sink the
+    solver emits one span plus per-iteration records, and [objective]
+    (evaluated only when tracing) fills their objective column. *)
 val solve_into :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   ?scratch:Tmest_linalg.Vec.t array ->
+  ?objective:(Tmest_linalg.Vec.t -> float) ->
   dim:int ->
   gradient_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   prox_into:(float -> Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
@@ -42,8 +47,7 @@ val solve_into :
     point. *)
 val solve :
   ?x0:Tmest_linalg.Vec.t ->
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   dim:int ->
   gradient:(Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->
   prox:(float -> Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) ->

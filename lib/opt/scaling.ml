@@ -1,9 +1,15 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
+module Obs = Tmest_obs.Obs
 
 type report = { iterations : int; max_error : float; converged : bool }
 
-let ipf ?(max_iter = 500) ?(tol = 1e-9) prior ~row_sums ~col_sums =
+let ipf ?(stop = Stop.default) prior ~row_sums ~col_sums =
+  let max_iter = Stop.max_iter stop ~default:500 in
+  let tol = Stop.tol stop ~default:1e-9 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"ipf" in
   let n = Mat.rows prior and m = Mat.cols prior in
   if Array.length row_sums <> n || Array.length col_sums <> m then
     invalid_arg "Scaling.ipf: dimension mismatch";
@@ -54,12 +60,19 @@ let ipf ?(max_iter = 500) ?(tol = 1e-9) prior ~row_sums ~col_sums =
   in
   let iterations = ref 0 in
   let err = ref infinity in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("rows", Obs.Int n); ("cols", Obs.Int m);
+              ("max_iter", Obs.Int max_iter) ];
   while !iterations < max_iter && !err > tol *. scale_ref do
     incr iterations;
     scale_axis row_sums ~along_rows:true;
     scale_axis col_sums ~along_rows:false;
-    err := marginal_error ()
+    err := marginal_error ();
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations ~residual:!err ()
   done;
+  if traced then Obs.span_end sink label;
   ( s,
     {
       iterations = !iterations;
@@ -67,7 +80,12 @@ let ipf ?(max_iter = 500) ?(tol = 1e-9) prior ~row_sums ~col_sums =
       converged = !err <= tol *. scale_ref;
     } )
 
-let gis ?(max_iter = 2000) ?(tol = 1e-8) r t ~prior =
+let gis ?(stop = Stop.default) r t ~prior =
+  let max_iter = Stop.max_iter stop ~default:2000 in
+  let tol = Stop.tol stop ~default:1e-8 in
+  let sink = stop.Stop.sink in
+  let traced = sink.Obs.enabled in
+  let label = Stop.label stop ~default:"gis" in
   let l = Mat.rows r and p = Mat.cols r in
   if Array.length t <> l || Array.length prior <> p then
     invalid_arg "Scaling.gis: dimension mismatch";
@@ -92,6 +110,9 @@ let gis ?(max_iter = 2000) ?(tol = 1e-8) r t ~prior =
   let iterations = ref 0 in
   let err = ref infinity in
   let scale_ref = Vec.norm_inf t +. 1. in
+  if traced then
+    Obs.span_begin sink label
+      ~args:[ ("dim", Obs.Int p); ("max_iter", Obs.Int max_iter) ];
   while !iterations < max_iter && !err > tol *. scale_ref do
     incr iterations;
     let pred = Mat.matvec r s in
@@ -107,8 +128,11 @@ let gis ?(max_iter = 2000) ?(tol = 1e-8) r t ~prior =
       end
     done;
     let pred = Mat.matvec r s in
-    err := Vec.norm_inf (Vec.sub pred t)
+    err := Vec.norm_inf (Vec.sub pred t);
+    if traced then
+      Obs.iter sink ~solver:label ~iter:!iterations ~residual:!err ()
   done;
+  if traced then Obs.span_end sink label;
   ( s,
     {
       iterations = !iterations;

@@ -7,26 +7,28 @@
 
 type report = { iterations : int; max_error : float; converged : bool }
 
-(** [ipf ?max_iter ?tol prior ~row_sums ~col_sums] rescales the
-    non-negative [prior] matrix so its row and column sums match the
-    targets.  Structural zeros of the prior stay zero.  Row and column
-    totals must agree ([Σ row_sums = Σ col_sums] within tolerance) for
-    convergence.  Returns the balanced matrix and a convergence report. *)
+(** [ipf ?stop prior ~row_sums ~col_sums] rescales the non-negative
+    [prior] matrix so its row and column sums match the targets.
+    Structural zeros of the prior stay zero.  Row and column totals must
+    agree ([Σ row_sums = Σ col_sums] within tolerance) for convergence.
+    [stop] ({!Stop.t}) carries the iteration budget (default 500), the
+    tolerance (default 1e-9) and the trace sink; with an enabled sink
+    each sweep emits a record with the worst marginal error.  Returns
+    the balanced matrix and a convergence report. *)
 val ipf :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   Tmest_linalg.Mat.t ->
   row_sums:Tmest_linalg.Vec.t ->
   col_sums:Tmest_linalg.Vec.t ->
   Tmest_linalg.Mat.t * report
 
-(** [gis ?max_iter ?tol r t ~prior] finds a non-negative [s] minimizing
+(** [gis ?stop r t ~prior] finds a non-negative [s] minimizing
     [D(s ‖ prior)] subject to [r s = t], by generalized iterative scaling
     ([r] must be entry-wise non-negative, [t] positive where a constraint
-    is active).  Structural zeros of the prior stay zero. *)
+    is active).  Structural zeros of the prior stay zero.  [stop]
+    defaults: 2000 iterations, tolerance 1e-8. *)
 val gis :
-  ?max_iter:int ->
-  ?tol:float ->
+  ?stop:Stop.t ->
   Tmest_linalg.Mat.t ->
   Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->

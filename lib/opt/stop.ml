@@ -1,0 +1,28 @@
+(* Shared stopping/observability policy for the iterative solvers.
+
+   Every solver used to grow its own [?max_iter ?tol] pair; the record
+   here unifies them and carries the trace sink, so threading
+   observability through a call chain is one value instead of three
+   optional arguments.  [max_iter]/[tol] stay optional inside the
+   record: [None] means "the solver's own default", which differs per
+   solver (FISTA 2000 iterations, proximal gradient 3000, CG 2·dim). *)
+
+type t = {
+  max_iter : int option;
+  tol : float option;
+  sink : Tmest_obs.Obs.sink;
+  label : string option;
+}
+
+let default =
+  { max_iter = None; tol = None; sink = Tmest_obs.Obs.null; label = None }
+
+let make ?max_iter ?tol ?(sink = Tmest_obs.Obs.null) ?label () =
+  { max_iter; tol; sink; label }
+
+let with_sink sink t = { t with sink }
+let with_label label t = { t with label = Some label }
+
+let max_iter t ~default = Option.value t.max_iter ~default
+let tol t ~default = Option.value t.tol ~default
+let label t ~default = Option.value t.label ~default

@@ -1,0 +1,39 @@
+(** Shared stopping and observability policy for the iterative solvers.
+
+    Replaces the per-solver [?max_iter ?tol] optional-argument sets:
+    one record carries the iteration budget, the convergence tolerance,
+    the trace sink, and an optional label that names the solve in
+    per-iteration trace records (e.g. ["entropy/proxgrad"] instead of
+    the bare ["proxgrad"]). *)
+
+type t = {
+  max_iter : int option;  (** [None]: the solver's own default *)
+  tol : float option;  (** [None]: the solver's own default *)
+  sink : Tmest_obs.Obs.sink;
+      (** per-iteration records and solve spans go here; {!Tmest_obs.Obs.null}
+          (the default) keeps the solver allocation-free and bit-identical *)
+  label : string option;  (** overrides the solver name in trace records *)
+}
+
+(** No limits overridden, null sink, no label. *)
+val default : t
+
+val make :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?sink:Tmest_obs.Obs.sink ->
+  ?label:string ->
+  unit ->
+  t
+
+val with_sink : Tmest_obs.Obs.sink -> t -> t
+val with_label : string -> t -> t
+
+(** [max_iter t ~default] resolves the iteration budget. *)
+val max_iter : t -> default:int -> int
+
+(** [tol t ~default] resolves the tolerance. *)
+val tol : t -> default:float -> float
+
+(** [label t ~default] resolves the trace label. *)
+val label : t -> default:string -> string

@@ -1,3 +1,5 @@
+module Obs = Tmest_obs.Obs
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -5,6 +7,9 @@ type t = {
   work : Condition.t;
   mutable closed : bool;
   mutable domains : unit Domain.t list;
+  mutable sink : Obs.sink;
+      (* trace destination for queue-depth samples, per-slot utilization
+         spans and chunk timing; [Obs.null] costs one branch per probe *)
 }
 
 (* Workers block on [work] until a task arrives or the pool closes;
@@ -51,6 +56,7 @@ let create ~jobs =
       work = Condition.create ();
       closed = false;
       domains = [];
+      sink = Obs.null;
     }
   in
   t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -61,6 +67,8 @@ let create ~jobs =
   t
 
 let size t = t.size
+let sink t = t.sink
+let set_sink t s = t.sink <- s
 
 let submit t task =
   Mutex.lock t.lock;
@@ -70,6 +78,9 @@ let submit t task =
   end
   else begin
     Queue.push task t.queue;
+    if t.sink.Obs.enabled then
+      Obs.counter t.sink "pool.queue_depth"
+        (float_of_int (Queue.length t.queue));
     Condition.signal t.work;
     Mutex.unlock t.lock
   end
@@ -126,6 +137,11 @@ let parallel_for t ~n body =
        (caller included) claims the next task until the range drains.
        The caller then waits for in-flight tasks, so no task outlives
        the call. *)
+    let sink = t.sink in
+    let traced = sink.Obs.enabled in
+    if traced then
+      Obs.span_begin sink "pool.parallel_for"
+        ~args:[ ("n", Obs.Int n); ("jobs", Obs.Int t.size) ];
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let failure = Atomic.make None in
@@ -146,15 +162,22 @@ let parallel_for t ~n body =
         run_tasks ()
       end
     in
+    (* Per-slot utilization: each participant (workers and the caller)
+       wraps its claim loop in a span on its own domain, so a timeline
+       groups busy time by thread id. *)
+    let participate () =
+      if traced then Obs.span sink "pool.slot" run_tasks else run_tasks ()
+    in
     for _ = 1 to Stdlib.min (t.size - 1) (n - 1) do
-      submit t run_tasks
+      submit t participate
     done;
-    run_tasks ();
+    participate ();
     Mutex.lock wait_lock;
     while Atomic.get completed < n do
       Condition.wait all_done wait_lock
     done;
     Mutex.unlock wait_lock;
+    if traced then Obs.span_end sink "pool.parallel_for";
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace (Task_failure (e, bt)) bt
     | None -> ()
@@ -181,9 +204,15 @@ let chunk_bounds ~chunks ~n c = (c * n / chunks, (c + 1) * n / chunks)
 let iter_chunks t ~n f =
   if n > 0 then begin
     let chunks = Stdlib.min t.size n in
+    let sink = t.sink in
     parallel_for t ~n:chunks (fun c ->
         let lo, hi = chunk_bounds ~chunks ~n c in
-        f ~chunk:c ~lo ~hi)
+        if sink.Obs.enabled then
+          Obs.span sink "pool.chunk"
+            ~args:
+              [ ("chunk", Obs.Int c); ("lo", Obs.Int lo); ("hi", Obs.Int hi) ]
+            (fun () -> f ~chunk:c ~lo ~hi)
+        else f ~chunk:c ~lo ~hi)
   end
 
 (* Chunk layout for [reduce] depends on the input length only, so the

@@ -145,7 +145,7 @@ let test_krupp_consistent_with_loads () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let s = Kruithof.krupp ~max_iter:4000 (ws_of d) ~loads ~prior in
+  let s = Kruithof.krupp ~stop:(Tmest_opt.Stop.make ~max_iter:4000 ()) (ws_of d) ~loads ~prior in
   check_float 0.02 "Rs = t (relative)" 0.
     (Problem.residual_norm d.Dataset.routing ~loads s)
 
@@ -153,7 +153,7 @@ let test_krupp_improves_on_prior () =
   let d = Lazy.force small in
   let truth, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let s = Kruithof.krupp ~max_iter:4000 (ws_of d) ~loads ~prior in
+  let s = Kruithof.krupp ~stop:(Tmest_opt.Stop.make ~max_iter:4000 ()) (ws_of d) ~loads ~prior in
   let mre_prior = Metrics.mre ~truth ~estimate:prior () in
   let mre_krupp = Metrics.mre ~truth ~estimate:s () in
   Alcotest.(check bool)
@@ -176,7 +176,7 @@ let test_bayes_large_sigma_fits_loads () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
-  let r = Bayes.estimate ~max_iter:8000 (ws_of d) ~loads ~prior ~sigma2:1e5 in
+  let r = Bayes.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:8000 ()) (ws_of d) ~loads ~prior ~sigma2:1e5 in
   check_float 0.01 "fits measurements" 0.
     (Problem.residual_norm d.Dataset.routing ~loads r.Bayes.estimate)
 
@@ -205,7 +205,7 @@ let test_entropy_large_sigma_fits_loads () =
   let _, loads = busy_snapshot d in
   let prior = Gravity.simple d.Dataset.routing ~loads in
   let r =
-    Entropy.estimate ~max_iter:8000 (ws_of d) ~loads ~prior
+    Entropy.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:8000 ()) (ws_of d) ~loads ~prior
       ~sigma2:1e5
   in
   check_float 0.02 "fits measurements" 0.
@@ -739,8 +739,9 @@ let test_estimator_run_all () =
   List.iter
     (fun name ->
       let est =
-        Estimator.run (Estimator.of_name name) d.Dataset.routing ~loads
-          ~load_samples:samples
+        Estimator.solve (Estimator.of_name name)
+          (Workspace.create d.Dataset.routing)
+          ~loads ~load_samples:samples
       in
       Alcotest.(check int)
         (name ^ " dimension")

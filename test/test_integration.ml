@@ -58,7 +58,7 @@ let prop_entropy_consistency =
       let _, loads = snapshot d in
       let prior = Gravity.simple d.Dataset.routing ~loads in
       let est =
-        (Entropy.estimate ~max_iter:6000
+        (Entropy.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:6000 ())
            (Tmest_core.Workspace.create d.Dataset.routing) ~loads ~prior
            ~sigma2:1e4)
           .Entropy.estimate
@@ -76,7 +76,7 @@ let prop_bayes_interpolates =
       let prior = Gravity.simple d.Dataset.routing ~loads in
       let dist sigma2 =
         let est =
-          (Bayes.estimate ~max_iter:4000
+          (Bayes.estimate ~stop:(Tmest_opt.Stop.make ~max_iter:4000 ())
              (Tmest_core.Workspace.create d.Dataset.routing) ~loads ~prior
              ~sigma2)
             .Bayes.estimate

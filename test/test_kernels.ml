@@ -204,12 +204,13 @@ let test_fista_scratch_invariance () =
     Mat.matvec_into a x ~dst;
     Vec.sub_into dst b ~dst
   in
-  let reference = Fista.solve ~max_iter:200 ~dim ~gradient ~lipschitz () in
+  let stop200 = Stop.make ~max_iter:200 () in
+  let reference = Fista.solve ~stop:stop200 ~dim ~gradient ~lipschitz () in
   let scratch =
     Array.init Fista.scratch_size (fun _ -> rand_vec ~offset:3. dim)
   in
   let with_scratch =
-    Fista.solve_into ~max_iter:200 ~scratch ~dim ~gradient_into ~lipschitz ()
+    Fista.solve_into ~stop:stop200 ~scratch ~dim ~gradient_into ~lipschitz ()
   in
   check_bits "fista scratch invariance" reference.Fista.x
     with_scratch.Fista.x;
@@ -255,7 +256,9 @@ let test_proxgrad_scratch_invariance () =
     Vec.sub_into dst b ~dst
   in
   let reference =
-    Proxgrad.solve ~max_iter:150 ~dim ~gradient
+    Proxgrad.solve
+      ~stop:(Stop.make ~max_iter:150 ())
+      ~dim ~gradient
       ~prox:(Proxgrad.kl_prox ~weight:0.3 ~prior)
       ~lipschitz ()
   in
@@ -263,7 +266,9 @@ let test_proxgrad_scratch_invariance () =
     Array.init Proxgrad.scratch_size (fun _ -> rand_vec ~offset:1. dim)
   in
   let with_scratch =
-    Proxgrad.solve_into ~max_iter:150 ~scratch ~dim ~gradient_into
+    Proxgrad.solve_into
+      ~stop:(Stop.make ~max_iter:150 ())
+      ~scratch ~dim ~gradient_into
       ~prox_into:(Proxgrad.kl_prox_into ~weight:0.3 ~prior)
       ~lipschitz ()
   in

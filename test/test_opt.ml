@@ -184,7 +184,7 @@ let test_fista_matches_nnls () =
   let q = Mat.tmatvec a b in
   let lip = Fista.lipschitz_of_gram h in
   let r =
-    Fista.solve ~max_iter:5000 ~tol:1e-12 ~dim:3
+    Fista.solve ~stop:(Stop.make ~max_iter:5000 ~tol:1e-12 ()) ~dim:3
       ~gradient:(quad_gradient h q) ~lipschitz:lip ()
   in
   let nn = Nnls.solve a b in
@@ -248,7 +248,7 @@ let test_proxgrad_entropy_solution () =
   let gradient x = Vec.of_list [ 2. *. (x.(0) -. 3.) ] in
   let prior = Vec.of_list [ 1. ] in
   let r =
-    Proxgrad.solve ~max_iter:500 ~tol:1e-12 ~dim:1 ~gradient
+    Proxgrad.solve ~stop:(Stop.make ~max_iter:500 ~tol:1e-12 ()) ~dim:1 ~gradient
       ~prox:(Proxgrad.kl_prox ~weight:2. ~prior)
       ~lipschitz:2. ()
   in
@@ -429,7 +429,7 @@ let test_cg_exact_in_n_steps () =
   (* CG on an n-dimensional SPD system converges in at most n steps. *)
   let a = Mat.diag (Vec.of_list [ 1.; 10.; 100.; 1000. ]) in
   let b = Vec.ones 4 in
-  let r = Cg.solve_mat ~tol:1e-12 a b in
+  let r = Cg.solve_mat ~stop:(Stop.make ~tol:1e-12 ()) a b in
   Alcotest.(check bool) "few iterations" true (r.Cg.iterations <= 5);
   check_float 1e-9 "x3" 1e-3 r.Cg.x.(3)
 

@@ -230,7 +230,9 @@ let test_scan_jobs4_matches_jobs1 () =
     (fun (name, tol) ->
       let est = Estimator.of_name name in
       let scan ctx ~warm =
-        Ctx.scan_busy ~warm ctx.Ctx.europe est ~window ~steps
+        Ctx.scan_busy
+          ~opts:(Estimator.Options.make ~warm ())
+          ctx.Ctx.europe est ~window ~steps
       in
       List.iter2
         (fun (k1, cold1) (k4, cold4) ->
@@ -261,13 +263,13 @@ let test_warm_counters_chunked () =
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "cold scan: no warm traffic" 0
     (st.Workspace.warm.hits + st.Workspace.warm.misses);
-  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  ignore (Ctx.scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "first warm scan: one miss per chunk" nchunks
     st.Workspace.warm.misses;
   Alcotest.(check int) "first warm scan: hits elsewhere" (steps - nchunks)
     st.Workspace.warm.hits;
-  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  ignore (Ctx.scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "repeat warm scan never misses" nchunks
     st.Workspace.warm.misses;

@@ -13,6 +13,7 @@ module Estimator = Tmest_core.Estimator
 let ctx = lazy (Ctx.create ~fast:true ())
 let window = 5
 let steps = 3
+let warm_opts = Estimator.Options.make ~warm:true ()
 
 (* Relative L2 deviation allowed between a cold and a warm solve.
    Entropy/bayes/vardi optimize strictly convex objectives, so both
@@ -39,7 +40,7 @@ let test_scan_matches_cold net () =
     (fun (name, tol) ->
       let est = Estimator.of_name name in
       let cold = Ctx.scan_busy net est ~window ~steps in
-      let warm = Ctx.scan_busy ~warm:true net est ~window ~steps in
+      let warm = Ctx.scan_busy ~opts:warm_opts net est ~window ~steps in
       Alcotest.(check int)
         (name ^ " scan length") (List.length cold) (List.length warm);
       List.iter2
@@ -64,14 +65,14 @@ let test_warm_counters () =
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "cold scan: no warm hits" 0 st.Workspace.warm.hits;
   Alcotest.(check int) "cold scan: no warm misses" 0 st.Workspace.warm.misses;
-  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  ignore (Ctx.scan_busy ~opts:warm_opts net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "first warm scan misses once" 1
     st.Workspace.warm.misses;
   Alcotest.(check int) "then hits every position" (steps - 1)
     st.Workspace.warm.hits;
   (* A second warm scan is fully served by the cache. *)
-  ignore (Ctx.scan_busy ~warm:true net est ~window ~steps);
+  ignore (Ctx.scan_busy ~opts:warm_opts net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "second warm scan never misses" 1
     st.Workspace.warm.misses;
@@ -89,12 +90,12 @@ let test_warm_noop_for_direct_methods () =
     (fun name ->
       let est = Estimator.of_name name in
       let cold =
-        Estimator.run_ws est net.Ctx.workspace ~loads:net.Ctx.loads
+        Estimator.solve est net.Ctx.workspace ~loads:net.Ctx.loads
           ~load_samples:samples
       in
       let warm =
-        Estimator.run_ws ~warm:true est net.Ctx.workspace ~loads:net.Ctx.loads
-          ~load_samples:samples
+        Estimator.solve ~opts:warm_opts est net.Ctx.workspace
+          ~loads:net.Ctx.loads ~load_samples:samples
       in
       Array.iteri
         (fun i c ->
@@ -115,8 +116,9 @@ let test_warm_repeat_converges () =
     (fun (name, tol) ->
       let est = Estimator.of_name name in
       let run warm =
-        Estimator.run_ws ~warm est net.Ctx.workspace ~loads:net.Ctx.loads
-          ~load_samples:samples
+        Estimator.solve
+          ~opts:(Estimator.Options.make ~warm ())
+          est net.Ctx.workspace ~loads:net.Ctx.loads ~load_samples:samples
       in
       let cold = run false in
       ignore (run true);

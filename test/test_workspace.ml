@@ -23,10 +23,13 @@ let busy_load_matrix d window =
       (Dataset.link_loads_at d ks.(i)).(j))
 
 (* ------------------------------------------------------------------ *)
-(* run vs run_ws: bit-identical                                        *)
+(* Shared vs fresh workspace: bit-identical                            *)
 (* ------------------------------------------------------------------ *)
 
-let test_run_ws_bit_identical () =
+let test_solve_ws_bit_identical () =
+  (* A solve through a shared workspace must equal a solve on a freshly
+     created one bit-for-bit: the caches may only change *when* things
+     are computed, never the values. *)
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let samples = busy_load_matrix d 20 in
@@ -34,18 +37,22 @@ let test_run_ws_bit_identical () =
   List.iter
     (fun name ->
       let m = Estimator.of_name name in
-      let via_run = Estimator.run m d.Dataset.routing ~loads ~load_samples:samples in
-      let via_ws = Estimator.run_ws m ws ~loads ~load_samples:samples in
+      let fresh =
+        Estimator.solve m
+          (Workspace.create d.Dataset.routing)
+          ~loads ~load_samples:samples
+      in
+      let shared = Estimator.solve m ws ~loads ~load_samples:samples in
       Alcotest.(check bool)
-        (name ^ " run = run_ws bit-for-bit")
+        (name ^ " fresh = shared workspace bit-for-bit")
         true
-        (Array.length via_run = Array.length via_ws
-        && Array.for_all2 (fun a b -> Float.equal a b) via_run via_ws))
+        (Array.length fresh = Array.length shared
+        && Array.for_all2 (fun a b -> Float.equal a b) fresh shared))
     (Estimator.all_names ())
 
-let test_run_ws_bit_identical_warm () =
+let test_solve_ws_bit_identical_warm () =
   (* A warm workspace (every artifact already cached from a previous
-     solve) must still reproduce the throwaway-path result exactly. *)
+     solve) must still reproduce the fresh-workspace result exactly. *)
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let samples = busy_load_matrix d 20 in
@@ -54,14 +61,18 @@ let test_run_ws_bit_identical_warm () =
   List.iter
     (fun name ->
       ignore
-        (Estimator.run_ws (Estimator.of_name name) ws ~loads
+        (Estimator.solve (Estimator.of_name name) ws ~loads
            ~load_samples:samples))
     names;
   List.iter
     (fun name ->
       let m = Estimator.of_name name in
-      let cold = Estimator.run m d.Dataset.routing ~loads ~load_samples:samples in
-      let warm = Estimator.run_ws m ws ~loads ~load_samples:samples in
+      let cold =
+        Estimator.solve m
+          (Workspace.create d.Dataset.routing)
+          ~loads ~load_samples:samples
+      in
+      let warm = Estimator.solve m ws ~loads ~load_samples:samples in
       Alcotest.(check bool)
         (name ^ " warm workspace bit-for-bit")
         true
@@ -96,12 +107,12 @@ let test_memoized_prior_equals_fresh () =
   let d = Lazy.force small in
   let _, loads = busy_snapshot d in
   let ws = Workspace.create d.Dataset.routing in
-  let cached = Estimator.build_prior_ws Estimator.Prior_gravity ws ~loads in
+  let cached = Estimator.prior Estimator.Prior_gravity ws ~loads in
   let fresh = Gravity.simple d.Dataset.routing ~loads in
   Alcotest.(check bool) "gravity prior equals fresh" true
     (Vec.equal ~eps:0. cached fresh);
   Alcotest.(check bool) "prior memoized (same object)" true
-    (cached == Estimator.build_prior_ws Estimator.Prior_gravity ws ~loads)
+    (cached == Estimator.prior Estimator.Prior_gravity ws ~loads)
 
 let test_total_traffic_matches_problem () =
   let d = Lazy.force small in
@@ -155,10 +166,10 @@ let test_solve_counter_increments () =
   let samples = busy_load_matrix d 20 in
   let ws = Workspace.create d.Dataset.routing in
   ignore
-    (Estimator.run_ws (Estimator.of_name "entropy") ws ~loads
+    (Estimator.solve (Estimator.of_name "entropy") ws ~loads
        ~load_samples:samples);
   ignore
-    (Estimator.run_ws (Estimator.of_name "gravity") ws ~loads
+    (Estimator.solve (Estimator.of_name "gravity") ws ~loads
        ~load_samples:samples);
   let s = Workspace.stats ws in
   Alcotest.(check int) "two solves recorded" 2 s.Workspace.solve.Workspace.misses
@@ -172,10 +183,10 @@ let test_prior_cache_hits_across_methods () =
   let samples = busy_load_matrix d 20 in
   let ws = Workspace.create d.Dataset.routing in
   ignore
-    (Estimator.run_ws (Estimator.of_name "entropy") ws ~loads
+    (Estimator.solve (Estimator.of_name "entropy") ws ~loads
        ~load_samples:samples);
   ignore
-    (Estimator.run_ws (Estimator.of_name "bayes") ws ~loads
+    (Estimator.solve (Estimator.of_name "bayes") ws ~loads
        ~load_samples:samples);
   let s = Workspace.stats ws in
   Alcotest.(check int) "prior computed once" 1 s.Workspace.prior.Workspace.misses;
@@ -205,10 +216,10 @@ let () =
     [
       ( "identity",
         [
-          Alcotest.test_case "run vs run_ws bit-identical" `Quick
-            test_run_ws_bit_identical;
+          Alcotest.test_case "fresh vs shared workspace bit-identical" `Quick
+            test_solve_ws_bit_identical;
           Alcotest.test_case "warm workspace bit-identical" `Quick
-            test_run_ws_bit_identical_warm;
+            test_solve_ws_bit_identical_warm;
         ] );
       ( "memoization",
         [
