@@ -466,6 +466,15 @@ let kernel_tests () =
   let dst_mv = Vec.zeros 200 in
   let r_eu_csr = r_eu.Tmest_net.Routing.matrix in
   let link_buf = Vec.zeros (Csr.rows r_eu_csr) in
+  let ws_eu = Tmest_core.Workspace.create r_eu in
+  let loads_eu = Tmest_net.Routing.link_loads r_eu demand in
+  let dirty_eu =
+    Tmest_faults.Inject.loads
+      (Tmest_faults.Inject.make ~seed:5
+         ~noise:(Tmest_faults.Inject.Gaussian 0.02) ~drop_prob:0.05 ())
+      ~loads:loads_eu
+  in
+  ignore (Tmest_core.Workspace.gram_chol ws_eu);
   [
     Test.make ~name:"mat200.matmul" (Staged.stage (fun () ->
         Mat.matmul a200 b200));
@@ -487,6 +496,14 @@ let kernel_tests () =
         Csr.matvec_into r_eu_csr demand ~dst:link_buf));
     Test.make ~name:"lambert.w0" (Staged.stage (fun () ->
         Tmest_stats.Lambert.w0 12.3));
+    (* Degraded-mode overhead: the clean pass is the per-solve tax when
+       nothing is wrong; the dirty pass adds the masked re-factor. *)
+    Test.make ~name:"degrade.europe.clean" (Staged.stage (fun () ->
+        Tmest_core.Degrade.repair Tmest_core.Degrade.default ws_eu
+          ~loads:loads_eu ()));
+    Test.make ~name:"degrade.europe.dirty" (Staged.stage (fun () ->
+        Tmest_core.Degrade.repair Tmest_core.Degrade.default ws_eu
+          ~loads:dirty_eu ()));
   ]
 
 (* Full fixed-iteration solves on a 200-dim SPD quadratic with

@@ -13,6 +13,7 @@ module Spec = Tmest_traffic.Spec
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Core = Tmest_core
+module Inject = Tmest_faults.Inject
 module Pool = Tmest_parallel.Pool
 module Obs = Tmest_obs.Obs
 module Recorder = Tmest_obs.Recorder
@@ -104,6 +105,33 @@ let info_cmd =
 
 (* ---------------------------------------------------------- estimate *)
 
+(* Fault-injection flags shared by `estimate' and `faults'. *)
+let noise_arg =
+  let doc =
+    "Relative std of multiplicative Gaussian measurement noise applied \
+     to every link load before estimation."
+  in
+  Arg.(value & opt float 0. & info [ "noise" ] ~docv:"SIGMA" ~doc)
+
+let drop_links_arg =
+  let doc = "Per-link probability of a lost (missing) load measurement." in
+  Arg.(value & opt float 0. & info [ "drop-links" ] ~docv:"PROB" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the deterministic fault-injection streams." in
+  Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let spec_of ~seed ~noise ~drop ~wrap ~reset =
+  match
+    Inject.make ~seed
+      ~noise:(if noise > 0. then Inject.Gaussian noise else Inject.No_noise)
+      ~drop_prob:drop ~wrap_prob:wrap ~reset_prob:reset ()
+  with
+  | spec -> spec
+  | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
 let estimate_cmd =
   let method_arg =
     let doc =
@@ -124,7 +152,8 @@ let estimate_cmd =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
   in
-  let run network method_name sigma2 window top jobs trace =
+  let run network method_name sigma2 window top noise drop fault_seed jobs
+      trace =
     apply_jobs jobs;
     let d = dataset_of_name network in
     let spec = d.Dataset.spec in
@@ -161,7 +190,23 @@ let estimate_cmd =
     let ws =
       Core.Workspace.create ~pool:(Pool.default ()) ~sink d.Dataset.routing
     in
-    let estimate = Core.Estimator.solve m ws ~loads ~load_samples in
+    let fault = spec_of ~seed:fault_seed ~noise ~drop ~wrap:0. ~reset:0. in
+    let loads = Inject.loads fault ~loads in
+    let load_samples = Inject.samples fault load_samples in
+    let opts =
+      if Inject.is_none fault then Core.Estimator.Options.default
+      else
+        Core.Estimator.Options.make
+          ~degrade:
+            (Core.Degrade.with_on_health
+               (fun h ->
+                 Format.printf "degraded : %a@." Core.Degrade.pp_health h)
+               Core.Degrade.default)
+          ()
+    in
+    if not (Inject.is_none fault) then
+      Printf.printf "faults   : %s\n" (Inject.description fault);
+    let estimate = Core.Estimator.solve ~opts m ws ~loads ~load_samples in
     let reference =
       if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
       else truth
@@ -172,7 +217,9 @@ let estimate_cmd =
     Printf.printf "rank rho : %.4f\n"
       (Core.Metrics.rank_correlation reference estimate);
     Printf.printf "residual : %.6f (relative ||Rs - t||)\n"
-      (Core.Problem.residual_norm d.Dataset.routing ~loads estimate);
+      (Core.Problem.residual_norm d.Dataset.routing
+         ~loads:(if Inject.is_none fault then loads else Inject.zero_fill loads)
+         estimate);
     Format.printf "workspace: %a@." Core.Workspace.pp_stats
       (Core.Workspace.stats ws);
     let n = Dataset.num_nodes d in
@@ -197,7 +244,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg
-      $ jobs_arg $ trace_arg)
+      $ noise_arg $ drop_links_arg $ fault_seed_arg $ jobs_arg $ trace_arg)
 
 (* -------------------------------------------------------- experiment *)
 
@@ -363,6 +410,101 @@ let estimate_files_cmd =
   Cmd.v (Cmd.info "estimate-files" ~doc)
     Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg $ jobs_arg)
 
+(* ------------------------------------------------------------ faults *)
+
+let faults_cmd =
+  let wrap_arg =
+    let doc = "Per-link probability of an uncorrected 32-bit counter wrap." in
+    Arg.(value & opt float 0. & info [ "wrap" ] ~docv:"PROB" ~doc)
+  in
+  let reset_arg =
+    let doc = "Per-link probability of a mid-window counter reset." in
+    Arg.(value & opt float 0. & info [ "reset" ] ~docv:"PROB" ~doc)
+  in
+  let window_arg =
+    let doc = "Window length for time-series methods." in
+    Arg.(value & opt int 10 & info [ "w"; "window" ] ~doc)
+  in
+  let run network noise drop wrap reset fault_seed window jobs trace =
+    apply_jobs jobs;
+    let fault = spec_of ~seed:fault_seed ~noise ~drop ~wrap ~reset in
+    let d = dataset_of_name network in
+    let spec = d.Dataset.spec in
+    let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+    let truth = Dataset.demand_at d k in
+    let busy_truth = Dataset.busy_mean_demand d in
+    let clean_loads = Dataset.link_loads_at d k in
+    let ks = Array.of_list (Dataset.busy_samples d) in
+    let w = Stdlib.min (Stdlib.max window 2) (Array.length ks) in
+    let ks = Array.sub ks (Array.length ks - w) w in
+    let clean_samples =
+      Mat.init w (Dataset.num_links d) (fun i j ->
+          (Dataset.link_loads_at d ks.(i)).(j))
+    in
+    let dirty_loads = Inject.loads fault ~loads:clean_loads in
+    let dirty_samples = Inject.samples fault clean_samples in
+    with_trace trace
+      ~meta:[ ("command", "faults"); ("network", network) ]
+    @@ fun sink ->
+    let ws =
+      Core.Workspace.create ~pool:(Pool.default ()) ~sink d.Dataset.routing
+    in
+    Printf.printf "faults   : %s on %s\n" (Inject.description fault) network;
+    let health = ref None in
+    let degrade_opts =
+      Core.Estimator.Options.make
+        ~degrade:
+          (Core.Degrade.with_on_health
+             (fun h -> health := Some h)
+             Core.Degrade.default)
+        ()
+    in
+    Printf.printf "%-10s %10s %10s %10s\n" "method" "clean" "repaired"
+      "zero-fill";
+    List.iter
+      (fun name ->
+        let m = Core.Estimator.of_name name in
+        let reference =
+          if Core.Estimator.uses_time_series m then busy_truth else truth
+        in
+        (* Zero-filled loads are genuinely inconsistent; the WCB linear
+           programs (rightly) reject them — report that as nan. *)
+        let mre solve =
+          try Core.Metrics.mre ~truth:reference ~estimate:(solve ()) ()
+          with Tmest_opt.Simplex.Infeasible -> Float.nan
+        in
+        let clean =
+          mre (fun () ->
+              Core.Estimator.solve m ws ~loads:clean_loads
+                ~load_samples:clean_samples)
+        in
+        let repaired =
+          mre (fun () ->
+              Core.Estimator.solve ~opts:degrade_opts m ws ~loads:dirty_loads
+                ~load_samples:dirty_samples)
+        in
+        let zero =
+          mre (fun () ->
+              Core.Estimator.solve m ws
+                ~loads:(Inject.zero_fill dirty_loads)
+                ~load_samples:(Inject.zero_fill_mat dirty_samples))
+        in
+        Printf.printf "%-10s %10.4f %10.4f %10.4f\n" name clean repaired zero)
+      (Core.Estimator.all_names ());
+    (match !health with
+    | Some h -> Format.printf "degraded : %a@." Core.Degrade.pp_health h
+    | None -> ());
+    0
+  in
+  let doc =
+    "Inject measurement faults, run every method in degraded mode and \
+     compare against clean inputs and a zero-fill baseline."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ network_arg $ noise_arg $ drop_links_arg $ wrap_arg
+      $ reset_arg $ fault_seed_arg $ window_arg $ jobs_arg $ trace_arg)
+
 (* --------------------------------------------------------- snmp demo *)
 
 let snmp_cmd =
@@ -408,6 +550,7 @@ let () =
             experiment_cmd;
             list_cmd;
             csv_cmd;
+            faults_cmd;
             snmp_cmd;
             export_cmd;
             estimate_files_cmd;

@@ -1,0 +1,268 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Csr = Tmest_linalg.Csr
+module Chol = Tmest_linalg.Chol
+module Eigen = Tmest_linalg.Eigen
+module Obs = Tmest_obs.Obs
+
+type health = {
+  links : int;
+  missing : int;
+  imputed : int;
+  projected : int;
+  sample_cells : int;
+  sample_missing : int;
+  balance_gap : float;
+  residual_before : float;
+  residual_after : float;
+  rank_deficiency : int option;
+  clean : bool;
+}
+
+type policy = {
+  residual_tol : float;
+  project_inconsistent : bool;
+  repair_samples : bool;
+  feasible : bool;
+  report_rank : bool;
+  on_health : (health -> unit) option;
+}
+
+let default =
+  {
+    residual_tol = 1e-3;
+    project_inconsistent = true;
+    repair_samples = true;
+    feasible = false;
+    report_rank = false;
+    on_health = None;
+  }
+
+let with_on_health f policy = { policy with on_health = Some f }
+
+type repaired = {
+  loads : Vec.t;
+  samples : Mat.t option;
+  health : health;
+}
+
+let usable x = Float.is_finite x && x >= 0.
+
+(* Cholesky of the Gram matrix restricted to the observed rows:
+   RᵀDR = RᵀR − Σ_{i masked} r_i r_iᵀ, a cheap rank-one downdate per
+   masked row against the workspace's cached product.  The cached
+   factor itself serves the common no-mask case. *)
+let observed_chol ws = function
+  | [] -> Workspace.gram_chol ws
+  | masked ->
+      let r = (Workspace.routing ws).Tmest_net.Routing.matrix in
+      let g = Mat.copy (Workspace.gram ws) in
+      List.iter
+        (fun i ->
+          let entries = Csr.row_nonzeros r i in
+          List.iter
+            (fun (j, vj) ->
+              List.iter
+                (fun (k, vk) ->
+                  Mat.unsafe_set g j k (Mat.unsafe_get g j k -. (vj *. vk)))
+                entries)
+            entries)
+        masked;
+      Chol.factor_regularized g
+
+let rank_of_eigen d =
+  let top = Stdlib.max d.Eigen.values.(0) 0. in
+  let threshold = 1e-9 *. Stdlib.max top 1e-30 in
+  Array.fold_left
+    (fun acc v -> if v > threshold then acc + 1 else acc)
+    0 d.Eigen.values
+
+(* Relative misfit of the observed rows against the fitted loads. *)
+let observed_residual ~observed t y =
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun i ti ->
+      if observed.(i) then begin
+        let d = ti -. y.(i) in
+        num := !num +. (d *. d);
+        den := !den +. (ti *. ti)
+      end)
+    t;
+  if !den = 0. then sqrt !num else sqrt (!num /. !den)
+
+let repair_snapshot policy ws ~loads =
+  let l = Workspace.num_links ws in
+  if Array.length loads <> l then
+    invalid_arg "Degrade.repair: load vector does not match the routing matrix";
+  let missing = ref [] and nmiss = ref 0 in
+  for i = l - 1 downto 0 do
+    if not (usable loads.(i)) then begin
+      missing := i :: !missing;
+      incr nmiss
+    end
+  done;
+  let observed = Array.map usable loads in
+  let zeroed =
+    if !nmiss = 0 then loads
+    else Array.mapi (fun i x -> if observed.(i) then x else 0.) loads
+  in
+  (* Total-ingress vs total-egress mismatch: the cheapest witness that
+     the loads left the range of R (their difference is a fixed left
+     null vector of every routing matrix). *)
+  let sum_rows rows =
+    Array.fold_left (fun acc i -> acc +. zeroed.(i)) 0. rows
+  in
+  let t_in = sum_rows (Workspace.ingress_rows ws) in
+  let t_out = sum_rows (Workspace.egress_rows ws) in
+  let balance_gap =
+    abs_float (t_in -. t_out) /. Stdlib.max (Stdlib.max t_in t_out) 1.
+  in
+  (* Least-squares consensus of the observed rows. *)
+  let r = (Workspace.routing ws).Tmest_net.Routing.matrix in
+  let rhs = Csr.tmatvec r zeroed in
+  let chol = observed_chol ws !missing in
+  let fit = Chol.solve chol rhs in
+  let y = Csr.matvec r fit in
+  let residual_before = observed_residual ~observed loads y in
+  let scale_floor = 1e-6 *. Stdlib.max (Vec.norm_inf zeroed) 1. in
+  let violated = ref [] and nviol = ref 0 in
+  if policy.project_inconsistent then
+    for i = l - 1 downto 0 do
+      if observed.(i) then begin
+        let scale =
+          Stdlib.max (Stdlib.max (abs_float loads.(i)) (abs_float y.(i)))
+            scale_floor
+        in
+        if abs_float (loads.(i) -. y.(i)) /. scale > policy.residual_tol
+        then begin
+          violated := i :: !violated;
+          incr nviol
+        end
+      end
+    done;
+  let clean = !nmiss = 0 && !nviol = 0 in
+  let repaired_loads =
+    if clean then loads
+    else if policy.feasible then
+      (* Rewrite every row as [R s+]: exactly consistent with the
+         non-negative demand vector [s+], so LP-based methods (the WCB
+         bounds) stay feasible on repaired data. *)
+      Csr.matvec r (Array.map (fun x -> Stdlib.max 0. x) fit)
+    else begin
+      let out = Array.copy zeroed in
+      let patch i = out.(i) <- Stdlib.max 0. y.(i) in
+      List.iter patch !missing;
+      List.iter patch !violated;
+      out
+    end
+  in
+  let residual_after =
+    if clean then residual_before
+    else observed_residual ~observed repaired_loads y
+  in
+  let rank_deficiency =
+    if policy.report_rank then
+      Some (Workspace.num_pairs ws - rank_of_eigen (Workspace.gram_eigen ws))
+    else None
+  in
+  ( repaired_loads,
+    {
+      links = l;
+      missing = !nmiss;
+      imputed = !nmiss;
+      projected = !nviol;
+      sample_cells = 0;
+      sample_missing = 0;
+      balance_gap;
+      residual_before;
+      residual_after;
+      rank_deficiency;
+      clean;
+    } )
+
+(* Window rows are repaired per link by carrying the last finite value
+   forward (backward for a leading gap): adjacent 5-minute samples are
+   highly correlated, so temporal fill preserves the second moments the
+   time-series methods estimate far better than zeros would.  Rows are
+   not re-projected — the full least-squares treatment is reserved for
+   the snapshot the constraints are built from. *)
+let repair_window m =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  let filled = ref 0 in
+  let any_missing = ref false in
+  (for r = 0 to rows - 1 do
+     for c = 0 to cols - 1 do
+       if not (usable (Mat.get m r c)) then any_missing := true
+     done
+   done);
+  if not !any_missing then (m, 0, rows * cols)
+  else begin
+    let out = Mat.init rows cols (fun r c -> Mat.get m r c) in
+    for c = 0 to cols - 1 do
+      (* Forward pass: carry the last finite value. *)
+      let last = ref Float.nan in
+      for r = 0 to rows - 1 do
+        let x = Mat.get out r c in
+        if usable x then last := x
+        else if usable !last then begin
+          Mat.set out r c !last;
+          incr filled
+        end
+      done;
+      (* Backward pass: leading gaps take the first finite value. *)
+      let next = ref Float.nan in
+      for r = rows - 1 downto 0 do
+        let x = Mat.get out r c in
+        if usable x then next := x
+        else begin
+          (if usable !next then Mat.set out r c !next
+           else (* the whole column is lost *) Mat.set out r c 0.);
+          incr filled
+        end
+      done
+    done;
+    (out, !filled, rows * cols)
+  end
+
+let repair ?(sink = Obs.null) policy ws ~loads ?samples () =
+  let run () =
+    let loads', h = repair_snapshot policy ws ~loads in
+    let samples', h =
+      match samples with
+      | None -> (None, h)
+      | Some m when not policy.repair_samples ->
+          (Some m, { h with sample_cells = Mat.rows m * Mat.cols m })
+      | Some m ->
+          let m', filled, cells = repair_window m in
+          ( Some m',
+            {
+              h with
+              sample_cells = cells;
+              sample_missing = filled;
+              clean = h.clean && filled = 0;
+            } )
+    in
+    (match policy.on_health with Some f -> f h | None -> ());
+    if sink.Obs.enabled then begin
+      Obs.counter sink "degrade.missing" (float_of_int h.missing);
+      Obs.counter sink "degrade.projected" (float_of_int h.projected);
+      Obs.counter sink "degrade.sample_missing"
+        (float_of_int h.sample_missing);
+      Obs.counter sink "degrade.balance_gap" h.balance_gap;
+      Obs.counter sink "degrade.residual_before" h.residual_before;
+      Obs.counter sink "degrade.residual_after" h.residual_after
+    end;
+    { loads = loads'; samples = samples'; health = h }
+  in
+  if sink.Obs.enabled then Obs.span sink "degrade/repair" run else run ()
+
+let pp_health ppf h =
+  Format.fprintf ppf
+    "links=%d missing=%d projected=%d sample_fill=%d/%d balance=%.2e \
+     residual=%.2e->%.2e%s%s"
+    h.links h.missing h.projected h.sample_missing h.sample_cells
+    h.balance_gap h.residual_before h.residual_after
+    (match h.rank_deficiency with
+    | Some d -> Format.sprintf " rank_deficiency=%d" d
+    | None -> "")
+    (if h.clean then " (clean)" else "")

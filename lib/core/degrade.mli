@@ -1,0 +1,111 @@
+(** Degraded-mode input repair: estimation that survives dirty data.
+
+    Every method in this library assumes the load vector it is given is
+    finite, non-negative and consistent with {e some} demand vector.
+    Real measurement pipelines deliver worse: lost polls (no value at
+    all), 32-bit counter wraps and resets (grossly wrong values on
+    individual links), and noise.  This module sits between the
+    measurements and the estimators: it detects missing and
+    inconsistent rows of [R s = t] and repairs them so any registered
+    method can run unmodified.
+
+    Detection and repair both lean on one fact: the rows of a routing
+    matrix are linearly dependent (total ingress equals total egress,
+    and traffic is conserved at every transit node), so a corrupted
+    single row generally leaves the range of [R].  The repair fits
+    [s] to the surviving rows by ridge-regularized least squares
+    against the workspace's cached Gram factor (rows lost to the mask
+    are removed by a rank-one downdate), then
+
+    - {b imputes} each missing row as its fitted value [(R s)_i], and
+    - {b projects} each violated row — relative misfit above
+      [residual_tol] — onto the fitted value, which is exactly dropping
+      the inconsistent constraint in favour of the least-squares
+      consensus of the others.
+
+    With clean inputs nothing is flagged and the {e original arrays}
+    are returned (physical equality), so a degraded-mode
+    {!Estimator.solve} is bit-identical to the plain path — asserted in
+    the test suite. *)
+
+(** What happened to one run's inputs.  All counts refer to the
+    snapshot load vector except the [sample_*] fields (window rows). *)
+type health = {
+  links : int;  (** measurement rows inspected *)
+  missing : int;  (** non-finite or negative snapshot cells *)
+  imputed : int;  (** missing cells replaced by fitted values *)
+  projected : int;  (** inconsistent rows projected onto the fit *)
+  sample_cells : int;  (** window cells inspected (0 without samples) *)
+  sample_missing : int;  (** window cells repaired by temporal fill *)
+  balance_gap : float;
+      (** relative total-ingress vs total-egress mismatch of the
+          (zero-filled) input — the cheapest inconsistency witness *)
+  residual_before : float;
+      (** relative misfit of the observed rows against the
+          least-squares fit, before repair *)
+  residual_after : float;  (** same misfit after repair *)
+  rank_deficiency : int option;
+      (** [num_pairs - numerical rank of RᵀR], when
+          [policy.report_rank] asked for it — the structural
+          underdetermination of the tomography problem *)
+  clean : bool;  (** no repair performed; inputs returned unchanged *)
+}
+
+type policy = {
+  residual_tol : float;
+      (** relative per-row misfit above which an observed row is
+          treated as corrupt and projected (default [1e-3]; clean
+          synthetic data sits around [1e-8]) *)
+  project_inconsistent : bool;
+      (** [false]: only impute missing rows, never rewrite observed
+          ones *)
+  repair_samples : bool;
+      (** temporally fill non-finite window cells (per link, last
+          finite value carried forward) *)
+  feasible : bool;
+      (** when a repair occurs, replace the {e whole} load vector by
+          [R s+] — [s+] the non-negative part of the least-squares fit
+          — so the repaired system is exactly consistent with some
+          demand vector.  Methods that require feasibility (the WCB
+          linear programs) need this; {!Estimator.solve} switches it on
+          for them automatically.  Clean inputs are still returned
+          untouched. *)
+  report_rank : bool;
+      (** compute [rank_deficiency] (forces the workspace's cached
+          eigendecomposition — O(p³) once per routing context) *)
+  on_health : (health -> unit) option;
+      (** called with every run's health record; the hook drivers use
+          to surface degradation without changing {!Estimator.solve}'s
+          return type *)
+}
+
+(** [residual_tol = 1e-3], project and repair samples, not [feasible],
+    no rank, no callback. *)
+val default : policy
+
+val with_on_health : (health -> unit) -> policy -> policy
+
+type repaired = {
+  loads : Tmest_linalg.Vec.t;
+      (** physically the input when nothing needed repair *)
+  samples : Tmest_linalg.Mat.t option;  (** likewise *)
+  health : health;
+}
+
+(** [repair ?sink policy ws ~loads ?samples ()] runs detection and
+    repair.  With an enabled [sink] the run is wrapped in a
+    [degrade/repair] span and the health counts are emitted as
+    [degrade.*] counters.
+    @raise Invalid_argument if [loads] does not match the workspace's
+    routing matrix. *)
+val repair :
+  ?sink:Tmest_obs.Obs.sink ->
+  policy ->
+  Workspace.t ->
+  loads:Tmest_linalg.Vec.t ->
+  ?samples:Tmest_linalg.Mat.t ->
+  unit ->
+  repaired
+
+(** [pp_health ppf h] prints a compact one-line summary. *)
+val pp_health : Format.formatter -> health -> unit

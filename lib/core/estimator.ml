@@ -52,15 +52,18 @@ module Options = struct
     warm_tag : string option;
     x0 : Vec.t option;
     sink : Obs.sink;
+    degrade : Degrade.policy option;
   }
 
-  let default = { warm = false; warm_tag = None; x0 = None; sink = Obs.null }
+  let default =
+    { warm = false; warm_tag = None; x0 = None; sink = Obs.null; degrade = None }
 
-  let make ?(warm = false) ?warm_tag ?x0 ?(sink = Obs.null) () =
-    { warm; warm_tag; x0; sink }
+  let make ?(warm = false) ?warm_tag ?x0 ?(sink = Obs.null) ?degrade () =
+    { warm; warm_tag; x0; sink; degrade }
 
   let with_warm_tag tag t = { t with warm_tag = Some tag }
   let with_sink sink t = { t with sink }
+  let with_degrade policy t = { t with degrade = Some policy }
 end
 
 let prior kind ws ~loads =
@@ -111,6 +114,31 @@ let solve ?(opts = Options.default) t ws ~loads ~load_samples =
      [stop] explicitly here matters only when the caller routed a
      different sink through [opts]. *)
   let stop = Stop.make ~sink () in
+  (* Degraded mode: repair the measurements before any method sees
+     them.  Snapshot-only methods skip the window so a clean snapshot
+     stays on the fast path even when the window has gaps. *)
+  let loads, load_samples =
+    match opts.Options.degrade with
+    | None -> (loads, load_samples)
+    | Some policy ->
+        (* The WCB linear programs need an exactly consistent system;
+           everything else prefers the minimal row-local repair. *)
+        let policy =
+          match t with
+          | Wcb_midpoint -> { policy with Degrade.feasible = true }
+          | _ -> policy
+        in
+        if uses_time_series t then begin
+          let r = Degrade.repair ~sink policy ws ~loads ~samples:load_samples () in
+          ( r.Degrade.loads,
+            match r.Degrade.samples with
+            | Some m -> m
+            | None -> load_samples )
+        end
+        else
+          let r = Degrade.repair ~sink policy ws ~loads () in
+          (r.Degrade.loads, load_samples)
+  in
   let key = if opts.Options.warm then warm_key t else None in
   (* A tag isolates this caller's warm-start chain from others sharing
      the workspace — parallel window scans tag by chunk so each chunk

@@ -60,9 +60,15 @@ module Options : sig
     sink : Tmest_obs.Obs.sink;
         (** trace destination for this run; the null sink (default)
             falls back to the workspace's {!Workspace.sink}. *)
+    degrade : Degrade.policy option;
+        (** degraded mode: run {!Degrade.repair} on the measurements
+            before the method sees them.  [None] (default) trusts the
+            inputs.  With a policy and {e clean} inputs the repair is a
+            no-op returning the original arrays, so the solve stays
+            bit-identical to the plain path. *)
   }
 
-  (** Cold, untagged, no explicit start, null sink. *)
+  (** Cold, untagged, no explicit start, null sink, no degraded mode. *)
   val default : t
 
   val make :
@@ -70,11 +76,13 @@ module Options : sig
     ?warm_tag:string ->
     ?x0:Tmest_linalg.Vec.t ->
     ?sink:Tmest_obs.Obs.sink ->
+    ?degrade:Degrade.policy ->
     unit ->
     t
 
   val with_warm_tag : string -> t -> t
   val with_sink : Tmest_obs.Obs.sink -> t -> t
+  val with_degrade : Degrade.policy -> t -> t
 end
 
 (** [prior kind ws ~loads] materializes a prior vector through the
@@ -96,7 +104,11 @@ val prior :
 
     With an enabled trace sink (either [opts.sink] or the workspace's),
     the run is wrapped in a [solve/<method>] span and every iterative
-    solver underneath emits per-iteration records. *)
+    solver underneath emits per-iteration records.
+
+    With [opts.degrade] set, the inputs first pass through
+    {!Degrade.repair} (the window only for time-series methods); the
+    policy's [on_health] hook observes what was repaired. *)
 val solve :
   ?opts:Options.t ->
   t ->

@@ -164,31 +164,10 @@ let ext3 ctx =
   let rows =
     List.filteri (fun i _ -> i < count) interior
     |> List.filter_map (fun link ->
-           let failed = link.Topology.link_id in
            (* The network re-routes: new shortest paths avoiding the
               link.  Loads reflect the new routing; the estimator still
               uses the old routing matrix (stale R). *)
-           let n = Topology.num_nodes topo in
-           let usable l = l.Topology.link_id <> failed in
-           match
-             (* Build re-routed paths; bail out if disconnected. *)
-             let paths = Array.make (Odpairs.count n) [] in
-             let ok = ref true in
-             for src = 0 to n - 1 do
-               let _, parent = Tmest_net.Dijkstra.tree ~usable topo ~src in
-               for dst = 0 to n - 1 do
-                 if dst <> src then begin
-                   match
-                     Tmest_net.Dijkstra.path_of_tree topo parent ~src ~dst
-                   with
-                   | Some p ->
-                       paths.(Odpairs.index ~nodes:n ~src ~dst) <- p
-                   | None -> ok := false
-                 end
-               done
-             done;
-             if !ok then Some (Routing.of_paths topo paths) else None
-           with
+           match Routing.without_links topo ~failed:[ link.Topology.link_id ] with
            | None -> None
            | Some new_routing ->
                let loads = Routing.link_loads new_routing truth in
@@ -558,26 +537,9 @@ let ext9 ctx =
   let net = ctx.Ctx.europe in
   let d = net.Ctx.dataset in
   let topo = d.Dataset.topo in
-  let n = Topology.num_nodes topo in
   (* Constant demands across configurations: the busy-period mean. *)
   let truth = Ctx.busy_mean net in
   let base = Routing.shortest_path topo in
-  let reroute_without failed =
-    let usable l = not (List.mem l.Topology.link_id failed) in
-    let paths = Array.make (Odpairs.count n) [] in
-    let ok = ref true in
-    for src = 0 to n - 1 do
-      let _, parent = Tmest_net.Dijkstra.tree ~usable topo ~src in
-      for dst = 0 to n - 1 do
-        if dst <> src then begin
-          match Tmest_net.Dijkstra.path_of_tree topo parent ~src ~dst with
-          | Some p -> paths.(Odpairs.index ~nodes:n ~src ~dst) <- p
-          | None -> ok := false
-        end
-      done
-    done;
-    if !ok then Some (Routing.of_paths topo paths) else None
-  in
   let base_ws = Core.Workspace.create base in
   let loads1 = Routing.link_loads base truth in
   (* Alternative configurations: take down each of the two busiest
@@ -591,7 +553,8 @@ let ext9 ctx =
   in
   let alt_configs =
     List.filteri (fun i _ -> i < 2) by_load
-    |> List.filter_map (fun l -> reroute_without [ l.Topology.link_id ])
+    |> List.filter_map (fun l ->
+           Routing.without_links topo ~failed:[ l.Topology.link_id ])
     |> List.map (fun r ->
            (Core.Workspace.create r, Routing.link_loads r truth))
   in

@@ -144,6 +144,11 @@ let all =
       title = "Estimation quality across the diurnal cycle (extension)";
       run = Extensions.ext12;
     };
+    {
+      id = "sens";
+      title = "Fault-injection sensitivity sweep (extension)";
+      run = Sensitivity_exp.sens;
+    };
   ]
 
 let find id = List.find (fun e -> e.id = id) all

@@ -1,0 +1,140 @@
+module Core = Tmest_core
+module Metrics = Tmest_core.Metrics
+module Inject = Tmest_faults.Inject
+
+(* Corruption cells swept by the experiment.  Each cell owns a seed so
+   its fault pattern is independent of the others (and of the sweep
+   order); the first cell is deliberately clean to pin the degraded
+   mode's no-op behaviour inside a published table. *)
+let cells ~fast =
+  let g sigma = Inject.Gaussian sigma in
+  if fast then
+    [
+      ("clean", Inject.none);
+      ("noise 2%", Inject.make ~seed:9001 ~noise:(g 0.02) ());
+      ("drop 10%", Inject.make ~seed:9002 ~drop_prob:0.1 ());
+      ( "noise 2% + drop 10%",
+        Inject.make ~seed:9003 ~noise:(g 0.02) ~drop_prob:0.1 () );
+    ]
+  else
+    [
+      ("clean", Inject.none);
+      ("noise 1%", Inject.make ~seed:9001 ~noise:(g 0.01) ());
+      ("noise 5%", Inject.make ~seed:9002 ~noise:(g 0.05) ());
+      ("drop 5%", Inject.make ~seed:9003 ~drop_prob:0.05 ());
+      ("drop 20%", Inject.make ~seed:9004 ~drop_prob:0.2 ());
+      ( "noise 2% + drop 10%",
+        Inject.make ~seed:9005 ~noise:(g 0.02) ~drop_prob:0.1 () );
+      ( "wrap 2% + reset 1%",
+        Inject.make ~seed:9006 ~wrap_prob:0.02 ~reset_prob:0.01 () );
+    ]
+
+let methods () = List.map Core.Estimator.of_name (Core.Estimator.all_names ())
+
+let per_network ~fast net =
+  let window = if fast then 10 else 30 in
+  let clean_samples = Ctx.busy_loads net ~window in
+  let truth = net.Ctx.truth in
+  let busy_truth = Ctx.busy_mean net in
+  let methods = methods () in
+  let mre_of est estimate =
+    let truth =
+      if Core.Estimator.uses_time_series est then busy_truth else truth
+    in
+    Metrics.mre ~truth ~estimate ()
+  in
+  let health = ref [] in
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let loads = Inject.loads spec ~loads:net.Ctx.loads in
+        let samples = Inject.samples spec clean_samples in
+        let captured = ref None in
+        let policy =
+          Core.Degrade.with_on_health
+            (fun h -> captured := Some h)
+            Core.Degrade.default
+        in
+        let opts = Core.Estimator.Options.make ~degrade:policy () in
+        let mres =
+          List.map
+            (fun est ->
+              let estimate =
+                Core.Estimator.solve ~opts est net.Ctx.workspace ~loads
+                  ~load_samples:samples
+              in
+              mre_of est estimate)
+            methods
+        in
+        (match !captured with
+        | Some h -> health := (label, h) :: !health
+        | None -> ());
+        (label, Array.of_list mres))
+      (cells ~fast)
+  in
+  (* Baseline for the heaviest drop cell: what the best snapshot method
+     pays when missing links are zero-filled instead of repaired. *)
+  let baseline =
+    let spec =
+      Inject.make ~seed:9004 ~drop_prob:(if fast then 0.1 else 0.2) ()
+    in
+    let dirty = Inject.loads spec ~loads:net.Ctx.loads in
+    let est = Core.Estimator.of_name "entropy" in
+    let solve ~opts loads =
+      Core.Estimator.solve ~opts est net.Ctx.workspace ~loads
+        ~load_samples:clean_samples
+    in
+    let repaired =
+      let opts =
+        Core.Estimator.Options.make ~degrade:Core.Degrade.default ()
+      in
+      mre_of est (solve ~opts dirty)
+    in
+    let zero_filled =
+      mre_of est
+        (solve ~opts:Core.Estimator.Options.default (Inject.zero_fill dirty))
+    in
+    (repaired, zero_filled)
+  in
+  (rows, List.rev !health, baseline)
+
+let health_note label entries =
+  Report.note "%s repair health — %s" label
+    (String.concat "; "
+       (List.map
+          (fun (cell, h) ->
+            Format.asprintf "%s: %a" cell Core.Degrade.pp_health h)
+          entries))
+
+let sens ctx =
+  let fast = ctx.Ctx.fast in
+  let columns = "fault" :: Core.Estimator.all_names () in
+  let eu_rows, eu_health, (eu_rep, eu_zero) =
+    per_network ~fast ctx.Ctx.europe
+  in
+  let us_rows, us_health, (us_rep, us_zero) =
+    per_network ~fast ctx.Ctx.america
+  in
+  {
+    Report.id = "sens";
+    title = "Sensitivity to measurement faults: MRE vs corruption level";
+    items =
+      [
+        Report.note "Europe";
+        Report.table ~columns eu_rows;
+        Report.note "America";
+        Report.table ~columns us_rows;
+        health_note "Europe" eu_health;
+        health_note "America" us_health;
+        Report.note
+          "entropy under heaviest drop cell, repaired vs zero-filled: \
+           Europe %.4f vs %.4f, America %.4f vs %.4f"
+          eu_rep eu_zero us_rep us_zero;
+        Report.note
+          "drops and counter faults are repaired nearly for free (the \
+           routing matrix's dependent rows expose them); multiplicative \
+           noise mostly stays in range(R) and passes through to the \
+           estimate — the paper's exact-load assumption is the \
+           optimistic end of this table";
+      ];
+  }

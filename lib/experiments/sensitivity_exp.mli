@@ -1,0 +1,12 @@
+(** Extension: robustness of every registered method to injected
+    measurement faults.
+
+    Sweeps corruption cells (multiplicative noise levels, missing-link
+    fractions, 32-bit counter wraps and resets — see
+    {!Tmest_faults.Inject}) over both networks, runs all methods through
+    the degraded estimation mode ({!Tmest_core.Degrade}), and reports an
+    MRE-vs-corruption table per network plus the repair health of each
+    cell.  The first cell is clean, pinning the degraded mode's
+    no-repair behaviour. *)
+
+val sens : Ctx.t -> Report.t

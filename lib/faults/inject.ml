@@ -1,0 +1,156 @@
+module Vec = Tmest_linalg.Vec
+module Mat = Tmest_linalg.Mat
+module Rng = Tmest_stats.Rng
+module Dist = Tmest_stats.Dist
+module Counter = Tmest_snmp.Counter
+
+type noise =
+  | No_noise
+  | Gaussian of float
+  | Heavy_tailed of { sigma : float; dof : float }
+
+type spec = {
+  seed : int;
+  noise : noise;
+  drop_prob : float;
+  wrap_prob : float;
+  reset_prob : float;
+  interval_s : float;
+}
+
+let none =
+  {
+    seed = 0;
+    noise = No_noise;
+    drop_prob = 0.;
+    wrap_prob = 0.;
+    reset_prob = 0.;
+    interval_s = 300.;
+  }
+
+let make ?(seed = 1) ?(noise = No_noise) ?(drop_prob = 0.) ?(wrap_prob = 0.)
+    ?(reset_prob = 0.) ?(interval_s = 300.) () =
+  let check_prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Inject.make: %s must be in [0, 1]" name)
+  in
+  check_prob "drop_prob" drop_prob;
+  check_prob "wrap_prob" wrap_prob;
+  check_prob "reset_prob" reset_prob;
+  if interval_s <= 0. then invalid_arg "Inject.make: interval_s <= 0";
+  (match noise with
+  | No_noise -> ()
+  | Gaussian sigma ->
+      if sigma < 0. then invalid_arg "Inject.make: noise sigma < 0"
+  | Heavy_tailed { sigma; dof } ->
+      if sigma < 0. || dof <= 0. then
+        invalid_arg "Inject.make: heavy-tailed noise needs sigma >= 0, dof > 0");
+  { seed; noise; drop_prob; wrap_prob; reset_prob; interval_s }
+
+let is_none spec =
+  spec.drop_prob = 0. && spec.wrap_prob = 0. && spec.reset_prob = 0.
+  &&
+  match spec.noise with
+  | No_noise -> true
+  | Gaussian sigma -> sigma = 0.
+  | Heavy_tailed { sigma; _ } -> sigma = 0.
+
+let description spec =
+  let b = Buffer.create 64 in
+  (match spec.noise with
+  | No_noise -> ()
+  | Gaussian sigma -> Buffer.add_string b (Printf.sprintf "noise=%g " sigma)
+  | Heavy_tailed { sigma; dof } ->
+      Buffer.add_string b (Printf.sprintf "t-noise=%g(dof=%g) " sigma dof));
+  if spec.drop_prob > 0. then
+    Buffer.add_string b (Printf.sprintf "drop=%g " spec.drop_prob);
+  if spec.wrap_prob > 0. then
+    Buffer.add_string b (Printf.sprintf "wrap=%g " spec.wrap_prob);
+  if spec.reset_prob > 0. then
+    Buffer.add_string b (Printf.sprintf "reset=%g " spec.reset_prob);
+  Buffer.add_string b (Printf.sprintf "seed=%d" spec.seed);
+  Buffer.contents b
+
+let modulus_32 = 4294967296.
+
+(* What a collector differencing raw 32-bit readings reports when the
+   true interval volume exceeds the counter range: the wrap correction
+   recovers one fold, every further fold is invisible. *)
+let wrapped_rate spec rate =
+  let bytes = rate *. spec.interval_s /. 8. in
+  let c = Counter.create Counter.Bits32 in
+  Counter.advance c ~bytes;
+  let visible =
+    Counter.delta ~width:Counter.Bits32 ~previous:0.
+      ~current:(Counter.read c)
+  in
+  visible *. 8. /. spec.interval_s
+
+(* A counter restart mid-interval: the new reading is below the old one,
+   the collector's single-wrap correction fires and reports a difference
+   that has nothing to do with the traffic. *)
+let reset_rate spec rng rate =
+  let bytes = rate *. spec.interval_s /. 8. in
+  let up_fraction = Rng.float rng in
+  let c = Counter.create Counter.Bits32 in
+  Counter.advance c ~bytes:(bytes *. up_fraction);
+  let previous = Rng.uniform rng ~lo:0. ~hi:modulus_32 in
+  let garbage =
+    Counter.delta ~width:Counter.Bits32 ~previous ~current:(Counter.read c)
+  in
+  garbage *. 8. /. spec.interval_s
+
+let noisy_rate spec rng rate =
+  match spec.noise with
+  | No_noise -> rate
+  | Gaussian sigma when sigma = 0. -> rate
+  | Gaussian sigma ->
+      Stdlib.max 0. (rate *. (1. +. Dist.gaussian rng ~mu:0. ~sigma))
+  | Heavy_tailed { sigma; _ } when sigma = 0. -> rate
+  | Heavy_tailed { sigma; dof } ->
+      let z = Dist.standard_gaussian rng in
+      let chi2 = Dist.gamma rng ~shape:(dof /. 2.) ~scale:2. in
+      let t = z /. sqrt (Stdlib.max 1e-12 (chi2 /. dof)) in
+      Stdlib.max 0. (rate *. (1. +. (sigma *. t)))
+
+(* One measurement cell.  The draws happen in a fixed order on a
+   per-cell stream, so corrupting a window row never perturbs the
+   snapshot (or any other row). *)
+let corrupt_cell spec ~stream rate =
+  let rng = Rng.of_pair spec.seed stream in
+  let dropped = Rng.float rng < spec.drop_prob in
+  let wrapped = Rng.float rng < spec.wrap_prob in
+  let reset = Rng.float rng < spec.reset_prob in
+  if dropped then Float.nan
+  else if reset then reset_rate spec rng rate
+  else if wrapped then wrapped_rate spec rate
+  else noisy_rate spec rng rate
+
+(* Row 0 is the snapshot; window row [r] maps to stream row [r + 1].
+   Links per network are far below the row stride. *)
+let stream_of ~row ~link = (row * 1_048_576) + link
+
+let loads spec ~loads =
+  if is_none spec then loads
+  else
+    Array.mapi
+      (fun i rate -> corrupt_cell spec ~stream:(stream_of ~row:0 ~link:i) rate)
+      loads
+
+let samples spec m =
+  if is_none spec then m
+  else
+    Mat.init (Mat.rows m) (Mat.cols m) (fun r i ->
+        corrupt_cell spec
+          ~stream:(stream_of ~row:(r + 1) ~link:i)
+          (Mat.get m r i))
+
+let zero_fill v =
+  Array.map (fun x -> if Float.is_finite x then x else 0.) v
+
+let zero_fill_mat m =
+  Mat.init (Mat.rows m) (Mat.cols m) (fun r i ->
+      let x = Mat.get m r i in
+      if Float.is_finite x then x else 0.)
+
+let stale_routing topo ~fail = Tmest_net.Routing.without_links topo ~failed:fail

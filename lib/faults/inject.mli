@@ -1,0 +1,89 @@
+(** Deterministic measurement-fault injection.
+
+    The paper evaluates every estimator on {e exact} link loads
+    ([t = R s], Section 3); a deployed collection system never sees
+    them.  This module corrupts a clean load vector (or a window of
+    them) the way an SNMP pipeline does: multiplicative per-link
+    measurement noise, lost counters, 32-bit counter wraps and
+    mid-window counter resets — the latter two simulated through
+    {!Tmest_snmp.Counter} so the corrupted values are exactly what a
+    collector differencing real counter readings would report.
+
+    Corruption is deterministic: link [i] of snapshot row [r] draws from
+    the indexed stream [Tmest_stats.Rng.of_pair spec.seed] of cell
+    [(r, i)], so the result is a pure function of [(spec, input)] —
+    independent of evaluation order, pool size or how many other links
+    were corrupted.  Missing measurements are reported as [nan]; the
+    degraded estimation mode ({!Tmest_core.Degrade}) detects and repairs
+    them downstream. *)
+
+type noise =
+  | No_noise
+  | Gaussian of float
+      (** multiplicative error with relative std [sigma]:
+          [t * (1 + N(0, sigma^2))], clamped at 0 *)
+  | Heavy_tailed of { sigma : float; dof : float }
+      (** Student-t relative error with [dof] degrees of freedom —
+          occasional gross outliers, the empirical shape of polling
+          glitches *)
+
+type spec = {
+  seed : int;
+  noise : noise;
+  drop_prob : float;  (** per-link probability of a lost measurement *)
+  wrap_prob : float;
+      (** per-link probability that the reading comes from an
+          uncorrected 32-bit counter (value folded modulo 2^32 bytes
+          per interval) *)
+  reset_prob : float;
+      (** per-link probability of a mid-window counter reset: the
+          collector wrap-corrects a difference across the restart and
+          reports garbage *)
+  interval_s : float;  (** polling interval for the counter arithmetic *)
+}
+
+(** No corruption at all: every rate and probability zero. *)
+val none : spec
+
+val make :
+  ?seed:int ->
+  ?noise:noise ->
+  ?drop_prob:float ->
+  ?wrap_prob:float ->
+  ?reset_prob:float ->
+  ?interval_s:float ->
+  unit ->
+  spec
+
+(** [is_none spec] is [true] when the spec injects nothing; {!loads}
+    and {!samples} then return their input unchanged (physically). *)
+val is_none : spec -> bool
+
+(** One-line summary, e.g. ["noise=0.05 drop=0.1 seed=7"]. *)
+val description : spec -> string
+
+(** [loads spec ~loads] corrupts one snapshot.  Dropped links are
+    [nan]; all other entries are finite and non-negative.  The input is
+    never mutated. *)
+val loads : spec -> loads:Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [samples spec m] corrupts a window of load rows; row [r] uses the
+    per-row stream of cell [(r + 1, link)], so a window's corruption
+    does not collide with the snapshot stream (row 0). *)
+val samples : spec -> Tmest_linalg.Mat.t -> Tmest_linalg.Mat.t
+
+(** [zero_fill v] replaces non-finite entries by 0 — the naive baseline
+    a repair-less pipeline falls back to (and what the comparison in
+    [tme faults] measures the degraded mode against). *)
+val zero_fill : Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t
+
+(** [zero_fill_mat m] is {!zero_fill} row-wise. *)
+val zero_fill_mat : Tmest_linalg.Mat.t -> Tmest_linalg.Mat.t
+
+(** [stale_routing topo ~fail] is the re-routed (post-failure) routing
+    with the [fail] busiest-listed interior link ids removed, or [None]
+    if the network disconnects: the loads an estimator holding the old
+    [R] would observe after an unsynchronized routing change.  Thin
+    wrapper over {!Tmest_net.Routing.without_links}. *)
+val stale_routing :
+  Tmest_net.Topology.t -> fail:int list -> Tmest_net.Routing.t option

@@ -59,6 +59,23 @@ let shortest_path topo =
   done;
   of_paths topo paths
 
+let without_links topo ~failed =
+  let usable l = not (List.mem l.Topology.link_id failed) in
+  let n = Topology.num_nodes topo in
+  let paths = Array.make (Odpairs.count n) [] in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    let _, parent = Dijkstra.tree ~usable topo ~src in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        match Dijkstra.path_of_tree topo parent ~src ~dst with
+        | Some path -> paths.(Odpairs.index ~nodes:n ~src ~dst) <- path
+        | None -> ok := false
+      end
+    done
+  done;
+  if !ok then Some (of_paths topo paths) else None
+
 let cspf_mesh topo ~bandwidths =
   let cspf = Cspf.create topo in
   let lsps = Lsp.mesh cspf ~bandwidths in

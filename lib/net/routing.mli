@@ -23,6 +23,14 @@ val of_paths : Topology.t -> int list array -> t
     path. *)
 val shortest_path : Topology.t -> t
 
+(** [without_links topo ~failed] routes every pair on the shortest path
+    avoiding the interior links in [failed] — the post-failure (or
+    post-weight-change) routing the IGP converges to — or [None] if the
+    failures disconnect some pair.  Used by the route-change and
+    fault-injection machinery to build the {e fresh} routing whose loads
+    an estimator holding a stale [R] would observe. *)
+val without_links : Topology.t -> failed:int list -> t option
+
 (** [cspf_mesh topo ~bandwidths] sets up an LSP full mesh (see
     {!Lsp.mesh}) and extracts its routing. *)
 val cspf_mesh : Topology.t -> bandwidths:Tmest_linalg.Vec.t -> t

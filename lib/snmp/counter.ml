@@ -16,3 +16,26 @@ let read t = t.value
 let delta ~width ~previous ~current =
   if current >= previous then current -. previous
   else current -. previous +. modulus width
+
+type poll = { t_s : float; value : float }
+
+type verdict =
+  | Delta of float
+  | Duplicate
+  | Reset of float
+
+let classify ~width ?(max_rate_bps = 100e9) ~prev ~cur () =
+  let dt = cur.t_s -. prev.t_s in
+  if dt <= 0. then Duplicate
+  else
+    match width with
+    | Bits64 when cur.value < prev.value ->
+        (* A 64-bit counter cannot wrap between realistic polls; going
+           backwards means the counter restarted. *)
+        Reset cur.value
+    | _ ->
+        let d = delta ~width ~previous:prev.value ~current:cur.value in
+        (* The wrap correction turns a restart into a huge positive
+           difference; anything beyond the line rate is physically
+           impossible and must be a reset. *)
+        if d *. 8. > max_rate_bps *. dt then Reset cur.value else Delta d

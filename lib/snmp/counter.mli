@@ -27,3 +27,30 @@ val read : t -> float
     A 32-bit counter that wraps more than once between polls is
     undetectable — exactly the real-world failure mode. *)
 val delta : width:width -> previous:float -> current:float -> float
+
+(** One timestamped counter reading. *)
+type poll = { t_s : float; value : float }
+
+type verdict =
+  | Delta of float  (** believable byte count for the interval *)
+  | Duplicate
+      (** same (or earlier) timestamp — a retransmitted or reordered
+          poll; contributes no traffic *)
+  | Reset of float
+      (** the counter restarted; the payload is the new raw reading,
+          the baseline for the next interval *)
+
+(** [classify ~width ?max_rate_bps ~prev ~cur ()] is the collector-side
+    judgement of two consecutive readings.  Non-positive inter-poll
+    time is a {!Duplicate}; a 64-bit counter going backwards is a
+    {!Reset} (it cannot plausibly wrap); and a wrap-corrected
+    difference implying a rate above [max_rate_bps] (default 100 Gbps)
+    is a {!Reset} disguised as a wrap.  Everything else is a believable
+    {!Delta}. *)
+val classify :
+  width:width ->
+  ?max_rate_bps:float ->
+  prev:poll ->
+  cur:poll ->
+  unit ->
+  verdict

@@ -1,0 +1,63 @@
+(* Tiny zero-dependency property-testing helper.
+
+   Each case [i] of a run draws from the indexed stream
+   [Tmest_stats.Rng.of_pair seed i], so any failing case is replayable
+   in isolation from its printed [(seed, case)] pair — no shrinking, no
+   global state, nothing beyond the library's own RNG.  Properties are
+   plain [case -> bool] predicates; a [pp] hook makes the failure
+   message show the falsifying case. *)
+
+module Rng = Tmest_stats.Rng
+
+type 'a gen = Rng.t -> 'a
+
+let float_in ~lo ~hi rng = Rng.uniform rng ~lo ~hi
+
+(* Inclusive on both ends. *)
+let int_in ~lo ~hi rng = lo + Rng.int rng (hi - lo + 1)
+
+let vec ?(lo = 0.) ?(hi = 1.) n rng =
+  Array.init n (fun _ -> Rng.uniform rng ~lo ~hi)
+
+let pair ga gb rng =
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+let choose options rng = options.(Rng.int rng (Array.length options))
+
+let close ?(tol = 1e-9) a b =
+  let scale = Stdlib.max (Stdlib.max (abs_float a) (abs_float b)) 1. in
+  abs_float (a -. b) <= tol *. scale
+
+let vec_close ?tol u v =
+  Array.length u = Array.length v
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if not (close ?tol x v.(i)) then ok := false) u;
+      !ok)
+
+(* Exact bit equality, the invariant the pooled kernels promise. *)
+let vec_bits_equal u v =
+  Array.length u = Array.length v
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float v.(i) then ok := false)
+        u;
+      !ok)
+
+let run ?(count = 100) ?pp ~seed ~name gen property =
+  for i = 0 to count - 1 do
+    let case = gen (Rng.of_pair seed i) in
+    let describe () =
+      match pp with Some pp -> " on " ^ pp case | None -> ""
+    in
+    match property case with
+    | true -> ()
+    | false ->
+        Alcotest.failf "%s: falsified at case %d (seed %d)%s" name i seed
+          (describe ())
+    | exception e ->
+        Alcotest.failf "%s: raised %s at case %d (seed %d)%s" name
+          (Printexc.to_string e) i seed (describe ())
+  done

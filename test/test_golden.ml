@@ -1,0 +1,75 @@
+(* Golden regression: per-method MRE on the seeded full-scale Europe
+   problem, pinned to 1e-9.  The same constants must hold at pool sizes
+   1 and 2 — the solver stack promises bit-identical results at every
+   job count, so any drift here is either a numerical regression or a
+   broken determinism invariant.
+
+   Regenerate after an intentional numerical change with:
+     GOLDEN_PRINT=1 dune exec test/test_golden.exe *)
+
+module Mat = Tmest_linalg.Mat
+module Core = Tmest_core
+module Pool = Tmest_parallel.Pool
+module Dataset = Tmest_traffic.Dataset
+module Spec = Tmest_traffic.Spec
+
+let goldens =
+  [
+    ("gravity", 0.27738950303982757);
+    ("kruithof", 0.18748744357310587);
+    ("entropy", 0.078707193965058);
+    ("bayes", 0.16582487109346156);
+    ("wcb", 0.26419235520861623);
+    ("fanout", 0.3537328906472631);
+    ("vardi", 0.9503596697622243);
+    ("cao", 0.65832782533456269);
+  ]
+
+let mres ~jobs =
+  let d = Dataset.europe () in
+  let pool = Pool.create ~jobs in
+  let ws = Core.Workspace.create ~pool d.Dataset.routing in
+  let spec = d.Dataset.spec in
+  let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+  let truth = Dataset.demand_at d k in
+  let busy_truth = Dataset.busy_mean_demand d in
+  let loads = Dataset.link_loads_at d k in
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let window = 10 in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  let samples =
+    Mat.init window (Dataset.num_links d) (fun i j ->
+        (Dataset.link_loads_at d ks.(i)).(j))
+  in
+  List.map
+    (fun name ->
+      let m = Core.Estimator.of_name name in
+      let estimate = Core.Estimator.solve m ws ~loads ~load_samples:samples in
+      let reference =
+        if Core.Estimator.uses_time_series m then busy_truth else truth
+      in
+      (name, Core.Metrics.mre ~truth:reference ~estimate ()))
+    (Core.Estimator.all_names ())
+
+let check_against ~jobs () =
+  List.iter2
+    (fun (name, expected) (name', got) ->
+      Alcotest.(check string) "method order" name name';
+      Alcotest.(check (float 1e-9)) name expected got)
+    goldens (mres ~jobs)
+
+let () =
+  if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
+    List.iter
+      (fun (name, v) -> Printf.printf "    (%S, %.17g);\n" name v)
+      (mres ~jobs:1);
+    exit 0
+  end;
+  Alcotest.run "golden"
+    [
+      ( "europe",
+        [
+          Alcotest.test_case "jobs=1" `Quick (check_against ~jobs:1);
+          Alcotest.test_case "jobs=2" `Quick (check_against ~jobs:2);
+        ] );
+    ]

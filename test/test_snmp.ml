@@ -35,6 +35,72 @@ let test_counter_rejects_negative () =
        false
      with Invalid_argument _ -> true)
 
+let poll t_s value = { Counter.t_s; value }
+
+let test_classify_plain_delta () =
+  match
+    Counter.classify ~width:Counter.Bits64 ~prev:(poll 0. 1000.)
+      ~cur:(poll 300. 4000.) ()
+  with
+  | Counter.Delta d -> check_float 1e-9 "delta" 3000. d
+  | _ -> Alcotest.fail "expected Delta"
+
+let test_classify_wrap_delta () =
+  (* A single 32-bit wrap at a believable rate stays a Delta. *)
+  match
+    Counter.classify ~width:Counter.Bits32 ~prev:(poll 0. 4294967000.)
+      ~cur:(poll 300. 704.) ()
+  with
+  | Counter.Delta d -> check_float 1e-3 "wrap-corrected" 1000. d
+  | _ -> Alcotest.fail "expected Delta"
+
+let test_classify_duplicate () =
+  (match
+     Counter.classify ~width:Counter.Bits64 ~prev:(poll 300. 1000.)
+       ~cur:(poll 300. 1000.) ()
+   with
+  | Counter.Duplicate -> ()
+  | _ -> Alcotest.fail "same timestamp must be Duplicate");
+  match
+    Counter.classify ~width:Counter.Bits64 ~prev:(poll 300. 1000.)
+      ~cur:(poll 200. 900.) ()
+  with
+  | Counter.Duplicate -> ()
+  | _ -> Alcotest.fail "reordered poll must be Duplicate"
+
+let test_classify_reset_64 () =
+  (* 64-bit counters cannot wrap between polls: backwards = restart. *)
+  match
+    Counter.classify ~width:Counter.Bits64 ~prev:(poll 0. 1e15)
+      ~cur:(poll 300. 42.) ()
+  with
+  | Counter.Reset v -> check_float 1e-9 "baseline" 42. v
+  | _ -> Alcotest.fail "expected Reset"
+
+let test_classify_reset_32_masquerading_as_wrap () =
+  (* A mid-window 32-bit reset: the new reading sits just below the old
+     one, so the wrap correction reports ~4.2 GB in 300 s (~112 Mbps).
+     Against the link's actual 50 Mbps capacity that is impossible —
+     a Reset, not a wrap. *)
+  match
+    Counter.classify ~width:Counter.Bits32 ~max_rate_bps:50e6
+      ~prev:(poll 0. 4.0e9) ~cur:(poll 300. 3.9e9) ()
+  with
+  | Counter.Reset v -> check_float 1e-9 "baseline" 3.9e9 v
+  | Counter.Delta d -> Alcotest.failf "bogus delta %g accepted" d
+  | Counter.Duplicate -> Alcotest.fail "not a duplicate"
+
+let test_classify_fast_link_wrap_still_delta () =
+  (* On a faster link the same readings are a believable single wrap
+     and must remain a Delta (default 100 Gbps ceiling). *)
+  match
+    Counter.classify ~width:Counter.Bits32 ~prev:(poll 0. 4.0e9)
+      ~cur:(poll 300. 3.9e9) ()
+  with
+  | Counter.Delta d ->
+      check_float 1e-3 "wrap-corrected" (3.9e9 -. 4.0e9 +. 4294967296.) d
+  | _ -> Alcotest.fail "expected Delta under a 100 Gbps ceiling"
+
 (* ------------------------------------------------------------------ *)
 (* Collection pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -138,6 +204,17 @@ let () =
           Alcotest.test_case "32-bit wrap" `Quick test_counter_wraps_32;
           Alcotest.test_case "delta" `Quick test_counter_delta_monotone;
           Alcotest.test_case "negative" `Quick test_counter_rejects_negative;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "plain delta" `Quick test_classify_plain_delta;
+          Alcotest.test_case "wrap delta" `Quick test_classify_wrap_delta;
+          Alcotest.test_case "duplicate" `Quick test_classify_duplicate;
+          Alcotest.test_case "64-bit reset" `Quick test_classify_reset_64;
+          Alcotest.test_case "32-bit reset vs wrap" `Quick
+            test_classify_reset_32_masquerading_as_wrap;
+          Alcotest.test_case "fast-link wrap" `Quick
+            test_classify_fast_link_wrap_still_delta;
         ] );
       ( "collect",
         [
