@@ -17,6 +17,13 @@
    over jobs in {1, 2, 4, #cores}).  [--perf --fast] is the CI smoke
    variant: kernels and solvers only, reduced context and quota.
 
+   [--scale] runs the scaling-law sweep over synthetic hierarchical
+   backbones (PoPs x method, both sides of the workspace sparse gate)
+   and writes BENCH_scale.json; [--scale --fast] uses smaller sizes for
+   CI.  The sweep asserts that sparse-mode solves keep the GC heap
+   watermark below pairs^2/2 words — the witness that no dense Gram or
+   routing matrix was ever materialized.
+
    Other flags: [--fast] (reduced datasets for the report mode),
    [--jobs N] (domain-pool size; default TMEST_JOBS, then the
    recommended domain count), [--only fig13,tab2], [--list]. *)
@@ -441,6 +448,146 @@ let parallel_json ~fast () =
     names
 
 (* ------------------------------------------------------------------ *)
+(* Scaling-law sweep over synthetic backbones (BENCH_scale.json)       *)
+(* ------------------------------------------------------------------ *)
+
+(* PoPs x method: wall seconds, MRE, per-solve allocation churn and the
+   heap watermark, with sizes on both sides of the workspace sparse
+   gate.  Sizes run in ascending order so each sparse size's watermark
+   assertion (heap < pairs^2/2 words — the "no dense Gram was ever
+   built" witness) is not contaminated by a larger earlier run.
+   LP-based worst-case bounds are recorded as a documented exclusion
+   above the gate rather than run. *)
+let scale_json ~fast () =
+  let module Core = Tmest_core in
+  let module W = Tmest_core.Workspace in
+  let module Dataset = Tmest_traffic.Dataset in
+  let module Spec = Tmest_traffic.Spec in
+  let module Mat = Tmest_linalg.Mat in
+  let sizes = if fast then [ 12; 25; 60 ] else [ 25; 100; 250 ] in
+  let methods = Core.Estimator.all_names () in
+  let window = 8 in
+  let pool = Pool.default () in
+  let failures = ref [] in
+  let rows =
+    List.concat_map
+      (fun pops ->
+        let t0 = Unix.gettimeofday () in
+        let d = Dataset.synthetic ~pops () in
+        let ws = W.create ~pool d.Dataset.routing in
+        let sparse = W.is_sparse ws in
+        let pairs = Dataset.num_pairs d in
+        let links = Dataset.num_links d in
+        Printf.printf "# %d PoPs: %d pairs, %d links, %s mode (built in \
+                       %.1fs)\n%!"
+          pops pairs links
+          (if sparse then "sparse" else "dense")
+          (Unix.gettimeofday () -. t0);
+        let spec = d.Dataset.spec in
+        let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+        let loads = Dataset.link_loads_at d k in
+        let truth = Dataset.demand_at d k in
+        let busy_mean = Dataset.busy_mean_demand d in
+        let ks = Array.of_list (Dataset.busy_samples d) in
+        let ks = Array.sub ks (Array.length ks - window) window in
+        let load_samples =
+          Mat.init window links (fun i j -> (Dataset.link_loads_at d ks.(i)).(j))
+        in
+        let out =
+          List.map
+            (fun name ->
+              if sparse && name = "wcb" then begin
+                Printf.printf "%4d %-8s excluded (dense-only)\n%!" pops name;
+                (pops, pairs, links, sparse, name,
+                 `Excluded
+                   "LP-based worst-case bounds need a dense simplex \
+                    tableau per demand; dense-only by design")
+              end
+              else begin
+                let m = Core.Estimator.of_name name in
+                W.reset_stats ws;
+                let t0 = Unix.gettimeofday () in
+                let estimate =
+                  Core.Estimator.solve m ws ~loads ~load_samples
+                in
+                let seconds = Unix.gettimeofday () -. t0 in
+                let st = W.stats ws in
+                let reference =
+                  if Core.Estimator.uses_time_series m then busy_mean
+                  else truth
+                in
+                let mre = Core.Metrics.mre ~truth:reference ~estimate () in
+                Printf.printf
+                  "%4d %-8s %8.2fs  mre %6.4f  churn %.2e w  heap %.2e w\n%!"
+                  pops name seconds mre st.W.peak_solve_words st.W.heap_words;
+                (pops, pairs, links, sparse, name,
+                 `Ok (seconds, mre, st.W.peak_solve_words, st.W.heap_words))
+              end)
+            methods
+        in
+        (* The dense-matrix witness for this size. *)
+        if sparse then begin
+          let budget = float_of_int pairs *. float_of_int pairs /. 2. in
+          List.iter
+            (fun (_, _, _, _, name, r) ->
+              match r with
+              | `Ok (_, _, _, heap) when heap >= budget ->
+                  failures :=
+                    Printf.sprintf
+                      "%d pops/%s: heap watermark %.2e words >= pairs^2/2 \
+                       = %.2e"
+                      pops name heap budget
+                    :: !failures
+              | _ -> ())
+            out
+        end;
+        out)
+      sizes
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (provenance ~jobs:(Pool.size pool));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"mode\": %S,\n  \"sparse_gate\": %d,\n  \"window\": %d,\n\
+       \  \"assert\": \"sparse sizes keep the GC heap watermark below \
+        pairs^2/2 words\",\n\
+       \  \"assert_ok\": %b,\n"
+       (if fast then "fast" else "full")
+       Tmest_core.Workspace.sparse_gate window (!failures = []));
+  Buffer.add_string buf "  \"sweep\": [\n";
+  List.iteri
+    (fun i (pops, pairs, links, sparse, name, r) ->
+      let body =
+        match r with
+        | `Ok (seconds, mre, churn, heap) ->
+            Printf.sprintf
+              "\"status\": \"ok\", \"seconds\": %.3f, \"mre\": %.6f, \
+               \"solve_words\": %.3e, \"heap_words\": %.3e"
+              seconds mre churn heap
+        | `Excluded why -> Printf.sprintf "\"status\": \"excluded\", \"why\": %S" why
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"pops\": %d, \"pairs\": %d, \"links\": %d, \"mode\": \
+            %S, \"method\": %S, %s}%s\n"
+           pops pairs links
+           (if sparse then "sparse" else "dense")
+           name body
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_scale.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "scale assertion FAILED: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -633,6 +780,7 @@ let run_perf ~fast () =
 let () =
   let fast = ref false in
   let perf = ref false in
+  let scale = ref false in
   let only = ref None in
   let list = ref false in
   let rec parse = function
@@ -642,6 +790,9 @@ let () =
         parse rest
     | "--perf" :: rest ->
         perf := true;
+        parse rest
+    | "--scale" :: rest ->
+        scale := true;
         parse rest
     | "--list" :: rest ->
         list := true;
@@ -658,7 +809,7 @@ let () =
         parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: main.exe [--fast] [--perf] [--list] [--jobs N] \
+          "usage: main.exe [--fast] [--perf] [--scale] [--list] [--jobs N] \
            [--only id,id,...]\n\
            unknown argument: %s\n"
           arg;
@@ -669,6 +820,7 @@ let () =
     List.iter
       (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
       Registry.all
+  else if !scale then scale_json ~fast:!fast ()
   else if !perf then begin
     if not !fast then workspace_json ();
     solvers_json ~fast:!fast ();

@@ -18,16 +18,38 @@ module Pool = Tmest_parallel.Pool
 module Obs = Tmest_obs.Obs
 module Recorder = Tmest_obs.Recorder
 
-let dataset_of_name = function
-  | "europe" -> Dataset.europe ()
-  | "america" -> Dataset.america ()
+let dataset_of_name ?seed = function
+  | "europe" -> Dataset.europe ?seed ()
+  | "america" -> Dataset.america ?seed ()
   | s ->
       Printf.eprintf "unknown network %S (expected europe or america)\n" s;
       exit 2
 
+(* [--pops N] trumps [--network]: a synthetic hierarchical backbone of
+   the requested size (sparse solver core above the workspace gate). *)
+let dataset_of ?pops ?seed name =
+  match pops with
+  | Some p when p >= 3 -> Dataset.synthetic ?seed ~pops:p ()
+  | Some p ->
+      Printf.eprintf "--pops %d: need at least 3 PoPs\n" p;
+      exit 2
+  | None -> dataset_of_name ?seed name
+
 let network_arg =
   let doc = "Synthetic network to use: europe (12 PoPs) or america (25 PoPs)." in
   Arg.(value & opt string "europe" & info [ "n"; "network" ] ~docv:"NET" ~doc)
+
+let pops_arg =
+  let doc =
+    "Replace the named network by a generated hierarchical backbone \
+     with $(docv) PoPs (dual-homed leaves on a hub ring).  Above the \
+     workspace sparse gate the solvers run matrix-free."
+  in
+  Arg.(value & opt (some int) None & info [ "pops" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Override the dataset generator seed (synthetic or named)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let jobs_arg =
   let doc =
@@ -152,11 +174,12 @@ let estimate_cmd =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
   in
-  let run network method_name sigma2 window top noise drop fault_seed jobs
-      trace =
+  let run network pops seed method_name sigma2 window top noise drop
+      fault_seed jobs trace =
     apply_jobs jobs;
-    let d = dataset_of_name network in
+    let d = dataset_of ?pops ?seed network in
     let spec = d.Dataset.spec in
+    let network = spec.Spec.name in
     let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
     let truth = Dataset.demand_at d k in
     let loads = Dataset.link_loads_at d k in
@@ -206,12 +229,26 @@ let estimate_cmd =
     in
     if not (Inject.is_none fault) then
       Printf.printf "faults   : %s\n" (Inject.description fault);
-    let estimate = Core.Estimator.solve ~opts m ws ~loads ~load_samples in
+    let estimate =
+      (* Dense-only methods (wcb) refuse sparse-mode workspaces; turn
+         the refusal into a CLI error instead of an uncaught exception. *)
+      try Core.Estimator.solve ~opts m ws ~loads ~load_samples
+      with Invalid_argument msg when Core.Workspace.is_sparse ws ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
     let reference =
       if Core.Estimator.uses_time_series m then Dataset.busy_mean_demand d
       else truth
     in
     Printf.printf "method   : %s on %s\n" (Core.Estimator.name m) network;
+    Printf.printf "mode     : %s (%d OD pairs, gate %d)\n"
+      (if Core.Workspace.is_sparse ws then "sparse" else "dense")
+      (Dataset.num_pairs d) Core.Workspace.sparse_gate;
+    let st = Core.Workspace.stats ws in
+    Printf.printf "alloc    : %.3e words/solve peak, heap watermark %.3e \
+                   words\n"
+      st.Core.Workspace.peak_solve_words st.Core.Workspace.heap_words;
     Printf.printf "MRE      : %.4f (90%% traffic coverage)\n"
       (Core.Metrics.mre ~truth:reference ~estimate ());
     Printf.printf "rank rho : %.4f\n"
@@ -243,8 +280,9 @@ let estimate_cmd =
   let doc = "Estimate the traffic matrix from link loads and report accuracy." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run $ network_arg $ method_arg $ sigma2_arg $ window_arg $ top_arg
-      $ noise_arg $ drop_links_arg $ fault_seed_arg $ jobs_arg $ trace_arg)
+      const run $ network_arg $ pops_arg $ seed_arg $ method_arg $ sigma2_arg
+      $ window_arg $ top_arg $ noise_arg $ drop_links_arg $ fault_seed_arg
+      $ jobs_arg $ trace_arg)
 
 (* -------------------------------------------------------- experiment *)
 
@@ -257,7 +295,7 @@ let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc)
 
 let experiment_cmd =
-  let run id fast jobs trace =
+  let run id fast pops seed jobs trace =
     apply_jobs jobs;
     match Tmest_experiments.Registry.find id with
     | exception Not_found ->
@@ -267,13 +305,19 @@ let experiment_cmd =
         with_trace trace
           ~meta:[ ("command", "experiment"); ("experiment", id) ]
         @@ fun sink ->
-        let ctx = Tmest_experiments.Ctx.create ~fast ~sink () in
+        let ctx =
+          Tmest_experiments.Ctx.create ~fast ~sink
+            ?scale_pops:(Option.map (fun p -> [ p ]) pops)
+            ?scale_seed:seed ()
+        in
         Tmest_experiments.Report.print (e.Tmest_experiments.Registry.run ctx);
         0
   in
   let doc = "Run one paper experiment and print its report." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ exp_id_arg $ fast_arg $ jobs_arg $ trace_arg)
+    Term.(
+      const run $ exp_id_arg $ fast_arg $ pops_arg $ seed_arg $ jobs_arg
+      $ trace_arg)
 
 let list_cmd =
   let run () =

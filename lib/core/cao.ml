@@ -38,8 +38,27 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
     Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
   in
   let t_hat, sigma_hat = Desc.sample_mean_cov samples in
-  let g = Workspace.gram ws in
-  let g2 = Workspace.gram_sq ws in
+  let pool = Workspace.pool ws in
+  (* First- and second-moment systems G = RᵀR and G∘G.  Dense mode keeps
+     the historical materialized matrices (and the dense-Gram spectral
+     norm, whose last bits differ from the operator estimate); sparse
+     mode applies both matrix-free. *)
+  let g_matvec_into, g2_matvec_into, lip =
+    if Workspace.is_sparse ws then begin
+      let normal = Workspace.normal_op ws in
+      let gsq = Workspace.gram_sq_op ws in
+      ( (fun x ~dst -> Tmest_linalg.Op.apply_into normal x ~dst),
+        (fun x ~dst -> Tmest_linalg.Op.apply_into gsq x ~dst),
+        2. *. Workspace.op_norm ws )
+    end
+    else begin
+      let g = Workspace.gram ws in
+      let g2 = Workspace.gram_sq ws in
+      ( (fun x ~dst -> Mat.matvec_into ?pool g x ~dst),
+        (fun x ~dst -> Mat.matvec_into ?pool g2 x ~dst),
+        2. *. Workspace.gram_norm ws )
+    end
+  in
   let rt_t = Csr.tmatvec routing.Routing.matrix t_hat in
   let rt = Workspace.transpose ws in
   let v = Vec.zeros p in
@@ -65,19 +84,18 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
       dst.(i) <- phi *. (Stdlib.max lam.(i) 0. ** c)
     done
   in
-  let pool = Workspace.pool ws in
   let objective lam =
     u_of_into lam ~dst:u_buf;
-    Mat.matvec_into ?pool g lam ~dst:tmp_p;
+    g_matvec_into lam ~dst:tmp_p;
     let first = Vec.dot lam tmp_p -. (2. *. Vec.dot rt_t lam) in
-    Mat.matvec_into ?pool g2 u_buf ~dst:tmp_p;
+    g2_matvec_into u_buf ~dst:tmp_p;
     let second = Vec.dot u_buf tmp_p -. (2. *. Vec.dot v u_buf) in
     first +. (w *. second)
   in
   let gradient_into lam ~dst =
     u_of_into lam ~dst:u_buf;
-    Mat.matvec_into ?pool g2 u_buf ~dst:tmp_p;
-    Mat.matvec_into ?pool g lam ~dst;
+    g2_matvec_into u_buf ~dst:tmp_p;
+    g_matvec_into lam ~dst;
     for i = 0 to p - 1 do
       let d_first = 2. *. (dst.(i) -. rt_t.(i)) in
       let d_second_du = 2. *. (tmp_p.(i) -. v.(i)) in
@@ -85,7 +103,6 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
       dst.(i) <- d_first +. (w *. d_second_du *. du_dlambda)
     done
   in
-  let lip = 2. *. Workspace.gram_norm ws in
   (match x0 with
   | Some v0 ->
       (* Warm start (bits/s): skip the first-moment bootstrap solve. *)
@@ -105,7 +122,7 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
             (Workspace.scratch ws ~name:"fista" ~dim:p
                ~count:Fista.scratch_size)
           ~gradient_into:(fun x ~dst ->
-            Mat.matvec_into ?pool g x ~dst;
+            g_matvec_into x ~dst;
             Vec.sub_into dst rt_t ~dst;
             Vec.scale_into 2. dst ~dst)
           ~lipschitz:lip ()

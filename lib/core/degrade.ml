@@ -3,6 +3,8 @@ module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Chol = Tmest_linalg.Chol
 module Eigen = Tmest_linalg.Eigen
+module Cg = Tmest_opt.Cg
+module Stop = Tmest_opt.Stop
 module Obs = Tmest_obs.Obs
 
 type health = {
@@ -70,6 +72,45 @@ let observed_chol ws = function
         masked;
       Chol.factor_regularized g
 
+(* Least-squares consensus fit of the observed rows.  Dense mode solves
+   against the (downdated) Cholesky factor; sparse mode runs CG on the
+   matrix-free masked normal operator x ↦ RᵀDRx + ridge·x (D zeroes the
+   masked link rows), with the same ridge scaling rule as
+   [Chol.factor_regularized] read off the exact Gram diagonal
+   Σ_l R²_li — the p x p Gram itself is never formed. *)
+let observed_fit ws masked ~rhs =
+  if not (Workspace.is_sparse ws) then Chol.solve (observed_chol ws masked) rhs
+  else begin
+    let r = (Workspace.routing ws).Tmest_net.Routing.matrix in
+    let l = Workspace.num_links ws in
+    let p = Workspace.num_pairs ws in
+    let rt = Workspace.transpose ws in
+    let max_diag = ref 0. in
+    for pair = 0 to p - 1 do
+      let acc = ref 0. in
+      Csr.iter_row rt pair (fun _ v -> acc := !acc +. (v *. v));
+      max_diag := Stdlib.max !max_diag !acc
+    done;
+    let ridge = 1e-12 *. Stdlib.max !max_diag 1. in
+    let y = (Workspace.scratch ws ~name:"degrade.cg.links" ~dim:l ~count:1).(0)
+    in
+    let pool = Workspace.pool ws in
+    let apply_into x ~dst =
+      Csr.matvec_into ?pool r x ~dst:y;
+      List.iter (fun i -> y.(i) <- 0.) masked;
+      Csr.tmatvec_into r y ~dst;
+      Vec.axpy_into ridge x dst ~dst
+    in
+    let stop =
+      Workspace.solver_stop ws Stop.default ~label:"degrade/cg"
+        ~max_iter:(2 * p) ~tol:1e-12
+    in
+    let scratch =
+      Workspace.scratch ws ~name:"degrade.cg" ~dim:p ~count:Cg.scratch_size
+    in
+    (Cg.solve_into ~stop ~scratch ~apply_into ~b:rhs ()).Cg.x
+  end
+
 let rank_of_eigen d =
   let top = Stdlib.max d.Eigen.values.(0) 0. in
   let threshold = 1e-9 *. Stdlib.max top 1e-30 in
@@ -120,8 +161,7 @@ let repair_snapshot policy ws ~loads =
   (* Least-squares consensus of the observed rows. *)
   let r = (Workspace.routing ws).Tmest_net.Routing.matrix in
   let rhs = Csr.tmatvec r zeroed in
-  let chol = observed_chol ws !missing in
-  let fit = Chol.solve chol rhs in
+  let fit = observed_fit ws !missing ~rhs in
   let y = Csr.matvec r fit in
   let residual_before = observed_residual ~observed loads y in
   let scale_floor = 1e-6 *. Stdlib.max (Vec.norm_inf zeroed) 1. in
@@ -161,7 +201,9 @@ let repair_snapshot policy ws ~loads =
     else observed_residual ~observed repaired_loads y
   in
   let rank_deficiency =
-    if policy.report_rank then
+    (* Sparse mode has no eigendecomposition to read the rank from;
+       callers get [None] rather than a guess. *)
+    if policy.report_rank && not (Workspace.is_sparse ws) then
       Some (Workspace.num_pairs ws - rank_of_eigen (Workspace.gram_eigen ws))
     else None
   in

@@ -106,6 +106,11 @@ let warm_key = function
 
 let solve ?(opts = Options.default) t ws ~loads ~load_samples =
   let t0 = Sys.time () in
+  (* Allocation accounting for the peak-words counter: the delta of the
+     calling domain's cumulative allocation (minor + major, in words)
+     over the whole solve.  At scale this is the witness that no code
+     path materialized a dense n_od x n_od matrix. *)
+  let w0 = Gc.allocated_bytes () in
   let sink =
     if Obs.is_null opts.Options.sink then Workspace.sink ws
     else opts.Options.sink
@@ -219,5 +224,7 @@ let solve ?(opts = Options.default) t ws ~loads ~load_samples =
         run
     else run ()
   in
-  Workspace.record_solve ws (Sys.time () -. t0);
+  Workspace.record_solve ws
+    ~seconds:(Sys.time () -. t0)
+    ~words:((Gc.allocated_bytes () -. w0) /. 8.);
   estimate

@@ -52,22 +52,6 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
     done
   done;
   let src_of = Array.init p (fun pair -> Odpairs.source ~nodes:n pair) in
-  (* H_pq = G_pq * W(src p, src q) with W = Σ_k te[k] te[k]ᵀ. *)
-  let w = Mat.zeros n n in
-  for step = 0 to k - 1 do
-    for a = 0 to n - 1 do
-      let ta = Mat.get te step a in
-      if ta <> 0. then
-        for b = 0 to n - 1 do
-          Mat.set w a b (Mat.get w a b +. (ta *. Mat.get te step b))
-        done
-    done
-  done;
-  let g = Workspace.gram ws in
-  let h =
-    Mat.init p p (fun i j ->
-        Mat.unsafe_get g i j *. Mat.get w src_of.(i) src_of.(j))
-  in
   (* lin_p = Σ_k te_src(p)[k] (Rᵀ t[k])_p, so grad = 2(Hα − lin). *)
   let lin = Vec.zeros p in
   for step = 0 to k - 1 do
@@ -78,12 +62,66 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
         lin.(pair) +. (Mat.get te step src_of.(pair) *. rt.(pair))
     done
   done;
+  (* H = G ∘ W(src,src) with W = Σ_k te[k] te[k]ᵀ.  Dense mode
+     materializes H (historical path); sparse mode never forms it —
+     the original objective min Σ_k ‖R S[k] α − t[k]‖² with
+     S[k] = diag(te[k] ∘ src) gives Hα = Σ_k S[k] Rᵀ(R S[k] α)
+     directly, one pooled matvec pair per window sample. *)
+  let apply_h_into, lipschitz =
+    if Workspace.is_sparse ws then begin
+      let r_op = Workspace.op ws in
+      let pbufs = Workspace.scratch ws ~name:"fanout.h" ~dim:p ~count:2 in
+      let sa = pbufs.(0) and z = pbufs.(1) in
+      let y = (Workspace.scratch ws ~name:"fanout.h.links" ~dim:l ~count:1).(0)
+      in
+      let apply_h_into a ~dst =
+        Array.fill dst 0 p 0.;
+        for step = 0 to k - 1 do
+          for pair = 0 to p - 1 do
+            sa.(pair) <- Mat.get te step src_of.(pair) *. a.(pair)
+          done;
+          Tmest_linalg.Op.apply_into r_op sa ~dst:y;
+          Tmest_linalg.Op.apply_t_into r_op y ~dst:z;
+          for pair = 0 to p - 1 do
+            dst.(pair) <-
+              dst.(pair) +. (Mat.get te step src_of.(pair) *. z.(pair))
+          done
+        done
+      in
+      let lipschitz =
+        2.
+        *. Workspace.lipschitz_of_op ws ~dim:p (fun a ->
+               let dst = Vec.zeros p in
+               apply_h_into a ~dst;
+               dst)
+      in
+      (apply_h_into, lipschitz)
+    end
+    else begin
+      let w = Mat.zeros n n in
+      for step = 0 to k - 1 do
+        for a = 0 to n - 1 do
+          let ta = Mat.get te step a in
+          if ta <> 0. then
+            for b = 0 to n - 1 do
+              Mat.set w a b (Mat.get w a b +. (ta *. Mat.get te step b))
+            done
+        done
+      done;
+      let g = Workspace.gram ws in
+      let h =
+        Mat.init p p (fun i j ->
+            Mat.unsafe_get g i j *. Mat.get w src_of.(i) src_of.(j))
+      in
+      let apply_h_into a ~dst = Mat.matvec_into h a ~dst in
+      (apply_h_into, 2. *. Workspace.lipschitz_of_matrix ws h)
+    end
+  in
   let gradient_into a ~dst =
-    Mat.matvec_into h a ~dst;
+    apply_h_into a ~dst;
     Vec.sub_into dst lin ~dst;
     Vec.scale_into 2. dst ~dst
   in
-  let lipschitz = 2. *. Workspace.lipschitz_of_matrix ws h in
   (* FISTA with the per-source simplex projection, started from uniform
      fanouts (or a warm-started fanout vector); the historical
      hand-rolled loop here is now the generic allocation-free solver
@@ -99,7 +137,9 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
   in
   (* Traced runs only; allocates freely. *)
   let objective a =
-    Vec.dot a (Mat.matvec h a) -. (2. *. Vec.dot lin a)
+    let ha = Vec.zeros p in
+    apply_h_into a ~dst:ha;
+    Vec.dot a ha -. (2. *. Vec.dot lin a)
   in
   let res =
     Fista.solve_into ~x0:start ~stop

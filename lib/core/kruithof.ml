@@ -23,6 +23,13 @@ let adjust ?(stop = Stop.default) ws ~loads ~prior =
   Odpairs.vector_of_matrix ~nodes:n balanced
 
 let krupp ?(stop = Stop.default) ws ~loads ~prior =
+  (* Documented dense-only exclusion: generalized iterative scaling
+     walks dense columns of R per constraint; the Kruithof method used
+     in the comparison ([adjust]) is link-free and scales fine. *)
+  if Workspace.is_sparse ws then
+    invalid_arg
+      "Kruithof.krupp: generalized iterative scaling over dense R is a \
+       dense-only path; use Kruithof.adjust on sparse-mode workspaces";
   let stop =
     Workspace.solver_stop ws stop ~label:"kruithof/gis" ~max_iter:2000
       ~tol:1e-8

@@ -34,6 +34,12 @@ type prior_model = [ `Exponential | `Uniform ]
 
 let sample ?(burn_in = 500) ?(samples = 1000) ?(thin = 5) ?(seed = 1)
     ?(chains = 1) ?(prior_model = `Exponential) ws ~loads ~prior =
+  (* Documented dense-only exclusion: the chain moves along null-space
+     directions of a dense simplex tableau. *)
+  if Workspace.is_sparse ws then
+    invalid_arg
+      "Mcmc.sample: simplex-based posterior sampling is a dense-only \
+       method; not available on a sparse-mode workspace";
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in

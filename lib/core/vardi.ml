@@ -1,6 +1,7 @@
 module Vec = Tmest_linalg.Vec
 module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
+module Op = Tmest_linalg.Op
 module Fista = Tmest_opt.Fista
 module Stop = Tmest_opt.Stop
 module Desc = Tmest_stats.Desc
@@ -32,14 +33,7 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
     Array.init k (fun i -> Vec.scale (1. /. unit_bps) (Mat.row load_samples i))
   in
   let t_hat, sigma_hat = Desc.sample_mean_cov samples in
-  let g = Workspace.gram ws in
   let w = sigma_inv2 in
-  (* Hessian/2 = G + w * (G entry-wise squared). *)
-  let h0 =
-    Mat.init p p (fun i j ->
-        let gij = Mat.unsafe_get g i j in
-        gij +. (w *. gij *. gij))
-  in
   (* Linear term/2 = Rᵀ t̂ + w * v with v_p = r_pᵀ Σ̂ r_p. *)
   let rt = Workspace.transpose ws in
   let v = Vec.zeros p in
@@ -55,27 +49,73 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
     v.(pair) <- !acc
   done;
   let lin = Vec.axpy w v (Csr.tmatvec routing.Routing.matrix t_hat) in
-  (* grad = 2 (H₀ x − lin), computed in place. *)
+  (* Hessian/2 = H₀ = G + w * (G entry-wise squared); grad = 2 (H₀ x −
+     lin).  Dense mode materializes H₀ (bit-identical to the historical
+     path); sparse mode applies it matrix-free as
+     normal_op + w · gram_sq_op, never touching a p x p matrix. *)
   let pool = Workspace.pool ws in
-  let gradient_into x ~dst =
-    Mat.matvec_into ?pool h0 x ~dst;
-    Vec.sub_into dst lin ~dst;
-    Vec.scale_into 2. dst ~dst
-  in
-  let lipschitz =
-    2.
-    *. Workspace.cached_lipschitz ws
-         ~key:(Printf.sprintf "vardi.h0:%h" w)
-         ~compute:(fun () -> Fista.lipschitz_of_gram h0)
+  let gradient_into, lipschitz, objective =
+    if Workspace.is_sparse ws then begin
+      let normal = Workspace.normal_op ws in
+      let gsq = Workspace.gram_sq_op ws in
+      let tmp = (Workspace.scratch ws ~name:"vardi.h0" ~dim:p ~count:1).(0) in
+      let apply_h0_into x ~dst =
+        Op.apply_into normal x ~dst;
+        Op.apply_into gsq x ~dst:tmp;
+        Vec.axpy_into w tmp dst ~dst
+      in
+      let gradient_into x ~dst =
+        apply_h0_into x ~dst;
+        Vec.sub_into dst lin ~dst;
+        Vec.scale_into 2. dst ~dst
+      in
+      let lipschitz =
+        2.
+        *. Workspace.cached_lipschitz ws
+             ~key:(Printf.sprintf "vardi.h0op:%h" w)
+             ~compute:(fun () ->
+               Fista.lipschitz_of_op ~dim:p (fun x ->
+                   let dst = Vec.zeros p in
+                   apply_h0_into x ~dst;
+                   dst))
+      in
+      (* Traced runs only; allocates freely. *)
+      let objective x =
+        let hx = Vec.zeros p in
+        apply_h0_into x ~dst:hx;
+        Vec.dot x hx -. (2. *. Vec.dot lin x)
+      in
+      (gradient_into, lipschitz, objective)
+    end
+    else begin
+      let g = Workspace.gram ws in
+      let h0 =
+        Mat.init p p (fun i j ->
+            let gij = Mat.unsafe_get g i j in
+            gij +. (w *. gij *. gij))
+      in
+      let gradient_into x ~dst =
+        Mat.matvec_into ?pool h0 x ~dst;
+        Vec.sub_into dst lin ~dst;
+        Vec.scale_into 2. dst ~dst
+      in
+      let lipschitz =
+        2.
+        *. Workspace.cached_lipschitz ws
+             ~key:(Printf.sprintf "vardi.h0:%h" w)
+             ~compute:(fun () -> Fista.lipschitz_of_gram h0)
+      in
+      (* Traced runs only; allocates freely. *)
+      let objective x =
+        Vec.dot x (Mat.matvec h0 x) -. (2. *. Vec.dot lin x)
+      in
+      (gradient_into, lipschitz, objective)
+    end
   in
   (* Warm starts arrive in bits/s; the solver works in counting units. *)
   let x0 = Option.map (fun v0 -> Vec.scale (1. /. unit_bps) v0) x0 in
   let scratch =
     Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
-  in
-  (* Traced runs only; allocates freely. *)
-  let objective x =
-    Vec.dot x (Mat.matvec h0 x) -. (2. *. Vec.dot lin x)
   in
   let res =
     Fista.solve_into ?x0 ~stop ~scratch ~objective ~dim:p ~gradient_into

@@ -25,6 +25,15 @@ let trivial_upper ws ~loads =
   upper
 
 let bounds ?pairs ws ~loads =
+  (* Documented dense-only exclusion: the bounds are 2p linear programs
+     over a dense simplex tableau, O(p·L) memory and O(p) pivoting each
+     — there is no matrix-free simplex, so above the sparse gate the
+     method is excluded rather than silently unscalable. *)
+  if Workspace.is_sparse ws then
+    invalid_arg
+      "Wcb.bounds: LP-based worst-case bounds are a dense-only method; \
+       not available on a sparse-mode workspace (use Wcb.trivial_upper \
+       for the coefficient-1 row bounds)";
   let routing = Workspace.routing ws in
   Problem.check_dims routing ~loads;
   let p = Routing.num_pairs routing in

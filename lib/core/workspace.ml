@@ -3,6 +3,7 @@ module Mat = Tmest_linalg.Mat
 module Csr = Tmest_linalg.Csr
 module Chol = Tmest_linalg.Chol
 module Eigen = Tmest_linalg.Eigen
+module Op = Tmest_linalg.Op
 module Fista = Tmest_opt.Fista
 module Routing = Tmest_net.Routing
 module Topology = Tmest_net.Topology
@@ -10,6 +11,15 @@ module Pool = Tmest_parallel.Pool
 module Obs = Tmest_obs.Obs
 
 type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
+
+type mode = Auto | Dense | Sparse
+
+(* Above this many OD pairs the dense artifacts (Gram, R, Cholesky,
+   eigen) become the memory bottleneck — a 10⁴-pair Gram is ~1 GB — so
+   [Auto] switches the workspace to matrix-free operators.  The paper
+   networks (132 and 600 pairs) stay far below the gate, keeping every
+   historical dense code path and its golden results bit-identical. *)
+let sparse_gate = 2048
 
 (* Internal mutable counters; snapshots exposed as immutable records.
    All mutation happens under the workspace lock, so hit/miss totals
@@ -24,6 +34,7 @@ type counters = {
   c_eigen : c;
   c_transpose : c;
   c_dense : c;
+  c_op : c;
   c_lipschitz : c;
   c_prior : c;
   c_total : c;
@@ -54,6 +65,7 @@ type t = {
       (* trace destination for everything solved against this routing
          context; [Obs.null] keeps every probe to a single branch *)
   routing : Routing.t;
+  sparse : bool;
   ingress : int array;
   egress : int array;
   lock : Mutex.t;
@@ -65,22 +77,37 @@ type t = {
   mutable eigen : Eigen.t option;
   mutable transpose : Csr.t option;
   mutable dense : Mat.t option;
+  mutable zfac : Csr.t option;
+      (* sparse mode: Z with ZᵀZ = (RᵀR)∘(RᵀR), see [z_factor] *)
   mutable op_norm : float option;
   mutable gram_norm : float option;
   lipschitz_tbl : (string, float) Hashtbl.t;
+  op_tbl : (string * int, Op.t) Hashtbl.t;
+      (* operator values keyed by (name, domain): compositions own
+         scratch buffers, so each domain gets private closures *)
   mutable totals : (Vec.t * float) list;  (* MRU *)
   mutable priors : prior_slot list;  (* MRU *)
   scratch_tbl : (string * int * int, Vec.t array) Hashtbl.t;
       (* keyed by (consumer, dim, domain): each domain owns its arena *)
   mutable warm : (string * Vec.t) list;  (* MRU *)
   counters : counters;
+  mutable solve_words : float;  (* cumulative allocation over solves *)
+  mutable peak_words : float;  (* largest single-solve allocation *)
+  mutable heap_words : float;  (* top-of-heap watermark after a solve *)
 }
 
-let create ?pool ?(sink = Obs.null) routing =
+let create ?pool ?(sink = Obs.null) ?(mode = Auto) routing =
   let n = Topology.num_nodes routing.Routing.topo in
+  let sparse =
+    match mode with
+    | Dense -> false
+    | Sparse -> true
+    | Auto -> Routing.num_pairs routing > sparse_gate
+  in
   {
     sink;
     routing;
+    sparse;
     ingress = Array.init n (fun i -> Routing.ingress_row routing i);
     egress = Array.init n (fun i -> Routing.egress_row routing i);
     lock = Mutex.create ();
@@ -92,9 +119,11 @@ let create ?pool ?(sink = Obs.null) routing =
     eigen = None;
     transpose = None;
     dense = None;
+    zfac = None;
     op_norm = None;
     gram_norm = None;
     lipschitz_tbl = Hashtbl.create 7;
+    op_tbl = Hashtbl.create 7;
     totals = [];
     priors = [];
     scratch_tbl = Hashtbl.create 7;
@@ -106,15 +135,21 @@ let create ?pool ?(sink = Obs.null) routing =
         c_eigen = c_zero ();
         c_transpose = c_zero ();
         c_dense = c_zero ();
+        c_op = c_zero ();
         c_lipschitz = c_zero ();
         c_prior = c_zero ();
         c_total = c_zero ();
         c_solve = c_zero ();
         c_warm = c_zero ();
       };
+    solve_words = 0.;
+    peak_words = 0.;
+    heap_words = 0.;
   }
 
 let routing t = t.routing
+let mode t = if t.sparse then Sparse else Dense
+let is_sparse t = t.sparse
 let sink t = t.sink
 let set_sink t s = t.sink <- s
 
@@ -177,7 +212,19 @@ let memo ~name c get set compute t =
           set t (Some v);
           v)
 
+(* Dense artifacts are refused outright in sparse mode: silently
+   materializing a 10⁴x10⁴ matrix would defeat the point of the mode,
+   and a loud error names the matrix-free replacement. *)
+let dense_only t ~name ~hint =
+  if t.sparse then
+    invalid_arg
+      (Printf.sprintf
+         "Workspace.%s: sparse mode (%d OD pairs > gate %d) never \
+          materializes this artifact; use %s"
+         name (num_pairs t) sparse_gate hint)
+
 let gram t =
+  dense_only t ~name:"gram" ~hint:"Workspace.normal_op";
   memo ~name:"gram" t.counters.c_gram
     (fun t -> t.gram)
     (fun t v -> t.gram <- v)
@@ -185,6 +232,7 @@ let gram t =
     t
 
 let gram_sq t =
+  dense_only t ~name:"gram_sq" ~hint:"Workspace.gram_sq_op";
   let g = gram t in
   memo ~name:"gram" t.counters.c_gram
     (fun t -> t.gram_sq)
@@ -197,6 +245,8 @@ let gram_sq t =
     t
 
 let gram_chol t =
+  dense_only t ~name:"gram_chol"
+    ~hint:"Tmest_opt.Cg over Workspace.normal_op";
   let g = gram t in
   memo ~name:"chol" t.counters.c_chol
     (fun t -> t.chol)
@@ -205,6 +255,7 @@ let gram_chol t =
     t
 
 let gram_eigen t =
+  dense_only t ~name:"gram_eigen" ~hint:"Op.norm2_est/Op.trace_est";
   let g = gram t in
   memo ~name:"eigen" t.counters.c_eigen
     (fun t -> t.eigen)
@@ -220,6 +271,7 @@ let transpose t =
     t
 
 let dense t =
+  dense_only t ~name:"dense" ~hint:"Workspace.op";
   memo ~name:"dense" t.counters.c_dense
     (fun t -> t.dense)
     (fun t v -> t.dense <- v)
@@ -237,12 +289,100 @@ let op_norm t =
     t
 
 let gram_norm t =
+  dense_only t ~name:"gram_norm" ~hint:"Workspace.op_norm";
   let g = gram t in
   memo ~name:"lipschitz" t.counters.c_lipschitz
     (fun t -> t.gram_norm)
     (fun t v -> t.gram_norm <- v)
     (fun () -> Fista.lipschitz_of_gram g)
     t
+
+(* ------------------------------------------------------------------ *)
+(* Matrix-free operator artifacts                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Operators are cached per (name, domain) because compositions own
+   scratch buffers (see the single-caller note in {!Tmest_linalg.Op});
+   handing every domain its private closures keeps concurrent solves
+   race-free, mirroring the scratch arenas below.  The builders must
+   not re-enter the workspace — expensive inputs (transpose, Z factor)
+   are forced through their own memos first. *)
+let op_cached t ~name ~build =
+  let key = (name, (Domain.self () :> int)) in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.op_tbl key with
+      | Some v ->
+          t.counters.c_op.h <- t.counters.c_op.h + 1;
+          sample t "op" t.counters.c_op;
+          v
+      | None ->
+          t.counters.c_op.m <- t.counters.c_op.m + 1;
+          sample t "op" t.counters.c_op;
+          let v = timed t.counters.c_op build in
+          Hashtbl.replace t.op_tbl key v;
+          v)
+
+(* R itself.  The closures read [t.pool] at application time so that
+   [set_pool] sweeps (bench drivers) apply to already-cached operators. *)
+let op t =
+  op_cached t ~name:"op" ~build:(fun () ->
+      let r = t.routing.Routing.matrix in
+      Op.make ~rows:(Csr.rows r) ~cols:(Csr.cols r)
+        ~apply_into:(fun x ~dst -> Csr.matvec_into ?pool:t.pool r x ~dst)
+        ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into r y ~dst))
+
+(* RᵀR as x ↦ Rᵀ(Rx): the matrix-free replacement for {!gram}. *)
+let normal_op t =
+  let r_op = op t in
+  op_cached t ~name:"normal" ~build:(fun () -> Op.normal r_op)
+
+(* The entry-wise squared Gram (RᵀR)∘(RᵀR) factored as ZᵀZ without ever
+   forming the p x p matrix: G∘G has entries (Σ_l R_li R_lj)² =
+   Σ_{l,l'} (R_li R_l'i)(R_lj R_l'j), so Z has one row per *used*
+   ordered link pair (l,l') — a pair is used when some OD path crosses
+   both links — with Z_((l,l'),i) = R_li · R_l'i.  nnz(Z) = Σ_i h_i²
+   (squared path length per OD pair), far below the L² worst case. *)
+let build_z rt =
+  let p = Csr.rows rt in
+  let pair_id = Hashtbl.create 1024 in
+  let next = ref 0 in
+  let triplets = ref [] in
+  for i = 0 to p - 1 do
+    let support = Csr.row_nonzeros rt i in
+    List.iter
+      (fun (l, vl) ->
+        List.iter
+          (fun (l', vl') ->
+            let row =
+              match Hashtbl.find_opt pair_id (l, l') with
+              | Some r -> r
+              | None ->
+                  let r = !next in
+                  incr next;
+                  Hashtbl.add pair_id (l, l') r;
+                  r
+            in
+            triplets := (row, i, vl *. vl') :: !triplets)
+          support)
+      support
+  done;
+  Csr.of_triplets ~rows:!next ~cols:p !triplets
+
+let z_factor t =
+  let rt = transpose t in
+  memo ~name:"op" t.counters.c_op
+    (fun t -> t.zfac)
+    (fun t v -> t.zfac <- v)
+    (fun () -> build_z rt)
+    t
+
+let gram_sq_op t =
+  let z = z_factor t in
+  op_cached t ~name:"gram_sq" ~build:(fun () ->
+      Op.normal
+        (Op.make ~rows:(Csr.rows z) ~cols:(Csr.cols z)
+           ~apply_into:(fun x ~dst -> Csr.matvec_into ?pool:t.pool z x ~dst)
+           ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into z y ~dst)))
 
 let cached_lipschitz t ~key ~compute =
   Mutex.protect t.lock (fun () ->
@@ -434,11 +574,15 @@ type stats = {
   eigen : counter;
   transpose : counter;
   dense : counter;
+  op : counter;
   lipschitz : counter;
   prior : counter;
   total : counter;
   solve : counter;
   warm : counter;
+  solve_words : float;
+  peak_solve_words : float;
+  heap_words : float;
 }
 
 let snap c = { hits = c.h; misses = c.m; seconds = c.s }
@@ -448,15 +592,19 @@ let stats t =
       let c = t.counters in
       {
         gram = snap c.c_gram;
-    chol = snap c.c_chol;
-    eigen = snap c.c_eigen;
-    transpose = snap c.c_transpose;
-    dense = snap c.c_dense;
-    lipschitz = snap c.c_lipschitz;
-    prior = snap c.c_prior;
-    total = snap c.c_total;
+        chol = snap c.c_chol;
+        eigen = snap c.c_eigen;
+        transpose = snap c.c_transpose;
+        dense = snap c.c_dense;
+        op = snap c.c_op;
+        lipschitz = snap c.c_lipschitz;
+        prior = snap c.c_prior;
+        total = snap c.c_total;
         solve = snap c.c_solve;
         warm = snap c.c_warm;
+        solve_words = t.solve_words;
+        peak_solve_words = t.peak_words;
+        heap_words = t.heap_words;
       })
 
 let reset_stats t =
@@ -472,17 +620,37 @@ let reset_stats t =
       z c.c_eigen;
       z c.c_transpose;
       z c.c_dense;
+      z c.c_op;
       z c.c_lipschitz;
       z c.c_prior;
       z c.c_total;
       z c.c_solve;
-      z c.c_warm)
+      z c.c_warm;
+      t.solve_words <- 0.;
+      t.peak_words <- 0.;
+      t.heap_words <- 0.)
 
-let record_solve t seconds =
+let record_solve t ~seconds ~words =
+  (* Two complementary figures: [words] is the solve's cumulative
+     allocation (minor + major churn, large for iterative methods), the
+     heap watermark is the dense-matrix witness — a p x p Gram must
+     *live* on the heap, so sparse-mode solves keep the watermark far
+     below p^2 words however much they churn. *)
+  let heap = float_of_int (Gc.quick_stat ()).Gc.top_heap_words in
   Mutex.protect t.lock (fun () ->
       t.counters.c_solve.m <- t.counters.c_solve.m + 1;
       t.counters.c_solve.s <- t.counters.c_solve.s +. seconds;
+      t.solve_words <- t.solve_words +. words;
+      if words > t.peak_words then t.peak_words <- words;
+      if heap > t.heap_words then t.heap_words <- heap;
       if t.sink.Obs.enabled then
+        (* Only the solve count is traced.  The heap watermark is
+           process-global and monotone, and the per-solve allocation
+           delta depends on process history (a first solve pays one-time
+           lazy-initialization allocations that a repeat does not), so
+           tracing either would make two identical runs record different
+           values and break the one-job trace-determinism invariant.
+           Both remain visible through [stats]. *)
         Obs.counter t.sink "ws.solves" (float_of_int t.counters.c_solve.m))
 
 let add_counter a b =
@@ -499,11 +667,15 @@ let add_stats a b =
     eigen = add_counter a.eigen b.eigen;
     transpose = add_counter a.transpose b.transpose;
     dense = add_counter a.dense b.dense;
+    op = add_counter a.op b.op;
     lipschitz = add_counter a.lipschitz b.lipschitz;
     prior = add_counter a.prior b.prior;
     total = add_counter a.total b.total;
     solve = add_counter a.solve b.solve;
     warm = add_counter a.warm b.warm;
+    solve_words = a.solve_words +. b.solve_words;
+    peak_solve_words = Float.max a.peak_solve_words b.peak_solve_words;
+    heap_words = Float.max a.heap_words b.heap_words;
   }
 
 let stats_rows s =
@@ -513,6 +685,7 @@ let stats_rows s =
     ("eigen", s.eigen.hits, s.eigen.misses, s.eigen.seconds);
     ("transpose", s.transpose.hits, s.transpose.misses, s.transpose.seconds);
     ("dense", s.dense.hits, s.dense.misses, s.dense.seconds);
+    ("op", s.op.hits, s.op.misses, s.op.seconds);
     ("lipschitz", s.lipschitz.hits, s.lipschitz.misses, s.lipschitz.seconds);
     ("prior", s.prior.hits, s.prior.misses, s.prior.seconds);
     ("total", s.total.hits, s.total.misses, s.total.seconds);
@@ -540,4 +713,6 @@ let pp_stats ppf s =
         pp_row first row;
         go (first && h + m = 0) rest
   in
-  go true (stats_rows s)
+  go true (stats_rows s);
+  if s.peak_solve_words > 0. then
+    Format.fprintf ppf "  peak %.2e words/solve" s.peak_solve_words

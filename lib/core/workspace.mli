@@ -39,17 +39,38 @@ type prior_kind =
   | Prior_wcb  (** worst-case-bound midpoints *)
   | Prior_uniform  (** total traffic spread evenly over all pairs *)
 
-(** [create ?pool ?sink routing] wraps a routing context.  No artifact
-    is computed until first use.  [pool], when given, is the domain pool
-    row-partitioned kernels and multi-chain samplers use for solves
-    against this workspace (absent: everything runs sequentially).
-    [sink] (default {!Tmest_obs.Obs.null}) receives trace events from
-    every cache, solver and estimator run against this workspace. *)
+(** Solver-core mode.  [Dense] materializes the historical dense
+    artifacts ({!gram}, {!dense}, Cholesky, eigen) — the small-[n] fast
+    path, bit-identical to every previous release.  [Sparse] never
+    builds a dense [n_od x n_od] matrix: solvers consume matrix-free
+    operators ({!op}, {!normal_op}, {!gram_sq_op}) instead, which is
+    what makes 100–500-PoP networks (10⁴–10⁵ OD pairs) feasible.
+    [Auto] (the default) picks [Sparse] above {!sparse_gate} OD pairs. *)
+type mode = Auto | Dense | Sparse
+
+(** OD-pair count above which [Auto] resolves to [Sparse] (2048; the
+    paper networks with 132 and 600 pairs stay dense). *)
+val sparse_gate : int
+
+(** [create ?pool ?sink ?mode routing] wraps a routing context.  No
+    artifact is computed until first use.  [pool], when given, is the
+    domain pool row-partitioned kernels and multi-chain samplers use for
+    solves against this workspace (absent: everything runs
+    sequentially).  [sink] (default {!Tmest_obs.Obs.null}) receives
+    trace events from every cache, solver and estimator run against this
+    workspace.  [mode] (default [Auto]) selects the solver core; see
+    {!mode}. *)
 val create :
-  ?pool:Tmest_parallel.Pool.t -> ?sink:Tmest_obs.Obs.sink ->
+  ?pool:Tmest_parallel.Pool.t -> ?sink:Tmest_obs.Obs.sink -> ?mode:mode ->
   Tmest_net.Routing.t -> t
 
 val routing : t -> Tmest_net.Routing.t
+
+(** [mode t] is the resolved mode, never [Auto]. *)
+val mode : t -> mode
+
+(** [is_sparse t] is [mode t = Sparse]. *)
+val is_sparse : t -> bool
 
 (** [sink t] is the trace sink attached to this workspace; the null
     sink unless a driver installed one ([--trace]). *)
@@ -88,28 +109,60 @@ val ingress_rows : t -> int array
 
 val egress_rows : t -> int array
 
-(** {1 Memoized linear-algebra artifacts} *)
+(** {1 Memoized linear-algebra artifacts}
 
-(** [gram t] is the dense [RᵀR], computed once. *)
+    The dense artifacts ({!gram}, {!gram_sq}, {!gram_chol},
+    {!gram_eigen}, {!dense}, {!gram_norm}) raise [Invalid_argument] in
+    sparse mode — the error names the matrix-free replacement.  The
+    CSR/operator artifacts work in both modes. *)
+
+(** [gram t] is the dense [RᵀR], computed once.  Dense mode only. *)
 val gram : t -> Tmest_linalg.Mat.t
 
 (** [gram_sq t] is the entry-wise square of {!gram} (second-moment
-    system of the Vardi/Cao methods). *)
+    system of the Vardi/Cao methods).  Dense mode only. *)
 val gram_sq : t -> Tmest_linalg.Mat.t
 
 (** [gram_chol t] is the ridge-regularized Cholesky factor of {!gram}
-    (default {!Tmest_linalg.Chol.factor_regularized} ridge). *)
+    (default {!Tmest_linalg.Chol.factor_regularized} ridge).  Dense
+    mode only. *)
 val gram_chol : t -> Tmest_linalg.Chol.t
 
 (** [gram_eigen t] is the symmetric eigendecomposition of {!gram}
-    (null-space bases, numerical ranks). *)
+    (null-space bases, numerical ranks).  Dense mode only. *)
 val gram_eigen : t -> Tmest_linalg.Eigen.t
 
 (** [transpose t] is [Rᵀ] in CSR form. *)
 val transpose : t -> Tmest_linalg.Csr.t
 
-(** [dense t] is [R] as a dense matrix (LP-based methods). *)
+(** [dense t] is [R] as a dense matrix (LP-based methods).  Dense mode
+    only. *)
 val dense : t -> Tmest_linalg.Mat.t
+
+(** {1 Matrix-free operator artifacts}
+
+    Available in both modes; in sparse mode they are the {e only} form
+    of the measurement system.  Operators are cached per calling domain
+    (compositions own scratch buffers, so every domain gets private
+    closures) and counted under the [op] stats class — in sparse mode
+    this class replaces the [gram]/[dense] classes, which would
+    otherwise silently read 0. *)
+
+(** [op t] is the routing matrix [R] as a matrix-free operator; forward
+    products use the pooled CSR kernel (reading the {e current}
+    {!pool} on every application). *)
+val op : t -> Tmest_linalg.Op.t
+
+(** [normal_op t] is the normal-equations operator [x ↦ Rᵀ(Rx)] — the
+    matrix-free replacement for {!gram}. *)
+val normal_op : t -> Tmest_linalg.Op.t
+
+(** [gram_sq_op t] applies the entry-wise squared Gram [(RᵀR)∘(RᵀR)]
+    without forming it: the factorization [ZᵀZ] has one [Z] row per
+    used link pair, [nnz(Z) = Σ_i h_i²] (squared OD path lengths).
+    Matrix-free replacement for {!gram_sq} (Vardi/Cao second-moment
+    systems). *)
+val gram_sq_op : t -> Tmest_linalg.Op.t
 
 (** [op_norm t] is [‖RᵀR‖₂] estimated by power iteration on the sparse
     operator [v ↦ Rᵀ(Rv)] — the Lipschitz building block of the
@@ -218,17 +271,30 @@ val store_warm_start : t -> key:string -> Tmest_linalg.Vec.t -> unit
 type counter = { hits : int; misses : int; seconds : float }
 
 type stats = {
-  gram : counter;  (** dense [RᵀR] (+ entry-wise square) *)
-  chol : counter;  (** regularized Cholesky factor *)
-  eigen : counter;  (** symmetric eigendecomposition *)
+  gram : counter;  (** dense [RᵀR] (+ entry-wise square); dense mode *)
+  chol : counter;  (** regularized Cholesky factor; dense mode *)
+  eigen : counter;  (** symmetric eigendecomposition; dense mode *)
   transpose : counter;  (** CSR transpose *)
-  dense : counter;  (** dense [R] *)
+  dense : counter;  (** dense [R]; dense mode *)
+  op : counter;  (** matrix-free operators + Z factor; the sparse-mode
+                     counterpart of [gram]/[dense] *)
   lipschitz : counter;  (** all spectral-norm estimates *)
   prior : counter;  (** materialized prior vectors *)
   total : counter;  (** total-traffic normalizations *)
   solve : counter;  (** full estimator runs via [Estimator.run_ws]
                         ([misses] = number of solves) *)
   warm : counter;  (** warm-start lookups ([hits] = starts served) *)
+  solve_words : float;
+      (** cumulative words (minor+major) allocated inside recorded
+          solves *)
+  peak_solve_words : float;
+      (** largest single-solve allocation (churn: iterative methods
+          re-allocate per iteration, so this can exceed live memory) *)
+  heap_words : float;
+      (** process top-of-heap watermark observed after a recorded solve
+          — the dense-matrix witness: a materialized [n_od x n_od] Gram
+          must live on the heap, so sparse-mode runs keep this far
+          below [n_od²] words no matter how much the solvers churn *)
 }
 
 (** [stats t] is a snapshot of the counters. *)
@@ -237,9 +303,16 @@ val stats : t -> stats
 (** [reset_stats t] zeroes all counters (cached artifacts are kept). *)
 val reset_stats : t -> unit
 
-(** [record_solve t seconds] accounts one full estimator run; called by
-    [Estimator.run_ws]. *)
-val record_solve : t -> float -> unit
+(** [record_solve t ~seconds ~words] accounts one full estimator run
+    ([words] = words allocated during the solve, measured by the caller
+    via [Gc.allocated_bytes] deltas); called by [Estimator.run_ws].
+    Also samples the GC's top-of-heap watermark into [heap_words].
+    Allocation figures are stats-only: the watermark is process-global
+    and monotone, and per-solve allocation deltas depend on process
+    history (first-run lazy initialization), so tracing either would
+    break one-job trace determinism.  Emits only the [ws.solves]
+    counter sample when the sink is enabled. *)
+val record_solve : t -> seconds:float -> words:float -> unit
 
 (** [add_stats a b] sums two snapshots field-wise (aggregating several
     workspaces in a report). *)

@@ -23,6 +23,8 @@ type t = {
   pool : Pool.t;
   fast : bool;
   sink : Obs.sink;
+  scale_pops : int list option;
+  scale_seed : int option;
 }
 
 let make_network ~pool ~sink label dataset =
@@ -57,7 +59,8 @@ let make_network ~pool ~sink label dataset =
     wcb_prior;
   }
 
-let create ?(fast = false) ?jobs ?(sink = Obs.null) () =
+let create ?(fast = false) ?jobs ?(sink = Obs.null) ?scale_pops ?scale_seed ()
+    =
   let pool =
     match jobs with Some j -> Pool.create ~jobs:j | None -> Pool.default ()
   in
@@ -85,12 +88,22 @@ let create ?(fast = false) ?jobs ?(sink = Obs.null) () =
       |]
   in
   match Pool.map pool (fun build -> build ()) builders with
-  | [| europe; america |] -> { europe; america; pool; fast; sink }
+  | [| europe; america |] ->
+      { europe; america; pool; fast; sink; scale_pops; scale_seed }
   | _ -> assert false
 
 let pool t = t.pool
 let sink t = t.sink
 let networks t = [ t.europe; t.america ]
+
+(* Scale-study networks are built on demand rather than held in the
+   context: they are large, and only the scaling experiments want them.
+   The workspace picks sparse mode by itself once the pair count clears
+   the gate. *)
+let synthetic ?seed t ~pops =
+  make_network ~pool:t.pool ~sink:t.sink
+    (Printf.sprintf "Synthetic-%d" pops)
+    (Dataset.synthetic ?seed ~pops ())
 
 let busy_loads net ~window =
   let d = net.dataset in

@@ -30,6 +30,11 @@ type t = {
   sink : Tmest_obs.Obs.sink;
       (** trace sink installed at {!create}; the null sink unless the
           driver passed [--trace] *)
+  scale_pops : int list option;
+      (** override of the scaling experiment's PoP-count sweep
+          (CLI [--pops]); [None] leaves each experiment's default *)
+  scale_seed : int option;
+      (** override of the synthetic-network seed (CLI [--seed]) *)
 }
 
 (** [create ?fast ?jobs ?sink ()] builds the paper-scale context
@@ -38,9 +43,17 @@ type t = {
     pool (default: the shared {!Tmest_parallel.Pool.default}); the two
     networks are generated and wrapped concurrently on it.  [sink],
     when given, is installed on the pool and both workspaces, so every
-    solver, cache and chunk in the whole run traces to it. *)
+    solver, cache and chunk in the whole run traces to it.
+    [scale_pops] / [scale_seed] override the scaling experiments'
+    synthetic-network sweep. *)
 val create :
-  ?fast:bool -> ?jobs:int -> ?sink:Tmest_obs.Obs.sink -> unit -> t
+  ?fast:bool ->
+  ?jobs:int ->
+  ?sink:Tmest_obs.Obs.sink ->
+  ?scale_pops:int list ->
+  ?scale_seed:int ->
+  unit ->
+  t
 
 (** [pool t] is the context's domain pool. *)
 val pool : t -> Tmest_parallel.Pool.t
@@ -51,6 +64,15 @@ val sink : t -> Tmest_obs.Obs.sink
 (** [networks t] is [[europe; america]] (evaluation order used in all
     two-network tables). *)
 val networks : t -> network list
+
+(** [synthetic t ~pops] builds a [pops]-PoP scale-study network
+    ({!Tmest_traffic.Dataset.synthetic}) on the context's pool and sink.
+    Not cached and not part of {!networks}: the paper experiments stay
+    two-network, scale studies request the sizes they need.  Above the
+    workspace sparse gate the returned network's workspace runs
+    matrix-free (and its [wcb] memo raises if forced — the LP bounds are
+    a dense-only method). *)
+val synthetic : ?seed:int -> t -> pops:int -> network
 
 (** [busy_loads net ~window] is the [window x L] matrix of the last
     [window] busy-period link-load samples. *)

@@ -149,6 +149,11 @@ let all =
       title = "Fault-injection sensitivity sweep (extension)";
       run = Sensitivity_exp.sens;
     };
+    {
+      id = "scale";
+      title = "Scaling law: sparse vs dense solver core (extension)";
+      run = Scale_exp.scale;
+    };
   ]
 
 let find id = List.find (fun e -> e.id = id) all

@@ -1,0 +1,4 @@
+(** Scaling-law study: method cost and accuracy on synthetic
+    hierarchical backbones across the workspace sparse gate. *)
+
+val scale : Ctx.t -> Report.t

@@ -1,0 +1,227 @@
+(* Matrix-free linear operators.
+
+   An operator is just a pair of destination-passing closures for [A x]
+   and [Aᵀ y] plus its shape.  The solver stack works against this
+   interface so that large instances (10⁴–10⁵ OD pairs) never have to
+   materialize a dense routing matrix or Gram matrix: CSR-backed
+   operators apply in O(nnz), and compositions (normal equations,
+   diagonal shifts, low-rank corrections) stay matrix-free.
+
+   Operators are single-caller: compositions such as {!normal} keep one
+   internal scratch buffer, so a given operator value must not be
+   applied concurrently from several domains.  (Parallelism lives
+   *inside* an application — pooled CSR matvecs — not across them.) *)
+
+type t = {
+  rows : int;
+  cols : int;
+  apply_into : Vec.t -> dst:Vec.t -> unit;
+  apply_t_into : Vec.t -> dst:Vec.t -> unit;
+}
+
+let make ~rows ~cols ~apply_into ~apply_t_into =
+  if rows < 0 || cols < 0 then invalid_arg "Op.make: negative dimension";
+  { rows; cols; apply_into; apply_t_into }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check_apply t x ~dst =
+  if Vec.dim x <> t.cols then invalid_arg "Op.apply: dimension mismatch";
+  if Vec.dim dst <> t.rows then invalid_arg "Op.apply: dst dimension mismatch"
+
+let check_apply_t t y ~dst =
+  if Vec.dim y <> t.rows then invalid_arg "Op.apply_t: dimension mismatch";
+  if Vec.dim dst <> t.cols then
+    invalid_arg "Op.apply_t: dst dimension mismatch"
+
+let apply_into t x ~dst =
+  check_apply t x ~dst;
+  t.apply_into x ~dst
+
+let apply_t_into t y ~dst =
+  check_apply_t t y ~dst;
+  t.apply_t_into y ~dst
+
+let apply t x =
+  let dst = Vec.zeros t.rows in
+  apply_into t x ~dst;
+  dst
+
+let apply_t t y =
+  let dst = Vec.zeros t.cols in
+  apply_t_into t y ~dst;
+  dst
+
+let of_csr ?pool m =
+  {
+    rows = Csr.rows m;
+    cols = Csr.cols m;
+    apply_into = (fun x ~dst -> Csr.matvec_into ?pool m x ~dst);
+    apply_t_into = (fun y ~dst -> Csr.tmatvec_into m y ~dst);
+  }
+
+let of_mat ?pool m =
+  {
+    rows = Mat.rows m;
+    cols = Mat.cols m;
+    apply_into = (fun x ~dst -> Mat.matvec_into ?pool m x ~dst);
+    apply_t_into = (fun y ~dst -> Mat.tmatvec_into m y ~dst);
+  }
+
+(* AᵀA as a single square operator.  The intermediate rows-length
+   product lives in one scratch buffer owned by the closure (see the
+   single-caller note above). *)
+let normal a =
+  let scratch = Vec.zeros a.rows in
+  let apply x ~dst =
+    a.apply_into x ~dst:scratch;
+    a.apply_t_into scratch ~dst
+  in
+  { rows = a.cols; cols = a.cols; apply_into = apply; apply_t_into = apply }
+
+let diag d =
+  let n = Vec.dim d in
+  let apply x ~dst = Vec.mul_into d x ~dst in
+  { rows = n; cols = n; apply_into = apply; apply_t_into = apply }
+
+let identity n =
+  let apply x ~dst = Vec.blit_into x ~dst in
+  { rows = n; cols = n; apply_into = apply; apply_t_into = apply }
+
+let scale c a =
+  {
+    a with
+    apply_into =
+      (fun x ~dst ->
+        a.apply_into x ~dst;
+        Vec.scale_into c dst ~dst);
+    apply_t_into =
+      (fun y ~dst ->
+        a.apply_t_into y ~dst;
+        Vec.scale_into c dst ~dst);
+  }
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Op.add: shape mismatch";
+  let scratch_r = Vec.zeros a.rows in
+  let scratch_c = Vec.zeros a.cols in
+  {
+    rows = a.rows;
+    cols = a.cols;
+    apply_into =
+      (fun x ~dst ->
+        b.apply_into x ~dst:scratch_r;
+        a.apply_into x ~dst;
+        Vec.add_into dst scratch_r ~dst);
+    apply_t_into =
+      (fun y ~dst ->
+        b.apply_t_into y ~dst:scratch_c;
+        a.apply_t_into y ~dst;
+        Vec.add_into dst scratch_c ~dst);
+  }
+
+let add_diag a d =
+  if a.rows <> a.cols then invalid_arg "Op.add_diag: operator not square";
+  if Vec.dim d <> a.cols then invalid_arg "Op.add_diag: diagonal mismatch";
+  let wrap f x ~dst =
+    f x ~dst;
+    for i = 0 to a.cols - 1 do
+      dst.(i) <- dst.(i) +. (d.(i) *. x.(i))
+    done
+  in
+  {
+    a with
+    apply_into = wrap a.apply_into;
+    apply_t_into = wrap a.apply_t_into;
+  }
+
+let shift a c =
+  if a.rows <> a.cols then invalid_arg "Op.shift: operator not square";
+  let wrap f x ~dst =
+    f x ~dst;
+    Vec.axpy_into c x dst ~dst
+  in
+  {
+    a with
+    apply_into = wrap a.apply_into;
+    apply_t_into = wrap a.apply_t_into;
+  }
+
+(* Rank-one correction x ↦ u (v·x); the transpose swaps the factors. *)
+let outer u v =
+  {
+    rows = Vec.dim u;
+    cols = Vec.dim v;
+    apply_into =
+      (fun x ~dst ->
+        let a = Vec.dot v x in
+        Vec.scale_into a u ~dst);
+    apply_t_into =
+      (fun y ~dst ->
+        let a = Vec.dot u y in
+        Vec.scale_into a v ~dst);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Spectral estimates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Power iteration for the largest eigenvalue of a symmetric PSD
+   operator.  Start vector, iteration count and the 1% safety margin
+   deliberately mirror [Fista.lipschitz_of_op] so that a dense Gram and
+   its matrix-free twin produce the same estimate. *)
+let norm2_est ?(iters = 60) a =
+  if a.rows <> a.cols then invalid_arg "Op.norm2_est: operator not square";
+  let dim = a.rows in
+  if dim = 0 then 0.
+  else begin
+    let v =
+      ref (Vec.init dim (fun i -> 1. +. (0.01 *. float_of_int (i mod 7))))
+    in
+    let lambda = ref 0. in
+    let n0 = Vec.norm2 !v in
+    v := Vec.scale (1. /. n0) !v;
+    let w = Vec.zeros dim in
+    for _ = 1 to iters do
+      a.apply_into !v ~dst:w;
+      let n = Vec.norm2 w in
+      if n > 0. then begin
+        lambda := n;
+        Vec.scale_into (1. /. n) w ~dst:!v
+      end
+    done;
+    !lambda *. 1.01
+  end
+
+(* Deterministic Rademacher stream for the trace estimator: splitmix64,
+   inlined because tmest_linalg sits below tmest_stats in the library
+   graph. *)
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let trace_est ?(samples = 16) ?(seed = 0x51ca) a =
+  if a.rows <> a.cols then invalid_arg "Op.trace_est: operator not square";
+  let dim = a.rows in
+  if dim = 0 then 0.
+  else begin
+    let state = ref (Int64.of_int seed) in
+    let z = Vec.zeros dim in
+    let az = Vec.zeros dim in
+    let acc = ref 0. in
+    for _ = 1 to samples do
+      for i = 0 to dim - 1 do
+        z.(i) <- (if Int64.compare (splitmix64 state) 0L >= 0 then 1. else -1.)
+      done;
+      a.apply_into z ~dst:az;
+      acc := !acc +. Vec.dot z az
+    done;
+    !acc /. float_of_int samples
+  end

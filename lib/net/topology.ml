@@ -207,6 +207,113 @@ let generate ~name ~seed ~nodes:n ~directed_links cities =
   done;
   build ~name node_arr (List.rev !edges)
 
+(* ------------------------------------------------------------------ *)
+(* Synthetic hierarchical backbones (scale studies)                    *)
+(* ------------------------------------------------------------------ *)
+
+let hub_count n =
+  Stdlib.max 2 (int_of_float (Float.round (sqrt (float_of_int n))))
+
+(* Synthetic PoP tables for sizes beyond the paper's city lists: ≈√n
+   regional hubs on a jittered continental grid, the remaining PoPs
+   scattered around their cluster hub.  Hubs occupy indices 0..h-1.
+   Deterministic in [seed]; all RNG draws happen in index order. *)
+let synthetic_cities ~n ~seed =
+  if n < 3 then invalid_arg "Topology.synthetic_cities: need at least 3 PoPs";
+  let rng = Rng.create seed in
+  let h = hub_count n in
+  let grid = int_of_float (ceil (sqrt (float_of_int h))) in
+  let hub_pos = Array.make h (0., 0.) in
+  for i = 0 to h - 1 do
+    let gx = i mod grid and gy = i / grid in
+    let lon =
+      -120.
+      +. (70. *. (float_of_int gx +. 0.5) /. float_of_int grid)
+      +. Rng.uniform rng ~lo:(-2.) ~hi:2.
+    in
+    let lat =
+      28.
+      +. (20. *. (float_of_int gy +. 0.5) /. float_of_int grid)
+      +. Rng.uniform rng ~lo:(-1.5) ~hi:1.5
+    in
+    hub_pos.(i) <- (lat, lon)
+  done;
+  let cities = Array.make n ("", 0., 0.) in
+  for i = 0 to n - 1 do
+    if i < h then begin
+      let lat, lon = hub_pos.(i) in
+      cities.(i) <- (Printf.sprintf "hub%02d" i, lat, lon)
+    end
+    else begin
+      let hub = (i - h) mod h in
+      let hlat, hlon = hub_pos.(hub) in
+      let lat = hlat +. Rng.uniform rng ~lo:(-2.5) ~hi:2.5 in
+      let lon = hlon +. Rng.uniform rng ~lo:(-3.) ~hi:3. in
+      cities.(i) <- (Printf.sprintf "pop%03d" i, lat, lon)
+    end
+  done;
+  cities
+
+(* A 100–500-PoP backbone with realistic hierarchy: a fat hub ring (plus
+   chord shortcuts) forms the core, every leaf PoP is dual-homed to its
+   two nearest hubs.  Dual homing plus the ring guarantees strong
+   connectivity; metrics follow great-circle distance like [generate].
+   Link count comes out at ≈ 2n + 3h core directed links + 2n access
+   links rather than being a caller budget — at these sizes realism
+   beats exact budgets. *)
+let generate_hierarchical ~name ~seed ~pops () =
+  let n = pops in
+  let cities = synthetic_cities ~n ~seed in
+  let h = hub_count n in
+  let node_arr =
+    Array.init n (fun i ->
+        let name, lat, lon = cities.(i) in
+        { node_id = i; name; kind = Access; lat; lon })
+  in
+  let dist a b =
+    haversine_km
+      (node_arr.(a).lat, node_arr.(a).lon)
+      (node_arr.(b).lat, node_arr.(b).lon)
+  in
+  let edge_set = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add_edge a b capacity =
+    let key = (Stdlib.min a b, Stdlib.max a b) in
+    if a <> b && not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      let metric = Stdlib.max 1. (Float.round (dist a b /. 50.)) in
+      edges := (a, b, capacity, metric) :: !edges
+    end
+  in
+  (* Hub ring in geographic angle order around the hub centroid. *)
+  let clat = ref 0. and clon = ref 0. in
+  for i = 0 to h - 1 do
+    clat := !clat +. node_arr.(i).lat;
+    clon := !clon +. node_arr.(i).lon
+  done;
+  let clat = !clat /. float_of_int h and clon = !clon /. float_of_int h in
+  let order = Array.init h (fun i -> i) in
+  let angle i = atan2 (node_arr.(i).lat -. clat) (node_arr.(i).lon -. clon) in
+  Array.sort (fun a b -> compare (angle a) (angle b)) order;
+  let hub_cap = capacity_tiers.(2) in
+  for i = 0 to h - 1 do
+    add_edge order.(i) order.((i + 1) mod h) hub_cap
+  done;
+  (* Chord shortcuts keep hub-to-hub paths short on larger rings. *)
+  if h >= 5 then
+    for i = 0 to h - 1 do
+      add_edge order.(i) order.((i + 2) mod h) hub_cap
+    done;
+  (* Leaves: dual-homed to the two nearest hubs. *)
+  let leaf_cap = capacity_tiers.(1) in
+  for leaf = h to n - 1 do
+    let hubs = Array.init h (fun i -> i) in
+    Array.sort (fun a b -> compare (dist leaf a) (dist leaf b)) hubs;
+    add_edge leaf hubs.(0) leaf_cap;
+    add_edge leaf hubs.(1) leaf_cap
+  done;
+  build ~name node_arr (List.rev !edges)
+
 let is_connected t =
   let n = num_nodes t in
   if n = 0 then true

@@ -83,6 +83,23 @@ val generate :
   (string * float * float) array ->
   t
 
+(** [synthetic_cities ~n ~seed] places [n] synthetic PoPs for scale
+    studies beyond the paper's city tables: ≈[sqrt n] regional hubs on a
+    jittered continental grid (named [hubNN], indices [0..h-1]) and the
+    remaining PoPs scattered around their cluster hub (named [popNNN]).
+    Deterministic in [seed].
+    @raise Invalid_argument when [n < 3]. *)
+val synthetic_cities : n:int -> seed:int -> (string * float * float) array
+
+(** [generate_hierarchical ~name ~seed ~pops ()] synthesizes a
+    [pops]-PoP hierarchical backbone: a 40 Gb/s hub ring (with chord
+    shortcuts once the ring has ≥ 5 hubs) over [synthetic_cities] hubs,
+    every leaf PoP dual-homed to its two nearest hubs at 10 Gb/s.
+    Metrics follow great-circle distance as in [generate]; the result is
+    strongly connected by construction.  Intended for the 100–500-PoP
+    sparse-mode scaling studies. *)
+val generate_hierarchical : name:string -> seed:int -> pops:int -> unit -> t
+
 (** [is_connected t] checks strong connectivity over interior links. *)
 val is_connected : t -> bool
 

@@ -50,6 +50,40 @@ let generate spec =
   let routing = Routing.cspf_mesh topo ~bandwidths in
   { spec; topo; routing; truth }
 
+(* A [pops]-PoP hierarchical backbone with gravity-consistent demands
+   for the sparse-mode scaling studies.  The topology comes first so the
+   spec records the actual link count; routing is plain IGP shortest
+   path — a CSPF mesh over hundreds of thousands of pairs would dominate
+   the whole study without changing what the solvers see. *)
+let synthetic ?(seed = 20260808) ~pops () =
+  let name = Printf.sprintf "synthetic%d" pops in
+  let topo = Topology.generate_hierarchical ~name ~seed ~pops () in
+  let spec =
+    clamp_busy
+      {
+        Spec.name;
+        seed;
+        nodes = pops;
+        directed_links = Topology.num_links topo;
+        cities = [||];
+        diurnal = Diurnal.america;
+        zipf_alpha = 1.5;
+        locality = 0.1;
+        dominant_per_node = 2;
+        phi = 0.004;
+        c = 1.5;
+        fanout_drift = 0.05;
+        small_fanout_noise = 0.4;
+        peak_total_bps = float_of_int pops *. 4e9;
+        samples = 64;
+        busy_start = 40;
+        busy_len = 16;
+      }
+  in
+  let truth = Demand_gen.generate spec topo in
+  let routing = Routing.shortest_path topo in
+  { spec; topo; routing; truth }
+
 let europe ?seed () =
   let spec = Spec.europe in
   let spec = match seed with None -> spec | Some s -> { spec with Spec.seed = s } in

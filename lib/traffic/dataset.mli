@@ -24,6 +24,14 @@ val europe : ?seed:int -> unit -> t
 
 val america : ?seed:int -> unit -> t
 
+(** [synthetic ~pops ()] is a [pops]-PoP hierarchical backbone
+    ({!Tmest_net.Topology.generate_hierarchical}) with gravity-consistent
+    demands over a short measurement day (64 samples), routed on plain
+    IGP shortest paths.  Sized for the sparse-mode scaling studies
+    (100–500 PoPs); above the workspace sparse gate the solvers run
+    matrix-free on it.  [?seed] defaults to a fixed study seed. *)
+val synthetic : ?seed:int -> pops:int -> unit -> t
+
 val num_nodes : t -> int
 val num_pairs : t -> int
 val num_links : t -> int

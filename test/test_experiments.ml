@@ -67,7 +67,7 @@ let test_registry_complete () =
   let expected =
     [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
       "fig9"; "fig10"; "fig11"; "tab1"; "fig12"; "fig13"; "fig14"; "fig15";
-      "fig16"; "tab2"; "ext1"; "ext2"; "ext3"; "ext4"; "ext5"; "ext6"; "ext7"; "ext8"; "ext9"; "ext10"; "ext11"; "ext12"; "sens" ]
+      "fig16"; "tab2"; "ext1"; "ext2"; "ext3"; "ext4"; "ext5"; "ext6"; "ext7"; "ext8"; "ext9"; "ext10"; "ext11"; "ext12"; "sens"; "scale" ]
   in
   Alcotest.(check (list string)) "ids" expected (Registry.ids ())
 

@@ -58,6 +58,49 @@ let check_against ~jobs () =
       Alcotest.(check (float 1e-9)) name expected got)
     goldens (mres ~jobs)
 
+(* Sparse-vs-dense identity: Europe sits far below the sparse gate, so
+   forcing sparse mode runs every matrix-free branch (operator normal
+   equations, Z-factor gram-square, power-iteration Lipschitz) on a
+   problem where the dense fast path provides the reference.  Every
+   dual-path method must land on the same MRE to 1e-9; the LP-based
+   bounds are a documented dense-only exclusion and must refuse. *)
+let sparse_vs_dense ~jobs () =
+  let d = Dataset.europe () in
+  let pool = Pool.create ~jobs in
+  let spec = d.Dataset.spec in
+  let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+  let truth = Dataset.demand_at d k in
+  let busy_truth = Dataset.busy_mean_demand d in
+  let loads = Dataset.link_loads_at d k in
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let window = 10 in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  let samples =
+    Mat.init window (Dataset.num_links d) (fun i j ->
+        (Dataset.link_loads_at d ks.(i)).(j))
+  in
+  let dense = Core.Workspace.create ~pool d.Dataset.routing in
+  let sparse =
+    Core.Workspace.create ~pool ~mode:Core.Workspace.Sparse d.Dataset.routing
+  in
+  Alcotest.(check bool) "mode forced" true (Core.Workspace.is_sparse sparse);
+  List.iter
+    (fun name ->
+      let m = Core.Estimator.of_name name in
+      let reference =
+        if Core.Estimator.uses_time_series m then busy_truth else truth
+      in
+      let mre ws =
+        let estimate = Core.Estimator.solve m ws ~loads ~load_samples:samples in
+        Core.Metrics.mre ~truth:reference ~estimate ()
+      in
+      if name = "wcb" then
+        match mre sparse with
+        | _ -> Alcotest.failf "wcb must refuse on a sparse-mode workspace"
+        | exception Invalid_argument _ -> ()
+      else Alcotest.(check (float 1e-9)) name (mre dense) (mre sparse))
+    (Core.Estimator.all_names ())
+
 let () =
   if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
     List.iter
@@ -71,5 +114,10 @@ let () =
         [
           Alcotest.test_case "jobs=1" `Quick (check_against ~jobs:1);
           Alcotest.test_case "jobs=2" `Quick (check_against ~jobs:2);
+        ] );
+      ( "sparse-vs-dense",
+        [
+          Alcotest.test_case "jobs=1" `Quick (sparse_vs_dense ~jobs:1);
+          Alcotest.test_case "jobs=2" `Quick (sparse_vs_dense ~jobs:2);
         ] );
     ]

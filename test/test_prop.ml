@@ -107,6 +107,113 @@ let test_pooled_matvec () =
       Csr.tmatvec_into m y ~dst;
       Prop.vec_bits_equal dst (Csr.tmatvec m y))
 
+(* ------------------------------------------ matrix-free operators --- *)
+
+module Op = Tmest_linalg.Op
+
+let test_op_adjoint () =
+  (* <A x, y> = <x, A^T y>: the defining identity of the adjoint, over
+     random CSR operators and their compositions. *)
+  Prop.run ~seed:501 ~count:60 ~name:"of_csr adjoint consistency" sparse_gen
+    (fun (m, x) ->
+      let op = Op.of_csr m in
+      let y =
+        Prop.vec ~lo:(-3.) ~hi:3. (Csr.rows m) (Tmest_stats.Rng.create 9)
+      in
+      Prop.close ~tol:1e-12 (Vec.dot (Op.apply op x) y)
+        (Vec.dot x (Op.apply_t op y)));
+  Prop.run ~seed:502 ~count:60 ~name:"of_csr matches dense" sparse_gen
+    (fun (m, x) ->
+      let op = Op.of_csr m in
+      let dense = Csr.to_dense m in
+      let y =
+        Prop.vec ~lo:(-3.) ~hi:3. (Csr.rows m) (Tmest_stats.Rng.create 11)
+      in
+      Prop.vec_close ~tol:1e-12 (Op.apply op x) (Mat.matvec dense x)
+      && Prop.vec_close ~tol:1e-12 (Op.apply_t op y)
+           (Mat.matvec (Mat.transpose dense) y))
+
+let test_op_normal () =
+  Prop.run ~seed:503 ~count:60 ~name:"normal op = explicit Gram" sparse_gen
+    (fun (m, x) ->
+      let n = Op.normal (Op.of_csr m) in
+      let g = Csr.gram m in
+      Prop.vec_close ~tol:1e-9 (Op.apply n x) (Mat.matvec g x)
+      (* symmetric: apply_t is apply *)
+      && Prop.vec_close ~tol:1e-12 (Op.apply n x) (Op.apply_t n x));
+  Prop.run ~seed:504 ~count:40 ~name:"norm2_est = dense power iteration"
+    sparse_gen
+    (fun (m, _x) ->
+      let est = Op.norm2_est (Op.normal (Op.of_csr m)) in
+      let dense = Tmest_opt.Fista.lipschitz_of_gram (Csr.gram m) in
+      (* Same start vector, iteration count and margin — only the
+         floating-point association differs between the two paths. *)
+      Prop.close ~tol:1e-6 est dense)
+
+let test_op_compositions () =
+  let square_gen rng =
+    let n = Prop.int_in ~lo:1 ~hi:24 rng in
+    ( Mat.init n n (fun _ _ -> Prop.float_in ~lo:(-2.) ~hi:2. rng),
+      Prop.vec ~lo:(-3.) ~hi:3. n rng,
+      Prop.vec ~lo:(-3.) ~hi:3. n rng,
+      Prop.float_in ~lo:(-2.) ~hi:2. rng )
+  in
+  Prop.run ~seed:505 ~count:60 ~name:"diag/shift/add/outer vs dense"
+    square_gen
+    (fun (a, d, x, c) ->
+      let n = Array.length d in
+      let op = Op.of_mat a in
+      Prop.vec_close ~tol:1e-12 (Op.apply (Op.diag d) x) (Vec.mul d x)
+      && Prop.vec_close ~tol:1e-12
+           (Op.apply (Op.shift op c) x)
+           (Vec.axpy c x (Mat.matvec a x))
+      && Prop.vec_close ~tol:1e-12
+           (Op.apply (Op.add_diag op d) x)
+           (Vec.add (Mat.matvec a x) (Vec.mul d x))
+      && Prop.vec_close ~tol:1e-12
+           (Op.apply (Op.add op (Op.scale c (Op.identity n))) x)
+           (Vec.axpy c x (Mat.matvec a x))
+      && Prop.vec_close ~tol:1e-12
+           (Op.apply (Op.outer d x) x)
+           (Vec.scale (Vec.dot x x) d));
+  (* Hutchinson on a diagonal operator is exact for every sample count:
+     z^T D z = sum_i d_i z_i^2 = trace D for Rademacher z. *)
+  Prop.run ~seed:506 ~count:60 ~name:"trace_est exact on diagonals"
+    (fun rng ->
+      ( Prop.vec ~lo:(-4.) ~hi:4. (Prop.int_in ~lo:1 ~hi:50 rng) rng,
+        Prop.int_in ~lo:1 ~hi:8 rng ))
+    (fun (d, samples) ->
+      Prop.close ~tol:1e-9 (Op.trace_est ~samples (Op.diag d)) (Vec.sum d))
+
+let test_workspace_sparse_ops () =
+  (* The workspace's cached operators against the dense artifacts a
+     twin dense-mode workspace materializes for the same routing. *)
+  let d =
+    Dataset.generate
+      { (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
+        Spec.seed = 13 }
+  in
+  let module W = Tmest_core.Workspace in
+  let routing = d.Dataset.routing in
+  let dense_ws = W.create routing in
+  let sparse_ws = W.create ~mode:W.Sparse routing in
+  let pairs = Dataset.num_pairs d in
+  Prop.run ~seed:507 ~count:40 ~name:"workspace normal_op = dense gram"
+    (Prop.vec ~lo:(-2.) ~hi:2. pairs)
+    (fun x ->
+      Prop.vec_close ~tol:1e-9
+        (Op.apply (W.normal_op sparse_ws) x)
+        (Mat.matvec (W.gram dense_ws) x));
+  Prop.run ~seed:508 ~count:40 ~name:"workspace gram_sq_op = dense gram^2"
+    (Prop.vec ~lo:(-2.) ~hi:2. pairs)
+    (fun x ->
+      Prop.vec_close ~tol:1e-9
+        (Op.apply (W.gram_sq_op sparse_ws) x)
+        (Mat.matvec (W.gram_sq dense_ws) x));
+  Alcotest.(check bool)
+    "op_norm agrees across modes" true
+    (Prop.close ~tol:1e-9 (W.op_norm sparse_ws) (W.op_norm dense_ws))
+
 (* --------------------------------------------- projections ---------- *)
 
 let test_simplex () =
@@ -191,6 +298,14 @@ let () =
         [
           Alcotest.test_case "into vs allocating" `Quick test_into_kernels;
           Alcotest.test_case "pooled matvec bits" `Quick test_pooled_matvec;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "adjoint" `Quick test_op_adjoint;
+          Alcotest.test_case "normal equations" `Quick test_op_normal;
+          Alcotest.test_case "compositions" `Quick test_op_compositions;
+          Alcotest.test_case "workspace sparse ops" `Quick
+            test_workspace_sparse_ops;
         ] );
       ( "projections",
         [ Alcotest.test_case "simplex" `Quick test_simplex ] );
