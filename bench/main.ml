@@ -352,6 +352,14 @@ let parallel_json ~fast () =
   let module Mat = Tmest_linalg.Mat in
   let module Vec = Tmest_linalg.Vec in
   let cores = Pool.default_jobs () in
+  (* On a single-core box every jobs > 1 row measures scheduler churn,
+     not parallel speedup; stamp the fact into the JSON so downstream
+     consumers discard the speedup columns instead of reading noise. *)
+  let oversubscribed = cores = 1 in
+  if oversubscribed then
+    Printf.eprintf
+      "warning: only 1 core available — jobs > 1 rows are oversubscribed \
+       and their speedups are not meaningful\n%!";
   let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
   let window = if fast then 5 else 20 in
   let steps = if fast then 4 else 8 in
@@ -398,6 +406,8 @@ let parallel_json ~fast () =
   Buffer.add_string buf (provenance ~jobs:(List.fold_left Stdlib.max 1 jobs_list));
   Buffer.add_string buf
     (Printf.sprintf "  \"cores_recommended\": %d,\n" cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"oversubscribed\": %b,\n" oversubscribed);
   Buffer.add_string buf
     (Printf.sprintf "  \"mode\": %S,\n" (if fast then "fast" else "full"));
   Buffer.add_string buf
@@ -464,11 +474,19 @@ let scale_json ~fast () =
   let module Dataset = Tmest_traffic.Dataset in
   let module Spec = Tmest_traffic.Spec in
   let module Mat = Tmest_linalg.Mat in
-  let sizes = if fast then [ 12; 25; 60 ] else [ 25; 100; 250 ] in
+  let sizes = if fast then [ 12; 25; 60 ] else [ 25; 100; 250; 500 ] in
   let methods = Core.Estimator.all_names () in
   let window = 8 in
   let pool = Pool.default () in
   let failures = ref [] in
+  (* Iteration-count regression guard: entropy and bayes at 100 PoPs
+     (the tentpole size) must stay below pinned ceilings, so a solver
+     change that quietly blows up the iteration count fails CI rather
+     than just slowing the sweep.  Ceilings are the measured counts
+     (entropy 3016, bayes at its 4000-iteration budget) plus margin. *)
+  let guard_pops = 100 in
+  let guard_ceilings = [ ("entropy", 3400); ("bayes", 4000) ] in
+  let guard_results = ref [] in
   let rows =
     List.concat_map
       (fun pops ->
@@ -512,16 +530,22 @@ let scale_json ~fast () =
                 in
                 let seconds = Unix.gettimeofday () -. t0 in
                 let st = W.stats ws in
+                let iters = W.last_iterations ws ~name in
                 let reference =
                   if Core.Estimator.uses_time_series m then busy_mean
                   else truth
                 in
                 let mre = Core.Metrics.mre ~truth:reference ~estimate () in
                 Printf.printf
-                  "%4d %-8s %8.2fs  mre %6.4f  churn %.2e w  heap %.2e w\n%!"
-                  pops name seconds mre st.W.peak_solve_words st.W.heap_words;
+                  "%4d %-8s %8.2fs  mre %6.4f  iters %5s  churn %.2e w  \
+                   heap %.2e w\n%!"
+                  pops name seconds mre
+                  (match iters with Some n -> string_of_int n | None -> "-")
+                  st.W.peak_solve_words st.W.heap_words;
                 (pops, pairs, links, sparse, name,
-                 `Ok (seconds, mre, st.W.peak_solve_words, st.W.heap_words))
+                 `Ok
+                   (seconds, mre, st.W.peak_solve_words, st.W.heap_words,
+                    iters))
               end)
             methods
         in
@@ -531,7 +555,7 @@ let scale_json ~fast () =
           List.iter
             (fun (_, _, _, _, name, r) ->
               match r with
-              | `Ok (_, _, _, heap) when heap >= budget ->
+              | `Ok (_, _, _, heap, _) when heap >= budget ->
                   failures :=
                     Printf.sprintf
                       "%d pops/%s: heap watermark %.2e words >= pairs^2/2 \
@@ -544,6 +568,43 @@ let scale_json ~fast () =
         out)
       sizes
   in
+  (* The iteration guard runs its own solves (the fast sizes do not
+     include 100 PoPs) so CI and the full sweep apply the identical
+     check. *)
+  (let t0 = Unix.gettimeofday () in
+   let d = Dataset.synthetic ~pops:guard_pops () in
+   let ws = W.create ~pool d.Dataset.routing in
+   let spec = d.Dataset.spec in
+   let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+   let loads = Dataset.link_loads_at d k in
+   let links = Dataset.num_links d in
+   let ks = Array.of_list (Dataset.busy_samples d) in
+   let ks = Array.sub ks (Array.length ks - window) window in
+   let load_samples =
+     Mat.init window links (fun i j -> (Dataset.link_loads_at d ks.(i)).(j))
+   in
+   List.iter
+     (fun (name, ceiling) ->
+       let m = Core.Estimator.of_name name in
+       ignore (Core.Estimator.solve m ws ~loads ~load_samples);
+       let iters =
+         match W.last_iterations ws ~name with Some n -> n | None -> 0
+       in
+       guard_results := (name, iters, ceiling) :: !guard_results;
+       if iters > ceiling then
+         failures :=
+           Printf.sprintf
+             "%d pops/%s: %d iterations exceed the pinned ceiling %d"
+             guard_pops name iters ceiling
+           :: !failures)
+     guard_ceilings;
+   Printf.printf "# iteration guard at %d PoPs: %s (%.1fs)\n%!" guard_pops
+     (String.concat ", "
+        (List.rev_map
+           (fun (name, iters, ceiling) ->
+             Printf.sprintf "%s %d/%d" name iters ceiling)
+           !guard_results))
+     (Unix.gettimeofday () -. t0));
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (provenance ~jobs:(Pool.size pool));
@@ -555,16 +616,27 @@ let scale_json ~fast () =
        \  \"assert_ok\": %b,\n"
        (if fast then "fast" else "full")
        Tmest_core.Workspace.sparse_gate window (!failures = []));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"iteration_guard\": {\"pops\": %d, %s},\n" guard_pops
+       (String.concat ", "
+          (List.rev_map
+             (fun (name, iters, ceiling) ->
+               Printf.sprintf "%S: {\"iterations\": %d, \"ceiling\": %d}"
+                 name iters ceiling)
+             !guard_results)));
   Buffer.add_string buf "  \"sweep\": [\n";
   List.iteri
     (fun i (pops, pairs, links, sparse, name, r) ->
       let body =
         match r with
-        | `Ok (seconds, mre, churn, heap) ->
+        | `Ok (seconds, mre, churn, heap, iters) ->
             Printf.sprintf
               "\"status\": \"ok\", \"seconds\": %.3f, \"mre\": %.6f, \
-               \"solve_words\": %.3e, \"heap_words\": %.3e"
+               \"solve_words\": %.3e, \"heap_words\": %.3e%s"
               seconds mre churn heap
+              (match iters with
+              | Some n -> Printf.sprintf ", \"iterations\": %d" n
+              | None -> "")
         | `Excluded why -> Printf.sprintf "\"status\": \"excluded\", \"why\": %S" why
       in
       Buffer.add_string buf

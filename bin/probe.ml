@@ -1,11 +1,83 @@
 (* Scratch timing probe used during development; kept as a fast sanity
-   runner: executes the reduced-context experiment suite end to end. *)
+   runner: times the iterative methods on a generated backbone under
+   each preconditioning policy and prints iteration counts, so
+   solver-stack changes can be judged before a full --scale sweep. *)
+
+module Dataset = Tmest_traffic.Dataset
+module Spec = Tmest_traffic.Spec
+module Mat = Tmest_linalg.Mat
+module Vec = Tmest_linalg.Vec
+module Stop = Tmest_opt.Stop
+module Core = Tmest_core
+
 let () =
-  let ctx = Tmest_experiments.Ctx.create ~fast:true () in
+  let pops =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100
+  in
+  let max_iter =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20000
+  in
+  let t0 = Unix.gettimeofday () in
+  let d = Dataset.synthetic ~pops () in
+  Printf.printf "dataset %d pops: %d pairs %d links (%.1fs)\n%!" pops
+    (Dataset.num_pairs d) (Dataset.num_links d)
+    (Unix.gettimeofday () -. t0);
+  let ws = Core.Workspace.create d.Dataset.routing in
+  let spec = d.Dataset.spec in
+  let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
+  let loads = Dataset.link_loads_at d k in
+  let truth = Dataset.demand_at d k in
+  let window = 8 in
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let ks = Array.sub ks (Array.length ks - window) window in
+  let load_samples =
+    Mat.init window (Dataset.num_links d) (fun i j ->
+        (Dataset.link_loads_at d ks.(i)).(j))
+  in
+  let prior = Core.Estimator.prior Core.Estimator.Prior_gravity ws ~loads in
+  let stop = Stop.make ~max_iter () in
+  let kinds =
+    [
+      ("none", Core.Workspace.Precond_none);
+      ("jacobi", Core.Workspace.Precond_jacobi);
+    ]
+  in
   List.iter
-    (fun e ->
+    (fun (tag, precond) ->
       let t0 = Unix.gettimeofday () in
-      ignore (e.Tmest_experiments.Registry.run ctx);
-      Printf.printf "%-6s ok (%.2fs)\n%!" e.Tmest_experiments.Registry.id
-        (Unix.gettimeofday () -. t0))
-    Tmest_experiments.Registry.all
+      let r = Core.Entropy.estimate ~stop ~precond ws ~loads ~prior ~sigma2:1000. in
+      Printf.printf "entropy/%-6s: %6.2fs  iters %5d converged %b  mre %.4f\n%!"
+        tag
+        (Unix.gettimeofday () -. t0)
+        r.Core.Entropy.iterations r.Core.Entropy.converged
+        (Core.Metrics.mre ~truth ~estimate:r.Core.Entropy.estimate ()))
+    kinds;
+  List.iter
+    (fun (tag, precond) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Core.Bayes.estimate ~stop ~precond ws ~loads ~prior ~sigma2:1000. in
+      Printf.printf "bayes/%-6s  : %6.2fs  iters %5d converged %b  mre %.4f\n%!"
+        tag
+        (Unix.gettimeofday () -. t0)
+        r.Core.Bayes.iterations r.Core.Bayes.converged
+        (Core.Metrics.mre ~truth ~estimate:r.Core.Bayes.estimate ()))
+    kinds;
+  List.iter
+    (fun (tag, precond) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Core.Vardi.estimate ~stop ~precond ws ~load_samples ~sigma_inv2:0.01 in
+      Printf.printf "vardi/%-6s  : %6.2fs  iters %5d  mre %.4f\n%!" tag
+        (Unix.gettimeofday () -. t0)
+        r.Core.Vardi.iterations
+        (Core.Metrics.mre ~truth ~estimate:r.Core.Vardi.estimate ()))
+    kinds;
+  List.iter
+    (fun (tag, precond) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Core.Fanout.estimate ~stop ~precond ws ~load_samples in
+      Printf.printf "fanout/%-6s : %6.2fs  iters %5d  mre %.4f\n%!" tag
+        (Unix.gettimeofday () -. t0)
+        r.Core.Fanout.iterations
+        (Core.Metrics.mre ~truth:(Dataset.busy_mean_demand d)
+           ~estimate:r.Core.Fanout.estimate ()))
+    kinds

@@ -174,7 +174,26 @@ let estimate_cmd =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
   in
-  let run network pops seed method_name sigma2 window top noise drop
+  let precond_arg =
+    let doc =
+      "Preconditioning policy for the iterative solvers: $(b,auto) \
+       (Jacobi in sparse mode, none in dense), $(b,jacobi), $(b,block) \
+       or $(b,none)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", Core.Workspace.Precond_auto);
+               ("jacobi", Core.Workspace.Precond_jacobi);
+               ("block", Core.Workspace.Precond_block);
+               ("none", Core.Workspace.Precond_none);
+             ])
+          Core.Workspace.Precond_auto
+      & info [ "precond" ] ~docv:"KIND" ~doc)
+  in
+  let run network pops seed method_name sigma2 window top precond noise drop
       fault_seed jobs trace =
     apply_jobs jobs;
     let d = dataset_of ?pops ?seed network in
@@ -217,9 +236,9 @@ let estimate_cmd =
     let loads = Inject.loads fault ~loads in
     let load_samples = Inject.samples fault load_samples in
     let opts =
-      if Inject.is_none fault then Core.Estimator.Options.default
+      if Inject.is_none fault then Core.Estimator.Options.make ~precond ()
       else
-        Core.Estimator.Options.make
+        Core.Estimator.Options.make ~precond
           ~degrade:
             (Core.Degrade.with_on_health
                (fun h ->
@@ -249,6 +268,11 @@ let estimate_cmd =
     Printf.printf "alloc    : %.3e words/solve peak, heap watermark %.3e \
                    words\n"
       st.Core.Workspace.peak_solve_words st.Core.Workspace.heap_words;
+    (match
+       Core.Workspace.last_iterations ws ~name:(Core.Estimator.name m)
+     with
+    | Some iters -> Printf.printf "iters    : %d\n" iters
+    | None -> ());
     Printf.printf "MRE      : %.4f (90%% traffic coverage)\n"
       (Core.Metrics.mre ~truth:reference ~estimate ());
     Printf.printf "rank rho : %.4f\n"
@@ -281,8 +305,8 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run $ network_arg $ pops_arg $ seed_arg $ method_arg $ sigma2_arg
-      $ window_arg $ top_arg $ noise_arg $ drop_links_arg $ fault_seed_arg
-      $ jobs_arg $ trace_arg)
+      $ window_arg $ top_arg $ precond_arg $ noise_arg $ drop_links_arg
+      $ fault_seed_arg $ jobs_arg $ trace_arg)
 
 (* -------------------------------------------------------- experiment *)
 

@@ -10,7 +10,8 @@ type result = {
   converged : bool;
 }
 
-let estimate ?x0 ?(stop = Stop.default) ws ~loads ~prior ~sigma2 =
+let estimate ?x0 ?(stop = Stop.default) ?(precond = Workspace.Precond_none) ws
+    ~loads ~prior ~sigma2 =
   let stop =
     Workspace.solver_stop ws stop ~label:"bayes/fista" ~max_iter:4000
       ~tol:1e-10
@@ -40,8 +41,38 @@ let estimate ?x0 ?(stop = Stop.default) ws ~loads ~prior ~sigma2 =
       dst.(i) <- 2. *. (dst.(i) +. (w *. (s.(i) -. prior_n.(i))))
     done
   in
-  let lip_r = Workspace.op_norm ws in
-  let lipschitz = (2. *. lip_r) +. (2. *. w) in
+  (* Curvature is H = 2G + 2wI, so the exact diagonal metric is
+     d_i = 2g_i + 2w — strictly positive for any w > 0, no zero guard
+     needed.  Block degrades to Jacobi: the projection (clamp) is
+     separable only under a diagonal metric. *)
+  let dinv =
+    match Workspace.resolve_precond ws precond with
+    | Workspace.Precond_none -> None
+    | Workspace.Precond_jacobi | Workspace.Precond_block
+    | Workspace.Precond_auto ->
+        Some
+          (Workspace.precond_vec ws
+             ~key:(Printf.sprintf "bayes.jacobi.dinv:%h" w)
+             ~compute:(fun () ->
+               Vec.map
+                 (fun g -> 1. /. ((2. *. g) +. (2. *. w)))
+                 (Workspace.gram_diag ws)))
+  in
+  let lipschitz =
+    match dinv with
+    | None -> (2. *. Workspace.op_norm ws) +. (2. *. w)
+    | Some dinv ->
+        Workspace.cached_lipschitz ws
+          ~key:(Printf.sprintf "bayes.jacobi.norm:%h" w)
+          ~compute:(fun () ->
+            let ds = Vec.map sqrt dinv in
+            Tmest_opt.Fista.lipschitz_of_op ~dim:p (fun v ->
+                let u = Vec.mul ds v in
+                let h = Csr.tmatvec r (Csr.matvec r u) in
+                Vec.mapi
+                  (fun i hi -> ((2. *. hi) +. (2. *. w *. u.(i))) *. ds.(i))
+                  h))
+  in
   let start =
     match x0 with
     | None -> prior_n
@@ -59,7 +90,7 @@ let estimate ?x0 ?(stop = Stop.default) ws ~loads ~prior ~sigma2 =
     Vec.dot resid resid +. (w *. Vec.dot dev dev)
   in
   let res =
-    Fista.solve_into ~x0:start ~stop ~scratch ~objective ~dim:p
+    Fista.solve_into ~x0:start ~stop ~scratch ~objective ?dinv ~dim:p
       ~gradient_into ~lipschitz ()
   in
   if not res.Fista.converged then

@@ -13,8 +13,8 @@ type result = {
   iterations : int;
 }
 
-let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
-    ~phi ~c ~sigma_inv2 =
+let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6)
+    ?(precond = Workspace.Precond_none) ws ~load_samples ~phi ~c ~sigma_inv2 =
   if phi <= 0. then invalid_arg "Cao.estimate: phi must be positive";
   (* [tol] scales the relative-progress stall test of the backtracking
      outer loop (historical constant 1e-12). *)
@@ -111,13 +111,41 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
         !lambda.(i) <- Stdlib.max (v0.(i) /. unit_bps) 0.
       done
   | None ->
-      (* Start from the first-moment-only solution. *)
+      (* Start from the first-moment-only solution.  The bootstrap is a
+         plain non-negative least-squares solve with curvature 2G, so it
+         takes the same exact Jacobi metric d = 2·diag(G) as the entropy
+         estimator; the nonconvex outer loop below already adapts its
+         step by backtracking and is left untouched. *)
+      let dinv =
+        match Workspace.resolve_precond ws precond with
+        | Workspace.Precond_none -> None
+        | Workspace.Precond_jacobi | Workspace.Precond_block
+        | Workspace.Precond_auto ->
+            Some
+              (Workspace.precond_vec ws ~key:"normal.jacobi.dinv"
+                 ~compute:(fun () ->
+                   Vec.map
+                     (fun g -> if g > 0. then 1. /. (2. *. g) else 1.)
+                     (Workspace.gram_diag ws)))
+      in
+      let boot_lip =
+        match dinv with
+        | None -> lip
+        | Some dinv ->
+            Workspace.cached_lipschitz ws ~key:"normal.jacobi.norm"
+              ~compute:(fun () ->
+                let ds = Vec.map sqrt dinv in
+                Fista.lipschitz_of_op ~dim:p (fun x ->
+                    let dst = Vec.zeros p in
+                    g_matvec_into (Vec.mul ds x) ~dst;
+                    Vec.mapi (fun i hi -> 2. *. hi *. ds.(i)) dst))
+      in
       let init =
         Fista.solve_into
           ~stop:
             (Stop.make ~max_iter:2000 ~tol:1e-10 ~sink
                ~label:(label ^ "/bootstrap-fista") ())
-          ~dim:p
+          ~dim:p ?dinv
           ~scratch:
             (Workspace.scratch ws ~name:"fista" ~dim:p
                ~count:Fista.scratch_size)
@@ -125,7 +153,7 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
             g_matvec_into x ~dst;
             Vec.sub_into dst rt_t ~dst;
             Vec.scale_into 2. dst ~dst)
-          ~lipschitz:lip ()
+          ~lipschitz:boot_lip ()
       in
       Vec.blit_into init.Fista.x ~dst:!lambda);
   let f = ref (objective !lambda) in

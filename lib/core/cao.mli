@@ -28,11 +28,16 @@ type result = {
     parameters in the chosen counting unit ([unit_bps], default 1 Mbps);
     [c = 1, phi = 1] recovers Vardi's objective.  [x0] is an optional
     warm-start estimate in bits/s; when given, the first-moment
-    bootstrap solve is skipped and the line search starts from [x0]. *)
+    bootstrap solve is skipped and the line search starts from [x0].
+    [precond] (default {!Workspace.Precond_none}) preconditions the
+    first-moment bootstrap solve in the [diag(2·diag(RᵀR))] metric; the
+    nonconvex outer loop is left unpreconditioned (it backtracks its own
+    step). *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Tmest_opt.Stop.t ->
   ?unit_bps:float ->
+  ?precond:Workspace.precond_kind ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   phi:float ->

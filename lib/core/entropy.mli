@@ -21,10 +21,19 @@ type result = {
     ({!Tmest_opt.Stop.t}) carries solver limits (defaults 4000
     iterations, tolerance 1e-10) and the trace sink; an unset sink falls
     back to the workspace's.
+
+    [precond] (default {!Workspace.Precond_none}) selects diagonal
+    preconditioning in the exact curvature metric [diag(2·diag(RᵀR))];
+    the KL prox is applied in the same metric so the fixed point is
+    unchanged, only the iteration count.  [Precond_block] degrades to
+    Jacobi here (the prox needs a diagonal metric); [Precond_auto]
+    resolves to none for this method (the diagonal metric measured
+    slower on the KL geometry — request Jacobi explicitly to use it).
     @raise Invalid_argument on dimension mismatch or [sigma2 <= 0]. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Tmest_opt.Stop.t ->
+  ?precond:Workspace.precond_kind ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->
@@ -40,6 +49,7 @@ val estimate :
 val estimate_fixed :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Tmest_opt.Stop.t ->
+  ?precond:Workspace.precond_kind ->
   Workspace.t ->
   loads:Tmest_linalg.Vec.t ->
   prior:Tmest_linalg.Vec.t ->

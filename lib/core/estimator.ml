@@ -53,17 +53,27 @@ module Options = struct
     x0 : Vec.t option;
     sink : Obs.sink;
     degrade : Degrade.policy option;
+    precond : Workspace.precond_kind;
   }
 
   let default =
-    { warm = false; warm_tag = None; x0 = None; sink = Obs.null; degrade = None }
+    {
+      warm = false;
+      warm_tag = None;
+      x0 = None;
+      sink = Obs.null;
+      degrade = None;
+      precond = Workspace.Precond_auto;
+    }
 
-  let make ?(warm = false) ?warm_tag ?x0 ?(sink = Obs.null) ?degrade () =
-    { warm; warm_tag; x0; sink; degrade }
+  let make ?(warm = false) ?warm_tag ?x0 ?(sink = Obs.null) ?degrade
+      ?(precond = Workspace.Precond_auto) () =
+    { warm; warm_tag; x0; sink; degrade; precond }
 
   let with_warm_tag tag t = { t with warm_tag = Some tag }
   let with_sink sink t = { t with sink }
   let with_degrade policy t = { t with degrade = Some policy }
+  let with_precond precond t = { t with precond }
 end
 
 let prior kind ws ~loads =
@@ -167,6 +177,8 @@ let solve ?(opts = Options.default) t ws ~loads ~load_samples =
     | Some key -> Workspace.store_warm_start ws ~key v
     | None -> ()
   in
+  let precond = opts.Options.precond in
+  let note iters = Workspace.note_iterations ws ~name:(name t) ~iterations:iters in
   let run () =
     match t with
     | Gravity -> Gravity.simple (Workspace.routing ws) ~loads
@@ -175,42 +187,42 @@ let solve ?(opts = Options.default) t ws ~loads ~load_samples =
         Kruithof.adjust ~stop ws ~loads ~prior
     | Entropy { sigma2; prior = kind } ->
         let prior = prior kind ws ~loads in
-        let est =
-          (Entropy.estimate ?x0 ~stop ws ~loads ~prior ~sigma2).Entropy.estimate
-        in
-        store est;
-        est
+        let res = Entropy.estimate ?x0 ~stop ~precond ws ~loads ~prior ~sigma2 in
+        note res.Entropy.iterations;
+        store res.Entropy.estimate;
+        res.Entropy.estimate
     | Bayes { sigma2; prior = kind } ->
         let prior = prior kind ws ~loads in
-        let est =
-          (Bayes.estimate ?x0 ~stop ws ~loads ~prior ~sigma2).Bayes.estimate
-        in
-        store est;
-        est
+        let res = Bayes.estimate ?x0 ~stop ~precond ws ~loads ~prior ~sigma2 in
+        note res.Bayes.iterations;
+        store res.Bayes.estimate;
+        res.Bayes.estimate
     | Wcb_midpoint -> Wcb.midpoint (Wcb.bounds ws ~loads)
     | Fanout { window } ->
         let samples = last_window load_samples window in
         (* The natural warm-start state is the fanout vector, not the
            demand estimate it expands to. *)
-        let res = Fanout.estimate ?x0 ~stop ws ~load_samples:samples in
+        let res = Fanout.estimate ?x0 ~stop ~precond ws ~load_samples:samples in
+        note res.Fanout.iterations;
         store res.Fanout.fanouts;
         res.Fanout.estimate
     | Vardi { sigma_inv2; window } ->
         let samples = last_window load_samples window in
-        let est =
-          (Vardi.estimate ?x0 ~stop ws ~load_samples:samples ~sigma_inv2)
-            .Vardi.estimate
+        let res =
+          Vardi.estimate ?x0 ~stop ~precond ws ~load_samples:samples ~sigma_inv2
         in
-        store est;
-        est
+        note res.Vardi.iterations;
+        store res.Vardi.estimate;
+        res.Vardi.estimate
     | Cao { phi; c; sigma_inv2; window } ->
         let samples = last_window load_samples window in
-        let est =
-          (Cao.estimate ?x0 ~stop ws ~load_samples:samples ~phi ~c ~sigma_inv2)
-            .Cao.estimate
+        let res =
+          Cao.estimate ?x0 ~stop ~precond ws ~load_samples:samples ~phi ~c
+            ~sigma_inv2
         in
-        store est;
-        est
+        note res.Cao.iterations;
+        store res.Cao.estimate;
+        res.Cao.estimate
   in
   let estimate =
     if sink.Obs.enabled then

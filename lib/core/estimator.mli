@@ -66,9 +66,23 @@ module Options : sig
             inputs.  With a policy and {e clean} inputs the repair is a
             no-op returning the original arrays, so the solve stays
             bit-identical to the plain path. *)
+    precond : Workspace.precond_kind;
+        (** preconditioning policy threaded to the iterative methods.
+            The default [Precond_auto] resolves per method to the
+            measured best configuration: Jacobi for the quadratic
+            solvers (bayes, vardi, cao) in sparse mode, none in dense
+            mode (keeping the historical dense results bit-identical),
+            and none for entropy/fanout whose prox geometries measured
+            slower under the diagonal metric.  Preconditioned solves
+            converge to the same optimum within the solver tolerance
+            but are {e not} bit-identical to unpreconditioned ones;
+            pass [Precond_none] where that matters.  For a fixed
+            policy, results are deterministic and independent of the
+            jobs count. *)
   }
 
-  (** Cold, untagged, no explicit start, null sink, no degraded mode. *)
+  (** Cold, untagged, no explicit start, null sink, no degraded mode,
+      automatic preconditioning. *)
   val default : t
 
   val make :
@@ -77,12 +91,14 @@ module Options : sig
     ?x0:Tmest_linalg.Vec.t ->
     ?sink:Tmest_obs.Obs.sink ->
     ?degrade:Degrade.policy ->
+    ?precond:Workspace.precond_kind ->
     unit ->
     t
 
   val with_warm_tag : string -> t -> t
   val with_sink : Tmest_obs.Obs.sink -> t -> t
   val with_degrade : Degrade.policy -> t -> t
+  val with_precond : Workspace.precond_kind -> t -> t
 end
 
 (** [prior kind ws ~loads] materializes a prior vector through the

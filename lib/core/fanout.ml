@@ -11,6 +11,7 @@ module Odpairs = Tmest_net.Odpairs
 type result = {
   fanouts : Vec.t;
   estimate : Vec.t;
+  iterations : int;
 }
 
 (* The constrained least-squares problem
@@ -23,7 +24,8 @@ type result = {
    squared node totals, whose spread (heavy-tailed PoP sizes) makes the
    KKT system numerically hopeless; projection-based iterations only
    ever evaluate well-scaled matrix-vector products. *)
-let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
+let estimate ?x0 ?(stop = Stop.default) ?(precond = Workspace.Precond_none) ws
+    ~load_samples =
   let stop =
     Workspace.solver_stop ws stop ~label:"fanout/fista" ~max_iter:4000
       ~tol:1e-10
@@ -122,6 +124,51 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
     Vec.sub_into dst lin ~dst;
     Vec.scale_into 2. dst ~dst
   in
+  (* Preconditioning must keep the per-source simplex projection exact,
+     which requires the metric to be constant within each source block
+     (a uniformly scaled simplex projection is still the Euclidean one).
+     Use d_s = 2·W(s,s)·max_{i in block s} g_i, the tightest
+     block-constant bound on the exact curvature diagonal
+     H_ii = 2·g_i·W(src(i),src(i)).  Depends on the load window, so it
+     is recomputed per call (O(p)) rather than memoized.
+
+     [Precond_auto] resolves to {e no} preconditioning for this method:
+     the block-constant metric is too coarse to cut iterations on the
+     measured instances (both paths hit the cap at 100 PoPs) and the
+     intermediate iterate it stops on is worse.  Explicit selection
+     stays available. *)
+  let dinv, lipschitz =
+    match precond with
+    | Workspace.Precond_none | Workspace.Precond_auto -> (None, lipschitz)
+    | Workspace.Precond_jacobi | Workspace.Precond_block ->
+        let wdiag = Vec.zeros n in
+        for step = 0 to k - 1 do
+          for node = 0 to n - 1 do
+            let t = Mat.get te step node in
+            wdiag.(node) <- wdiag.(node) +. (t *. t)
+          done
+        done;
+        let gdiag = Workspace.gram_diag ws in
+        let gmax = Vec.zeros n in
+        for pair = 0 to p - 1 do
+          let s = src_of.(pair) in
+          if gdiag.(pair) > gmax.(s) then gmax.(s) <- gdiag.(pair)
+        done;
+        let dinv =
+          Vec.init p (fun pair ->
+              let s = src_of.(pair) in
+              let d = 2. *. wdiag.(s) *. gmax.(s) in
+              if d > 0. then 1. /. d else 1.)
+        in
+        let ds = Vec.map sqrt dinv in
+        let lipschitz =
+          Workspace.lipschitz_of_op ws ~dim:p (fun a ->
+              let dst = Vec.zeros p in
+              apply_h_into (Vec.mul ds a) ~dst;
+              Vec.mapi (fun i hi -> 2. *. hi *. ds.(i)) dst)
+        in
+        (Some dinv, lipschitz)
+  in
   (* FISTA with the per-source simplex projection, started from uniform
      fanouts (or a warm-started fanout vector); the historical
      hand-rolled loop here is now the generic allocation-free solver
@@ -146,7 +193,7 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
       ~scratch:
         (Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size)
       ~project_into:(fun v ~dst -> Projections.block_simplex_into part v ~dst)
-      ~objective ~dim:p ~gradient_into ~lipschitz ()
+      ~objective ?dinv ~dim:p ~gradient_into ~lipschitz ()
   in
   let fanouts = res.Fista.x in
   (* Demand estimate against the window-average totals (in bits/s). *)
@@ -160,7 +207,7 @@ let estimate ?x0 ?(stop = Stop.default) ws ~load_samples =
   let estimate =
     Vec.mapi (fun pair a -> a *. te_mean.(src_of.(pair))) fanouts
   in
-  { fanouts; estimate }
+  { fanouts; estimate; iterations = res.Fista.iterations }
 
 let demands_of_fanouts ws ~fanouts ~loads =
   let routing = Workspace.routing ws in

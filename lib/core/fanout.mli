@@ -18,6 +18,7 @@ type result = {
   estimate : Tmest_linalg.Vec.t;
       (** demand estimate: fanouts applied to the window-average node
           totals — comparable to the window-average true demands *)
+  iterations : int;  (** FISTA iterations spent on the solve *)
 }
 
 (** [estimate ?x0 ws ~load_samples] solves the constrained problem
@@ -28,11 +29,17 @@ type result = {
     warm-start {e fanout} vector (e.g. the previous window's
     [result.fanouts]); default is uniform fanouts.  [stop] carries
     solver limits (defaults 4000 iterations, tolerance 1e-10) and the
-    trace sink.
+    trace sink.  [precond] (default {!Workspace.Precond_none}) applies a
+    {e block-constant} diagonal metric
+    [d_s = 2·W(s,s)·max_(i in s) g_i] (constant within each source
+    block, so the simplex projection stays exact); same fixed point.
+    [Precond_auto] resolves to none for this method (the
+    block-constant metric measured no iteration win).
     @raise Invalid_argument if the window is empty or dimensions differ. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Tmest_opt.Stop.t ->
+  ?precond:Workspace.precond_kind ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   result

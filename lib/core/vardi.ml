@@ -13,8 +13,8 @@ type result = {
   iterations : int;
 }
 
-let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
-    ~sigma_inv2 =
+let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6)
+    ?(precond = Workspace.Precond_none) ws ~load_samples ~sigma_inv2 =
   if sigma_inv2 < 0. then invalid_arg "Vardi.estimate: negative sigma_inv2";
   let stop =
     Workspace.solver_stop ws stop ~label:"vardi/fista" ~max_iter:6000
@@ -54,6 +54,24 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
      path); sparse mode applies it matrix-free as
      normal_op + w · gram_sq_op, never touching a p x p matrix. *)
   let pool = Workspace.pool ws in
+  (* Exact curvature diagonal: diag(2H₀)_i = 2(g_i + w·g_i²), since the
+     (i,i) entry of G entry-wise squared is g_i².  Block degrades to
+     Jacobi (the non-negativity clamp needs a diagonal metric). *)
+  let dinv =
+    match Workspace.resolve_precond ws precond with
+    | Workspace.Precond_none -> None
+    | Workspace.Precond_jacobi | Workspace.Precond_block
+    | Workspace.Precond_auto ->
+        Some
+          (Workspace.precond_vec ws
+             ~key:(Printf.sprintf "vardi.jacobi.dinv:%h" w)
+             ~compute:(fun () ->
+               Vec.map
+                 (fun g ->
+                   let d = 2. *. (g +. (w *. g *. g)) in
+                   if d > 0. then 1. /. d else 1.)
+                 (Workspace.gram_diag ws)))
+  in
   let gradient_into, lipschitz, objective =
     if Workspace.is_sparse ws then begin
       let normal = Workspace.normal_op ws in
@@ -70,14 +88,26 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
         Vec.scale_into 2. dst ~dst
       in
       let lipschitz =
-        2.
-        *. Workspace.cached_lipschitz ws
-             ~key:(Printf.sprintf "vardi.h0op:%h" w)
-             ~compute:(fun () ->
-               Fista.lipschitz_of_op ~dim:p (fun x ->
-                   let dst = Vec.zeros p in
-                   apply_h0_into x ~dst;
-                   dst))
+        match dinv with
+        | None ->
+            2.
+            *. Workspace.cached_lipschitz ws
+                 ~key:(Printf.sprintf "vardi.h0op:%h" w)
+                 ~compute:(fun () ->
+                   Fista.lipschitz_of_op ~dim:p (fun x ->
+                       let dst = Vec.zeros p in
+                       apply_h0_into x ~dst;
+                       dst))
+        | Some dinv ->
+            2.
+            *. Workspace.cached_lipschitz ws
+                 ~key:(Printf.sprintf "vardi.h0op.jacobi:%h" w)
+                 ~compute:(fun () ->
+                   let ds = Vec.map sqrt dinv in
+                   Fista.lipschitz_of_op ~dim:p (fun x ->
+                       let dst = Vec.zeros p in
+                       apply_h0_into (Vec.mul ds x) ~dst;
+                       Vec.mul ds dst))
       in
       (* Traced runs only; allocates freely. *)
       let objective x =
@@ -100,10 +130,20 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
         Vec.scale_into 2. dst ~dst
       in
       let lipschitz =
-        2.
-        *. Workspace.cached_lipschitz ws
-             ~key:(Printf.sprintf "vardi.h0:%h" w)
-             ~compute:(fun () -> Fista.lipschitz_of_gram h0)
+        match dinv with
+        | None ->
+            2.
+            *. Workspace.cached_lipschitz ws
+                 ~key:(Printf.sprintf "vardi.h0:%h" w)
+                 ~compute:(fun () -> Fista.lipschitz_of_gram h0)
+        | Some dinv ->
+            2.
+            *. Workspace.cached_lipschitz ws
+                 ~key:(Printf.sprintf "vardi.h0.jacobi:%h" w)
+                 ~compute:(fun () ->
+                   let ds = Vec.map sqrt dinv in
+                   Fista.lipschitz_of_op ~dim:p (fun x ->
+                       Vec.mul ds (Mat.matvec h0 (Vec.mul ds x))))
       in
       (* Traced runs only; allocates freely. *)
       let objective x =
@@ -118,7 +158,7 @@ let estimate ?x0 ?(stop = Stop.default) ?(unit_bps = 1e6) ws ~load_samples
     Workspace.scratch ws ~name:"fista" ~dim:p ~count:Fista.scratch_size
   in
   let res =
-    Fista.solve_into ?x0 ~stop ~scratch ~objective ~dim:p ~gradient_into
+    Fista.solve_into ?x0 ~stop ~scratch ~objective ?dinv ~dim:p ~gradient_into
       ~lipschitz ()
   in
   let lambda = res.Fista.x in

@@ -26,12 +26,16 @@ type result = {
 (** [estimate ?x0 ?stop ?unit_bps ws ~load_samples ~sigma_inv2]
     runs the estimator on a [K x L] matrix of load samples.  [x0] is an
     optional warm-start estimate in bits/s (converted internally to the
-    counting unit).
+    counting unit).  [precond] (default {!Workspace.Precond_none})
+    applies diagonal preconditioning in the exact curvature metric
+    [d_i = 2(g_i + σ⁻²·g_i²)] where [g = diag(RᵀR)]; same fixed point,
+    fewer iterations.
     @raise Invalid_argument if [sigma_inv2 < 0] or dimensions differ. *)
 val estimate :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Tmest_opt.Stop.t ->
   ?unit_bps:float ->
+  ?precond:Workspace.precond_kind ->
   Workspace.t ->
   load_samples:Tmest_linalg.Mat.t ->
   sigma_inv2:float ->

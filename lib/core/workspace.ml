@@ -14,6 +14,12 @@ type prior_kind = Prior_gravity | Prior_wcb | Prior_uniform
 
 type mode = Auto | Dense | Sparse
 
+(* Preconditioner policy, resolved per workspace.  [Precond_auto] picks
+   Jacobi in sparse mode — where iteration counts dominate wall-clock
+   and the exact Gram diagonal is one O(nnz) pass — and none in dense
+   mode, keeping every historical dense golden result bit-identical. *)
+type precond_kind = Precond_auto | Precond_jacobi | Precond_block | Precond_none
+
 (* Above this many OD pairs the dense artifacts (Gram, R, Cholesky,
    eigen) become the memory bottleneck — a 10⁴-pair Gram is ~1 GB — so
    [Auto] switches the workspace to matrix-free operators.  The paper
@@ -40,6 +46,7 @@ type counters = {
   c_total : c;
   c_solve : c;
   c_warm : c;
+  c_precond : c;
 }
 
 (* Load-keyed caches are bounded MRU lists: snapshot sweeps reuse the
@@ -90,6 +97,15 @@ type t = {
   scratch_tbl : (string * int * int, Vec.t array) Hashtbl.t;
       (* keyed by (consumer, dim, domain): each domain owns its arena *)
   mutable warm : (string * Vec.t) list;  (* MRU *)
+  mutable gdiag : Vec.t option;  (* exact diag(RᵀR) *)
+  precond_tbl : (string, Vec.t) Hashtbl.t;
+      (* memoized preconditioner diagonals, keyed by a method-built
+         string with parameters %h-encoded; values are shared read-only
+         so one entry serves every domain *)
+  block_tbl : (string * int, (Vec.t -> dst:Vec.t -> unit) option) Hashtbl.t;
+      (* block-Jacobi appliers per (key, domain) — the closures own
+         gather buffers; [None] caches a memory-gate refusal *)
+  mutable last_iters : (string * int) list;  (* MRU, per method name *)
   counters : counters;
   mutable solve_words : float;  (* cumulative allocation over solves *)
   mutable peak_words : float;  (* largest single-solve allocation *)
@@ -128,6 +144,10 @@ let create ?pool ?(sink = Obs.null) ?(mode = Auto) routing =
     priors = [];
     scratch_tbl = Hashtbl.create 7;
     warm = [];
+    gdiag = None;
+    precond_tbl = Hashtbl.create 7;
+    block_tbl = Hashtbl.create 7;
+    last_iters = [];
     counters =
       {
         c_gram = c_zero ();
@@ -141,6 +161,7 @@ let create ?pool ?(sink = Obs.null) ?(mode = Auto) routing =
         c_total = c_zero ();
         c_solve = c_zero ();
         c_warm = c_zero ();
+        c_precond = c_zero ();
       };
     solve_words = 0.;
     peak_words = 0.;
@@ -150,6 +171,10 @@ let create ?pool ?(sink = Obs.null) ?(mode = Auto) routing =
 let routing t = t.routing
 let mode t = if t.sparse then Sparse else Dense
 let is_sparse t = t.sparse
+
+let resolve_precond t = function
+  | Precond_auto -> if t.sparse then Precond_jacobi else Precond_none
+  | k -> k
 let sink t = t.sink
 let set_sink t s = t.sink <- s
 
@@ -328,8 +353,10 @@ let op t =
   op_cached t ~name:"op" ~build:(fun () ->
       let r = t.routing.Routing.matrix in
       Op.make ~rows:(Csr.rows r) ~cols:(Csr.cols r)
+        ~normal_diag:(fun () -> Csr.col_sq_norms r)
         ~apply_into:(fun x ~dst -> Csr.matvec_into ?pool:t.pool r x ~dst)
-        ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into r y ~dst))
+        ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into r y ~dst)
+        ())
 
 (* RᵀR as x ↦ Rᵀ(Rx): the matrix-free replacement for {!gram}. *)
 let normal_op t =
@@ -381,8 +408,10 @@ let gram_sq_op t =
   op_cached t ~name:"gram_sq" ~build:(fun () ->
       Op.normal
         (Op.make ~rows:(Csr.rows z) ~cols:(Csr.cols z)
+           ~normal_diag:(fun () -> Csr.col_sq_norms z)
            ~apply_into:(fun x ~dst -> Csr.matvec_into ?pool:t.pool z x ~dst)
-           ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into z y ~dst)))
+           ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into z y ~dst)
+           ()))
 
 let cached_lipschitz t ~key ~compute =
   Mutex.protect t.lock (fun () ->
@@ -417,9 +446,219 @@ let lipschitz_of_matrix t h =
 let lipschitz_of_op t ~dim apply =
   counted_lipschitz t (fun () -> Fista.lipschitz_of_op ~dim apply)
 
-let same_loads a b = a == b || Vec.equal ~eps:0. a b
+(* ------------------------------------------------------------------ *)
+(* Preconditioners                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let take_mru n l = List.filteri (fun i _ -> i < n) l
+
+(* Exact diagonal of RᵀR — one O(nnz) pass over the routing matrix
+   (Csr.col_sq_norms), never a stochastic estimate.  Works in both
+   modes; the building block of every Jacobi preconditioner. *)
+let gram_diag t =
+  memo ~name:"precond" t.counters.c_precond
+    (fun t -> t.gdiag)
+    (fun t v -> t.gdiag <- v)
+    (fun () -> Csr.col_sq_norms t.routing.Routing.matrix)
+    t
+
+(* Method-specific preconditioner diagonals (e.g. the inverse curvature
+   diagonal 1/(2g_i + 2w)), memoized per key with parameters %h-encoded
+   by the caller.  Values are read-only and shared across domains.  The
+   compute closure may re-enter the workspace (gram_diag), so it runs
+   outside the lock; a rare double compute costs one O(p) pass and both
+   results are identical. *)
+let precond_vec t ~key ~compute =
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.precond_tbl key with
+        | Some v ->
+            t.counters.c_precond.h <- t.counters.c_precond.h + 1;
+            sample t "precond" t.counters.c_precond;
+            Some v
+        | None ->
+            t.counters.c_precond.m <- t.counters.c_precond.m + 1;
+            sample t "precond" t.counters.c_precond;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let t0 = Sys.time () in
+      let v = compute () in
+      let dt = Sys.time () -. t0 in
+      Mutex.protect t.lock (fun () ->
+          t.counters.c_precond.s <- t.counters.c_precond.s +. dt;
+          match Hashtbl.find_opt t.precond_tbl key with
+          | Some v' -> v'
+          | None ->
+              Hashtbl.replace t.precond_tbl key v;
+              v)
+
+(* Jacobi M⁻¹ for CG on the (shifted) normal equations G + shift·I:
+   z_i = r_i / (g_i + shift).  Zero diagonal entries (OD pair crossing
+   no measured link) pass through unscaled. *)
+let jacobi_cg_minv t ~shift =
+  let dinv =
+    precond_vec t
+      ~key:(Printf.sprintf "cg.jacobi:%h" shift)
+      ~compute:(fun () ->
+        Vec.map
+          (fun g ->
+            let d = g +. shift in
+            if d > 0. then 1. /. d else 1.)
+          (gram_diag t))
+  in
+  fun r ~dst -> Vec.mul_into dinv r ~dst
+
+(* Memory gate for block-Jacobi: total factor storage Σ_s b_s² words.
+   32M words = 256 MB of doubles; 500 PoPs (499² per block x 500
+   sources ≈ 125M words) falls back to Jacobi with a warning. *)
+let block_jacobi_budget_words = 32_000_000
+
+(* Block-Jacobi M⁻¹ for CG on G + shift·I: per-source dense blocks of
+   the Gram matrix, Cholesky-factored once and applied by in-place
+   forward/back substitution.  Returns [None] (after a warning) when
+   the factors would blow the memory budget; callers fall back to
+   {!jacobi_cg_minv}.  Cached per (shift, domain): the applier owns
+   gather buffers. *)
+let block_jacobi_cg_minv t ~shift =
+  (* Force inputs through their own memos before taking any lock. *)
+  let n = Topology.num_nodes t.routing.Routing.topo in
+  let p = num_pairs t in
+  let rt = if t.sparse then Some (transpose t) else None in
+  let g = if t.sparse then None else Some (gram t) in
+  let key = (Printf.sprintf "cg.block:%h" shift, (Domain.self () :> int)) in
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.block_tbl key with
+        | Some v ->
+            t.counters.c_precond.h <- t.counters.c_precond.h + 1;
+            sample t "precond" t.counters.c_precond;
+            Some v
+        | None ->
+            t.counters.c_precond.m <- t.counters.c_precond.m + 1;
+            sample t "precond" t.counters.c_precond;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let t0 = Sys.time () in
+      let module Odpairs = Tmest_net.Odpairs in
+      let idxs = Array.make n [] in
+      for pair = p - 1 downto 0 do
+        let s = Odpairs.source ~nodes:n pair in
+        idxs.(s) <- pair :: idxs.(s)
+      done;
+      let idxs = Array.map Array.of_list idxs in
+      let words =
+        Array.fold_left (fun acc a -> acc + (Array.length a * Array.length a))
+          0 idxs
+      in
+      let v =
+        if words > block_jacobi_budget_words then begin
+          Logs.warn (fun m ->
+              m "Workspace.block_jacobi: factor storage %d words exceeds \
+                 budget %d; falling back to Jacobi"
+                words block_jacobi_budget_words);
+          None
+        end
+        else begin
+          (* Entry oracle for G_ij restricted to one source block. *)
+          let block_entry =
+            match (rt, g) with
+            | Some rt, _ ->
+                fun i j ->
+                  (* Sparse rows of Rᵀ are short (path lengths); the
+                     merge over two sorted link lists is O(h_i + h_j). *)
+                  let rec merge a b acc =
+                    match (a, b) with
+                    | (la, va) :: ta, (lb, vb) :: tb ->
+                        if la = lb then merge ta tb (acc +. (va *. vb))
+                        else if la < lb then merge ta b acc
+                        else merge a tb acc
+                    | _ -> acc
+                  in
+                  merge (Csr.row_nonzeros rt i) (Csr.row_nonzeros rt j) 0.
+            | None, Some g -> fun i j -> Mat.unsafe_get g i j
+            | None, None -> assert false
+          in
+          let blocks =
+            Array.map
+              (fun idx ->
+                let b = Array.length idx in
+                if b = 0 then (idx, Mat.zeros 0 0, Vec.zeros 0)
+                else begin
+                  let blk = Mat.zeros b b in
+                  for a = 0 to b - 1 do
+                    for bj = a to b - 1 do
+                      let v = block_entry idx.(a) idx.(bj) in
+                      let v = if a = bj then v +. shift else v in
+                      Mat.unsafe_set blk a bj v;
+                      Mat.unsafe_set blk bj a v
+                    done
+                  done;
+                  let low = Chol.lower (Chol.factor_regularized blk) in
+                  (idx, low, Vec.zeros b)
+                end)
+              idxs
+          in
+          Some
+            (fun r ~dst ->
+              Array.iter
+                (fun (idx, low, tmp) ->
+                  let b = Array.length idx in
+                  for a = 0 to b - 1 do
+                    tmp.(a) <- r.(idx.(a))
+                  done;
+                  (* Forward substitution L y = tmp, in place. *)
+                  for a = 0 to b - 1 do
+                    let acc = ref tmp.(a) in
+                    for j = 0 to a - 1 do
+                      acc := !acc -. (Mat.unsafe_get low a j *. tmp.(j))
+                    done;
+                    tmp.(a) <- !acc /. Mat.unsafe_get low a a
+                  done;
+                  (* Back substitution Lᵀ x = y, in place. *)
+                  for a = b - 1 downto 0 do
+                    let acc = ref tmp.(a) in
+                    for j = a + 1 to b - 1 do
+                      acc := !acc -. (Mat.unsafe_get low j a *. tmp.(j))
+                    done;
+                    tmp.(a) <- !acc /. Mat.unsafe_get low a a
+                  done;
+                  for a = 0 to b - 1 do
+                    dst.(idx.(a)) <- tmp.(a)
+                  done)
+                blocks)
+        end
+      in
+      let dt = Sys.time () -. t0 in
+      Mutex.protect t.lock (fun () ->
+          t.counters.c_precond.s <- t.counters.c_precond.s +. dt;
+          Hashtbl.replace t.block_tbl key v);
+      v
+
+(* Per-method iteration counts from the most recent solve: noted by
+   [Estimator.solve], read by the benchmark emitters.  Also streamed as
+   a [solve.<name>.iterations] counter when tracing is enabled (the
+   count is deterministic, so this keeps one-job trace determinism). *)
+let note_iterations t ~name ~iterations =
+  Mutex.protect t.lock (fun () ->
+      t.last_iters <-
+        take_mru max_keyed
+          ((name, iterations)
+          :: List.filter (fun (k, _) -> not (String.equal k name)) t.last_iters);
+      if t.sink.Obs.enabled then
+        Obs.counter t.sink
+          ("solve." ^ name ^ ".iterations")
+          (float_of_int iterations))
+
+let last_iterations t ~name =
+  Mutex.protect t.lock (fun () -> List.assoc_opt name t.last_iters)
+
+let same_loads a b = a == b || Vec.equal ~eps:0. a b
 
 let total_traffic t ~loads =
   if Array.length loads <> num_links t then
@@ -580,6 +819,7 @@ type stats = {
   total : counter;
   solve : counter;
   warm : counter;
+  precond : counter;
   solve_words : float;
   peak_solve_words : float;
   heap_words : float;
@@ -602,6 +842,7 @@ let stats t =
         total = snap c.c_total;
         solve = snap c.c_solve;
         warm = snap c.c_warm;
+        precond = snap c.c_precond;
         solve_words = t.solve_words;
         peak_solve_words = t.peak_words;
         heap_words = t.heap_words;
@@ -626,6 +867,7 @@ let reset_stats t =
       z c.c_total;
       z c.c_solve;
       z c.c_warm;
+      z c.c_precond;
       t.solve_words <- 0.;
       t.peak_words <- 0.;
       t.heap_words <- 0.)
@@ -673,6 +915,7 @@ let add_stats a b =
     total = add_counter a.total b.total;
     solve = add_counter a.solve b.solve;
     warm = add_counter a.warm b.warm;
+    precond = add_counter a.precond b.precond;
     solve_words = a.solve_words +. b.solve_words;
     peak_solve_words = Float.max a.peak_solve_words b.peak_solve_words;
     heap_words = Float.max a.heap_words b.heap_words;
@@ -691,6 +934,7 @@ let stats_rows s =
     ("total", s.total.hits, s.total.misses, s.total.seconds);
     ("solve", s.solve.hits, s.solve.misses, s.solve.seconds);
     ("warm", s.warm.hits, s.warm.misses, s.warm.seconds);
+    ("precond", s.precond.hits, s.precond.misses, s.precond.seconds);
   ]
 
 let pp_stats ppf s =

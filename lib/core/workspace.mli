@@ -52,6 +52,24 @@ type mode = Auto | Dense | Sparse
     paper networks with 132 and 600 pairs stay dense). *)
 val sparse_gate : int
 
+(** Preconditioner policy for the iterative solvers.  [Precond_auto]
+    resolves to each method's measured best configuration: the
+    quadratic solvers (bayes, vardi, cao's bootstrap) take Jacobi in
+    sparse mode — iteration counts dominate wall-clock at 100–500 PoPs
+    and the exact Gram diagonal costs one O(nnz) pass — and none in
+    dense mode (see {!resolve_precond}), which keeps every historical
+    dense golden result bit-identical; entropy and fanout resolve
+    [Precond_auto] to none (the KL-prox and block-simplex geometries
+    measured slower under the diagonal metric).  [Precond_block]
+    selects block-Jacobi where a block structure exists (per-source CG
+    blocks, fanout's per-source metric) and degrades to Jacobi
+    elsewhere. *)
+type precond_kind =
+  | Precond_auto
+  | Precond_jacobi
+  | Precond_block
+  | Precond_none
+
 (** [create ?pool ?sink ?mode routing] wraps a routing context.  No
     artifact is computed until first use.  [pool], when given, is the
     domain pool row-partitioned kernels and multi-chain samplers use for
@@ -71,6 +89,13 @@ val mode : t -> mode
 
 (** [is_sparse t] is [mode t = Sparse]. *)
 val is_sparse : t -> bool
+
+(** [resolve_precond t kind] resolves [Precond_auto] against this
+    workspace's mode (Jacobi when sparse, none when dense); other kinds
+    pass through.  Never returns [Precond_auto].  Methods whose
+    geometry measured slower under the diagonal metric (entropy,
+    fanout) bypass this and treat [Precond_auto] as none themselves. *)
+val resolve_precond : t -> precond_kind -> precond_kind
 
 (** [sink t] is the trace sink attached to this workspace; the null
     sink unless a driver installed one ([--trace]). *)
@@ -192,6 +217,53 @@ val lipschitz_of_matrix : t -> Tmest_linalg.Mat.t -> float
 val lipschitz_of_op :
   t -> dim:int -> (Tmest_linalg.Vec.t -> Tmest_linalg.Vec.t) -> float
 
+(** {1 Preconditioners}
+
+    All preconditioner artifacts are memoized per routing context and
+    counted under the [precond] stats class.  Diagonals are {e exact}
+    (one O(nnz) pass over the stored routing entries), never stochastic
+    estimates, so preconditioned runs stay bit-reproducible across job
+    counts. *)
+
+(** [gram_diag t] is the exact diagonal of [RᵀR]
+    ({!Tmest_linalg.Csr.col_sq_norms}), memoized.  Both modes. *)
+val gram_diag : t -> Tmest_linalg.Vec.t
+
+(** [precond_vec t ~key ~compute] memoizes a method-specific
+    preconditioner diagonal under [key] (encode parameters with [%h]).
+    The value is shared read-only across domains. *)
+val precond_vec :
+  t -> key:string -> compute:(unit -> Tmest_linalg.Vec.t) ->
+  Tmest_linalg.Vec.t
+
+(** [jacobi_cg_minv t ~shift] is the Jacobi [M⁻¹] for CG on the shifted
+    normal equations [G + shift·I]: [z_i = r_i / (g_i + shift)] (zero
+    diagonal entries pass through unscaled).  Pass as
+    {!Tmest_opt.Cg.solve_into}'s [m_inv_into]. *)
+val jacobi_cg_minv :
+  t -> shift:float -> Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit
+
+(** [block_jacobi_cg_minv t ~shift] is the block-Jacobi [M⁻¹] for CG on
+    [G + shift·I]: per-source dense Gram blocks, Cholesky-factored once
+    and applied by in-place triangular solves.  [None] (after a logged
+    warning) when the factors would exceed the memory budget
+    (Σ block² > 32M words) — fall back to {!jacobi_cg_minv}.  Cached per
+    calling domain (the applier owns gather buffers). *)
+val block_jacobi_cg_minv :
+  t -> shift:float ->
+  (Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) option
+
+(** [note_iterations t ~name ~iterations] records the iteration count
+    of the most recent solve of method [name] (bounded MRU; called by
+    [Estimator.solve]).  With an enabled sink also emits a
+    [solve.<name>.iterations] counter sample — iteration counts are
+    deterministic, so traces stay reproducible. *)
+val note_iterations : t -> name:string -> iterations:int -> unit
+
+(** [last_iterations t ~name] is the iteration count noted by the most
+    recent solve of method [name], if any. *)
+val last_iterations : t -> name:string -> int option
+
 (** {1 Load-dependent caches}
 
     Keyed by the load vector itself (physical equality first, then
@@ -284,6 +356,9 @@ type stats = {
   solve : counter;  (** full estimator runs via [Estimator.run_ws]
                         ([misses] = number of solves) *)
   warm : counter;  (** warm-start lookups ([hits] = starts served) *)
+  precond : counter;
+      (** preconditioner artifacts: Gram diagonal, method diagonals,
+          block-Jacobi factors ([hits] = cached reuses) *)
   solve_words : float;
       (** cumulative words (minor+major) allocated inside recorded
           solves *)

@@ -138,6 +138,18 @@ let tmatvec m x =
   tmatvec_into m x ~dst:y;
   y
 
+(* Exact diagonal of the Gram matrix AᵀA: (AᵀA)_jj = Σ_i A_ij², one
+   pass over the stored entries.  This is what makes Jacobi
+   preconditioners exact and O(nnz) — no Hutchinson sampling needed. *)
+let col_sq_norms m =
+  let d = Array.make m.cols 0. in
+  for k = 0 to Array.length m.values - 1 do
+    let j = Array.unsafe_get m.col_idx k in
+    let v = Array.unsafe_get m.values k in
+    Array.unsafe_set d j (Array.unsafe_get d j +. (v *. v))
+  done;
+  d
+
 let to_dense m =
   let d = Mat.zeros m.rows m.cols in
   for i = 0 to m.rows - 1 do

@@ -43,6 +43,13 @@ val tmatvec_into : t -> Vec.t -> dst:Vec.t -> unit
 (** [to_dense m] expands to a dense matrix. *)
 val to_dense : t -> Mat.t
 
+(** [col_sq_norms m] is the vector of column sums-of-squares
+    [d_j = Σ_i m_ij²] — the exact diagonal of the Gram matrix [mᵀm],
+    computed in one O(nnz) pass (the building block of Jacobi
+    preconditioners; exact, so no stochastic trace/diagonal estimation
+    is ever needed for Gram diagonals). *)
+val col_sq_norms : t -> Vec.t
+
 (** [row_nonzeros m i] is the list of [(col, value)] pairs of row [i],
     in increasing column order. *)
 val row_nonzeros : t -> int -> (int * float) list

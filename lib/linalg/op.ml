@@ -7,6 +7,15 @@
    operators apply in O(nnz), and compositions (normal equations,
    diagonal shifts, low-rank corrections) stay matrix-free.
 
+   Operators additionally carry {e exact} diagonal thunks where the
+   composition admits one in O(nnz): [diag] for the operator's own
+   diagonal (square operators) and [normal_diag] for the diagonal of
+   AᵀA (column sums-of-squares of the underlying matrix).  Jacobi
+   preconditioners read these instead of falling back to stochastic
+   (Hutchinson-style) diagonal estimation — the exact value is both
+   cheaper (one pass over the stored entries vs. dozens of operator
+   applications) and deterministic.
+
    Operators are single-caller: compositions such as {!normal} keep one
    internal scratch buffer, so a given operator value must not be
    applied concurrently from several domains.  (Parallelism lives
@@ -17,14 +26,18 @@ type t = {
   cols : int;
   apply_into : Vec.t -> dst:Vec.t -> unit;
   apply_t_into : Vec.t -> dst:Vec.t -> unit;
+  diag : (unit -> Vec.t) option;
+  normal_diag : (unit -> Vec.t) option;
 }
 
-let make ~rows ~cols ~apply_into ~apply_t_into =
+let make ?diag ?normal_diag ~rows ~cols ~apply_into ~apply_t_into () =
   if rows < 0 || cols < 0 then invalid_arg "Op.make: negative dimension";
-  { rows; cols; apply_into; apply_t_into }
+  { rows; cols; apply_into; apply_t_into; diag; normal_diag }
 
 let rows t = t.rows
 let cols t = t.cols
+let diagonal t = Option.map (fun f -> f ()) t.diag
+let normal_diagonal t = Option.map (fun f -> f ()) t.normal_diag
 
 let check_apply t x ~dst =
   if Vec.dim x <> t.cols then invalid_arg "Op.apply: dimension mismatch";
@@ -59,6 +72,9 @@ let of_csr ?pool m =
     cols = Csr.cols m;
     apply_into = (fun x ~dst -> Csr.matvec_into ?pool m x ~dst);
     apply_t_into = (fun y ~dst -> Csr.tmatvec_into m y ~dst);
+    diag = None;
+    (* diag(mᵀm) exactly, in one O(nnz) pass. *)
+    normal_diag = Some (fun () -> Csr.col_sq_norms m);
   }
 
 let of_mat ?pool m =
@@ -67,27 +83,66 @@ let of_mat ?pool m =
     cols = Mat.cols m;
     apply_into = (fun x ~dst -> Mat.matvec_into ?pool m x ~dst);
     apply_t_into = (fun y ~dst -> Mat.tmatvec_into m y ~dst);
+    diag =
+      (if Mat.rows m = Mat.cols m then
+         Some (fun () -> Vec.init (Mat.rows m) (fun i -> Mat.unsafe_get m i i))
+       else None);
+    normal_diag =
+      Some
+        (fun () ->
+          Vec.init (Mat.cols m) (fun j ->
+              let acc = ref 0. in
+              for i = 0 to Mat.rows m - 1 do
+                let v = Mat.unsafe_get m i j in
+                acc := !acc +. (v *. v)
+              done;
+              !acc));
   }
 
 (* AᵀA as a single square operator.  The intermediate rows-length
    product lives in one scratch buffer owned by the closure (see the
-   single-caller note above). *)
+   single-caller note above).  Its exact diagonal is the factor's
+   column sums-of-squares, inherited from [normal_diag]. *)
 let normal a =
   let scratch = Vec.zeros a.rows in
   let apply x ~dst =
     a.apply_into x ~dst:scratch;
     a.apply_t_into scratch ~dst
   in
-  { rows = a.cols; cols = a.cols; apply_into = apply; apply_t_into = apply }
+  {
+    rows = a.cols;
+    cols = a.cols;
+    apply_into = apply;
+    apply_t_into = apply;
+    diag = a.normal_diag;
+    normal_diag = None;
+  }
 
 let diag d =
   let n = Vec.dim d in
   let apply x ~dst = Vec.mul_into d x ~dst in
-  { rows = n; cols = n; apply_into = apply; apply_t_into = apply }
+  {
+    rows = n;
+    cols = n;
+    apply_into = apply;
+    apply_t_into = apply;
+    diag = Some (fun () -> Vec.copy d);
+    normal_diag = Some (fun () -> Vec.map (fun v -> v *. v) d);
+  }
 
 let identity n =
   let apply x ~dst = Vec.blit_into x ~dst in
-  { rows = n; cols = n; apply_into = apply; apply_t_into = apply }
+  let ones () = Vec.create n 1. in
+  {
+    rows = n;
+    cols = n;
+    apply_into = apply;
+    apply_t_into = apply;
+    diag = Some ones;
+    normal_diag = Some ones;
+  }
+
+let map_thunk f = Option.map (fun g () -> f (g ()))
 
 let scale c a =
   {
@@ -100,6 +155,8 @@ let scale c a =
       (fun y ~dst ->
         a.apply_t_into y ~dst;
         Vec.scale_into c dst ~dst);
+    diag = map_thunk (Vec.scale c) a.diag;
+    normal_diag = map_thunk (Vec.scale (c *. c)) a.normal_diag;
   }
 
 let add a b =
@@ -120,6 +177,12 @@ let add a b =
         b.apply_t_into y ~dst:scratch_c;
         a.apply_t_into y ~dst;
         Vec.add_into dst scratch_c ~dst);
+    diag =
+      (match (a.diag, b.diag) with
+      | Some da, Some db -> Some (fun () -> Vec.add (da ()) (db ()))
+      | _ -> None);
+    (* diag((A+B)ᵀ(A+B)) needs the cross term AᵀB; not tracked. *)
+    normal_diag = None;
   }
 
 let add_diag a d =
@@ -135,6 +198,8 @@ let add_diag a d =
     a with
     apply_into = wrap a.apply_into;
     apply_t_into = wrap a.apply_t_into;
+    diag = map_thunk (fun da -> Vec.add da d) a.diag;
+    normal_diag = None;
   }
 
 let shift a c =
@@ -147,6 +212,8 @@ let shift a c =
     a with
     apply_into = wrap a.apply_into;
     apply_t_into = wrap a.apply_t_into;
+    diag = map_thunk (Vec.map (fun v -> v +. c)) a.diag;
+    normal_diag = None;
   }
 
 (* Rank-one correction x ↦ u (v·x); the transpose swaps the factors. *)
@@ -162,6 +229,42 @@ let outer u v =
       (fun y ~dst ->
         let a = Vec.dot u y in
         Vec.scale_into a v ~dst);
+    diag =
+      (if Vec.dim u = Vec.dim v then Some (fun () -> Vec.mul u v) else None);
+    normal_diag =
+      Some
+        (fun () ->
+          let uu = Vec.dot u u in
+          Vec.map (fun vi -> uu *. vi *. vi) v);
+  }
+
+(* Symmetric diagonal preconditioning D^{-1/2} A D^{-1/2}: similar to
+   M⁻¹A (same spectrum) but stays symmetric, so spectral estimates and
+   CG theory carry over unchanged.  The inverse square roots are
+   materialized once; each application costs two extra O(n) scalings. *)
+let precondition a d =
+  if a.rows <> a.cols then invalid_arg "Op.precondition: operator not square";
+  if Vec.dim d <> a.cols then
+    invalid_arg "Op.precondition: diagonal dimension mismatch";
+  let inv_sqrt =
+    Vec.map
+      (fun v ->
+        if v <= 0. then invalid_arg "Op.precondition: diagonal must be > 0"
+        else 1. /. sqrt v)
+      d
+  in
+  let scratch = Vec.zeros a.cols in
+  let apply f x ~dst =
+    Vec.mul_into inv_sqrt x ~dst:scratch;
+    f scratch ~dst;
+    Vec.mul_into inv_sqrt dst ~dst
+  in
+  {
+    a with
+    apply_into = apply a.apply_into;
+    apply_t_into = apply a.apply_t_into;
+    diag = map_thunk (fun da -> Vec.div da d) a.diag;
+    normal_diag = None;
   }
 
 (* ------------------------------------------------------------------ *)

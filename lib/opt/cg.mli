@@ -13,7 +13,7 @@ type result = {
 
 (** Number of scratch buffers of the system dimension consumed by
     [solve_into] (iterate, residual, search direction, operator
-    output). *)
+    output, preconditioned residual). *)
 val scratch_size : int
 
 (** [solve_into ~apply_into ~b ()] solves [A x = b] for SPD [A] given
@@ -25,11 +25,19 @@ val scratch_size : int
     below [tol * ‖b‖] (default [tol = 1e-10]) or [max_iter] iterations
     (default [2 * dim]) — and the trace sink; with an enabled sink the
     solver emits one span plus a per-iteration record (residual norm,
-    step length α). *)
+    step length α).
+
+    [?m_inv_into] turns the solver into preconditioned CG: it must
+    apply a symmetric positive-definite [M⁻¹] (e.g. inverse Jacobi or
+    block-Jacobi diagonal) into [dst], and is called once per iteration.
+    Convergence is still judged on the true residual [‖b − A x‖], so the
+    preconditioner changes the iteration count, never the accuracy.
+    Omitting it gives a path bit-identical to classic CG. *)
 val solve_into :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Stop.t ->
   ?scratch:Tmest_linalg.Vec.t array ->
+  ?m_inv_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   apply_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   b:Tmest_linalg.Vec.t ->
   unit ->

@@ -6,9 +6,13 @@ type result = { x : Vec.t; iterations : int; converged : bool }
 
 let scratch_size = 4
 
-let solve_into ?x0 ?(stop = Stop.default) ?scratch ?objective ~dim
-    ~gradient_into ~prox_into ~lipschitz () =
+let solve_into ?x0 ?(stop = Stop.default) ?scratch ?objective ?dinv ?backtrack
+    ~dim ~gradient_into ~prox_into ~lipschitz () =
   if lipschitz <= 0. then invalid_arg "Proxgrad.solve: lipschitz must be > 0";
+  (match dinv with
+  | Some dv when Vec.dim dv <> dim ->
+      invalid_arg "Proxgrad.solve: dinv dimension mismatch"
+  | _ -> ());
   let max_iter = Stop.max_iter stop ~default:3000 in
   let tol = Stop.tol stop ~default:1e-9 in
   let sink = stop.Stop.sink in
@@ -30,14 +34,69 @@ let solve_into ?x0 ?(stop = Stop.default) ?scratch ?objective ~dim
   let momentum = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
+  (* Preconditioned forward step x⁺ = prox_η(y − η·D⁻¹∇f(y)); the prox
+     callback sees the same η and is expected to apply the matching
+     metric (e.g. {!kl_prox_scaled_into} with the same [dinv]).  Without
+     [dinv] this is the historical axpy, bit for bit. *)
+  let take_step eta =
+    (match dinv with
+    | None -> Vec.axpy_into (-.eta) g y ~dst:!x_next
+    | Some dv ->
+        let xna = !x_next in
+        for i = 0 to dim - 1 do
+          Array.unsafe_set xna i
+            (Array.unsafe_get y i
+            -. (eta *. Array.unsafe_get dv i *. Array.unsafe_get g i))
+        done);
+    prox_into eta !x_next ~dst:!x_next
+  in
+  (* Backtracking line search on the smooth part (see Fista.solve_into):
+     seed from the spectral estimate, halve on failure, mild growth
+     between iterations. *)
+  let bt_step = ref step in
+  let used_step = ref step in
+  let quad_gap eta =
+    let xna = !x_next in
+    let gd = ref 0. and dd = ref 0. in
+    (match dinv with
+    | None ->
+        for i = 0 to dim - 1 do
+          let d = Array.unsafe_get xna i -. Array.unsafe_get y i in
+          gd := !gd +. (Array.unsafe_get g i *. d);
+          dd := !dd +. (d *. d)
+        done
+    | Some dv ->
+        for i = 0 to dim - 1 do
+          let d = Array.unsafe_get xna i -. Array.unsafe_get y i in
+          gd := !gd +. (Array.unsafe_get g i *. d);
+          dd := !dd +. (d *. d /. Array.unsafe_get dv i)
+        done);
+    !gd +. (!dd /. (2. *. eta))
+  in
   if traced then
     Obs.span_begin sink label
       ~args:[ ("dim", Obs.Int dim); ("max_iter", Obs.Int max_iter) ];
   while (not !converged) && !iterations < max_iter do
     incr iterations;
     gradient_into y ~dst:g;
-    Vec.axpy_into (-.step) g y ~dst:!x_next;
-    prox_into step !x_next ~dst:!x_next;
+    (match backtrack with
+    | None -> take_step step
+    | Some f ->
+        let fy = f y in
+        let slack = 1e-10 *. (abs_float fy +. 1.) in
+        let accepted = ref false in
+        let attempts = ref 0 in
+        while not !accepted do
+          incr attempts;
+          take_step !bt_step;
+          if
+            !attempts >= 30
+            || f !x_next <= fy +. quad_gap !bt_step +. slack
+          then accepted := true
+          else bt_step := !bt_step /. 2.
+        done;
+        used_step := !bt_step;
+        bt_step := !bt_step *. 1.25);
     (* Fused restart/step/norm pass; see Fista.solve_into. *)
     let xa = !x and xna = !x_next in
     let restart_dot = ref 0. and delta_sq = ref 0. and xnext_sq = ref 0. in
@@ -64,7 +123,7 @@ let solve_into ?x0 ?(stop = Stop.default) ?scratch ?objective ~dim
       Obs.iter sink ~solver:label ~iter:!iterations
         ~objective:
           (match objective with Some f -> f !x_next | None -> nan)
-        ~residual:(sqrt !delta_sq) ~step ~restart ();
+        ~residual:(sqrt !delta_sq) ~step:!used_step ~restart ();
     let tmp = !x in
     x := !x_next;
     x_next := tmp;
@@ -118,16 +177,30 @@ let kl_prox_into ~weight ~prior step v ~dst =
               end
             in
             dst.(i) <- (if guess > -1.0 then guess else -1.0);
-            for _ = 1 to 40 do
+            (* Fixed-point early exit (see [Lambert.w0]): once an
+               update leaves the cell unchanged every remaining pass
+               would too, so breaking is bit-identical to the fixed
+               40-iteration loop.  Halley converges cubically, so this
+               turns ~40 exp/log evaluations into ~5 — the difference
+               between the prox dominating the entropy solve and it
+               costing about as much as the matvecs. *)
+            let it = ref 0 and live = ref true in
+            while !live && !it < 40 do
+              incr it;
               let w = dst.(i) in
               let ew = exp w in
               let f = (w *. ew) -. x in
-              if f <> 0. then begin
+              if f = 0. then live := false
+              else begin
                 let denom =
                   (ew *. (w +. 1.))
                   -. ((w +. 2.) *. f /. (2. *. (w +. 1.)))
                 in
-                if denom <> 0. then dst.(i) <- w -. (f /. denom)
+                if denom = 0. then live := false
+                else begin
+                  let next = w -. (f /. denom) in
+                  if next = w then live := false else dst.(i) <- next
+                end
               end
             done;
             dst.(i) <- c *. dst.(i)
@@ -138,12 +211,16 @@ let kl_prox_into ~weight ~prior step v ~dst =
              would box both floats; [l > 1] here so no NaN concerns.) *)
           let g = l -. log l in
           dst.(i) <- (if g > 1e-8 then g else 1e-8);
-          for _ = 1 to 60 do
+          (* Same fixed-point early exit as the Halley branch. *)
+          let it = ref 0 and live = ref true in
+          while !live && !it < 60 do
+            incr it;
             let w = dst.(i) in
             let f = w +. log w -. l in
             let f' = 1. +. (1. /. w) in
             let next = w -. (f /. f') in
-            dst.(i) <- (if next > 0. then next else w /. 2.)
+            let next = if next > 0. then next else w /. 2. in
+            if next = w then live := false else dst.(i) <- next
           done;
           dst.(i) <- c *. dst.(i)
         end
@@ -155,6 +232,83 @@ let kl_prox ~weight ~prior step v =
   let dst = Vec.zeros (Vec.dim v) in
   kl_prox_into ~weight ~prior step v ~dst;
   dst
+
+(* KL prox in the diagonal metric ‖u−v‖²_D/(2η) with D = diag(1/dinv):
+   the problem stays separable and coordinate i sees the effective step
+   η·dinv_i, so this is {!kl_prox_into} with a per-coordinate
+   c_i = weight·step·dinv_i.  The loop bodies are duplicated rather
+   than shared through a closure for the same unboxing reason. *)
+let kl_prox_scaled_into ~weight ~prior ~dinv step v ~dst =
+  if weight < 0. then invalid_arg "Proxgrad.kl_prox_scaled: negative weight";
+  if Vec.dim dst <> Vec.dim v then
+    invalid_arg "Proxgrad.kl_prox_scaled_into: destination dimension mismatch";
+  if Vec.dim prior <> Vec.dim v then
+    invalid_arg "Proxgrad.kl_prox_scaled_into: prior dimension mismatch";
+  if Vec.dim dinv <> Vec.dim v then
+    invalid_arg "Proxgrad.kl_prox_scaled_into: dinv dimension mismatch";
+  if weight = 0. || step = 0. then Vec.clamp_nonneg_into v ~dst
+  else
+    for i = 0 to Vec.dim v - 1 do
+      let p = prior.(i) in
+      let c = weight *. step *. dinv.(i) in
+      if p <= 0. then dst.(i) <- 0.
+      else if c <= 0. then
+        dst.(i) <- (if v.(i) > 0. then v.(i) else 0.)
+      else begin
+        let l = log p -. log c +. (v.(i) /. c) in
+        if l < -700. then dst.(i) <- c *. exp l
+        else if l <= 1. then begin
+          let x = exp l in
+          if x = 0. then dst.(i) <- 0.
+          else begin
+            let guess =
+              if x < 1. then x *. (1. -. x +. (1.5 *. x *. x))
+              else begin
+                let l1 = log x in
+                let l2 = log l1 in
+                if l1 > 3. then l1 -. l2 +. (l2 /. l1) else l1
+              end
+            in
+            dst.(i) <- (if guess > -1.0 then guess else -1.0);
+            let it = ref 0 and live = ref true in
+            while !live && !it < 40 do
+              incr it;
+              let w = dst.(i) in
+              let ew = exp w in
+              let f = (w *. ew) -. x in
+              if f = 0. then live := false
+              else begin
+                let denom =
+                  (ew *. (w +. 1.))
+                  -. ((w +. 2.) *. f /. (2. *. (w +. 1.)))
+                in
+                if denom = 0. then live := false
+                else begin
+                  let next = w -. (f /. denom) in
+                  if next = w then live := false else dst.(i) <- next
+                end
+              end
+            done;
+            dst.(i) <- c *. dst.(i)
+          end
+        end
+        else begin
+          let g = l -. log l in
+          dst.(i) <- (if g > 1e-8 then g else 1e-8);
+          let it = ref 0 and live = ref true in
+          while !live && !it < 60 do
+            incr it;
+            let w = dst.(i) in
+            let f = w +. log w -. l in
+            let f' = 1. +. (1. /. w) in
+            let next = w -. (f /. f') in
+            let next = if next > 0. then next else w /. 2. in
+            if next = w then live := false else dst.(i) <- next
+          done;
+          dst.(i) <- c *. dst.(i)
+        end
+      end
+    done
 
 let kl_divergence s p =
   if Array.length s <> Array.length p then

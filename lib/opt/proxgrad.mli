@@ -29,12 +29,23 @@ val scratch_size : int
     [stop] bundles the iteration budget (default 3000), tolerance
     (default 1e-9) and trace sink ({!Stop.t}); with an enabled sink the
     solver emits one span plus per-iteration records, and [objective]
-    (evaluated only when tracing) fills their objective column. *)
+    (evaluated only when tracing) fills their objective column.
+
+    [dinv] applies diagonal preconditioning: the forward step becomes
+    [y − step·D⁻¹∇f(y)] with [D = diag(1/dinv)], and [prox_into] must
+    apply the prox in the same metric (see {!kl_prox_scaled_into});
+    [lipschitz] must bound the preconditioned curvature.  [backtrack]
+    (value of the smooth part) replaces the fixed [1/lipschitz] step
+    with a backtracking line search seeded by the spectral estimate;
+    see {!Fista.solve_into}.  Omitting both reproduces the historical
+    path bit for bit. *)
 val solve_into :
   ?x0:Tmest_linalg.Vec.t ->
   ?stop:Stop.t ->
   ?scratch:Tmest_linalg.Vec.t array ->
   ?objective:(Tmest_linalg.Vec.t -> float) ->
+  ?dinv:Tmest_linalg.Vec.t ->
+  ?backtrack:(Tmest_linalg.Vec.t -> float) ->
   dim:int ->
   gradient_into:(Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
   prox_into:(float -> Tmest_linalg.Vec.t -> dst:Tmest_linalg.Vec.t -> unit) ->
@@ -73,6 +84,21 @@ val kl_prox_into :
 val kl_prox :
   weight:float -> prior:Tmest_linalg.Vec.t -> float -> Tmest_linalg.Vec.t ->
   Tmest_linalg.Vec.t
+
+(** [kl_prox_scaled_into ~weight ~prior ~dinv step v ~dst] is
+    {!kl_prox_into} in the diagonal metric [D = diag(1/dinv)]
+    ([argmin_u weight·D(u‖prior) + ‖u−v‖²_D/(2·step)]): separable, with
+    coordinate [i] seeing the effective step [step·dinv.(i)].  The
+    matching prox for {!solve_into}'s [dinv] option.  [dst] may alias
+    [v]. *)
+val kl_prox_scaled_into :
+  weight:float ->
+  prior:Tmest_linalg.Vec.t ->
+  dinv:Tmest_linalg.Vec.t ->
+  float ->
+  Tmest_linalg.Vec.t ->
+  dst:Tmest_linalg.Vec.t ->
+  unit
 
 (** [kl_divergence s p] is [Σ sᵢ ln(sᵢ/pᵢ) − sᵢ + pᵢ], with the usual
     conventions [0 ln 0 = 0]; infinite if some [sᵢ > 0] has [pᵢ = 0]. *)

@@ -21,15 +21,26 @@ let w0 x =
       end
     in
     let w = ref (Stdlib.max w0_guess (-1.0)) in
-    for _ = 1 to 40 do
+    (* Early exit when the iterate reaches a fixed point: every further
+       pass would recompute the same value, so breaking is bit-identical
+       to the historical fixed 40-iteration loop (an oscillating iterate
+       never matches and still runs the full budget). *)
+    let it = ref 0 and live = ref true in
+    while !live && !it < 40 do
+      incr it;
       let ew = exp !w in
       let f = (!w *. ew) -. x in
-      if f <> 0. then begin
+      if f = 0. then live := false
+      else begin
         let denom =
           (ew *. (!w +. 1.))
           -. ((!w +. 2.) *. f /. (2. *. (!w +. 1.)))
         in
-        if denom <> 0. then w := !w -. (f /. denom)
+        if denom = 0. then live := false
+        else begin
+          let next = !w -. (f /. denom) in
+          if next = !w then live := false else w := next
+        end
       end
     done;
     !w
@@ -41,11 +52,15 @@ let w0_exp log_x =
   else if log_x <= 1. then w0 (exp log_x)
   else begin
     let w = ref (Stdlib.max (log_x -. log log_x) 1e-8) in
-    for _ = 1 to 60 do
+    (* Same fixed-point early exit as [w0]: bit-identical results. *)
+    let it = ref 0 and live = ref true in
+    while !live && !it < 60 do
+      incr it;
       let f = !w +. log !w -. log_x in
       let f' = 1. +. (1. /. !w) in
       let next = !w -. (f /. f') in
-      w := if next > 0. then next else !w /. 2.
+      let next = if next > 0. then next else !w /. 2. in
+      if next = !w then live := false else w := next
     done;
     !w
   end
