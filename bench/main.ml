@@ -24,6 +24,12 @@
    watermark below pairs^2/2 words — the witness that no dense Gram or
    routing matrix was ever materialized.
 
+   [--throughput] replays a full measurement day (288 five-minute
+   windows) at 25 and 100 PoPs over jobs in {1, 2, 4, 8} and writes
+   windows/sec to BENCH_throughput.json; [--throughput --fast] is the
+   CI smoke variant (smaller networks, 24 windows, same jobs sweep).
+   Speedup floors are asserted only on boxes with >= 2 cores.
+
    Other flags: [--fast] (reduced datasets for the report mode),
    [--jobs N] (domain-pool size; default TMEST_JOBS, then the
    recommended domain count), [--only fig13,tab2], [--list]. *)
@@ -88,14 +94,17 @@ let run_reports ~fast ~only () =
    machinery is overkill here — these are one-shot artifact timings
    whose point is the cold/warm ratio, not nanosecond precision. *)
 (* Machine/run provenance stamped into every BENCH_*.json, so recorded
-   numbers can be compared across checkouts: the physical core count
-   the runtime reports, the pool size the benchmark actually used, and
-   the compiler version. *)
+   numbers can be compared across checkouts: the core count the
+   benchmark treats as available, the runtime's own recommendation
+   (identical here, but kept as a separate key because downstream
+   tooling reads both and containerized runners can diverge), the pool
+   size the benchmark actually used, and the compiler version. *)
 let provenance ~jobs =
+  let cores = Domain.recommended_domain_count () in
   Printf.sprintf
-    "  \"cores\": %d,\n  \"jobs\": %d,\n  \"ocaml_version\": %S,\n"
-    (Domain.recommended_domain_count ())
-    jobs Sys.ocaml_version
+    "  \"cores\": %d,\n  \"cores_recommended\": %d,\n  \"jobs\": %d,\n\
+    \  \"ocaml_version\": %S,\n"
+    cores cores jobs Sys.ocaml_version
 
 let time_ns f =
   ignore (f ());
@@ -405,8 +414,6 @@ let parallel_json ~fast () =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (provenance ~jobs:(List.fold_left Stdlib.max 1 jobs_list));
   Buffer.add_string buf
-    (Printf.sprintf "  \"cores_recommended\": %d,\n" cores);
-  Buffer.add_string buf
     (Printf.sprintf "  \"oversubscribed\": %b,\n" oversubscribed);
   Buffer.add_string buf
     (Printf.sprintf "  \"mode\": %S,\n" (if fast then "fast" else "full"));
@@ -660,6 +667,129 @@ let scale_json ~fast () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Day-replay throughput sweep (BENCH_throughput.json)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Windows per second of the production estimation loop: replay a full
+   measurement day — 288 five-minute intervals, the paper's operational
+   cadence — through [Ctx.replay] at 25 and 100 PoPs, sweeping the pool
+   size over {1, 2, 4, 8}.  The method is gravity + iterative
+   proportional fitting ("kruithof"): the deployment-grade estimator
+   whose per-window cost is low enough that scheduling and measurement
+   overheads actually show (an entropy replay would hide any dispatch
+   regression behind seconds of solver time).  Each jobs row re-times
+   the identical replay on the same primed workspace, so the sweep
+   isolates the runtime from cache-construction effects.
+
+   The jobs=2 >= 1.2x jobs=1 windows/sec assertion only applies when
+   the box has at least 2 cores; a 1-core container still runs the
+   whole sweep and records [oversubscribed: true] plus a stderr
+   warning instead of failing on numbers that only measure scheduler
+   churn. *)
+let throughput_json ~fast () =
+  let module Core = Tmest_core in
+  let module Workspace = Tmest_core.Workspace in
+  let module Dataset = Tmest_traffic.Dataset in
+  let cores = Domain.recommended_domain_count () in
+  let oversubscribed = cores = 1 in
+  if oversubscribed then
+    Printf.eprintf
+      "warning: only 1 core available — jobs > 1 rows are oversubscribed \
+       and their windows/sec are not meaningful\n%!";
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let sizes = if fast then [ 12; 25 ] else [ 25; 100 ] in
+  let windows = if fast then 24 else 288 in
+  let window = 8 in
+  let method_name = "kruithof" in
+  let est = Core.Estimator.of_name method_name in
+  let ctx = Ctx.create ~fast:true ~jobs:1 () in
+  let failures = ref [] in
+  let sweep =
+    List.concat_map
+      (fun pops ->
+        let net = Ctx.synthetic ctx ~pops in
+        let pairs = Dataset.num_pairs net.Ctx.dataset in
+        let links = Dataset.num_links net.Ctx.dataset in
+        Printf.printf "# %d PoPs: %d pairs, %d links, %d windows\n%!" pops
+          pairs links windows;
+        (* Prime the shared workspace artifacts once, so every jobs row
+           times the steady-state estimation loop rather than paying
+           first-touch cache construction in whichever row runs first. *)
+        ignore (Ctx.replay net est ~window ~windows:1);
+        let rows =
+          List.map
+            (fun jobs ->
+              let pool = Pool.create ~jobs in
+              Workspace.set_pool net.Ctx.workspace (Some pool);
+              let t0 = Unix.gettimeofday () in
+              ignore (Ctx.replay net est ~window ~windows);
+              let seconds = Unix.gettimeofday () -. t0 in
+              Workspace.set_pool net.Ctx.workspace None;
+              Pool.shutdown pool;
+              let wps = float_of_int windows /. seconds in
+              Printf.printf "%4d PoPs  jobs %d  %7.2fs  %8.1f windows/sec\n%!"
+                pops jobs seconds wps;
+              (pops, pairs, links, jobs, seconds, wps))
+            jobs_list
+        in
+        (* Speedup floor, asserted only where a speedup can exist. *)
+        if cores >= 2 then begin
+          let wps_at j =
+            let (_, _, _, _, _, w) =
+              List.find (fun (_, _, _, jobs, _, _) -> jobs = j) rows
+            in
+            w
+          in
+          let ratio = wps_at 2 /. wps_at 1 in
+          if ratio < 1.2 then
+            failures :=
+              Printf.sprintf
+                "%d pops: jobs=2 windows/sec only %.2fx jobs=1 (floor 1.2x)"
+                pops ratio
+              :: !failures
+        end;
+        rows)
+      sizes
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (provenance ~jobs:(List.fold_left Stdlib.max 1 jobs_list));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"oversubscribed\": %b,\n" oversubscribed);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"mode\": %S,\n  \"method\": %S,\n  \"window\": %d,\n\
+       \  \"windows\": %d,\n"
+       (if fast then "fast" else "full")
+       method_name window windows);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"assert\": \"jobs=2 windows/sec >= 1.2x jobs=1 (skipped when \
+        cores = 1)\",\n\
+       \  \"assert_skipped\": %b,\n  \"assert_ok\": %b,\n"
+       (cores < 2) (!failures = []));
+  Buffer.add_string buf "  \"sweep\": [\n";
+  List.iteri
+    (fun i (pops, pairs, links, jobs, seconds, wps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"pops\": %d, \"pairs\": %d, \"links\": %d, \"jobs\": %d, \
+            \"seconds\": %.3f, \"windows_per_sec\": %.2f}%s\n"
+           pops pairs links jobs seconds wps
+           (if i = List.length sweep - 1 then "" else ",")))
+    sweep;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_throughput.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "throughput assertion FAILED: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,6 +853,31 @@ let kernel_tests () =
     Test.make ~name:"degrade.europe.dirty" (Staged.stage (fun () ->
         Tmest_core.Degrade.repair Tmest_core.Degrade.default ws_eu
           ~loads:dirty_eu ()));
+  ]
+
+(* Dispatch overhead of the pool primitives themselves: noop bodies, so
+   the numbers are pure submit/collect cost.  [parallel_for] prices the
+   batched submission path (one lock acquisition and broadcast per
+   call, with the participate closure allocated once — not once per
+   copy); [iter_chunks] adds the chunk-bounds bookkeeping;
+   [iter_grained] the grain-model arithmetic, once with a cost below
+   the grain (stays inline, no dispatch at all) and once far above it
+   (splits and pays the full fan-out). *)
+let pool_tests () =
+  let open Bechamel in
+  let pool = Pool.create ~jobs:2 in
+  [
+    Test.make ~name:"pool2.parallel_for_n64"
+      (Staged.stage (fun () -> Pool.parallel_for pool ~n:64 (fun _ -> ())));
+    Test.make ~name:"pool2.iter_chunks_n64"
+      (Staged.stage (fun () ->
+           Pool.iter_chunks pool ~n:64 (fun ~chunk:_ ~lo:_ ~hi:_ -> ())));
+    Test.make ~name:"pool2.iter_grained_inline"
+      (Staged.stage (fun () ->
+           Pool.iter_grained pool ~n:64 ~cost:64 (fun ~lo:_ ~hi:_ -> ())));
+    Test.make ~name:"pool2.iter_grained_split"
+      (Staged.stage (fun () ->
+           Pool.iter_grained pool ~n:64 ~cost:1_000_000 (fun ~lo:_ ~hi:_ -> ())));
   ]
 
 (* Full fixed-iteration solves on a 200-dim SPD quadratic with
@@ -806,7 +961,7 @@ let run_perf ~fast () =
      experiment pipelines) under a small measurement quota. *)
   let tests =
     Test.make_grouped ~name:"tmest" ~fmt:"%s.%s"
-      (kernel_tests () @ solver_tests ()
+      (kernel_tests () @ solver_tests () @ pool_tests ()
       @ (if fast then [] else experiment_tests ()))
   in
   let cfg =
@@ -853,6 +1008,7 @@ let () =
   let fast = ref false in
   let perf = ref false in
   let scale = ref false in
+  let throughput = ref false in
   let only = ref None in
   let list = ref false in
   let rec parse = function
@@ -865,6 +1021,9 @@ let () =
         parse rest
     | "--scale" :: rest ->
         scale := true;
+        parse rest
+    | "--throughput" :: rest ->
+        throughput := true;
         parse rest
     | "--list" :: rest ->
         list := true;
@@ -881,8 +1040,8 @@ let () =
         parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: main.exe [--fast] [--perf] [--scale] [--list] [--jobs N] \
-           [--only id,id,...]\n\
+          "usage: main.exe [--fast] [--perf] [--scale] [--throughput] \
+           [--list] [--jobs N] [--only id,id,...]\n\
            unknown argument: %s\n"
           arg;
         exit 2
@@ -892,6 +1051,7 @@ let () =
     List.iter
       (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
       Registry.all
+  else if !throughput then throughput_json ~fast:!fast ()
   else if !scale then scale_json ~fast:!fast ()
   else if !perf then begin
     if not !fast then workspace_json ();

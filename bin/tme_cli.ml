@@ -264,6 +264,11 @@ let estimate_cmd =
     Printf.printf "mode     : %s (%d OD pairs, gate %d)\n"
       (if Core.Workspace.is_sparse ws then "sparse" else "dense")
       (Dataset.num_pairs d) Core.Workspace.sparse_gate;
+    (* Silent in the default build: the checked-kernel run is the debug
+       configuration (TMEST_CHECKED_KERNELS=1) and must be bit-identical
+       anyway, but the record keeps a traced/benchmarked run honest. *)
+    if Tmest_linalg.Kernel.checked then
+      Printf.printf "kernels  : bounds-checked (TMEST_CHECKED_KERNELS)\n";
     let st = Core.Workspace.stats ws in
     Printf.printf "alloc    : %.3e words/solve peak, heap watermark %.3e \
                    words\n"

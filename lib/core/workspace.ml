@@ -96,6 +96,9 @@ type t = {
   mutable priors : prior_slot list;  (* MRU *)
   scratch_tbl : (string * int * int, Vec.t array) Hashtbl.t;
       (* keyed by (consumer, dim, domain): each domain owns its arena *)
+  scratch_mat_tbl : (string * int * int * int, Mat.t) Hashtbl.t;
+      (* matrix arenas keyed by (consumer, rows, cols, domain): the
+         window-scan samples buffers, one per scanning domain *)
   mutable warm : (string * Vec.t) list;  (* MRU *)
   mutable gdiag : Vec.t option;  (* exact diag(RᵀR) *)
   precond_tbl : (string, Vec.t) Hashtbl.t;
@@ -143,6 +146,7 @@ let create ?pool ?(sink = Obs.null) ?(mode = Auto) routing =
     totals = [];
     priors = [];
     scratch_tbl = Hashtbl.create 7;
+    scratch_mat_tbl = Hashtbl.create 7;
     warm = [];
     gdiag = None;
     precond_tbl = Hashtbl.create 7;
@@ -358,10 +362,22 @@ let op t =
         ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into r y ~dst)
         ())
 
-(* RᵀR as x ↦ Rᵀ(Rx): the matrix-free replacement for {!gram}. *)
+(* RᵀR as x ↦ Rᵀ(Rx): the matrix-free replacement for {!gram}.  Built
+   on the fused [Csr.normal_apply_into] — one kernel call per solver
+   iteration through a per-domain link buffer, bit-identical to
+   [Op.normal (op t)] (it runs the same matvec/tmatvec kernels, minus
+   the closure indirection).  [t.pool] is read at application time so
+   [set_pool] sweeps apply to cached operators. *)
 let normal_op t =
-  let r_op = op t in
-  op_cached t ~name:"normal" ~build:(fun () -> Op.normal r_op)
+  op_cached t ~name:"normal" ~build:(fun () ->
+      let r = t.routing.Routing.matrix in
+      let link = Vec.zeros (Csr.rows r) in
+      let apply x ~dst =
+        Csr.normal_apply_into ?pool:t.pool r x ~link ~dst
+      in
+      Op.make ~rows:(Csr.cols r) ~cols:(Csr.cols r)
+        ~diag:(fun () -> Csr.col_sq_norms r)
+        ~apply_into:apply ~apply_t_into:apply ())
 
 (* The entry-wise squared Gram (RᵀR)∘(RᵀR) factored as ZᵀZ without ever
    forming the p x p matrix: G∘G has entries (Σ_l R_li R_lj)² =
@@ -406,12 +422,13 @@ let z_factor t =
 let gram_sq_op t =
   let z = z_factor t in
   op_cached t ~name:"gram_sq" ~build:(fun () ->
-      Op.normal
-        (Op.make ~rows:(Csr.rows z) ~cols:(Csr.cols z)
-           ~normal_diag:(fun () -> Csr.col_sq_norms z)
-           ~apply_into:(fun x ~dst -> Csr.matvec_into ?pool:t.pool z x ~dst)
-           ~apply_t_into:(fun y ~dst -> Csr.tmatvec_into z y ~dst)
-           ()))
+      let link = Vec.zeros (Csr.rows z) in
+      let apply x ~dst =
+        Csr.normal_apply_into ?pool:t.pool z x ~link ~dst
+      in
+      Op.make ~rows:(Csr.cols z) ~cols:(Csr.cols z)
+        ~diag:(fun () -> Csr.col_sq_norms z)
+        ~apply_into:apply ~apply_t_into:apply ())
 
 let cached_lipschitz t ~key ~compute =
   Mutex.protect t.lock (fun () ->
@@ -769,6 +786,23 @@ let scratch t ~name ~dim ~count =
                     t.scratch_tbl 0))
           end;
           bufs)
+
+(* Matrix arena with the same per-domain keying as [scratch]: window
+   scans fill one samples matrix per scanning domain instead of
+   allocating a window x L matrix per window position.  Contents are
+   uninitialized storage between uses, like the vector arenas. *)
+let scratch_mat t ~name ~rows ~cols =
+  let key = (name, rows, cols, (Domain.self () :> int)) in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.scratch_mat_tbl key with
+      | Some m -> m
+      | None ->
+          let m = Mat.zeros rows cols in
+          Hashtbl.replace t.scratch_mat_tbl key m;
+          if t.sink.Obs.enabled then
+            Obs.counter t.sink "ws.scratch.matrices"
+              (float_of_int (Hashtbl.length t.scratch_mat_tbl));
+          m)
 
 (* Warm starts are bounded MRU like the other load-keyed caches: a
    window scan re-solves one (method, parameters) pair against slowly

@@ -305,6 +305,13 @@ val cached_prior :
 val scratch :
   t -> name:string -> dim:int -> count:int -> Tmest_linalg.Vec.t array
 
+(** [scratch_mat t ~name ~rows ~cols] is a matrix arena with the same
+    per-domain keying as {!scratch} ([(name, rows, cols, domain)]):
+    window scans refill one samples matrix per scanning domain instead
+    of allocating a fresh [window x L] matrix per window position.
+    Contents are uninitialized storage between uses. *)
+val scratch_mat : t -> name:string -> rows:int -> cols:int -> Tmest_linalg.Mat.t
+
 (** {1 Warm-start cache}
 
     Bounded MRU cache of previous solutions, keyed by a caller-built

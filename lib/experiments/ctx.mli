@@ -107,3 +107,25 @@ val scan_busy :
   window:int ->
   steps:int ->
   (int * Tmest_linalg.Vec.t) list
+
+(** [replay ?opts net est ~window ~windows] is the production-shaped
+    day replay: [windows] successive re-estimations (the paper's
+    every-5-minutes loop — 288 intervals per day), cycling over the
+    dataset's full measurement day when the replay is longer than the
+    recorded series.  Each interval runs the whole measurement
+    pipeline — window-end loads, a [window x L] samples matrix refilled
+    by row blits into a per-domain workspace arena, one estimator
+    solve.  Per-snapshot load extraction is hoisted out of the loop
+    (each snapshot is one CSR matvec, extracted once for the whole
+    replay).  Returns [(snapshot index, estimate)] per interval.
+
+    Determinism matches {!scan_busy}: cold replays are bit-identical at
+    every pool size; warm replays chain warm starts per chunk, so they
+    are a function of the job count only. *)
+val replay :
+  ?opts:Tmest_core.Estimator.Options.t ->
+  network ->
+  Tmest_core.Estimator.t ->
+  window:int ->
+  windows:int ->
+  (int * Tmest_linalg.Vec.t) list

@@ -73,21 +73,34 @@ let get m i j =
   in
   find m.row_ptr.(i) m.row_ptr.(i + 1)
 
-(* Below this many stored entries the pool dispatch overhead exceeds
-   the whole product; Europe-scale operands stay sequential. *)
-let par_nnz_threshold = 4096
+(* Dual-build row kernel (see Kernel): the unsafe variant also lifts
+   the row_ptr reads and dst store out of the bounds checker — the
+   checked twin runs the identical accumulation. *)
+let matvec_rows_unsafe m x dst lo hi =
+  let row_ptr = m.row_ptr and col_idx = m.col_idx and values = m.values in
+  for i = lo to hi - 1 do
+    let stop = Array.unsafe_get row_ptr (i + 1) - 1 in
+    let acc = ref 0. in
+    for k = Array.unsafe_get row_ptr i to stop do
+      acc :=
+        !acc
+        +. Array.unsafe_get values k
+           *. Array.unsafe_get x (Array.unsafe_get col_idx k)
+    done;
+    Array.unsafe_set dst i !acc
+  done
 
-let matvec_rows m x dst lo hi =
+let matvec_rows_checked m x dst lo hi =
   for i = lo to hi - 1 do
     let acc = ref 0. in
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-      acc :=
-        !acc
-        +. Array.unsafe_get m.values k
-           *. Array.unsafe_get x (Array.unsafe_get m.col_idx k)
+      acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
     done;
     dst.(i) <- !acc
   done
+
+let matvec_rows =
+  if Kernel.checked then matvec_rows_checked else matvec_rows_unsafe
 
 let matvec_into ?pool m x ~dst =
   if Array.length x <> m.cols then
@@ -97,21 +110,52 @@ let matvec_into ?pool m x ~dst =
   if dst == x && Array.length m.values > 0 then
     invalid_arg "Csr.matvec_into: dst must not alias x";
   match pool with
-  | Some p
-    when Tmest_parallel.Pool.size p > 1
-         && Array.length m.values >= par_nnz_threshold ->
+  | Some p ->
       (* Row-partitioned: every row owns its dst slot and accumulates in
          the same order as the sequential loop, so the result is
-         bit-identical at any pool size. *)
-      Tmest_parallel.Pool.iter_chunks p ~n:m.rows
-        (fun ~chunk:_ ~lo ~hi -> matvec_rows m x dst lo hi)
-  | _ -> matvec_rows m x dst 0 m.rows
+         bit-identical under any chunking — which licenses the
+         cost-weighted grain (chunk count sized by nnz, one inline chunk
+         when the product is too small to amortize a dispatch). *)
+      Tmest_parallel.Pool.iter_grained p ~n:m.rows
+        ~cost:(Array.length m.values)
+        (fun ~lo ~hi -> matvec_rows m x dst lo hi)
+  | None -> matvec_rows m x dst 0 m.rows
 
 let matvec ?pool m x =
   if Array.length x <> m.cols then invalid_arg "Csr.matvec: dimension mismatch";
   let y = Array.make m.rows 0. in
   matvec_into ?pool m x ~dst:y;
   y
+
+(* Transpose apply scatters into dst, so it stays sequential (rows
+   racing on shared dst slots would break bit-identity); only the
+   indexing differs between the two builds. *)
+let tmatvec_rows_unsafe m x dst =
+  let row_ptr = m.row_ptr and col_idx = m.col_idx and values = m.values in
+  for i = 0 to m.rows - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then begin
+      let stop = Array.unsafe_get row_ptr (i + 1) - 1 in
+      for k = Array.unsafe_get row_ptr i to stop do
+        let j = Array.unsafe_get col_idx k in
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j +. (xi *. Array.unsafe_get values k))
+      done
+    end
+  done
+
+let tmatvec_rows_checked m x dst =
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j = m.col_idx.(k) in
+        dst.(j) <- dst.(j) +. (xi *. m.values.(k))
+      done
+  done
+
+let tmatvec_rows =
+  if Kernel.checked then tmatvec_rows_checked else tmatvec_rows_unsafe
 
 let tmatvec_into m x ~dst =
   if Array.length x <> m.rows then
@@ -121,15 +165,7 @@ let tmatvec_into m x ~dst =
   if dst == x && Array.length m.values > 0 then
     invalid_arg "Csr.tmatvec_into: dst must not alias x";
   Array.fill dst 0 m.cols 0.;
-  for i = 0 to m.rows - 1 do
-    let xi = Array.unsafe_get x i in
-    if xi <> 0. then
-      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        let j = Array.unsafe_get m.col_idx k in
-        Array.unsafe_set dst j
-          (Array.unsafe_get dst j +. (xi *. Array.unsafe_get m.values k))
-      done
-  done
+  tmatvec_rows m x dst
 
 let tmatvec m x =
   if Array.length x <> m.rows then
@@ -137,6 +173,30 @@ let tmatvec m x =
   let y = Array.make m.cols 0. in
   tmatvec_into m x ~dst:y;
   y
+
+(* Fused normal-equations apply dst = Mᵀ(Mx) through a caller-owned
+   link-length buffer: the one kernel the matrix-free Gram operators
+   run per solver iteration.  The forward half is pooled (grained by
+   nnz); the transpose half scatters sequentially.  Bit-identical to
+   [matvec_into] + [tmatvec_into] — it is exactly those kernels minus
+   the per-call closure indirection. *)
+let normal_apply_into ?pool m x ~link ~dst =
+  if Array.length x <> m.cols then
+    invalid_arg "Csr.normal_apply_into: dimension mismatch";
+  if Array.length link <> m.rows then
+    invalid_arg "Csr.normal_apply_into: link buffer dimension mismatch";
+  if Array.length dst <> m.cols then
+    invalid_arg "Csr.normal_apply_into: destination dimension mismatch";
+  if (link == x || link == dst) && Array.length m.values > 0 then
+    invalid_arg "Csr.normal_apply_into: link must not alias x or dst";
+  (match pool with
+  | Some p ->
+      Tmest_parallel.Pool.iter_grained p ~n:m.rows
+        ~cost:(Array.length m.values)
+        (fun ~lo ~hi -> matvec_rows m x link lo hi)
+  | None -> matvec_rows m x link 0 m.rows);
+  Array.fill dst 0 m.cols 0.;
+  tmatvec_rows m link dst
 
 (* Exact diagonal of the Gram matrix AᵀA: (AᵀA)_jj = Σ_i A_ij², one
    pass over the stored entries.  This is what makes Jacobi

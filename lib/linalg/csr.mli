@@ -40,6 +40,16 @@ val tmatvec : t -> Vec.t -> Vec.t
     allocating.  [dst] must not alias [x]. *)
 val tmatvec_into : t -> Vec.t -> dst:Vec.t -> unit
 
+(** [normal_apply_into ?pool m x ~link ~dst] writes [mᵀ(m x)] into
+    [dst], staging the forward product in the caller-owned [link]
+    buffer (length [rows m]; must not alias [x] or [dst]).  The forward
+    half runs on [pool] with nnz-weighted granularity; results are
+    bit-identical to [matvec_into] followed by [tmatvec_into] at every
+    pool size.  This is the per-iteration kernel of the matrix-free
+    normal-equation operators. *)
+val normal_apply_into :
+  ?pool:Tmest_parallel.Pool.t -> t -> Vec.t -> link:Vec.t -> dst:Vec.t -> unit
+
 (** [to_dense m] expands to a dense matrix. *)
 val to_dense : t -> Mat.t
 

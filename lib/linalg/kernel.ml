@@ -1,0 +1,16 @@
+(* Debug switch for the fused unsafe kernels.
+
+   The hot reduction kernels in Vec/Mat/Csr come in two builds of the
+   same loop: an [Array.unsafe_get]/[unsafe_set] version (default) and a
+   bounds-checked version selected by setting TMEST_CHECKED_KERNELS in
+   the environment.  Both run the identical sequence of floating-point
+   operations — same elements, same order — so switching the flag can
+   never change a result, only whether an out-of-bounds index faults
+   loudly.  The flag is read once at module initialization and the
+   kernels are selected at binding time, so the safe/unsafe choice costs
+   nothing per call. *)
+
+let checked =
+  match Sys.getenv_opt "TMEST_CHECKED_KERNELS" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false

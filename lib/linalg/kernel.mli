@@ -1,0 +1,16 @@
+(** Debug switch for the fused unsafe kernels.
+
+    The reduction and matvec hot loops in {!Vec}, {!Mat} and {!Csr} are
+    compiled in two variants: an [Array.unsafe_get]/[unsafe_set] build
+    (default) and a bounds-checked build enabled by setting
+    [TMEST_CHECKED_KERNELS=1] in the environment.  The two variants
+    execute the identical float operations in the identical order, so
+    they are bit-identical; the checked build exists to turn an indexing
+    bug into an [Invalid_argument] instead of silent memory corruption.
+    Dimension preconditions are validated unconditionally in both
+    builds — the switch only governs per-element bounds checks. *)
+
+(** True when [TMEST_CHECKED_KERNELS] is set to [1]/[true]/[yes]/[on].
+    Read once at program start; kernel implementations are selected at
+    module-binding time. *)
+val checked : bool

@@ -89,10 +89,6 @@ let sub a b =
 
 let scale c m = { m with data = Array.map (fun x -> c *. x) m.data }
 
-(* Below this many scalar multiplies the pool dispatch overhead exceeds
-   the whole product; small operands stay sequential. *)
-let par_flops_threshold = 16_384
-
 let matmul_rows a b c lo hi =
   (* i-k-j loop order keeps the inner loop contiguous in both b and c. *)
   for i = lo to hi - 1 do
@@ -117,28 +113,43 @@ let matmul ?pool a b =
          a.rows a.cols b.rows b.cols);
   let c = zeros a.rows b.cols in
   (match pool with
-  | Some p
-    when Tmest_parallel.Pool.size p > 1
-         && a.rows > 1
-         && a.rows * a.cols * b.cols >= par_flops_threshold ->
+  | Some p ->
       (* Row blocks of [c] are disjoint and each row runs the exact
-         sequential loop, so the product is bit-identical at any pool
-         size. *)
-      Tmest_parallel.Pool.iter_chunks p ~n:a.rows
-        (fun ~chunk:_ ~lo ~hi -> matmul_rows a b c lo hi)
-  | _ -> matmul_rows a b c 0 a.rows);
+         sequential loop, so the product is bit-identical under any
+         chunking; the grain is cost-weighted by the flop count and
+         collapses to one inline chunk for small operands. *)
+      Tmest_parallel.Pool.iter_grained p ~n:a.rows
+        ~cost:(a.rows * a.cols * b.cols)
+        (fun ~lo ~hi -> matmul_rows a b c lo hi)
+  | None -> matmul_rows a b c 0 a.rows);
   c
 
-let matvec_rows a x dst lo hi =
+(* Dual-build row kernel (see Kernel): both variants accumulate each
+   row left to right, so they are bit-identical. *)
+let matvec_rows_unsafe a x dst lo hi =
+  let data = a.data in
   for i = lo to hi - 1 do
     let base = i * a.cols in
     let acc = ref 0. in
     for j = 0 to a.cols - 1 do
       acc :=
-        !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
+        !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set dst i !acc
+  done
+
+let matvec_rows_checked a x dst lo hi =
+  for i = lo to hi - 1 do
+    let base = i * a.cols in
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (a.data.(base + j) *. x.(j))
     done;
     dst.(i) <- !acc
   done
+
+let matvec_rows =
+  if Kernel.checked then matvec_rows_checked else matvec_rows_unsafe
 
 let matvec_into ?pool a x ~dst =
   if a.cols <> Array.length x then
@@ -148,13 +159,10 @@ let matvec_into ?pool a x ~dst =
   if dst == x && a.rows > 0 && a.cols > 0 then
     invalid_arg "Mat.matvec_into: dst must not alias x";
   match pool with
-  | Some p
-    when Tmest_parallel.Pool.size p > 1
-         && a.rows > 1
-         && a.rows * a.cols >= par_flops_threshold ->
-      Tmest_parallel.Pool.iter_chunks p ~n:a.rows
-        (fun ~chunk:_ ~lo ~hi -> matvec_rows a x dst lo hi)
-  | _ -> matvec_rows a x dst 0 a.rows
+  | Some p ->
+      Tmest_parallel.Pool.iter_grained p ~n:a.rows ~cost:(a.rows * a.cols)
+        (fun ~lo ~hi -> matvec_rows a x dst lo hi)
+  | None -> matvec_rows a x dst 0 a.rows
 
 let matvec ?pool a x =
   if a.cols <> Array.length x then

@@ -118,7 +118,20 @@ let div u v =
   div_into u v ~dst;
   dst
 
-let dot u v =
+(* Reduction kernels: fused unsafe loops by default, bounds-checked
+   twins behind [Kernel.checked].  Both variants accumulate left to
+   right from 0. over the same elements, so they are bit-identical to
+   each other and to the historical fold-based definitions. *)
+
+let dot_unsafe u v =
+  check_same_dim "dot" u v;
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (Array.unsafe_get u i *. Array.unsafe_get v i)
+  done;
+  !acc
+
+let dot_checked u v =
   check_same_dim "dot" u v;
   let acc = ref 0. in
   for i = 0 to Array.length u - 1 do
@@ -126,13 +139,51 @@ let dot u v =
   done;
   !acc
 
+let dot = if Kernel.checked then dot_checked else dot_unsafe
 let norm2 v = sqrt (dot v v)
-let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0. v
 
-let norm_inf v =
-  Array.fold_left (fun acc x -> Stdlib.max acc (abs_float x)) 0. v
+let norm1_unsafe v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. abs_float (Array.unsafe_get v i)
+  done;
+  !acc
 
-let dist2 u v =
+let norm1_checked v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. abs_float v.(i)
+  done;
+  !acc
+
+let norm1 = if Kernel.checked then norm1_checked else norm1_unsafe
+
+let norm_inf_unsafe v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := Stdlib.max !acc (abs_float (Array.unsafe_get v i))
+  done;
+  !acc
+
+let norm_inf_checked v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := Stdlib.max !acc (abs_float v.(i))
+  done;
+  !acc
+
+let norm_inf = if Kernel.checked then norm_inf_checked else norm_inf_unsafe
+
+let dist2_unsafe u v =
+  check_same_dim "dist2" u v;
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    let d = Array.unsafe_get u i -. Array.unsafe_get v i in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let dist2_checked u v =
   check_same_dim "dist2" u v;
   let acc = ref 0. in
   for i = 0 to Array.length u - 1 do
@@ -141,7 +192,55 @@ let dist2 u v =
   done;
   sqrt !acc
 
-let sum v = Array.fold_left ( +. ) 0. v
+let dist2 = if Kernel.checked then dist2_checked else dist2_unsafe
+
+let sum_unsafe v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. Array.unsafe_get v i
+  done;
+  !acc
+
+let sum_checked v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. v.(i)
+  done;
+  !acc
+
+let sum = if Kernel.checked then sum_checked else sum_unsafe
+
+(* Fused update-and-reduce: dst = a*x + y followed by dot dst dst in one
+   pass.  Per element the store happens before the accumulate, exactly
+   as in the two-kernel sequence, so the returned square norm — and
+   [dst] — are bit-identical to [axpy_into] + [dot].  The fusion saves
+   one full traversal per CG iteration and is allocation-neutral: it
+   returns one boxed float where [dot] returned one. *)
+
+let axpy_sq_into_unsafe a x y ~dst =
+  check_same_dim "axpy_sq_into" x y;
+  check_dst "axpy_sq_into" x dst;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let r = (a *. Array.unsafe_get x i) +. Array.unsafe_get y i in
+    Array.unsafe_set dst i r;
+    acc := !acc +. (r *. r)
+  done;
+  !acc
+
+let axpy_sq_into_checked a x y ~dst =
+  check_same_dim "axpy_sq_into" x y;
+  check_dst "axpy_sq_into" x dst;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let r = (a *. x.(i)) +. y.(i) in
+    dst.(i) <- r;
+    acc := !acc +. (r *. r)
+  done;
+  !acc
+
+let axpy_sq_into =
+  if Kernel.checked then axpy_sq_into_checked else axpy_sq_into_unsafe
 
 let mean v =
   if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";

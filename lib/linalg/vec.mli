@@ -79,7 +79,19 @@ val div_into : t -> t -> dst:t -> unit
     [dst] (the non-negative-orthant projection of the solvers). *)
 val clamp_nonneg_into : t -> dst:t -> unit
 
-(** [dot u v] is the inner product. *)
+(** [axpy_sq_into a x y ~dst] writes [a*x + y] into [dst] and returns
+    [dot dst dst], fused in one pass.  Bit-identical to [axpy_into]
+    followed by [dot dst dst] (per element the store precedes the
+    accumulate); [dst] may alias [x] or [y].  This is the CG residual
+    update [r <- r - alpha*Ap; ||r||^2] without the second traversal. *)
+val axpy_sq_into : float -> t -> t -> dst:t -> float
+
+(** [dot u v] is the inner product.
+
+    [dot] and the norm/reduction kernels below run as fused
+    [Array.unsafe_get] loops by default; set [TMEST_CHECKED_KERNELS=1]
+    to select the bounds-checked twins (see {!Kernel}) — same floats,
+    same order, bit-identical results. *)
 val dot : t -> t -> float
 
 (** [norm2 v] is the Euclidean norm. *)

@@ -66,8 +66,11 @@ let solve_into ?x0 ?(stop = Stop.default) ?scratch ?m_inv_into ~apply_into ~b
     else begin
       let alpha = !rz /. pap in
       Vec.axpy_into alpha p x ~dst:x;
-      Vec.axpy_into (-.alpha) ap r ~dst:r;
-      let rs' = Vec.dot r r in
+      (* Fused r <- r - alpha*Ap and ||r||^2 in one pass: bit-identical
+         to the separate axpy + dot (store precedes accumulate per
+         element) and allocation-neutral (one boxed float return where
+         [dot] returned one). *)
+      let rs' = Vec.axpy_sq_into (-.alpha) ap r ~dst:r in
       let rz' =
         match m_inv_into with
         | Some f ->

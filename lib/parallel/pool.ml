@@ -85,6 +85,34 @@ let submit t task =
     Mutex.unlock t.lock
   end
 
+(* Batched dispatch: [copies] pushes of the same task under one lock
+   acquisition with one wake-up, instead of [copies] lock/signal
+   round-trips.  This is the fan-out fast path — [parallel_for] seeds
+   every worker with the same participate closure, so the per-task
+   closure allocation is hoisted out of the dispatch loop by
+   construction. *)
+let submit_batch t ~copies task =
+  if copies = 1 then submit t task
+  else if copies > 1 then begin
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      for _ = 1 to copies do
+        task ()
+      done
+    end
+    else begin
+      for _ = 1 to copies do
+        Queue.push task t.queue
+      done;
+      if t.sink.Obs.enabled then
+        Obs.counter t.sink "pool.queue_depth"
+          (float_of_int (Queue.length t.queue));
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Default pool                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -168,9 +196,7 @@ let parallel_for t ~n body =
     let participate () =
       if traced then Obs.span sink "pool.slot" run_tasks else run_tasks ()
     in
-    for _ = 1 to Stdlib.min (t.size - 1) (n - 1) do
-      submit t participate
-    done;
+    submit_batch t ~copies:(Stdlib.min (t.size - 1) (n - 1)) participate;
     participate ();
     Mutex.lock wait_lock;
     while Atomic.get completed < n do
@@ -213,6 +239,39 @@ let iter_chunks t ~n f =
               [ ("chunk", Obs.Int c); ("lo", Obs.Int lo); ("hi", Obs.Int hi) ]
             (fun () -> f ~chunk:c ~lo ~hi)
         else f ~chunk:c ~lo ~hi)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cost-weighted grain model                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Target work per chunk, in caller-supplied cost units (one unit ≈ one
+   multiply-add).  Dispatching a chunk costs on the order of a few
+   microseconds (queue push + wake-up + atomic claims), so a chunk needs
+   tens of thousands of flops before that overhead disappears into the
+   work itself. *)
+let grain_cost = 32_768
+
+(* Upper bound on oversplitting: a few chunks per slot lets the dynamic
+   scheduler absorb uneven chunk costs without drowning in dispatch. *)
+let max_chunks_per_slot = 4
+
+let chunks_for t ~n ~cost =
+  if n <= 1 || t.size = 1 || cost <= 0 then 1
+  else begin
+    let by_cost = cost / grain_cost in
+    let cap = t.size * max_chunks_per_slot in
+    Stdlib.max 1 (Stdlib.min n (Stdlib.min cap by_cost))
+  end
+
+let iter_grained t ~n ~cost f =
+  if n > 0 then begin
+    let chunks = chunks_for t ~n ~cost in
+    if chunks = 1 then f ~lo:0 ~hi:n
+    else
+      parallel_for t ~n:chunks (fun c ->
+          let lo, hi = chunk_bounds ~chunks ~n c in
+          f ~lo ~hi)
   end
 
 (* Chunk layout for [reduce] depends on the input length only, so the

@@ -82,6 +82,23 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     The layout is a pure function of [(size t, n)]. *)
 val iter_chunks : t -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
 
+(** [chunks_for t ~n ~cost] is the tuned chunk count for a loop of [n]
+    items whose total cost is [cost] units (one unit ≈ one
+    multiply-add): enough chunks to feed every slot a few times over
+    when the loop is heavy, one chunk when the loop is too cheap to be
+    worth a dispatch.  Pure function of [(size t, n, cost)]; always in
+    [\[1, n\]] (and [1] whenever [size t = 1]). *)
+val chunks_for : t -> n:int -> cost:int -> int
+
+(** [iter_grained t ~n ~cost f] partitions [0 .. n - 1] into
+    {!chunks_for} contiguous chunks and runs [f ~lo ~hi] for each; a
+    single-chunk layout runs inline in the caller with no dispatch.
+    Unlike {!iter_chunks} the layout depends on [cost], so this is only
+    for bodies that are bit-identical under {e any} partition —
+    row-partitioned kernels where each index owns its output slot — not
+    for chunk-keyed state threading (use {!iter_chunks}). *)
+val iter_grained : t -> n:int -> cost:int -> (lo:int -> hi:int -> unit) -> unit
+
 (** [reduce t ~f ~combine a] is
     [f a.(0) ⊕ f a.(1) ⊕ ... ⊕ f a.(n-1)] (with [⊕ = combine]),
     computed as per-chunk partials combined in chunk order; [None] on

@@ -1,8 +1,10 @@
 (* Golden regression: per-method MRE on the seeded full-scale Europe
    problem, pinned to 1e-9.  The same constants must hold at pool sizes
-   1 and 2 — the solver stack promises bit-identical results at every
-   job count, so any drift here is either a numerical regression or a
-   broken determinism invariant.
+   1, 2 and 4 — the solver stack promises bit-identical results at
+   every job count, so any drift here is either a numerical regression
+   or a broken determinism invariant.  The bit-identity case asserts
+   the stronger form directly: Int64-identical estimates on the
+   reference busy window across all three job counts.
 
    Regenerate after an intentional numerical change with:
      GOLDEN_PRINT=1 dune exec test/test_golden.exe *)
@@ -25,7 +27,7 @@ let goldens =
     ("cao", 0.65832782533456269);
   ]
 
-let mres ~jobs =
+let solve_all ~jobs =
   let d = Dataset.europe () in
   let pool = Pool.create ~jobs in
   let ws = Core.Workspace.create ~pool d.Dataset.routing in
@@ -48,8 +50,36 @@ let mres ~jobs =
       let reference =
         if Core.Estimator.uses_time_series m then busy_truth else truth
       in
-      (name, Core.Metrics.mre ~truth:reference ~estimate ()))
+      (name, estimate, reference))
     (Core.Estimator.all_names ())
+
+let mres ~jobs =
+  List.map
+    (fun (name, estimate, reference) ->
+      (name, Core.Metrics.mre ~truth:reference ~estimate ()))
+    (solve_all ~jobs)
+
+(* The determinism contract asserted at the bit level: every method's
+   estimate on the reference busy window is Int64-identical at jobs 1,
+   2 and 4.  Stronger than the 1e-9 MRE pins above, which would let a
+   reordered parallel reduction slip through as long as it stayed
+   small. *)
+let bit_identity () =
+  let base = solve_all ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      List.iter2
+        (fun (name, e1, _) (name', ej, _) ->
+          Alcotest.(check string) "method order" name name';
+          Array.iteri
+            (fun i x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float ej.(i) then
+                Alcotest.failf
+                  "%s: pair %d differs between jobs=1 and jobs=%d (%h vs %h)"
+                  name i jobs x ej.(i))
+            e1)
+        base (solve_all ~jobs))
+    [ 2; 4 ]
 
 let check_against ~jobs () =
   List.iter2
@@ -124,10 +154,13 @@ let () =
         [
           Alcotest.test_case "jobs=1" `Quick (check_against ~jobs:1);
           Alcotest.test_case "jobs=2" `Quick (check_against ~jobs:2);
+          Alcotest.test_case "jobs=4" `Quick (check_against ~jobs:4);
+          Alcotest.test_case "bit-identical across jobs" `Quick bit_identity;
         ] );
       ( "sparse-vs-dense",
         [
           Alcotest.test_case "jobs=1" `Quick (sparse_vs_dense ~jobs:1);
           Alcotest.test_case "jobs=2" `Quick (sparse_vs_dense ~jobs:2);
+          Alcotest.test_case "jobs=4" `Quick (sparse_vs_dense ~jobs:4);
         ] );
     ]

@@ -98,6 +98,31 @@ let test_unary_kernels () =
       check_bits (Printf.sprintf "blit dim %d" n) v dst)
     dims
 
+(* The fused residual update must be exactly [axpy_into] followed by
+   [dot dst dst]: the store precedes the accumulate per element, so
+   both the vector and the returned squared norm are bit-identical to
+   the two-pass form — including the aliased shape CG actually uses
+   (dst == y). *)
+let test_axpy_sq_into () =
+  List.iter
+    (fun n ->
+      let x = rand_vec n and y = rand_vec n in
+      let a = -0.7 in
+      let expected = Vec.axpy a x y in
+      let expected_sq = Vec.dot expected expected in
+      let dst = rand_vec n in
+      let sq = Vec.axpy_sq_into a x y ~dst in
+      check_bits (Printf.sprintf "axpy_sq dim %d" n) expected dst;
+      if Int64.bits_of_float sq <> Int64.bits_of_float expected_sq then
+        Alcotest.failf "axpy_sq dim %d: norm %h vs %h" n sq expected_sq;
+      let y' = Vec.copy y in
+      let sq' = Vec.axpy_sq_into a x y' ~dst:y' in
+      check_bits (Printf.sprintf "axpy_sq dst==y dim %d" n) expected y';
+      if Int64.bits_of_float sq' <> Int64.bits_of_float expected_sq then
+        Alcotest.failf "axpy_sq aliased dim %d: norm %h vs %h" n sq'
+          expected_sq)
+    dims
+
 let test_matvec_into () =
   List.iter
     (fun (r, c) ->
@@ -285,6 +310,8 @@ let () =
           Alcotest.test_case "elementwise, aliased dst" `Quick
             test_elementwise_aliased_dst;
           Alcotest.test_case "scale/clamp/blit" `Quick test_unary_kernels;
+          Alcotest.test_case "fused axpy + squared norm" `Quick
+            test_axpy_sq_into;
           Alcotest.test_case "dense matvec/tmatvec" `Quick test_matvec_into;
           Alcotest.test_case "matvec alias guard" `Quick
             test_matvec_into_alias_guard;

@@ -105,6 +105,48 @@ let test_iter_chunks_partitions () =
             seen)
         [ 1; 4; 5; 13 ])
 
+(* Grain model: [chunks_for] is a pure function of (pool size, n, cost)
+   with hard bounds — never more chunks than items or than 4 per slot,
+   never a split on a 1-slot pool or for work below the grain. *)
+let test_chunks_for_model () =
+  with_pool 4 (fun pool ->
+      let a = Pool.chunks_for pool ~n:500 ~cost:1_000_000 in
+      let b = Pool.chunks_for pool ~n:500 ~cost:1_000_000 in
+      Alcotest.(check int) "deterministic" a b;
+      Alcotest.(check bool) "expensive work splits" true (a > 1);
+      List.iter
+        (fun (n, cost) ->
+          let c = Pool.chunks_for pool ~n ~cost in
+          if c < 1 || c > Stdlib.max 1 n then
+            Alcotest.failf "chunks_for n=%d cost=%d out of [1,n]: %d" n cost c;
+          if c > 16 then
+            Alcotest.failf "chunks_for n=%d cost=%d exceeds 4/slot: %d" n cost
+              c)
+        [ (0, 0); (1, max_int); (7, 100); (500, 1_000_000); (500, max_int) ];
+      Alcotest.(check int) "below-grain cost stays inline" 1
+        (Pool.chunks_for pool ~n:500 ~cost:100));
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "1-slot pool never splits" 1
+        (Pool.chunks_for pool ~n:500 ~cost:max_int))
+
+(* [iter_grained] must cover every index exactly once whatever the
+   grain model decides — inline, partial split or full fan-out. *)
+let test_iter_grained_covers () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun (n, cost) ->
+          let seen = Array.make (Stdlib.max 1 n) 0 in
+          Pool.iter_grained pool ~n ~cost (fun ~lo ~hi ->
+              for i = lo to hi - 1 do
+                seen.(i) <- seen.(i) + 1
+              done);
+          for i = 0 to n - 1 do
+            if seen.(i) <> 1 then
+              Alcotest.failf "n=%d cost=%d: index %d covered %d times" n cost
+                i seen.(i)
+          done)
+        [ (0, 0); (1, max_int); (13, 100); (257, 10_000_000) ])
+
 (* Chunked floating-point reduction: the grouping depends only on the
    input length, so even a non-associative combine is bit-identical at
    every pool size. *)
@@ -190,10 +232,10 @@ let test_dense_kernels_bit_identical () =
           done))
     [ 2; 5 ]
 
-let test_csr_matvec_bit_identical () =
+let csr_fixture () =
   let rng = Rng.create 29 in
   let rows = 220 and cols = 150 in
-  (* ~6600 stored entries: safely past the nnz gate. *)
+  (* ~6600 stored entries: enough work for the grain model to split. *)
   let entries = ref [] in
   for i = 0 to rows - 1 do
     for _ = 1 to 30 do
@@ -202,8 +244,11 @@ let test_csr_matvec_bit_identical () =
     done
   done;
   let m = Csr.of_triplets ~rows ~cols !entries in
-  Alcotest.(check bool) "nnz clears the parallel gate" true (Csr.nnz m >= 4096);
   let x = Array.init cols (fun _ -> Rng.float rng) in
+  (m, x)
+
+let test_csr_matvec_bit_identical () =
+  let m, x = csr_fixture () in
   let plain = Csr.matvec m x in
   List.iter
     (fun jobs ->
@@ -213,6 +258,24 @@ let test_csr_matvec_bit_identical () =
             plain
             (Csr.matvec ~pool m x)))
     [ 2; 5 ]
+
+(* Nest safety of grain autotuning: a grained pooled matvec launched
+   from inside a [parallel_for] fan-out (the Registry.run_all shape —
+   every experiment task hits pooled kernels on the same pool) must
+   still produce bit-identical results for every task. *)
+let test_grained_nested_in_fanout () =
+  let m, x = csr_fixture () in
+  let rows = Csr.rows m in
+  let plain = Csr.matvec m x in
+  with_pool 2 (fun pool ->
+      let outs = Array.init 6 (fun _ -> Vec.zeros rows) in
+      Pool.parallel_for pool ~n:6 (fun i ->
+          Csr.matvec_into ~pool m x ~dst:outs.(i));
+      Array.iteri
+        (fun i out ->
+          check_bits (Printf.sprintf "nested grained matvec task %d" i) plain
+            out)
+        outs)
 
 (* ------------------------------------------------------ window scans *)
 
@@ -293,6 +356,10 @@ let () =
             test_nested_parallel_for;
           Alcotest.test_case "iter_chunks partitions exactly" `Quick
             test_iter_chunks_partitions;
+          Alcotest.test_case "chunks_for grain model" `Quick
+            test_chunks_for_model;
+          Alcotest.test_case "iter_grained covers every index" `Quick
+            test_iter_grained_covers;
           Alcotest.test_case "reduce bit-identical across pool sizes" `Quick
             test_reduce_bit_identical;
           Alcotest.test_case "Once computes once" `Quick test_once_forces_once;
@@ -308,6 +375,8 @@ let () =
             test_dense_kernels_bit_identical;
           Alcotest.test_case "csr matvec bit-identical" `Quick
             test_csr_matvec_bit_identical;
+          Alcotest.test_case "grained kernel nested in fan-out" `Quick
+            test_grained_nested_in_fanout;
         ] );
       ( "scans",
         [
