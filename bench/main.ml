@@ -267,7 +267,7 @@ let solvers_json ~fast () =
   let loads = net.Ctx.loads in
   let window = if fast then 5 else 20 in
   let steps = if fast then 3 else 5 in
-  let load_samples = Ctx.busy_loads net ~window in
+  let load_samples = Ctx.Scan.samples net ~window in
   let routing = net.Ctx.dataset.Tmest_traffic.Dataset.routing in
   let entropy = Core.Estimator.of_name "entropy" in
   let cao = Core.Estimator.of_name "cao" in
@@ -299,10 +299,12 @@ let solvers_json ~fast () =
          of each window's own loads, so warm-starting barely moves its
          iteration count.) *)
       ( "windows_scan_cold",
-        time_ns (fun () -> Ctx.scan_busy net cao ~window ~steps) );
+        time_ns (fun () ->
+            Ctx.Scan.run net cao (Ctx.Scan.make (Ctx.Scan.Busy { window; steps }))) );
       ( "windows_scan_warm",
         time_ns (fun () ->
-            Ctx.scan_busy ~opts:warm_opts net cao ~window ~steps) );
+            Ctx.Scan.run net cao
+              (Ctx.Scan.make ~opts:warm_opts (Ctx.Scan.Busy { window; steps }))) );
     ]
   in
   let buf = Buffer.create 512 in
@@ -381,7 +383,7 @@ let parallel_json ~fast () =
       (List.map Core.Estimator.of_name (Core.Estimator.all_names ()))
   in
   let us_loads = us.Ctx.loads in
-  let us_samples = Ctx.busy_loads us ~window in
+  let us_samples = Ctx.Scan.samples us ~window in
   let gram = Workspace.gram us.Ctx.workspace in
   let x = Vec.ones (Mat.cols gram) in
   let dst = Vec.zeros (Mat.rows gram) in
@@ -390,7 +392,10 @@ let parallel_json ~fast () =
     List.iter
       (fun net -> Workspace.set_pool net.Ctx.workspace (Some pool))
       (Ctx.networks ctx);
-    let scan = time_ns (fun () -> Ctx.scan_busy eu cao ~window ~steps) in
+    let scan =
+      time_ns (fun () ->
+          Ctx.Scan.run eu cao (Ctx.Scan.make (Ctx.Scan.Busy { window; steps })))
+    in
     let sweep =
       time_ns (fun () ->
           ignore
@@ -715,14 +720,18 @@ let throughput_json ~fast () =
         (* Prime the shared workspace artifacts once, so every jobs row
            times the steady-state estimation loop rather than paying
            first-touch cache construction in whichever row runs first. *)
-        ignore (Ctx.replay net est ~window ~windows:1);
+        ignore
+          (Ctx.Scan.run net est
+             (Ctx.Scan.make (Ctx.Scan.Replay { window; windows = 1 })));
         let rows =
           List.map
             (fun jobs ->
               let pool = Pool.create ~jobs in
               Workspace.set_pool net.Ctx.workspace (Some pool);
               let t0 = Unix.gettimeofday () in
-              ignore (Ctx.replay net est ~window ~windows);
+              ignore
+                (Ctx.Scan.run net est
+                   (Ctx.Scan.make (Ctx.Scan.Replay { window; windows })));
               let seconds = Unix.gettimeofday () -. t0 in
               Workspace.set_pool net.Ctx.workspace None;
               Pool.shutdown pool;
@@ -786,6 +795,194 @@ let throughput_json ~fast () =
   Printf.printf "wrote %s\n" path;
   if !failures <> [] then begin
     List.iter (Printf.eprintf "throughput assertion FAILED: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming-daemon day replay (BENCH_daemon.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Ticks per second and tick-latency percentiles of the streaming
+   estimation daemon over a full measurement day — 288 five-minute
+   intervals — at 25 and 100 PoPs, with one mid-day link flap and one
+   poller dropout.  The method is kruithof, as in the throughput sweep:
+   deployment-grade, cheap enough that loop overheads show.
+
+   Two correctness assertions ride along, so the benchmark doubles as
+   the acceptance check for the daemon:
+
+   - every clean full-window tick before the first scripted fault is
+     bit-identical to a batch [Ctx.Scan] over the same recovered load
+     rows (the stream runs with zero jitter and zero loss here, so the
+     pre-fault prefix is genuinely clean and repair is a physical
+     no-op);
+   - the poller-dropout ticks emit repaired estimates together with a
+     health record that says the window was not clean.
+
+   No tick may abort. *)
+let daemon_json ~fast () =
+  let module Core = Tmest_core in
+  let module Dataset = Tmest_traffic.Dataset in
+  let module Collect = Tmest_snmp.Collect in
+  let module Daemon = Tmest_daemon.Daemon in
+  let sizes = if fast then [ 12; 25 ] else [ 25; 100 ] in
+  let ticks = if fast then 24 else 288 in
+  let window = 8 in
+  let method_name = "kruithof" in
+  let est = Core.Estimator.of_name method_name in
+  let pool = Pool.default () in
+  let ctx = Ctx.create ~fast:true ~jobs:1 () in
+  (* One interior-link flap mid-day, one poller dropout in the evening;
+     everything before the flap is the clean identity prefix. *)
+  let flap_from = ticks / 2 in
+  let drop_from = 3 * ticks / 4 in
+  let scenario =
+    {
+      Daemon.flaps = [ (0, flap_from, flap_from + 2) ];
+      poller_drops = [ (1, drop_from, drop_from + 1) ];
+      resets = [];
+    }
+  in
+  let stream =
+    { Collect.default_config with Collect.jitter_s = 0.; loss_prob = 0. }
+  in
+  let failures = ref [] in
+  let rows =
+    List.map
+      (fun pops ->
+        let d = Dataset.synthetic ~pops () in
+        let pairs = Dataset.num_pairs d in
+        let links = Dataset.num_links d in
+        Printf.printf "# %d PoPs: %d pairs, %d links, %d ticks\n%!" pops pairs
+          links ticks;
+        let cfg =
+          Daemon.config ~window ~ticks ~stream ~scenario ~est ()
+        in
+        let r = Daemon.run ~pool cfg d in
+        if r.Daemon.aborted > 0 then
+          failures :=
+            Printf.sprintf "%d pops: %d ticks aborted" pops r.Daemon.aborted
+            :: !failures;
+        (* Clean-prefix bit-identity: replay the recovered rows of the
+           pre-fault ticks through the batch scan and compare the
+           full-window estimates bitwise. *)
+        let records = Array.of_list r.Daemon.records in
+        let prefix = Array.sub records 0 (Stdlib.min flap_from (Array.length records)) in
+        let rows_loads = Array.map (fun t -> t.Daemon.loads) prefix in
+        let net = Ctx.synthetic ctx ~pops in
+        let batch =
+          Ctx.Scan.run net est
+            (Ctx.Scan.make (Ctx.Scan.Windows { window; loads = rows_loads }))
+        in
+        let identical = ref 0 in
+        List.iter
+          (fun (k, batch_est) ->
+            (* The scan labels each step with [start + window - 1] — the
+               daemon tick whose window it replays. *)
+            let daemon_est = prefix.(k).Daemon.estimate in
+            let same =
+              Array.length batch_est = Array.length daemon_est
+              && (let ok = ref true in
+                  Array.iteri
+                    (fun j v ->
+                      if
+                        Int64.bits_of_float v
+                        <> Int64.bits_of_float daemon_est.(j)
+                      then ok := false)
+                    batch_est;
+                  !ok)
+            in
+            if same then incr identical
+            else
+              failures :=
+                Printf.sprintf
+                  "%d pops: tick %d estimate differs from the batch scan" pops
+                  k
+                :: !failures)
+          batch;
+        let checked = List.length batch in
+        Printf.printf "  clean prefix: %d/%d full-window ticks bit-identical \
+                       to the batch scan\n%!"
+          !identical checked;
+        (* Faulted ticks: repaired estimate plus a non-clean health
+           record on every poller-dropout tick. *)
+        Array.iter
+          (fun (t : Daemon.tick_record) ->
+            if t.Daemon.tick >= drop_from && t.Daemon.tick <= drop_from + 1
+            then begin
+              if t.Daemon.missing = 0 then
+                failures :=
+                  Printf.sprintf "%d pops: dropout tick %d lost no polls" pops
+                    t.Daemon.tick
+                  :: !failures;
+              match t.Daemon.health with
+              | Some h when not h.Core.Degrade.clean ->
+                  if not (Array.for_all Float.is_finite t.Daemon.estimate)
+                  then
+                    failures :=
+                      Printf.sprintf
+                        "%d pops: dropout tick %d estimate not finite" pops
+                        t.Daemon.tick
+                      :: !failures
+              | _ ->
+                  failures :=
+                    Printf.sprintf
+                      "%d pops: dropout tick %d has no non-clean health \
+                       record"
+                      pops t.Daemon.tick
+                    :: !failures
+            end)
+          records;
+        Printf.printf
+          "%4d PoPs  %8.1f ticks/s  p50 %.2f ms  p99 %.2f ms  %d epochs\n%!"
+          pops r.Daemon.ticks_per_sec r.Daemon.p50_ms r.Daemon.p99_ms
+          r.Daemon.epochs;
+        (pops, pairs, links, r, !identical, checked))
+      sizes
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (provenance ~jobs:(Pool.size pool));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"mode\": %S,\n  \"method\": %S,\n  \"window\": %d,\n\
+       \  \"ticks\": %d,\n"
+       (if fast then "fast" else "full")
+       method_name window ticks);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scenario\": {\"flap_link\": [0, %d, %d], \"drop_poller\": [1, \
+        %d, %d]},\n"
+       flap_from (flap_from + 2) drop_from (drop_from + 1));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"assert\": \"no aborted ticks; clean full-window prefix ticks \
+        bit-identical to the batch scan; dropout ticks repaired with \
+        non-clean health records\",\n\
+       \  \"assert_ok\": %b,\n"
+       (!failures = []));
+  Buffer.add_string buf "  \"sweep\": [\n";
+  List.iteri
+    (fun i (pops, pairs, links, (r : Daemon.result), identical, checked) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"pops\": %d, \"pairs\": %d, \"links\": %d, \"ticks\": %d, \
+            \"aborted\": %d, \"epochs\": %d, \"ticks_per_sec\": %.2f, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"polls_lost\": %d, \
+            \"identical_prefix_ticks\": %d, \"checked_prefix_ticks\": %d}%s\n"
+           pops pairs links r.Daemon.ticks r.Daemon.aborted r.Daemon.epochs
+           r.Daemon.ticks_per_sec r.Daemon.p50_ms r.Daemon.p99_ms
+           r.Daemon.polls_lost identical checked
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_daemon.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "daemon assertion FAILED: %s\n") !failures;
     exit 1
   end
 
@@ -1009,6 +1206,7 @@ let () =
   let perf = ref false in
   let scale = ref false in
   let throughput = ref false in
+  let daemon = ref false in
   let only = ref None in
   let list = ref false in
   let rec parse = function
@@ -1024,6 +1222,9 @@ let () =
         parse rest
     | "--throughput" :: rest ->
         throughput := true;
+        parse rest
+    | "--daemon" :: rest ->
+        daemon := true;
         parse rest
     | "--list" :: rest ->
         list := true;
@@ -1041,7 +1242,7 @@ let () =
     | arg :: _ ->
         Printf.eprintf
           "usage: main.exe [--fast] [--perf] [--scale] [--throughput] \
-           [--list] [--jobs N] [--only id,id,...]\n\
+           [--daemon] [--list] [--jobs N] [--only id,id,...]\n\
            unknown argument: %s\n"
           arg;
         exit 2
@@ -1051,6 +1252,7 @@ let () =
     List.iter
       (fun e -> Printf.printf "%-6s %s\n" e.Registry.id e.Registry.title)
       Registry.all
+  else if !daemon then daemon_json ~fast:!fast ()
   else if !throughput then throughput_json ~fast:!fast ()
   else if !scale then scale_json ~fast:!fast ()
   else if !perf then begin

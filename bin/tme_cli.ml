@@ -35,43 +35,91 @@ let dataset_of ?pops ?seed name =
       exit 2
   | None -> dataset_of_name ?seed name
 
-let network_arg =
-  let doc = "Synthetic network to use: europe (12 PoPs) or america (25 PoPs)." in
-  Arg.(value & opt string "europe" & info [ "n"; "network" ] ~docv:"NET" ~doc)
+(* --------------------------------------------------- shared flag table *)
 
-let pops_arg =
-  let doc =
-    "Replace the named network by a generated hierarchical backbone \
-     with $(docv) PoPs (dual-homed leaves on a hub ring).  Above the \
-     workspace sparse gate the solvers run matrix-free."
-  in
-  Arg.(value & opt (some int) None & info [ "pops" ] ~docv:"N" ~doc)
+(* One specification per flag, shared by every subcommand that takes it.
+   estimate, experiment, faults and daemon compose their terms from this
+   table, so a flag spelled the same way means the same thing everywhere
+   it appears: same names, same documentation, same default. *)
+module Flags = struct
+  let network =
+    let doc =
+      "Synthetic network to use: europe (12 PoPs) or america (25 PoPs)."
+    in
+    Arg.(value & opt string "europe" & info [ "n"; "network" ] ~docv:"NET" ~doc)
 
-let seed_arg =
-  let doc = "Override the dataset generator seed (synthetic or named)." in
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  let pops =
+    let doc =
+      "Replace the named network by a generated hierarchical backbone \
+       with $(docv) PoPs (dual-homed leaves on a hub ring).  Above the \
+       workspace sparse gate the solvers run matrix-free."
+    in
+    Arg.(value & opt (some int) None & info [ "pops" ] ~docv:"N" ~doc)
 
-let jobs_arg =
-  let doc =
-    "Domain-pool size for parallel window scans, matvecs and experiment \
-     sweeps (default: $(b,TMEST_JOBS) if set to a positive integer, else \
-     the recommended domain count)."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  let seed =
+    let doc = "Override the dataset generator seed (synthetic or named)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+  let jobs =
+    let doc =
+      "Domain-pool size for parallel window scans, matvecs and experiment \
+       sweeps (default: $(b,TMEST_JOBS) if set to a positive integer, else \
+       the recommended domain count)."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+  let trace =
+    let doc =
+      "Record an execution trace to $(docv): spans for solves, windows \
+       and cache fills, counters for workspace caches, and one record \
+       per solver iteration.  A $(b,.jsonl) suffix selects the \
+       line-oriented encoding; anything else gets Chrome trace-viewer \
+       JSON (load in about://tracing or ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+  let fast =
+    let doc = "Use reduced datasets (fast, for smoke runs)." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+
+  let fault_seed =
+    let doc = "Seed for the deterministic fault-injection streams." in
+    Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+  let precond =
+    let doc =
+      "Preconditioning policy for the iterative solvers: $(b,auto) \
+       (Jacobi in sparse mode, none in dense), $(b,jacobi), $(b,block) \
+       or $(b,none)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", Core.Workspace.Precond_auto);
+               ("jacobi", Core.Workspace.Precond_jacobi);
+               ("block", Core.Workspace.Precond_block);
+               ("none", Core.Workspace.Precond_none);
+             ])
+          Core.Workspace.Precond_auto
+      & info [ "precond" ] ~docv:"KIND" ~doc)
+
+  let window ~default =
+    let doc = "Window length for time-series methods." in
+    Arg.(value & opt int default & info [ "w"; "window" ] ~doc)
+
+  let method_ =
+    let doc =
+      Printf.sprintf "Estimation method: %s."
+        (String.concat ", " (Core.Estimator.all_names ()))
+    in
+    Arg.(value & opt string "entropy" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+end
 
 (* Resize the shared default pool before any workspace or context is
    built; every later [Pool.default ()] then returns the resized pool. *)
 let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
-
-let trace_arg =
-  let doc =
-    "Record an execution trace to $(docv): spans for solves, windows \
-     and cache fills, counters for workspace caches, and one record \
-     per solver iteration.  A $(b,.jsonl) suffix selects the \
-     line-oriented encoding; anything else gets Chrome trace-viewer \
-     JSON (load in about://tracing or ui.perfetto.dev)."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 (* Run [f] against a trace sink: the null sink without [--trace], else
    a recorder whose contents are written to [path] on the way out
@@ -139,10 +187,6 @@ let drop_links_arg =
   let doc = "Per-link probability of a lost (missing) load measurement." in
   Arg.(value & opt float 0. & info [ "drop-links" ] ~docv:"PROB" ~doc)
 
-let fault_seed_arg =
-  let doc = "Seed for the deterministic fault-injection streams." in
-  Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
-
 let spec_of ~seed ~noise ~drop ~wrap ~reset =
   match
     Inject.make ~seed
@@ -155,43 +199,13 @@ let spec_of ~seed ~noise ~drop ~wrap ~reset =
       exit 2
 
 let estimate_cmd =
-  let method_arg =
-    let doc =
-      Printf.sprintf "Estimation method: %s."
-        (String.concat ", " (Core.Estimator.all_names ()))
-    in
-    Arg.(value & opt string "entropy" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
-  in
   let sigma2_arg =
     let doc = "Regularization parameter for entropy/bayes." in
     Arg.(value & opt float 1000. & info [ "sigma2" ] ~doc)
   in
-  let window_arg =
-    let doc = "Window length for time-series methods." in
-    Arg.(value & opt int 10 & info [ "w"; "window" ] ~doc)
-  in
   let top_arg =
     let doc = "Print the TOP largest demands with their estimates." in
     Arg.(value & opt int 10 & info [ "top" ] ~doc)
-  in
-  let precond_arg =
-    let doc =
-      "Preconditioning policy for the iterative solvers: $(b,auto) \
-       (Jacobi in sparse mode, none in dense), $(b,jacobi), $(b,block) \
-       or $(b,none)."
-    in
-    Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("auto", Core.Workspace.Precond_auto);
-               ("jacobi", Core.Workspace.Precond_jacobi);
-               ("block", Core.Workspace.Precond_block);
-               ("none", Core.Workspace.Precond_none);
-             ])
-          Core.Workspace.Precond_auto
-      & info [ "precond" ] ~docv:"KIND" ~doc)
   in
   let run network pops seed method_name sigma2 window top precond noise drop
       fault_seed jobs trace =
@@ -309,19 +323,17 @@ let estimate_cmd =
   let doc = "Estimate the traffic matrix from link loads and report accuracy." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run $ network_arg $ pops_arg $ seed_arg $ method_arg $ sigma2_arg
-      $ window_arg $ top_arg $ precond_arg $ noise_arg $ drop_links_arg
-      $ fault_seed_arg $ jobs_arg $ trace_arg)
+      const run $ Flags.network $ Flags.pops $ Flags.seed $ Flags.method_
+      $ sigma2_arg
+      $ Flags.window ~default:10
+      $ top_arg $ Flags.precond $ noise_arg $ drop_links_arg
+      $ Flags.fault_seed $ Flags.jobs $ Flags.trace)
 
 (* -------------------------------------------------------- experiment *)
 
 let exp_id_arg =
   let doc = "Experiment id (fig1..fig16, tab1, tab2); see `tme list'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
-
-let fast_arg =
-  let doc = "Use reduced datasets (fast, for smoke runs)." in
-  Arg.(value & flag & info [ "fast" ] ~doc)
 
 let experiment_cmd =
   let run id fast pops seed jobs trace =
@@ -345,8 +357,8 @@ let experiment_cmd =
   let doc = "Run one paper experiment and print its report." in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
-      const run $ exp_id_arg $ fast_arg $ pops_arg $ seed_arg $ jobs_arg
-      $ trace_arg)
+      const run $ exp_id_arg $ Flags.fast $ Flags.pops $ Flags.seed
+      $ Flags.jobs $ Flags.trace)
 
 let list_cmd =
   let run () =
@@ -386,7 +398,7 @@ let csv_cmd =
   in
   let doc = "Dump an experiment's series and tables as CSV." in
   Cmd.v (Cmd.info "csv" ~doc)
-    Term.(const run $ exp_id_arg $ fast_arg $ out_arg $ jobs_arg)
+    Term.(const run $ exp_id_arg $ Flags.fast $ out_arg $ Flags.jobs)
 
 (* ------------------------------------------------------------ export *)
 
@@ -408,7 +420,7 @@ let export_cmd =
     0
   in
   let doc = "Export a synthetic dataset as .topo / .tm text files." in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ network_arg $ dir_arg)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ Flags.network $ dir_arg)
 
 (* ----------------------------------------------------- estimate-files *)
 
@@ -481,7 +493,7 @@ let estimate_files_cmd =
      (shortest-path routing; loads derived from the chosen sample)."
   in
   Cmd.v (Cmd.info "estimate-files" ~doc)
-    Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg $ jobs_arg)
+    Term.(const run $ topo_arg $ tm_arg $ sample_arg $ sigma2_arg $ Flags.jobs)
 
 (* ------------------------------------------------------------ faults *)
 
@@ -494,14 +506,11 @@ let faults_cmd =
     let doc = "Per-link probability of a mid-window counter reset." in
     Arg.(value & opt float 0. & info [ "reset" ] ~docv:"PROB" ~doc)
   in
-  let window_arg =
-    let doc = "Window length for time-series methods." in
-    Arg.(value & opt int 10 & info [ "w"; "window" ] ~doc)
-  in
-  let run network noise drop wrap reset fault_seed window jobs trace =
+  let run network pops seed noise drop wrap reset fault_seed window jobs trace
+      =
     apply_jobs jobs;
     let fault = spec_of ~seed:fault_seed ~noise ~drop ~wrap ~reset in
-    let d = dataset_of_name network in
+    let d = dataset_of ?pops ?seed network in
     let spec = d.Dataset.spec in
     let k = spec.Spec.busy_start + (spec.Spec.busy_len / 2) in
     let truth = Dataset.demand_at d k in
@@ -516,6 +525,7 @@ let faults_cmd =
     in
     let dirty_loads = Inject.loads fault ~loads:clean_loads in
     let dirty_samples = Inject.samples fault clean_samples in
+    let network = spec.Spec.name in
     with_trace trace
       ~meta:[ ("command", "faults"); ("network", network) ]
     @@ fun sink ->
@@ -546,23 +556,29 @@ let faults_cmd =
           try Core.Metrics.mre ~truth:reference ~estimate:(solve ()) ()
           with Tmest_opt.Simplex.Infeasible -> Float.nan
         in
-        let clean =
-          mre (fun () ->
-              Core.Estimator.solve m ws ~loads:clean_loads
-                ~load_samples:clean_samples)
-        in
-        let repaired =
-          mre (fun () ->
-              Core.Estimator.solve ~opts:degrade_opts m ws ~loads:dirty_loads
-                ~load_samples:dirty_samples)
-        in
-        let zero =
-          mre (fun () ->
-              Core.Estimator.solve m ws
-                ~loads:(Inject.zero_fill dirty_loads)
-                ~load_samples:(Inject.zero_fill_mat dirty_samples))
-        in
-        Printf.printf "%-10s %10.4f %10.4f %10.4f\n" name clean repaired zero)
+        (* Dense-only methods refuse a sparse-mode workspace (above the
+           gate with --pops): say so instead of aborting the table. *)
+        try
+          let clean =
+            mre (fun () ->
+                Core.Estimator.solve m ws ~loads:clean_loads
+                  ~load_samples:clean_samples)
+          in
+          let repaired =
+            mre (fun () ->
+                Core.Estimator.solve ~opts:degrade_opts m ws ~loads:dirty_loads
+                  ~load_samples:dirty_samples)
+          in
+          let zero =
+            mre (fun () ->
+                Core.Estimator.solve m ws
+                  ~loads:(Inject.zero_fill dirty_loads)
+                  ~load_samples:(Inject.zero_fill_mat dirty_samples))
+          in
+          Printf.printf "%-10s %10.4f %10.4f %10.4f\n" name clean repaired zero
+        with Invalid_argument _ when Core.Workspace.is_sparse ws ->
+          Printf.printf "%-10s   excluded (dense-only method, sparse mode)\n"
+            name)
       (Core.Estimator.all_names ());
     (match !health with
     | Some h -> Format.printf "degraded : %a@." Core.Degrade.pp_health h
@@ -575,8 +591,249 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ network_arg $ noise_arg $ drop_links_arg $ wrap_arg
-      $ reset_arg $ fault_seed_arg $ window_arg $ jobs_arg $ trace_arg)
+      const run $ Flags.network $ Flags.pops $ Flags.seed $ noise_arg
+      $ drop_links_arg $ wrap_arg $ reset_arg $ Flags.fault_seed
+      $ Flags.window ~default:10
+      $ Flags.jobs $ Flags.trace)
+
+(* ------------------------------------------------------------ daemon *)
+
+module Daemon = Tmest_daemon.Daemon
+module Collect = Tmest_snmp.Collect
+
+(* Like [with_trace], but a [.jsonl] path gets the streaming writer:
+   the header goes out before the first tick and every event is flushed
+   as it is emitted, so the feed can be tailed (and schema-checked)
+   while the daemon runs. *)
+let with_live_trace ?(meta = []) trace f =
+  match trace with
+  | Some path when Filename.check_suffix path ".jsonl" ->
+      Obs.Clock.set_source Unix.gettimeofday;
+      let live = Recorder.Live.create ~meta path in
+      let finish () =
+        Recorder.Live.close live;
+        Printf.eprintf "trace: %d events -> %s (live)\n%!"
+          (Recorder.Live.length live) path
+      in
+      let code =
+        try f (Recorder.Live.sink live)
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      code
+  | other -> with_trace ~meta other f
+
+(* "L@K" or "L@K0..K1": a scenario event pinned to one tick or to an
+   inclusive tick range. *)
+let event_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> Error (`Msg (Printf.sprintf "%S: expected ID@TICK or ID@K0..K1" s))
+    | Some at -> (
+        let id = String.sub s 0 at in
+        let range = String.sub s (at + 1) (String.length s - at - 1) in
+        let int v =
+          match int_of_string_opt v with
+          | Some i when i >= 0 -> Ok i
+          | _ -> Error (`Msg (Printf.sprintf "%S: bad number %S" s v))
+        in
+        let split_range r =
+          let n = String.length r in
+          let rec find i =
+            if i + 1 >= n then None
+            else if r.[i] = '.' && r.[i + 1] = '.' then
+              Some (String.sub r 0 i, String.sub r (i + 2) (n - i - 2))
+            else find (i + 1)
+          in
+          find 0
+        in
+        let ( let* ) = Result.bind in
+        let* id = int id in
+        match split_range range with
+        | Some (k0, k1) ->
+            let* k0 = int k0 in
+            let* k1 = int k1 in
+            if k1 < k0 then
+              Error (`Msg (Printf.sprintf "%S: empty tick range" s))
+            else Ok (id, k0, k1)
+        | None ->
+            let* k = int range in
+            Ok (id, k, k))
+  in
+  let print ppf (id, k0, k1) =
+    if k0 = k1 then Format.fprintf ppf "%d@%d" id k0
+    else Format.fprintf ppf "%d@%d..%d" id k0 k1
+  in
+  Arg.conv (parse, print)
+
+let daemon_cmd =
+  let ticks_arg =
+    let doc = "Intervals to run (288 five-minute ticks = one day)." in
+    Arg.(value & opt int 288 & info [ "ticks" ] ~docv:"N" ~doc)
+  in
+  let interval_scale_arg =
+    let doc =
+      "Pace the loop in real time at $(docv) times the nominal poll \
+       interval (e.g. 0.001 sleeps ~0.3 s per tick); 0 free-runs \
+       (benchmarks, smoke tests)."
+    in
+    Arg.(value & opt float 0. & info [ "interval-scale" ] ~docv:"SCALE" ~doc)
+  in
+  let loss_arg =
+    let doc = "Per-poll UDP loss probability on the collection stream." in
+    Arg.(
+      value
+      & opt float Collect.default_config.Collect.loss_prob
+      & info [ "loss" ] ~docv:"PROB" ~doc)
+  in
+  let flap_arg =
+    let doc =
+      "Fail interior link $(i,L) for ticks $(i,K0)..$(i,K1) (inclusive; \
+       $(i,L@K) flaps for the single tick $(i,K)).  Routing converges \
+       around the failure and the daemon switches to the rerouted \
+       workspace.  Repeatable."
+    in
+    Arg.(
+      value & opt_all event_conv [] & info [ "flap-link" ] ~docv:"L@K0..K1" ~doc)
+  in
+  let drop_arg =
+    let doc =
+      "Silence poller $(i,P) for ticks $(i,K0)..$(i,K1): every link \
+       polled by it misses those rounds and is repaired online.  \
+       Repeatable."
+    in
+    Arg.(
+      value
+      & opt_all event_conv []
+      & info [ "drop-poller" ] ~docv:"P@K0..K1" ~doc)
+  in
+  let reset_arg =
+    let doc =
+      "Restart link $(i,L)'s byte counter at tick $(i,K) (a line-card \
+       reboot).  Repeatable."
+    in
+    Arg.(value & opt_all event_conv [] & info [ "reset-link" ] ~docv:"L@K" ~doc)
+  in
+  let run network pops seed fast method_name window ticks interval_scale loss
+      flaps drops resets precond fault_seed jobs trace =
+    apply_jobs jobs;
+    let d =
+      match (pops, fast) with
+      | Some _, _ -> dataset_of ?pops ?seed network
+      | None, true ->
+          let spec =
+            match network with
+            | "europe" -> Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe
+            | "america" -> Spec.scaled ~nodes:8 ~directed_links:44 Spec.america
+            | s ->
+                Printf.eprintf
+                  "unknown network %S (expected europe or america)\n" s;
+                exit 2
+          in
+          let spec = { spec with Spec.name = spec.Spec.name ^ "-fast" } in
+          let spec =
+            match seed with Some s -> { spec with Spec.seed = s } | None -> spec
+          in
+          Dataset.generate spec
+      | None, false -> dataset_of ?seed network
+    in
+    let spec = d.Dataset.spec in
+    let est =
+      match Core.Estimator.of_name method_name with
+      | m -> m
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    let stream =
+      { Collect.default_config with Collect.loss_prob = loss; seed = fault_seed }
+    in
+    let scenario =
+      {
+        Daemon.flaps;
+        poller_drops = drops;
+        resets = List.map (fun (l, k, _) -> (l, k)) resets;
+      }
+    in
+    let pace =
+      if interval_scale > 0. then
+        Some (fun () -> Unix.sleepf (interval_scale *. stream.Collect.interval_s))
+      else None
+    in
+    let cfg =
+      Daemon.config ~window ~ticks ~precond ~stream ~scenario ?pace ~est ()
+    in
+    with_live_trace trace
+      ~meta:
+        [
+          ("command", "daemon");
+          ("network", spec.Spec.name);
+          ("method", Core.Estimator.name est);
+          ("ticks", string_of_int ticks);
+        ]
+    @@ fun sink ->
+    Printf.printf "daemon   : %s on %s, window %d, %d ticks\n"
+      (Core.Estimator.name est) spec.Spec.name window ticks;
+    Printf.printf
+      "stream   : interval %g s, jitter %g s, loss %g, %d pollers, seed %d\n"
+      stream.Collect.interval_s stream.Collect.jitter_s
+      stream.Collect.loss_prob stream.Collect.pollers stream.Collect.seed;
+    let r =
+      try Daemon.run ~pool:(Pool.default ()) ~sink cfg d
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    (* Per-tick lines only where something happened: epoch switches,
+       lost polls, counter resets.  A clean day stays quiet. *)
+    let last_epoch = ref (-1) in
+    List.iter
+      (fun (t : Daemon.tick_record) ->
+        if t.Daemon.epoch <> !last_epoch then begin
+          Printf.printf "epoch %d  from tick %d (%s)\n" t.Daemon.epoch
+            t.Daemon.tick
+            (if t.Daemon.epoch = 0 then "all links up" else "routing changed");
+          last_epoch := t.Daemon.epoch
+        end;
+        if t.Daemon.missing > 0 || t.Daemon.resets > 0 then
+          Printf.printf
+            "tick %3d  missing %d  resets %d  imputed %d  total %.1f Gbps\n"
+            t.Daemon.tick t.Daemon.missing t.Daemon.resets
+            (match t.Daemon.health with
+            | Some h -> h.Core.Degrade.imputed
+            | None -> 0)
+            (t.Daemon.total_bps /. 1e9))
+      r.Daemon.records;
+    Printf.printf "ticks    : %d run, %d aborted, %d epochs\n" r.Daemon.ticks
+      r.Daemon.aborted r.Daemon.epochs;
+    Printf.printf "stream   : %d polls lost, %d counter resets\n"
+      r.Daemon.polls_lost r.Daemon.counter_resets;
+    Printf.printf "latency  : p50 %.2f ms, p99 %.2f ms, %.1f ticks/s\n"
+      r.Daemon.p50_ms r.Daemon.p99_ms r.Daemon.ticks_per_sec;
+    (match List.rev r.Daemon.records with
+    | last :: _ ->
+        Printf.printf "final    : MRE %.4f vs snapshot %d truth\n"
+          (Core.Metrics.mre
+             ~truth:(Dataset.demand_at d last.Daemon.snapshot)
+             ~estimate:last.Daemon.estimate ())
+          last.Daemon.snapshot
+    | [] -> ());
+    if r.Daemon.aborted > 0 then 1 else 0
+  in
+  let doc =
+    "Run the streaming estimation daemon: poll, slide the window, \
+     re-estimate each interval; repair online and survive routing flaps."
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(
+      const run $ Flags.network $ Flags.pops $ Flags.seed $ Flags.fast
+      $ Flags.method_
+      $ Flags.window ~default:8
+      $ ticks_arg $ interval_scale_arg $ loss_arg $ flap_arg $ drop_arg
+      $ reset_arg $ Flags.precond $ Flags.fault_seed $ Flags.jobs
+      $ Flags.trace)
 
 (* --------------------------------------------------------- snmp demo *)
 
@@ -603,7 +860,7 @@ let snmp_cmd =
     0
   in
   let doc = "Simulate the SNMP collection pipeline over a dataset." in
-  Cmd.v (Cmd.info "snmp-demo" ~doc) Term.(const run $ network_arg $ loss_arg)
+  Cmd.v (Cmd.info "snmp-demo" ~doc) Term.(const run $ Flags.network $ loss_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());
@@ -624,6 +881,7 @@ let () =
             list_cmd;
             csv_cmd;
             faults_cmd;
+            daemon_cmd;
             snmp_cmd;
             export_cmd;
             estimate_files_cmd;

@@ -70,7 +70,9 @@ module Options = struct
       ?(precond = Workspace.Precond_auto) () =
     { warm; warm_tag; x0; sink; degrade; precond }
 
+  let with_warm warm t = { t with warm }
   let with_warm_tag tag t = { t with warm_tag = Some tag }
+  let with_x0 x0 t = { t with x0 = Some x0 }
   let with_sink sink t = { t with sink }
   let with_degrade policy t = { t with degrade = Some policy }
   let with_precond precond t = { t with precond }

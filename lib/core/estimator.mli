@@ -39,9 +39,13 @@ val all_names : unit -> string list
     load measurements rather than one snapshot. *)
 val uses_time_series : t -> bool
 
-(** Per-run options for {!solve}. *)
+(** Per-run options for {!solve}.
+
+    The record is private: construct it with {!make} and refine it with
+    the [with_*] builders, so every construction site stays valid when a
+    field is added.  Fields remain readable everywhere. *)
 module Options : sig
-  type t = {
+  type t = private {
     warm : bool;
         (** start iterative methods from the workspace's cached solution
             for the same method and parameters — the previous window of
@@ -95,7 +99,9 @@ module Options : sig
     unit ->
     t
 
+  val with_warm : bool -> t -> t
   val with_warm_tag : string -> t -> t
+  val with_x0 : Tmest_linalg.Vec.t -> t -> t
   val with_sink : Tmest_obs.Obs.sink -> t -> t
   val with_degrade : Degrade.policy -> t -> t
   val with_precond : Workspace.precond_kind -> t -> t

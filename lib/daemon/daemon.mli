@@ -1,0 +1,122 @@
+(** The streaming estimation daemon: the ROADMAP's "from batch runs to
+    a long-lived service".
+
+    One {e tick} is one nominal SNMP interval (the paper's 5 minutes).
+    Each tick the loop
+
+    + polls every link counter through a jittered, lossy
+      {!Tmest_snmp.Collect.Stream} round ({!Tmest_snmp.Counter.classify}
+      turns the raw readings into believable deltas, duplicates, or
+      resets),
+    + pushes the recovered load row — [nan] where the collector has no
+      believable measurement — into a sliding
+      {!Tmest_experiments.Ctx.Scan.Series} window,
+    + re-estimates with {!Tmest_core.Estimator.solve} under a warm
+      start chained per epoch, with {!Tmest_core.Degrade} repairing the
+      window online whenever the stream flagged drops or resets, and
+    + emits an estimate record and a health record through the obs sink
+      (a live JSONL feed via {!Tmest_obs.Recorder.Live}), the whole
+      tick wrapped in a [daemon.tick] latency span.
+
+    Routing changes (link flaps) switch the loop to a workspace
+    memoized per failed-link set — fresh cached factors under the new
+    [R] — invalidate the measurement window (its rows obey the old
+    routing), and start a fresh warm chain tagged with the new epoch.
+
+    Determinism: the loop is tick-sequential; the pool only fans out
+    the pooled kernels underneath, which are bit-identical at every
+    size — so a daemon run is bit-identical at jobs=1 and jobs=2, and a
+    clean cold run is bit-identical to a batch
+    {!Tmest_experiments.Ctx.Scan} over the same recovered series. *)
+
+(** Mid-stream fault script, all tick indices inclusive. *)
+type scenario = {
+  flaps : (int * int * int) list;
+      (** [(link, from, until)]: interior link [link] is down for ticks
+          [from..until]; routing converges around it instantly *)
+  poller_drops : (int * int * int) list;
+      (** [(poller, from, until)]: every link assigned to [poller]
+          misses its polls for ticks [from..until] *)
+  resets : (int * int) list;
+      (** [(link, tick)]: the link's counter restarts at that tick's
+          start *)
+}
+
+val no_scenario : scenario
+
+type config = {
+  est : Tmest_core.Estimator.t;
+  window : int;  (** sliding measurement window (rows) *)
+  ticks : int;  (** intervals to run (288 = one day) *)
+  warm : bool;  (** chain warm starts within an epoch *)
+  precond : Tmest_core.Workspace.precond_kind;
+  degrade : Tmest_core.Degrade.policy;
+      (** online repair policy; on clean ticks the repair is a no-op
+          returning the original arrays, so clean estimates are
+          bit-identical to the undegraded path *)
+  stream : Tmest_snmp.Collect.config;
+  scenario : scenario;
+  pace : (unit -> unit) option;
+      (** called after every tick — a real deployment sleeps out the
+          rest of the interval here; [None] free-runs (tests, bench) *)
+}
+
+(** [config ~est ()] with defaults: window 8, 288 ticks, warm,
+    automatic preconditioning, {!Tmest_core.Degrade.default} repair,
+    {!Tmest_snmp.Collect.default_config} stream, no scenario, no
+    pacing. *)
+val config :
+  ?window:int ->
+  ?ticks:int ->
+  ?warm:bool ->
+  ?precond:Tmest_core.Workspace.precond_kind ->
+  ?degrade:Tmest_core.Degrade.policy ->
+  ?stream:Tmest_snmp.Collect.config ->
+  ?scenario:scenario ->
+  ?pace:(unit -> unit) ->
+  est:Tmest_core.Estimator.t ->
+  unit ->
+  config
+
+type tick_record = {
+  tick : int;
+  snapshot : int;  (** dataset sample index the truth cycled to *)
+  epoch : int;  (** routing epoch (0 until the first flap event) *)
+  loads : Tmest_linalg.Vec.t;
+      (** recovered link loads fed to the estimator, [nan] where the
+          poll round had no believable measurement *)
+  estimate : Tmest_linalg.Vec.t;  (** demand estimate, bits/s *)
+  total_bps : float;
+  health : Tmest_core.Degrade.health option;
+      (** the online repair's health record ([clean = true] on clean
+          ticks) *)
+  missing : int;  (** [nan] entries in [loads] *)
+  resets : int;  (** polls classified as counter resets this tick *)
+  polls_lost : int;
+  latency_ns : int64;  (** whole-tick latency (poll + window + solve) *)
+}
+
+type result = {
+  records : tick_record list;  (** in tick order, aborted ticks absent *)
+  ticks : int;
+  aborted : int;  (** ticks that raised (always 0 in a healthy run) *)
+  epochs : int;  (** epoch periods entered (1 = no routing change) *)
+  ticks_per_sec : float;
+      (** over the summed tick latencies — pacing excluded *)
+  p50_ms : float;  (** median tick latency *)
+  p99_ms : float;
+  polls_lost : int;  (** stream total *)
+  counter_resets : int;  (** stream total *)
+}
+
+(** [run ?pool ?sink cfg dataset] drives [cfg.ticks] intervals, cycling
+    over the dataset's measurement day for ground truth.  [pool] fans
+    out the solver kernels (the loop itself is tick-sequential);
+    [sink] receives the live feed.  A tick that raises is counted in
+    [aborted] and the loop keeps going. *)
+val run :
+  ?pool:Tmest_parallel.Pool.t ->
+  ?sink:Tmest_obs.Obs.sink ->
+  config ->
+  Tmest_traffic.Dataset.t ->
+  result

@@ -74,58 +74,132 @@ val networks : t -> network list
     a dense-only method). *)
 val synthetic : ?seed:int -> t -> pops:int -> network
 
-(** [busy_loads net ~window] is the [window x L] matrix of the last
-    [window] busy-period link-load samples. *)
-val busy_loads : network -> window:int -> Tmest_linalg.Mat.t
-
 (** [busy_mean net] is the busy-period mean demand (reference for
     time-series methods). *)
 val busy_mean : network -> Tmest_linalg.Vec.t
 
-(** [scan_busy ?opts net est ~window ~steps] slides a fixed-size
-    measurement window over the last [steps] busy-period snapshots and
-    runs estimator [est] once per position (snapshot methods see the
-    window-end load vector; time-series methods see the whole window).
-    With [opts.warm] set, each solve starts from the previous position's
-    solution through the workspace warm-start cache — the intended use
-    of {!Tmest_core.Estimator.Options.t}'s [warm] flag; on parallel
-    scans the chunk index is appended to [opts.warm_tag].  With an
-    enabled sink (either [opts.sink] or the workspace's), each window
-    solve is wrapped in a [scan.window] span.  Returns
-    [(snapshot index, estimate)] in scan order.
+(** The unified windowed-scan API: every sliding-window estimation run
+    — busy-period scan, day replay, caller-supplied measurement series,
+    and (through {!Scan.Series}) the streaming daemon's incremental
+    loop — goes through one engine configured by a single record.
 
-    On a multi-domain pool the scan splits into one contiguous chunk of
-    positions per pool slot; warm chains then run per chunk (keyed by
-    chunk index), so results are a function of the job count and step
-    count only — never of scheduling — and match the sequential scan
-    within the solver tolerance.  Cold scans ([warm:false]) are
-    bit-identical to the sequential scan at every pool size. *)
-val scan_busy :
-  ?opts:Tmest_core.Estimator.Options.t ->
-  network ->
-  Tmest_core.Estimator.t ->
-  window:int ->
-  steps:int ->
-  (int * Tmest_linalg.Vec.t) list
+    This replaces the former [scan_busy] / [busy_loads] / [replay]
+    trio; the migrated paths are bit-identical to the old entry points
+    (pinned by a golden test). *)
+module Scan : sig
+  (** Where the measurement windows come from. *)
+  type source =
+    | Busy of { window : int; steps : int }
+        (** slide a [window]-sample measurement window over the last
+            [steps] busy-period snapshots of the network's dataset *)
+    | Replay of { window : int; windows : int }
+        (** production-shaped day replay: [windows] successive
+            re-estimations (the paper's every-5-minutes loop — 288
+            intervals per day), cycling over the dataset's full
+            measurement day when the replay is longer than the recorded
+            series *)
+    | Windows of { window : int; loads : Tmest_linalg.Vec.t array }
+        (** slide over a caller-supplied series of per-snapshot load
+            vectors (oldest first) — one step per window position; used
+            to re-run a recorded stream as a batch scan *)
 
-(** [replay ?opts net est ~window ~windows] is the production-shaped
-    day replay: [windows] successive re-estimations (the paper's
-    every-5-minutes loop — 288 intervals per day), cycling over the
-    dataset's full measurement day when the replay is longer than the
-    recorded series.  Each interval runs the whole measurement
-    pipeline — window-end loads, a [window x L] samples matrix refilled
-    by row blits into a per-domain workspace arena, one estimator
-    solve.  Per-snapshot load extraction is hoisted out of the loop
-    (each snapshot is one CSR matvec, extracted once for the whole
-    replay).  Returns [(snapshot index, estimate)] per interval.
+  (** The scan configuration: one record carrying the window source,
+      the per-solve estimator options, an optional warm-chain tag (a
+      shorthand for [Options.with_warm_tag] — chunk tags nest under
+      it), an optional pool override (default: the workspace's pool; a
+      1-slot pool forces the sequential in-order path), and an optional
+      per-window callback.  [on_window] fires after each window's solve
+      with the step index, snapshot label and estimate; on a
+      multi-domain pool it is called from worker domains (chunks run
+      concurrently), so the callback must be thread-safe. *)
+  type t = {
+    source : source;
+    opts : Tmest_core.Estimator.Options.t;
+    tag : string option;
+    pool : Tmest_parallel.Pool.t option;
+    on_window : (step:int -> snapshot:int -> Tmest_linalg.Vec.t -> unit) option;
+  }
 
-    Determinism matches {!scan_busy}: cold replays are bit-identical at
-    every pool size; warm replays chain warm starts per chunk, so they
-    are a function of the job count only. *)
-val replay :
-  ?opts:Tmest_core.Estimator.Options.t ->
-  network ->
-  Tmest_core.Estimator.t ->
-  window:int ->
-  windows:int ->
-  (int * Tmest_linalg.Vec.t) list
+  val make :
+    ?opts:Tmest_core.Estimator.Options.t ->
+    ?tag:string ->
+    ?pool:Tmest_parallel.Pool.t ->
+    ?on_window:(step:int -> snapshot:int -> Tmest_linalg.Vec.t -> unit) ->
+    source ->
+    t
+
+  (** [samples net ~window] is the [window x L] matrix of the last
+      [window] busy-period link-load samples (the batch counterpart of
+      a {!source}'s window assembly, for callers that feed
+      [Estimator.solve] directly). *)
+  val samples : network -> window:int -> Tmest_linalg.Mat.t
+
+  (** [run net est t] executes the scan: snapshot methods see each
+      window-end load vector, time-series methods the whole window.
+      With [opts.warm] set, each solve starts from the previous
+      position's solution through the workspace warm-start cache; with
+      an enabled sink (either [opts.sink] or the workspace's), each
+      window solve is wrapped in a [scan.window] ([replay.window] for
+      {!Replay}) span.  Returns [(snapshot label, estimate)] in scan
+      order.
+
+      On a multi-domain pool the scan splits into one contiguous chunk
+      of positions per pool slot; warm chains then run per chunk (the
+      chunk index is appended to the warm tag), so results are a
+      function of the job count and step count only — never of
+      scheduling — and match the sequential scan within the solver
+      tolerance.  Cold scans ([warm:false]) are bit-identical to the
+      sequential scan at every pool size. *)
+  val run :
+    network ->
+    Tmest_core.Estimator.t ->
+    t ->
+    (int * Tmest_linalg.Vec.t) list
+
+  (** Incremental push-one-estimate-one engine for streaming consumers
+      (the daemon): a ring buffer of the last [window] load rows,
+      assembled oldest-first into a workspace scratch matrix on each
+      {!estimate}.  At full fill the assembled samples matrix is
+      bit-identical to what a batch {!run} over the same rows builds,
+      so a sequential warm tick stream matches a sequential warm batch
+      scan bit for bit. *)
+  module Series : sig
+    type t
+
+    (** [create ?name ws ~window ~links] — [name] keys the scratch
+        arena, so two series on one workspace should use distinct
+        names. *)
+    val create :
+      ?name:string -> Tmest_core.Workspace.t -> window:int -> links:int -> t
+
+    (** [push t v] appends a load row (copied), evicting the oldest
+        once [window] rows are held. *)
+    val push : t -> Tmest_linalg.Vec.t -> unit
+
+    (** [fill t] is the number of rows currently held (≤ window). *)
+    val fill : t -> int
+
+    (** [total t] is the lifetime push count, across {!clear}s. *)
+    val total : t -> int
+
+    val window : t -> int
+
+    (** [clear t] empties the window (a routing change invalidated the
+        held rows); {!total} keeps counting. *)
+    val clear : t -> unit
+
+    (** [latest t] is a copy of the newest row.
+        @raise Invalid_argument when empty. *)
+    val latest : t -> Tmest_linalg.Vec.t
+
+    (** [estimate ?opts t est] solves on the current window: loads =
+        newest row, samples = held rows oldest-first (at fill 1 the
+        single row is duplicated — time-series methods need two).
+        @raise Invalid_argument when empty. *)
+    val estimate :
+      ?opts:Tmest_core.Estimator.Options.t ->
+      t ->
+      Tmest_core.Estimator.t ->
+      Tmest_linalg.Vec.t
+  end
+end

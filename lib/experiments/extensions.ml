@@ -282,7 +282,7 @@ let ext5 ctx =
     List.concat_map
       (fun net ->
         let ws = net.Ctx.workspace in
-        let samples = Ctx.busy_loads net ~window in
+        let samples = Ctx.Scan.samples net ~window in
         let truth = Ctx.busy_mean net in
         let mre estimate = Metrics.mre ~truth ~estimate () in
         let cao c sigma_inv2 =

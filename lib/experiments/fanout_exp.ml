@@ -16,7 +16,7 @@ let window_truth net window =
   Vec.scale (1. /. float_of_int window) acc
 
 let estimate_for ?x0 net window =
-  let samples = Ctx.busy_loads net ~window in
+  let samples = Ctx.Scan.samples net ~window in
   let r = Fanout.estimate ?x0 net.Ctx.workspace ~load_samples:samples in
   (r, window_truth net window)
 

@@ -23,7 +23,7 @@ let scale ctx =
         let net = Ctx.synthetic ?seed:ctx.Ctx.scale_seed ctx ~pops in
         let ws = net.Ctx.workspace in
         let pairs = W.num_pairs ws in
-        let samples = Ctx.busy_loads net ~window:8 in
+        let samples = Ctx.Scan.samples net ~window:8 in
         List.map
           (fun name ->
             let m = Core.Estimator.of_name name in

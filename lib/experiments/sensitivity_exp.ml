@@ -33,7 +33,7 @@ let methods () = List.map Core.Estimator.of_name (Core.Estimator.all_names ())
 
 let per_network ~fast net =
   let window = if fast then 10 else 30 in
-  let clean_samples = Ctx.busy_loads net ~window in
+  let clean_samples = Ctx.Scan.samples net ~window in
   let truth = net.Ctx.truth in
   let busy_truth = Ctx.busy_mean net in
   let methods = methods () in

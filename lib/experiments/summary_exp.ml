@@ -45,7 +45,7 @@ let tab2 ctx =
       ( "Fanout",
         best_over
           (fun window ->
-            let samples = Ctx.busy_loads net ~window in
+            let samples = Ctx.Scan.samples net ~window in
             busy_mre
               (Core.Fanout.estimate ws ~load_samples:samples)
                 .Core.Fanout.estimate)
@@ -53,7 +53,7 @@ let tab2 ctx =
       ( "Vardi",
         best_over
           (fun sigma_inv2 ->
-            let samples = Ctx.busy_loads net ~window:(if fast then 20 else 50) in
+            let samples = Ctx.Scan.samples net ~window:(if fast then 20 else 50) in
             busy_mre
               (Core.Vardi.estimate ws ~load_samples:samples ~sigma_inv2)
                 .Core.Vardi.estimate)
@@ -62,7 +62,7 @@ let tab2 ctx =
         snapshot_mre
           (Core.Kruithof.krupp ~stop:(Tmest_opt.Stop.make ~max_iter:3000 ()) ws ~loads ~prior:gravity) );
       ( "Cao et al. GLM*",
-        let samples = Ctx.busy_loads net ~window:(if fast then 20 else 50) in
+        let samples = Ctx.Scan.samples net ~window:(if fast then 20 else 50) in
         let spec = net.Ctx.dataset.Dataset.spec in
         busy_mre
           (Core.Cao.estimate ws ~load_samples:samples ~phi:1.

@@ -13,7 +13,7 @@ let tab1 ctx =
         let values =
           List.map
             (fun net ->
-              let samples = Ctx.busy_loads net ~window:k in
+              let samples = Ctx.Scan.samples net ~window:k in
               let r =
                 Vardi.estimate net.Ctx.workspace ~load_samples:samples
                   ~sigma_inv2

@@ -64,8 +64,8 @@ let args_to_json args =
 
 let rebase t t_ns = Int64.to_float (Int64.sub t_ns t.t0)
 
-let event_json t { t_ns; tid; ev } =
-  let ts = ("ts", Json.Num (rebase t t_ns)) in
+let event_json_at ~t0 { t_ns; tid; ev } =
+  let ts = ("ts", Json.Num (Int64.to_float (Int64.sub t_ns t0))) in
   let tid = ("tid", Json.Num (float_of_int tid)) in
   match ev with
   | Obs.Span_begin { name; args } ->
@@ -100,14 +100,17 @@ let event_json t { t_ns; tid; ev } =
           ("restart", Json.Bool restart);
         ]
 
-let header_json t =
+let event_json t s = event_json_at ~t0:t.t0 s
+
+let header_json_of meta =
   Json.Obj
     [
       ("type", Json.Str "header");
       ("schema", Json.Str schema);
-      ( "meta",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (meta t)) );
+      ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) meta));
     ]
+
+let header_json t = header_json_of (meta t)
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in
@@ -187,3 +190,55 @@ let write_file t path =
   let oc = open_out path in
   output_string oc contents;
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Live JSONL feed                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Live = struct
+  type live = {
+    lock : Mutex.t;
+    oc : out_channel;
+    t0 : int64;
+    mutable count : int;
+    mutable closed : bool;
+  }
+
+  type t = live
+
+  let create ?(meta = []) path =
+    let oc = open_out path in
+    let t = { lock = Mutex.create (); oc; t0 = Obs.Clock.now_ns ();
+              count = 0; closed = false } in
+    (* The header goes out immediately: a consumer tailing the feed can
+       parse it from line one, before any tick has run. *)
+    output_string oc (Json.to_string (header_json_of meta));
+    output_char oc '\n';
+    flush oc;
+    t
+
+  let sink t =
+    Obs.make_sink (fun ~t_ns ~tid ev ->
+        Mutex.protect t.lock (fun () ->
+            if not t.closed then begin
+              output_string t.oc
+                (Json.to_string (event_json_at ~t0:t.t0 { t_ns; tid; ev }));
+              output_char t.oc '\n';
+              (* One flush per event keeps the file a valid, current
+                 JSONL stream at every instant — the point of a live
+                 feed; the daemon emits a handful of events per
+                 5-minute tick, so the cost is irrelevant. *)
+              flush t.oc;
+              t.count <- t.count + 1
+            end))
+
+  let length t = Mutex.protect t.lock (fun () -> t.count)
+
+  let close t =
+    Mutex.protect t.lock (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          flush t.oc;
+          close_out t.oc
+        end)
+end

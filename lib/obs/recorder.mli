@@ -41,3 +41,26 @@ val to_chrome : t -> string
 (** [write_file t path] writes {!to_jsonl} if [path] ends in [.jsonl],
     else {!to_chrome}. *)
 val write_file : t -> string -> unit
+
+(** Streaming JSONL writer for long-lived producers (the estimation
+    daemon): the header line is written at {!Live.create} and every
+    event is appended — and flushed — as it is emitted, so the file is
+    a valid, schema-checkable [tmest-trace-1] stream at every instant
+    and can be tailed while the producer runs.  Unlike {!t}, nothing is
+    buffered in memory. *)
+module Live : sig
+  type t
+
+  (** [create ?meta path] opens [path] (truncating) and writes the
+      header line. *)
+  val create : ?meta:(string * string) list -> string -> t
+
+  (** The sink that appends to this feed; domain-safe. *)
+  val sink : t -> Obs.sink
+
+  (** Events written so far (excluding the header). *)
+  val length : t -> int
+
+  (** Flush and close the file; further events are dropped. *)
+  val close : t -> unit
+end

@@ -9,6 +9,7 @@ type config = {
   width : Counter.width;
   pollers : int;
   seed : int;
+  max_rate_bps : float;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     width = Counter.Bits64;
     pollers = 4;
     seed = 1;
+    max_rate_bps = 100e9;
   }
 
 type result = {
@@ -102,6 +104,132 @@ let run config ~true_rates ~samples ~pairs =
     done
   done;
   { rates; present; polls_sent = !polls_sent; polls_lost = !polls_lost }
+
+module Stream = struct
+  type tick = {
+    tick : int;
+    loads : Vec.t;
+    missing : int;
+    resets : int;
+    polls_lost : int;
+  }
+
+  type t = {
+    config : config;
+    links : int;
+    counters : Counter.t array;
+    mutable advanced_to : float array;
+    last_ok : Counter.poll option array;
+    mutable ticks_done : int;
+    mutable total_lost : int;
+    mutable total_resets : int;
+  }
+
+  let create config ~links =
+    if config.interval_s <= 0. then invalid_arg "Stream.create: interval <= 0";
+    if config.jitter_s < 0. || config.jitter_s >= config.interval_s then
+      invalid_arg "Stream.create: jitter must be in [0, interval)";
+    if config.loss_prob < 0. || config.loss_prob >= 1. then
+      invalid_arg "Stream.create: loss probability out of range";
+    if config.pollers <= 0 then invalid_arg "Stream.create: need >= 1 poller";
+    if config.max_rate_bps <= 0. then
+      invalid_arg "Stream.create: max_rate_bps must be > 0";
+    if links <= 0 then invalid_arg "Stream.create: need >= 1 link";
+    {
+      config;
+      links;
+      counters = Array.init links (fun _ -> Counter.create config.width);
+      advanced_to = Array.make links 0.;
+      (* Anchored baseline: a collector reads every counter once at
+         start-up before the first interval, so interval 0 is already
+         bracketed. *)
+      last_ok = Array.init links (fun _ -> Some { Counter.t_s = 0.; value = 0. });
+      ticks_done = 0;
+      total_lost = 0;
+      total_resets = 0;
+    }
+
+  let ticks_done t = t.ticks_done
+
+  let advance_counter t l ~to_time ~rate_bps =
+    let dt = to_time -. t.advanced_to.(l) in
+    if dt > 0. then begin
+      Counter.advance t.counters.(l) ~bytes:(rate_bps *. dt /. 8.);
+      t.advanced_to.(l) <- to_time
+    end
+
+  let tick ?(drop_pollers = []) ?(reset_links = []) t ~true_loads =
+    if Array.length true_loads <> t.links then
+      invalid_arg "Stream.tick: load vector has the wrong length";
+    let k = t.ticks_done in
+    let interval = t.config.interval_s in
+    let t_end = float_of_int (k + 1) *. interval in
+    let loads = Array.make t.links nan in
+    let missing = ref 0 and resets = ref 0 and lost_polls = ref 0 in
+    (* Mid-stream counter restart: the router rebooted at this tick's
+       boundary.  The poller only learns of it from the next reading. *)
+    List.iter
+      (fun l ->
+        if l >= 0 && l < t.links then begin
+          t.counters.(l) <- Counter.create t.config.width;
+          t.advanced_to.(l) <- float_of_int k *. interval
+        end)
+      reset_links;
+    for l = 0 to t.links - 1 do
+      let poller = l mod t.config.pollers in
+      (* One indexed RNG per (link, tick) cell, so loss and jitter draws
+         are a pure function of (seed, link, tick) — independent of the
+         processing order and of every other link's fate. *)
+      let rng = Rng.of_pair t.config.seed ((k * t.links) + l) in
+      let jit =
+        if t.config.jitter_s = 0. then 0.
+        else Rng.uniform rng ~lo:0. ~hi:t.config.jitter_s
+      in
+      let dropped = List.mem poller drop_pollers in
+      let lost = dropped || Rng.float rng < t.config.loss_prob in
+      if lost then begin
+        incr lost_polls;
+        incr missing
+      end
+      else begin
+        (* The poll for boundary k+1 lands [jit] early, inside interval
+           k — it never needs the next interval's rate. *)
+        let t_poll = t_end -. jit in
+        advance_counter t l ~to_time:t_poll ~rate_bps:true_loads.(l);
+        let cur =
+          { Counter.t_s = t_poll; value = Counter.read t.counters.(l) }
+        in
+        (match t.last_ok.(l) with
+        | None -> incr missing
+        | Some prev -> (
+            match
+              Counter.classify ~width:t.config.width
+                ~max_rate_bps:t.config.max_rate_bps ~prev ~cur ()
+            with
+            | Counter.Delta bytes ->
+                loads.(l) <- bytes *. 8. /. (cur.Counter.t_s -. prev.Counter.t_s)
+            | Counter.Duplicate -> incr missing
+            | Counter.Reset _ ->
+                (* The reading is only a new baseline; no believable
+                   rate exists for this interval. *)
+                incr resets;
+                incr missing));
+        t.last_ok.(l) <- Some cur
+      end;
+      (* Whatever happened, traffic keeps flowing: bring the counter to
+         the interval boundary so the next tick integrates its own rate
+         only. *)
+      advance_counter t l ~to_time:t_end ~rate_bps:true_loads.(l)
+    done;
+    t.ticks_done <- k + 1;
+    t.total_lost <- t.total_lost + !lost_polls;
+    t.total_resets <- t.total_resets + !resets;
+    { tick = k; loads; missing = !missing; resets = !resets;
+      polls_lost = !lost_polls }
+
+  let total_lost t = t.total_lost
+  let total_resets t = t.total_resets
+end
 
 let mean_absolute_rate_error result ~true_rates =
   let samples = Mat.rows result.rates and pairs = Mat.cols result.rates in

@@ -18,6 +18,11 @@ type config = {
   width : Counter.width;  (** counter width on the routers *)
   pollers : int;  (** LSPs are spread round-robin over this many pollers *)
   seed : int;
+  max_rate_bps : float;
+      (** believability ceiling for {!Counter.classify}: a delta implying
+          a rate above this is treated as a counter reset, not a
+          measurement.  Set it from the provisioned interface speeds —
+          too low and legitimate peaks are discarded as resets. *)
 }
 
 val default_config : config
@@ -43,6 +48,60 @@ val run :
   samples:int ->
   pairs:int ->
   result
+
+(** Incremental, per-interval variant of {!run} for long-lived
+    consumers: one poll round per call, over {e link} counters (the
+    estimation input is the link-load vector, not per-LSP rates).
+
+    Each link keeps a cumulative byte counter that the stream integrates
+    from the caller-supplied true rates; the poll for boundary [k+1]
+    lands up to [jitter_s] {e early} (inside interval [k]), is lost with
+    [loss_prob], and the surviving readings go through
+    {!Counter.classify} — so drops, 32-bit wraps and mid-stream resets
+    surface exactly as a collector would see them.  Loss and jitter
+    draws are indexed per [(link, tick)] cell
+    ({!Tmest_stats.Rng.of_pair}), so a stream's output is a pure
+    function of [(config, links, true loads, scenario)] — replaying the
+    same inputs reproduces the same series bit for bit. *)
+module Stream : sig
+  type t
+
+  (** One completed poll round. *)
+  type tick = {
+    tick : int;  (** nominal interval index, counting from 0 *)
+    loads : Tmest_linalg.Vec.t;
+        (** recovered link loads (bits/s); [nan] where this interval has
+            no believable fresh measurement (lost poll, reset baseline) *)
+    missing : int;  (** number of [nan] entries in [loads] *)
+    resets : int;  (** polls this round classified as {!Counter.Reset} *)
+    polls_lost : int;  (** polls lost this round (UDP loss or dropped
+                           poller) *)
+  }
+
+  (** [create config ~links] starts a stream with every counter zeroed
+      and an anchored baseline reading at t = 0. *)
+  val create : config -> links:int -> t
+
+  (** [tick ?drop_pollers ?reset_links t ~true_loads] runs one poll
+      round against the true link rates holding during this nominal
+      interval.  [drop_pollers] silences whole pollers for the round (a
+      crashed collector: every link assigned to it misses);
+      [reset_links] restarts those links' counters at the interval
+      start (the wrap/reset path of {!Counter.classify} fires on the
+      next reading). *)
+  val tick :
+    ?drop_pollers:int list ->
+    ?reset_links:int list ->
+    t ->
+    true_loads:Tmest_linalg.Vec.t ->
+    tick
+
+  (** [ticks_done t] is the number of completed rounds. *)
+  val ticks_done : t -> int
+
+  val total_lost : t -> int
+  val total_resets : t -> int
+end
 
 (** [mean_absolute_rate_error result ~true_rates] is the mean over all
     present samples of |recovered - true| / max(true, 1) — a pipeline

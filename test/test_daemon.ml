@@ -1,0 +1,171 @@
+(* Streaming daemon determinism: the long-lived loop is the batch
+   pipeline re-entered once per interval, so on a clean stream (no
+   jitter, no loss) its full-window estimates must be bit-identical to
+   the one-shot [Ctx.Scan] batch scan over the same recovered rows, at
+   every pool size.  Faults must degrade ticks, never abort them. *)
+
+module Vec = Tmest_linalg.Vec
+module Pool = Tmest_parallel.Pool
+module Spec = Tmest_traffic.Spec
+module Dataset = Tmest_traffic.Dataset
+module Estimator = Tmest_core.Estimator
+module Degrade = Tmest_core.Degrade
+module Collect = Tmest_snmp.Collect
+module Ctx = Tmest_experiments.Ctx
+module Daemon = Tmest_daemon.Daemon
+
+let dataset =
+  lazy
+    (Dataset.generate
+       {
+         (Spec.scaled ~nodes:6 ~directed_links:28 Spec.europe) with
+         Spec.name = "europe-fast";
+       })
+
+(* No jitter and no loss: every poll lands exactly on the interval
+   boundary, so the recovered loads equal the true loads and the
+   Degrade pass is a physical no-op — the preconditions for exact
+   equality with the undegraded batch path. *)
+let clean_stream =
+  { Collect.default_config with Collect.jitter_s = 0.; loss_prob = 0. }
+
+let window = 4
+let ticks = 12
+
+let run_daemon ?(est = "kruithof") ?(warm = false) ?scenario ~jobs () =
+  let pool = Pool.create ~jobs in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let cfg =
+        Daemon.config ~window ~ticks ~warm ~stream:clean_stream ?scenario
+          ~est:(Estimator.of_name est) ()
+      in
+      Daemon.run ~pool cfg (Lazy.force dataset))
+
+let bits = Int64.bits_of_float
+
+let check_bit_identical label a b =
+  Alcotest.(check int) (label ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: component %d differs (%.17g vs %.17g)" label i x
+          b.(i))
+    a
+
+(* Kruithof is a pure function of (routing, loads) — no warm chain, no
+   solver state — so the cold daemon and the batch scan must agree bit
+   for bit on every full-window tick, whatever the pool size. *)
+let test_clean_matches_batch jobs () =
+  let r = run_daemon ~jobs () in
+  Alcotest.(check int) "no aborted ticks" 0 r.Daemon.aborted;
+  Alcotest.(check int) "single epoch" 1 r.Daemon.epochs;
+  let records = Array.of_list r.Daemon.records in
+  Array.iter
+    (fun t ->
+      Alcotest.(check int) "clean stream: nothing missing" 0 t.Daemon.missing)
+    records;
+  let rows = Array.map (fun t -> t.Daemon.loads) records in
+  let ctx = Ctx.create ~fast:true ~jobs () in
+  let batch =
+    Ctx.Scan.run ctx.Ctx.europe
+      (Estimator.of_name "kruithof")
+      (Ctx.Scan.make (Ctx.Scan.Windows { window; loads = rows }))
+  in
+  Alcotest.(check int) "batch covers the full-window ticks"
+    (ticks - window + 1) (List.length batch);
+  List.iter
+    (fun (k, batch_est) ->
+      check_bit_identical
+        (Printf.sprintf "tick %d (jobs=%d)" k jobs)
+        batch_est records.(k).Daemon.estimate)
+    batch
+
+(* The daemon loop is tick-sequential; inside one tick the pool only
+   runs order-independent kernels.  A warm iterative method must
+   therefore give the same bits at every pool size. *)
+let test_jobs_independent () =
+  let r1 = run_daemon ~est:"entropy" ~warm:true ~jobs:1 () in
+  let r2 = run_daemon ~est:"entropy" ~warm:true ~jobs:2 () in
+  Alcotest.(check int) "jobs=1 aborts" 0 r1.Daemon.aborted;
+  Alcotest.(check int) "jobs=2 aborts" 0 r2.Daemon.aborted;
+  List.iter2
+    (fun (a : Daemon.tick_record) (b : Daemon.tick_record) ->
+      check_bit_identical
+        (Printf.sprintf "tick %d jobs=1 vs jobs=2" a.Daemon.tick)
+        a.Daemon.estimate b.Daemon.estimate)
+    r1.Daemon.records r2.Daemon.records
+
+(* A mid-stream counter reset is not a measurement: the tick must go
+   through Degrade repair and say so in its health record, while the
+   estimate stays finite and the loop never aborts. *)
+let test_reset_repairs () =
+  let scenario = { Daemon.no_scenario with Daemon.resets = [ (0, 5) ] } in
+  let r = run_daemon ~scenario ~jobs:1 () in
+  Alcotest.(check int) "no aborted ticks" 0 r.Daemon.aborted;
+  Alcotest.(check int) "stream saw the reset" 1 r.Daemon.counter_resets;
+  let records = Array.of_list r.Daemon.records in
+  let t = records.(5) in
+  Alcotest.(check int) "reset classified at tick 5" 1 t.Daemon.resets;
+  Alcotest.(check bool) "reset load is missing" true (t.Daemon.missing >= 1);
+  (match t.Daemon.health with
+  | None -> Alcotest.fail "reset tick carries no health record"
+  | Some h ->
+      Alcotest.(check bool) "health record says non-clean" false
+        h.Degrade.clean;
+      Alcotest.(check bool) "at least one load imputed" true
+        (h.Degrade.imputed >= 1));
+  Alcotest.(check bool) "repaired estimate is finite" true
+    (Array.for_all Float.is_finite t.Daemon.estimate);
+  (* Every other tick is untouched: same bits as the fault-free run. *)
+  let clean = Array.of_list (run_daemon ~jobs:1 ()).Daemon.records in
+  Array.iteri
+    (fun k (c : Daemon.tick_record) ->
+      if k < 5 || k >= 5 + window then
+        check_bit_identical
+          (Printf.sprintf "tick %d outside the reset window" k)
+          c.Daemon.estimate records.(k).Daemon.estimate)
+    clean
+
+(* A flap-and-restore cycle walks the loop through three routing
+   epochs; the restored epoch re-enters the original memoized
+   workspace.  No tick may abort and every record must carry its
+   epoch. *)
+let test_flap_epochs () =
+  let scenario = { Daemon.no_scenario with Daemon.flaps = [ (0, 4, 7) ] } in
+  let r = run_daemon ~scenario ~jobs:1 () in
+  Alcotest.(check int) "no aborted ticks" 0 r.Daemon.aborted;
+  Alcotest.(check int) "three routing epochs" 3 r.Daemon.epochs;
+  List.iter
+    (fun (t : Daemon.tick_record) ->
+      let expected = if t.Daemon.tick < 4 then 0 else if t.Daemon.tick <= 7 then 1 else 2 in
+      Alcotest.(check int)
+        (Printf.sprintf "tick %d epoch" t.Daemon.tick)
+        expected t.Daemon.epoch;
+      Alcotest.(check bool)
+        (Printf.sprintf "tick %d estimate finite" t.Daemon.tick)
+        true
+        (Array.for_all Float.is_finite t.Daemon.estimate))
+    r.Daemon.records
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "clean stream matches batch scan (jobs=1)" `Quick
+            (test_clean_matches_batch 1);
+          Alcotest.test_case "clean stream matches batch scan (jobs=2)" `Quick
+            (test_clean_matches_batch 2);
+          Alcotest.test_case "warm entropy bit-identical across pool sizes"
+            `Quick test_jobs_independent;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "mid-stream reset repaired with health record"
+            `Quick test_reset_repairs;
+          Alcotest.test_case "flap-and-restore walks three epochs" `Quick
+            test_flap_epochs;
+        ] );
+    ]

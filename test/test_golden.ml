@@ -141,11 +141,93 @@ let sparse_vs_dense ~jobs () =
       else Alcotest.(check (float 1e-9)) name (mre dense) (mre sparse))
     (Core.Estimator.all_names ())
 
+(* Scan-API pins: the refactor collapsing the old [scan_busy] /
+   [busy_loads] / [replay] entry points into [Ctx.Scan] promised bit
+   identity with what they produced.  Each constant is an FNV-style
+   hash over the full result series — snapshot keys and every
+   estimate's IEEE-754 bit pattern — so a single flipped bit anywhere
+   in a scan fails the pin.  Cold scans and the window matrix must
+   hash identically at every pool size; the warm cao scan is pinned
+   per job count, because warm chains are per-chunk by design and the
+   chunk layout (hence cao's path-dependent line search) legitimately
+   differs with the pool size. *)
+module Ctx = Tmest_experiments.Ctx
+
+let fnv acc v = Int64.add (Int64.mul acc 0x100000001b3L) v
+
+let scan_hash results =
+  List.fold_left
+    (fun acc (k, est) ->
+      Array.fold_left
+        (fun acc v -> fnv acc (Int64.bits_of_float v))
+        (fnv acc (Int64.of_int k))
+        est)
+    0xcbf29ce484222325L results
+
+let mat_hash m =
+  let acc = ref 0xcbf29ce484222325L in
+  for i = 0 to Mat.rows m - 1 do
+    for j = 0 to Mat.cols m - 1 do
+      acc := fnv !acc (Int64.bits_of_float (Mat.get m i j))
+    done
+  done;
+  !acc
+
+let scan_hashes ~jobs =
+  let ctx = Ctx.create ~fast:true ~jobs () in
+  let net = ctx.Ctx.europe in
+  let run ?opts ?tag source est =
+    Ctx.Scan.run net
+      (Core.Estimator.of_name est)
+      (Ctx.Scan.make ?opts ?tag source)
+  in
+  let warm = Core.Estimator.Options.make ~warm:true () in
+  [
+    ( "scan-cold-cao",
+      scan_hash (run (Ctx.Scan.Busy { window = 5; steps = 3 }) "cao") );
+    ( "scan-cold-entropy",
+      scan_hash (run (Ctx.Scan.Busy { window = 5; steps = 3 }) "entropy") );
+    ( "scan-warm-cao",
+      scan_hash
+        (run ~opts:warm ~tag:"probe"
+           (Ctx.Scan.Busy { window = 5; steps = 4 })
+           "cao") );
+    ( "replay-cold-cao",
+      scan_hash (run (Ctx.Scan.Replay { window = 5; windows = 4 }) "cao") );
+    ("samples-w4", mat_hash (Ctx.Scan.samples net ~window:4));
+  ]
+
+let scan_goldens ~jobs =
+  [
+    ("scan-cold-cao", 0xaf7c4825285e0550L);
+    ("scan-cold-entropy", 0xa0313d41e5379041L);
+    ( "scan-warm-cao",
+      if jobs = 1 then 0x595c7502c6191338L else 0xf2314abce0aaa86aL );
+    ("replay-cold-cao", 0xe40cc54a8e85ea82L);
+    ("samples-w4", 0x15624626cc596205L);
+  ]
+
+let check_scan ~jobs () =
+  List.iter2
+    (fun (name, expected) (name', got) ->
+      Alcotest.(check string) "scan order" name name';
+      if got <> expected then
+        Alcotest.failf "%s (jobs=%d): hash %016Lx, pinned %016Lx" name jobs got
+          expected)
+    (scan_goldens ~jobs) (scan_hashes ~jobs)
+
 let () =
   if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
     List.iter
       (fun (name, v) -> Printf.printf "    (%S, %.17g);\n" name v)
       (mres ~jobs:1);
+    List.iter
+      (fun jobs ->
+        Printf.printf "  scan jobs=%d:\n" jobs;
+        List.iter
+          (fun (name, h) -> Printf.printf "    (%S, 0x%016LxL);\n" name h)
+          (scan_hashes ~jobs))
+      [ 1; 2 ];
     exit 0
   end;
   Alcotest.run "golden"
@@ -162,5 +244,10 @@ let () =
           Alcotest.test_case "jobs=1" `Quick (sparse_vs_dense ~jobs:1);
           Alcotest.test_case "jobs=2" `Quick (sparse_vs_dense ~jobs:2);
           Alcotest.test_case "jobs=4" `Quick (sparse_vs_dense ~jobs:4);
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "jobs=1" `Quick (check_scan ~jobs:1);
+          Alcotest.test_case "jobs=2" `Quick (check_scan ~jobs:2);
         ] );
     ]

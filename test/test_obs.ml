@@ -159,9 +159,9 @@ let traced_scan () =
   let r = Recorder.create () in
   let ctx = Ctx.create ~fast:true ~jobs:1 ~sink:(Recorder.sink r) () in
   ignore
-    (Ctx.scan_busy ctx.Ctx.europe
+    (Ctx.Scan.run ctx.Ctx.europe
        (Estimator.of_name "entropy")
-       ~window:5 ~steps:3);
+       (Ctx.Scan.make (Ctx.Scan.Busy { window = 5; steps = 3 })));
   Array.to_list (Array.map shape (Recorder.events r))
 
 let test_deterministic_at_one_job () =

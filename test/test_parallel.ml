@@ -19,6 +19,9 @@ let with_pool jobs f =
   let pool = Pool.create ~jobs in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
+let scan_busy ?opts net est ~window ~steps =
+  Ctx.Scan.run net est (Ctx.Scan.make ?opts (Ctx.Scan.Busy { window; steps }))
+
 let check_bits name a b =
   Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
   Array.iteri
@@ -293,7 +296,7 @@ let test_scan_jobs4_matches_jobs1 () =
     (fun (name, tol) ->
       let est = Estimator.of_name name in
       let scan ctx ~warm =
-        Ctx.scan_busy
+        scan_busy
           ~opts:(Estimator.Options.make ~warm ())
           ctx.Ctx.europe est ~window ~steps
       in
@@ -322,17 +325,17 @@ let test_warm_counters_chunked () =
   let net = ctx.Ctx.europe in
   let est = Estimator.of_name "entropy" in
   let nchunks = Stdlib.min jobs steps in
-  ignore (Ctx.scan_busy net est ~window ~steps);
+  ignore (scan_busy net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "cold scan: no warm traffic" 0
     (st.Workspace.warm.hits + st.Workspace.warm.misses);
-  ignore (Ctx.scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
+  ignore (scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "first warm scan: one miss per chunk" nchunks
     st.Workspace.warm.misses;
   Alcotest.(check int) "first warm scan: hits elsewhere" (steps - nchunks)
     st.Workspace.warm.hits;
-  ignore (Ctx.scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
+  ignore (scan_busy ~opts:(Estimator.Options.make ~warm:true ()) net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "repeat warm scan never misses" nchunks
     st.Workspace.warm.misses;

@@ -15,6 +15,11 @@ let window = 5
 let steps = 3
 let warm_opts = Estimator.Options.make ~warm:true ()
 
+(* All scans here go through the unified Scan API on the busy-period
+   source; the file-level window/steps keep every call comparable. *)
+let scan_busy ?opts net est ~window ~steps =
+  Ctx.Scan.run net est (Ctx.Scan.make ?opts (Ctx.Scan.Busy { window; steps }))
+
 (* Relative L2 deviation allowed between a cold and a warm solve.
    Entropy/bayes/vardi optimize strictly convex objectives, so both
    paths converge to one minimizer; fanout's block-simplex problem is
@@ -39,8 +44,8 @@ let test_scan_matches_cold net () =
   List.iter
     (fun (name, tol) ->
       let est = Estimator.of_name name in
-      let cold = Ctx.scan_busy net est ~window ~steps in
-      let warm = Ctx.scan_busy ~opts:warm_opts net est ~window ~steps in
+      let cold = scan_busy net est ~window ~steps in
+      let warm = scan_busy ~opts:warm_opts net est ~window ~steps in
       Alcotest.(check int)
         (name ^ " scan length") (List.length cold) (List.length warm);
       List.iter2
@@ -61,18 +66,18 @@ let test_warm_counters () =
   let ctx = Ctx.create ~fast:true ~jobs:1 () in
   let net = ctx.Ctx.europe in
   let est = Estimator.of_name "entropy" in
-  ignore (Ctx.scan_busy net est ~window ~steps);
+  ignore (scan_busy net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "cold scan: no warm hits" 0 st.Workspace.warm.hits;
   Alcotest.(check int) "cold scan: no warm misses" 0 st.Workspace.warm.misses;
-  ignore (Ctx.scan_busy ~opts:warm_opts net est ~window ~steps);
+  ignore (scan_busy ~opts:warm_opts net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "first warm scan misses once" 1
     st.Workspace.warm.misses;
   Alcotest.(check int) "then hits every position" (steps - 1)
     st.Workspace.warm.hits;
   (* A second warm scan is fully served by the cache. *)
-  ignore (Ctx.scan_busy ~opts:warm_opts net est ~window ~steps);
+  ignore (scan_busy ~opts:warm_opts net est ~window ~steps);
   let st = Workspace.stats net.Ctx.workspace in
   Alcotest.(check int) "second warm scan never misses" 1
     st.Workspace.warm.misses;
@@ -85,7 +90,7 @@ let test_warm_counters () =
 let test_warm_noop_for_direct_methods () =
   let ctx = Lazy.force ctx in
   let net = ctx.Ctx.europe in
-  let samples = Ctx.busy_loads net ~window in
+  let samples = Ctx.Scan.samples net ~window in
   List.iter
     (fun name ->
       let est = Estimator.of_name name in
@@ -111,7 +116,7 @@ let test_warm_noop_for_direct_methods () =
 let test_warm_repeat_converges () =
   let ctx = Ctx.create ~fast:true () in
   let net = ctx.Ctx.america in
-  let samples = Ctx.busy_loads net ~window in
+  let samples = Ctx.Scan.samples net ~window in
   List.iter
     (fun (name, tol) ->
       let est = Estimator.of_name name in
