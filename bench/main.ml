@@ -497,7 +497,20 @@ let scale_json ~fast () =
      than just slowing the sweep.  Ceilings are the measured counts
      (entropy 3016, bayes at its 4000-iteration budget) plus margin. *)
   let guard_pops = 100 in
-  let guard_ceilings = [ ("entropy", 3400); ("bayes", 4000) ] in
+  (* tomogravity_iter and mcmc_int have deterministic budgets (the GIS
+     outer cap and burn + samples*thin/chains sweeps): their ceilings
+     are exact, and a drift means the budget arithmetic changed.
+     cumulant's FISTA count is measured (1388 at 100 PoPs) plus
+     margin, like entropy/bayes. *)
+  let guard_ceilings =
+    [
+      ("entropy", 3400);
+      ("bayes", 4000);
+      ("tomogravity_iter", 200);
+      ("cumulant", 1600);
+      ("mcmc_int", 150);
+    ]
+  in
   let guard_results = ref [] in
   let rows =
     List.concat_map
@@ -526,7 +539,14 @@ let scale_json ~fast () =
         let out =
           List.map
             (fun name ->
-              if sparse && name = "wcb" then begin
+              if
+                (* The shared capability predicate — same split the
+                   registry, the CLI and the daemon consult. *)
+                not
+                  ((not sparse)
+                  || Core.Estimator.supports_sparse
+                       (Core.Estimator.of_name name))
+              then begin
                 Printf.printf "%4d %-8s excluded (dense-only)\n%!" pops name;
                 (pops, pairs, links, sparse, name,
                  `Excluded

@@ -110,9 +110,17 @@ module Flags = struct
     Arg.(value & opt int default & info [ "w"; "window" ] ~doc)
 
   let method_ =
+    (* Capability flags come from the shared predicate, so the listing
+       can never drift from what a sparse-mode workspace accepts. *)
     let doc =
       Printf.sprintf "Estimation method: %s."
-        (String.concat ", " (Core.Estimator.all_names ()))
+        (String.concat ", "
+           (List.map
+              (fun name ->
+                if Core.Estimator.supports_sparse (Core.Estimator.of_name name)
+                then name
+                else name ^ " (dense-only)")
+              (Core.Estimator.all_names ())))
     in
     Arg.(value & opt string "entropy" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
 end
@@ -557,7 +565,14 @@ let faults_cmd =
           with Tmest_opt.Simplex.Infeasible -> Float.nan
         in
         (* Dense-only methods refuse a sparse-mode workspace (above the
-           gate with --pops): say so instead of aborting the table. *)
+           gate with --pops): the shared capability predicate says so
+           up front; the exception handler stays as a safety net. *)
+        if
+          Core.Workspace.is_sparse ws && not (Core.Estimator.supports_sparse m)
+        then
+          Printf.printf "%-10s   excluded (dense-only method, sparse mode)\n"
+            name
+        else
         try
           let clean =
             mre (fun () ->

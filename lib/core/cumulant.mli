@@ -1,0 +1,50 @@
+(** Second/third-moment cumulant rate tomography (Lev-Ari et al.).
+
+    Cumulants of independent sums are linear in the component
+    cumulants with entry-wise powers of the mixing matrix as
+    coefficients: for link loads [y = R x] with independent pair rates,
+    [kappa_k(y) = R^(k) kappa_k(x)] where [R^(k)] squares (cubes) each
+    routing entry.  Under the Poisson-style traffic assumption
+    [kappa_1 = kappa_2 = kappa_3 = lambda], the per-link sample mean,
+    variance and third central moment of a measurement window give
+    three linear systems sharing one rate vector.  This module stacks
+    them into a weighted non-negative least squares problem
+
+    [min_{x >= 0} ||Rx - k1||^2 + w2 ||R2 x - k2||^2 + w3 ||R3 x - k3||^2]
+
+    and solves it with FISTA, applying every operator matrix-free
+    through {!Tmest_linalg.Op} — the entry-wise powered matrices share
+    R's sparsity, so the method runs in sparse mode at 100+ PoPs
+    without ever materializing a dense Gram.
+
+    Where {!Vardi}'s method matches the full second-moment covariance
+    (and inherits its noisy off-diagonal entries), the cumulant system
+    uses only per-link moments — fewer equations, but each far better
+    estimated from short windows, plus a third-moment system Vardi has
+    no analogue of. *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;  (** demand estimate, bits/s *)
+  iterations : int;
+  converged : bool;
+}
+
+(** [estimate ws ~load_samples ~w2 ~w3] fits the window (rows =
+    snapshots, columns = links, bits/s).  [w2]/[w3] weight the second-
+    and third-moment systems against the first ([w3] is ignored when
+    the window has fewer than 3 rows — the third k-statistic needs
+    them).  [unit_bps] sets the counting unit (default 1 Mbit/s).
+    [x0] is a warm start in bits/s.  [precond] follows the workspace
+    {!Workspace.resolve_precond} policy; the Jacobi diagonal is exact
+    (column square norms of all three systems).  Deterministic and
+    jobs-independent for a fixed policy. *)
+val estimate :
+  ?x0:Tmest_linalg.Vec.t ->
+  ?stop:Tmest_opt.Stop.t ->
+  ?unit_bps:float ->
+  ?precond:Workspace.precond_kind ->
+  Workspace.t ->
+  load_samples:Tmest_linalg.Mat.t ->
+  w2:float ->
+  w3:float ->
+  result

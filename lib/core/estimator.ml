@@ -17,6 +17,9 @@ type t =
   | Fanout of { window : int }
   | Vardi of { sigma_inv2 : float; window : int }
   | Cao of { phi : float; c : float; sigma_inv2 : float; window : int }
+  | Tomogravity_iter of { prior : prior_kind }
+  | Cumulant of { w2 : float; w3 : float; window : int }
+  | Mcmc_int of { samples : int; thin : int; chains : int }
 
 let name = function
   | Gravity -> "gravity"
@@ -27,6 +30,9 @@ let name = function
   | Fanout _ -> "fanout"
   | Vardi _ -> "vardi"
   | Cao _ -> "cao"
+  | Tomogravity_iter _ -> "tomogravity_iter"
+  | Cumulant _ -> "cumulant"
+  | Mcmc_int _ -> "mcmc_int"
 
 let of_name = function
   | "gravity" -> Gravity
@@ -37,14 +43,30 @@ let of_name = function
   | "fanout" -> Fanout { window = 10 }
   | "vardi" -> Vardi { sigma_inv2 = 0.01; window = 50 }
   | "cao" -> Cao { phi = 1.; c = 1.5; sigma_inv2 = 0.01; window = 50 }
+  | "tomogravity_iter" -> Tomogravity_iter { prior = Prior_gravity }
+  | "cumulant" -> Cumulant { w2 = 0.1; w3 = 0.01; window = 50 }
+  | "mcmc_int" -> Mcmc_int { samples = 200; thin = 2; chains = 4 }
   | s -> invalid_arg (Printf.sprintf "Estimator.of_name: unknown method %S" s)
 
 let all_names () =
-  [ "gravity"; "kruithof"; "entropy"; "bayes"; "wcb"; "fanout"; "vardi"; "cao" ]
+  [
+    "gravity"; "kruithof"; "entropy"; "bayes"; "wcb"; "fanout"; "vardi";
+    "cao"; "tomogravity_iter"; "cumulant"; "mcmc_int";
+  ]
 
 let uses_time_series = function
-  | Gravity | Kruithof _ | Entropy _ | Bayes _ | Wcb_midpoint -> false
-  | Fanout _ | Vardi _ | Cao _ -> true
+  | Gravity | Kruithof _ | Entropy _ | Bayes _ | Wcb_midpoint
+  | Tomogravity_iter _ | Mcmc_int _ -> false
+  | Fanout _ | Vardi _ | Cao _ | Cumulant _ -> true
+
+(* The one capability split: LP-based worst-case bounds walk a dense
+   simplex tableau per demand and are a documented dense-only
+   exclusion; every other method (including all three related-work
+   additions) has a matrix-free path and runs on sparse-mode
+   workspaces.  Drivers (CLI listings, experiment sweeps, bench rows,
+   the daemon) must consult this predicate rather than hard-coding
+   method names. *)
+let supports_sparse = function Wcb_midpoint -> false | _ -> true
 
 module Options = struct
   type t = {
@@ -115,6 +137,14 @@ let warm_key = function
       Some
         (Printf.sprintf "cao:phi=%h:c=%h:sigma_inv2=%h:window=%d" phi c
            sigma_inv2 window)
+  (* Tomogravity_iter always iterates from the prior (a warm start
+     would change which point the alternating projection converges to)
+     and Mcmc_int restarts its chains from the prior by construction —
+     both are deliberately warm-start-free, so warm solves stay
+     bit-identical to cold ones. *)
+  | Tomogravity_iter _ | Mcmc_int _ -> None
+  | Cumulant { w2; w3; window } ->
+      Some (Printf.sprintf "cumulant:w2=%h:w3=%h:window=%d" w2 w3 window)
 
 let solve ?(opts = Options.default) t ws ~loads ~load_samples =
   let t0 = Sys.time () in
@@ -225,6 +255,24 @@ let solve ?(opts = Options.default) t ws ~loads ~load_samples =
         note res.Cao.iterations;
         store res.Cao.estimate;
         res.Cao.estimate
+    | Tomogravity_iter { prior = kind } ->
+        let prior = prior kind ws ~loads in
+        let res = Tomogravity.estimate ~stop ws ~loads ~prior in
+        note res.Tomogravity.iterations;
+        res.Tomogravity.estimate
+    | Cumulant { w2; w3; window } ->
+        let samples = last_window load_samples window in
+        let res =
+          Cumulant.estimate ?x0 ~stop ~precond ws ~load_samples:samples ~w2 ~w3
+        in
+        note res.Cumulant.iterations;
+        store res.Cumulant.estimate;
+        res.Cumulant.estimate
+    | Mcmc_int { samples; thin; chains } ->
+        let prior = prior Prior_gravity ws ~loads in
+        let res = Mcmc_int.estimate ~samples ~thin ~chains ws ~loads ~prior () in
+        note res.Mcmc_int.sweeps;
+        res.Mcmc_int.mean
   in
   let estimate =
     if sink.Obs.enabled then

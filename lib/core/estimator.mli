@@ -24,6 +24,16 @@ type t =
   | Fanout of { window : int }
   | Vardi of { sigma_inv2 : float; window : int }
   | Cao of { phi : float; c : float; sigma_inv2 : float; window : int }
+  | Tomogravity_iter of { prior : prior_kind }
+      (** iterative tomogravity ({!Tomogravity}): alternating
+          KL-projections between the gravity marginals and the link
+          constraints *)
+  | Cumulant of { w2 : float; w3 : float; window : int }
+      (** second/third-moment cumulant rate tomography ({!Cumulant})
+          over a measurement window *)
+  | Mcmc_int of { samples : int; thin : int; chains : int }
+      (** integer-valued posterior sampling ({!Mcmc_int}) with
+          Rng.of_pair-split chains *)
 
 (** [name t] is a short identifier (e.g. ["entropy"]). *)
 val name : t -> string
@@ -38,6 +48,15 @@ val all_names : unit -> string list
 (** [uses_time_series t] is true for methods that consume a window of
     load measurements rather than one snapshot. *)
 val uses_time_series : t -> bool
+
+(** [supports_sparse t] is the single capability predicate for
+    sparse-mode workspaces: false only for the LP-based worst-case
+    bounds ([Wcb_midpoint]), which need a dense simplex tableau per
+    demand and refuse above the gate; true for every method with a
+    matrix-free path.  Drivers listing or sweeping methods on a
+    sparse-mode workspace must filter through this predicate instead
+    of hard-coding names. *)
+val supports_sparse : t -> bool
 
 (** Per-run options for {!solve}.
 

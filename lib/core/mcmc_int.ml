@@ -1,0 +1,166 @@
+module Vec = Tmest_linalg.Vec
+module Csr = Tmest_linalg.Csr
+module Rng = Tmest_stats.Rng
+module Routing = Tmest_net.Routing
+module Pool = Tmest_parallel.Pool
+
+type result = {
+  mean : Vec.t;
+  accept_rate : float;
+  sweeps : int;
+}
+
+(* log n! — exact cumulative table for small n, Stirling's series
+   beyond it (absolute error < 1e-10 at n = 256).  The stdlib has no
+   lgamma; this keeps the move ratio deterministic and dependency-free. *)
+let log_fact_table =
+  let t = Array.make 257 0. in
+  for n = 2 to 256 do
+    t.(n) <- t.(n - 1) +. log (float_of_int n)
+  done;
+  t
+
+let log_fact n =
+  if n <= 256 then log_fact_table.(n)
+  else
+    let x = float_of_int n in
+    (x +. 0.5) *. log x
+    -. x
+    +. (0.5 *. log (2. *. Float.pi))
+    +. (1. /. (12. *. x))
+    -. (1. /. (360. *. x *. x *. x))
+
+(* Poisson log-pmf increment for x_j -> x_j + m (m > 0):
+   m log lambda - (log (x+m)! - log x!). *)
+let log_prior_up ~log_lambda ~x ~m =
+  (float_of_int m *. log_lambda) -. (log_fact (x + m) -. log_fact x)
+
+let estimate ?(burn_sweeps = 50) ?(samples = 200) ?(thin = 2) ?(seed = 1)
+    ?(chains = 4) ?(unit_bps = 1e6) ?(noise_frac = 0.02) ws ~loads ~prior () =
+  let routing = Workspace.routing ws in
+  Problem.check_dims routing ~loads;
+  let p = Routing.num_pairs routing and l = Routing.num_links routing in
+  if Array.length prior <> p then
+    invalid_arg "Mcmc_int.estimate: prior dimension mismatch";
+  if burn_sweeps < 0 || samples <= 0 || thin <= 0 || chains <= 0 then
+    invalid_arg "Mcmc_int.estimate: bad chain parameters";
+  if unit_bps <= 0. then invalid_arg "Mcmc_int.estimate: unit_bps <= 0";
+  if noise_frac <= 0. then invalid_arg "Mcmc_int.estimate: noise_frac <= 0";
+  let inv_u = 1. /. unit_bps in
+  let y = Vec.scale inv_u loads in
+  (* Prior rates in counting units, floored so log lambda stays finite;
+     the floor only matters for structurally-dark pairs. *)
+  let lambda = Vec.map (fun v -> Stdlib.max (v *. inv_u) 1e-6) prior in
+  let log_lambda = Vec.map log lambda in
+  (* Gaussian measurement slack: a fixed fraction of the mean link
+     load.  Counts are exact integers, so the likelihood width only
+     encodes how literally the (noisy, averaged) SNMP loads are taken. *)
+  let sigma =
+    let s = ref 0. in
+    Array.iter (fun v -> s := !s +. v) y;
+    Stdlib.max 1. (noise_frac *. !s /. float_of_int l)
+  in
+  let inv_2s2 = 1. /. (2. *. sigma *. sigma) in
+  let rt = Workspace.transpose ws in
+  (* Per-pair link incidence as arrays: the inner Metropolis loop walks
+     it once per proposal and must not allocate. *)
+  let links_of =
+    Array.init p (fun j -> Array.of_list (Csr.row_nonzeros rt j))
+  in
+  (* Proposal half-width per pair, scaled to the prior rate so mixing
+     does not stall on heavy pairs. *)
+  let step =
+    Array.init p (fun j ->
+        Stdlib.max 1 (int_of_float (Float.round (lambda.(j) /. 8.))))
+  in
+  let x_start =
+    Array.init p (fun j -> Stdlib.max 0 (int_of_float (Float.round lambda.(j))))
+  in
+  let per_chain = (samples + chains - 1) / chains in
+  let collect_sweeps = burn_sweeps + (per_chain * thin) in
+  let sums = Array.init chains (fun _ -> Vec.zeros p) in
+  let counts = Array.make chains 0 in
+  let accepts = Array.make chains 0 in
+  let proposals = Array.make chains 0 in
+  (* Each chain owns its state, its accumulator row and an [Rng]
+     derived from its index, so the pooled run produces exactly the
+     bits the sequential run would — chain streams depend on
+     (seed, chain), never on scheduling. *)
+  let run_chain chain =
+    let rng = Rng.of_pair seed chain in
+    let x = Array.copy x_start in
+    (* Residual r = Rx - y, maintained incrementally: a move on pair j
+       touches only that pair's links. *)
+    let r = Vec.zeros l in
+    let xf = Vec.init p (fun j -> float_of_int x.(j)) in
+    Csr.matvec_into routing.Routing.matrix xf ~dst:r;
+    Vec.sub_into r y ~dst:r;
+    let propose () =
+      proposals.(chain) <- proposals.(chain) + 1;
+      let j = Rng.int rng p in
+      let m = 1 + Rng.int rng step.(j) in
+      let up = Rng.bool rng in
+      if (not up) && x.(j) < m then () (* below zero: reject *)
+      else begin
+        let delta = if up then float_of_int m else float_of_int (-m) in
+        let links = links_of.(j) in
+        let dq = ref 0. in
+        Array.iter
+          (fun (i, a) ->
+            let ri = r.(i) in
+            let ri' = ri +. (delta *. a) in
+            dq := !dq +. ((ri' *. ri') -. (ri *. ri)))
+          links;
+        let d_lik = -. !dq *. inv_2s2 in
+        let d_prior =
+          if up then log_prior_up ~log_lambda:log_lambda.(j) ~x:x.(j) ~m
+          else -.log_prior_up ~log_lambda:log_lambda.(j) ~x:(x.(j) - m) ~m
+        in
+        let dll = d_lik +. d_prior in
+        let accept = dll >= 0. || Rng.float rng < exp dll in
+        if accept then begin
+          accepts.(chain) <- accepts.(chain) + 1;
+          x.(j) <- (if up then x.(j) + m else x.(j) - m);
+          Array.iter (fun (i, a) -> r.(i) <- r.(i) +. (delta *. a)) links
+        end
+      end
+    in
+    let sweep () =
+      for _ = 1 to p do
+        propose ()
+      done
+    in
+    for _ = 1 to burn_sweeps do
+      sweep ()
+    done;
+    for _ = 1 to per_chain do
+      for _ = 1 to thin do
+        sweep ()
+      done;
+      let s = sums.(chain) in
+      for j = 0 to p - 1 do
+        s.(j) <- s.(j) +. float_of_int x.(j)
+      done;
+      counts.(chain) <- counts.(chain) + 1
+    done
+  in
+  (match Workspace.pool ws with
+  | Some pool when chains > 1 -> Pool.parallel_for pool ~n:chains run_chain
+  | _ ->
+      for chain = 0 to chains - 1 do
+        run_chain chain
+      done);
+  (* Combine in chain-index order: independent of pool scheduling. *)
+  let total = Array.fold_left ( + ) 0 counts in
+  let mean = Vec.zeros p in
+  Array.iter (fun s -> Vec.axpy_into 1. s mean ~dst:mean) sums;
+  Vec.scale_into (unit_bps /. float_of_int total) mean ~dst:mean;
+  let prop_total = Array.fold_left ( + ) 0 proposals in
+  let acc_total = Array.fold_left ( + ) 0 accepts in
+  {
+    mean;
+    accept_rate =
+      (if prop_total = 0 then 0.
+       else float_of_int acc_total /. float_of_int prop_total);
+    sweeps = collect_sweeps;
+  }

@@ -1,0 +1,45 @@
+(** Integer-valued network tomography (Hazelton 2015).
+
+    Where {!Mcmc} samples real-valued demand vectors along null-space
+    directions of a dense simplex tableau (and is dense-only for it),
+    this sampler keeps the state an exact integer vector of packet
+    rates in counting units and explores it with single-site
+    Metropolis-Hastings moves: pick a pair, propose an integer step,
+    accept by the product of a Poisson prior (rate = the gravity prior)
+    and a Gaussian pseudo-likelihood on the link loads.  The link
+    residual [Rx - y] is maintained incrementally through the sparse
+    transpose — a move costs O(path length) — so the method runs
+    unchanged on sparse-mode workspaces at 100+ PoPs.
+
+    Chains split by {!Tmest_stats.Rng.of_pair}[ seed chain] own
+    disjoint accumulators and combine in chain-index order, so results
+    are bit-identical at every pool size, exactly like {!Mcmc}. *)
+
+type result = {
+  mean : Tmest_linalg.Vec.t;  (** posterior mean demand, bits/s *)
+  accept_rate : float;  (** accepted / proposed moves, all chains *)
+  sweeps : int;  (** per-chain sweeps (burn-in + thinned collection) *)
+}
+
+(** [estimate ws ~loads ~prior ()] samples the integer posterior.
+    [prior] (bits/s) sets the per-pair Poisson rates after conversion
+    to counting units of [unit_bps] (default 1 Mbit/s, so states are
+    integer Mbit/s).  One sweep is [num_pairs] single-site proposals;
+    each chain runs [burn_sweeps] (default 50) then collects
+    [samples / chains] states [thin] sweeps apart.  [noise_frac]
+    (default 0.02) sets the Gaussian slack as a fraction of the mean
+    link load.  Deterministic in [(seed, chains)]; independent of the
+    workspace pool size. *)
+val estimate :
+  ?burn_sweeps:int ->
+  ?samples:int ->
+  ?thin:int ->
+  ?seed:int ->
+  ?chains:int ->
+  ?unit_bps:float ->
+  ?noise_frac:float ->
+  Workspace.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  unit ->
+  result

@@ -1,0 +1,101 @@
+module Vec = Tmest_linalg.Vec
+module Csr = Tmest_linalg.Csr
+module Scaling = Tmest_opt.Scaling
+module Stop = Tmest_opt.Stop
+module Routing = Tmest_net.Routing
+module Topology = Tmest_net.Topology
+module Odpairs = Tmest_net.Odpairs
+
+type result = {
+  estimate : Vec.t;
+  iterations : int;
+  converged : bool;
+  link_error : float;
+}
+
+(* Iterative tomogravity (Fang et al. 2007): alternate the two
+   KL-projections that the one-shot method applies only once each —
+   onto the gravity marginals (classic IPF, exactly Kruithof's step)
+   and onto the link constraints {Rx = y} (one generalized iterative
+   scaling sweep over the sparse routing matrix).  The access rows of R
+   already imply the node marginals, so the constraint sets are nested
+   and Csiszár's alternating I-projection argument applies: the iterate
+   converges to the KL-projection of the gravity prior onto the full
+   link system — the point where one-shot tomogravity stops after its
+   first marginal pass. *)
+let estimate ?(stop = Stop.default) ws ~loads ~prior =
+  let stop =
+    Workspace.solver_stop ws stop ~label:"tomogravity/iter" ~max_iter:200
+      ~tol:1e-6
+  in
+  let max_iter = Stop.max_iter stop ~default:200 in
+  let tol = Stop.tol stop ~default:1e-6 in
+  let routing = Workspace.routing ws in
+  Problem.check_dims routing ~loads;
+  let n = Topology.num_nodes routing.Routing.topo in
+  let p = Routing.num_pairs routing in
+  let l = Routing.num_links routing in
+  if Array.length prior <> p then
+    invalid_arg "Tomogravity.estimate: prior dimension mismatch";
+  let te, tx = Gravity.node_totals routing ~loads in
+  let r = routing.Routing.matrix in
+  let rt = Workspace.transpose ws in
+  (* GIS normalization constant: any C >= max column weight of R keeps
+     the multiplicative update a strict KL descent step. *)
+  let c =
+    let m = ref 1. in
+    for pair = 0 to p - 1 do
+      let s = ref 0. in
+      Csr.iter_row rt pair (fun _ v -> s := !s +. v);
+      if !s > !m then m := !s
+    done;
+    !m
+  in
+  let pool = Workspace.pool ws in
+  let x = ref (Vec.copy prior) in
+  let y = Vec.zeros l in
+  let ratio = Vec.zeros l in
+  (* One inner IPF pass per outer iteration is enough — the marginal
+     projection only has to track the slowly-moving GIS iterate, and
+     the final iterations leave it at a fixed point of both maps. *)
+  let inner = { stop with Stop.max_iter = Some 4; tol = Some (tol /. 10.) } in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let link_error = ref infinity in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    iterations := !iter;
+    (* KL-projection toward {Rx = y}: one GIS sweep.  Zero target loads
+       force the crossing pairs to zero (ratio^positive -> 0), matching
+       the structural-zero semantics of the scaling machinery. *)
+    Csr.matvec_into ?pool r !x ~dst:y;
+    let err = ref 0. in
+    for i = 0 to l - 1 do
+      ratio.(i) <- (if y.(i) > 0. then loads.(i) /. y.(i) else 1.);
+      let e = abs_float (y.(i) -. loads.(i)) /. Stdlib.max loads.(i) 1. in
+      if e > !err then err := e
+    done;
+    link_error := !err;
+    if !err < tol then converged := true
+    else begin
+      for pair = 0 to p - 1 do
+        if !x.(pair) > 0. then begin
+          let f = ref 1. in
+          Csr.iter_row rt pair (fun i v -> f := !f *. (ratio.(i) ** (v /. c)));
+          !x.(pair) <- !x.(pair) *. !f
+        end
+      done;
+      (* KL-projection onto the gravity marginals: Kruithof's IPF on
+         the node-by-node view of the iterate. *)
+      let m = Odpairs.matrix_of_vector ~nodes:n !x in
+      let balanced, _ = Scaling.ipf ~stop:inner m ~row_sums:te ~col_sums:tx in
+      x := Odpairs.vector_of_matrix ~nodes:n balanced
+    end
+  done;
+  {
+    estimate = !x;
+    iterations = !iterations;
+    converged = !converged;
+    link_error = !link_error;
+  }

@@ -1,0 +1,38 @@
+(** Iterative tomogravity (Fang et al. 2007).
+
+    One-shot tomogravity ({!Kruithof.adjust}) performs a single
+    KL-projection of the gravity prior onto the node marginals and
+    stops — the link constraints in the interior of the network are
+    never enforced.  This module alternates that marginal projection
+    with a KL-projection step onto the full link system [{Rx = y}]
+    (one generalized-iterative-scaling sweep over the sparse routing
+    matrix per iteration), so the fixed point satisfies both.  Because
+    the access rows of [R] already imply the marginals, the iteration
+    is an alternating I-projection onto nested constraint sets and
+    converges to the KL-projection of the prior onto [{Rx = y}].
+
+    Fully matrix-free: per iteration one pooled sparse matvec, one
+    O(nnz) sweep over the transpose, and one IPF pass on the n x n
+    node matrix — no dense artifacts, so the method runs unchanged on
+    sparse-mode workspaces.  The iteration always starts from the
+    supplied prior (never a warm start); for a fixed [stop] policy the
+    result is deterministic and independent of the jobs count. *)
+
+type result = {
+  estimate : Tmest_linalg.Vec.t;  (** demand estimate, bits/s *)
+  iterations : int;  (** outer alternation count *)
+  converged : bool;
+      (** max relative link residual fell below the tolerance *)
+  link_error : float;  (** final max relative link residual *)
+}
+
+(** [estimate ws ~loads ~prior] iterates from [prior] (bits/s — in the
+    paper's setup the gravity model of {!Gravity.simple}).  [stop]
+    bounds the outer alternation: default 200 iterations, tolerance
+    1e-6 on the worst relative link residual. *)
+val estimate :
+  ?stop:Tmest_opt.Stop.t ->
+  Workspace.t ->
+  loads:Tmest_linalg.Vec.t ->
+  prior:Tmest_linalg.Vec.t ->
+  result

@@ -152,6 +152,17 @@ let run ?pool ?(sink = Obs.null) (cfg : config) dataset =
                   invalid_arg "Daemon.run: flap disconnects the network")
         in
         let ws = Workspace.create ?pool ~sink routing in
+        (* The shared capability predicate, checked before the first
+           solve: a dense-only method would refuse mid-stream anyway,
+           but refusing at context creation names the daemon rather
+           than some inner solver. *)
+        if Workspace.is_sparse ws && not (Estimator.supports_sparse cfg.est)
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Daemon.run: method %s is dense-only and the workspace runs \
+                in sparse mode"
+               (Estimator.name cfg.est));
         Hashtbl.add contexts failed (routing, ws);
         (routing, ws)
   in

@@ -159,6 +159,18 @@ let all =
 let find id = List.find (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
 
+(* The one capability predicate shared by every method-sweeping driver
+   (scale experiment, bench rows, CLI listings, the daemon): a thin
+   face over [Estimator.supports_sparse] so experiment code never
+   hard-codes method names again. *)
+let supports ~sparse m =
+  (not sparse) || Tmest_core.Estimator.supports_sparse m
+
+let method_names ~sparse =
+  List.filter
+    (fun name -> supports ~sparse (Tmest_core.Estimator.of_name name))
+    (Tmest_core.Estimator.all_names ())
+
 let run_all ?pool ctx =
   let module Obs = Tmest_obs.Obs in
   let entries = Array.of_list all in

@@ -18,6 +18,18 @@ val find : string -> entry
 (** [ids ()] lists the registered experiment ids in paper order. *)
 val ids : unit -> string list
 
+(** [supports ~sparse m] — can method [m] run on a workspace in the
+    given mode?  Dense mode accepts every method; sparse mode defers
+    to {!Tmest_core.Estimator.supports_sparse} (false only for the
+    LP-based worst-case bounds).  Every experiment or driver sweeping
+    methods over a workspace must filter through this single predicate
+    rather than keep its own exclusion list. *)
+val supports : sparse:bool -> Tmest_core.Estimator.t -> bool
+
+(** [method_names ~sparse] is {!Tmest_core.Estimator.all_names}
+    filtered by {!supports}. *)
+val method_names : sparse:bool -> string list
+
 (** [run_all ?pool ctx] runs every registered experiment against [ctx]
     — concurrently on [pool] (default: the context's pool) — and
     returns [(entry, report)] in registry order.  Experiments are

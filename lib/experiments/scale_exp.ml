@@ -9,7 +9,16 @@ module Vec = Tmest_linalg.Vec
 module Core = Tmest_core
 module W = Tmest_core.Workspace
 
-let methods = [ "gravity"; "kruithof"; "entropy"; "fanout" ]
+(* Every registered method that the workspace mode can run — the same
+   capability predicate the registry exposes as [Registry.supports]
+   (this module sits below [Registry] in the dependency order, so it
+   consults the core predicate directly rather than keeping the old
+   hand-maintained four-method list). *)
+let methods ~sparse =
+  List.filter
+    (fun name -> (not sparse) || Core.Estimator.supports_sparse
+                                   (Core.Estimator.of_name name))
+    (Core.Estimator.all_names ())
 
 let scale ctx =
   let sizes =
@@ -48,7 +57,7 @@ let scale ctx =
                 st.W.peak_solve_words;
                 Core.Metrics.mre ~truth:reference ~estimate ();
               |] ))
-          methods)
+          (methods ~sparse:(W.is_sparse ws)))
       sizes
   in
   {

@@ -236,6 +236,49 @@ let test_window_fill () =
       Alcotest.(check (float 0.)) "interior gap forward-filled"
         (Mat.get samples 2 5) (Mat.get m 3 5)
 
+let test_window_fill_through_solve () =
+  (* The same temporal fill end to end: a holed window handed to
+     [Estimator.solve ?degrade] must be repaired in-flight, report the
+     fills through [on_health], and produce exactly the estimate the
+     explicitly repaired matrix produces. *)
+  let d = Lazy.force dataset in
+  let ws = Core.Workspace.create d.Dataset.routing in
+  let loads = Dataset.link_loads_at d (snapshot d) in
+  let samples = busy_window d 8 in
+  let holed = Mat.copy samples in
+  Mat.set holed 0 2 Float.nan;
+  Mat.set holed 4 2 Float.nan;
+  Mat.set holed 7 9 Float.nan;
+  let stash = ref None in
+  let policy =
+    Core.Degrade.with_on_health (fun h -> stash := Some h) Core.Degrade.default
+  in
+  let m = Core.Estimator.of_name "fanout" in
+  let est =
+    Core.Estimator.solve
+      ~opts:(Core.Estimator.Options.make ~degrade:policy ())
+      m ws ~loads ~load_samples:holed
+  in
+  (match !stash with
+  | None -> Alcotest.fail "health not reported"
+  | Some h ->
+      Alcotest.(check int) "holes counted" 3 h.Core.Degrade.sample_missing;
+      Alcotest.(check bool) "window repair drops the clean flag" false
+        h.Core.Degrade.clean);
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "estimate finite" true (Float.is_finite x))
+    est;
+  let r = Core.Degrade.repair Core.Degrade.default ws ~loads ~samples:holed () in
+  match r.Core.Degrade.samples with
+  | None -> Alcotest.fail "samples missing from repair"
+  | Some repaired ->
+      let direct =
+        Core.Estimator.solve m ws ~loads ~load_samples:repaired
+      in
+      Alcotest.(check bool) "same estimate as explicit repair" true
+        (bits_equal est direct)
+
 let () =
   Alcotest.run "faults"
     [
@@ -260,5 +303,7 @@ let () =
           Alcotest.test_case "single corrupted row detected" `Quick
             test_single_corruption_detected;
           Alcotest.test_case "window temporal fill" `Quick test_window_fill;
+          Alcotest.test_case "window fill through solve" `Quick
+            test_window_fill_through_solve;
         ] );
     ]

@@ -25,6 +25,9 @@ let goldens =
     ("fanout", 0.3537328906472631);
     ("vardi", 0.9503596697622243);
     ("cao", 0.65832782533456269);
+    ("tomogravity_iter", 0.074961900565772219);
+    ("cumulant", 0.28729125637895636);
+    ("mcmc_int", 0.17422869778303313);
   ]
 
 let solve_all ~jobs =
@@ -134,9 +137,9 @@ let sparse_vs_dense ~jobs () =
         in
         Core.Metrics.mre ~truth:reference ~estimate ()
       in
-      if name = "wcb" then
+      if not (Core.Estimator.supports_sparse m) then
         match mre sparse with
-        | _ -> Alcotest.failf "wcb must refuse on a sparse-mode workspace"
+        | _ -> Alcotest.failf "%s must refuse on a sparse-mode workspace" name
         | exception Invalid_argument _ -> ()
       else Alcotest.(check (float 1e-9)) name (mre dense) (mre sparse))
     (Core.Estimator.all_names ())
@@ -173,6 +176,16 @@ let mat_hash m =
   done;
   !acc
 
+(* The same per-snapshot load series a [Busy { window = 5; steps = 3 }]
+   source compiles internally, as an explicit vector array — the
+   [Windows] source fed with it must produce bit-identical estimates
+   (only the snapshot labels differ: window-end positions instead of
+   dataset sample indices). *)
+let busy_series d ~window ~steps =
+  let ks = Array.of_list (Dataset.busy_samples d) in
+  let base = Array.length ks - steps - window + 1 in
+  Array.init (steps + window - 1) (fun j -> Dataset.link_loads_at d ks.(base + j))
+
 let scan_hashes ~jobs =
   let ctx = Ctx.create ~fast:true ~jobs () in
   let net = ctx.Ctx.europe in
@@ -194,6 +207,15 @@ let scan_hashes ~jobs =
            "cao") );
     ( "replay-cold-cao",
       scan_hash (run (Ctx.Scan.Replay { window = 5; windows = 4 }) "cao") );
+    ( "windows-cold-cao",
+      scan_hash
+        (run
+           (Ctx.Scan.Windows
+              {
+                window = 5;
+                loads = busy_series net.Ctx.dataset ~window:5 ~steps:3;
+              })
+           "cao") );
     ("samples-w4", mat_hash (Ctx.Scan.samples net ~window:4));
   ]
 
@@ -204,8 +226,38 @@ let scan_goldens ~jobs =
     ( "scan-warm-cao",
       if jobs = 1 then 0x595c7502c6191338L else 0xf2314abce0aaa86aL );
     ("replay-cold-cao", 0xe40cc54a8e85ea82L);
+    ("windows-cold-cao", 0x4d59991207fc3f45L);
     ("samples-w4", 0x15624626cc596205L);
   ]
+
+(* Semantic coverage for the [Windows] source beyond the hash pin: fed
+   with exactly the series a [Busy] source compiles, the estimates must
+   be bit-identical window for window — only the snapshot labels
+   change (window-end offsets instead of dataset sample indices). *)
+let windows_matches_busy () =
+  let ctx = Ctx.create ~fast:true ~jobs:1 () in
+  let net = ctx.Ctx.europe in
+  let window = 5 and steps = 3 in
+  let est = Core.Estimator.of_name "cao" in
+  let busy =
+    Ctx.Scan.run net est (Ctx.Scan.make (Ctx.Scan.Busy { window; steps }))
+  in
+  let win =
+    Ctx.Scan.run net est
+      (Ctx.Scan.make
+         (Ctx.Scan.Windows
+            { window; loads = busy_series net.Ctx.dataset ~window ~steps }))
+  in
+  Alcotest.(check int) "scan length" (List.length busy) (List.length win);
+  List.iteri
+    (fun i ((_, eb), (kw, ew)) ->
+      Alcotest.(check int) "windows snapshot label" (i + window - 1) kw;
+      Array.iteri
+        (fun j x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float ew.(j) then
+            Alcotest.failf "windows vs busy: pair %d differs at step %d" j i)
+        eb)
+    (List.combine busy win)
 
 let check_scan ~jobs () =
   List.iter2
@@ -249,5 +301,7 @@ let () =
         [
           Alcotest.test_case "jobs=1" `Quick (check_scan ~jobs:1);
           Alcotest.test_case "jobs=2" `Quick (check_scan ~jobs:2);
+          Alcotest.test_case "windows source matches busy" `Quick
+            windows_matches_busy;
         ] );
     ]

@@ -102,6 +102,138 @@ let test_classify_fast_link_wrap_still_delta () =
   | _ -> Alcotest.fail "expected Delta under a 100 Gbps ceiling"
 
 (* ------------------------------------------------------------------ *)
+(* Classification properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The wrap-vs-reset decision is a strict inequality against the
+   believability ceiling: a delta implying a rate of *exactly*
+   [max_rate_bps] is still a measurement, one ulp above is a reset.
+   Inter-poll times are drawn as powers of two so the ceiling
+   [d * 8 / dt] reconstructs [d * 8] exactly when classify multiplies
+   it back — the property tests the decision boundary itself, not
+   float rounding. *)
+let test_classify_ceiling_boundary_prop () =
+  let gen rng =
+    let dt = 2. ** float_of_int (Prop.int_in ~lo:(-1) ~hi:9 rng) in
+    let v0 = Prop.float_in ~lo:0. ~hi:1e12 rng in
+    let bytes = Prop.float_in ~lo:1. ~hi:1e9 rng in
+    (dt, v0, (v0 +. bytes) -. v0)
+  in
+  let pp (dt, v0, d) = Printf.sprintf "dt=%g v0=%g d=%g" dt v0 d in
+  Prop.run ~count:200 ~seed:31 ~name:"ceiling boundary" ~pp gen
+    (fun (dt, v0, d) ->
+      d > 0.
+      &&
+      let ceiling = d *. 8. /. dt in
+      let verdict max_rate_bps =
+        Counter.classify ~width:Counter.Bits64 ~max_rate_bps
+          ~prev:(poll 0. v0)
+          ~cur:(poll dt (v0 +. d))
+          ()
+      in
+      (match verdict ceiling with Counter.Delta _ -> true | _ -> false)
+      && match verdict (Float.pred ceiling) with
+         | Counter.Reset v -> v = v0 +. d
+         | _ -> false)
+
+let test_classify_nonpositive_dt_prop () =
+  (* Retransmitted or reordered polls: any non-positive inter-poll time
+     is a Duplicate, for both widths and any counter movement. *)
+  let gen rng =
+    let t0 = Prop.float_in ~lo:0. ~hi:1000. rng in
+    let dt = Prop.float_in ~lo:(-600.) ~hi:0. rng in
+    let width = Prop.choose [| Counter.Bits32; Counter.Bits64 |] rng in
+    let v0 = Prop.float_in ~lo:0. ~hi:4e9 rng in
+    let v1 = Prop.float_in ~lo:0. ~hi:4e9 rng in
+    (t0, dt, width, v0, v1)
+  in
+  Prop.run ~count:200 ~seed:37 ~name:"non-positive dt" gen
+    (fun (t0, dt, width, v0, v1) ->
+      match
+        Counter.classify ~width ~prev:(poll t0 v0)
+          ~cur:(poll (t0 +. dt) v1)
+          ()
+      with
+      | Counter.Duplicate -> true
+      | _ -> false)
+
+let test_classify_wrap_recovers_bytes_prop () =
+  (* A single 32-bit wrap at a believable rate: classify must undo the
+     wrap and recover the true byte count wherever the wrap falls in
+     the interval. *)
+  let two32 = 4294967296. in
+  let gen rng =
+    let bytes = Prop.float_in ~lo:1e6 ~hi:1e8 rng in
+    let frac = Prop.float_in ~lo:0.01 ~hi:0.99 rng in
+    (bytes, bytes *. frac)
+  in
+  let pp (bytes, u) = Printf.sprintf "bytes=%g u=%g" bytes u in
+  Prop.run ~count:200 ~seed:41 ~name:"wrap recovery" ~pp gen
+    (fun (bytes, u) ->
+      match
+        Counter.classify ~width:Counter.Bits32
+          ~prev:(poll 0. (two32 -. u))
+          ~cur:(poll 300. (bytes -. u))
+          ()
+      with
+      | Counter.Delta d -> Prop.close d bytes
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Stream classification at the ceiling                                *)
+(* ------------------------------------------------------------------ *)
+
+let stream_config max_rate_bps =
+  {
+    Collect.default_config with
+    Collect.jitter_s = 0.;
+    loss_prob = 0.;
+    width = Counter.Bits64;
+    max_rate_bps;
+  }
+
+let test_stream_ceiling_rate_believed () =
+  (* Links running at exactly the configured ceiling: every tick's
+     delta sits on the strict-inequality boundary and must be believed
+     round after round — no resets, no missing entries. *)
+  let links = 4 and rate = 1e8 in
+  let stream = Collect.Stream.create (stream_config rate) ~links in
+  let true_loads = Vec.create links rate in
+  for k = 0 to 5 do
+    let t = Collect.Stream.tick stream ~true_loads in
+    Alcotest.(check int) (Printf.sprintf "tick %d index" k) k
+      t.Collect.Stream.tick;
+    Alcotest.(check int) "no resets" 0 t.Collect.Stream.resets;
+    Alcotest.(check int) "no missing" 0 t.Collect.Stream.missing;
+    Array.iter (fun v -> check_float 1. "rate recovered" rate v)
+      t.Collect.Stream.loads
+  done;
+  Alcotest.(check int) "no resets overall" 0
+    (Collect.Stream.total_resets stream)
+
+let test_stream_above_ceiling_reads_as_reset () =
+  (* The same stream fed 5% above the ceiling: every poll is physically
+     impossible, so each round classifies as a reset, contributes no
+     measurement (nan), and re-anchors the baseline — which makes the
+     next round impossible again. *)
+  let links = 3 and rate = 1e8 in
+  let stream = Collect.Stream.create (stream_config rate) ~links in
+  let true_loads = Vec.create links (rate *. 1.05) in
+  for k = 0 to 3 do
+    let t = Collect.Stream.tick stream ~true_loads in
+    Alcotest.(check int)
+      (Printf.sprintf "tick %d: all links reset" k)
+      links t.Collect.Stream.resets;
+    Alcotest.(check int) "all entries missing" links t.Collect.Stream.missing;
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "nan where discarded" true (Float.is_nan v))
+      t.Collect.Stream.loads
+  done;
+  Alcotest.(check int) "resets accumulated" (4 * links)
+    (Collect.Stream.total_resets stream)
+
+(* ------------------------------------------------------------------ *)
 (* Collection pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -215,6 +347,22 @@ let () =
             test_classify_reset_32_masquerading_as_wrap;
           Alcotest.test_case "fast-link wrap" `Quick
             test_classify_fast_link_wrap_still_delta;
+        ] );
+      ( "classify-prop",
+        [
+          Alcotest.test_case "ceiling boundary" `Quick
+            test_classify_ceiling_boundary_prop;
+          Alcotest.test_case "non-positive dt" `Quick
+            test_classify_nonpositive_dt_prop;
+          Alcotest.test_case "wrap recovery" `Quick
+            test_classify_wrap_recovers_bytes_prop;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "ceiling rate believed" `Quick
+            test_stream_ceiling_rate_believed;
+          Alcotest.test_case "above ceiling reads as reset" `Quick
+            test_stream_above_ceiling_reads_as_reset;
         ] );
       ( "collect",
         [
